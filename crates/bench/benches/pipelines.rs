@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the compiler itself: compile-time of each flow's
+//! pipeline over a representative joint module (a GEMM application). This
+//! quantifies the cost of the extra analyses/transformations the SYCL-MLIR
+//! flow runs at compile time (the trade-off §IX discusses against
+//! AdaptiveCpp's run-time JIT).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sycl_mlir_core::{Flow, FlowKind};
+
+fn bench_pipelines(c: &mut Criterion) {
+    let spec = sycl_mlir_benchsuite::all_workloads()
+        .into_iter()
+        .find(|w| w.name == "GEMM")
+        .expect("GEMM registered");
+    let mut group = c.benchmark_group("compile");
+    for kind in FlowKind::all() {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || (spec.build)(32).module,
+                |mut module| {
+                    let flow = Flow::new(kind);
+                    flow.compile(&mut module).expect("pipeline runs");
+                    module
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    // Analysis costs on the GEMM kernel (uniformity dominates; it embeds
+    // reaching definitions).
+    let spec = sycl_mlir_benchsuite::all_workloads()
+        .into_iter()
+        .find(|w| w.name == "GEMM")
+        .expect("GEMM registered");
+    let app = (spec.build)(32);
+    let m = app.module;
+    let device = m
+        .lookup_symbol(m.top(), sycl_mlir_sycl::DEVICE_MODULE_SYM)
+        .expect("device module");
+    let kernel = m.funcs_in(device)[0];
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("uniformity", |b| {
+        b.iter(|| sycl_mlir_analysis::UniformityAnalysis::compute(&m, kernel))
+    });
+    group.bench_function("reaching-definitions", |b| {
+        b.iter(|| sycl_mlir_analysis::ReachingDefinitions::compute(&m, kernel))
+    });
+    group.bench_function("memory-access", |b| {
+        b.iter(|| sycl_mlir_analysis::MemoryAccessAnalysis::analyze(&m, kernel))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipelines, bench_analyses
+}
+criterion_main!(benches);

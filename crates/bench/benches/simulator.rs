@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the simulator: wall-clock time to execute
+//! representative workloads end to end under each flow (the harness itself,
+//! not the simulated cycles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sycl_mlir_core::FlowKind;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for name in ["VecAdd (float32)", "GEMM"] {
+        let spec = sycl_mlir_benchsuite::all_workloads()
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("workload registered");
+        // Sizes must stay multiples of the work-group geometry.
+        let size = if name == "GEMM" { 32 } else { spec.scaled_size / 4 };
+        for kind in [FlowKind::Dpcpp, FlowKind::SyclMlir] {
+            group.bench_function(format!("{name}/{}", kind.name()), |b| {
+                b.iter(|| {
+                    let r = sycl_mlir_benchsuite::run_workload(&spec, size, kind)
+                        .expect("workload runs");
+                    assert!(r.valid);
+                    r.cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Runs the complete evaluation of §VIII: Fig. 2, Fig. 3, the stencil
+//! table, and the overall geo-means the paper quotes ("Overall, on
+//! SYCL-Bench, SYCL-MLIR achieves a geo.-mean speedup of 1.18x over DPC++
+//! and also performs better than AdaptiveCpp (geo.-mean 1.13x)").
+
+use sycl_mlir_bench::{print_table, quick_flag, run_category};
+use sycl_mlir_benchsuite::{geo_mean, Category};
+
+fn main() {
+    let quick = quick_flag();
+    let fig2 = run_category(Category::SingleKernel, quick);
+    let fig3 = run_category(Category::Polybench, quick);
+    let stencil = run_category(Category::Stencil, quick);
+
+    print_table("Fig. 2: single-kernel benchmarks", &fig2);
+    print_table("Fig. 3: polybench benchmarks", &fig3);
+    print_table("Stencil workloads", &stencil);
+
+    // Overall SYCL-Bench geo-means (Fig. 2 + Fig. 3 categories).
+    let mut sm = Vec::new();
+    let mut acpp = Vec::new();
+    for r in fig2.iter().chain(&fig3) {
+        let s = r.speedup(2);
+        let a = r.speedup(1);
+        if s.is_finite() {
+            sm.push(s);
+        }
+        if a.is_finite() {
+            acpp.push(a);
+        }
+    }
+    println!("\n== Overall (SYCL-Bench: Fig. 2 + Fig. 3) ==");
+    println!("SYCL-MLIR geo.-mean over DPC++:  {:.2}x   (paper: 1.18x)", geo_mean(&sm));
+    println!("AdaptiveCpp geo.-mean over DPC++: {:.2}x   (paper: 1.13x)", geo_mean(&acpp));
+}

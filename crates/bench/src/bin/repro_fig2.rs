@@ -1,0 +1,17 @@
+//! Regenerates Fig. 2 of the paper: single-kernel speedups over DPC++.
+//!
+//! Paper reference values (§VIII): AdaptiveCpp geo.-mean 1.03x, SYCL-MLIR
+//! geo.-mean 1.02x, with Sobel7 benefiting from host-device constant
+//! propagation. Run with `--quick` for smaller sizes.
+
+use sycl_mlir_bench::{print_table, quick_flag, run_category};
+use sycl_mlir_benchsuite::Category;
+
+fn main() {
+    let rows = run_category(Category::SingleKernel, quick_flag());
+    print_table(
+        "Fig. 2: single-kernel benchmarks (speedup over DPC++, higher is better)",
+        &rows,
+    );
+    println!("\npaper reference: AdaptiveCpp geo.-mean 1.03x, SYCL-MLIR geo.-mean 1.02x");
+}

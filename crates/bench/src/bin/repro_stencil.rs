@@ -1,0 +1,16 @@
+//! Regenerates the stencil evaluation of §VIII (prose, no figure):
+//! 1D HeatTransfer (buffer: 0.86x, USM: 0.87x), iso2dfd (0.99x, ACpp 1.5x),
+//! jacobi (1.0x); AdaptiveCpp fails validation on everything but iso2dfd.
+
+use sycl_mlir_bench::{print_table, quick_flag, run_category};
+use sycl_mlir_benchsuite::Category;
+
+fn main() {
+    let rows = run_category(Category::Stencil, quick_flag());
+    print_table("Stencil workloads (speedup over DPC++, higher is better)", &rows);
+    println!("\npaper reference: SYCL-MLIR 0.86x/0.87x (heat transfer), 0.99x (iso2dfd), 1.0x (jacobi);");
+    println!("AdaptiveCpp fails validation on all but iso2dfd (1.5x).");
+    println!("note: this reproduction lands heat transfer at ~1.0x — none of the paper's device");
+    println!("optimizations fire (matching §VIII), but the codegen overhead behind the paper's");
+    println!("0.86x is not modelled (see EXPERIMENTS.md).");
+}

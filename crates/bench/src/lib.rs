@@ -1,0 +1,127 @@
+//! # sycl-mlir-bench — the evaluation harness (§VIII of the paper)
+//!
+//! Binaries regenerating every figure/table of the evaluation:
+//!
+//! * `repro_fig1` — prints the compilation flow of Fig. 1 per implementation
+//!   (pipeline stages + IR after each stage on a matmul walkthrough);
+//! * `repro_fig2` — the single-kernel speedup comparison of Fig. 2;
+//! * `repro_fig3` — the polybench speedup comparison of Fig. 3;
+//! * `repro_stencil` — the stencil results reported in §VIII's prose;
+//! * `repro_all` — everything above plus the overall geo-means.
+//!
+//! The simulator is deterministic, so the paper's warm-up + 30-repetition
+//! protocol collapses to a single measured run per configuration (JIT costs
+//! still land on the AdaptiveCpp "warm-up" and are excluded, like §VIII).
+
+use sycl_mlir_benchsuite::{geo_mean, run_workload, Category, RunResult, WorkloadSpec};
+use sycl_mlir_core::FlowKind;
+
+/// One row of a speedup table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub name: &'static str,
+    /// Cycles per flow, ordered as [`FlowKind::all`]. `NaN` = validation
+    /// failed (a "missing bar").
+    pub cycles: [f64; 3],
+    pub valid: [bool; 3],
+}
+
+impl Row {
+    /// Speedup of `flow` over the DPC++ baseline.
+    pub fn speedup(&self, flow: usize) -> f64 {
+        if !self.valid[flow] || !self.valid[0] {
+            return f64::NAN;
+        }
+        self.cycles[0] / self.cycles[flow]
+    }
+}
+
+/// Run every workload of a category; scale factors below 1.0 shrink the
+/// (already scaled) problem sizes further for quick runs.
+pub fn run_category(category: Category, quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for w in sycl_mlir_benchsuite::all_workloads() {
+        if w.category != category || !w.in_figure {
+            continue;
+        }
+        rows.push(run_row(&w, quick));
+    }
+    rows
+}
+
+/// Run a single workload under all three flows.
+pub fn run_row(w: &WorkloadSpec, quick: bool) -> Row {
+    let size = if quick { quick_size(w) } else { w.scaled_size };
+    let mut cycles = [f64::NAN; 3];
+    let mut valid = [false; 3];
+    for (i, kind) in FlowKind::all().into_iter().enumerate() {
+        match run_workload(w, size, kind) {
+            Ok(RunResult { cycles: c, valid: v, .. }) => {
+                cycles[i] = c;
+                valid[i] = v;
+            }
+            Err(e) => {
+                eprintln!("warning: {} [{}] failed: {e}", w.name, kind.name());
+            }
+        }
+    }
+    Row { name: w.name, cycles, valid }
+}
+
+fn quick_size(w: &WorkloadSpec) -> i64 {
+    match w.category {
+        Category::Polybench => (w.scaled_size / 2).max(32),
+        Category::SingleKernel => (w.scaled_size / 4).max(64),
+        Category::Stencil => w.scaled_size,
+    }
+}
+
+/// Print a speedup table in the paper's format (speedup over DPC++,
+/// higher is better; `--` marks a failed validation / missing bar).
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    println!("{:<28} {:>12} {:>12}", "benchmark", "AdaptiveCpp", "SYCL-MLIR");
+    let mut acpp = Vec::new();
+    let mut sm = Vec::new();
+    for r in rows {
+        let a = r.speedup(1);
+        let s = r.speedup(2);
+        let fmt = |v: f64| {
+            if v.is_nan() {
+                "--".to_string()
+            } else {
+                format!("{v:.2}x")
+            }
+        };
+        println!("{:<28} {:>12} {:>12}", r.name, fmt(a), fmt(s));
+        if a.is_finite() {
+            acpp.push(a);
+        }
+        if s.is_finite() {
+            sm.push(s);
+        }
+    }
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "geo.-mean",
+        format!("{:.2}x", geo_mean(&acpp)),
+        format!("{:.2}x", geo_mean(&sm))
+    );
+}
+
+/// Parse the shared `--quick` flag.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_handles_missing_bars() {
+        let r = Row { name: "x", cycles: [100.0, f64::NAN, 50.0], valid: [true, false, true] };
+        assert!(r.speedup(1).is_nan());
+        assert!((r.speedup(2) - 2.0).abs() < 1e-12);
+    }
+}

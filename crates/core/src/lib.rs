@@ -1,0 +1,23 @@
+//! # sycl-mlir-core — compiler drivers for the three SYCL implementations
+//!
+//! The paper's evaluation (§VIII) compares three compilers over the same
+//! SYCL runtime. This crate models each as a [`Flow`] over the *joint*
+//! host/device module of Fig. 1:
+//!
+//! * [`FlowKind::Dpcpp`] — the LLVM-based SMCP baseline: device code is
+//!   compiled **in isolation** (dotted path of Fig. 1). No host raising, no
+//!   SYCL-semantic alias information, conservative LICM only.
+//! * [`FlowKind::AdaptiveCpp`] — the SSCP JIT (§IX): ahead-of-time the
+//!   device code only gets generic clean-ups; at *kernel launch* the
+//!   runtime calls [`Flow::jit_specialize`], which injects the run-time
+//!   invocation context (ND-range constants, buffer identities) and then
+//!   optimizes — paying a one-time JIT cost.
+//! * [`FlowKind::SyclMlir`] — the paper's compiler (dashed path): host
+//!   raising (§VII-A), host-device constant propagation + accessor member
+//!   propagation (§VII-B), SYCL-aware LICM with versioning (§VI-A),
+//!   reduction detection (§VI-B), loop internalization (§VI-C) and SYCL
+//!   dead-argument elimination, all at *compile time*.
+
+pub mod flow;
+
+pub use flow::{CompileOutcome, Flow, FlowKind};

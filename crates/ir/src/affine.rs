@@ -1,0 +1,234 @@
+//! Affine expressions and maps.
+//!
+//! The memory access analysis (§V-D of the paper) describes a SYCL memory
+//! access by an *access matrix* and an *offset vector* over work-item ids and
+//! loop induction variables. [`AffineExpr`] / [`AffineMap`] are the carrier
+//! for those results and for loop bound reasoning in the tiling
+//! infrastructure used by loop internalization (§VI-C).
+
+use std::fmt;
+
+/// A quasi-affine expression over dimension and symbol placeholders.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AffineExpr {
+    /// The `i`-th dimension (`d0`, `d1`, …).
+    Dim(usize),
+    /// The `i`-th symbol (`s0`, `s1`, …).
+    Sym(usize),
+    /// Integer constant.
+    Const(i64),
+    Add(Box<AffineExpr>, Box<AffineExpr>),
+    Mul(Box<AffineExpr>, Box<AffineExpr>),
+    Mod(Box<AffineExpr>, Box<AffineExpr>),
+    FloorDiv(Box<AffineExpr>, Box<AffineExpr>),
+}
+
+impl AffineExpr {
+    pub fn add(self, rhs: AffineExpr) -> AffineExpr {
+        AffineExpr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn mul(self, rhs: AffineExpr) -> AffineExpr {
+        AffineExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluate with concrete dimension and symbol values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Dim`/`Sym` index is out of range or on division by zero.
+    pub fn eval(&self, dims: &[i64], syms: &[i64]) -> i64 {
+        match self {
+            AffineExpr::Dim(i) => dims[*i],
+            AffineExpr::Sym(i) => syms[*i],
+            AffineExpr::Const(c) => *c,
+            AffineExpr::Add(a, b) => a.eval(dims, syms) + b.eval(dims, syms),
+            AffineExpr::Mul(a, b) => a.eval(dims, syms) * b.eval(dims, syms),
+            AffineExpr::Mod(a, b) => a.eval(dims, syms).rem_euclid(b.eval(dims, syms)),
+            AffineExpr::FloorDiv(a, b) => a.eval(dims, syms).div_euclid(b.eval(dims, syms)),
+        }
+    }
+
+    /// Decompose into linear form: coefficients for each of `num_dims`
+    /// dimensions plus a constant, i.e. `c0*d0 + … + cN*dN + k`.
+    ///
+    /// Returns `None` if the expression is not linear in the dimensions
+    /// (contains `mod`/`floordiv` or products of dimensions). Symbols are
+    /// treated as non-constant and make the expression non-linear if they
+    /// appear (the analyses in this project express everything over dims).
+    pub fn as_linear(&self, num_dims: usize) -> Option<(Vec<i64>, i64)> {
+        let mut coeffs = vec![0_i64; num_dims];
+        let mut konst = 0_i64;
+        self.accumulate_linear(num_dims, 1, &mut coeffs, &mut konst)?;
+        Some((coeffs, konst))
+    }
+
+    fn accumulate_linear(
+        &self,
+        num_dims: usize,
+        scale: i64,
+        coeffs: &mut [i64],
+        konst: &mut i64,
+    ) -> Option<()> {
+        match self {
+            AffineExpr::Dim(i) => {
+                if *i >= num_dims {
+                    return None;
+                }
+                coeffs[*i] += scale;
+                Some(())
+            }
+            AffineExpr::Sym(_) => None,
+            AffineExpr::Const(c) => {
+                *konst += scale * c;
+                Some(())
+            }
+            AffineExpr::Add(a, b) => {
+                a.accumulate_linear(num_dims, scale, coeffs, konst)?;
+                b.accumulate_linear(num_dims, scale, coeffs, konst)
+            }
+            AffineExpr::Mul(a, b) => match (a.const_value(), b.const_value()) {
+                (Some(ca), _) => b.accumulate_linear(num_dims, scale * ca, coeffs, konst),
+                (_, Some(cb)) => a.accumulate_linear(num_dims, scale * cb, coeffs, konst),
+                _ => None,
+            },
+            AffineExpr::Mod(..) | AffineExpr::FloorDiv(..) => None,
+        }
+    }
+
+    /// Constant value if the expression is a constant.
+    pub fn const_value(&self) -> Option<i64> {
+        match self {
+            AffineExpr::Const(c) => Some(*c),
+            AffineExpr::Add(a, b) => Some(a.const_value()? + b.const_value()?),
+            AffineExpr::Mul(a, b) => Some(a.const_value()? * b.const_value()?),
+            AffineExpr::Mod(a, b) => Some(a.const_value()?.rem_euclid(b.const_value()?)),
+            AffineExpr::FloorDiv(a, b) => Some(a.const_value()?.div_euclid(b.const_value()?)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffineExpr::Dim(i) => write!(f, "d{i}"),
+            AffineExpr::Sym(i) => write!(f, "s{i}"),
+            AffineExpr::Const(c) => write!(f, "{c}"),
+            AffineExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            AffineExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            AffineExpr::Mod(a, b) => write!(f, "({a} mod {b})"),
+            AffineExpr::FloorDiv(a, b) => write!(f, "({a} floordiv {b})"),
+        }
+    }
+}
+
+/// A multi-result affine map `(d0, …) -> (e0, e1, …)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AffineMap {
+    pub num_dims: usize,
+    pub exprs: Vec<AffineExpr>,
+}
+
+impl AffineMap {
+    pub fn new(num_dims: usize, exprs: Vec<AffineExpr>) -> AffineMap {
+        AffineMap { num_dims, exprs }
+    }
+
+    /// Evaluate all results with concrete dimension values.
+    pub fn eval(&self, dims: &[i64]) -> Vec<i64> {
+        self.exprs.iter().map(|e| e.eval(dims, &[])).collect()
+    }
+
+    /// The access matrix and offset vector of §V-D: row `r`, column `c` is
+    /// the coefficient of dimension `c` in result `r`; the offset vector is
+    /// the constant part per row. `None` if any result is non-linear.
+    pub fn as_matrix(&self) -> Option<(Vec<Vec<i64>>, Vec<i64>)> {
+        let mut matrix = Vec::with_capacity(self.exprs.len());
+        let mut offsets = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            let (coeffs, konst) = e.as_linear(self.num_dims)?;
+            matrix.push(coeffs);
+            offsets.push(konst);
+        }
+        Some((matrix, offsets))
+    }
+}
+
+impl fmt::Display for AffineMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "affine_map<(")?;
+        for i in 0..self.num_dims {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "d{i}")?;
+        }
+        write!(f, ") -> (")?;
+        for (i, e) in self.exprs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: usize) -> AffineExpr {
+        AffineExpr::Dim(i)
+    }
+
+    fn c(v: i64) -> AffineExpr {
+        AffineExpr::Const(v)
+    }
+
+    #[test]
+    fn eval_and_linear() {
+        // 2*d0 + d1 + 3
+        let e = d(0).mul(c(2)).add(d(1)).add(c(3));
+        assert_eq!(e.eval(&[5, 7], &[]), 20);
+        let (coeffs, k) = e.as_linear(2).unwrap();
+        assert_eq!(coeffs, vec![2, 1]);
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn nonlinear_rejected() {
+        let e = d(0).mul(d(1));
+        assert!(e.as_linear(2).is_none());
+        let m = AffineExpr::Mod(Box::new(d(0)), Box::new(c(4)));
+        assert!(m.as_linear(1).is_none());
+    }
+
+    /// The exact matrix from §V-D of the paper, for Listing 3's access
+    /// `[gid_x + 1, 2*i, 2*i + 2 + gid_y]` over dims (gid_x, gid_y, i).
+    #[test]
+    fn paper_listing3_matrix() {
+        let map = AffineMap::new(
+            3,
+            vec![
+                d(0).add(c(1)),
+                d(2).mul(c(2)),
+                d(2).mul(c(2)).add(c(2)).add(d(1)),
+            ],
+        );
+        let (matrix, offsets) = map.as_matrix().unwrap();
+        assert_eq!(
+            matrix,
+            vec![vec![1, 0, 0], vec![0, 0, 2], vec![0, 1, 2]]
+        );
+        assert_eq!(offsets, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn map_display() {
+        let map = AffineMap::new(2, vec![d(0).add(c(1)), d(1)]);
+        assert_eq!(map.to_string(), "affine_map<(d0, d1) -> ((d0 + 1), d1)>");
+        assert_eq!(map.eval(&[4, 9]), vec![5, 9]);
+    }
+}

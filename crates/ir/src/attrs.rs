@@ -1,0 +1,208 @@
+//! Attributes: compile-time constant data attached to operations.
+//!
+//! Unlike types, attributes are stored by value on operations (they are small
+//! and rarely shared), matching how this reproduction uses them: constants,
+//! symbol names, dense data for host-propagated arrays, and affine maps from
+//! the memory access analysis.
+
+use crate::affine::AffineMap;
+use crate::types::Type;
+use std::fmt;
+
+/// A compile-time constant value attached to an operation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Attribute {
+    /// Presence-only marker.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Signless integer constant (also used for `index`).
+    Int(i64),
+    /// Floating-point constant (stored as `f64`; `f32` constants round-trip).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// A type as payload (e.g. `function_type` on `func.func`).
+    Type(Type),
+    /// Heterogeneous array.
+    Array(Vec<Attribute>),
+    /// Dense integer data (e.g. constant ND-ranges).
+    DenseI64(Vec<i64>),
+    /// Dense floating-point data (e.g. a host-propagated filter array).
+    DenseF64(Vec<f64>),
+    /// Possibly-nested symbol reference, e.g. `@device::@kernel`.
+    SymbolRef(Vec<String>),
+    /// An affine map (used by analysis results and tiling metadata).
+    AffineMap(AffineMap),
+}
+
+impl Attribute {
+    /// Convenience constructor for a single-level symbol reference.
+    pub fn symbol(name: impl Into<String>) -> Attribute {
+        Attribute::SymbolRef(vec![name.into()])
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Attribute::Int(v) => Some(*v),
+            Attribute::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Attribute::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Attribute::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attribute::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_type(&self) -> Option<&Type> {
+        match self {
+            Attribute::Type(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Attribute]> {
+        match self {
+            Attribute::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_dense_i64(&self) -> Option<&[i64]> {
+        match self {
+            Attribute::DenseI64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_dense_f64(&self) -> Option<&[f64]> {
+        match self {
+            Attribute::DenseF64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_symbol_ref(&self) -> Option<&[String]> {
+        match self {
+            Attribute::SymbolRef(path) => Some(path),
+            _ => None,
+        }
+    }
+
+    pub fn as_affine_map(&self) -> Option<&AffineMap> {
+        match self {
+            Attribute::AffineMap(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attribute::Unit => write!(f, "unit"),
+            Attribute::Bool(b) => write!(f, "{b}"),
+            Attribute::Int(v) => write!(f, "{v}"),
+            Attribute::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Attribute::Str(s) => write!(f, "{s:?}"),
+            Attribute::Type(t) => write!(f, "{t}"),
+            Attribute::Array(items) => {
+                write!(f, "[")?;
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]")
+            }
+            Attribute::DenseI64(v) => {
+                write!(f, "densei64<")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ">")
+            }
+            Attribute::DenseF64(v) => {
+                write!(f, "densef64<")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                        write!(f, "{x:.1}")?;
+                    } else {
+                        write!(f, "{x}")?;
+                    }
+                }
+                write!(f, ">")
+            }
+            Attribute::SymbolRef(path) => {
+                for (i, p) in path.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "::")?;
+                    }
+                    write!(f, "@{p}")?;
+                }
+                Ok(())
+            }
+            Attribute::AffineMap(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_basics() {
+        assert_eq!(Attribute::Int(42).to_string(), "42");
+        assert_eq!(Attribute::Float(2.0).to_string(), "2.0");
+        assert_eq!(Attribute::Float(2.5).to_string(), "2.5");
+        assert_eq!(Attribute::Bool(true).to_string(), "true");
+        assert_eq!(Attribute::Str("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(
+            Attribute::SymbolRef(vec!["device".into(), "k".into()]).to_string(),
+            "@device::@k"
+        );
+        assert_eq!(Attribute::DenseI64(vec![1, 2]).to_string(), "densei64<1, 2>");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Attribute::Int(7).as_int(), Some(7));
+        assert_eq!(Attribute::Bool(true).as_int(), Some(1));
+        assert_eq!(Attribute::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Attribute::Str("x".into()).as_str(), Some("x"));
+        assert!(Attribute::Unit.as_int().is_none());
+        let arr = Attribute::Array(vec![Attribute::Int(1)]);
+        assert_eq!(arr.as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Pass manager infrastructure.
+//!
+//! Mirrors MLIR's pass pipeline: passes run in order over a module, with
+//! optional verification between passes and optional IR dumping (used by the
+//! Fig. 1 reproduction to show the compilation flow stage by stage).
+
+use crate::module::Module;
+use crate::printer::print_module;
+use crate::verifier::verify;
+use std::time::{Duration, Instant};
+
+/// A module-level transformation.
+pub trait Pass {
+    /// Human-readable pass name (e.g. `"licm"`).
+    fn name(&self) -> &'static str;
+
+    /// Run on the module; return whether any change was made.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing an unrecoverable pass failure.
+    fn run(&mut self, module: &mut Module) -> Result<bool, String>;
+}
+
+/// Execution record for one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PassStats {
+    /// `(pass name, wall time, changed)` per executed pass.
+    pub per_pass: Vec<(String, Duration, bool)>,
+}
+
+impl PassStats {
+    /// Total pipeline wall time.
+    pub fn total_time(&self) -> Duration {
+        self.per_pass.iter().map(|(_, d, _)| *d).sum()
+    }
+
+    /// Whether any pass reported a change.
+    pub fn any_changed(&self) -> bool {
+        self.per_pass.iter().any(|(_, _, c)| *c)
+    }
+}
+
+/// Ordered pipeline of passes.
+///
+/// ```
+/// use sycl_mlir_ir::{Context, Module, Pass, PassManager};
+///
+/// struct Nop;
+/// impl Pass for Nop {
+///     fn name(&self) -> &'static str { "nop" }
+///     fn run(&mut self, _m: &mut Module) -> Result<bool, String> { Ok(false) }
+/// }
+///
+/// let ctx = Context::new();
+/// let mut m = Module::new(&ctx);
+/// let mut pm = PassManager::new();
+/// pm.add_pass(Nop);
+/// let stats = pm.run(&mut m).unwrap();
+/// assert_eq!(stats.per_pass.len(), 1);
+/// ```
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    /// Verify the module after every pass (on by default).
+    pub verify_each: bool,
+    /// Capture the IR after each pass into [`PassManager::dumps`].
+    pub dump_after_each: bool,
+    /// `(pass name, IR text)` captured when [`PassManager::dump_after_each`]
+    /// is set.
+    pub dumps: Vec<(String, String)>,
+}
+
+impl Default for PassManager {
+    fn default() -> PassManager {
+        PassManager::new()
+    }
+}
+
+impl PassManager {
+    pub fn new() -> PassManager {
+        PassManager {
+            passes: Vec::new(),
+            verify_each: true,
+            dump_after_each: false,
+            dumps: Vec::new(),
+        }
+    }
+
+    /// Append a pass to the pipeline.
+    pub fn add_pass(&mut self, pass: impl Pass + 'static) -> &mut PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Names of the registered passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Run the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing pass's message, or a verifier report if
+    /// [`PassManager::verify_each`] is set and a pass broke the IR.
+    pub fn run(&mut self, module: &mut Module) -> Result<PassStats, String> {
+        let mut stats = PassStats::default();
+        for pass in &mut self.passes {
+            let start = Instant::now();
+            let changed = pass
+                .run(module)
+                .map_err(|e| format!("pass `{}` failed: {e}", pass.name()))?;
+            stats
+                .per_pass
+                .push((pass.name().to_string(), start.elapsed(), changed));
+            if self.verify_each {
+                verify(module)
+                    .map_err(|e| format!("IR invalid after pass `{}`:\n{e}", pass.name()))?;
+            }
+            if self.dump_after_each {
+                self.dumps.push((pass.name().to_string(), print_module(module)));
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::OpInfo;
+    use crate::{Builder, Context};
+
+    struct AddOp;
+
+    impl Pass for AddOp {
+        fn name(&self) -> &'static str {
+            "add-op"
+        }
+
+        fn run(&mut self, m: &mut Module) -> Result<bool, String> {
+            let block = m.top_block();
+            let mut b = Builder::at_end(m, block);
+            b.build("t.mark", &[], &[], vec![]);
+            Ok(true)
+        }
+    }
+
+    struct Failing;
+
+    impl Pass for Failing {
+        fn name(&self) -> &'static str {
+            "failing"
+        }
+
+        fn run(&mut self, _m: &mut Module) -> Result<bool, String> {
+            Err("boom".into())
+        }
+    }
+
+    #[test]
+    fn runs_in_order_and_records_stats() {
+        let ctx = Context::new();
+        ctx.register_op(OpInfo::new("t.mark"));
+        let mut m = Module::new(&ctx);
+        let mut pm = PassManager::new();
+        pm.add_pass(AddOp).add_pass(AddOp);
+        let stats = pm.run(&mut m).unwrap();
+        assert_eq!(stats.per_pass.len(), 2);
+        assert!(stats.any_changed());
+        assert_eq!(m.block_ops(m.top_block()).len(), 2);
+    }
+
+    #[test]
+    fn failure_is_reported_with_pass_name() {
+        let ctx = Context::new();
+        let mut m = Module::new(&ctx);
+        let mut pm = PassManager::new();
+        pm.add_pass(Failing);
+        let err = pm.run(&mut m).unwrap_err();
+        assert!(err.contains("failing"), "{err}");
+        assert!(err.contains("boom"), "{err}");
+    }
+
+    #[test]
+    fn dumps_after_each_when_enabled() {
+        let ctx = Context::new();
+        ctx.register_op(OpInfo::new("t.mark"));
+        let mut m = Module::new(&ctx);
+        let mut pm = PassManager::new();
+        pm.dump_after_each = true;
+        pm.add_pass(AddOp);
+        pm.run(&mut m).unwrap();
+        assert_eq!(pm.dumps.len(), 1);
+        assert!(pm.dumps[0].1.contains("t.mark"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Structural IR verifier.
+//!
+//! Checks, for every operation in a module:
+//!
+//! * per-op invariants registered via [`crate::OpInfo::verify`];
+//! * terminator placement — only the last op of a block may carry the
+//!   `TERMINATOR` trait, and every region of a non-module op must end in one;
+//! * SSA dominance (within the structured single-block-region discipline);
+//! * the `ISOLATED_FROM_ABOVE` trait (no captured values).
+
+use crate::dialect::traits;
+use crate::module::{Module, OpId, ValueDef, WalkControl};
+use std::fmt;
+
+/// A verification failure, with one message per violation found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub messages: Vec<String>,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, msg) in self.messages.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "verifier: {msg}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify the whole module. Returns all violations at once.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] listing every violated invariant.
+pub fn verify(m: &Module) -> Result<(), VerifyError> {
+    let mut messages = Vec::new();
+    m.walk(m.top(), &mut |op| {
+        verify_op(m, op, &mut messages);
+        WalkControl::Advance
+    });
+    if messages.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyError { messages })
+    }
+}
+
+fn verify_op(m: &Module, op: OpId, messages: &mut Vec<String>) {
+    let info = m.op_info(op);
+    let name = m.op_name_str(op);
+
+    if let Some(f) = info.verify {
+        if let Err(e) = f(m, op) {
+            messages.push(format!("`{name}`: {e}"));
+        }
+    }
+
+    // Terminator placement inside each region of this op.
+    let is_module_like = &*name == "builtin.module";
+    for (ri, &region) in m.op_regions(op).iter().enumerate() {
+        let blocks = m.region_blocks(region);
+        if blocks.len() != 1 {
+            messages.push(format!(
+                "`{name}`: region #{ri} must contain exactly one block (structured IR), found {}",
+                blocks.len()
+            ));
+            continue;
+        }
+        let block = blocks[0];
+        let ops = m.block_ops(block);
+        for (i, &inner) in ops.iter().enumerate() {
+            let inner_info = m.op_info(inner);
+            if inner_info.has_trait(traits::TERMINATOR) && i + 1 != ops.len() {
+                messages.push(format!(
+                    "`{}` inside `{name}`: terminator is not the last operation of its block",
+                    m.op_name_str(inner)
+                ));
+            }
+        }
+        if !is_module_like {
+            match ops.last() {
+                Some(&last) if m.op_info(last).has_trait(traits::TERMINATOR) => {}
+                Some(&last) => messages.push(format!(
+                    "`{name}`: region #{ri} does not end with a terminator (ends with `{}`)",
+                    m.op_name_str(last)
+                )),
+                None => messages.push(format!("`{name}`: region #{ri} has an empty block")),
+            }
+        }
+    }
+
+    // Operand validity + dominance.
+    for (i, &v) in m.op_operands(op).iter().enumerate() {
+        if m.value_is_erased(v) {
+            messages.push(format!("`{name}`: operand #{i} refers to an erased value"));
+            continue;
+        }
+        if !value_dominates(m, v, op) {
+            messages.push(format!("`{name}`: operand #{i} is not dominated by its definition"));
+        }
+    }
+
+    // Isolation.
+    if info.has_trait(traits::ISOLATED_FROM_ABOVE) {
+        for inner in m.nested_ops(op) {
+            for (i, &v) in m.op_operands(inner).iter().enumerate() {
+                if m.value_defined_outside(v, op) {
+                    messages.push(format!(
+                        "`{}` inside isolated `{name}`: operand #{i} captures a value from above",
+                        m.op_name_str(inner)
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Dominance in the structured regime: the definition must appear earlier in
+/// the same block as `op` or in a block of a (transitive) ancestor op.
+fn value_dominates(m: &Module, v: crate::ValueId, op: OpId) -> bool {
+    match m.value_def(v) {
+        ValueDef::BlockArg { block, .. } => {
+            // A block argument dominates every op nested under its block.
+            let mut cur = Some(op);
+            while let Some(c) = cur {
+                if m.op_parent_block(c) == Some(block) {
+                    return true;
+                }
+                cur = m.op_parent_op(c);
+            }
+            false
+        }
+        ValueDef::OpResult { op: def_op, .. } => {
+            let Some(def_block) = m.op_parent_block(def_op) else {
+                return false; // detached definition
+            };
+            // Find the ancestor of `op` (possibly `op` itself) attached to
+            // the definition's block; the def must come strictly before it.
+            let mut cur = Some(op);
+            while let Some(c) = cur {
+                if c == def_op {
+                    return false; // use nested inside its own definition
+                }
+                if m.op_parent_block(c) == Some(def_block) {
+                    return m.op_index_in_block(def_op) < m.op_index_in_block(c);
+                }
+                cur = m.op_parent_op(c);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::{traits, OpInfo};
+    use crate::{Builder, Context, Module};
+
+    fn ctx_with(names: &[(&str, u32)]) -> Context {
+        let ctx = Context::new();
+        for (n, t) in names {
+            ctx.register_op(OpInfo::new(n).with_traits(*t));
+        }
+        ctx
+    }
+
+    #[test]
+    fn empty_module_verifies() {
+        let ctx = Context::new();
+        let m = Module::new(&ctx);
+        assert!(verify(&m).is_ok());
+    }
+
+    #[test]
+    fn misplaced_terminator_rejected() {
+        let ctx = ctx_with(&[("t.ret", traits::TERMINATOR), ("t.op", 0), ("t.wrap", 0)]);
+        let mut m = Module::new(&ctx);
+        let wrap = m.create_op(ctx.op("t.wrap"), &[], &[], vec![]);
+        let region = m.add_region(wrap);
+        let block = m.add_block(region, &[]);
+        {
+            let mut b = Builder::at_end(&mut m, block);
+            b.build("t.ret", &[], &[], vec![]);
+            b.build("t.op", &[], &[], vec![]);
+        }
+        let top = m.top_block();
+        m.append_op(top, wrap);
+        let err = verify(&m).unwrap_err();
+        assert!(err.to_string().contains("terminator is not the last"), "{err}");
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let ctx = ctx_with(&[("t.op", 0), ("t.wrap", 0)]);
+        let mut m = Module::new(&ctx);
+        let wrap = m.create_op(ctx.op("t.wrap"), &[], &[], vec![]);
+        let region = m.add_region(wrap);
+        let block = m.add_block(region, &[]);
+        {
+            let mut b = Builder::at_end(&mut m, block);
+            b.build("t.op", &[], &[], vec![]);
+        }
+        let top = m.top_block();
+        m.append_op(top, wrap);
+        let err = verify(&m).unwrap_err();
+        assert!(err.to_string().contains("does not end with a terminator"), "{err}");
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        let ctx = ctx_with(&[("t.make", 0), ("t.use", 0)]);
+        let mut m = Module::new(&ctx);
+        let i32t = ctx.i32_type();
+        let make = m.create_op(ctx.op("t.make"), &[], &[i32t], vec![]);
+        let v = m.op_result(make, 0);
+        let use_op = m.create_op(ctx.op("t.use"), &[v], &[], vec![]);
+        let top = m.top_block();
+        // use appears before def
+        m.append_op(top, use_op);
+        m.append_op(top, make);
+        let err = verify(&m).unwrap_err();
+        assert!(err.to_string().contains("not dominated"), "{err}");
+    }
+
+    #[test]
+    fn isolation_violation_rejected() {
+        let ctx = ctx_with(&[("t.make", 0), ("t.use", 0)]);
+        let iso = {
+            let info = OpInfo::new("t.iso").with_traits(traits::ISOLATED_FROM_ABOVE);
+            ctx.register_op(info)
+        };
+        let mut m = Module::new(&ctx);
+        let i32t = ctx.i32_type();
+        let make = m.create_op(ctx.op("t.make"), &[], &[i32t], vec![]);
+        let v = m.op_result(make, 0);
+        let wrap = m.create_op(iso, &[], &[], vec![]);
+        let region = m.add_region(wrap);
+        let block = m.add_block(region, &[]);
+        let use_op = m.create_op(ctx.op("t.use"), &[v], &[], vec![]);
+        m.append_op(block, use_op);
+        let top = m.top_block();
+        m.append_op(top, make);
+        m.append_op(top, wrap);
+        let err = verify(&m).unwrap_err();
+        assert!(err.to_string().contains("captures a value from above"), "{err}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Host IR generation: what clang + `mlir-translate` produce in Fig. 1.
+//!
+//! For every recorded command group this emits a host `func.func` whose
+//! body is `llvm`-dialect calls into the (simplified-mangled) SYCL runtime:
+//! range/buffer/accessor constructions and the `parallel_for` submission.
+//! This is the *low-level* form §VII-A calls "too low-level for analysis";
+//! the raising pass recovers the semantics from it.
+
+use crate::buffer::{BufferId, SyclRuntime};
+use crate::queue::{CgArg, Queue};
+use std::collections::HashMap;
+use sycl_mlir_dialects::{arith, llvm};
+use sycl_mlir_ir::{Attribute, Builder, Module, ValueId};
+use sycl_mlir_sim::DataVec;
+
+fn elem_name(d: &DataVec) -> &'static str {
+    match d {
+        DataVec::F32(_) => "f32",
+        DataVec::F64(_) => "f64",
+        DataVec::I32(_) => "i32",
+        DataVec::I64(_) => "i64",
+    }
+}
+
+fn mode_name(mode: sycl_mlir_sycl::types::AccessMode) -> &'static str {
+    mode.as_str()
+}
+
+/// Append one host function per command group to the joint module.
+pub fn generate_host_ir(m: &mut Module, runtime: &SyclRuntime, queue: &Queue) {
+    for (i, cg) in queue.groups.iter().enumerate() {
+        let ptr = m.ctx().ptr_type();
+        let top = m.top();
+        let (_func, entry) =
+            sycl_mlir_dialects::func::build_func(m, top, &format!("cgf_{i}"), &[ptr], &[]);
+        let cgh = m.block_arg(entry, 0);
+        let mut b = Builder::at_end(m, entry);
+        let i64t = b.ctx().i64_type();
+
+        // ND-range objects.
+        let grange = llvm::alloca(&mut b, "sycl::range");
+        let mut gargs = vec![grange];
+        for d in 0..cg.nd.rank as usize {
+            gargs.push(arith::constant_int(&mut b, cg.nd.global[d], i64t.clone()));
+        }
+        llvm::call(&mut b, "sycl_range_ctor", &gargs, &[]);
+        let lrange = if cg.nd_form {
+            let lrange = llvm::alloca(&mut b, "sycl::range");
+            let mut largs = vec![lrange];
+            for d in 0..cg.nd.rank as usize {
+                largs.push(arith::constant_int(&mut b, cg.nd.local[d], i64t.clone()));
+            }
+            llvm::call(&mut b, "sycl_range_ctor", &largs, &[]);
+            Some(lrange)
+        } else {
+            None
+        };
+
+        // Buffers are constructed once per CGF even when several accessors
+        // share them (that sharing is exactly what the host analysis uses
+        // for buffer identities).
+        let mut buffer_ptrs: HashMap<BufferId, ValueId> = HashMap::new();
+        let mut arg_values: Vec<ValueId> = Vec::new();
+        for arg in &cg.args {
+            match arg {
+                CgArg::Acc { buffer, mode } => {
+                    let info = &runtime.buffers[buffer.0];
+                    let buf_ptr = if let Some(&p) = buffer_ptrs.get(buffer) {
+                        p
+                    } else {
+                        let brange = llvm::alloca(&mut b, "sycl::range");
+                        let mut bargs = vec![brange];
+                        for d in 0..info.rank as usize {
+                            bargs.push(arith::constant_int(&mut b, info.range[d], i64t.clone()));
+                        }
+                        llvm::call(&mut b, "sycl_range_ctor", &bargs, &[]);
+                        let host_data = llvm::alloca(&mut b, "host_data");
+                        let buf = llvm::alloca(&mut b, "sycl::buffer");
+                        let callee = format!(
+                            "sycl_buffer_ctor_{}_{}",
+                            elem_name(&info.data),
+                            info.rank
+                        );
+                        let call = llvm::call(&mut b, &callee, &[buf, host_data, brange], &[]);
+                        if info.const_init {
+                            // The frontend sees a `const` initializer: bake
+                            // it into the IR (the Sobel filter path).
+                            let attr = match &info.data {
+                                DataVec::F32(v) => {
+                                    Attribute::DenseF64(v.iter().map(|&x| x as f64).collect())
+                                }
+                                DataVec::F64(v) => Attribute::DenseF64(v.clone()),
+                                DataVec::I32(v) => {
+                                    Attribute::DenseI64(v.iter().map(|&x| x as i64).collect())
+                                }
+                                DataVec::I64(v) => Attribute::DenseI64(v.clone()),
+                            };
+                            b.module().set_attr(call, "init_data", attr);
+                        }
+                        buffer_ptrs.insert(*buffer, buf);
+                        buf
+                    };
+                    let acc = llvm::alloca(&mut b, "sycl::accessor");
+                    let callee = format!(
+                        "sycl_accessor_ctor_{}_{}_{}",
+                        elem_name(&runtime.buffers[buffer.0].data),
+                        runtime.buffers[buffer.0].rank,
+                        mode_name(*mode)
+                    );
+                    llvm::call(&mut b, &callee, &[acc, buf_ptr, cgh], &[]);
+                    arg_values.push(acc);
+                }
+                CgArg::ScalarI64(v) => arg_values.push(arith::constant_int(&mut b, *v, i64t.clone())),
+                CgArg::ScalarI32(v) => {
+                    let i32t = b.ctx().i32_type();
+                    arg_values.push(arith::constant_int(&mut b, *v as i64, i32t));
+                }
+                CgArg::ScalarF64(v) => {
+                    let f64t = b.ctx().f64_type();
+                    arg_values.push(arith::constant_float(&mut b, *v, f64t));
+                }
+                CgArg::ScalarF32(v) => {
+                    let f32t = b.ctx().f32_type();
+                    arg_values.push(arith::constant_float(&mut b, *v as f64, f32t));
+                }
+                CgArg::RuntimeI64(_) => {
+                    let v = b.build_value("llvm.undef", &[], i64t.clone(), vec![]);
+                    arg_values.push(v);
+                }
+                CgArg::RuntimeF64(_) => {
+                    let f64t = b.ctx().f64_type();
+                    let v = b.build_value("llvm.undef", &[], f64t, vec![]);
+                    arg_values.push(v);
+                }
+                CgArg::Usm { .. } => {
+                    // USM pointers are opaque to the host analysis: the
+                    // user manages them manually (§II-A).
+                    let v = b.build_value("llvm.undef", &[], b.ctx().ptr_type(), vec![]);
+                    arg_values.push(v);
+                }
+            }
+        }
+
+        let (callee, mut call_args) = if cg.nd_form {
+            (
+                format!("sycl_parallel_for_nd_{}", cg.kernel),
+                vec![cgh, grange, lrange.expect("nd form has local range")],
+            )
+        } else {
+            (format!("sycl_parallel_for_range_{}", cg.kernel), vec![cgh, grange])
+        };
+        call_args.extend(arg_values);
+        llvm::call(&mut b, &callee, &call_args, &[]);
+        sycl_mlir_dialects::func::build_return(&mut b, &[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sycl_mlir_sycl::types::AccessMode;
+
+    #[test]
+    fn host_ir_emitted_and_raisable() {
+        let ctx = sycl_mlir_frontend::full_context();
+        let mut rt = SyclRuntime::new();
+        let a = rt.buffer_f32(vec![0.0; 16], &[16]);
+        let w = rt.buffer_const_f32(vec![1.0, 2.0, 3.0], &[3]);
+        let mut q = Queue::new();
+        q.submit(|h| {
+            h.accessor(a, AccessMode::ReadWrite);
+            h.accessor(w, AccessMode::Read);
+            h.scalar_i64(3);
+            h.parallel_for_nd("conv", &[16], &[4]);
+        });
+        let mut kb = sycl_mlir_frontend::KernelModuleBuilder::new(&ctx);
+        generate_host_ir(kb.module(), &rt, &q);
+        let m = kb.finish();
+        sycl_mlir_ir::verify(&m).unwrap();
+        let text = sycl_mlir_ir::print_module(&m);
+        assert!(text.contains("func.func @cgf_0"), "{text}");
+        assert!(text.contains("sycl_parallel_for_nd_conv"), "{text}");
+        assert!(text.contains("sycl_buffer_ctor_f32_1"), "{text}");
+        assert!(text.contains("init_data"), "{text}");
+        assert!(text.contains("sycl_accessor_ctor_f32_1_read_write"), "{text}");
+    }
+}

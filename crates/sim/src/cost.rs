@@ -1,0 +1,125 @@
+//! The analytic cost model.
+//!
+//! Abstract cycles per dynamic event; the defaults approximate the relative
+//! magnitudes on a data-centre GPU (global DRAM transaction ≫ local/SLM
+//! access ≫ ALU op). Absolute numbers are irrelevant for the reproduction —
+//! the paper's figures are *speedups*, driven by the ratios.
+
+/// Tunable cost constants.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Cycles per 64-byte global memory transaction.
+    pub global_transaction: f64,
+    /// Cycles per work-group local memory access.
+    pub local_access: f64,
+    /// Cycles per constant-cache access (host-propagated constant arrays).
+    pub constant_access: f64,
+    /// Cycles per private (register/stack) access.
+    pub private_access: f64,
+    /// Cycles per arithmetic / query op.
+    pub arith: f64,
+    /// Cycles per work-group barrier.
+    pub barrier: f64,
+    /// Bytes per global transaction.
+    pub transaction_bytes: usize,
+    /// Work-items coalesced together (sub-group size).
+    pub subgroup_size: usize,
+    /// Compute units executing work-groups in parallel (PVC 1100 ≈ 56 Xe
+    /// cores).
+    pub compute_units: usize,
+    /// Host-side cycles per kernel launch.
+    pub launch_base: f64,
+    /// Host-side cycles per kernel argument at launch (what DAE saves).
+    pub launch_per_arg: f64,
+    /// One-time JIT compilation cycles for SSCP flows (per kernel).
+    pub jit_compile: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            global_transaction: 16.0,
+            local_access: 1.0,
+            constant_access: 0.5,
+            private_access: 0.5,
+            arith: 1.0,
+            barrier: 2.0,
+            transaction_bytes: 64,
+            subgroup_size: 16,
+            compute_units: 56,
+            launch_base: 20_000.0,
+            launch_per_arg: 1_500.0,
+            jit_compile: 50_000_000.0,
+        }
+    }
+}
+
+/// Dynamic event counters for one kernel execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    pub arith_ops: u64,
+    pub global_accesses: u64,
+    pub global_transactions: u64,
+    pub local_accesses: u64,
+    pub constant_accesses: u64,
+    pub private_accesses: u64,
+    pub barriers: u64,
+    pub work_groups: u64,
+    pub work_items: u64,
+    /// Simulated device cycles (excludes host launch overhead).
+    pub device_cycles: f64,
+}
+
+impl ExecStats {
+    pub fn add(&mut self, other: &ExecStats) {
+        self.arith_ops += other.arith_ops;
+        self.global_accesses += other.global_accesses;
+        self.global_transactions += other.global_transactions;
+        self.local_accesses += other.local_accesses;
+        self.constant_accesses += other.constant_accesses;
+        self.private_accesses += other.private_accesses;
+        self.barriers += other.barriers;
+        self.work_groups += other.work_groups;
+        self.work_items += other.work_items;
+        self.device_cycles += other.device_cycles;
+    }
+
+    /// Device cycles implied by the counters under `cost`, assuming the
+    /// counters describe `work_groups` homogeneous work-groups spread over
+    /// the machine's compute units.
+    pub fn charge(&mut self, cost: &CostModel) {
+        let serial = self.arith_ops as f64 * cost.arith
+            + self.global_transactions as f64 * cost.global_transaction
+            + self.local_accesses as f64 * cost.local_access
+            + self.constant_accesses as f64 * cost.constant_access
+            + self.private_accesses as f64 * cost.private_access
+            + self.barriers as f64 * cost.barrier;
+        let groups = self.work_groups.max(1) as f64;
+        let waves = (groups / cost.compute_units as f64).ceil();
+        self.device_cycles = serial / groups * waves;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_scales_with_waves() {
+        let cost = CostModel { compute_units: 4, ..CostModel::default() };
+        let mut s = ExecStats { arith_ops: 800, work_groups: 8, ..ExecStats::default() };
+        s.charge(&cost);
+        // 8 groups over 4 CUs = 2 waves; 100 arith per group.
+        assert_eq!(s.device_cycles, 200.0);
+        let mut s1 = ExecStats { arith_ops: 800, work_groups: 4, ..ExecStats::default() };
+        s1.charge(&cost);
+        assert_eq!(s1.device_cycles, 200.0);
+    }
+
+    #[test]
+    fn global_traffic_dominates_defaults() {
+        let cost = CostModel::default();
+        assert!(cost.global_transaction > 8.0 * cost.local_access);
+        assert!(cost.local_access >= cost.arith);
+    }
+}

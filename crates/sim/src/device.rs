@@ -1,0 +1,415 @@
+//! The simulated device: ND-range scheduling of work-groups and work-items
+//! with co-operative barrier semantics.
+
+use crate::cost::{CostModel, ExecStats};
+use crate::interp::{ExecCtx, Stop, WorkItemState};
+use crate::memory::MemoryPool;
+use crate::value::{NdItemVal, RtValue};
+use sycl_mlir_ir::{Module, OpId};
+
+pub use crate::interp::SimError;
+
+/// Launch geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NdRangeSpec {
+    pub global: [i64; 3],
+    pub local: [i64; 3],
+    pub rank: u32,
+}
+
+impl NdRangeSpec {
+    /// 1-dimensional range with an explicit work-group size.
+    pub fn d1(global: i64, local: i64) -> NdRangeSpec {
+        NdRangeSpec { global: [global, 1, 1], local: [local, 1, 1], rank: 1 }
+    }
+
+    /// 2-dimensional square range.
+    pub fn d2(gx: i64, gy: i64, lx: i64, ly: i64) -> NdRangeSpec {
+        NdRangeSpec { global: [gx, gy, 1], local: [lx, ly, 1], rank: 2 }
+    }
+
+    pub fn work_items(&self) -> i64 {
+        self.global[..self.rank as usize].iter().product()
+    }
+
+    pub fn groups(&self) -> [i64; 3] {
+        [
+            self.global[0] / self.local[0].max(1),
+            self.global[1] / self.local[1].max(1),
+            self.global[2] / self.local[2].max(1),
+        ]
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        for d in 0..self.rank as usize {
+            if self.local[d] <= 0 || self.global[d] <= 0 {
+                return Err(SimError { message: format!("non-positive range in dim {d}") });
+            }
+            if self.global[d] % self.local[d] != 0 {
+                return Err(SimError {
+                    message: format!(
+                        "global range {} not divisible by work-group size {} in dim {d}",
+                        self.global[d], self.local[d]
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A simulated GPU.
+#[derive(Clone, Debug, Default)]
+pub struct Device {
+    pub cost: CostModel,
+}
+
+impl Device {
+    pub fn new() -> Device {
+        Device::default()
+    }
+
+    pub fn with_cost(cost: CostModel) -> Device {
+        Device { cost }
+    }
+
+    /// Execute `kernel` over `nd`, mutating `pool`. Returns the dynamic
+    /// execution statistics with [`ExecStats::device_cycles`] charged.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed launches, interpreter errors, or **divergent
+    /// barriers** (some work-items of a group reach a barrier while others
+    /// finish — the deadlock §V-C's uniformity analysis exists to prevent).
+    pub fn launch(
+        &self,
+        m: &Module,
+        kernel: OpId,
+        args: &[RtValue],
+        nd: NdRangeSpec,
+        pool: &mut MemoryPool,
+    ) -> Result<ExecStats, SimError> {
+        launch_kernel(m, kernel, args, nd, pool, &self.cost)
+    }
+}
+
+/// Free-function form of [`Device::launch`].
+pub fn launch_kernel(
+    m: &Module,
+    kernel: OpId,
+    args: &[RtValue],
+    nd: NdRangeSpec,
+    pool: &mut MemoryPool,
+    cost: &CostModel,
+) -> Result<ExecStats, SimError> {
+    nd.validate()?;
+    let groups = nd.groups();
+    let mut ctx = ExecCtx::new(m, pool, cost);
+
+    for g0 in 0..groups[0] {
+        for g1 in 0..groups[1] {
+            for g2 in 0..groups[2] {
+                run_work_group(m, kernel, args, nd, [g0, g1, g2], &mut ctx)?;
+                ctx.next_work_group();
+            }
+        }
+    }
+    let mut stats = ctx.stats;
+    stats.work_groups = (groups[0] * groups[1] * groups[2]) as u64;
+    stats.work_items = nd.work_items() as u64;
+    stats.charge(cost);
+    Ok(stats)
+}
+
+fn run_work_group(
+    m: &Module,
+    kernel: OpId,
+    args: &[RtValue],
+    nd: NdRangeSpec,
+    group: [i64; 3],
+    ctx: &mut ExecCtx<'_>,
+) -> Result<(), SimError> {
+    let mut items: Vec<WorkItemState> = Vec::new();
+    for l0 in 0..nd.local[0] {
+        for l1 in 0..nd.local[1] {
+            for l2 in 0..nd.local[2] {
+                let local_id = [l0, l1, l2];
+                let global_id = [
+                    group[0] * nd.local[0] + l0,
+                    group[1] * nd.local[1] + l1,
+                    group[2] * nd.local[2] + l2,
+                ];
+                let item = NdItemVal {
+                    global_id,
+                    local_id,
+                    group_id: group,
+                    global_range: nd.global,
+                    local_range: nd.local,
+                    rank: nd.rank,
+                };
+                items.push(WorkItemState::new(m, kernel, args, item)?);
+            }
+        }
+    }
+
+    // Co-operative rounds: every live work-item runs to its next barrier or
+    // to completion; mixing the two within a group is a deadlock.
+    loop {
+        let mut barriers = 0_usize;
+        let mut finished = 0_usize;
+        for wi in items.iter_mut() {
+            match wi.run(ctx)? {
+                Stop::Barrier => barriers += 1,
+                Stop::Finished => finished += 1,
+            }
+        }
+        if barriers == 0 {
+            return Ok(());
+        }
+        if finished > 0 {
+            return Err(SimError {
+                message: format!(
+                    "divergent barrier: {barriers} work-items wait at a barrier while {finished} finished (work-group {group:?})"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::DataVec;
+    use crate::value::AccessorVal;
+    use sycl_mlir_dialects::arith::{self, constant_index};
+    use sycl_mlir_dialects::func::{build_func, build_return};
+    use sycl_mlir_ir::{Builder, Context, Module};
+    use sycl_mlir_sycl::device as sdev;
+    use sycl_mlir_sycl::types::{accessor_type, nd_item_type, AccessMode, Target};
+
+    fn ctx() -> Context {
+        let c = Context::new();
+        sycl_mlir_dialects::register_all(&c);
+        sycl_mlir_sycl::register(&c);
+        c
+    }
+
+    fn accessor(mem: crate::memory::MemId, len: i64) -> RtValue {
+        RtValue::Accessor(AccessorVal {
+            mem,
+            range: [len, 1, 1],
+            offset: [0, 0, 0],
+            rank: 1,
+            constant: false,
+        })
+    }
+
+    /// a[i] = a[i] + b[i] over a 1-d range.
+    #[test]
+    fn vector_add_executes() {
+        let c = ctx();
+        let mut m = Module::new(&c);
+        let acc = accessor_type(&c, c.f32_type(), 1, AccessMode::ReadWrite, Target::Global);
+        let nd1 = nd_item_type(&c, 1);
+        let top = m.top();
+        let (func, entry) = build_func(&mut m, top, "vadd", &[acc.clone(), acc, nd1], &[]);
+        sdev::mark_kernel(&mut m, func);
+        let a = m.block_arg(entry, 0);
+        let b_acc = m.block_arg(entry, 1);
+        let item = m.block_arg(entry, 2);
+        {
+            let mut b = Builder::at_end(&mut m, entry);
+            let gid = sdev::global_id(&mut b, item, 0);
+            let va = sdev::load_via_id(&mut b, a, &[gid]);
+            let vb = sdev::load_via_id(&mut b, b_acc, &[gid]);
+            let sum = arith::addf(&mut b, va, vb);
+            sdev::store_via_id(&mut b, sum, a, &[gid]);
+            build_return(&mut b, &[]);
+        }
+        let mut pool = MemoryPool::new();
+        let n = 64_i64;
+        let ma = pool.alloc(DataVec::F32((0..n).map(|i| i as f32).collect()));
+        let mb = pool.alloc(DataVec::F32(vec![10.0; n as usize]));
+        let device = Device::new();
+        let stats = device
+            .launch(&m, func, &[accessor(ma, n), accessor(mb, n)], NdRangeSpec::d1(n, 16), &mut pool)
+            .unwrap();
+        let DataVec::F32(out) = pool.data(ma) else { panic!() };
+        assert_eq!(out[0], 10.0);
+        assert_eq!(out[63], 73.0);
+        assert_eq!(stats.work_items, 64);
+        assert_eq!(stats.work_groups, 4);
+        // Coalescing: 64 f32 loads per array = 16 bytes/lane... 16 lanes *
+        // 4B = 64B = 1 transaction per subgroup: 64/16 per array access
+        // kind; two loaded arrays + 1 store = 3 * 4 = 12 transactions.
+        assert_eq!(stats.global_accesses, 192);
+        assert_eq!(stats.global_transactions, 12);
+        assert!(stats.device_cycles > 0.0);
+    }
+
+    /// Work-group reduction via barrier: each item writes its local id to
+    /// local memory; after a barrier, item 0 sums them.
+    #[test]
+    fn barrier_synchronizes_local_memory() {
+        let c = ctx();
+        let mut m = Module::new(&c);
+        let acc = accessor_type(&c, c.i64_type(), 1, AccessMode::Write, Target::Global);
+        let nd1 = nd_item_type(&c, 1);
+        let top = m.top();
+        let (func, entry) = build_func(&mut m, top, "wg_sum", &[acc, nd1], &[]);
+        sdev::mark_kernel(&mut m, func);
+        let out = m.block_arg(entry, 0);
+        let item = m.block_arg(entry, 1);
+        {
+            let mut b = Builder::at_end(&mut m, entry);
+            let i64t = b.ctx().i64_type();
+            let lid = sdev::local_id(&mut b, item, 0);
+            let gid = sdev::group_id(&mut b, item, 0);
+            let tile = sdev::local_alloca(&mut b, i64t.clone(), &[16]);
+            let lid_i64 = lid; // index == int in the interpreter
+            sycl_mlir_dialects::memref::store(&mut b, lid_i64, tile, &[lid]);
+            let g = sdev::get_group(&mut b, item);
+            sdev::group_barrier(&mut b, g);
+            let zero = constant_index(&mut b, 0);
+            let is_leader = arith::cmpi(&mut b, "eq", lid, zero);
+            sycl_mlir_dialects::scf::build_if(
+                &mut b,
+                is_leader,
+                &[],
+                |inner| {
+                    let z = constant_index(inner, 0);
+                    let n = constant_index(inner, 16);
+                    let one = constant_index(inner, 1);
+                    let init = arith::constant_int(inner, 0, inner.ctx().index_type());
+                    let sum_loop = sycl_mlir_dialects::scf::build_for(
+                        inner,
+                        z,
+                        n,
+                        one,
+                        &[init],
+                        |body, iv, iters| {
+                            let v = sycl_mlir_dialects::memref::load(body, tile, &[iv]);
+                            let s = arith::addi(body, iters[0], v);
+                            vec![s]
+                        },
+                    );
+                    let total = inner.module().op_result(sum_loop, 0);
+                    sdev::store_via_id(inner, total, out, &[gid]);
+                    vec![]
+                },
+                |_| vec![],
+            );
+            build_return(&mut b, &[]);
+        }
+        // The tile uses index type; element type for store is index -> i64 pool.
+        let mut pool = MemoryPool::new();
+        let mo = pool.alloc(DataVec::I64(vec![0; 4]));
+        let device = Device::new();
+        let stats = device
+            .launch(&m, func, &[accessor(mo, 4)], NdRangeSpec::d1(64, 16), &mut pool)
+            .unwrap();
+        let DataVec::I64(out_data) = pool.data(mo) else { panic!() };
+        // Each group sums 0..15 = 120.
+        assert_eq!(out_data, &vec![120; 4]);
+        assert_eq!(stats.barriers, 4 * 16); // every work-item hits it once
+        assert!(stats.local_accesses > 0);
+    }
+
+    /// A barrier under a divergent branch must be detected as a deadlock —
+    /// exactly what §V-C's uniformity analysis guards against.
+    #[test]
+    fn divergent_barrier_detected() {
+        let c = ctx();
+        let mut m = Module::new(&c);
+        let nd1 = nd_item_type(&c, 1);
+        let top = m.top();
+        let (func, entry) = build_func(&mut m, top, "bad", &[nd1], &[]);
+        sdev::mark_kernel(&mut m, func);
+        let item = m.block_arg(entry, 0);
+        {
+            let mut b = Builder::at_end(&mut m, entry);
+            let lid = sdev::local_id(&mut b, item, 0);
+            let zero = constant_index(&mut b, 0);
+            let cond = arith::cmpi(&mut b, "eq", lid, zero);
+            let g = sdev::get_group(&mut b, item);
+            sycl_mlir_dialects::scf::build_if(
+                &mut b,
+                cond,
+                &[],
+                |inner| {
+                    sdev::group_barrier(inner, g);
+                    vec![]
+                },
+                |_| vec![],
+            );
+            build_return(&mut b, &[]);
+        }
+        let mut pool = MemoryPool::new();
+        let device = Device::new();
+        let errv = device
+            .launch(&m, func, &[], NdRangeSpec::d1(16, 16), &mut pool)
+            .unwrap_err();
+        assert!(errv.message.contains("divergent barrier"), "{errv}");
+    }
+
+    /// Uncoalesced (column-striding) accesses cost many more transactions
+    /// than coalesced ones.
+    #[test]
+    fn coalescing_distinguishes_row_and_column_access() {
+        let c = ctx();
+        let n = 16_i64;
+        let build = |by_row: bool| -> (Module, OpId) {
+            let mut m = Module::new(&c);
+            let acc = accessor_type(&c, c.f32_type(), 2, AccessMode::Read, Target::Global);
+            let nd1 = nd_item_type(&c, 1);
+            let top = m.top();
+            let (func, entry) = build_func(&mut m, top, "k", &[acc, nd1], &[]);
+            sdev::mark_kernel(&mut m, func);
+            let a = m.block_arg(entry, 0);
+            let item = m.block_arg(entry, 1);
+            {
+                let mut b = Builder::at_end(&mut m, entry);
+                let gid = sdev::global_id(&mut b, item, 0);
+                let zero = constant_index(&mut b, 0);
+                let idx = if by_row { [zero, gid] } else { [gid, zero] };
+                sdev::load_via_id(&mut b, a, &idx);
+                build_return(&mut b, &[]);
+            }
+            (m, func)
+        };
+        let device = Device::new();
+
+        let (m_row, k_row) = build(true);
+        let mut pool = MemoryPool::new();
+        let ma = pool.alloc(DataVec::F32(vec![0.0; (n * n) as usize]));
+        let acc = RtValue::Accessor(AccessorVal {
+            mem: ma,
+            range: [n, n, 1],
+            offset: [0; 3],
+            rank: 2,
+            constant: false,
+        });
+        let row_stats = device
+            .launch(&m_row, k_row, &[acc], NdRangeSpec::d1(n, 16), &mut pool)
+            .unwrap();
+
+        let (m_col, k_col) = build(false);
+        let mut pool2 = MemoryPool::new();
+        let ma2 = pool2.alloc(DataVec::F32(vec![0.0; (n * n) as usize]));
+        let acc2 = RtValue::Accessor(AccessorVal {
+            mem: ma2,
+            range: [n, n, 1],
+            offset: [0; 3],
+            rank: 2,
+            constant: false,
+        });
+        let col_stats = device
+            .launch(&m_col, k_col, &[acc2], NdRangeSpec::d1(n, 16), &mut pool2)
+            .unwrap();
+
+        // Row access: 16 consecutive f32 = 1 transaction. Column access:
+        // every lane its own segment = 16 transactions.
+        assert_eq!(row_stats.global_transactions, 1);
+        assert_eq!(col_stats.global_transactions, 16);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sycl-mlir-sim — an ND-range GPU simulator executing device MLIR
+//!
+//! The substitute for the paper's Intel Data Center GPU Max 1100 (§VIII):
+//! a simulator that *runs* device kernels through a resumable interpreter
+//! and charges an analytic cost model. It models the parts of the machine
+//! the paper's optimizations act on:
+//!
+//! * an **ND-range execution model** — work-groups of work-items with
+//!   co-operative scheduling around `sycl.group.barrier` (including
+//!   detection of the divergent-barrier deadlock §V-C worries about);
+//! * a **memory hierarchy** — global memory with per-sub-group transaction
+//!   coalescing, fast work-group local memory, private memory and a
+//!   constant cache (for host-propagated constant arrays, §VII-B);
+//! * **launch costs** — a fixed host-side cost plus a per-argument cost
+//!   (the quantity dead-argument elimination reduces) and a one-time JIT
+//!   cost for SSCP-style flows (AdaptiveCpp, §IX).
+//!
+//! Simulated time is deterministic, so the harness needs no warm-up/repeat
+//! protocol; EXPERIMENTS.md documents this deviation from §VIII.
+
+pub mod cost;
+pub mod device;
+pub mod interp;
+pub mod memory;
+pub mod value;
+
+pub use cost::{CostModel, ExecStats};
+pub use device::{launch_kernel, Device, NdRangeSpec, SimError};
+pub use memory::{DataVec, MemId, MemoryPool};
+pub use value::{AccessorVal, MemRefVal, NdItemVal, RtValue, Space};

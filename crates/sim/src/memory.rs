@@ -1,0 +1,158 @@
+//! Device memory: typed buffers addressed by [`MemId`].
+
+use crate::value::RtValue;
+
+/// Handle to one allocation in a [`MemoryPool`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct MemId(pub u32);
+
+/// Typed storage of one allocation.
+#[derive(Clone, Debug)]
+pub enum DataVec {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+}
+
+impl DataVec {
+    pub fn len(&self) -> usize {
+        match self {
+            DataVec::F32(v) => v.len(),
+            DataVec::F64(v) => v.len(),
+            DataVec::I32(v) => v.len(),
+            DataVec::I64(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element size in bytes (drives transaction coalescing).
+    pub fn elem_bytes(&self) -> usize {
+        match self {
+            DataVec::F32(_) | DataVec::I32(_) => 4,
+            DataVec::F64(_) | DataVec::I64(_) => 8,
+        }
+    }
+
+    pub fn get(&self, i: usize) -> RtValue {
+        match self {
+            DataVec::F32(v) => RtValue::F32(v[i]),
+            DataVec::F64(v) => RtValue::F64(v[i]),
+            DataVec::I32(v) => RtValue::Int(v[i] as i64),
+            DataVec::I64(v) => RtValue::Int(v[i]),
+        }
+    }
+
+    pub fn set(&mut self, i: usize, value: RtValue) {
+        match (self, value) {
+            (DataVec::F32(v), RtValue::F32(x)) => v[i] = x,
+            (DataVec::F32(v), RtValue::F64(x)) => v[i] = x as f32,
+            (DataVec::F64(v), RtValue::F64(x)) => v[i] = x,
+            (DataVec::F64(v), RtValue::F32(x)) => v[i] = x as f64,
+            (DataVec::I32(v), RtValue::Int(x)) => v[i] = x as i32,
+            (DataVec::I64(v), RtValue::Int(x)) => v[i] = x,
+            (slot, v) => panic!("type-mismatched store of {v:?} into {slot:?}"),
+        }
+    }
+}
+
+/// All device allocations of one simulation.
+#[derive(Default, Debug)]
+pub struct MemoryPool {
+    buffers: Vec<DataVec>,
+}
+
+impl MemoryPool {
+    pub fn new() -> MemoryPool {
+        MemoryPool::default()
+    }
+
+    /// Allocate and take ownership of `data`.
+    pub fn alloc(&mut self, data: DataVec) -> MemId {
+        let id = MemId(self.buffers.len() as u32);
+        self.buffers.push(data);
+        id
+    }
+
+    /// Allocate a zero-filled buffer of `len` elements shaped like `proto`.
+    pub fn alloc_zeroed_like(&mut self, proto: &DataVec, len: usize) -> MemId {
+        let data = match proto {
+            DataVec::F32(_) => DataVec::F32(vec![0.0; len]),
+            DataVec::F64(_) => DataVec::F64(vec![0.0; len]),
+            DataVec::I32(_) => DataVec::I32(vec![0; len]),
+            DataVec::I64(_) => DataVec::I64(vec![0; len]),
+        };
+        self.alloc(data)
+    }
+
+    /// Allocate zero-filled storage for `len` elements of the MLIR type
+    /// `elem` (f32/f64/i32/i64/index/i1).
+    pub fn alloc_zeroed(&mut self, elem: &sycl_mlir_ir::Type, len: usize) -> MemId {
+        let data = match elem.kind() {
+            sycl_mlir_ir::TypeKind::F32 => DataVec::F32(vec![0.0; len]),
+            sycl_mlir_ir::TypeKind::F64 => DataVec::F64(vec![0.0; len]),
+            sycl_mlir_ir::TypeKind::Int(w) if *w <= 32 => DataVec::I32(vec![0; len]),
+            _ => DataVec::I64(vec![0; len]),
+        };
+        self.alloc(data)
+    }
+
+    pub fn data(&self, id: MemId) -> &DataVec {
+        &self.buffers[id.0 as usize]
+    }
+
+    pub fn data_mut(&mut self, id: MemId) -> &mut DataVec {
+        &mut self.buffers[id.0 as usize]
+    }
+
+    pub fn load(&self, id: MemId, index: i64) -> RtValue {
+        self.buffers[id.0 as usize].get(index as usize)
+    }
+
+    pub fn store(&mut self, id: MemId, index: i64, value: RtValue) {
+        self.buffers[id.0 as usize].set(index as usize, value);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_dtypes() {
+        let mut pool = MemoryPool::new();
+        let f = pool.alloc(DataVec::F32(vec![0.0; 4]));
+        let d = pool.alloc(DataVec::F64(vec![0.0; 4]));
+        let i = pool.alloc(DataVec::I32(vec![0; 4]));
+        let l = pool.alloc(DataVec::I64(vec![0; 4]));
+        pool.store(f, 1, RtValue::F32(1.5));
+        pool.store(d, 2, RtValue::F64(2.5));
+        pool.store(i, 3, RtValue::Int(-7));
+        pool.store(l, 0, RtValue::Int(1 << 40));
+        assert_eq!(pool.load(f, 1), RtValue::F32(1.5));
+        assert_eq!(pool.load(d, 2), RtValue::F64(2.5));
+        assert_eq!(pool.load(i, 3), RtValue::Int(-7));
+        assert_eq!(pool.load(l, 0), RtValue::Int(1 << 40));
+        assert_eq!(pool.data(f).elem_bytes(), 4);
+        assert_eq!(pool.data(l).elem_bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "type-mismatched")]
+    fn mismatched_store_panics() {
+        let mut pool = MemoryPool::new();
+        let f = pool.alloc(DataVec::F32(vec![0.0; 1]));
+        pool.store(f, 0, RtValue::Int(1));
+    }
+}

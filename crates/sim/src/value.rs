@@ -1,0 +1,231 @@
+//! Runtime values flowing through the interpreter.
+
+use crate::memory::MemId;
+
+/// Memory space of a memref view; drives the cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Space {
+    /// Device global memory (accessor-backed).
+    Global,
+    /// Work-group local memory.
+    Local,
+    /// Per-work-item private memory.
+    Private,
+    /// Constant memory (host-propagated constant arrays, §VII-B).
+    Constant,
+}
+
+/// A memref view: a base allocation plus an element offset and a static
+/// shape (rank ≤ 3; `-1` extents only for rank-1 dynamic views).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MemRefVal {
+    pub mem: MemId,
+    pub offset: i64,
+    pub shape: [i64; 3],
+    pub rank: u32,
+    pub space: Space,
+}
+
+impl MemRefVal {
+    /// Row-major linearized element index for `indices`.
+    pub fn linearize(&self, indices: &[i64]) -> i64 {
+        let mut addr = 0;
+        for (d, &i) in indices.iter().enumerate() {
+            let extent = self.shape[d];
+            if extent >= 0 {
+                addr = addr * extent + i;
+            } else {
+                // dynamic rank-1 view
+                addr += i;
+            }
+        }
+        self.offset + addr
+    }
+}
+
+/// An accessor at run time: a window into a global allocation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AccessorVal {
+    pub mem: MemId,
+    /// Full range of the accessor (the buffer range for non-ranged
+    /// accessors).
+    pub range: [i64; 3],
+    /// Access offset (ranged accessors).
+    pub offset: [i64; 3],
+    pub rank: u32,
+    /// Loads served from the constant cache (host-propagated data).
+    pub constant: bool,
+}
+
+impl AccessorVal {
+    /// Element offset of an id within this accessor.
+    pub fn linearize(&self, id: &[i64]) -> i64 {
+        let mut addr = 0;
+        for d in 0..self.rank as usize {
+            addr = addr * self.range[d] + (id[d] + self.offset[d]);
+        }
+        addr
+    }
+}
+
+/// The position bundle handed to a kernel as its `item`/`nd_item` argument.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct NdItemVal {
+    pub global_id: [i64; 3],
+    pub local_id: [i64; 3],
+    pub group_id: [i64; 3],
+    pub global_range: [i64; 3],
+    pub local_range: [i64; 3],
+    pub rank: u32,
+}
+
+impl NdItemVal {
+    pub fn group_range(&self, d: usize) -> i64 {
+        self.global_range[d] / self.local_range[d]
+    }
+
+    /// Linear id of the work-item inside its work-group.
+    pub fn local_linear_id(&self) -> i64 {
+        let mut id = 0;
+        for d in 0..self.rank as usize {
+            id = id * self.local_range[d] + self.local_id[d];
+        }
+        id
+    }
+
+    /// Linear global id.
+    pub fn global_linear_id(&self) -> i64 {
+        let mut id = 0;
+        for d in 0..self.rank as usize {
+            id = id * self.global_range[d] + self.global_id[d];
+        }
+        id
+    }
+}
+
+/// A small fixed-size vector value (`!sycl.id<n>` / `!sycl.range<n>`).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct VecVal {
+    pub data: [i64; 3],
+    pub rank: u32,
+}
+
+/// Any value the interpreter can hold. `Copy` keeps the environment cheap.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum RtValue {
+    /// Integers of any width, `index`, and `i1`.
+    Int(i64),
+    F32(f32),
+    F64(f64),
+    /// `!sycl.id<n>` or `!sycl.range<n>`.
+    Vec(VecVal),
+    /// `!sycl.nd_range<n>`: global + local ranges.
+    NdRange(VecVal, VecVal),
+    MemRef(MemRefVal),
+    Accessor(AccessorVal),
+    /// `!sycl.item<n>` / `!sycl.nd_item<n>` / `!sycl.group<n>`.
+    Item(NdItemVal),
+    /// Opaque host pointer (host code is not executed by this simulator).
+    Ptr(u64),
+    Unit,
+}
+
+impl RtValue {
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            RtValue::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            RtValue::F32(v) => Some(v as f64),
+            RtValue::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            RtValue::Int(v) => Some(v != 0),
+            _ => None,
+        }
+    }
+
+    pub fn as_memref(self) -> Option<MemRefVal> {
+        match self {
+            RtValue::MemRef(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_accessor(self) -> Option<AccessorVal> {
+        match self {
+            RtValue::Accessor(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_item(self) -> Option<NdItemVal> {
+        match self {
+            RtValue::Item(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_vec(self) -> Option<VecVal> {
+        match self {
+            RtValue::Vec(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memref_linearization() {
+        let m = MemRefVal {
+            mem: MemId(0),
+            offset: 10,
+            shape: [4, 8, 1],
+            rank: 2,
+            space: Space::Private,
+        };
+        assert_eq!(m.linearize(&[0, 0]), 10);
+        assert_eq!(m.linearize(&[1, 2]), 10 + 8 + 2);
+        let dynv = MemRefVal { mem: MemId(0), offset: 5, shape: [-1, 1, 1], rank: 1, space: Space::Global };
+        assert_eq!(dynv.linearize(&[7]), 12);
+    }
+
+    #[test]
+    fn accessor_linearization_with_offset() {
+        let a = AccessorVal {
+            mem: MemId(1),
+            range: [8, 8, 1],
+            offset: [1, 2, 0],
+            rank: 2,
+            constant: false,
+        };
+        assert_eq!(a.linearize(&[0, 0]), 8 + 2);
+        assert_eq!(a.linearize(&[3, 4]), (3 + 1) * 8 + 6);
+    }
+
+    #[test]
+    fn nd_item_linear_ids() {
+        let item = NdItemVal {
+            global_id: [3, 5, 0],
+            local_id: [1, 1, 0],
+            group_id: [1, 2, 0],
+            global_range: [8, 8, 1],
+            local_range: [2, 2, 1],
+            rank: 2,
+        };
+        assert_eq!(item.local_linear_id(), 3);
+        assert_eq!(item.global_linear_id(), 29);
+        assert_eq!(item.group_range(0), 4);
+    }
+}

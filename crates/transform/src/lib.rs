@@ -1,0 +1,34 @@
+//! # sycl-mlir-transform — the transformations of §VI and §VII
+//!
+//! Device optimizations (§VI):
+//!
+//! * [`licm`] — loop-invariant code motion that also moves memory
+//!   operations, guarded by loop versioning (§VI-A);
+//! * [`reduction`] — array-reduction detection rewriting memory traffic
+//!   into loop-carried scalars (§VI-B, Listings 4→5);
+//! * [`internalize`] — loop internalization: tiling + local-memory
+//!   prefetch + group barriers (§VI-C, Listings 6→7).
+//!
+//! Host/joint transformations (§VII):
+//!
+//! * [`raise`] — host raising from the `llvm` dialect to `sycl.host.*`
+//!   operations (§VII-A, Listings 8→9);
+//! * [`hostdev`] — host-device constant propagation (ND-range, scalar and
+//!   constant-array arguments, accessor members / buffer identities) and
+//!   SYCL dead-argument elimination (§VII-B).
+//!
+//! Generic clean-up passes live in [`canonicalize`].
+
+pub mod canonicalize;
+pub mod hostdev;
+pub mod internalize;
+pub mod licm;
+pub mod raise;
+pub mod reduction;
+
+pub use canonicalize::{CanonicalizePass, CsePass};
+pub use hostdev::{DeadArgumentEliminationPass, HostDeviceConstantPropagationPass};
+pub use internalize::LoopInternalizationPass;
+pub use licm::LicmPass;
+pub use raise::RaiseHostPass;
+pub use reduction::DetectReductionPass;
