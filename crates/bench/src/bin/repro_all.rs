@@ -7,6 +7,7 @@ use sycl_mlir_bench::{print_table, quick_flag, run_category};
 use sycl_mlir_benchsuite::{geo_mean, Category};
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let quick = quick_flag();
     let fig2 = run_category(Category::SingleKernel, quick);
     let fig3 = run_category(Category::Polybench, quick);
@@ -32,4 +33,15 @@ fn main() {
     println!("\n== Overall (SYCL-Bench: Fig. 2 + Fig. 3) ==");
     println!("SYCL-MLIR geo.-mean over DPC++:  {:.2}x   (paper: 1.18x)", geo_mean(&sm));
     println!("AdaptiveCpp geo.-mean over DPC++: {:.2}x   (paper: 1.13x)", geo_mean(&acpp));
+
+    // Machine-readable wall-time line for the perf trajectory in the
+    // BENCH_*.json harness records. Covers the whole sweep (compilation of
+    // every flow + simulation); simulation dominates and is what the
+    // engine choice moves.
+    let engine = sycl_mlir_bench::device_from_args().engine;
+    println!(
+        "\nrepro_wall_time_seconds: {:.3} (engine: {}, quick: {quick})",
+        t0.elapsed().as_secs_f64(),
+        engine.name()
+    );
 }

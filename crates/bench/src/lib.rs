@@ -13,8 +13,9 @@
 //! protocol collapses to a single measured run per configuration (JIT costs
 //! still land on the AdaptiveCpp "warm-up" and are excluded, like §VIII).
 
-use sycl_mlir_benchsuite::{geo_mean, run_workload, Category, RunResult, WorkloadSpec};
+use sycl_mlir_benchsuite::{geo_mean, run_workload_on, Category, RunResult, WorkloadSpec};
 use sycl_mlir_core::FlowKind;
+use sycl_mlir_sim::{Device, Engine};
 
 /// One row of a speedup table.
 #[derive(Debug, Clone)]
@@ -37,26 +38,29 @@ impl Row {
 }
 
 /// Run every workload of a category; scale factors below 1.0 shrink the
-/// (already scaled) problem sizes further for quick runs.
+/// (already scaled) problem sizes further for quick runs. The engine comes
+/// from the `--engine=tree|plan` flag ([`engine_flag`]) or, absent that,
+/// the device default.
 pub fn run_category(category: Category, quick: bool) -> Vec<Row> {
+    let device = device_from_args();
     let mut rows = Vec::new();
     for w in sycl_mlir_benchsuite::all_workloads() {
         if w.category != category || !w.in_figure {
             continue;
         }
-        rows.push(run_row(&w, quick));
+        rows.push(run_row(&w, quick, &device));
     }
     rows
 }
 
-/// Run a single workload under all three flows.
-pub fn run_row(w: &WorkloadSpec, quick: bool) -> Row {
+/// Run a single workload under all three flows on `device`.
+pub fn run_row(w: &WorkloadSpec, quick: bool, device: &Device) -> Row {
     let size = if quick { quick_size(w) } else { w.scaled_size };
     let mut cycles = [f64::NAN; 3];
     let mut valid = [false; 3];
     for (i, kind) in FlowKind::all().into_iter().enumerate() {
-        match run_workload(w, size, kind) {
-            Ok(RunResult { cycles: c, valid: v, .. }) => {
+        match run_workload_on(w, size, kind, device) {
+            Ok((RunResult { cycles: c, valid: v, .. }, _)) => {
                 cycles[i] = c;
                 valid[i] = v;
             }
@@ -68,7 +72,9 @@ pub fn run_row(w: &WorkloadSpec, quick: bool) -> Row {
     Row { name: w.name, cycles, valid }
 }
 
-fn quick_size(w: &WorkloadSpec) -> i64 {
+/// Quick-mode problem size for a workload (shared with the differential
+/// tests, which sweep every workload at these sizes).
+pub fn quick_size(w: &WorkloadSpec) -> i64 {
     match w.category {
         Category::Polybench => (w.scaled_size / 2).max(32),
         Category::SingleKernel => (w.scaled_size / 4).max(64),
@@ -112,6 +118,33 @@ pub fn print_table(title: &str, rows: &[Row]) {
 /// Parse the shared `--quick` flag.
 pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Parse the shared `--engine=tree|plan` flag. Unknown spellings abort
+/// rather than silently benchmarking the wrong engine.
+pub fn engine_flag() -> Option<Engine> {
+    for arg in std::env::args() {
+        if let Some(value) = arg.strip_prefix("--engine=") {
+            match value {
+                "tree" | "treewalk" | "tree-walk" => return Some(Engine::TreeWalk),
+                "plan" => return Some(Engine::Plan),
+                other => {
+                    eprintln!("error: unknown engine `{other}` (expected `tree` or `plan`)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The device the repro binaries run on: the `--engine` flag wins, then
+/// the `SYCL_MLIR_SIM_ENGINE` environment variable, then the plan engine.
+pub fn device_from_args() -> Device {
+    match engine_flag() {
+        Some(engine) => Device::new().engine(engine),
+        None => Device::new(),
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,8 @@ use sycl_mlir_ir::Module;
 use sycl_mlir_runtime::{Queue, SyclRuntime};
 use sycl_mlir_sim::{Device, ExecStats};
 
+pub use sycl_mlir_sim::Engine;
+
 /// Evaluation category (§VIII).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Category {
@@ -77,7 +79,8 @@ pub struct RunResult {
 }
 
 /// Compile and execute a workload under `kind` at `size`, validating the
-/// results.
+/// results. Runs on the default [`Device`] (the plan engine, unless
+/// overridden via `SYCL_MLIR_SIM_ENGINE`).
 ///
 /// # Errors
 ///
@@ -85,31 +88,47 @@ pub struct RunResult {
 /// reported through [`RunResult::valid`] (that is data, not an error — the
 /// paper plots it as a missing bar).
 pub fn run_workload(spec: &WorkloadSpec, size: i64, kind: FlowKind) -> Result<RunResult, String> {
+    run_workload_on(spec, size, kind, &Device::new()).map(|(result, _)| result)
+}
+
+/// [`run_workload`] with an explicit device (engine selection), returning
+/// the final runtime state alongside the result so callers — the
+/// differential suite in particular — can compare every output buffer
+/// across engines.
+pub fn run_workload_on(
+    spec: &WorkloadSpec,
+    size: i64,
+    kind: FlowKind,
+    device: &Device,
+) -> Result<(RunResult, SyclRuntime), String> {
     if kind == FlowKind::AdaptiveCpp && spec.acpp_fails {
         // Mirrors §VIII: "The validation of results failed for a number of
         // benchmarks with AdaptiveCpp".
-        return Ok(RunResult {
-            cycles: f64::NAN,
-            cold_cycles: f64::NAN,
-            valid: false,
-            stats: ExecStats::default(),
-            compile_notes: vec!["validation failed (per §VIII)".into()],
-        });
+        return Ok((
+            RunResult {
+                cycles: f64::NAN,
+                cold_cycles: f64::NAN,
+                valid: false,
+                stats: ExecStats::default(),
+                compile_notes: vec!["validation failed (per §VIII)".into()],
+            },
+            SyclRuntime::new(),
+        ));
     }
     let mut app = (spec.build)(size);
     let mut program = sycl_mlir_runtime::compile_program(kind, app.module)
         .map_err(|e| format!("{} [{}]: {e}", spec.name, kind.name()))?;
-    let device = Device::new();
-    let report = sycl_mlir_runtime::exec::run(&mut program, &mut app.runtime, &app.queue, &device)
+    let report = sycl_mlir_runtime::exec::run(&mut program, &mut app.runtime, &app.queue, device)
         .map_err(|e| format!("{} [{}]: {e}", spec.name, kind.name()))?;
     let valid = (app.validate)(&app.runtime).is_ok();
-    Ok(RunResult {
+    let result = RunResult {
         cycles: report.measured_cycles(),
         cold_cycles: report.cold_cycles(),
         valid,
         stats: report.total_stats(),
         compile_notes: program.outcome.notes.clone(),
-    })
+    };
+    Ok((result, app.runtime))
 }
 
 /// Geometric mean over positive values.

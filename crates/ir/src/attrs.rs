@@ -9,6 +9,16 @@ use crate::affine::AffineMap;
 use crate::types::Type;
 use std::fmt;
 
+/// Interned attribute key; index into the context's key table.
+///
+/// Operations store their attributes under interned keys, so hot paths (the
+/// simulator's decode stage, CSE, folding) can look attributes up with an
+/// integer compare instead of a string scan. Resolve a key once with
+/// [`crate::Context::attr_key`] and reuse it via
+/// [`crate::Module::attr_by_id`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct AttrKey(pub u32);
+
 /// A compile-time constant value attached to an operation.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Attribute {

@@ -1,7 +1,7 @@
 //! The [`Context`]: interner for types and the registry for dialects,
 //! operations, type parsers and the constant materializer hook.
 
-use crate::attrs::Attribute;
+use crate::attrs::{AttrKey, Attribute};
 use crate::dialect::{Dialect, OpInfo, OpName};
 use crate::module::{BlockId, Module, ValueId};
 use crate::types::{DialectType, DialectTypeImpl, Type, TypeKind};
@@ -23,9 +23,25 @@ struct ContextInner {
     types: RefCell<HashMap<TypeKind, Type>>,
     op_infos: RefCell<Vec<OpInfo>>,
     op_names: RefCell<HashMap<String, OpName>>,
+    attr_keys: RefCell<HashMap<String, AttrKey>>,
+    attr_key_names: RefCell<Vec<Rc<str>>>,
     dialects: RefCell<Vec<&'static str>>,
     type_parsers: RefCell<HashMap<String, TypeParserFn>>,
     materializer: RefCell<Option<ConstantMaterializerFn>>,
+}
+
+/// Pre-interned keys for the attributes every hot path touches. Obtained
+/// from [`Context::common_keys`]; stable for the lifetime of the context.
+#[derive(Clone, Copy, Debug)]
+pub struct CommonKeys {
+    /// `"value"` — constant payloads (`arith.constant`).
+    pub value: AttrKey,
+    /// `"predicate"` — `arith.cmpi`/`arith.cmpf` comparison kind.
+    pub predicate: AttrKey,
+    /// `"callee"` — `func.call` targets.
+    pub callee: AttrKey,
+    /// `"sym_name"` — symbol declarations.
+    pub sym_name: AttrKey,
 }
 
 /// Shared, cheaply clonable compilation context.
@@ -58,13 +74,53 @@ impl Context {
                 types: RefCell::new(HashMap::new()),
                 op_infos: RefCell::new(Vec::new()),
                 op_names: RefCell::new(HashMap::new()),
+                attr_keys: RefCell::new(HashMap::new()),
+                attr_key_names: RefCell::new(Vec::new()),
                 dialects: RefCell::new(Vec::new()),
                 type_parsers: RefCell::new(HashMap::new()),
                 materializer: RefCell::new(None),
             }),
         };
+        // Pre-intern the hot attribute keys so `common_keys` ids are stable
+        // regardless of which dialects get registered later.
+        for key in ["value", "predicate", "callee", "sym_name"] {
+            ctx.attr_key(key);
+        }
         crate::module::register_builtin(&ctx);
         ctx
+    }
+
+    /// Intern an attribute key, returning its stable id.
+    pub fn attr_key(&self, name: &str) -> AttrKey {
+        if let Some(&k) = self.inner.attr_keys.borrow().get(name) {
+            return k;
+        }
+        let mut names = self.inner.attr_key_names.borrow_mut();
+        let k = AttrKey(names.len() as u32);
+        names.push(Rc::from(name));
+        self.inner.attr_keys.borrow_mut().insert(name.to_string(), k);
+        k
+    }
+
+    /// Look up an already-interned attribute key without interning it. An
+    /// absent key means no op in any module of this context carries it.
+    pub fn lookup_attr_key(&self, name: &str) -> Option<AttrKey> {
+        self.inner.attr_keys.borrow().get(name).copied()
+    }
+
+    /// The textual name of an interned attribute key.
+    pub fn attr_key_str(&self, key: AttrKey) -> Rc<str> {
+        self.inner.attr_key_names.borrow()[key.0 as usize].clone()
+    }
+
+    /// Pre-interned ids of the most frequently accessed attribute keys.
+    pub fn common_keys(&self) -> CommonKeys {
+        CommonKeys {
+            value: self.attr_key("value"),
+            predicate: self.attr_key("predicate"),
+            callee: self.attr_key("callee"),
+            sym_name: self.attr_key("sym_name"),
+        }
     }
 
     /// Intern a type; structurally equal kinds yield pointer-equal types.

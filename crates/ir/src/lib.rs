@@ -45,9 +45,9 @@ pub mod types;
 pub mod verifier;
 
 pub use affine::{AffineExpr, AffineMap};
-pub use attrs::Attribute;
+pub use attrs::{AttrKey, Attribute};
 pub use builder::Builder;
-pub use context::Context;
+pub use context::{CommonKeys, Context};
 pub use dialect::{traits, Dialect, Effect, EffectKind, FoldOut, OpInfo, OpName};
 pub use module::{BlockId, Module, OpId, RegionId, Use, ValueDef, ValueId, WalkControl};
 pub use parser::{parse_module, ParseError};

@@ -10,7 +10,7 @@
 //! uses, so queries like "is this loop-invariant" (LICM, §VI-A) and
 //! `replace_all_uses` are cheap.
 
-use crate::attrs::Attribute;
+use crate::attrs::{AttrKey, Attribute};
 use crate::context::Context;
 use crate::dialect::{OpInfo, OpName};
 use crate::types::Type;
@@ -61,7 +61,7 @@ struct OpData {
     name: OpName,
     operands: Vec<ValueId>,
     results: Vec<ValueId>,
-    attrs: Vec<(String, Attribute)>,
+    attrs: Vec<(AttrKey, Attribute)>,
     regions: Vec<RegionId>,
     parent: Option<BlockId>,
     erased: bool,
@@ -166,6 +166,22 @@ impl Module {
         operands: &[ValueId],
         result_types: &[Type],
         attrs: Vec<(String, Attribute)>,
+    ) -> OpId {
+        let interned = attrs
+            .into_iter()
+            .map(|(k, v)| (self.ctx.attr_key(&k), v))
+            .collect();
+        self.create_op_interned(name, operands, result_types, interned)
+    }
+
+    /// Like [`Module::create_op`] but with pre-interned attribute keys
+    /// (e.g. when cloning or rebuilding an existing op's attributes).
+    pub fn create_op_interned(
+        &mut self,
+        name: OpName,
+        operands: &[ValueId],
+        result_types: &[Type],
+        attrs: Vec<(AttrKey, Attribute)>,
     ) -> OpId {
         let op = OpId(self.ops.len() as u32);
         let mut results = Vec::with_capacity(result_types.len());
@@ -312,30 +328,50 @@ impl Module {
         self.ops[op.0 as usize].results[index]
     }
 
-    pub fn op_attrs(&self, op: OpId) -> &[(String, Attribute)] {
+    /// The op's attributes under their interned keys; resolve names with
+    /// [`Module::attr_key_str`].
+    pub fn op_attrs(&self, op: OpId) -> &[(AttrKey, Attribute)] {
         &self.ops[op.0 as usize].attrs
     }
 
     pub fn attr<'a>(&'a self, op: OpId, key: &str) -> Option<&'a Attribute> {
+        let key = self.ctx.lookup_attr_key(key)?;
+        self.attr_by_id(op, key)
+    }
+
+    /// Attribute lookup by pre-interned key — integer compares only; the
+    /// fast path for decode loops and passes that resolve keys once.
+    pub fn attr_by_id(&self, op: OpId, key: AttrKey) -> Option<&Attribute> {
         self.ops[op.0 as usize]
             .attrs
             .iter()
-            .find(|(k, _)| k == key)
+            .find(|(k, _)| *k == key)
             .map(|(_, v)| v)
     }
 
+    /// Textual name of an interned attribute key.
+    pub fn attr_key_str(&self, key: AttrKey) -> std::rc::Rc<str> {
+        self.ctx.attr_key_str(key)
+    }
+
     pub fn set_attr(&mut self, op: OpId, key: &str, value: Attribute) {
+        let key = self.ctx.attr_key(key);
+        self.set_attr_by_id(op, key, value);
+    }
+
+    pub fn set_attr_by_id(&mut self, op: OpId, key: AttrKey, value: Attribute) {
         let attrs = &mut self.ops[op.0 as usize].attrs;
-        if let Some(slot) = attrs.iter_mut().find(|(k, _)| k == key) {
+        if let Some(slot) = attrs.iter_mut().find(|(k, _)| *k == key) {
             slot.1 = value;
         } else {
-            attrs.push((key.to_string(), value));
+            attrs.push((key, value));
         }
     }
 
     pub fn remove_attr(&mut self, op: OpId, key: &str) -> Option<Attribute> {
+        let key = self.ctx.lookup_attr_key(key)?;
         let attrs = &mut self.ops[op.0 as usize].attrs;
-        let pos = attrs.iter().position(|(k, _)| k == key)?;
+        let pos = attrs.iter().position(|(k, _)| *k == key)?;
         Some(attrs.remove(pos).1)
     }
 
@@ -601,7 +637,7 @@ impl Module {
             .map(|&r| self.values[r.0 as usize].ty.clone())
             .collect();
         let attrs = self.ops[op.0 as usize].attrs.clone();
-        let new_op = self.create_op(name, &operands, &result_types, attrs);
+        let new_op = self.create_op_interned(name, &operands, &result_types, attrs);
         for i in 0..result_types.len() {
             let old_r = self.ops[op.0 as usize].results[i];
             let new_r = self.ops[new_op.0 as usize].results[i];

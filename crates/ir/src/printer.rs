@@ -68,7 +68,8 @@ fn print_attr_dict(m: &Module, op: OpId, skip: &[&str], out: &mut String) -> boo
     let attrs: Vec<_> = m
         .op_attrs(op)
         .iter()
-        .filter(|(k, _)| !skip.contains(&k.as_str()))
+        .map(|(k, v)| (m.attr_key_str(*k), v))
+        .filter(|(k, _)| !skip.contains(&&**k))
         .collect();
     if attrs.is_empty() {
         return false;

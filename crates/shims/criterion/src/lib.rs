@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace ships an
+//! API-compatible subset of criterion: `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, and `black_box`. The
+//! measurement protocol is simplified — one warm-up iteration, then
+//! `sample_size` timed iterations reported as min/mean/max — with no plots,
+//! no state directory, and no statistical analysis.
+//!
+//! Running with `--test` (what `cargo test` passes to `harness = false`
+//! targets) executes every benchmark exactly once without timing, so benches
+//! double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility and
+/// ignored (every iteration is set up individually).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 30, test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let (sample_size, test_mode) = (self.sample_size, self.test_mode);
+        run_one(&id.into(), sample_size, test_mode, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, sample_size: usize, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: if test_mode { 1 } else { sample_size },
+        timings: Vec::new(),
+        timed: !test_mode,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {id} ... ok");
+        return;
+    }
+    let n = b.timings.len().max(1);
+    let total: Duration = b.timings.iter().sum();
+    let mean = total / n as u32;
+    let min = b.timings.iter().min().copied().unwrap_or_default();
+    let max = b.timings.iter().max().copied().unwrap_or_default();
+    println!("{id:<48} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]  ({n} samples)");
+}
+
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+    timed: bool,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.timed {
+            black_box(routine()); // warm-up
+        }
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.timings.push(t0.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.timed {
+            black_box(routine(setup())); // warm-up
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.timings.push(t0.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_apis_run() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2).bench_function("f", |b| b.iter(|| calls += 1));
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| 1, |x| x + 1, BatchSize::LargeInput)
+            });
+            g.finish();
+        }
+        assert!(calls >= 1);
+    }
+}

@@ -4,10 +4,50 @@
 use crate::cost::{CostModel, ExecStats};
 use crate::interp::{ExecCtx, Stop, WorkItemState};
 use crate::memory::MemoryPool;
+use crate::plan::{decode_kernel, KernelPlan, PlanCtx, PlanWorkItem};
 use crate::value::{NdItemVal, RtValue};
 use sycl_mlir_ir::{Module, OpId};
 
 pub use crate::interp::SimError;
+
+/// Which execution engine a [`Device`] runs kernels on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// The resumable tree-walk interpreter over the structured IR — the
+    /// reference implementation.
+    TreeWalk,
+    /// The pre-decoded [`KernelPlan`] register-file executor (decodes once
+    /// per launch, then shares the immutable plan across all work-items).
+    /// Falls back to [`Engine::TreeWalk`] for kernels the decoder does not
+    /// understand.
+    Plan,
+}
+
+impl Engine {
+    /// The engine named by the `SYCL_MLIR_SIM_ENGINE` environment variable
+    /// (`"tree"` or `"plan"`); [`Engine::Plan`] when unset. An unrecognized
+    /// value falls back to [`Engine::Plan`] with a warning on stderr, so a
+    /// typo cannot silently masquerade as a tree-walk baseline.
+    pub fn from_env() -> Engine {
+        match std::env::var("SYCL_MLIR_SIM_ENGINE").as_deref() {
+            Ok("tree") | Ok("treewalk") | Ok("tree-walk") => Engine::TreeWalk,
+            Ok("plan") | Err(_) => Engine::Plan,
+            Ok(other) => {
+                eprintln!(
+                    "warning: unknown SYCL_MLIR_SIM_ENGINE `{other}` (expected `tree` or `plan`); using the plan engine"
+                );
+                Engine::Plan
+            }
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::TreeWalk => "tree-walk",
+            Engine::Plan => "plan",
+        }
+    }
+}
 
 /// Launch geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,9 +99,16 @@ impl NdRangeSpec {
 }
 
 /// A simulated GPU.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Device {
     pub cost: CostModel,
+    pub engine: Engine,
+}
+
+impl Default for Device {
+    fn default() -> Device {
+        Device { cost: CostModel::default(), engine: Engine::from_env() }
+    }
 }
 
 impl Device {
@@ -70,11 +117,24 @@ impl Device {
     }
 
     pub fn with_cost(cost: CostModel) -> Device {
-        Device { cost }
+        Device { cost, ..Device::default() }
+    }
+
+    pub fn with_engine(engine: Engine) -> Device {
+        Device { cost: CostModel::default(), engine }
+    }
+
+    pub fn engine(mut self, engine: Engine) -> Device {
+        self.engine = engine;
+        self
     }
 
     /// Execute `kernel` over `nd`, mutating `pool`. Returns the dynamic
     /// execution statistics with [`ExecStats::device_cycles`] charged.
+    ///
+    /// Under [`Engine::Plan`] the kernel is decoded once into a
+    /// [`KernelPlan`] shared by every work-item; kernels the decoder cannot
+    /// handle fall back to the tree-walk interpreter.
     ///
     /// # Errors
     ///
@@ -89,7 +149,14 @@ impl Device {
         nd: NdRangeSpec,
         pool: &mut MemoryPool,
     ) -> Result<ExecStats, SimError> {
-        launch_kernel(m, kernel, args, nd, pool, &self.cost)
+        match self.engine {
+            Engine::TreeWalk => launch_kernel(m, kernel, args, nd, pool, &self.cost),
+            Engine::Plan => match decode_kernel(m, kernel) {
+                Ok(plan) => launch_plan(m, &plan, args, nd, pool, &self.cost),
+                // Reference fallback for non-decodable kernels.
+                Err(_) => launch_kernel(m, kernel, args, nd, pool, &self.cost),
+            },
+        }
     }
 }
 
@@ -121,15 +188,40 @@ pub fn launch_kernel(
     Ok(stats)
 }
 
-fn run_work_group(
+/// Execute a pre-decoded [`KernelPlan`] over `nd` — the [`Engine::Plan`]
+/// launch path. The plan is shared immutably by all work-items; each
+/// work-item owns only its register file and frame stack.
+pub fn launch_plan(
     m: &Module,
-    kernel: OpId,
+    plan: &KernelPlan,
     args: &[RtValue],
     nd: NdRangeSpec,
-    group: [i64; 3],
-    ctx: &mut ExecCtx<'_>,
-) -> Result<(), SimError> {
-    let mut items: Vec<WorkItemState> = Vec::new();
+    pool: &mut MemoryPool,
+    cost: &CostModel,
+) -> Result<ExecStats, SimError> {
+    nd.validate()?;
+    let groups = nd.groups();
+    let mut ctx = ExecCtx::new(m, pool, cost);
+    let mut pctx = PlanCtx::new(plan);
+
+    for g0 in 0..groups[0] {
+        for g1 in 0..groups[1] {
+            for g2 in 0..groups[2] {
+                run_work_group_plan(plan, args, nd, [g0, g1, g2], &mut ctx, &mut pctx)?;
+                ctx.next_work_group();
+                pctx.next_work_group();
+            }
+        }
+    }
+    let mut stats = ctx.stats;
+    stats.work_groups = (groups[0] * groups[1] * groups[2]) as u64;
+    stats.work_items = nd.work_items() as u64;
+    stats.charge(cost);
+    Ok(stats)
+}
+
+fn items_of_group(nd: NdRangeSpec, group: [i64; 3]) -> Vec<NdItemVal> {
+    let mut items = Vec::with_capacity((nd.local[0] * nd.local[1] * nd.local[2]) as usize);
     for l0 in 0..nd.local[0] {
         for l1 in 0..nd.local[1] {
             for l2 in 0..nd.local[2] {
@@ -139,26 +231,49 @@ fn run_work_group(
                     group[1] * nd.local[1] + l1,
                     group[2] * nd.local[2] + l2,
                 ];
-                let item = NdItemVal {
+                items.push(NdItemVal {
                     global_id,
                     local_id,
                     group_id: group,
                     global_range: nd.global,
                     local_range: nd.local,
                     rank: nd.rank,
-                };
-                items.push(WorkItemState::new(m, kernel, args, item)?);
+                });
             }
         }
     }
+    items
+}
 
-    // Co-operative rounds: every live work-item runs to its next barrier or
-    // to completion; mixing the two within a group is a deadlock.
+fn run_work_group_plan(
+    plan: &KernelPlan,
+    args: &[RtValue],
+    nd: NdRangeSpec,
+    group: [i64; 3],
+    ctx: &mut ExecCtx<'_>,
+    pctx: &mut PlanCtx,
+) -> Result<(), SimError> {
+    let mut items: Vec<PlanWorkItem> = items_of_group(nd, group)
+        .into_iter()
+        .map(|item| PlanWorkItem::new(plan, args, item))
+        .collect::<Result<_, _>>()?;
+    cooperative_rounds(&mut items, group, |wi| wi.run(plan, ctx, pctx))
+}
+
+/// Drive a work-group's items in co-operative rounds: every live work-item
+/// runs to its next barrier or to completion; mixing the two within a
+/// group is the divergent-barrier deadlock. Shared by both engines so the
+/// scheduling policy (and its error message) cannot drift between them.
+fn cooperative_rounds<W>(
+    items: &mut [W],
+    group: [i64; 3],
+    mut run: impl FnMut(&mut W) -> Result<Stop, SimError>,
+) -> Result<(), SimError> {
     loop {
         let mut barriers = 0_usize;
         let mut finished = 0_usize;
         for wi in items.iter_mut() {
-            match wi.run(ctx)? {
+            match run(wi)? {
                 Stop::Barrier => barriers += 1,
                 Stop::Finished => finished += 1,
             }
@@ -174,6 +289,21 @@ fn run_work_group(
             });
         }
     }
+}
+
+fn run_work_group(
+    m: &Module,
+    kernel: OpId,
+    args: &[RtValue],
+    nd: NdRangeSpec,
+    group: [i64; 3],
+    ctx: &mut ExecCtx<'_>,
+) -> Result<(), SimError> {
+    let mut items: Vec<WorkItemState> = items_of_group(nd, group)
+        .into_iter()
+        .map(|item| WorkItemState::new(m, kernel, args, item))
+        .collect::<Result<_, _>>()?;
+    cooperative_rounds(&mut items, group, |wi| wi.run(ctx))
 }
 
 #[cfg(test)]

@@ -10,8 +10,8 @@
 use crate::cost::{CostModel, ExecStats};
 use crate::memory::MemoryPool;
 use crate::value::{MemRefVal, NdItemVal, RtValue, Space, VecVal};
-use std::collections::HashMap;
-use sycl_mlir_ir::{Module, OpId, TypeKind, ValueId};
+use std::collections::{HashMap, HashSet};
+use sycl_mlir_ir::{CommonKeys, Module, OpId, TypeKind, ValueId};
 
 /// Why a work-item stopped running.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,22 +45,18 @@ fn err(msg: impl Into<String>) -> SimError {
 pub struct WorkGroupCtx {
     /// `sycl.local.alloca` results shared by the group.
     local_allocs: HashMap<OpId, MemRefVal>,
-    /// Coalescing tracker: (op, instance, subgroup) -> touched segments.
-    segments: HashMap<(u32, u32, u32), Vec<u64>>,
+    /// Coalescing tracker: (site, instance, subgroup) -> touched segments.
+    /// The site is an `OpId` index under the tree-walk engine and a plan
+    /// site id under the plan engine; a launch only ever uses one keying.
+    segments: HashMap<(u32, u32, u32), HashSet<u64>>,
 }
 
 impl WorkGroupCtx {
     /// Record a global access; returns `true` if it opens a new
     /// transaction (a 64-byte segment not yet touched by this sub-group at
     /// this op instance).
-    fn record(&mut self, key: (u32, u32, u32), segment: u64) -> bool {
-        let entry = self.segments.entry(key).or_default();
-        if entry.contains(&segment) {
-            false
-        } else {
-            entry.push(segment);
-            true
-        }
+    pub(crate) fn record(&mut self, key: (u32, u32, u32), segment: u64) -> bool {
+        self.segments.entry(key).or_default().insert(segment)
     }
 }
 
@@ -71,6 +67,9 @@ pub struct ExecCtx<'a> {
     pub cost: &'a CostModel,
     pub stats: ExecStats,
     pub wg: WorkGroupCtx,
+    /// Pre-interned attribute keys (`value`, `predicate`, …), resolved once
+    /// per launch instead of per dynamic op.
+    keys: CommonKeys,
     /// Materialized dense-constant memrefs (`arith.constant` of memref
     /// type), shared per launch.
     const_pool: HashMap<OpId, MemRefVal>,
@@ -84,6 +83,7 @@ impl<'a> ExecCtx<'a> {
             cost,
             stats: ExecStats::default(),
             wg: WorkGroupCtx::default(),
+            keys: m.ctx().common_keys(),
             const_pool: HashMap::new(),
         }
     }
@@ -167,7 +167,7 @@ impl WorkItemState {
     }
 
     fn assign_results(&mut self, m: &Module, op: OpId, vals: &[RtValue]) {
-        for (i, &r) in m.op_results(op).to_vec().iter().enumerate() {
+        for (i, &r) in m.op_results(op).iter().enumerate() {
             self.bind(r, vals[i]);
         }
     }
@@ -238,8 +238,9 @@ impl WorkItemState {
                                 if let Some(Frame::Loop { iv, .. }) = self.frames.last_mut() {
                                     *iv = next;
                                 }
-                                let body = ctx.m.op_region_block(loop_op, 0);
-                                let args = ctx.m.block_args(body).to_vec();
+                                let m = ctx.m;
+                                let body = m.op_region_block(loop_op, 0);
+                                let args = m.block_args(body);
                                 self.bind(args[0], RtValue::Int(next));
                                 for (i, &a) in args[1..].iter().enumerate() {
                                     self.bind(a, vals[i]);
@@ -276,8 +277,9 @@ impl WorkItemState {
                     if lb >= ub {
                         self.assign_results(ctx.m, op, &inits);
                     } else {
-                        let body = ctx.m.op_region_block(op, 0);
-                        let args = ctx.m.block_args(body).to_vec();
+                        let m = ctx.m;
+                        let body = m.op_region_block(op, 0);
+                        let args = m.block_args(body);
                         self.bind(args[0], RtValue::Int(lb));
                         for (i, &a) in args[1..].iter().enumerate() {
                             self.bind(a, inits[i]);
@@ -291,8 +293,9 @@ impl WorkItemState {
                     let callee = sycl_mlir_dialects::func::resolve_callee(ctx.m, op, scope)
                         .ok_or_else(|| err("unresolved call"))?;
                     let args = self.vals(ctx.m, op)?;
-                    let entry = ctx.m.op_region_block(callee, 0);
-                    for (i, &p) in ctx.m.block_args(entry).to_vec().iter().enumerate() {
+                    let m = ctx.m;
+                    let entry = m.op_region_block(callee, 0);
+                    for (i, &p) in m.block_args(entry).iter().enumerate() {
                         self.bind(p, args[i]);
                     }
                     self.frames.push(Frame::Call { op });
@@ -312,7 +315,10 @@ impl WorkItemState {
         let m = ctx.m;
         match name {
             "arith.constant" => {
-                let attr = m.attr(op, "value").ok_or_else(|| err("constant without value"))?.clone();
+                let attr = m
+                    .attr_by_id(op, ctx.keys.value)
+                    .ok_or_else(|| err("constant without value"))?
+                    .clone();
                 let ty = m.value_type(m.op_result(op, 0));
                 let v = match (&attr, ty.kind()) {
                     (sycl_mlir_ir::Attribute::Int(x), _) => RtValue::Int(*x),
@@ -394,7 +400,7 @@ impl WorkItemState {
                 ctx.stats.arith_ops += 1;
                 let l = self.val(m.op_operand(op, 0))?.as_int().ok_or_else(|| err("cmpi on non-int"))?;
                 let r = self.val(m.op_operand(op, 1))?.as_int().ok_or_else(|| err("cmpi on non-int"))?;
-                let pred = m.attr(op, "predicate").and_then(|a| a.as_str()).unwrap_or("eq");
+                let pred = m.attr_by_id(op, ctx.keys.predicate).and_then(|a| a.as_str()).unwrap_or("eq");
                 let out = match pred {
                     "eq" => l == r,
                     "ne" => l != r,
@@ -410,7 +416,7 @@ impl WorkItemState {
                 ctx.stats.arith_ops += 1;
                 let l = self.val(m.op_operand(op, 0))?.as_f64().ok_or_else(|| err("cmpf on non-float"))?;
                 let r = self.val(m.op_operand(op, 1))?.as_f64().ok_or_else(|| err("cmpf on non-float"))?;
-                let pred = m.attr(op, "predicate").and_then(|a| a.as_str()).unwrap_or("eq");
+                let pred = m.attr_by_id(op, ctx.keys.predicate).and_then(|a| a.as_str()).unwrap_or("eq");
                 let out = match pred {
                     "eq" => l == r,
                     "ne" => l != r,
@@ -743,7 +749,7 @@ impl WorkItemState {
     }
 }
 
-fn enclosing_module(m: &Module, op: OpId) -> OpId {
+pub(crate) fn enclosing_module(m: &Module, op: OpId) -> OpId {
     let mut cur = op;
     while let Some(p) = m.op_parent_op(cur) {
         if m.op_is(p, "builtin.module") {

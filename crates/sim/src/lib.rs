@@ -17,14 +17,59 @@
 //!
 //! Simulated time is deterministic, so the harness needs no warm-up/repeat
 //! protocol; EXPERIMENTS.md documents this deviation from §VIII.
+//!
+//! ## Two execution engines
+//!
+//! The simulator ships two interchangeable engines behind
+//! [`device::Engine`]:
+//!
+//! * **Tree walk** ([`interp`]) — the reference implementation. A resumable
+//!   interpreter directly over the structured IR: an explicit frame stack
+//!   per work-item, `ValueId`-indexed environment, string-dispatched
+//!   opcodes. Simple, obviously faithful to the IR, and the behavioural
+//!   baseline every optimization is differentially tested against.
+//! * **Plan** ([`plan`]) — the fast path and the default. A **decode
+//!   stage** runs once per launch and lowers the kernel (plus transitively
+//!   called functions) into a [`KernelPlan`]: a flat `Vec` of integer-opcode
+//!   instructions with operands pre-resolved to dense per-function register
+//!   slots, constants pre-materialized, `cmpi`/`cmpf` predicates and
+//!   dimension operands pre-parsed, call targets pre-resolved, and
+//!   `scf.for`/`scf.if` lowered to explicit jump/loop instructions.
+//!
+//! **Register allocation** is per function: every SSA value (block argument
+//! or op result) receives a dense slot at decode time, and each call frame
+//! owns a contiguous window of one flat `Vec<RtValue>` register file —
+//! loop back-edges and operand reads are array indexing, no hashing and no
+//! allocation.
+//!
+//! **Threading model of a shared plan:** the decoded [`KernelPlan`] is
+//! immutable and shared by reference across all work-items and all
+//! work-groups of a launch (and would be trivially `Sync` but for the
+//! interned `Type` handles it carries). All mutable state lives outside
+//! the plan: each work-item owns its register file, frame stack and
+//! per-site visit counters; per-launch caches (dense-constant
+//! materializations) and per-work-group state (`sycl.local.alloca`
+//! results, the coalescing tracker) live in the launch context objects.
+//! Work-items of a group are co-operatively scheduled between barrier
+//! points exactly as under the tree-walk engine.
+//!
+//! Kernels the decoder does not understand fall back to the tree walk, so
+//! the plan engine never has to be complete to be correct. The
+//! differential suite (`tests/differential.rs`) holds the two engines to
+//! bit-identical outputs, statistics and cycle counts over the entire
+//! benchsuite; `cargo bench -p sycl-mlir-bench --bench engines` measures
+//! the speedup (order-of-magnitude on loop-heavy kernels, ~6.5x on the
+//! full `repro_all --quick` sweep).
 
 pub mod cost;
 pub mod device;
 pub mod interp;
 pub mod memory;
+pub mod plan;
 pub mod value;
 
 pub use cost::{CostModel, ExecStats};
-pub use device::{launch_kernel, Device, NdRangeSpec, SimError};
+pub use device::{launch_kernel, launch_plan, Device, Engine, NdRangeSpec, SimError};
 pub use memory::{DataVec, MemId, MemoryPool};
+pub use plan::{decode_kernel, DecodeError, KernelPlan};
 pub use value::{AccessorVal, MemRefVal, NdItemVal, RtValue, Space};

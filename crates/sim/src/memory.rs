@@ -7,7 +7,7 @@ use crate::value::RtValue;
 pub struct MemId(pub u32);
 
 /// Typed storage of one allocation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DataVec {
     F32(Vec<f32>),
     F64(Vec<f64>),

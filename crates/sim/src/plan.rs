@@ -1,0 +1,1513 @@
+//! Pre-decoded kernel execution plans: a register-file bytecode shared by
+//! every work-item of a launch.
+//!
+//! The tree-walk interpreter in [`crate::interp`] re-resolves *everything*
+//! on every step of every work-item: op names through `Rc<str>` string
+//! dispatch, operands through `ValueId` environment lookups, attributes
+//! through linear key scans, and loop re-entry through fresh `to_vec()`
+//! allocations. A launch touching millions of dynamic ops pays those costs
+//! millions of times for structure that never changes.
+//!
+//! This module lowers the structured IR of a kernel (and its callees)
+//! **once per launch** into a [`KernelPlan`]:
+//!
+//! * every operation becomes an [`Instr`] — a plain Rust enum with an
+//!   integer opcode, no strings anywhere on the execution path;
+//! * every SSA value gets a dense **register slot**, assigned per function
+//!   at decode time; work-items execute against a flat `Vec<RtValue>`
+//!   register file instead of a `ValueId`-keyed environment;
+//! * constants are pre-materialized ([`Instr::Const`]), `cmpi`/`cmpf`
+//!   predicates and dimension operands are pre-parsed, and `func.call`
+//!   targets are pre-resolved to plan-internal function indices;
+//! * `scf.for`/`scf.if` structure is lowered to explicit jump and loop
+//!   instructions ([`Instr::ForEnter`]/[`Instr::ForNext`]/
+//!   [`Instr::BranchIfFalse`]), so loop back-edges are two integer ops.
+//!
+//! The plan is immutable and shared by reference across all work-items and
+//! work-groups of the launch. Decoding is itself string-free on the hot
+//! path: a [`OpKindTable`] maps interned [`OpName`] ids to opcodes once per
+//! decode, and attribute keys are resolved through the pre-interned
+//! [`sycl_mlir_ir::CommonKeys`].
+//!
+//! Any op the decoder does not understand aborts the decode with
+//! [`DecodeError`]; the device then falls back to the tree-walk reference
+//! interpreter, which stays behaviourally authoritative (the differential
+//! suite in `tests/differential.rs` holds the two engines bit-identical).
+
+use crate::interp::{enclosing_module, ExecCtx, SimError, Stop};
+use crate::memory::DataVec;
+use crate::value::{MemRefVal, NdItemVal, RtValue, Space, VecVal};
+use std::collections::HashMap;
+use sycl_mlir_ir::{Attribute, Module, OpId, OpName, Type, TypeKind, ValueId};
+
+/// Dense register slot within one function frame.
+pub type Reg = u32;
+
+fn err(msg: impl Into<String>) -> SimError {
+    SimError { message: msg.into() }
+}
+
+/// Why a kernel could not be decoded (the caller falls back to the
+/// tree-walk interpreter).
+#[derive(Debug, Clone)]
+pub struct DecodeError {
+    pub message: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan decode error: {}", self.message)
+    }
+}
+
+fn dec_err(msg: impl Into<String>) -> DecodeError {
+    DecodeError { message: msg.into() }
+}
+
+// ----------------------------------------------------------------------
+// Instruction set
+// ----------------------------------------------------------------------
+
+/// Integer binary ops (`arith.addi` family).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntBin {
+    Add,
+    Sub,
+    Mul,
+    DivS,
+    RemS,
+    And,
+    Or,
+    Xor,
+    MinS,
+    MaxS,
+}
+
+/// Float binary ops (`arith.addf` family).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FloatBin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+/// Pre-parsed `arith.cmpi`/`arith.cmpf` predicate. Mirrors the tree-walk
+/// interpreter: a missing attribute means `Eq`, an unknown spelling `Sge`.
+#[derive(Clone, Copy, Debug)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+}
+
+impl CmpPred {
+    fn of_attr(attr: Option<&Attribute>) -> CmpPred {
+        match attr.and_then(|a| a.as_str()).unwrap_or("eq") {
+            "eq" => CmpPred::Eq,
+            "ne" => CmpPred::Ne,
+            "slt" => CmpPred::Slt,
+            "sle" => CmpPred::Sle,
+            "sgt" => CmpPred::Sgt,
+            _ => CmpPred::Sge,
+        }
+    }
+
+    #[inline]
+    fn eval_int(self, l: i64, r: i64) -> bool {
+        match self {
+            CmpPred::Eq => l == r,
+            CmpPred::Ne => l != r,
+            CmpPred::Slt => l < r,
+            CmpPred::Sle => l <= r,
+            CmpPred::Sgt => l > r,
+            CmpPred::Sge => l >= r,
+        }
+    }
+
+    #[inline]
+    fn eval_float(self, l: f64, r: f64) -> bool {
+        match self {
+            CmpPred::Eq => l == r,
+            CmpPred::Ne => l != r,
+            CmpPred::Slt => l < r,
+            CmpPred::Sle => l <= r,
+            CmpPred::Sgt => l > r,
+            CmpPred::Sge => l >= r,
+        }
+    }
+}
+
+/// `math.*` unary functions, plus `powf`, resolved at decode time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MathOp {
+    Sqrt,
+    Exp,
+    Log,
+    Absf,
+    Sin,
+    Cos,
+    Floor,
+    Rsqrt,
+    Powf,
+}
+
+/// A dimension operand: pre-folded to a constant when its defining op is an
+/// integer constant (the overwhelmingly common case), otherwise read from a
+/// register at run time.
+#[derive(Clone, Copy, Debug)]
+pub enum DimSrc {
+    Const(u8),
+    Reg(Reg),
+}
+
+/// Work-item position queries with a dimension operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemQ {
+    GlobalId,
+    LocalId,
+    GroupId,
+    GlobalRange,
+    LocalRange,
+    GroupRange,
+}
+
+/// One decoded instruction. Operands are register slots; `pc` targets are
+/// indices into the owning [`FuncPlan::code`].
+#[derive(Clone, Debug)]
+pub enum Instr {
+    /// Pre-materialized scalar constant.
+    Const { dst: Reg, val: RtValue },
+    /// Dense-data constant memref, materialized once per launch into the
+    /// pool and cached in [`PlanCtx::dense_cache`] under `idx`.
+    ConstDense { dst: Reg, idx: u32 },
+    Copy { dst: Reg, src: Reg },
+    BinInt { op: IntBin, dst: Reg, l: Reg, r: Reg },
+    BinFloat { op: FloatBin, dst: Reg, l: Reg, r: Reg, f32_out: bool },
+    NegF { dst: Reg, x: Reg },
+    CmpI { pred: CmpPred, dst: Reg, l: Reg, r: Reg },
+    CmpF { pred: CmpPred, dst: Reg, l: Reg, r: Reg },
+    Select { dst: Reg, c: Reg, t: Reg, f: Reg },
+    SiToFp { dst: Reg, x: Reg, f32_out: bool },
+    FpToSi { dst: Reg, x: Reg },
+    TruncF { dst: Reg, x: Reg },
+    ExtF { dst: Reg, x: Reg },
+    Math { op: MathOp, dst: Reg, x: Reg, y: Reg, f32_out: bool },
+    /// Per-work-item private allocation (fresh storage on every execution,
+    /// like the tree-walk interpreter).
+    Alloca { dst: Reg, elem: Type, shape: [i64; 3], rank: u32, len: usize },
+    /// Work-group-shared allocation, cached per `site` in the group ctx.
+    LocalAlloca { dst: Reg, site: u32, elem: Type, shape: [i64; 3], rank: u32, len: usize },
+    Load { dst: Reg, mem: Reg, idx: [Reg; 3], rank: u8, site: u32 },
+    Store { val: Reg, mem: Reg, idx: [Reg; 3], rank: u8, site: u32 },
+    VecCtor { dst: Reg, comps: [Reg; 3], rank: u8 },
+    NdRangeCtor { dst: Reg, g: Reg, l: Reg },
+    VecGet { dst: Reg, v: Reg, dim: DimSrc },
+    RangeSize { dst: Reg, v: Reg },
+    ItemQuery { dst: Reg, q: ItemQ, dim: DimSrc },
+    GlobalLinearId { dst: Reg },
+    LocalLinearId { dst: Reg },
+    /// `sycl.nd_item.get_group`: the item value itself.
+    ItemSelf { dst: Reg },
+    AccSubscript { dst: Reg, acc: Reg, id: Reg },
+    AccRange { dst: Reg, acc: Reg, dim: DimSrc },
+    AccBase { dst: Reg, acc: Reg },
+    Barrier,
+    Jump { target: u32 },
+    /// `scf.if` dispatch: falls through into the then-arm, jumps to
+    /// `target` (the else-arm) on a false condition.
+    BranchIfFalse { cond: Reg, target: u32 },
+    /// Loop entry: validates the step, sets `iv := lb` and jumps to
+    /// `exit` when the trip count is zero.
+    ForEnter { lb: Reg, ub: Reg, step: Reg, iv: Reg, exit: u32 },
+    /// Loop back-edge: `iv += step`, jumping to `body` while `iv < ub`.
+    ForNext { iv: Reg, step: Reg, ub: Reg, body: u32 },
+    Call { func: u32, args: Box<[Reg]>, results: Box<[Reg]> },
+    Return { vals: Box<[Reg]> },
+}
+
+// ----------------------------------------------------------------------
+// Plans
+// ----------------------------------------------------------------------
+
+/// One decoded function: flat code plus its register-file size.
+#[derive(Debug)]
+pub struct FuncPlan {
+    pub code: Vec<Instr>,
+    pub reg_count: u32,
+    /// Registers of the entry block's parameters (kernel arguments for the
+    /// entry function, call parameters otherwise).
+    pub params: Vec<Reg>,
+    /// Whether the trailing parameter is the SYCL item (kernels only).
+    pub has_item_param: bool,
+}
+
+/// A dense-constant template, cloned into the pool on first use.
+#[derive(Debug)]
+pub struct DenseConst {
+    pub data: DataVec,
+    pub shape: [i64; 3],
+    pub rank: u32,
+}
+
+/// The immutable decode of one kernel launch: the kernel function at index
+/// 0 plus every transitively called function.
+#[derive(Debug)]
+pub struct KernelPlan {
+    pub funcs: Vec<FuncPlan>,
+    pub dense_consts: Vec<DenseConst>,
+    /// Number of memory-access sites (load/store instrs) across all
+    /// functions; sizes the per-work-item visit counters that feed the
+    /// coalescing tracker.
+    pub mem_sites: u32,
+    /// Number of `sycl.local.alloca` sites across all functions.
+    pub local_sites: u32,
+}
+
+// ----------------------------------------------------------------------
+// Opcode table: interned-OpName dispatch for the decoder
+// ----------------------------------------------------------------------
+
+/// Decoder-level opcode of a source operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpKind {
+    Constant,
+    IntBin(IntBin),
+    FloatBin(FloatBin),
+    NegF,
+    CmpI,
+    CmpF,
+    Select,
+    CopyCast,
+    SiToFp,
+    FpToSi,
+    TruncF,
+    ExtF,
+    Math(MathOp),
+    Alloca,
+    LocalAlloca,
+    Load,
+    Store,
+    MemRefCast,
+    IdCtor,
+    NdRangeCtor,
+    VecGet,
+    RangeSize,
+    Item(ItemQ),
+    GlobalLinearId,
+    LocalLinearId,
+    ItemSelf,
+    AccSubscript,
+    AccRange,
+    AccBase,
+    Undef,
+    Barrier,
+    If,
+    For,
+    Call,
+    Return,
+    Yield,
+}
+
+/// Maps interned [`OpName`] ids to decoder opcodes. Built once per decode
+/// from the context's registry — after construction, dispatch is a single
+/// integer-keyed hash lookup and the decoder never touches an op-name
+/// string.
+struct OpKindTable {
+    map: HashMap<OpName, OpKind>,
+}
+
+impl OpKindTable {
+    fn new(m: &Module) -> OpKindTable {
+        use OpKind::*;
+        let entries: &[(&str, OpKind)] = &[
+            ("arith.constant", Constant),
+            ("arith.addi", IntBin(self::IntBin::Add)),
+            ("arith.subi", IntBin(self::IntBin::Sub)),
+            ("arith.muli", IntBin(self::IntBin::Mul)),
+            ("arith.divsi", IntBin(self::IntBin::DivS)),
+            ("arith.remsi", IntBin(self::IntBin::RemS)),
+            ("arith.andi", IntBin(self::IntBin::And)),
+            ("arith.ori", IntBin(self::IntBin::Or)),
+            ("arith.xori", IntBin(self::IntBin::Xor)),
+            ("arith.minsi", IntBin(self::IntBin::MinS)),
+            ("arith.maxsi", IntBin(self::IntBin::MaxS)),
+            ("arith.addf", FloatBin(self::FloatBin::Add)),
+            ("arith.subf", FloatBin(self::FloatBin::Sub)),
+            ("arith.mulf", FloatBin(self::FloatBin::Mul)),
+            ("arith.divf", FloatBin(self::FloatBin::Div)),
+            ("arith.minf", FloatBin(self::FloatBin::Min)),
+            ("arith.maxf", FloatBin(self::FloatBin::Max)),
+            ("arith.negf", NegF),
+            ("arith.cmpi", CmpI),
+            ("arith.cmpf", CmpF),
+            ("arith.select", Select),
+            ("arith.index_cast", CopyCast),
+            ("arith.extsi", CopyCast),
+            ("arith.trunci", CopyCast),
+            ("arith.sitofp", SiToFp),
+            ("arith.fptosi", FpToSi),
+            ("arith.truncf", TruncF),
+            ("arith.extf", ExtF),
+            ("math.sqrt", Math(MathOp::Sqrt)),
+            ("math.exp", Math(MathOp::Exp)),
+            ("math.log", Math(MathOp::Log)),
+            ("math.absf", Math(MathOp::Absf)),
+            ("math.sin", Math(MathOp::Sin)),
+            ("math.cos", Math(MathOp::Cos)),
+            ("math.floor", Math(MathOp::Floor)),
+            ("math.rsqrt", Math(MathOp::Rsqrt)),
+            ("math.powf", Math(MathOp::Powf)),
+            ("memref.alloca", Alloca),
+            ("sycl.local.alloca", LocalAlloca),
+            ("memref.load", Load),
+            ("affine.load", Load),
+            ("memref.store", Store),
+            ("affine.store", Store),
+            ("memref.cast", MemRefCast),
+            ("sycl.id.constructor", IdCtor),
+            ("sycl.range.constructor", IdCtor),
+            ("sycl.nd_range.constructor", NdRangeCtor),
+            ("sycl.id.get", VecGet),
+            ("sycl.range.get", VecGet),
+            ("sycl.range.size", RangeSize),
+            ("sycl.item.get_id", Item(ItemQ::GlobalId)),
+            ("sycl.nd_item.get_global_id", Item(ItemQ::GlobalId)),
+            ("sycl.nd_item.get_local_id", Item(ItemQ::LocalId)),
+            ("sycl.nd_item.get_group_id", Item(ItemQ::GroupId)),
+            ("sycl.group.get_id", Item(ItemQ::GroupId)),
+            ("sycl.item.get_range", Item(ItemQ::GlobalRange)),
+            ("sycl.nd_item.get_global_range", Item(ItemQ::GlobalRange)),
+            ("sycl.nd_item.get_local_range", Item(ItemQ::LocalRange)),
+            ("sycl.group.get_local_range", Item(ItemQ::LocalRange)),
+            ("sycl.nd_item.get_group_range", Item(ItemQ::GroupRange)),
+            ("sycl.item.get_linear_id", GlobalLinearId),
+            ("sycl.nd_item.get_global_linear_id", GlobalLinearId),
+            ("sycl.nd_item.get_local_linear_id", LocalLinearId),
+            ("sycl.nd_item.get_group", ItemSelf),
+            ("sycl.accessor.subscript", AccSubscript),
+            ("sycl.accessor.get_range", AccRange),
+            ("sycl.accessor.base", AccBase),
+            ("llvm.undef", Undef),
+            ("sycl.group.barrier", Barrier),
+            ("scf.if", If),
+            ("scf.for", For),
+            ("affine.for", For),
+            ("func.call", Call),
+            ("func.return", Return),
+            ("scf.yield", Yield),
+            ("affine.yield", Yield),
+        ];
+        let ctx = m.ctx();
+        let mut map = HashMap::with_capacity(entries.len());
+        for (name, kind) in entries {
+            // Unregistered dialects simply cannot appear in the module.
+            if let Some(id) = ctx.lookup_op(name) {
+                map.insert(id, *kind);
+            }
+        }
+        OpKindTable { map }
+    }
+
+    #[inline]
+    fn get(&self, name: OpName) -> Option<OpKind> {
+        self.map.get(&name).copied()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Decoder
+// ----------------------------------------------------------------------
+
+struct Decoder<'a> {
+    m: &'a Module,
+    kinds: OpKindTable,
+    keys: sycl_mlir_ir::CommonKeys,
+    /// Decoded functions (index 0 = the kernel) and the queue of source
+    /// functions still to decode.
+    funcs: Vec<FuncPlan>,
+    func_ids: HashMap<OpId, u32>,
+    pending: Vec<OpId>,
+    dense_consts: Vec<DenseConst>,
+    dense_ids: HashMap<OpId, u32>,
+    mem_sites: u32,
+    local_sites: u32,
+}
+
+/// Per-function decode state: the value→register map and emitted code.
+struct FuncDecode {
+    regs: HashMap<ValueId, Reg>,
+    next_reg: Reg,
+    code: Vec<Instr>,
+}
+
+impl FuncDecode {
+    fn reg_of(&mut self, v: ValueId) -> Reg {
+        *self.regs.entry(v).or_insert_with(|| {
+            let r = self.next_reg;
+            self.next_reg += 1;
+            r
+        })
+    }
+
+    fn fresh(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn pc(&self) -> u32 {
+        self.code.len() as u32
+    }
+}
+
+/// Decode `kernel` (and its callees) into an immutable [`KernelPlan`].
+pub fn decode_kernel(m: &Module, kernel: OpId) -> Result<KernelPlan, DecodeError> {
+    let mut d = Decoder {
+        m,
+        kinds: OpKindTable::new(m),
+        keys: m.ctx().common_keys(),
+        funcs: Vec::new(),
+        func_ids: HashMap::new(),
+        pending: Vec::new(),
+        dense_consts: Vec::new(),
+        dense_ids: HashMap::new(),
+        mem_sites: 0,
+        local_sites: 0,
+    };
+    d.func_id(kernel);
+    while let Some(f) = d.pending.pop() {
+        let plan = d.decode_func(f)?;
+        let idx = d.func_ids[&f] as usize;
+        d.funcs[idx] = plan;
+    }
+    Ok(KernelPlan {
+        funcs: d.funcs,
+        dense_consts: d.dense_consts,
+        mem_sites: d.mem_sites,
+        local_sites: d.local_sites,
+    })
+}
+
+impl<'a> Decoder<'a> {
+    /// Plan-internal id for a source function, queueing it for decoding on
+    /// first reference.
+    fn func_id(&mut self, f: OpId) -> u32 {
+        if let Some(&id) = self.func_ids.get(&f) {
+            return id;
+        }
+        let id = self.funcs.len() as u32;
+        self.func_ids.insert(f, id);
+        // Placeholder; patched when the pending queue drains.
+        self.funcs.push(FuncPlan {
+            code: Vec::new(),
+            reg_count: 0,
+            params: Vec::new(),
+            has_item_param: false,
+        });
+        self.pending.push(f);
+        id
+    }
+
+    fn decode_func(&mut self, func: OpId) -> Result<FuncPlan, DecodeError> {
+        let m = self.m;
+        let entry = m.op_region_block(func, 0);
+        let mut fd = FuncDecode { regs: HashMap::new(), next_reg: 0, code: Vec::new() };
+        let params: Vec<Reg> = m.block_args(entry).iter().map(|&a| fd.reg_of(a)).collect();
+        let has_item_param = m
+            .block_args(entry)
+            .last()
+            .map(|&p| sycl_mlir_sycl::types::is_item_like(&m.value_type(p)))
+            .unwrap_or(false);
+        self.decode_block(&mut fd, entry)?;
+        // A body that falls off the end without a terminator behaves like a
+        // void return (mirrors the tree-walk frame pop).
+        fd.code.push(Instr::Return { vals: Box::new([]) });
+        Ok(FuncPlan { code: fd.code, reg_count: fd.next_reg, params, has_item_param })
+    }
+
+    /// Decode every op of `block` into `fd.code`. Yields terminate decoding
+    /// of the block and are handled by the enclosing structure's decoder.
+    fn decode_block(&mut self, fd: &mut FuncDecode, block: sycl_mlir_ir::BlockId) -> Result<(), DecodeError> {
+        let m = self.m;
+        for &op in m.block_ops(block) {
+            let kind = self
+                .kinds
+                .get(m.op_name(op))
+                .ok_or_else(|| dec_err(format!("op `{}` is not plan-decodable", m.op_name_str(op))))?;
+            self.decode_op(fd, op, kind)?;
+        }
+        Ok(())
+    }
+
+    fn operand_reg(&self, fd: &mut FuncDecode, op: OpId, index: usize) -> Reg {
+        fd.reg_of(self.m.op_operand(op, index))
+    }
+
+    fn result_reg(&self, fd: &mut FuncDecode, op: OpId) -> Reg {
+        fd.reg_of(self.m.op_result(op, 0))
+    }
+
+    /// A dimension operand: folded to `DimSrc::Const` when it is a
+    /// compile-time integer constant.
+    fn dim_src(&self, fd: &mut FuncDecode, op: OpId) -> DimSrc {
+        let v = self.m.op_operand(op, 1);
+        if let Some(def) = self.m.def_op(v) {
+            if self.kinds.get(self.m.op_name(def)) == Some(OpKind::Constant) {
+                if let Some(Attribute::Int(d)) = self.m.attr_by_id(def, self.keys.value) {
+                    if (0..3).contains(d) {
+                        return DimSrc::Const(*d as u8);
+                    }
+                }
+            }
+        }
+        DimSrc::Reg(fd.reg_of(v))
+    }
+
+    fn index_regs(&self, fd: &mut FuncDecode, op: OpId, from: usize) -> Result<([Reg; 3], u8), DecodeError> {
+        let operands = self.m.op_operands(op);
+        let n = operands.len() - from;
+        if n > 3 {
+            return Err(dec_err("more than 3 index operands"));
+        }
+        let mut idx = [0 as Reg; 3];
+        for (i, &v) in operands[from..].iter().enumerate() {
+            idx[i] = fd.reg_of(v);
+        }
+        Ok((idx, n as u8))
+    }
+
+    /// Copy `srcs` into `dsts` with parallel-copy semantics: when a source
+    /// register is also a destination (loop-carried swaps), route through
+    /// fresh scratch registers.
+    fn emit_parallel_copy(&self, fd: &mut FuncDecode, dsts: &[Reg], srcs: &[Reg]) {
+        let overlap = srcs.iter().any(|s| dsts.contains(s));
+        if overlap {
+            let scratch: Vec<Reg> = srcs.iter().map(|_| fd.fresh()).collect();
+            for (&t, &s) in scratch.iter().zip(srcs) {
+                fd.code.push(Instr::Copy { dst: t, src: s });
+            }
+            for (&d, &t) in dsts.iter().zip(&scratch) {
+                fd.code.push(Instr::Copy { dst: d, src: t });
+            }
+        } else {
+            for (&d, &s) in dsts.iter().zip(srcs) {
+                if d != s {
+                    fd.code.push(Instr::Copy { dst: d, src: s });
+                }
+            }
+        }
+    }
+
+    /// The yield operand registers of `block`'s terminator (which must be a
+    /// yield for structured regions).
+    fn yield_regs(&self, fd: &mut FuncDecode, block: sycl_mlir_ir::BlockId) -> Result<Vec<Reg>, DecodeError> {
+        let m = self.m;
+        let term = m
+            .block_terminator(block)
+            .ok_or_else(|| dec_err("structured region block has no terminator"))?;
+        match self.kinds.get(m.op_name(term)) {
+            Some(OpKind::Yield) => Ok(m.op_operands(term).iter().map(|&v| fd.reg_of(v)).collect()),
+            _ => Err(dec_err("structured region does not end in a yield")),
+        }
+    }
+
+    /// Decode the ops of a structured-region block, stopping before the
+    /// trailing yield (the caller wires the yield's copies).
+    fn decode_region_body(&mut self, fd: &mut FuncDecode, block: sycl_mlir_ir::BlockId) -> Result<(), DecodeError> {
+        let m = self.m;
+        let ops = m.block_ops(block);
+        let Some((&term, body)) = ops.split_last() else {
+            return Err(dec_err("empty structured region block"));
+        };
+        if self.kinds.get(m.op_name(term)) != Some(OpKind::Yield) {
+            return Err(dec_err("structured region does not end in a yield"));
+        }
+        for &op in body {
+            let kind = self
+                .kinds
+                .get(m.op_name(op))
+                .ok_or_else(|| dec_err(format!("op `{}` is not plan-decodable", m.op_name_str(op))))?;
+            self.decode_op(fd, op, kind)?;
+        }
+        Ok(())
+    }
+
+    fn decode_op(&mut self, fd: &mut FuncDecode, op: OpId, kind: OpKind) -> Result<(), DecodeError> {
+        let m = self.m;
+        match kind {
+            OpKind::Constant => {
+                let attr = m
+                    .attr_by_id(op, self.keys.value)
+                    .ok_or_else(|| dec_err("constant without value"))?;
+                let ty = m.value_type(m.op_result(op, 0));
+                let dst = self.result_reg(fd, op);
+                match (attr, ty.kind()) {
+                    (Attribute::Int(x), _) => fd.code.push(Instr::Const { dst, val: RtValue::Int(*x) }),
+                    (Attribute::Bool(b), _) => {
+                        fd.code.push(Instr::Const { dst, val: RtValue::Int(*b as i64) })
+                    }
+                    (Attribute::Float(f), TypeKind::F32) => {
+                        fd.code.push(Instr::Const { dst, val: RtValue::F32(*f as f32) })
+                    }
+                    (Attribute::Float(f), _) => {
+                        fd.code.push(Instr::Const { dst, val: RtValue::F64(*f) })
+                    }
+                    (Attribute::DenseF64(_) | Attribute::DenseI64(_), TypeKind::MemRef { .. }) => {
+                        let idx = self.dense_const_id(op, attr, &ty)?;
+                        fd.code.push(Instr::ConstDense { dst, idx });
+                    }
+                    _ => return Err(dec_err("unsupported constant kind")),
+                }
+            }
+            OpKind::IntBin(b) => {
+                let (l, r) = (self.operand_reg(fd, op, 0), self.operand_reg(fd, op, 1));
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::BinInt { op: b, dst, l, r });
+            }
+            OpKind::FloatBin(b) => {
+                let (l, r) = (self.operand_reg(fd, op, 0), self.operand_reg(fd, op, 1));
+                let dst = self.result_reg(fd, op);
+                let f32_out = matches!(m.value_type(m.op_result(op, 0)).kind(), TypeKind::F32);
+                fd.code.push(Instr::BinFloat { op: b, dst, l, r, f32_out });
+            }
+            OpKind::NegF => {
+                let x = self.operand_reg(fd, op, 0);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::NegF { dst, x });
+            }
+            OpKind::CmpI | OpKind::CmpF => {
+                let pred = CmpPred::of_attr(m.attr_by_id(op, self.keys.predicate));
+                let (l, r) = (self.operand_reg(fd, op, 0), self.operand_reg(fd, op, 1));
+                let dst = self.result_reg(fd, op);
+                fd.code.push(if kind == OpKind::CmpI {
+                    Instr::CmpI { pred, dst, l, r }
+                } else {
+                    Instr::CmpF { pred, dst, l, r }
+                });
+            }
+            OpKind::Select => {
+                let c = self.operand_reg(fd, op, 0);
+                let t = self.operand_reg(fd, op, 1);
+                let f = self.operand_reg(fd, op, 2);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::Select { dst, c, t, f });
+            }
+            OpKind::CopyCast | OpKind::MemRefCast => {
+                let src = self.operand_reg(fd, op, 0);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::Copy { dst, src });
+            }
+            OpKind::SiToFp => {
+                let x = self.operand_reg(fd, op, 0);
+                let dst = self.result_reg(fd, op);
+                let f32_out = matches!(m.value_type(m.op_result(op, 0)).kind(), TypeKind::F32);
+                fd.code.push(Instr::SiToFp { dst, x, f32_out });
+            }
+            OpKind::FpToSi => {
+                let x = self.operand_reg(fd, op, 0);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::FpToSi { dst, x });
+            }
+            OpKind::TruncF => {
+                let x = self.operand_reg(fd, op, 0);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::TruncF { dst, x });
+            }
+            OpKind::ExtF => {
+                let x = self.operand_reg(fd, op, 0);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::ExtF { dst, x });
+            }
+            OpKind::Math(mop) => {
+                let x = self.operand_reg(fd, op, 0);
+                let y = if matches!(mop, MathOp::Powf) { self.operand_reg(fd, op, 1) } else { 0 };
+                let dst = self.result_reg(fd, op);
+                let f32_out = matches!(m.value_type(m.op_result(op, 0)).kind(), TypeKind::F32);
+                fd.code.push(Instr::Math { op: mop, dst, x, y, f32_out });
+            }
+            OpKind::Alloca | OpKind::LocalAlloca => {
+                let ty = m.value_type(m.op_result(op, 0));
+                let shape_v = ty
+                    .memref_shape()
+                    .ok_or_else(|| dec_err("alloca of non-memref"))?
+                    .to_vec();
+                let elem = ty.memref_elem().ok_or_else(|| dec_err("alloca of non-memref"))?;
+                let len: i64 = shape_v.iter().product();
+                let mut shape = [1_i64; 3];
+                for (i, &s) in shape_v.iter().enumerate() {
+                    if i >= 3 {
+                        return Err(dec_err("alloca rank > 3"));
+                    }
+                    shape[i] = s;
+                }
+                let dst = self.result_reg(fd, op);
+                let rank = shape_v.len() as u32;
+                let len = len.max(0) as usize;
+                if kind == OpKind::Alloca {
+                    fd.code.push(Instr::Alloca { dst, elem, shape, rank, len });
+                } else {
+                    let site = self.local_sites;
+                    self.local_sites += 1;
+                    fd.code.push(Instr::LocalAlloca { dst, site, elem, shape, rank, len });
+                }
+            }
+            OpKind::Load => {
+                let mem = self.operand_reg(fd, op, 0);
+                let (idx, rank) = self.index_regs(fd, op, 1)?;
+                let dst = self.result_reg(fd, op);
+                let site = self.mem_sites;
+                self.mem_sites += 1;
+                fd.code.push(Instr::Load { dst, mem, idx, rank, site });
+            }
+            OpKind::Store => {
+                let val = self.operand_reg(fd, op, 0);
+                let mem = self.operand_reg(fd, op, 1);
+                let (idx, rank) = self.index_regs(fd, op, 2)?;
+                let site = self.mem_sites;
+                self.mem_sites += 1;
+                fd.code.push(Instr::Store { val, mem, idx, rank, site });
+            }
+            OpKind::IdCtor => {
+                let operands = m.op_operands(op);
+                if operands.len() > 3 {
+                    return Err(dec_err("id constructor rank > 3"));
+                }
+                let mut comps = [0 as Reg; 3];
+                for (i, &v) in operands.iter().enumerate() {
+                    comps[i] = fd.reg_of(v);
+                }
+                let rank = operands.len() as u8;
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::VecCtor { dst, comps, rank });
+            }
+            OpKind::NdRangeCtor => {
+                let g = self.operand_reg(fd, op, 0);
+                let l = self.operand_reg(fd, op, 1);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::NdRangeCtor { dst, g, l });
+            }
+            OpKind::VecGet => {
+                let v = self.operand_reg(fd, op, 0);
+                let dim = self.dim_src(fd, op);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::VecGet { dst, v, dim });
+            }
+            OpKind::RangeSize => {
+                let v = self.operand_reg(fd, op, 0);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::RangeSize { dst, v });
+            }
+            OpKind::Item(q) => {
+                let dim = self.dim_src(fd, op);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::ItemQuery { dst, q, dim });
+            }
+            OpKind::GlobalLinearId => {
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::GlobalLinearId { dst });
+            }
+            OpKind::LocalLinearId => {
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::LocalLinearId { dst });
+            }
+            OpKind::ItemSelf => {
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::ItemSelf { dst });
+            }
+            OpKind::AccSubscript => {
+                let acc = self.operand_reg(fd, op, 0);
+                let id = self.operand_reg(fd, op, 1);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::AccSubscript { dst, acc, id });
+            }
+            OpKind::AccRange => {
+                let acc = self.operand_reg(fd, op, 0);
+                let dim = self.dim_src(fd, op);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::AccRange { dst, acc, dim });
+            }
+            OpKind::AccBase => {
+                let acc = self.operand_reg(fd, op, 0);
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::AccBase { dst, acc });
+            }
+            OpKind::Undef => {
+                let dst = self.result_reg(fd, op);
+                fd.code.push(Instr::Const { dst, val: RtValue::Int(0) });
+            }
+            OpKind::Barrier => fd.code.push(Instr::Barrier),
+            OpKind::If => {
+                let cond = self.operand_reg(fd, op, 0);
+                let results: Vec<Reg> = m.op_results(op).iter().map(|&r| fd.reg_of(r)).collect();
+                if m.op_regions(op).len() < 2 {
+                    return Err(dec_err("scf.if without else region"));
+                }
+                let branch_pc = fd.pc();
+                fd.code.push(Instr::BranchIfFalse { cond, target: 0 }); // patched
+                let then_blk = m.op_region_block(op, 0);
+                self.decode_region_body(fd, then_blk)?;
+                let then_yields = self.yield_regs(fd, then_blk)?;
+                self.emit_parallel_copy(fd, &results, &then_yields);
+                let jump_pc = fd.pc();
+                fd.code.push(Instr::Jump { target: 0 }); // patched
+                let else_start = fd.pc();
+                let else_blk = m.op_region_block(op, 1);
+                self.decode_region_body(fd, else_blk)?;
+                let else_yields = self.yield_regs(fd, else_blk)?;
+                self.emit_parallel_copy(fd, &results, &else_yields);
+                let end = fd.pc();
+                if let Instr::BranchIfFalse { target, .. } = &mut fd.code[branch_pc as usize] {
+                    *target = else_start;
+                }
+                if let Instr::Jump { target } = &mut fd.code[jump_pc as usize] {
+                    *target = end;
+                }
+            }
+            OpKind::For => {
+                let lb = self.operand_reg(fd, op, 0);
+                let ub = self.operand_reg(fd, op, 1);
+                let step = self.operand_reg(fd, op, 2);
+                let inits: Vec<Reg> =
+                    m.op_operands(op)[3..].iter().map(|&v| fd.reg_of(v)).collect();
+                let body_blk = m.op_region_block(op, 0);
+                let body_args = m.block_args(body_blk);
+                if body_args.len() != inits.len() + 1 {
+                    return Err(dec_err("loop body arity mismatch"));
+                }
+                let iv = fd.reg_of(body_args[0]);
+                let carries: Vec<Reg> = body_args[1..].iter().map(|&a| fd.reg_of(a)).collect();
+                let results: Vec<Reg> = m.op_results(op).iter().map(|&r| fd.reg_of(r)).collect();
+                // carries := inits (also the zero-trip result values).
+                self.emit_parallel_copy(fd, &carries, &inits);
+                let enter_pc = fd.pc();
+                fd.code.push(Instr::ForEnter { lb, ub, step, iv, exit: 0 }); // patched
+                let body_pc = fd.pc();
+                self.decode_region_body(fd, body_blk)?;
+                let yields = self.yield_regs(fd, body_blk)?;
+                self.emit_parallel_copy(fd, &carries, &yields);
+                fd.code.push(Instr::ForNext { iv, step, ub, body: body_pc });
+                let exit = fd.pc();
+                if let Instr::ForEnter { exit: e, .. } = &mut fd.code[enter_pc as usize] {
+                    *e = exit;
+                }
+                self.emit_parallel_copy(fd, &results, &carries);
+            }
+            OpKind::Call => {
+                let scope = enclosing_module(m, op);
+                let callee = sycl_mlir_dialects::func::resolve_callee(m, op, scope)
+                    .ok_or_else(|| dec_err("unresolved call"))?;
+                let func = self.func_id(callee);
+                let args: Box<[Reg]> =
+                    m.op_operands(op).iter().map(|&v| fd.reg_of(v)).collect();
+                let results: Box<[Reg]> =
+                    m.op_results(op).iter().map(|&r| fd.reg_of(r)).collect();
+                fd.code.push(Instr::Call { func, args, results });
+            }
+            OpKind::Return => {
+                let vals: Box<[Reg]> =
+                    m.op_operands(op).iter().map(|&v| fd.reg_of(v)).collect();
+                fd.code.push(Instr::Return { vals });
+            }
+            OpKind::Yield => {
+                // Yields are consumed by the enclosing If/For decoder; a
+                // yield here means malformed structure.
+                return Err(dec_err("yield outside of an if/loop"));
+            }
+        }
+        Ok(())
+    }
+
+    fn dense_const_id(&mut self, op: OpId, attr: &Attribute, ty: &Type) -> Result<u32, DecodeError> {
+        if let Some(&idx) = self.dense_ids.get(&op) {
+            return Ok(idx);
+        }
+        let elem = ty
+            .memref_elem()
+            .ok_or_else(|| dec_err("dense constant must be memref"))?;
+        let data = match (attr, elem.kind()) {
+            (Attribute::DenseF64(v), TypeKind::F32) => {
+                DataVec::F32(v.iter().map(|&x| x as f32).collect())
+            }
+            (Attribute::DenseF64(v), _) => DataVec::F64(v.clone()),
+            (Attribute::DenseI64(v), TypeKind::Int(w)) if *w <= 32 => {
+                DataVec::I32(v.iter().map(|&x| x as i32).collect())
+            }
+            (Attribute::DenseI64(v), _) => DataVec::I64(v.clone()),
+            _ => return Err(dec_err("unsupported dense constant")),
+        };
+        let shape_v = ty.memref_shape().unwrap();
+        if shape_v.len() > 3 {
+            return Err(dec_err("dense constant rank > 3"));
+        }
+        let mut shape = [1_i64; 3];
+        for (i, &s) in shape_v.iter().enumerate() {
+            shape[i] = s;
+        }
+        let idx = self.dense_consts.len() as u32;
+        self.dense_consts.push(DenseConst { data, shape, rank: shape_v.len() as u32 });
+        self.dense_ids.insert(op, idx);
+        Ok(idx)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Executor
+// ----------------------------------------------------------------------
+
+/// Per-launch mutable state of the plan engine, layered on the shared
+/// [`ExecCtx`] (pool, cost model, stats, work-group tracker).
+pub struct PlanCtx {
+    /// Materialized dense constants, shared across the launch (mirrors the
+    /// tree-walk `const_pool`).
+    dense_cache: Vec<Option<MemRefVal>>,
+    /// Work-group-shared `sycl.local.alloca` results, reset per group.
+    local_allocs: Vec<Option<MemRefVal>>,
+}
+
+impl PlanCtx {
+    pub fn new(plan: &KernelPlan) -> PlanCtx {
+        PlanCtx {
+            dense_cache: vec![None; plan.dense_consts.len()],
+            local_allocs: vec![None; plan.local_sites as usize],
+        }
+    }
+
+    /// Reset work-group-shared state (call between work-groups).
+    pub fn next_work_group(&mut self) {
+        self.local_allocs.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+struct PlanFrame {
+    func: u32,
+    pc: u32,
+    /// Base of this frame's registers in the flat register file.
+    base: u32,
+}
+
+/// One work-item's resumable execution state over a [`KernelPlan`].
+pub struct PlanWorkItem {
+    /// All frames' registers, contiguous; frames address `regs[base..]`.
+    regs: Vec<RtValue>,
+    frames: Vec<PlanFrame>,
+    /// Per-site visit counters feeding the coalescing tracker (same
+    /// instance numbering as the tree-walk interpreter's per-op visits).
+    visits: Vec<u32>,
+    pub item: NdItemVal,
+    pub finished: bool,
+    steps: u64,
+}
+
+const MAX_STEPS: u64 = 500_000_000;
+
+impl PlanWorkItem {
+    /// Prepare execution of the plan's kernel with `args` bound to all
+    /// parameters except the trailing item-like one, which gets `item`.
+    pub fn new(plan: &KernelPlan, args: &[RtValue], item: NdItemVal) -> Result<PlanWorkItem, SimError> {
+        let kernel = &plan.funcs[0];
+        let mut s = PlanWorkItem {
+            regs: vec![RtValue::Unit; kernel.reg_count as usize],
+            frames: vec![PlanFrame { func: 0, pc: 0, base: 0 }],
+            visits: vec![0; plan.mem_sites as usize],
+            item,
+            finished: false,
+            steps: 0,
+        };
+        let params = &kernel.params;
+        let value_params =
+            if kernel.has_item_param { &params[..params.len() - 1] } else { &params[..] };
+        if value_params.len() != args.len() {
+            return Err(err(format!(
+                "kernel expects {} arguments, got {}",
+                value_params.len(),
+                args.len()
+            )));
+        }
+        for (&p, &a) in value_params.iter().zip(args) {
+            s.regs[p as usize] = a;
+        }
+        if kernel.has_item_param {
+            s.regs[*params.last().unwrap() as usize] = RtValue::Item(item);
+        }
+        Ok(s)
+    }
+
+    /// Run until the next barrier or completion.
+    pub fn run(
+        &mut self,
+        plan: &KernelPlan,
+        ctx: &mut ExecCtx<'_>,
+        pctx: &mut PlanCtx,
+    ) -> Result<Stop, SimError> {
+        if self.finished {
+            return Ok(Stop::Finished);
+        }
+        // Local copies of the hot frame fields; flushed on calls/returns.
+        let mut frame = self.frames.len() - 1;
+        let mut func = self.frames[frame].func as usize;
+        let mut code: &[Instr] = &plan.funcs[func].code;
+        let mut base = self.frames[frame].base as usize;
+        let mut pc = self.frames[frame].pc as usize;
+
+        macro_rules! reg {
+            ($r:expr) => {
+                self.regs[base + $r as usize]
+            };
+        }
+        macro_rules! int {
+            ($r:expr, $what:expr) => {
+                reg!($r).as_int().ok_or_else(|| err($what))?
+            };
+        }
+        macro_rules! flt {
+            ($r:expr, $what:expr) => {
+                reg!($r).as_f64().ok_or_else(|| err($what))?
+            };
+        }
+
+        loop {
+            self.steps += 1;
+            if self.steps > MAX_STEPS {
+                return Err(err("work-item exceeded the step budget (runaway loop?)"));
+            }
+            let instr = &code[pc];
+            pc += 1;
+            match instr {
+                Instr::Const { dst, val } => reg!(*dst) = *val,
+                Instr::ConstDense { dst, idx } => {
+                    let mr = materialize_dense(plan, ctx, pctx, *idx);
+                    reg!(*dst) = RtValue::MemRef(mr);
+                }
+                Instr::Copy { dst, src } => reg!(*dst) = reg!(*src),
+                Instr::BinInt { op, dst, l, r } => {
+                    ctx.stats.arith_ops += 1;
+                    let l = int!(*l, "int op on non-int");
+                    let r = int!(*r, "int op on non-int");
+                    let out = match op {
+                        IntBin::Add => l.wrapping_add(r),
+                        IntBin::Sub => l.wrapping_sub(r),
+                        IntBin::Mul => l.wrapping_mul(r),
+                        IntBin::DivS => {
+                            if r == 0 {
+                                return Err(err("division by zero"));
+                            }
+                            l.wrapping_div(r)
+                        }
+                        IntBin::RemS => {
+                            if r == 0 {
+                                return Err(err("remainder by zero"));
+                            }
+                            l.wrapping_rem(r)
+                        }
+                        IntBin::And => l & r,
+                        IntBin::Or => l | r,
+                        IntBin::Xor => l ^ r,
+                        IntBin::MinS => l.min(r),
+                        IntBin::MaxS => l.max(r),
+                    };
+                    reg!(*dst) = RtValue::Int(out);
+                }
+                Instr::BinFloat { op, dst, l, r, f32_out } => {
+                    ctx.stats.arith_ops += 1;
+                    let l = flt!(*l, "float op on non-float");
+                    let r = flt!(*r, "float op on non-float");
+                    let out = match op {
+                        FloatBin::Add => l + r,
+                        FloatBin::Sub => l - r,
+                        FloatBin::Mul => l * r,
+                        FloatBin::Div => l / r,
+                        FloatBin::Min => l.min(r),
+                        FloatBin::Max => l.max(r),
+                    };
+                    reg!(*dst) = if *f32_out { RtValue::F32(out as f32) } else { RtValue::F64(out) };
+                }
+                Instr::NegF { dst, x } => {
+                    ctx.stats.arith_ops += 1;
+                    reg!(*dst) = match reg!(*x) {
+                        RtValue::F32(v) => RtValue::F32(-v),
+                        RtValue::F64(v) => RtValue::F64(-v),
+                        _ => return Err(err("negf on non-float")),
+                    };
+                }
+                Instr::CmpI { pred, dst, l, r } => {
+                    ctx.stats.arith_ops += 1;
+                    let l = int!(*l, "cmpi on non-int");
+                    let r = int!(*r, "cmpi on non-int");
+                    reg!(*dst) = RtValue::Int(pred.eval_int(l, r) as i64);
+                }
+                Instr::CmpF { pred, dst, l, r } => {
+                    ctx.stats.arith_ops += 1;
+                    let l = flt!(*l, "cmpf on non-float");
+                    let r = flt!(*r, "cmpf on non-float");
+                    reg!(*dst) = RtValue::Int(pred.eval_float(l, r) as i64);
+                }
+                Instr::Select { dst, c, t, f } => {
+                    ctx.stats.arith_ops += 1;
+                    let c = reg!(*c).as_bool().ok_or_else(|| err("select cond"))?;
+                    reg!(*dst) = if c { reg!(*t) } else { reg!(*f) };
+                }
+                Instr::SiToFp { dst, x, f32_out } => {
+                    ctx.stats.arith_ops += 1;
+                    let v = int!(*x, "sitofp");
+                    reg!(*dst) =
+                        if *f32_out { RtValue::F32(v as f32) } else { RtValue::F64(v as f64) };
+                }
+                Instr::FpToSi { dst, x } => {
+                    ctx.stats.arith_ops += 1;
+                    let v = flt!(*x, "fptosi");
+                    reg!(*dst) = RtValue::Int(v as i64);
+                }
+                Instr::TruncF { dst, x } => {
+                    let v = flt!(*x, "truncf");
+                    reg!(*dst) = RtValue::F32(v as f32);
+                }
+                Instr::ExtF { dst, x } => {
+                    let v = flt!(*x, "extf");
+                    reg!(*dst) = RtValue::F64(v);
+                }
+                Instr::Math { op, dst, x, y, f32_out } => {
+                    ctx.stats.arith_ops += 4; // transcendental ops are pricier
+                    let xv = flt!(*x, "math on non-float");
+                    let out = match op {
+                        MathOp::Sqrt => xv.sqrt(),
+                        MathOp::Exp => xv.exp(),
+                        MathOp::Log => xv.ln(),
+                        MathOp::Absf => xv.abs(),
+                        MathOp::Sin => xv.sin(),
+                        MathOp::Cos => xv.cos(),
+                        MathOp::Floor => xv.floor(),
+                        MathOp::Rsqrt => 1.0 / xv.sqrt(),
+                        MathOp::Powf => {
+                            let yv = flt!(*y, "powf");
+                            xv.powf(yv)
+                        }
+                    };
+                    reg!(*dst) = if *f32_out { RtValue::F32(out as f32) } else { RtValue::F64(out) };
+                }
+                Instr::Alloca { dst, elem, shape, rank, len } => {
+                    let mem = ctx.pool.alloc_zeroed(elem, *len);
+                    reg!(*dst) = RtValue::MemRef(MemRefVal {
+                        mem,
+                        offset: 0,
+                        shape: *shape,
+                        rank: *rank,
+                        space: Space::Private,
+                    });
+                }
+                Instr::LocalAlloca { dst, site, elem, shape, rank, len } => {
+                    let mr = match pctx.local_allocs[*site as usize] {
+                        Some(existing) => existing,
+                        None => {
+                            let mem = ctx.pool.alloc_zeroed(elem, *len);
+                            let mr = MemRefVal {
+                                mem,
+                                offset: 0,
+                                shape: *shape,
+                                rank: *rank,
+                                space: Space::Local,
+                            };
+                            pctx.local_allocs[*site as usize] = Some(mr);
+                            mr
+                        }
+                    };
+                    reg!(*dst) = RtValue::MemRef(mr);
+                }
+                Instr::Load { dst, mem, idx, rank, site } => {
+                    let mr = reg!(*mem).as_memref().ok_or_else(|| err("load from non-memref"))?;
+                    let mut indices = [0_i64; 3];
+                    for d in 0..*rank as usize {
+                        indices[d] = int!(idx[d], "non-int index");
+                    }
+                    let addr = mr.linearize(&indices[..*rank as usize]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    reg!(*dst) = ctx.pool.load(mr.mem, addr);
+                }
+                Instr::Store { val, mem, idx, rank, site } => {
+                    let v = reg!(*val);
+                    let mr = reg!(*mem).as_memref().ok_or_else(|| err("store to non-memref"))?;
+                    let mut indices = [0_i64; 3];
+                    for d in 0..*rank as usize {
+                        indices[d] = int!(idx[d], "non-int index");
+                    }
+                    let addr = mr.linearize(&indices[..*rank as usize]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    ctx.pool.store(mr.mem, addr, v);
+                }
+                Instr::VecCtor { dst, comps, rank } => {
+                    ctx.stats.arith_ops += 1;
+                    let mut data = [0_i64; 3];
+                    for d in 0..*rank as usize {
+                        data[d] = int!(comps[d], "id component");
+                    }
+                    reg!(*dst) = RtValue::Vec(VecVal { data, rank: *rank as u32 });
+                }
+                Instr::NdRangeCtor { dst, g, l } => {
+                    let g = reg!(*g).as_vec().ok_or_else(|| err("nd_range global"))?;
+                    let l = reg!(*l).as_vec().ok_or_else(|| err("nd_range local"))?;
+                    reg!(*dst) = RtValue::NdRange(g, l);
+                }
+                Instr::VecGet { dst, v, dim } => {
+                    ctx.stats.arith_ops += 1;
+                    let v = reg!(*v).as_vec().ok_or_else(|| err("id.get"))?;
+                    let d = self.dim(base, *dim)?;
+                    reg!(*dst) = RtValue::Int(v.data[d]);
+                }
+                Instr::RangeSize { dst, v } => {
+                    ctx.stats.arith_ops += 1;
+                    let v = reg!(*v).as_vec().ok_or_else(|| err("range.size"))?;
+                    let size: i64 = v.data[..v.rank as usize].iter().product();
+                    reg!(*dst) = RtValue::Int(size);
+                }
+                Instr::ItemQuery { dst, q, dim } => {
+                    ctx.stats.arith_ops += 1;
+                    let d = self.dim(base, *dim)?;
+                    let v = match q {
+                        ItemQ::GlobalId => self.item.global_id[d],
+                        ItemQ::LocalId => self.item.local_id[d],
+                        ItemQ::GroupId => self.item.group_id[d],
+                        ItemQ::GlobalRange => self.item.global_range[d],
+                        ItemQ::LocalRange => self.item.local_range[d],
+                        ItemQ::GroupRange => self.item.group_range(d),
+                    };
+                    reg!(*dst) = RtValue::Int(v);
+                }
+                Instr::GlobalLinearId { dst } => {
+                    ctx.stats.arith_ops += 1;
+                    reg!(*dst) = RtValue::Int(self.item.global_linear_id());
+                }
+                Instr::LocalLinearId { dst } => {
+                    ctx.stats.arith_ops += 1;
+                    reg!(*dst) = RtValue::Int(self.item.local_linear_id());
+                }
+                Instr::ItemSelf { dst } => reg!(*dst) = RtValue::Item(self.item),
+                Instr::AccSubscript { dst, acc, id } => {
+                    ctx.stats.arith_ops += 1;
+                    let acc =
+                        reg!(*acc).as_accessor().ok_or_else(|| err("subscript of non-accessor"))?;
+                    let id = reg!(*id).as_vec().ok_or_else(|| err("subscript id"))?;
+                    let offset = acc.linearize(&id.data[..id.rank as usize]);
+                    let space = if acc.constant { Space::Constant } else { Space::Global };
+                    reg!(*dst) = RtValue::MemRef(MemRefVal {
+                        mem: acc.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    });
+                }
+                Instr::AccRange { dst, acc, dim } => {
+                    ctx.stats.arith_ops += 1;
+                    let acc = reg!(*acc).as_accessor().ok_or_else(|| err("get_range"))?;
+                    let d = self.dim(base, *dim)?;
+                    reg!(*dst) = RtValue::Int(acc.range[d]);
+                }
+                Instr::AccBase { dst, acc } => {
+                    ctx.stats.arith_ops += 1;
+                    let acc = reg!(*acc).as_accessor().ok_or_else(|| err("accessor.base"))?;
+                    let b = ((acc.mem.0 as i64) << 32) | acc.linearize(&[0, 0, 0]);
+                    reg!(*dst) = RtValue::Int(b);
+                }
+                Instr::Barrier => {
+                    ctx.stats.barriers += 1;
+                    self.frames[frame].pc = pc as u32;
+                    return Ok(Stop::Barrier);
+                }
+                Instr::Jump { target } => pc = *target as usize,
+                Instr::BranchIfFalse { cond, target } => {
+                    ctx.stats.arith_ops += 1;
+                    let c = reg!(*cond).as_bool().ok_or_else(|| err("non-boolean if condition"))?;
+                    if !c {
+                        pc = *target as usize;
+                    }
+                }
+                Instr::ForEnter { lb, ub, step, iv, exit } => {
+                    ctx.stats.arith_ops += 1;
+                    let lb = int!(*lb, "bad lb");
+                    let ub = int!(*ub, "bad ub");
+                    let step = int!(*step, "bad step");
+                    if step <= 0 {
+                        return Err(err("non-positive loop step"));
+                    }
+                    reg!(*iv) = RtValue::Int(lb);
+                    if lb >= ub {
+                        pc = *exit as usize;
+                    }
+                }
+                Instr::ForNext { iv, step, ub, body } => {
+                    let cur = int!(*iv, "bad iv");
+                    let step = int!(*step, "bad step");
+                    let ub = int!(*ub, "bad ub");
+                    let next = cur + step;
+                    if next < ub {
+                        reg!(*iv) = RtValue::Int(next);
+                        pc = *body as usize;
+                    }
+                }
+                Instr::Call { func: callee, args, results: _ } => {
+                    let callee_plan = &plan.funcs[*callee as usize];
+                    let new_base = self.regs.len();
+                    self.regs
+                        .resize(new_base + callee_plan.reg_count as usize, RtValue::Unit);
+                    for (i, &a) in args.iter().enumerate() {
+                        self.regs[new_base + callee_plan.params[i] as usize] =
+                            self.regs[base + a as usize];
+                    }
+                    // Flush the caller frame (pc already past the call).
+                    self.frames[frame].pc = pc as u32;
+                    self.frames.push(PlanFrame {
+                        func: *callee,
+                        pc: 0,
+                        base: new_base as u32,
+                    });
+                    frame += 1;
+                    func = *callee as usize;
+                    code = &plan.funcs[func].code;
+                    base = new_base;
+                    pc = 0;
+                }
+                Instr::Return { vals } => {
+                    if frame == 0 {
+                        self.finished = true;
+                        return Ok(Stop::Finished);
+                    }
+                    // Read return values before truncating the frame.
+                    let mut ret = [RtValue::Unit; 4];
+                    let mut ret_overflow = Vec::new();
+                    if vals.len() <= 4 {
+                        for (i, &v) in vals.iter().enumerate() {
+                            ret[i] = self.regs[base + v as usize];
+                        }
+                    } else {
+                        ret_overflow = vals.iter().map(|&v| self.regs[base + v as usize]).collect();
+                    }
+                    self.regs.truncate(base);
+                    self.frames.pop();
+                    frame -= 1;
+                    let caller = &self.frames[frame];
+                    func = caller.func as usize;
+                    code = &plan.funcs[func].code;
+                    base = caller.base as usize;
+                    pc = caller.pc as usize;
+                    // The instruction before `pc` is the call.
+                    let Instr::Call { results, .. } = &code[pc - 1] else {
+                        return Err(err("return without a pending call"));
+                    };
+                    if vals.len() <= 4 {
+                        for (i, &r) in results.iter().enumerate() {
+                            self.regs[base + r as usize] = ret[i];
+                        }
+                    } else {
+                        for (&r, v) in results.iter().zip(ret_overflow) {
+                            self.regs[base + r as usize] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn dim(&self, base: usize, dim: DimSrc) -> Result<usize, SimError> {
+        match dim {
+            DimSrc::Const(d) => Ok(d as usize),
+            DimSrc::Reg(r) => {
+                let d = self.regs[base + r as usize]
+                    .as_int()
+                    .ok_or_else(|| err("non-constant dimension operand"))?;
+                if !(0..3).contains(&d) {
+                    return Err(err(format!("dimension {d} out of range")));
+                }
+                Ok(d as usize)
+            }
+        }
+    }
+
+    /// Record the cost of a memory access (same coalescing model and
+    /// instance numbering as the tree-walk interpreter, keyed by plan site
+    /// instead of `OpId`).
+    fn mem_event(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: u32,
+        mr: &MemRefVal,
+        addr: i64,
+    ) -> Result<(), SimError> {
+        match mr.space {
+            Space::Private => ctx.stats.private_accesses += 1,
+            Space::Constant => ctx.stats.constant_accesses += 1,
+            Space::Local => ctx.stats.local_accesses += 1,
+            Space::Global => {
+                ctx.stats.global_accesses += 1;
+                let instance = {
+                    let slot = &mut self.visits[site as usize];
+                    *slot += 1;
+                    *slot
+                };
+                let subgroup =
+                    (self.item.local_linear_id() / ctx.cost.subgroup_size as i64) as u32;
+                let bytes = ctx.pool.data(mr.mem).elem_bytes() as i64;
+                let segment = ((mr.mem.0 as u64) << 40)
+                    | ((addr * bytes) / ctx.cost.transaction_bytes as i64) as u64;
+                if ctx.wg.record((site, instance, subgroup), segment) {
+                    ctx.stats.global_transactions += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn materialize_dense(
+    plan: &KernelPlan,
+    ctx: &mut ExecCtx<'_>,
+    pctx: &mut PlanCtx,
+    idx: u32,
+) -> MemRefVal {
+    if let Some(existing) = pctx.dense_cache[idx as usize] {
+        return existing;
+    }
+    let c = &plan.dense_consts[idx as usize];
+    let mem = ctx.pool.alloc(c.data.clone());
+    let mr = MemRefVal {
+        mem,
+        offset: 0,
+        shape: c.shape,
+        rank: c.rank,
+        space: Space::Constant,
+    };
+    pctx.dense_cache[idx as usize] = Some(mr);
+    mr
+}
+
+/// Aggregate decode statistics, exposed for tests and diagnostics.
+impl KernelPlan {
+    pub fn instr_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_pred_parsing_matches_tree_walk_defaults() {
+        assert!(matches!(CmpPred::of_attr(None), CmpPred::Eq));
+        assert!(matches!(
+            CmpPred::of_attr(Some(&Attribute::Str("slt".into()))),
+            CmpPred::Slt
+        ));
+        // Unknown spellings fall through to sge, like the interpreter's
+        // final match arm.
+        assert!(matches!(
+            CmpPred::of_attr(Some(&Attribute::Str("ult".into()))),
+            CmpPred::Sge
+        ));
+    }
+}

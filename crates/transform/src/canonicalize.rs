@@ -26,7 +26,7 @@ impl Pass for CanonicalizePass {
 struct CseKey {
     name: u32,
     operands: Vec<ValueId>,
-    attrs: Vec<(String, String)>,
+    attrs: Vec<(u32, String)>,
     result_types: Vec<sycl_mlir_ir::Type>,
 }
 
@@ -37,7 +37,7 @@ fn cse_key(m: &Module, op: OpId) -> CseKey {
         attrs: m
             .op_attrs(op)
             .iter()
-            .map(|(k, v)| (k.clone(), format!("{v}")))
+            .map(|(k, v)| (k.0, format!("{v}")))
             .collect(),
         result_types: m.op_results(op).iter().map(|&r| m.value_type(r)).collect(),
     }

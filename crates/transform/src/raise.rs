@@ -129,17 +129,18 @@ impl RaiseHostPass {
 
     fn replace_with_constructor(&mut self, m: &mut Module, call: OpId, ty: Type) {
         let operands = m.op_operands(call).to_vec();
-        let mut attrs: Vec<(String, Attribute)> = m
+        let callee_key = m.ctx().common_keys().callee;
+        let mut attrs: Vec<(sycl_mlir_ir::AttrKey, Attribute)> = m
             .op_attrs(call)
             .iter()
-            .filter(|(k, _)| k != "callee")
+            .filter(|(k, _)| *k != callee_key)
             .cloned()
             .collect();
-        attrs.push(("type".into(), Attribute::Type(ty)));
+        attrs.push((m.ctx().attr_key("type"), Attribute::Type(ty)));
         let name = m.ctx().op("sycl.host.constructor");
         let block = m.op_parent_block(call).expect("attached call");
         let index = m.op_index_in_block(call);
-        let new = m.create_op(name, &operands, &[], attrs);
+        let new = m.create_op_interned(name, &operands, &[], attrs);
         m.insert_op(block, index, new);
         m.erase_op(call);
         self.stats.constructors_raised += 1;

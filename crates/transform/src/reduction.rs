@@ -197,7 +197,7 @@ fn rewrite(m: &mut Module, loop_op: OpId, cand: Candidate) {
     new_result_types.push(elem_ty.clone());
     let loop_name = m.op_name(loop_op);
     let attrs = m.op_attrs(loop_op).to_vec();
-    let new_loop = m.create_op(loop_name, &new_operands, &new_result_types, attrs);
+    let new_loop = m.create_op_interned(loop_name, &new_operands, &new_result_types, attrs);
     let region = m.add_region(new_loop);
     let mut arg_types: Vec<_> = old_args.iter().map(|&a| m.value_type(a)).collect();
     arg_types.push(elem_ty);

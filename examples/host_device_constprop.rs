@@ -44,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("device module");
     let kernel = module.funcs_in(device)[0];
     for (key, value) in module.op_attrs(kernel) {
+        let key = module.attr_key_str(*key);
         if key.starts_with("sycl.") {
             println!("  {key} = {value}");
         }

@@ -74,3 +74,101 @@ proptest! {
         prop_assert_eq!(base, opt);
     }
 }
+
+// ----------------------------------------------------------------------
+// Engine differential: the pre-decoded plan executor vs the tree-walk
+// reference interpreter, over every benchsuite workload.
+// ----------------------------------------------------------------------
+
+mod engine_differential {
+    use sycl_mlir_bench::quick_size;
+    use sycl_mlir_repro::benchsuite::{all_workloads, run_workload_on};
+    use sycl_mlir_repro::core::FlowKind;
+    use sycl_mlir_repro::sim::{decode_kernel, Device, Engine};
+
+    /// Bitwise-comparable view of an `f64` that may be the NaN "missing
+    /// bar" marker.
+    fn cycles_eq(a: f64, b: f64) -> bool {
+        a == b || (a.is_nan() && b.is_nan())
+    }
+
+    /// Every workload, under every compilation flow, must produce identical
+    /// outputs (all buffers and USM allocations), identical dynamic stats
+    /// (arith ops, memory transactions, barriers, cycles) and identical
+    /// validation verdicts on both engines.
+    #[test]
+    fn plan_engine_matches_tree_walk_on_all_workloads() {
+        let tree_dev = Device::with_engine(Engine::TreeWalk);
+        let plan_dev = Device::with_engine(Engine::Plan);
+        for w in all_workloads() {
+            let size = quick_size(&w);
+            for kind in FlowKind::all() {
+                let label = format!("{} [{}] at size {size}", w.name, kind.name());
+                let tree = run_workload_on(&w, size, kind, &tree_dev);
+                let plan = run_workload_on(&w, size, kind, &plan_dev);
+                match (tree, plan) {
+                    (Ok((tres, trt)), Ok((pres, prt))) => {
+                        assert_eq!(tres.valid, pres.valid, "validation differs: {label}");
+                        assert_eq!(tres.stats, pres.stats, "stats differ: {label}");
+                        assert!(
+                            cycles_eq(tres.cycles, pres.cycles),
+                            "cycles differ: {label}: {} vs {}",
+                            tres.cycles,
+                            pres.cycles
+                        );
+                        assert_eq!(
+                            trt.buffers.len(),
+                            prt.buffers.len(),
+                            "buffer count differs: {label}"
+                        );
+                        for (i, (tb, pb)) in trt.buffers.iter().zip(&prt.buffers).enumerate() {
+                            assert_eq!(
+                                tb.data, pb.data,
+                                "buffer {i} contents differ: {label}"
+                            );
+                        }
+                        assert_eq!(trt.usm, prt.usm, "usm contents differ: {label}");
+                    }
+                    (Err(te), Err(pe)) => {
+                        assert_eq!(te, pe, "engines fail differently: {label}")
+                    }
+                    (t, p) => panic!(
+                        "one engine failed, the other did not: {label}: tree={t:?} plan={p:?}",
+                        t = t.is_ok(),
+                        p = p.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The decoder must understand every kernel the benchsuite compiles —
+    /// otherwise the plan engine silently falls back to the tree walk and
+    /// the speedup quietly evaporates.
+    #[test]
+    fn all_workload_kernels_are_plan_decodable() {
+        for w in all_workloads() {
+            // Every flow's pipeline output must decode, or that flow's
+            // figures silently fall back to the slow engine.
+            for kind in FlowKind::all() {
+                let app = (w.build)(quick_size(&w));
+                let program = sycl_mlir_repro::runtime::compile_program(kind, app.module)
+                    .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, kind.name()));
+                let m = &program.module;
+                let device_mod = m
+                    .lookup_symbol(m.top(), sycl_mlir_repro::sycl::DEVICE_MODULE_SYM)
+                    .expect("device module");
+                let mut kernels = 0;
+                for f in m.funcs_in(device_mod) {
+                    if sycl_mlir_repro::sycl::device::is_kernel(m, f) {
+                        kernels += 1;
+                        if let Err(e) = decode_kernel(m, f) {
+                            panic!("{} [{}]: kernel not decodable: {e}", w.name, kind.name());
+                        }
+                    }
+                }
+                assert!(kernels > 0, "{} [{}]: no kernels found", w.name, kind.name());
+            }
+        }
+    }
+}

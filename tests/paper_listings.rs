@@ -2,7 +2,7 @@
 //! executable assertion (see DESIGN.md's per-experiment index).
 
 use sycl_mlir_repro::analysis::{
-    DefClass, MemoryAccessAnalysis, ReachingDefinitions, Uniformity, UniformityAnalysis,
+    MemoryAccessAnalysis, ReachingDefinitions, Uniformity, UniformityAnalysis,
 };
 use sycl_mlir_repro::dialects::{affine, arith, func, memref, scf};
 use sycl_mlir_repro::frontend::full_context;
