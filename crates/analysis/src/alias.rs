@@ -120,7 +120,10 @@ impl AliasAnalysis {
         }
         if let (Some((fa, ia)), Some((fb, ib))) = (arg_position(m, a), arg_position(m, b)) {
             if fa == fb {
-                if let Some(ids) = m.attr(fa, ARG_BUFFER_IDS_ATTR).and_then(|x| x.as_dense_i64()) {
+                if let Some(ids) = m
+                    .attr(fa, ARG_BUFFER_IDS_ATTR)
+                    .and_then(|x| x.as_dense_i64())
+                {
                     let ba = ids.get(ia).copied().unwrap_or(-1);
                     let bb = ids.get(ib).copied().unwrap_or(-1);
                     if ba >= 0 && bb >= 0 && ba != bb {
@@ -148,9 +151,18 @@ impl AliasAnalysis {
                 if a.1.len() != b.1.len() {
                     return AliasResult::MayAlias;
                 }
-                if a.1.iter().zip(b.1).all(|(&x, &y)| values_equivalent(m, x, y)) {
+                if a.1
+                    .iter()
+                    .zip(b.1)
+                    .all(|(&x, &y)| values_equivalent(m, x, y))
+                {
                     AliasResult::MustAlias
-                } else if a.1.iter().zip(b.1).any(|(&x, &y)| values_provably_different(m, x, y)) {
+                } else if a
+                    .1
+                    .iter()
+                    .zip(b.1)
+                    .any(|(&x, &y)| values_provably_different(m, x, y))
+                {
                     AliasResult::NoAlias
                 } else {
                     AliasResult::MayAlias

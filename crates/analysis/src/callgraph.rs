@@ -19,8 +19,10 @@ pub struct CallGraph {
 impl CallGraph {
     /// Build the call graph for all functions under `scope` (a module op).
     pub fn build(m: &Module, scope: OpId) -> CallGraph {
-        let mut cg = CallGraph::default();
-        cg.funcs = m.funcs_in(scope);
+        let mut cg = CallGraph {
+            funcs: m.funcs_in(scope),
+            ..CallGraph::default()
+        };
         for &func in &cg.funcs {
             let mut calls = Vec::new();
             m.walk(func, &mut |op| {
@@ -75,7 +77,7 @@ impl CallGraph {
 
     /// `true` if the function has no known callers inside the scope.
     pub fn is_root(&self, func: OpId) -> bool {
-        self.callers_of.get(&func).map_or(true, |v| v.is_empty())
+        self.callers_of.get(&func).is_none_or(|v| v.is_empty())
     }
 }
 

@@ -19,6 +19,7 @@
 //! * the **intra-work-item** sub-matrix (thread columns removed) being
 //!   non-zero signals temporal locality worth staging in local memory.
 
+use std::ops::{Add, Mul};
 use sycl_mlir_ir::affine::{AffineExpr, AffineMap};
 use sycl_mlir_ir::{Module, OpId, ValueDef, ValueId, WalkControl};
 
@@ -170,9 +171,9 @@ impl AccessInfo {
             .dims
             .iter()
             .enumerate()
-            .filter(|(_, d)| {
-                matches!(d, DimKind::GlobalId(i) | DimKind::LocalId(i) if *i == fastest)
-            })
+            .filter(
+                |(_, d)| matches!(d, DimKind::GlobalId(i) | DimKind::LocalId(i) if *i == fastest),
+            )
             .map(|(i, _)| i)
             .collect();
         if cols.is_empty() {
@@ -316,17 +317,14 @@ fn kernel_rank_of(m: &Module, root: OpId) -> Option<u32> {
         crate::structure::enclosing_func(m, root)?
     };
     let entry = m.op_region_block(func, 0);
-    m.block_args(entry)
-        .iter()
-        .rev()
-        .find_map(|&a| {
-            let ty = m.value_type(a);
-            if sycl_mlir_sycl::types::is_item_like(&ty) {
-                sycl_mlir_sycl::types::sycl_dim(&ty)
-            } else {
-                None
-            }
-        })
+    m.block_args(entry).iter().rev().find_map(|&a| {
+        let ty = m.value_type(a);
+        if sycl_mlir_sycl::types::is_item_like(&ty) {
+            sycl_mlir_sycl::types::sycl_dim(&ty)
+        } else {
+            None
+        }
+    })
 }
 
 fn loop_depth(m: &Module, loop_op: OpId) -> i64 {
@@ -360,7 +358,9 @@ fn dim_source(m: &Module, v: ValueId) -> Option<DimKind> {
                     .map(|d| d as u32)
             };
             match &*name {
-                "sycl.nd_item.get_global_id" | "sycl.item.get_id" => Some(DimKind::GlobalId(dim_of()?)),
+                "sycl.nd_item.get_global_id" | "sycl.item.get_id" => {
+                    Some(DimKind::GlobalId(dim_of()?))
+                }
                 "sycl.nd_item.get_local_id" => Some(DimKind::LocalId(dim_of()?)),
                 _ => None,
             }
@@ -420,15 +420,24 @@ fn expr_of(
     let name = m.op_name_str(op);
     match &*name {
         "arith.addi" => Some(
-            expr_of(m, m.op_operand(op, 0), dims, depth + 1)?
-                .add(expr_of(m, m.op_operand(op, 1), dims, depth + 1)?),
+            expr_of(m, m.op_operand(op, 0), dims, depth + 1)?.add(expr_of(
+                m,
+                m.op_operand(op, 1),
+                dims,
+                depth + 1,
+            )?),
         ),
-        "arith.subi" => Some(expr_of(m, m.op_operand(op, 0), dims, depth + 1)?.add(
-            expr_of(m, m.op_operand(op, 1), dims, depth + 1)?.mul(AffineExpr::Const(-1)),
-        )),
-        "arith.muli" => Some(
+        "arith.subi" => Some(
             expr_of(m, m.op_operand(op, 0), dims, depth + 1)?
-                .mul(expr_of(m, m.op_operand(op, 1), dims, depth + 1)?),
+                .add(expr_of(m, m.op_operand(op, 1), dims, depth + 1)?.mul(AffineExpr::Const(-1))),
+        ),
+        "arith.muli" => Some(
+            expr_of(m, m.op_operand(op, 0), dims, depth + 1)?.mul(expr_of(
+                m,
+                m.op_operand(op, 1),
+                dims,
+                depth + 1,
+            )?),
         ),
         "arith.index_cast" | "arith.extsi" | "arith.trunci" => {
             expr_of(m, m.op_operand(op, 0), dims, depth + 1)
@@ -440,9 +449,9 @@ fn expr_of(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sycl_mlir_dialects::affine::build_affine_for;
     use sycl_mlir_dialects::arith::{addi, constant_index, muli};
     use sycl_mlir_dialects::func::{build_func, build_return};
-    use sycl_mlir_dialects::affine::build_affine_for;
     use sycl_mlir_ir::{Builder, Context, Module};
     use sycl_mlir_sycl::device::{global_id, make_id, mark_kernel, subscript};
     use sycl_mlir_sycl::types::{accessor_type, nd_item_type, AccessMode, Target};

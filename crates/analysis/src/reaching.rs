@@ -92,7 +92,10 @@ pub struct ReachingDefinitions {
 impl ReachingDefinitions {
     /// Run the analysis over a function (or any single-region op).
     pub fn compute(m: &Module, func: OpId) -> ReachingDefinitions {
-        let mut analysis = ReachingDefinitions { before: HashMap::new(), aa: AliasAnalysis::new() };
+        let mut analysis = ReachingDefinitions {
+            before: HashMap::new(),
+            aa: AliasAnalysis::new(),
+        };
         let mut state = ReachState::default();
         let block = m.op_region_block(func, 0);
         analysis.exec_block(m, block, &mut state);
@@ -155,17 +158,13 @@ impl ReachingDefinitions {
         // A new write kills every previous write to provably the same
         // location (must-alias with identical indices).
         if let Some(target) = access_target(m, op) {
-            state.writes.retain(|&w| {
-                match access_target(m, w) {
-                    Some(prev) => {
-                        self.aa.access_alias(
-                            m,
-                            (target.0, &target.1),
-                            (prev.0, &prev.1),
-                        ) != AliasResult::MustAlias
-                    }
-                    None => true,
+            state.writes.retain(|&w| match access_target(m, w) {
+                Some(prev) => {
+                    self.aa
+                        .access_alias(m, (target.0, &target.1), (prev.0, &prev.1))
+                        != AliasResult::MustAlias
                 }
+                None => true,
             });
         }
         if !state.writes.contains(&op) {
@@ -188,9 +187,15 @@ impl ReachingDefinitions {
         indices: &[ValueId],
     ) -> ReachingDefs {
         let Some(state) = self.before.get(&at) else {
-            return ReachingDefs { defs: Vec::new(), unknown: true };
+            return ReachingDefs {
+                defs: Vec::new(),
+                unknown: true,
+            };
         };
-        let mut out = ReachingDefs { defs: Vec::new(), unknown: state.unknown };
+        let mut out = ReachingDefs {
+            defs: Vec::new(),
+            unknown: state.unknown,
+        };
         for &w in &state.writes {
             let Some((wmem, widx)) = access_target(m, w) else {
                 out.defs.push((w, DefClass::Pmods));
@@ -210,7 +215,10 @@ impl ReachingDefinitions {
     pub fn defs_for_load(&self, m: &Module, load: OpId) -> ReachingDefs {
         match read_target(m, load) {
             Some((mem, idx)) => self.defs_for_read(m, load, mem, &idx),
-            None => ReachingDefs { defs: Vec::new(), unknown: true },
+            None => ReachingDefs {
+                defs: Vec::new(),
+                unknown: true,
+            },
         }
     }
 }
@@ -247,8 +255,8 @@ mod tests {
     use super::*;
     use sycl_mlir_dialects::arith::constant_index;
     use sycl_mlir_dialects::func::{build_func, build_return};
-    use sycl_mlir_dialects::scf::{build_for, build_if};
     use sycl_mlir_dialects::memref;
+    use sycl_mlir_dialects::scf::{build_for, build_if};
     use sycl_mlir_ir::{Attribute, Builder, Context, Module};
 
     fn ctx() -> Context {
@@ -287,12 +295,16 @@ mod tests {
                 &[],
                 |inner| {
                     let s = memref::store(inner, v1, ptr1, &[]);
-                    inner.module().set_attr(s, "tag", Attribute::Str("a".into()));
+                    inner
+                        .module()
+                        .set_attr(s, "tag", Attribute::Str("a".into()));
                     vec![]
                 },
                 |inner| {
                     let s = memref::store(inner, v2, ptr2, &[]);
-                    inner.module().set_attr(s, "tag", Attribute::Str("b".into()));
+                    inner
+                        .module()
+                        .set_attr(s, "tag", Attribute::Str("b".into()));
                     vec![]
                 },
             );
@@ -303,7 +315,12 @@ mod tests {
         let rd = ReachingDefinitions::compute(&m, func);
         let defs = rd.defs_for_load(&m, load);
         assert!(!defs.unknown);
-        let tag = |op: OpId| m.attr(op, "tag").and_then(|a| a.as_str()).unwrap().to_string();
+        let tag = |op: OpId| {
+            m.attr(op, "tag")
+                .and_then(|a| a.as_str())
+                .unwrap()
+                .to_string()
+        };
         let mods: Vec<String> = defs.mods().into_iter().map(tag).collect();
         let pmods: Vec<String> = defs.pmods().into_iter().map(tag).collect();
         assert_eq!(mods, vec!["a"]);

@@ -152,10 +152,16 @@ mod tests {
         let cond = m.block_arg(entry, 0);
         let if_op = {
             let mut b = Builder::at_end(&mut m, entry);
-            let op = build_if(&mut b, cond, &[], |inner| {
-                constant_index(inner, 1);
-                vec![]
-            }, |_| vec![]);
+            let op = build_if(
+                &mut b,
+                cond,
+                &[],
+                |inner| {
+                    constant_index(inner, 1);
+                    vec![]
+                },
+                |_| vec![],
+            );
             build_return(&mut b, &[]);
             op
         };

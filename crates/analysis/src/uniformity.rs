@@ -59,7 +59,9 @@ impl UniformityAnalysis {
         func: OpId,
         params: &[Uniformity],
     ) -> UniformityAnalysis {
-        let mut a = UniformityAnalysis { map: HashMap::new() };
+        let mut a = UniformityAnalysis {
+            map: HashMap::new(),
+        };
         a.run_function(m, func, params);
         a
     }
@@ -69,7 +71,9 @@ impl UniformityAnalysis {
     /// sites (kernels stay uniform-by-definition), iterated to a fixpoint.
     pub fn compute_module(m: &Module, scope: OpId) -> UniformityAnalysis {
         let cg = CallGraph::build(m, scope);
-        let mut a = UniformityAnalysis { map: HashMap::new() };
+        let mut a = UniformityAnalysis {
+            map: HashMap::new(),
+        };
         let mut params: HashMap<OpId, Vec<Uniformity>> = HashMap::new();
         for &f in &cg.funcs {
             params.insert(f, default_params(m, f));
@@ -175,8 +179,8 @@ impl UniformityAnalysis {
                 .map(|t| m.op_operands(t).to_vec())
                 .unwrap_or_default();
             let inits = &m.op_operands(op)[3..];
-            for i in 0..m.op_results(op).len() {
-                let mut u = self.get(inits[i]);
+            for (i, &init) in inits.iter().enumerate().take(m.op_results(op).len()) {
+                let mut u = self.get(init);
                 if let Some(&y) = yields.get(i) {
                     u = u.join(self.get(y));
                 }

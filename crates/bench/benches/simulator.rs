@@ -14,7 +14,11 @@ fn bench_workloads(c: &mut Criterion) {
             .find(|w| w.name == name)
             .expect("workload registered");
         // Sizes must stay multiples of the work-group geometry.
-        let size = if name == "GEMM" { 32 } else { spec.scaled_size / 4 };
+        let size = if name == "GEMM" {
+            32
+        } else {
+            spec.scaled_size / 4
+        };
         for kind in [FlowKind::Dpcpp, FlowKind::SyclMlir] {
             group.bench_function(format!("{name}/{}", kind.name()), |b| {
                 b.iter(|| {

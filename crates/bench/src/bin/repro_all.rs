@@ -31,17 +31,31 @@ fn main() {
         }
     }
     println!("\n== Overall (SYCL-Bench: Fig. 2 + Fig. 3) ==");
-    println!("SYCL-MLIR geo.-mean over DPC++:  {:.2}x   (paper: 1.18x)", geo_mean(&sm));
-    println!("AdaptiveCpp geo.-mean over DPC++: {:.2}x   (paper: 1.13x)", geo_mean(&acpp));
+    println!(
+        "SYCL-MLIR geo.-mean over DPC++:  {:.2}x   (paper: 1.18x)",
+        geo_mean(&sm)
+    );
+    println!(
+        "AdaptiveCpp geo.-mean over DPC++: {:.2}x   (paper: 1.13x)",
+        geo_mean(&acpp)
+    );
 
     // Machine-readable wall-time line for the perf trajectory in the
     // BENCH_*.json harness records. Covers the whole sweep (compilation of
     // every flow + simulation); simulation dominates and is what the
-    // engine choice moves.
-    let engine = sycl_mlir_bench::device_from_args().engine;
+    // engine/thread choice moves.
+    let device = sycl_mlir_bench::device_from_args();
+    // The tree-walk reference always runs sequentially, so record the
+    // worker count that actually applied, not the requested flag — a
+    // `--engine=tree --threads=4` run must not masquerade as a 4-thread
+    // measurement in the perf trajectory.
+    let effective_threads = match device.engine {
+        sycl_mlir_sim::Engine::Plan => device.threads,
+        sycl_mlir_sim::Engine::TreeWalk => 1,
+    };
     println!(
-        "\nrepro_wall_time_seconds: {:.3} (engine: {}, quick: {quick})",
+        "\nrepro_wall_time_seconds: {:.3} (engine: {}, threads: {effective_threads}, quick: {quick})",
         t0.elapsed().as_secs_f64(),
-        engine.name()
+        device.engine.name(),
     );
 }

@@ -7,8 +7,13 @@ use sycl_mlir_benchsuite::Category;
 
 fn main() {
     let rows = run_category(Category::Stencil, quick_flag());
-    print_table("Stencil workloads (speedup over DPC++, higher is better)", &rows);
-    println!("\npaper reference: SYCL-MLIR 0.86x/0.87x (heat transfer), 0.99x (iso2dfd), 1.0x (jacobi);");
+    print_table(
+        "Stencil workloads (speedup over DPC++, higher is better)",
+        &rows,
+    );
+    println!(
+        "\npaper reference: SYCL-MLIR 0.86x/0.87x (heat transfer), 0.99x (iso2dfd), 1.0x (jacobi);"
+    );
     println!("AdaptiveCpp fails validation on all but iso2dfd (1.5x).");
     println!("note: this reproduction lands heat transfer at ~1.0x — none of the paper's device");
     println!("optimizations fire (matching §VIII), but the codegen overhead behind the paper's");

@@ -38,9 +38,10 @@ impl Row {
 }
 
 /// Run every workload of a category; scale factors below 1.0 shrink the
-/// (already scaled) problem sizes further for quick runs. The engine comes
-/// from the `--engine=tree|plan` flag ([`engine_flag`]) or, absent that,
-/// the device default.
+/// (already scaled) problem sizes further for quick runs. The engine and
+/// worker count come from the `--engine=tree|plan` / `--threads=N` flags
+/// ([`engine_flag`], [`threads_flag`]) or, absent those, the device
+/// defaults.
 pub fn run_category(category: Category, quick: bool) -> Vec<Row> {
     let device = device_from_args();
     let mut rows = Vec::new();
@@ -60,7 +61,14 @@ pub fn run_row(w: &WorkloadSpec, quick: bool, device: &Device) -> Row {
     let mut valid = [false; 3];
     for (i, kind) in FlowKind::all().into_iter().enumerate() {
         match run_workload_on(w, size, kind, device) {
-            Ok((RunResult { cycles: c, valid: v, .. }, _)) => {
+            Ok((
+                RunResult {
+                    cycles: c,
+                    valid: v,
+                    ..
+                },
+                _,
+            )) => {
                 cycles[i] = c;
                 valid[i] = v;
             }
@@ -69,7 +77,11 @@ pub fn run_row(w: &WorkloadSpec, quick: bool, device: &Device) -> Row {
             }
         }
     }
-    Row { name: w.name, cycles, valid }
+    Row {
+        name: w.name,
+        cycles,
+        valid,
+    }
 }
 
 /// Quick-mode problem size for a workload (shared with the differential
@@ -86,7 +98,10 @@ pub fn quick_size(w: &WorkloadSpec) -> i64 {
 /// higher is better; `--` marks a failed validation / missing bar).
 pub fn print_table(title: &str, rows: &[Row]) {
     println!("\n== {title} ==");
-    println!("{:<28} {:>12} {:>12}", "benchmark", "AdaptiveCpp", "SYCL-MLIR");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "benchmark", "AdaptiveCpp", "SYCL-MLIR"
+    );
     let mut acpp = Vec::new();
     let mut sm = Vec::new();
     for r in rows {
@@ -138,13 +153,41 @@ pub fn engine_flag() -> Option<Engine> {
     None
 }
 
-/// The device the repro binaries run on: the `--engine` flag wins, then
-/// the `SYCL_MLIR_SIM_ENGINE` environment variable, then the plan engine.
-pub fn device_from_args() -> Device {
-    match engine_flag() {
-        Some(engine) => Device::new().engine(engine),
-        None => Device::new(),
+/// Parse the shared `--threads=N` flag (`N` a worker count, or `auto`/`0`
+/// for the machine's available parallelism). Unparsable counts abort
+/// rather than silently benchmarking the wrong configuration.
+pub fn threads_flag() -> Option<usize> {
+    for arg in std::env::args() {
+        if let Some(value) = arg.strip_prefix("--threads=") {
+            match value {
+                "auto" | "0" => return Some(sycl_mlir_sim::auto_threads()),
+                _ => match value.parse::<usize>() {
+                    Ok(n) => return Some(n),
+                    Err(_) => {
+                        eprintln!(
+                            "error: unparsable thread count `{value}` (expected a count, `auto` or `0`)"
+                        );
+                        std::process::exit(2);
+                    }
+                },
+            }
+        }
     }
+    None
+}
+
+/// The device the repro binaries run on: the `--engine` / `--threads`
+/// flags win, then the `SYCL_MLIR_SIM_ENGINE` / `SYCL_MLIR_SIM_THREADS`
+/// environment variables, then the defaults (plan engine, sequential).
+pub fn device_from_args() -> Device {
+    let mut device = Device::new();
+    if let Some(engine) = engine_flag() {
+        device = device.engine(engine);
+    }
+    if let Some(threads) = threads_flag() {
+        device = device.threads(threads);
+    }
+    device
 }
 
 #[cfg(test)]
@@ -153,7 +196,11 @@ mod tests {
 
     #[test]
     fn speedup_handles_missing_bars() {
-        let r = Row { name: "x", cycles: [100.0, f64::NAN, 50.0], valid: [true, false, true] };
+        let r = Row {
+            name: "x",
+            cycles: [100.0, f64::NAN, 50.0],
+            valid: [true, false, true],
+        };
         assert!(r.speedup(1).is_nan());
         assert!((r.speedup(2) - 2.0).abs() < 1e-12);
     }

@@ -13,7 +13,11 @@ fn main() {
                 Ok(r) => {
                     println!(
                         "{:-28} {:-12} cycles={:>14.0} valid={} wall={:?}",
-                        w.name, kind.name(), r.cycles, r.valid, t.elapsed()
+                        w.name,
+                        kind.name(),
+                        r.cycles,
+                        r.valid,
+                        t.elapsed()
                     );
                     if std::env::var("NOTES").is_ok() {
                         for n in &r.compile_notes {

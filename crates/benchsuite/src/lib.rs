@@ -32,13 +32,17 @@ pub enum Category {
     Stencil,
 }
 
+/// Host-side validation callback of a workload: checks the runtime's
+/// final buffer/USM contents against a reference computation.
+pub type ValidateFn = Box<dyn Fn(&SyclRuntime) -> Result<(), String>>;
+
 /// A complete runnable application.
 pub struct App {
     pub module: Module,
     pub runtime: SyclRuntime,
     pub queue: Queue,
     /// Host-side validation against a reference computation.
-    pub validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>>,
+    pub validate: ValidateFn,
 }
 
 /// One benchmark of the evaluation.
@@ -133,7 +137,11 @@ pub fn run_workload_on(
 
 /// Geometric mean over positive values.
 pub fn geo_mean(values: &[f64]) -> f64 {
-    let vals: Vec<f64> = values.iter().copied().filter(|v| v.is_finite() && *v > 0.0).collect();
+    let vals: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
     if vals.is_empty() {
         return f64::NAN;
     }
@@ -226,7 +234,10 @@ mod tests {
             .iter()
             .filter(|w| w.category == Category::Polybench && w.in_figure)
             .count();
-        let stencils = all.iter().filter(|w| w.category == Category::Stencil).count();
+        let stencils = all
+            .iter()
+            .filter(|w| w.category == Category::Stencil)
+            .count();
         assert_eq!(fig2, 20, "Fig. 2 has 20 bars");
         assert_eq!(fig3, 14, "Fig. 3 has 14 benchmarks");
         assert_eq!(stencils, 4, "four stencil workloads");
@@ -238,7 +249,11 @@ mod tests {
             .collect();
         assert_eq!(
             acpp_fail,
-            vec!["1D HeatTransfer (buffer)", "1D HeatTransfer (USM)", "jacobi"]
+            vec![
+                "1D HeatTransfer (buffer)",
+                "1D HeatTransfer (USM)",
+                "jacobi"
+            ]
         );
     }
 

@@ -6,13 +6,12 @@
 //! Gramschmidt (§VIII).
 
 use crate::util::*;
-use crate::{App, Category, WorkloadSpec};
+use crate::{App, Category, ValidateFn, WorkloadSpec};
 use sycl_mlir_dialects::{affine, arith, scf};
 use sycl_mlir_frontend::{full_context, KernelModuleBuilder, KernelSig};
 use sycl_mlir_runtime::{hostgen::generate_host_ir, BufferId, Queue, SyclRuntime};
 use sycl_mlir_sycl::device as sdev;
 use sycl_mlir_sycl::types::AccessMode;
-
 
 /// All Fig. 3 workloads in figure order, plus 3D Convolution (sized in
 /// §VIII's text but not plotted).
@@ -126,9 +125,13 @@ fn gemm(n: i64) -> App {
     let module = kb.finish();
 
     let want = host_matmul_seq(rt.read_f32(a), rt.read_f32(b), n as usize);
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
-        Box::new(move |rt| check_f32("gemm", rt.read_f32(c), &want, 1e-3));
-    App { module, runtime: rt, queue: q, validate }
+    let validate: ValidateFn = Box::new(move |rt| check_f32("gemm", rt.read_f32(c), &want, 1e-3));
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -178,9 +181,14 @@ fn mm_chain(n: i64, chains: usize) -> App {
     }
     let last = *outs.last().unwrap();
     let want = refs.last().unwrap().clone();
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
+    let validate: ValidateFn =
         Box::new(move |rt| check_f32("mm-chain", rt.read_f32(last), &want, 5e-2));
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 fn mm2(n: i64) -> App {
@@ -267,7 +275,9 @@ fn syrk_like(n: i64, two: bool) -> App {
                 let mut acc = 0.0_f32;
                 for k in 0..nn {
                     acc += match bv {
-                        Some(bv) => av[i * nn + k] * bv[j * nn + k] + bv[i * nn + k] * av[j * nn + k],
+                        Some(bv) => {
+                            av[i * nn + k] * bv[j * nn + k] + bv[i * nn + k] * av[j * nn + k]
+                        }
                         None => av[i * nn + k] * av[j * nn + k],
                     };
                 }
@@ -275,9 +285,13 @@ fn syrk_like(n: i64, two: bool) -> App {
             })
         })
         .collect();
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
-        Box::new(move |rt| check_f32("syrk", rt.read_f32(c), &want, 1e-3));
-    App { module, runtime: rt, queue: q, validate }
+    let validate: ValidateFn = Box::new(move |rt| check_f32("syrk", rt.read_f32(c), &want, 1e-3));
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 fn syrk(n: i64) -> App {
@@ -328,7 +342,13 @@ fn host_matvec(a: &[f32], x: &[f32], n: usize, transposed: bool) -> Vec<f32> {
     (0..n)
         .map(|i| {
             (0..n)
-                .map(|j| if transposed { a[j * n + i] * x[j] } else { a[i * n + j] * x[j] })
+                .map(|j| {
+                    if transposed {
+                        a[j * n + i] * x[j]
+                    } else {
+                        a[i * n + j] * x[j]
+                    }
+                })
                 .sum()
         })
         .collect()
@@ -349,11 +369,15 @@ fn atax(n: i64) -> App {
     let y = rt.buffer_f32(vec![0.0; n as usize], &[n]);
     let mut q = Queue::new();
     q.submit(|h| {
-        h.accessor(a, AccessMode::Read).accessor(x, AccessMode::Read).accessor(tmp, AccessMode::Write);
+        h.accessor(a, AccessMode::Read)
+            .accessor(x, AccessMode::Read)
+            .accessor(tmp, AccessMode::Write);
         h.parallel_for_nd("atax_a", &[n], &[64.min(n)]);
     });
     q.submit(|h| {
-        h.accessor(a, AccessMode::Read).accessor(tmp, AccessMode::Read).accessor(y, AccessMode::Write);
+        h.accessor(a, AccessMode::Read)
+            .accessor(tmp, AccessMode::Read)
+            .accessor(y, AccessMode::Write);
         h.parallel_for_nd("atax_at", &[n], &[64.min(n)]);
     });
     generate_host_ir(kb.module(), &rt, &q);
@@ -361,9 +385,13 @@ fn atax(n: i64) -> App {
 
     let tmp_ref = host_matvec(rt.read_f32(a), rt.read_f32(x), n as usize, false);
     let want = host_matvec(rt.read_f32(a), &tmp_ref, n as usize, true);
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
-        Box::new(move |rt| check_f32("atax", rt.read_f32(y), &want, 1e-2));
-    App { module, runtime: rt, queue: q, validate }
+    let validate: ValidateFn = Box::new(move |rt| check_f32("atax", rt.read_f32(y), &want, 1e-2));
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 fn bicg(n: i64) -> App {
@@ -382,11 +410,15 @@ fn bicg(n: i64) -> App {
     let s = rt.buffer_f32(vec![0.0; n as usize], &[n]);
     let mut q = Queue::new();
     q.submit(|h| {
-        h.accessor(a, AccessMode::Read).accessor(p, AccessMode::Read).accessor(qv, AccessMode::Write);
+        h.accessor(a, AccessMode::Read)
+            .accessor(p, AccessMode::Read)
+            .accessor(qv, AccessMode::Write);
         h.parallel_for_nd("bicg_q", &[n], &[64.min(n)]);
     });
     q.submit(|h| {
-        h.accessor(a, AccessMode::Read).accessor(r, AccessMode::Read).accessor(s, AccessMode::Write);
+        h.accessor(a, AccessMode::Read)
+            .accessor(r, AccessMode::Read)
+            .accessor(s, AccessMode::Write);
         h.parallel_for_nd("bicg_s", &[n], &[64.min(n)]);
     });
     generate_host_ir(kb.module(), &rt, &q);
@@ -394,11 +426,16 @@ fn bicg(n: i64) -> App {
 
     let want_q = host_matvec(rt.read_f32(a), rt.read_f32(p), n as usize, false);
     let want_s = host_matvec(rt.read_f32(a), rt.read_f32(r), n as usize, true);
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> = Box::new(move |rt| {
+    let validate: ValidateFn = Box::new(move |rt| {
         check_f32("bicg.q", rt.read_f32(qv), &want_q, 1e-2)?;
         check_f32("bicg.s", rt.read_f32(s), &want_s, 1e-2)
     });
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 fn mvt(n: i64) -> App {
@@ -417,11 +454,15 @@ fn mvt(n: i64) -> App {
     let x2 = rt.buffer_f32(vec![0.0; n as usize], &[n]);
     let mut q = Queue::new();
     q.submit(|h| {
-        h.accessor(a, AccessMode::Read).accessor(y1, AccessMode::Read).accessor(x1, AccessMode::Write);
+        h.accessor(a, AccessMode::Read)
+            .accessor(y1, AccessMode::Read)
+            .accessor(x1, AccessMode::Write);
         h.parallel_for_nd("mvt_x1", &[n], &[64.min(n)]);
     });
     q.submit(|h| {
-        h.accessor(a, AccessMode::Read).accessor(y2, AccessMode::Read).accessor(x2, AccessMode::Write);
+        h.accessor(a, AccessMode::Read)
+            .accessor(y2, AccessMode::Read)
+            .accessor(x2, AccessMode::Write);
         h.parallel_for_nd("mvt_x2", &[n], &[64.min(n)]);
     });
     generate_host_ir(kb.module(), &rt, &q);
@@ -429,11 +470,16 @@ fn mvt(n: i64) -> App {
 
     let want1 = host_matvec(rt.read_f32(a), rt.read_f32(y1), n as usize, false);
     let want2 = host_matvec(rt.read_f32(a), rt.read_f32(y2), n as usize, true);
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> = Box::new(move |rt| {
+    let validate: ValidateFn = Box::new(move |rt| {
         check_f32("mvt.x1", rt.read_f32(x1), &want1, 1e-2)?;
         check_f32("mvt.x2", rt.read_f32(x2), &want2, 1e-2)
     });
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 fn gesummv(n: i64) -> App {
@@ -504,9 +550,14 @@ fn gesummv(n: i64) -> App {
             alpha * s1 + beta * s2
         })
         .collect();
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
+    let validate: ValidateFn =
         Box::new(move |rt| check_f32("gesummv", rt.read_f32(y), &want, 1e-2));
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -653,7 +704,8 @@ fn correlation(n: i64) -> App {
     let var = rt.buffer_f32(vec![0.0; n as usize], &[n]);
     let mut q = Queue::new();
     q.submit(|h| {
-        h.accessor(data, AccessMode::Read).accessor(mean, AccessMode::ReadWrite);
+        h.accessor(data, AccessMode::Read)
+            .accessor(mean, AccessMode::ReadWrite);
         h.parallel_for_nd("corr_mean", &[n], &[WG]);
     });
     q.submit(|h| {
@@ -663,15 +715,18 @@ fn correlation(n: i64) -> App {
         h.parallel_for_nd("corr_std", &[n], &[WG]);
     });
     q.submit(|h| {
-        h.accessor(data, AccessMode::ReadWrite).accessor(mean, AccessMode::Read);
+        h.accessor(data, AccessMode::ReadWrite)
+            .accessor(mean, AccessMode::Read);
         h.parallel_for_nd("corr_center", &[n, n], &[WG, WG]);
     });
     q.submit(|h| {
-        h.accessor(data, AccessMode::Read).accessor(corr, AccessMode::ReadWrite);
+        h.accessor(data, AccessMode::Read)
+            .accessor(corr, AccessMode::ReadWrite);
         h.parallel_for_nd("corr_corr", &[n, n], &[WG, WG]);
     });
     q.submit(|h| {
-        h.accessor(data, AccessMode::Read).accessor(var, AccessMode::ReadWrite);
+        h.accessor(data, AccessMode::Read)
+            .accessor(var, AccessMode::ReadWrite);
         h.parallel_for_nd("corr_var", &[n], &[WG]);
     });
     generate_host_ir(kb.module(), &rt, &q);
@@ -703,9 +758,14 @@ fn correlation(n: i64) -> App {
             corr_ref[j * nn + i] = acc;
         }
     }
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
+    let validate: ValidateFn =
         Box::new(move |rt| check_f32("correlation", rt.read_f32(corr), &corr_ref, 5e-2));
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 fn covariance(n: i64) -> App {
@@ -733,11 +793,13 @@ fn covariance(n: i64) -> App {
         h.parallel_for_nd("cov_mean", &[n], &[WG]);
     });
     q.submit(|h| {
-        h.accessor(data, AccessMode::Read).accessor(cov, AccessMode::ReadWrite);
+        h.accessor(data, AccessMode::Read)
+            .accessor(cov, AccessMode::ReadWrite);
         h.parallel_for_nd("cov_cov", &[n, n], &[WG, WG]);
     });
     q.submit(|h| {
-        h.accessor(data, AccessMode::Read).accessor(var, AccessMode::ReadWrite);
+        h.accessor(data, AccessMode::Read)
+            .accessor(var, AccessMode::ReadWrite);
         h.parallel_for_nd("cov_var", &[n], &[WG]);
     });
     generate_host_ir(kb.module(), &rt, &q);
@@ -755,9 +817,14 @@ fn covariance(n: i64) -> App {
             cov_ref[j * nn + i] = acc;
         }
     }
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
+    let validate: ValidateFn =
         Box::new(move |rt| check_f32("covariance", rt.read_f32(cov), &cov_ref, 5e-2));
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -849,9 +916,14 @@ fn gramschmidt(n: i64) -> App {
             }
         }
     }
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
+    let validate: ValidateFn =
         Box::new(move |rt| check_f32("gramschmidt", rt.read_f32(abuf), &want, 5e-2));
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -913,7 +985,8 @@ fn conv2d(n: i64) -> App {
     let output = rt.buffer_f32(vec![0.0; len], &[n, n]);
     let mut q = Queue::new();
     q.submit(|h| {
-        h.accessor(input, AccessMode::Read).accessor(output, AccessMode::Write);
+        h.accessor(input, AccessMode::Read)
+            .accessor(output, AccessMode::Write);
         h.parallel_for_nd("conv2d", &[n, n], &[WG, WG]);
     });
     generate_host_ir(kb.module(), &rt, &q);
@@ -933,9 +1006,14 @@ fn conv2d(n: i64) -> App {
             want[i * nn + j] = acc;
         }
     }
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
+    let validate: ValidateFn =
         Box::new(move |rt| check_f32("conv2d", rt.read_f32(output), &want, 1e-3));
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 fn fdtd2d(n: i64) -> App {
@@ -1018,11 +1096,13 @@ fn fdtd2d(n: i64) -> App {
     let mut q = Queue::new();
     for _t in 0..TMAX {
         q.submit(|h| {
-            h.accessor(ey, AccessMode::ReadWrite).accessor(hz, AccessMode::Read);
+            h.accessor(ey, AccessMode::ReadWrite)
+                .accessor(hz, AccessMode::Read);
             h.parallel_for_nd("fdtd_ey", &[n, n], &[WG, WG]);
         });
         q.submit(|h| {
-            h.accessor(hz, AccessMode::ReadWrite).accessor(ey, AccessMode::Read);
+            h.accessor(hz, AccessMode::ReadWrite)
+                .accessor(ey, AccessMode::Read);
             h.parallel_for_nd("fdtd_hz", &[n, n], &[WG, WG]);
         });
     }
@@ -1044,11 +1124,16 @@ fn fdtd2d(n: i64) -> App {
             }
         }
     }
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> = Box::new(move |rt| {
+    let validate: ValidateFn = Box::new(move |rt| {
         check_f32("fdtd.ey", rt.read_f32(ey), &ey_ref, 1e-2)?;
         check_f32("fdtd.hz", rt.read_f32(hz), &hz_ref, 1e-2)
     });
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 fn conv3d(n: i64) -> App {
@@ -1104,7 +1189,8 @@ fn conv3d(n: i64) -> App {
     let output = rt.buffer_f32(vec![0.0; len], &[n, n, n]);
     let mut q = Queue::new();
     q.submit(|h| {
-        h.accessor(input, AccessMode::Read).accessor(output, AccessMode::Write);
+        h.accessor(input, AccessMode::Read)
+            .accessor(output, AccessMode::Write);
         h.parallel_for_nd("conv3d", &[n, n, n], &[4, 4, 4]);
     });
     generate_host_ir(kb.module(), &rt, &q);
@@ -1117,12 +1203,16 @@ fn conv3d(n: i64) -> App {
         for j in 1..nn - 1 {
             for k in 1..nn - 1 {
                 let at = |a: usize, b2: usize, c: usize| inp[(a * nn + b2) * nn + c];
-                want[(i * nn + j) * nn + k] =
-                    at(i - 1, j, k) + at(i + 1, j, k) - 2.0 * at(i, j, k);
+                want[(i * nn + j) * nn + k] = at(i - 1, j, k) + at(i + 1, j, k) - 2.0 * at(i, j, k);
             }
         }
     }
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
+    let validate: ValidateFn =
         Box::new(move |rt| check_f32("conv3d", rt.read_f32(output), &want, 1e-3));
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }

@@ -3,13 +3,13 @@
 //! learning and linear algebra, in the data-type variants the figure plots.
 
 use crate::util::*;
-use crate::{App, Category, WorkloadSpec};
+use crate::{App, Category, ValidateFn, WorkloadSpec};
 use sycl_mlir_dialects::{arith, math, scf};
 use sycl_mlir_frontend::{full_context, KernelModuleBuilder, KernelSig};
+use sycl_mlir_ir::{Builder, Type, ValueId};
 use sycl_mlir_runtime::{hostgen::generate_host_ir, Queue, SyclRuntime};
 use sycl_mlir_sycl::device as sdev;
 use sycl_mlir_sycl::types::AccessMode;
-use sycl_mlir_ir::{Builder, Type, ValueId};
 
 /// Scalar data type of a workload variant.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -37,12 +37,7 @@ impl Dtype {
 
 /// All Fig. 2 workloads in figure order.
 pub fn workloads() -> Vec<WorkloadSpec> {
-    fn spec(
-        name: &'static str,
-        paper: i64,
-        scaled: i64,
-        build: fn(i64) -> App,
-    ) -> WorkloadSpec {
+    fn spec(name: &'static str, paper: i64, scaled: i64, build: fn(i64) -> App) -> WorkloadSpec {
         WorkloadSpec {
             name,
             category: Category::SingleKernel,
@@ -58,20 +53,36 @@ pub fn workloads() -> Vec<WorkloadSpec> {
         spec("KMeans (float64)", 1 << 20, 8192, |n| kmeans(Dtype::F64, n)),
         spec("LinReg (float32)", 65_536, 8192, |n| linreg(Dtype::F32, n)),
         spec("LinReg (float64)", 65_536, 8192, |n| linreg(Dtype::F64, n)),
-        spec("LinReg Coeff. (float32)", 1 << 20, 8192, |n| linreg_coeff(Dtype::F32, n)),
-        spec("LinReg Coeff. (float64)", 1 << 20, 8192, |n| linreg_coeff(Dtype::F64, n)),
+        spec("LinReg Coeff. (float32)", 1 << 20, 8192, |n| {
+            linreg_coeff(Dtype::F32, n)
+        }),
+        spec("LinReg Coeff. (float64)", 1 << 20, 8192, |n| {
+            linreg_coeff(Dtype::F64, n)
+        }),
         spec("MolDyn", 1 << 20, 2048, moldyn),
         spec("NBody (float32)", 1024, 256, |n| nbody(Dtype::F32, n)),
         spec("NBody (float64)", 1024, 256, |n| nbody(Dtype::F64, n)),
-        spec("ScalProd (float32)", 1 << 20, 16_384, |n| scalprod(Dtype::F32, n)),
-        spec("ScalProd (float64)", 1 << 20, 16_384, |n| scalprod(Dtype::F64, n)),
-        spec("ScalProd (int32)", 1 << 20, 16_384, |n| scalprod(Dtype::I32, n)),
-        spec("ScalProd (int64)", 1 << 20, 16_384, |n| scalprod(Dtype::I64, n)),
+        spec("ScalProd (float32)", 1 << 20, 16_384, |n| {
+            scalprod(Dtype::F32, n)
+        }),
+        spec("ScalProd (float64)", 1 << 20, 16_384, |n| {
+            scalprod(Dtype::F64, n)
+        }),
+        spec("ScalProd (int32)", 1 << 20, 16_384, |n| {
+            scalprod(Dtype::I32, n)
+        }),
+        spec("ScalProd (int64)", 1 << 20, 16_384, |n| {
+            scalprod(Dtype::I64, n)
+        }),
         spec("Sobel3", 512, 64, |n| sobel(3, n)),
         spec("Sobel5", 512, 64, |n| sobel(5, n)),
         spec("Sobel7", 512, 64, |n| sobel(7, n)),
-        spec("VecAdd (float32)", 1 << 20, 16_384, |n| vecadd(Dtype::F32, n)),
-        spec("VecAdd (float64)", 1 << 20, 16_384, |n| vecadd(Dtype::F64, n)),
+        spec("VecAdd (float32)", 1 << 20, 16_384, |n| {
+            vecadd(Dtype::F32, n)
+        }),
+        spec("VecAdd (float64)", 1 << 20, 16_384, |n| {
+            vecadd(Dtype::F64, n)
+        }),
         spec("VecAdd (int32)", 1 << 20, 16_384, |n| vecadd(Dtype::I32, n)),
         spec("VecAdd (int64)", 1 << 20, 16_384, |n| vecadd(Dtype::I64, n)),
     ]
@@ -95,7 +106,12 @@ fn mul(b: &mut Builder<'_>, dt: Dtype, l: ValueId, r: ValueId) -> ValueId {
 
 /// Allocate runtime buffers of the right dtype; returns the buffer plus a
 /// retrieval closure handled per-workload.
-fn buffer_rand(rt: &mut SyclRuntime, dt: Dtype, rng: &mut rand::rngs::StdRng, n: i64) -> sycl_mlir_runtime::BufferId {
+fn buffer_rand(
+    rt: &mut SyclRuntime,
+    dt: Dtype,
+    rng: &mut rand::rngs::StdRng,
+    n: i64,
+) -> sycl_mlir_runtime::BufferId {
     match dt {
         Dtype::F32 => rt.buffer_f32(rand_f32(rng, n as usize), &[n]),
         Dtype::F64 => rt.buffer_f64(rand_f64(rng, n as usize), &[n]),
@@ -148,7 +164,7 @@ fn vecadd(dt: Dtype, n: i64) -> App {
     generate_host_ir(kb.module(), &rt, &q);
     let module = kb.finish();
 
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> = match dt {
+    let validate: ValidateFn = match dt {
         Dtype::F32 => {
             let want: Vec<f32> = rt
                 .read_f32(a)
@@ -186,7 +202,12 @@ fn vecadd(dt: Dtype, n: i64) -> App {
             Box::new(move |rt| check_exact("vecadd", rt.read_i64(c), &want))
         }
     };
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -224,7 +245,7 @@ fn scalprod(dt: Dtype, n: i64) -> App {
     generate_host_ir(kb.module(), &rt, &q);
     let module = kb.finish();
 
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> = match dt {
+    let validate: ValidateFn = match dt {
         Dtype::F32 => {
             let want: f64 = rt
                 .read_f32(a)
@@ -288,7 +309,12 @@ fn scalprod(dt: Dtype, n: i64) -> App {
             })
         }
     };
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -324,7 +350,9 @@ fn linreg(dt: Dtype, n: i64) -> App {
     let e = buffer_zero(&mut rt, dt, n);
     let mut q = Queue::new();
     q.submit(|h| {
-        h.accessor(x, AccessMode::Read).accessor(y, AccessMode::Read).accessor(e, AccessMode::Write);
+        h.accessor(x, AccessMode::Read)
+            .accessor(y, AccessMode::Read)
+            .accessor(e, AccessMode::Write);
         match dt {
             Dtype::F32 => {
                 h.scalar_f32(alpha as f32).scalar_f32(beta as f32);
@@ -338,7 +366,7 @@ fn linreg(dt: Dtype, n: i64) -> App {
     generate_host_ir(kb.module(), &rt, &q);
     let module = kb.finish();
 
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> = match dt {
+    let validate: ValidateFn = match dt {
         Dtype::F32 => {
             let want: Vec<f32> = rt
                 .read_f32(x)
@@ -364,7 +392,12 @@ fn linreg(dt: Dtype, n: i64) -> App {
             Box::new(move |rt| check_f64("linreg", rt.read_f64(e), &want, 1e-10))
         }
     };
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -407,10 +440,14 @@ fn linreg_coeff(dt: Dtype, n: i64) -> App {
     generate_host_ir(kb.module(), &rt, &q);
     let module = kb.finish();
 
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> = match dt {
+    let validate: ValidateFn = match dt {
         Dtype::F32 => {
-            let wxy: Vec<f32> =
-                rt.read_f32(x).iter().zip(rt.read_f32(y)).map(|(a, b)| a * b).collect();
+            let wxy: Vec<f32> = rt
+                .read_f32(x)
+                .iter()
+                .zip(rt.read_f32(y))
+                .map(|(a, b)| a * b)
+                .collect();
             let wxx: Vec<f32> = rt.read_f32(x).iter().map(|a| a * a).collect();
             Box::new(move |rt| {
                 check_f32("xy", rt.read_f32(xy), &wxy, 1e-5)?;
@@ -418,8 +455,12 @@ fn linreg_coeff(dt: Dtype, n: i64) -> App {
             })
         }
         _ => {
-            let wxy: Vec<f64> =
-                rt.read_f64(x).iter().zip(rt.read_f64(y)).map(|(a, b)| a * b).collect();
+            let wxy: Vec<f64> = rt
+                .read_f64(x)
+                .iter()
+                .zip(rt.read_f64(y))
+                .map(|(a, b)| a * b)
+                .collect();
             let wxx: Vec<f64> = rt.read_f64(x).iter().map(|a| a * a).collect();
             Box::new(move |rt| {
                 check_f64("xy", rt.read_f64(xy), &wxy, 1e-12)?;
@@ -427,7 +468,12 @@ fn linreg_coeff(dt: Dtype, n: i64) -> App {
             })
         }
     };
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -499,7 +545,7 @@ fn kmeans(dt: Dtype, n: i64) -> App {
     generate_host_ir(kb.module(), &rt, &q);
     let module = kb.finish();
 
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> = match dt {
+    let validate: ValidateFn = match dt {
         Dtype::F32 => {
             let pxv = rt.read_f32(px).to_vec();
             let pyv = rt.read_f32(py).to_vec();
@@ -537,7 +583,12 @@ fn kmeans(dt: Dtype, n: i64) -> App {
             Box::new(move |rt| check_f64("kmeans", rt.read_f64(out), &want, 1e-10))
         }
     };
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -619,9 +670,14 @@ fn moldyn(n: i64) -> App {
                 .sum()
         })
         .collect();
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
+    let validate: ValidateFn =
         Box::new(move |rt| check_f32("moldyn", rt.read_f32(force), &want, 1e-3));
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -667,12 +723,24 @@ fn nbody(dt: Dtype, n: i64) -> App {
     let (x, mass, acc) = match dt {
         Dtype::F32 => (
             rt.buffer_f32(rand_f32(&mut rng_, n as usize), &[n]),
-            rt.buffer_f32(rand_f32(&mut rng_, n as usize).iter().map(|v| v.abs() + 0.1).collect(), &[n]),
+            rt.buffer_f32(
+                rand_f32(&mut rng_, n as usize)
+                    .iter()
+                    .map(|v| v.abs() + 0.1)
+                    .collect(),
+                &[n],
+            ),
             rt.buffer_f32(vec![0.0; n as usize], &[n]),
         ),
         _ => (
             rt.buffer_f64(rand_f64(&mut rng_, n as usize), &[n]),
-            rt.buffer_f64(rand_f64(&mut rng_, n as usize).iter().map(|v| v.abs() + 0.1).collect(), &[n]),
+            rt.buffer_f64(
+                rand_f64(&mut rng_, n as usize)
+                    .iter()
+                    .map(|v| v.abs() + 0.1)
+                    .collect(),
+                &[n],
+            ),
             rt.buffer_f64(vec![0.0; n as usize], &[n]),
         ),
     };
@@ -686,7 +754,7 @@ fn nbody(dt: Dtype, n: i64) -> App {
     generate_host_ir(kb.module(), &rt, &q);
     let module = kb.finish();
 
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> = match dt {
+    let validate: ValidateFn = match dt {
         Dtype::F32 => {
             let xv = rt.read_f32(x).to_vec();
             let mv = rt.read_f32(mass).to_vec();
@@ -722,7 +790,12 @@ fn nbody(dt: Dtype, n: i64) -> App {
             Box::new(move |rt| check_f64("nbody", rt.read_f64(acc), &want, 1e-9))
         }
     };
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -841,7 +914,12 @@ fn sobel(taps: i64, n: i64) -> App {
             })
         })
         .collect();
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
+    let validate: ValidateFn =
         Box::new(move |rt| check_f32("sobel", rt.read_f32(out), &want, 1e-3));
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }

@@ -5,7 +5,7 @@
 //! iso2dfd.
 
 use crate::util::*;
-use crate::{App, Category, WorkloadSpec};
+use crate::{App, Category, ValidateFn, WorkloadSpec};
 use sycl_mlir_dialects::{arith, scf};
 use sycl_mlir_frontend::{full_context, KernelModuleBuilder, KernelSig};
 use sycl_mlir_runtime::{hostgen::generate_host_ir, Queue, SyclRuntime};
@@ -126,7 +126,8 @@ fn heat_transfer(n: i64, usm: bool) -> App {
         for step in 0..STEPS {
             let (src, dst) = if step % 2 == 0 { (a, b) } else { (b, a) };
             q.submit(|h| {
-                h.accessor(src, AccessMode::Read).accessor(dst, AccessMode::Write);
+                h.accessor(src, AccessMode::Read)
+                    .accessor(dst, AccessMode::Write);
                 h.parallel_for("heat_step", &[n]);
             });
         }
@@ -146,7 +147,7 @@ fn heat_transfer(n: i64, usm: bool) -> App {
     let want = cur;
     // After an even number of steps the result lives in buffer/usm 0.
     let final_in_first = STEPS % 2 == 0;
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> = if usm {
+    let validate: ValidateFn = if usm {
         Box::new(move |rt| {
             let got = if final_in_first {
                 rt.usm_read_f32(crate::stencil::usm_id(0))
@@ -165,7 +166,12 @@ fn heat_transfer(n: i64, usm: bool) -> App {
             check_f32("heat-buffer", got, &want, 1e-3)
         })
     };
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 pub(crate) fn usm_id(i: usize) -> sycl_mlir_runtime::UsmId {
@@ -242,7 +248,13 @@ fn iso2dfd(n: i64) -> App {
     let len = (n * n) as usize;
     let a = rt.buffer_f32(rand_f32(&mut rng_, len), &[n, n]);
     let b = rt.buffer_f32(rand_f32(&mut rng_, len), &[n, n]);
-    let vel = rt.buffer_f32(rand_f32(&mut rng_, len).iter().map(|v| v.abs() * 0.1).collect(), &[n, n]);
+    let vel = rt.buffer_f32(
+        rand_f32(&mut rng_, len)
+            .iter()
+            .map(|v| v.abs() * 0.1)
+            .collect(),
+        &[n, n],
+    );
     let mut q = Queue::new();
     for step in 0..ITERS {
         let (cur, prev) = if step % 2 == 0 { (a, b) } else { (b, a) };
@@ -270,7 +282,8 @@ fn iso2dfd(n: i64) -> App {
                     + cur[i * nn + j - 1]
                     + cur[i * nn + j + 1]
                     - 4.0 * cur[i * nn + j];
-                next[i * nn + j] = 2.0 * cur[i * nn + j] - prev[i * nn + j] + velv[i * nn + j] * lap;
+                next[i * nn + j] =
+                    2.0 * cur[i * nn + j] - prev[i * nn + j] + velv[i * nn + j] * lap;
             }
         }
         prev = cur;
@@ -283,9 +296,14 @@ fn iso2dfd(n: i64) -> App {
     let final_buf = if ITERS % 2 == 0 { a } else { b };
     let _ = final_buf;
     let last_written = if (ITERS - 1) % 2 == 0 { b } else { a };
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
+    let validate: ValidateFn =
         Box::new(move |rt| check_f32("iso2dfd", rt.read_f32(last_written), &want, 5e-2));
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }
 
 /// Jacobi iteration for a diagonally dominant system; the *prepare for next
@@ -373,7 +391,12 @@ fn jacobi(n: i64) -> App {
     }
     let want = x;
     let final_buf = if ITERS % 2 == 0 { x0 } else { x1 };
-    let validate: Box<dyn Fn(&SyclRuntime) -> Result<(), String>> =
+    let validate: ValidateFn =
         Box::new(move |rt| check_f32("jacobi", rt.read_f32(final_buf), &want, 1e-3));
-    App { module, runtime: rt, queue: q, validate }
+    App {
+        module,
+        runtime: rt,
+        queue: q,
+        validate,
+    }
 }

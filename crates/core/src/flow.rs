@@ -53,7 +53,10 @@ pub struct Flow {
 
 impl Flow {
     pub fn new(kind: FlowKind) -> Flow {
-        Flow { kind, dump_stages: false }
+        Flow {
+            kind,
+            dump_stages: false,
+        }
     }
 
     /// Names of the passes this flow runs at compile time.
@@ -61,7 +64,11 @@ impl Flow {
         match self.kind {
             FlowKind::Dpcpp => vec!["canonicalize", "cse", "licm (conservative)"],
             FlowKind::AdaptiveCpp => {
-                vec!["canonicalize", "cse", "(JIT at launch: nd-range constants, detect-reduction)"]
+                vec![
+                    "canonicalize",
+                    "cse",
+                    "(JIT at launch: nd-range constants, detect-reduction)",
+                ]
             }
             FlowKind::SyclMlir => vec![
                 "raise-host",
@@ -105,7 +112,9 @@ impl Flow {
                 pm.add_pass(LicmPass::new(false));
                 outcome.pass_stats = pm.run(module)?;
                 outcome.dumps = std::mem::take(&mut pm.dumps);
-                outcome.notes.push("device IR embedded for JIT specialization at launch".into());
+                outcome
+                    .notes
+                    .push("device IR embedded for JIT specialization at launch".into());
             }
             FlowKind::SyclMlir => {
                 let mut raise = RaiseHostPass::default();
@@ -155,7 +164,9 @@ impl Flow {
                     licm.stats.guarded_loops,
                     licm.stats.versioned_loops
                 ));
-                outcome.notes.push(format!("reductions rewritten: {}", reduction.rewritten));
+                outcome
+                    .notes
+                    .push(format!("reductions rewritten: {}", reduction.rewritten));
                 outcome.notes.push(format!(
                     "internalized {} loops ({} refs prefetched, {} skipped divergent, {} stores skipped)",
                     internalize.stats.internalized_loops,
@@ -163,7 +174,9 @@ impl Flow {
                     internalize.stats.skipped_divergent,
                     internalize.stats.skipped_stores
                 ));
-                outcome.notes.push(format!("dead kernel arguments: {}", dae.dead_args_found));
+                outcome
+                    .notes
+                    .push(format!("dead kernel arguments: {}", dae.dead_args_found));
             }
         }
         Ok(outcome)
@@ -257,7 +270,12 @@ fn fold_range_queries(m: &mut Module, kernel: OpId) {
         let index = m.op_index_in_block(op);
         let name = m.ctx().op("arith.constant");
         let ty = m.value_type(m.op_result(op, 0));
-        let cst = m.create_op(name, &[], &[ty], vec![("value".into(), Attribute::Int(value))]);
+        let cst = m.create_op(
+            name,
+            &[],
+            &[ty],
+            vec![("value".into(), Attribute::Int(value))],
+        );
         m.insert_op(block, index, cst);
         let new_v = m.op_result(cst, 0);
         m.replace_all_uses(m.op_result(op, 0), new_v);

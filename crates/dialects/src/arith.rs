@@ -33,8 +33,18 @@ impl Dialect for ArithDialect {
                 .with_traits(traits::CONSTANT_LIKE | traits::PURE)
                 .with_verify(verify_constant),
         );
-        for name in ["arith.addi", "arith.subi", "arith.muli", "arith.divsi", "arith.remsi",
-                     "arith.andi", "arith.ori", "arith.xori", "arith.minsi", "arith.maxsi"] {
+        for name in [
+            "arith.addi",
+            "arith.subi",
+            "arith.muli",
+            "arith.divsi",
+            "arith.remsi",
+            "arith.andi",
+            "arith.ori",
+            "arith.xori",
+            "arith.minsi",
+            "arith.maxsi",
+        ] {
             ctx.register_op(
                 OpInfo::new(name)
                     .with_traits(traits::PURE)
@@ -42,8 +52,14 @@ impl Dialect for ArithDialect {
                     .with_fold(fold_int_binary),
             );
         }
-        for name in ["arith.addf", "arith.subf", "arith.mulf", "arith.divf",
-                     "arith.minf", "arith.maxf"] {
+        for name in [
+            "arith.addf",
+            "arith.subf",
+            "arith.mulf",
+            "arith.divf",
+            "arith.minf",
+            "arith.maxf",
+        ] {
             ctx.register_op(
                 OpInfo::new(name)
                     .with_traits(traits::PURE)
@@ -52,7 +68,9 @@ impl Dialect for ArithDialect {
             );
         }
         ctx.register_op(
-            OpInfo::new("arith.negf").with_traits(traits::PURE).with_fold(fold_negf),
+            OpInfo::new("arith.negf")
+                .with_traits(traits::PURE)
+                .with_fold(fold_negf),
         );
         ctx.register_op(
             OpInfo::new("arith.cmpi")
@@ -72,29 +90,40 @@ impl Dialect for ArithDialect {
                 .with_fold(fold_select),
         );
         ctx.register_op(
-            OpInfo::new("arith.index_cast").with_traits(traits::PURE).with_fold(fold_cast_int),
+            OpInfo::new("arith.index_cast")
+                .with_traits(traits::PURE)
+                .with_fold(fold_cast_int),
         );
         ctx.register_op(
-            OpInfo::new("arith.trunci").with_traits(traits::PURE).with_fold(fold_cast_int),
+            OpInfo::new("arith.trunci")
+                .with_traits(traits::PURE)
+                .with_fold(fold_cast_int),
         );
         ctx.register_op(
-            OpInfo::new("arith.extsi").with_traits(traits::PURE).with_fold(fold_cast_int),
+            OpInfo::new("arith.extsi")
+                .with_traits(traits::PURE)
+                .with_fold(fold_cast_int),
         );
         ctx.register_op(
-            OpInfo::new("arith.sitofp").with_traits(traits::PURE).with_fold(fold_sitofp),
+            OpInfo::new("arith.sitofp")
+                .with_traits(traits::PURE)
+                .with_fold(fold_sitofp),
         );
         ctx.register_op(
-            OpInfo::new("arith.fptosi").with_traits(traits::PURE).with_fold(fold_fptosi),
+            OpInfo::new("arith.fptosi")
+                .with_traits(traits::PURE)
+                .with_fold(fold_fptosi),
         );
-        ctx.register_op(
-            OpInfo::new("arith.truncf").with_traits(traits::PURE),
-        );
-        ctx.register_op(
-            OpInfo::new("arith.extf").with_traits(traits::PURE),
-        );
+        ctx.register_op(OpInfo::new("arith.truncf").with_traits(traits::PURE));
+        ctx.register_op(OpInfo::new("arith.extf").with_traits(traits::PURE));
         ctx.register_constant_materializer(|m, block, index, attr, ty| {
             let name = m.ctx().lookup_op("arith.constant")?;
-            let op = m.create_op(name, &[], &[ty.clone()], vec![("value".into(), attr.clone())]);
+            let op = m.create_op(
+                name,
+                &[],
+                std::slice::from_ref(ty),
+                vec![("value".into(), attr.clone())],
+            );
             m.insert_op(block, index, op);
             Some(m.op_result(op, 0))
         });
@@ -116,7 +145,9 @@ fn verify_constant(m: &Module, op: OpId) -> Result<(), String> {
         (Attribute::Bool(_), TypeKind::Int(1)) => Ok(()),
         (Attribute::Float(_), TypeKind::F32 | TypeKind::F64) => Ok(()),
         (Attribute::DenseI64(_) | Attribute::DenseF64(_), TypeKind::MemRef { .. }) => Ok(()),
-        _ => Err(format!("value attribute {value} incompatible with result type {ty}")),
+        _ => Err(format!(
+            "value attribute {value} incompatible with result type {ty}"
+        )),
     }
 }
 
@@ -128,7 +159,9 @@ fn verify_same_type_binary(m: &Module, op: OpId) -> Result<(), String> {
     let r = m.value_type(m.op_operand(op, 1));
     let res = m.value_type(m.op_result(op, 0));
     if l != r || l != res {
-        return Err(format!("operand/result types must match, got ({l}, {r}) -> {res}"));
+        return Err(format!(
+            "operand/result types must match, got ({l}, {r}) -> {res}"
+        ));
     }
     Ok(())
 }
@@ -141,7 +174,10 @@ fn verify_cmp(m: &Module, op: OpId) -> Result<(), String> {
     if res.int_width() != Some(1) {
         return Err(format!("result must be i1, got {res}"));
     }
-    let pred = m.attr(op, "predicate").and_then(|a| a.as_str()).ok_or("missing `predicate`")?;
+    let pred = m
+        .attr(op, "predicate")
+        .and_then(|a| a.as_str())
+        .ok_or("missing `predicate`")?;
     match pred {
         "eq" | "ne" | "slt" | "sle" | "sgt" | "sge" => Ok(()),
         other => Err(format!("unknown predicate `{other}`")),
@@ -277,7 +313,11 @@ fn fold_cmpf(m: &Module, op: OpId) -> Option<Vec<FoldOut>> {
 fn fold_select(m: &Module, op: OpId) -> Option<Vec<FoldOut>> {
     let cond = const_of(m, m.op_operand(op, 0))?;
     let cond = cond.as_bool().or_else(|| cond.as_int().map(|v| v != 0))?;
-    let chosen = if cond { m.op_operand(op, 1) } else { m.op_operand(op, 2) };
+    let chosen = if cond {
+        m.op_operand(op, 1)
+    } else {
+        m.op_operand(op, 2)
+    };
     Some(vec![FoldOut::Value(chosen)])
 }
 
@@ -302,7 +342,12 @@ fn fold_fptosi(m: &Module, op: OpId) -> Option<Vec<FoldOut>> {
 
 /// Build an integer constant of the given type.
 pub fn constant_int(b: &mut Builder<'_>, value: i64, ty: Type) -> ValueId {
-    b.build_value("arith.constant", &[], ty, vec![("value".into(), Attribute::Int(value))])
+    b.build_value(
+        "arith.constant",
+        &[],
+        ty,
+        vec![("value".into(), Attribute::Int(value))],
+    )
 }
 
 /// Build an `index` constant.
@@ -313,7 +358,12 @@ pub fn constant_index(b: &mut Builder<'_>, value: i64) -> ValueId {
 
 /// Build a floating-point constant of the given type.
 pub fn constant_float(b: &mut Builder<'_>, value: f64, ty: Type) -> ValueId {
-    b.build_value("arith.constant", &[], ty, vec![("value".into(), Attribute::Float(value))])
+    b.build_value(
+        "arith.constant",
+        &[],
+        ty,
+        vec![("value".into(), Attribute::Float(value))],
+    )
 }
 
 fn binary(b: &mut Builder<'_>, name: &str, lhs: ValueId, rhs: ValueId) -> ValueId {

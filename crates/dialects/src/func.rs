@@ -31,7 +31,9 @@ fn verify_func(m: &Module, op: OpId) -> Result<(), String> {
         .attr(op, "function_type")
         .and_then(|a| a.as_type())
         .ok_or("missing `function_type` attribute")?;
-    let (inputs, _) = fty.function_signature().ok_or("`function_type` must be a function type")?;
+    let (inputs, _) = fty
+        .function_signature()
+        .ok_or("`function_type` must be a function type")?;
     if m.symbol_name(op).is_none() {
         return Err("missing `sym_name` attribute".into());
     }
@@ -129,12 +131,7 @@ pub fn build_return(b: &mut Builder<'_>, values: &[ValueId]) -> OpId {
 }
 
 /// Build a direct `func.call` to `callee` with the given result types.
-pub fn build_call(
-    b: &mut Builder<'_>,
-    callee: &str,
-    args: &[ValueId],
-    results: &[Type],
-) -> OpId {
+pub fn build_call(b: &mut Builder<'_>, callee: &str, args: &[ValueId], results: &[Type]) -> OpId {
     b.build(
         "func.call",
         args,
@@ -162,7 +159,13 @@ mod tests {
         let mut m = Module::new(&ctx);
         let i32t = ctx.i32_type();
         let top = m.top();
-        let (func, entry) = build_func(&mut m, top, "id", &[i32t.clone()], &[i32t]);
+        let (func, entry) = build_func(
+            &mut m,
+            top,
+            "id",
+            std::slice::from_ref(&i32t),
+            std::slice::from_ref(&i32t),
+        );
         let arg = m.block_arg(entry, 0);
         {
             let mut b = Builder::at_end(&mut m, entry);

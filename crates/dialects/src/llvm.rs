@@ -37,7 +37,11 @@ impl Dialect for LlvmDialect {
                 .with_verify(verify_store)
                 .with_effects(|m, op| vec![Effect::write(m.op_operand(op, 1))]),
         );
-        ctx.register_op(OpInfo::new("llvm.gep").with_traits(traits::PURE).with_verify(verify_gep));
+        ctx.register_op(
+            OpInfo::new("llvm.gep")
+                .with_traits(traits::PURE)
+                .with_verify(verify_gep),
+        );
         ctx.register_op(OpInfo::new("llvm.undef").with_traits(traits::PURE));
     }
 }
@@ -50,7 +54,12 @@ fn verify_call(m: &Module, op: OpId) -> Result<(), String> {
 }
 
 fn verify_alloca(m: &Module, op: OpId) -> Result<(), String> {
-    if m.op_results(op).len() != 1 || !matches!(m.value_type(m.op_result(op, 0)).kind(), sycl_mlir_ir::TypeKind::Ptr) {
+    if m.op_results(op).len() != 1
+        || !matches!(
+            m.value_type(m.op_result(op, 0)).kind(),
+            sycl_mlir_ir::TypeKind::Ptr
+        )
+    {
         return Err("must produce a single `ptr` result".into());
     }
     Ok(())
@@ -90,12 +99,7 @@ pub fn alloca(b: &mut Builder<'_>, object: &str) -> ValueId {
 }
 
 /// Call a runtime function by mangled name.
-pub fn call(
-    b: &mut Builder<'_>,
-    callee: &str,
-    args: &[ValueId],
-    results: &[Type],
-) -> OpId {
+pub fn call(b: &mut Builder<'_>, callee: &str, args: &[ValueId], results: &[Type]) -> OpId {
     b.build(
         "llvm.call",
         args,
@@ -144,7 +148,10 @@ mod tests {
         assert!(verify(&m).is_ok(), "{:?}", verify(&m));
         // The whole point of raising: this is opaque to analyses.
         assert_eq!(memory_effects(&m, call_op), None);
-        assert_eq!(callee_name(&m, call_op).as_deref(), Some("sycl_buffer_ctor"));
+        assert_eq!(
+            callee_name(&m, call_op).as_deref(),
+            Some("sycl_buffer_ctor")
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ fn verify_unary(m: &Module, op: OpId) -> Result<(), String> {
     let in_ty = m.value_type(m.op_operand(op, 0));
     let out_ty = m.value_type(m.op_result(op, 0));
     if !in_ty.is_float() || in_ty != out_ty {
-        return Err(format!("expects matching float types, got {in_ty} -> {out_ty}"));
+        return Err(format!(
+            "expects matching float types, got {in_ty} -> {out_ty}"
+        ));
     }
     Ok(())
 }
@@ -124,7 +126,7 @@ pub fn powf(b: &mut Builder<'_>, x: ValueId, y: ValueId) -> ValueId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arith::{constant_float, const_float_of};
+    use crate::arith::{const_float_of, constant_float};
     use sycl_mlir_ir::{apply_patterns_greedily, verify, Module};
 
     #[test]

@@ -29,7 +29,11 @@ impl Dialect for MemRefDialect {
                 .with_verify(verify_store)
                 .with_effects(|m, op| vec![Effect::write(m.op_operand(op, 1))]),
         );
-        ctx.register_op(OpInfo::new("memref.cast").with_traits(traits::PURE).with_verify(verify_cast));
+        ctx.register_op(
+            OpInfo::new("memref.cast")
+                .with_traits(traits::PURE)
+                .with_verify(verify_cast),
+        );
     }
 }
 
@@ -46,7 +50,9 @@ fn verify_alloca(m: &Module, op: OpId) -> Result<(), String> {
 }
 
 fn check_indices(m: &Module, memref_ty: &Type, indices: &[ValueId]) -> Result<(), String> {
-    let shape = memref_ty.memref_shape().ok_or("expected a memref operand")?;
+    let shape = memref_ty
+        .memref_shape()
+        .ok_or("expected a memref operand")?;
     if indices.len() != shape.len() {
         return Err(format!(
             "{} indices supplied for a rank-{} memref",
@@ -70,10 +76,14 @@ fn verify_load(m: &Module, op: OpId) -> Result<(), String> {
     }
     let mem_ty = m.value_type(operands[0]);
     check_indices(m, &mem_ty, &operands[1..])?;
-    let elem = mem_ty.memref_elem().ok_or("first operand must be a memref")?;
+    let elem = mem_ty
+        .memref_elem()
+        .ok_or("first operand must be a memref")?;
     let res = m.value_type(m.op_result(op, 0));
     if elem != res {
-        return Err(format!("result type {res} does not match element type {elem}"));
+        return Err(format!(
+            "result type {res} does not match element type {elem}"
+        ));
     }
     Ok(())
 }
@@ -85,10 +95,14 @@ fn verify_store(m: &Module, op: OpId) -> Result<(), String> {
     }
     let mem_ty = m.value_type(operands[1]);
     check_indices(m, &mem_ty, &operands[2..])?;
-    let elem = mem_ty.memref_elem().ok_or("second operand must be a memref")?;
+    let elem = mem_ty
+        .memref_elem()
+        .ok_or("second operand must be a memref")?;
     let val = m.value_type(operands[0]);
     if elem != val {
-        return Err(format!("stored type {val} does not match element type {elem}"));
+        return Err(format!(
+            "stored type {val} does not match element type {elem}"
+        ));
     }
     Ok(())
 }

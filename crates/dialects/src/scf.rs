@@ -37,7 +37,10 @@ pub(crate) fn verify_loop_shape(m: &Module, op: OpId) -> Result<(), String> {
     }
     for (i, &v) in operands[..3].iter().enumerate() {
         if !m.value_type(v).is_int_or_index() {
-            return Err(format!("bound #{i} must be integer/index, got {}", m.value_type(v)));
+            return Err(format!(
+                "bound #{i} must be integer/index, got {}",
+                m.value_type(v)
+            ));
         }
     }
     let num_iters = operands.len() - 3;
@@ -97,7 +100,10 @@ fn verify_if(m: &Module, op: OpId) -> Result<(), String> {
         return Err("expects exactly one condition operand".into());
     }
     if m.value_type(operands[0]).int_width() != Some(1) {
-        return Err(format!("condition must be i1, got {}", m.value_type(operands[0])));
+        return Err(format!(
+            "condition must be i1, got {}",
+            m.value_type(operands[0])
+        ));
     }
     if m.op_regions(op).len() != 2 {
         return Err("expects a `then` and an `else` region".into());
@@ -187,7 +193,11 @@ pub fn build_loop(
         let mut inner = Builder::at_end(m, block);
         body(&mut inner, iv, &iters)
     };
-    let yield_name = if op_name.starts_with("affine.") { "affine.yield" } else { "scf.yield" };
+    let yield_name = if op_name.starts_with("affine.") {
+        "affine.yield"
+    } else {
+        "scf.yield"
+    };
     let mut inner = Builder::at_end(m, block);
     inner.build(yield_name, &yields, &[], vec![]);
     op
@@ -245,7 +255,7 @@ mod tests {
         let mut m = Module::new(&ctx);
         let f64t = ctx.f64_type();
         let top = m.top();
-        let (_f, entry) = build_func(&mut m, top, "sum", &[], &[f64t.clone()]);
+        let (_f, entry) = build_func(&mut m, top, "sum", &[], std::slice::from_ref(&f64t));
         {
             let mut b = Builder::at_end(&mut m, entry);
             let zero = constant_index(&mut b, 0);
@@ -273,14 +283,20 @@ mod tests {
         let mut m = Module::new(&ctx);
         let i64t = ctx.i64_type();
         let top = m.top();
-        let (_f, entry) = build_func(&mut m, top, "pick", &[ctx.i1_type()], &[i64t.clone()]);
+        let (_f, entry) = build_func(
+            &mut m,
+            top,
+            "pick",
+            &[ctx.i1_type()],
+            std::slice::from_ref(&i64t),
+        );
         let cond = m.block_arg(entry, 0);
         {
             let mut b = Builder::at_end(&mut m, entry);
             let if_op = build_if(
                 &mut b,
                 cond,
-                &[i64t.clone()],
+                std::slice::from_ref(&i64t),
                 |inner| {
                     let one = arith::constant_int(inner, 1, inner.ctx().i64_type());
                     vec![one]

@@ -18,7 +18,11 @@ use sycl_mlir_sycl::types::{self, AccessMode, Target};
 #[derive(Clone, Debug)]
 pub enum KernelParam {
     /// A global accessor of the given element type, rank and mode.
-    Accessor { elem: Type, rank: u32, mode: AccessMode },
+    Accessor {
+        elem: Type,
+        rank: u32,
+        mode: AccessMode,
+    },
     /// A scalar passed by value.
     Scalar(Type),
 }
@@ -35,7 +39,12 @@ pub struct KernelSig {
 
 impl KernelSig {
     pub fn new(name: &str, rank: u32, nd: bool) -> KernelSig {
-        KernelSig { name: name.into(), params: Vec::new(), rank, nd }
+        KernelSig {
+            name: name.into(),
+            params: Vec::new(),
+            rank,
+            nd,
+        }
     }
 
     pub fn accessor(mut self, elem: Type, rank: u32, mode: AccessMode) -> KernelSig {

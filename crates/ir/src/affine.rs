@@ -23,15 +23,23 @@ pub enum AffineExpr {
     FloorDiv(Box<AffineExpr>, Box<AffineExpr>),
 }
 
-impl AffineExpr {
-    pub fn add(self, rhs: AffineExpr) -> AffineExpr {
+impl std::ops::Add for AffineExpr {
+    type Output = AffineExpr;
+
+    fn add(self, rhs: AffineExpr) -> AffineExpr {
         AffineExpr::Add(Box::new(self), Box::new(rhs))
     }
+}
 
-    pub fn mul(self, rhs: AffineExpr) -> AffineExpr {
+impl std::ops::Mul for AffineExpr {
+    type Output = AffineExpr;
+
+    fn mul(self, rhs: AffineExpr) -> AffineExpr {
         AffineExpr::Mul(Box::new(self), Box::new(rhs))
     }
+}
 
+impl AffineExpr {
     /// Evaluate with concrete dimension and symbol values.
     ///
     /// # Panics
@@ -177,6 +185,8 @@ impl fmt::Display for AffineMap {
 
 #[cfg(test)]
 mod tests {
+    use std::ops::{Add, Mul};
+
     use super::*;
 
     fn d(i: usize) -> AffineExpr {
@@ -218,10 +228,7 @@ mod tests {
             ],
         );
         let (matrix, offsets) = map.as_matrix().unwrap();
-        assert_eq!(
-            matrix,
-            vec![vec![1, 0, 0], vec![0, 0, 2], vec![0, 1, 2]]
-        );
+        assert_eq!(matrix, vec![vec![1, 0, 0], vec![0, 0, 2], vec![0, 1, 2]]);
         assert_eq!(offsets, vec![1, 0, 2]);
     }
 

@@ -202,7 +202,10 @@ mod tests {
             Attribute::SymbolRef(vec!["device".into(), "k".into()]).to_string(),
             "@device::@k"
         );
-        assert_eq!(Attribute::DenseI64(vec![1, 2]).to_string(), "densei64<1, 2>");
+        assert_eq!(
+            Attribute::DenseI64(vec![1, 2]).to_string(),
+            "densei64<1, 2>"
+        );
     }
 
     #[test]

@@ -31,19 +31,31 @@ impl<'m> Builder<'m> {
     /// Position the cursor at the end of `block`.
     pub fn at_end(module: &'m mut Module, block: BlockId) -> Builder<'m> {
         let index = module.block_ops(block).len();
-        Builder { module, block, index }
+        Builder {
+            module,
+            block,
+            index,
+        }
     }
 
     /// Position the cursor at `index` within `block`.
     pub fn at(module: &'m mut Module, block: BlockId, index: usize) -> Builder<'m> {
-        Builder { module, block, index }
+        Builder {
+            module,
+            block,
+            index,
+        }
     }
 
     /// Position the cursor immediately before `op`.
     pub fn before(module: &'m mut Module, op: OpId) -> Builder<'m> {
         let block = module.op_parent_block(op).expect("op must be attached");
         let index = module.op_index_in_block(op);
-        Builder { module, block, index }
+        Builder {
+            module,
+            block,
+            index,
+        }
     }
 
     pub fn module(&mut self) -> &mut Module {

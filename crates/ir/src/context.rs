@@ -7,7 +7,7 @@ use crate::module::{BlockId, Module, ValueId};
 use crate::types::{DialectType, DialectTypeImpl, Type, TypeKind};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Parses the `<body>` of a dialect type like `!sycl.id<2>`; receives the
 /// type name (`"id"`) and the body text (`"2"`).
@@ -24,7 +24,7 @@ struct ContextInner {
     op_infos: RefCell<Vec<OpInfo>>,
     op_names: RefCell<HashMap<String, OpName>>,
     attr_keys: RefCell<HashMap<String, AttrKey>>,
-    attr_key_names: RefCell<Vec<Rc<str>>>,
+    attr_key_names: RefCell<Vec<Arc<str>>>,
     dialects: RefCell<Vec<&'static str>>,
     type_parsers: RefCell<HashMap<String, TypeParserFn>>,
     materializer: RefCell<Option<ConstantMaterializerFn>>,
@@ -49,6 +49,11 @@ pub struct CommonKeys {
 /// All modules created against a context share its interned types and op
 /// registry. Registering a dialect twice is idempotent.
 ///
+/// The spine is an `Arc` so handles derived from the context (interned
+/// [`Type`]s, op-name and attr-key strings) are `Send + Sync`; the context
+/// itself stays single-threaded (`RefCell` registries) — IR construction
+/// and transformation are not parallel, only decoded kernel plans are.
+///
 /// ```
 /// use sycl_mlir_ir::Context;
 /// let ctx = Context::new();
@@ -57,7 +62,7 @@ pub struct CommonKeys {
 /// ```
 #[derive(Clone)]
 pub struct Context {
-    inner: Rc<ContextInner>,
+    inner: Arc<ContextInner>,
 }
 
 impl Default for Context {
@@ -69,8 +74,14 @@ impl Default for Context {
 impl Context {
     /// Create a context with the `builtin` dialect pre-registered.
     pub fn new() -> Context {
+        // The registries inside are still `RefCell` (IR construction and
+        // transformation are single-threaded by design), so this `Arc`
+        // buys no sharing yet — it is the groundwork for lock-based
+        // registries and keeps the spine uniform with the `Send + Sync`
+        // handles (interned types, name strings) derived from it.
+        #[allow(clippy::arc_with_non_send_sync)]
         let ctx = Context {
-            inner: Rc::new(ContextInner {
+            inner: Arc::new(ContextInner {
                 types: RefCell::new(HashMap::new()),
                 op_infos: RefCell::new(Vec::new()),
                 op_names: RefCell::new(HashMap::new()),
@@ -97,8 +108,11 @@ impl Context {
         }
         let mut names = self.inner.attr_key_names.borrow_mut();
         let k = AttrKey(names.len() as u32);
-        names.push(Rc::from(name));
-        self.inner.attr_keys.borrow_mut().insert(name.to_string(), k);
+        names.push(Arc::from(name));
+        self.inner
+            .attr_keys
+            .borrow_mut()
+            .insert(name.to_string(), k);
         k
     }
 
@@ -109,7 +123,7 @@ impl Context {
     }
 
     /// The textual name of an interned attribute key.
-    pub fn attr_key_str(&self, key: AttrKey) -> Rc<str> {
+    pub fn attr_key_str(&self, key: AttrKey) -> Arc<str> {
         self.inner.attr_key_names.borrow()[key.0 as usize].clone()
     }
 
@@ -179,7 +193,10 @@ impl Context {
 
     /// `memref<shape x elem>`; `-1` in `shape` is a dynamic dimension.
     pub fn memref_type(&self, elem: Type, shape: &[i64]) -> Type {
-        self.intern_type(TypeKind::MemRef { elem, shape: shape.to_vec() })
+        self.intern_type(TypeKind::MemRef {
+            elem,
+            shape: shape.to_vec(),
+        })
     }
 
     pub fn function_type(&self, inputs: &[Type], results: &[Type]) -> Type {
@@ -221,8 +238,9 @@ impl Context {
     ///
     /// Panics if the op was never registered.
     pub fn op(&self, full_name: &str) -> OpName {
-        self.lookup_op(full_name)
-            .unwrap_or_else(|| panic!("operation `{full_name}` is not registered; did you register its dialect?"))
+        self.lookup_op(full_name).unwrap_or_else(|| {
+            panic!("operation `{full_name}` is not registered; did you register its dialect?")
+        })
     }
 
     /// Registered metadata for an op name.
@@ -231,7 +249,7 @@ impl Context {
     }
 
     /// Full textual name for an op.
-    pub fn op_name_str(&self, name: OpName) -> Rc<str> {
+    pub fn op_name_str(&self, name: OpName) -> Arc<str> {
         self.inner.op_infos.borrow()[name.0 as usize].name.clone()
     }
 

@@ -14,7 +14,7 @@
 
 use crate::attrs::Attribute;
 use crate::module::{Module, OpId, ValueId};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Interned operation name; index into the context's registry.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -71,23 +71,38 @@ pub struct Effect {
 
 impl Effect {
     pub fn read(value: ValueId) -> Effect {
-        Effect { kind: EffectKind::Read, value: Some(value) }
+        Effect {
+            kind: EffectKind::Read,
+            value: Some(value),
+        }
     }
 
     pub fn write(value: ValueId) -> Effect {
-        Effect { kind: EffectKind::Write, value: Some(value) }
+        Effect {
+            kind: EffectKind::Write,
+            value: Some(value),
+        }
     }
 
     pub fn alloc(value: ValueId) -> Effect {
-        Effect { kind: EffectKind::Alloc, value: Some(value) }
+        Effect {
+            kind: EffectKind::Alloc,
+            value: Some(value),
+        }
     }
 
     pub fn read_unknown() -> Effect {
-        Effect { kind: EffectKind::Read, value: None }
+        Effect {
+            kind: EffectKind::Read,
+            value: None,
+        }
     }
 
     pub fn write_unknown() -> Effect {
-        Effect { kind: EffectKind::Write, value: None }
+        Effect {
+            kind: EffectKind::Write,
+            value: None,
+        }
     }
 }
 
@@ -110,8 +125,8 @@ pub type FoldFn = fn(&Module, OpId) -> Option<Vec<FoldOut>>;
 /// Metadata registered for an operation name.
 #[derive(Clone)]
 pub struct OpInfo {
-    pub name: Rc<str>,
-    pub dialect: Rc<str>,
+    pub name: Arc<str>,
+    pub dialect: Arc<str>,
     pub traits: u32,
     pub verify: Option<VerifyFn>,
     pub effects: Option<EffectsFn>,
@@ -124,8 +139,8 @@ impl OpInfo {
     pub fn new(name: &str) -> OpInfo {
         let dialect = name.split('.').next().unwrap_or(name);
         OpInfo {
-            name: Rc::from(name),
-            dialect: Rc::from(dialect),
+            name: Arc::from(name),
+            dialect: Arc::from(dialect),
             traits: 0,
             verify: None,
             effects: None,

@@ -92,12 +92,17 @@ struct ValueData {
 pub(crate) fn register_builtin(ctx: &Context) {
     use crate::dialect::traits;
     ctx.register_op(
-        OpInfo::new("builtin.module")
-            .with_traits(traits::ISOLATED_FROM_ABOVE | traits::SYMBOL),
+        OpInfo::new("builtin.module").with_traits(traits::ISOLATED_FROM_ABOVE | traits::SYMBOL),
     );
 }
 
 /// Owner of all IR entities for one compilation unit.
+///
+/// Every module carries a process-unique [`Module::module_id`] and a
+/// monotonically increasing [`Module::mutation_epoch`] bumped by every
+/// mutating operation. Together they key caches of artifacts derived from
+/// the IR (the simulator's cross-launch kernel-plan cache): a cached
+/// artifact is valid exactly while the epoch it was built at is current.
 ///
 /// ```
 /// use sycl_mlir_ir::{Context, Module};
@@ -112,7 +117,12 @@ pub struct Module {
     regions: Vec<RegionData>,
     values: Vec<ValueData>,
     top: OpId,
+    id: u64,
+    epoch: u64,
 }
+
+/// Source of process-unique module ids.
+static NEXT_MODULE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl std::fmt::Debug for Module {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -131,6 +141,8 @@ impl Module {
             regions: Vec::new(),
             values: Vec::new(),
             top: OpId(0),
+            id: NEXT_MODULE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            epoch: 0,
         };
         let name = ctx.op("builtin.module");
         let top = m.create_op(name, &[], &[], vec![]);
@@ -142,6 +154,28 @@ impl Module {
 
     pub fn ctx(&self) -> &Context {
         &self.ctx
+    }
+
+    /// Process-unique identity of this module; never reused, so it can key
+    /// caches that outlive any single module.
+    pub fn module_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Monotonic counter bumped by every IR mutation (op/block/region
+    /// creation, attachment, attribute and operand edits, erasure). Two
+    /// reads returning the same epoch guarantee the IR did not change in
+    /// between — the invalidation signal for derived-artifact caches.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Record an IR mutation. Called by every `&mut self` editing method;
+    /// over-approximating (bumping for an edit that turns out to be a
+    /// no-op) is fine, missing a real mutation is not.
+    #[inline]
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// The root `builtin.module` operation.
@@ -183,13 +217,17 @@ impl Module {
         result_types: &[Type],
         attrs: Vec<(AttrKey, Attribute)>,
     ) -> OpId {
+        self.bump_epoch();
         let op = OpId(self.ops.len() as u32);
         let mut results = Vec::with_capacity(result_types.len());
         for (i, ty) in result_types.iter().enumerate() {
             let v = ValueId(self.values.len() as u32);
             self.values.push(ValueData {
                 ty: ty.clone(),
-                def: ValueDef::OpResult { op, index: i as u32 },
+                def: ValueDef::OpResult {
+                    op,
+                    index: i as u32,
+                },
                 uses: Vec::new(),
                 erased: false,
             });
@@ -205,40 +243,58 @@ impl Module {
             erased: false,
         });
         for (i, &v) in operands.iter().enumerate() {
-            self.values[v.0 as usize].uses.push(Use { op, index: i as u32 });
+            self.values[v.0 as usize].uses.push(Use {
+                op,
+                index: i as u32,
+            });
         }
         op
     }
 
     /// Add an (empty) region to an operation.
     pub fn add_region(&mut self, op: OpId) -> RegionId {
+        self.bump_epoch();
         let region = RegionId(self.regions.len() as u32);
-        self.regions.push(RegionData { blocks: Vec::new(), parent_op: op, erased: false });
+        self.regions.push(RegionData {
+            blocks: Vec::new(),
+            parent_op: op,
+            erased: false,
+        });
         self.ops[op.0 as usize].regions.push(region);
         region
     }
 
     /// Add a block with the given argument types to a region.
     pub fn add_block(&mut self, region: RegionId, arg_types: &[Type]) -> BlockId {
+        self.bump_epoch();
         let block = BlockId(self.blocks.len() as u32);
         let mut args = Vec::with_capacity(arg_types.len());
         for (i, ty) in arg_types.iter().enumerate() {
             let v = ValueId(self.values.len() as u32);
             self.values.push(ValueData {
                 ty: ty.clone(),
-                def: ValueDef::BlockArg { block, index: i as u32 },
+                def: ValueDef::BlockArg {
+                    block,
+                    index: i as u32,
+                },
                 uses: Vec::new(),
                 erased: false,
             });
             args.push(v);
         }
-        self.blocks.push(BlockData { args, ops: Vec::new(), region, erased: false });
+        self.blocks.push(BlockData {
+            args,
+            ops: Vec::new(),
+            region,
+            erased: false,
+        });
         self.regions[region.0 as usize].blocks.push(block);
         block
     }
 
     /// Append an extra argument to an existing block.
     pub fn add_block_arg(&mut self, block: BlockId, ty: Type) -> ValueId {
+        self.bump_epoch();
         let index = self.blocks[block.0 as usize].args.len() as u32;
         let v = ValueId(self.values.len() as u32);
         self.values.push(ValueData {
@@ -253,20 +309,29 @@ impl Module {
 
     /// Attach a detached op at the end of a block.
     pub fn append_op(&mut self, block: BlockId, op: OpId) {
-        debug_assert!(self.ops[op.0 as usize].parent.is_none(), "op already attached");
+        self.bump_epoch();
+        debug_assert!(
+            self.ops[op.0 as usize].parent.is_none(),
+            "op already attached"
+        );
         self.ops[op.0 as usize].parent = Some(block);
         self.blocks[block.0 as usize].ops.push(op);
     }
 
     /// Attach a detached op at position `index` of a block.
     pub fn insert_op(&mut self, block: BlockId, index: usize, op: OpId) {
-        debug_assert!(self.ops[op.0 as usize].parent.is_none(), "op already attached");
+        self.bump_epoch();
+        debug_assert!(
+            self.ops[op.0 as usize].parent.is_none(),
+            "op already attached"
+        );
         self.ops[op.0 as usize].parent = Some(block);
         self.blocks[block.0 as usize].ops.insert(index, op);
     }
 
     /// Detach an op from its parent block without erasing it.
     pub fn detach_op(&mut self, op: OpId) {
+        self.bump_epoch();
         if let Some(block) = self.ops[op.0 as usize].parent.take() {
             let ops = &mut self.blocks[block.0 as usize].ops;
             if let Some(pos) = ops.iter().position(|&o| o == op) {
@@ -279,7 +344,9 @@ impl Module {
     /// latter's block.
     pub fn move_op_before(&mut self, op: OpId, before: OpId) {
         self.detach_op(op);
-        let block = self.op_parent_block(before).expect("`before` must be attached");
+        let block = self
+            .op_parent_block(before)
+            .expect("`before` must be attached");
         let index = self.op_index_in_block(before);
         self.insert_op(block, index, op);
     }
@@ -298,7 +365,7 @@ impl Module {
     }
 
     /// Full textual name, e.g. `"arith.addi"`.
-    pub fn op_name_str(&self, op: OpId) -> std::rc::Rc<str> {
+    pub fn op_name_str(&self, op: OpId) -> std::sync::Arc<str> {
         self.ctx.op_name_str(self.ops[op.0 as usize].name)
     }
 
@@ -350,7 +417,7 @@ impl Module {
     }
 
     /// Textual name of an interned attribute key.
-    pub fn attr_key_str(&self, key: AttrKey) -> std::rc::Rc<str> {
+    pub fn attr_key_str(&self, key: AttrKey) -> std::sync::Arc<str> {
         self.ctx.attr_key_str(key)
     }
 
@@ -360,6 +427,7 @@ impl Module {
     }
 
     pub fn set_attr_by_id(&mut self, op: OpId, key: AttrKey, value: Attribute) {
+        self.bump_epoch();
         let attrs = &mut self.ops[op.0 as usize].attrs;
         if let Some(slot) = attrs.iter_mut().find(|(k, _)| *k == key) {
             slot.1 = value;
@@ -372,7 +440,9 @@ impl Module {
         let key = self.ctx.lookup_attr_key(key)?;
         let attrs = &mut self.ops[op.0 as usize].attrs;
         let pos = attrs.iter().position(|(k, _)| *k == key)?;
-        Some(attrs.remove(pos).1)
+        let removed = attrs.remove(pos).1;
+        self.bump_epoch();
+        Some(removed)
     }
 
     pub fn op_regions(&self, op: OpId) -> &[RegionId] {
@@ -505,16 +575,24 @@ impl Module {
         if old == new {
             return;
         }
+        self.bump_epoch();
         let uses = &mut self.values[old.0 as usize].uses;
-        if let Some(pos) = uses.iter().position(|u| u.op == op && u.index == index as u32) {
+        if let Some(pos) = uses
+            .iter()
+            .position(|u| u.op == op && u.index == index as u32)
+        {
             uses.remove(pos);
         }
         self.ops[op.0 as usize].operands[index] = new;
-        self.values[new.0 as usize].uses.push(Use { op, index: index as u32 });
+        self.values[new.0 as usize].uses.push(Use {
+            op,
+            index: index as u32,
+        });
     }
 
     /// Append an operand to `op`.
     pub fn push_operand(&mut self, op: OpId, v: ValueId) {
+        self.bump_epoch();
         let index = self.ops[op.0 as usize].operands.len() as u32;
         self.ops[op.0 as usize].operands.push(v);
         self.values[v.0 as usize].uses.push(Use { op, index });
@@ -522,9 +600,13 @@ impl Module {
 
     /// Remove operand `index` from `op`, shifting later operands down.
     pub fn erase_operand(&mut self, op: OpId, index: usize) {
+        self.bump_epoch();
         let old = self.ops[op.0 as usize].operands.remove(index);
         let uses = &mut self.values[old.0 as usize].uses;
-        if let Some(pos) = uses.iter().position(|u| u.op == op && u.index == index as u32) {
+        if let Some(pos) = uses
+            .iter()
+            .position(|u| u.op == op && u.index == index as u32)
+        {
             uses.remove(pos);
         }
         // Reindex the remaining uses of all shifted operands.
@@ -544,6 +626,7 @@ impl Module {
         if old == new {
             return;
         }
+        self.bump_epoch();
         let uses = std::mem::take(&mut self.values[old.0 as usize].uses);
         for u in &uses {
             self.ops[u.op.0 as usize].operands[u.index as usize] = new;
@@ -557,6 +640,7 @@ impl Module {
     ///
     /// Panics if any result still has uses outside the erased subtree.
     pub fn erase_op(&mut self, op: OpId) {
+        self.bump_epoch();
         self.detach_op(op);
         self.erase_op_inner(op);
     }
@@ -606,7 +690,11 @@ impl Module {
     /// rewritten to the corresponding value, then the op is erased.
     pub fn replace_op(&mut self, op: OpId, replacements: &[ValueId]) {
         let results = self.ops[op.0 as usize].results.clone();
-        assert_eq!(results.len(), replacements.len(), "replacement arity mismatch");
+        assert_eq!(
+            results.len(),
+            replacements.len(),
+            "replacement arity mismatch"
+        );
         for (r, n) in results.iter().zip(replacements) {
             self.replace_all_uses(*r, *n);
         }
@@ -620,11 +708,7 @@ impl Module {
     /// Deep-clone `op` (with nested regions) as a new *detached* op.
     /// Operands are remapped through `mapping` (falling back to the original
     /// value); `mapping` is extended with result and block-arg equivalences.
-    pub fn clone_op(
-        &mut self,
-        op: OpId,
-        mapping: &mut HashMap<ValueId, ValueId>,
-    ) -> OpId {
+    pub fn clone_op(&mut self, op: OpId, mapping: &mut HashMap<ValueId, ValueId>) -> OpId {
         let name = self.ops[op.0 as usize].name;
         let operands: Vec<ValueId> = self.ops[op.0 as usize]
             .operands
@@ -795,7 +879,12 @@ mod tests {
         let ctx = test_ctx();
         let mut m = Module::new(&ctx);
         let i32t = ctx.i32_type();
-        let p = m.create_op(ctx.op("test.producer"), &[], &[i32t.clone()], vec![]);
+        let p = m.create_op(
+            ctx.op("test.producer"),
+            &[],
+            std::slice::from_ref(&i32t),
+            vec![],
+        );
         let v = m.op_result(p, 0);
         let c = m.create_op(ctx.op("test.consumer"), &[v, v], &[], vec![]);
         let top = m.top_block();
@@ -812,8 +901,18 @@ mod tests {
         let ctx = test_ctx();
         let mut m = Module::new(&ctx);
         let i32t = ctx.i32_type();
-        let p1 = m.create_op(ctx.op("test.producer"), &[], &[i32t.clone()], vec![]);
-        let p2 = m.create_op(ctx.op("test.producer"), &[], &[i32t.clone()], vec![]);
+        let p1 = m.create_op(
+            ctx.op("test.producer"),
+            &[],
+            std::slice::from_ref(&i32t),
+            vec![],
+        );
+        let p2 = m.create_op(
+            ctx.op("test.producer"),
+            &[],
+            std::slice::from_ref(&i32t),
+            vec![],
+        );
         let v1 = m.op_result(p1, 0);
         let v2 = m.op_result(p2, 0);
         let c = m.create_op(ctx.op("test.consumer"), &[v1], &[], vec![]);
@@ -834,7 +933,7 @@ mod tests {
         let i32t = ctx.i32_type();
         let outer = m.create_op(ctx.op("test.region_op"), &[], &[], vec![]);
         let region = m.add_region(outer);
-        let block = m.add_block(region, &[i32t.clone()]);
+        let block = m.add_block(region, std::slice::from_ref(&i32t));
         let arg = m.block_arg(block, 0);
         let inner = m.create_op(ctx.op("test.consumer"), &[arg], &[], vec![]);
         m.append_op(block, inner);
@@ -854,7 +953,12 @@ mod tests {
         let ctx = test_ctx();
         let mut m = Module::new(&ctx);
         let i32t = ctx.i32_type();
-        let p = m.create_op(ctx.op("test.producer"), &[], &[i32t.clone()], vec![]);
+        let p = m.create_op(
+            ctx.op("test.producer"),
+            &[],
+            std::slice::from_ref(&i32t),
+            vec![],
+        );
         let v = m.op_result(p, 0);
         let c = m.create_op(ctx.op("test.consumer"), &[v], &[], vec![]);
         let top = m.top_block();
@@ -870,7 +974,7 @@ mod tests {
         let i32t = ctx.i32_type();
         let outer = m.create_op(ctx.op("test.region_op"), &[], &[], vec![]);
         let region = m.add_region(outer);
-        let block = m.add_block(region, &[i32t.clone()]);
+        let block = m.add_block(region, std::slice::from_ref(&i32t));
         let arg = m.block_arg(block, 0);
         let inner = m.create_op(ctx.op("test.consumer"), &[arg], &[], vec![]);
         m.append_op(block, inner);
@@ -893,8 +997,18 @@ mod tests {
         let ctx = test_ctx();
         let mut m = Module::new(&ctx);
         let i32t = ctx.i32_type();
-        let p = m.create_op(ctx.op("test.producer"), &[], &[i32t.clone()], vec![]);
-        let q = m.create_op(ctx.op("test.producer"), &[], &[i32t.clone()], vec![]);
+        let p = m.create_op(
+            ctx.op("test.producer"),
+            &[],
+            std::slice::from_ref(&i32t),
+            vec![],
+        );
+        let q = m.create_op(
+            ctx.op("test.producer"),
+            &[],
+            std::slice::from_ref(&i32t),
+            vec![],
+        );
         let v = m.op_result(p, 0);
         let w = m.op_result(q, 0);
         let c = m.create_op(ctx.op("test.consumer"), &[v, w], &[], vec![]);
@@ -942,14 +1056,51 @@ mod tests {
     }
 
     #[test]
+    fn mutation_epoch_tracks_edits_and_module_ids_are_unique() {
+        let ctx = test_ctx();
+        let mut m = Module::new(&ctx);
+        let m2 = Module::new(&ctx);
+        assert_ne!(m.module_id(), m2.module_id());
+
+        let e0 = m.mutation_epoch();
+        let i32t = ctx.i32_type();
+        let p = m.create_op(
+            ctx.op("test.producer"),
+            &[],
+            std::slice::from_ref(&i32t),
+            vec![],
+        );
+        let top = m.top_block();
+        m.append_op(top, p);
+        let e1 = m.mutation_epoch();
+        assert!(e1 > e0, "creation and attachment must advance the epoch");
+
+        // Pure reads leave the epoch unchanged.
+        let _ = m.op_operands(p);
+        let _ = m.value_type(m.op_result(p, 0));
+        assert_eq!(m.mutation_epoch(), e1);
+
+        m.set_attr(p, "note", Attribute::Int(1));
+        let e2 = m.mutation_epoch();
+        assert!(e2 > e1, "attribute edits must advance the epoch");
+        m.erase_op(p);
+        assert!(m.mutation_epoch() > e2, "erasure must advance the epoch");
+    }
+
+    #[test]
     fn value_defined_outside() {
         let ctx = test_ctx();
         let mut m = Module::new(&ctx);
         let i32t = ctx.i32_type();
-        let p = m.create_op(ctx.op("test.producer"), &[], &[i32t.clone()], vec![]);
+        let p = m.create_op(
+            ctx.op("test.producer"),
+            &[],
+            std::slice::from_ref(&i32t),
+            vec![],
+        );
         let outer = m.create_op(ctx.op("test.region_op"), &[], &[], vec![]);
         let region = m.add_region(outer);
-        let block = m.add_block(region, &[i32t.clone()]);
+        let block = m.add_block(region, std::slice::from_ref(&i32t));
         let arg = m.block_arg(block, 0);
         let v = m.op_result(p, 0);
         let inner = m.create_op(ctx.op("test.consumer"), &[v, arg], &[], vec![]);

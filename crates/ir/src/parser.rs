@@ -23,7 +23,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -115,7 +119,11 @@ impl<'a> Parser<'a> {
                 col += 1;
             }
         }
-        ParseError { message: message.into(), line, col }
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -293,7 +301,9 @@ impl<'a> Parser<'a> {
                     Some(b'n') => out.push('\n'),
                     Some(b't') => out.push('\t'),
                     other => {
-                        return Err(self.err(format!("bad escape `\\{:?}`", other.map(|b| b as char))))
+                        return Err(
+                            self.err(format!("bad escape `\\{:?}`", other.map(|b| b as char)))
+                        )
                     }
                 },
                 Some(b) => out.push(b as char),
@@ -326,10 +336,9 @@ impl<'a> Parser<'a> {
                 } else {
                     String::new()
                 };
-                let parser = self
-                    .ctx
-                    .type_parser(dialect)
-                    .ok_or_else(|| self.err(format!("no type parser registered for dialect `{dialect}`")))?;
+                let parser = self.ctx.type_parser(dialect).ok_or_else(|| {
+                    self.err(format!("no type parser registered for dialect `{dialect}`"))
+                })?;
                 parser(&self.ctx, name, &body)
                     .ok_or_else(|| self.err(format!("cannot parse type `!{full}<{body}>`")))
             }
@@ -365,7 +374,10 @@ impl<'a> Parser<'a> {
                         self.expect(b'>')?;
                         Ok(self.ctx.memref_type(elem, &shape))
                     }
-                    _ if ident.starts_with('i') && ident[1..].chars().all(|c| c.is_ascii_digit()) && ident.len() > 1 => {
+                    _ if ident.starts_with('i')
+                        && ident[1..].chars().all(|c| c.is_ascii_digit())
+                        && ident.len() > 1 =>
+                    {
                         let width: u32 = ident[1..]
                             .parse()
                             .map_err(|_| self.err(format!("bad integer type `{ident}`")))?;
@@ -406,7 +418,9 @@ impl<'a> Parser<'a> {
                 b'>' if prev != b'-' => {
                     depth -= 1;
                     if depth == 0 {
-                        return Ok(String::from_utf8_lossy(&self.src[start..self.pos - 1]).into_owned());
+                        return Ok(
+                            String::from_utf8_lossy(&self.src[start..self.pos - 1]).into_owned()
+                        );
                     }
                 }
                 _ => {}
@@ -484,7 +498,9 @@ impl<'a> Parser<'a> {
                     Ok(Attribute::DenseF64(vals))
                 } else if self.try_keyword("affine_map") {
                     let body = self.read_balanced_angles()?;
-                    parse_affine_map(&body).map(Attribute::AffineMap).map_err(|e| self.err(e))
+                    parse_affine_map(&body)
+                        .map(Attribute::AffineMap)
+                        .map_err(|e| self.err(e))
                 } else {
                     Ok(Attribute::Type(self.parse_type()?))
                 }
@@ -612,10 +628,11 @@ impl<'a> Parser<'a> {
         name: &str,
         result_names: Vec<String>,
     ) -> Result<(), ParseError> {
-        let op_name = self
-            .ctx
-            .lookup_op(name)
-            .ok_or_else(|| self.err(format!("unknown operation `{name}` (dialect not registered?)")))?;
+        let op_name = self.ctx.lookup_op(name).ok_or_else(|| {
+            self.err(format!(
+                "unknown operation `{name}` (dialect not registered?)"
+            ))
+        })?;
         self.expect(b'(')?;
         let mut operands = Vec::new();
         self.skip_ws();
@@ -725,7 +742,10 @@ where
 /// Parse the body of an `affine_map<...>` attribute as printed by
 /// [`AffineMap`]'s `Display` impl.
 fn parse_affine_map(body: &str) -> Result<AffineMap, String> {
-    let mut p = AffineParser { src: body.as_bytes(), pos: 0 };
+    let mut p = AffineParser {
+        src: body.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     p.expect(b'(')?;
     let mut num_dims = 0;
@@ -799,11 +819,7 @@ impl<'a> AffineParser<'a> {
     fn read_word(&mut self) -> Result<String, String> {
         self.skip_ws();
         let start = self.pos;
-        while self
-            .peek()
-            .map(|b| b.is_ascii_alphanumeric() || b == b'_')
-            == Some(true)
-        {
+        while self.peek().map(|b| b.is_ascii_alphanumeric() || b == b'_') == Some(true) {
             self.pos += 1;
         }
         if start == self.pos {
@@ -875,7 +891,9 @@ mod tests {
 
     fn ctx() -> Context {
         let c = Context::new();
-        c.register_op(OpInfo::new("func.func").with_traits(traits::ISOLATED_FROM_ABOVE | traits::SYMBOL));
+        c.register_op(
+            OpInfo::new("func.func").with_traits(traits::ISOLATED_FROM_ABOVE | traits::SYMBOL),
+        );
         c.register_op(OpInfo::new("func.return").with_traits(traits::TERMINATOR));
         c.register_op(OpInfo::new("t.make").with_traits(traits::PURE));
         c.register_op(OpInfo::new("t.use"));
@@ -911,7 +929,9 @@ mod tests {
         assert_eq!(print_module(&m), src);
         let dev = m.lookup_symbol(m.top(), "device").unwrap();
         assert!(m.lookup_symbol(dev, "k").is_some());
-        assert!(m.lookup_symbol_path(m.top(), &["device".into(), "k".into()]).is_some());
+        assert!(m
+            .lookup_symbol_path(m.top(), &["device".into(), "k".into()])
+            .is_some());
     }
 
     #[test]
@@ -949,7 +969,12 @@ mod tests {
         let op = m.block_ops(m.top_block())[0];
         assert_eq!(m.attr(op, "a").and_then(|a| a.as_int()), Some(-4));
         assert_eq!(m.attr(op, "b").and_then(|a| a.as_float()), Some(2.5));
-        assert_eq!(m.attr(op, "g").and_then(|a| a.as_symbol_ref()).map(|p| p.len()), Some(2));
+        assert_eq!(
+            m.attr(op, "g")
+                .and_then(|a| a.as_symbol_ref())
+                .map(|p| p.len()),
+            Some(2)
+        );
         let map = m.attr(op, "k").and_then(|a| a.as_affine_map()).unwrap();
         assert_eq!(map.num_dims, 2);
         assert_eq!(map.eval(&[3, 5]), vec![4, 10]);

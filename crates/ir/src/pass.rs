@@ -118,7 +118,8 @@ impl PassManager {
                     .map_err(|e| format!("IR invalid after pass `{}`:\n{e}", pass.name()))?;
             }
             if self.dump_after_each {
-                self.dumps.push((pass.name().to_string(), print_module(module)));
+                self.dumps
+                    .push((pass.name().to_string(), print_module(module)));
             }
         }
         Ok(stats)

@@ -225,7 +225,12 @@ mod tests {
         ctx.register_op(OpInfo::new("t.use"));
         ctx.register_constant_materializer(|m, block, index, attr, ty| {
             let name = m.ctx().op("t.const");
-            let op = m.create_op(name, &[], &[ty.clone()], vec![("value".into(), attr.clone())]);
+            let op = m.create_op(
+                name,
+                &[],
+                std::slice::from_ref(ty),
+                vec![("value".into(), attr.clone())],
+            );
             m.insert_op(block, index, op);
             Some(m.op_result(op, 0))
         });

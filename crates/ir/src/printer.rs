@@ -28,7 +28,10 @@ struct Namer {
 
 impl Namer {
     fn new() -> Namer {
-        Namer { names: HashMap::new(), next: 0 }
+        Namer {
+            names: HashMap::new(),
+            next: 0,
+        }
     }
 
     fn name(&mut self, v: ValueId) -> String {
@@ -85,7 +88,14 @@ fn print_attr_dict(m: &Module, op: OpId, skip: &[&str], out: &mut String) -> boo
     true
 }
 
-fn print_region(m: &Module, op: OpId, region_index: usize, namer: &mut Namer, level: usize, out: &mut String) {
+fn print_region(
+    m: &Module,
+    op: OpId,
+    region_index: usize,
+    namer: &mut Namer,
+    level: usize,
+    out: &mut String,
+) {
     let block = m.op_region_block(op, region_index);
     out.push_str(" {\n");
     print_block_body(m, block, namer, level + 1, out);
@@ -228,10 +238,18 @@ mod tests {
         let block = m.top_block();
         let mut b = Builder::at_end(&mut m, block);
         let i32t = b.ctx().i32_type();
-        let v = b.build_value("test.make", &[], i32t, vec![("k".into(), Attribute::Int(3))]);
+        let v = b.build_value(
+            "test.make",
+            &[],
+            i32t,
+            vec![("k".into(), Attribute::Int(3))],
+        );
         b.build("test.use", &[v], &[], vec![]);
         let text = super::print_module(&m);
-        assert!(text.contains("%0 = test.make() {k = 3} : () -> (i32)"), "got:\n{text}");
+        assert!(
+            text.contains("%0 = test.make() {k = 3} : () -> (i32)"),
+            "got:\n{text}"
+        );
         assert!(text.contains("test.use(%0) : (i32) -> ()"), "got:\n{text}");
         assert!(text.starts_with("builtin.module {"), "got:\n{text}");
     }

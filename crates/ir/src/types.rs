@@ -1,16 +1,18 @@
 //! The type system: interned built-in types plus extensible dialect types.
 //!
-//! [`Type`] is a cheap handle (an `Rc` to interned data); equality and hashing
-//! are pointer-based, which is sound because all types are interned in a
-//! [`crate::Context`]. Dialect types (e.g. the SYCL dialect's `!sycl.id<2>`)
-//! plug in through [`DialectTypeImpl`] without this crate knowing about them —
-//! this mirrors MLIR's extensible type system that the paper's SYCL dialect
-//! relies on (§III).
+//! [`Type`] is a cheap handle (an `Arc` to interned data); equality and
+//! hashing are pointer-based, which is sound because all types are interned
+//! in a [`crate::Context`]. The handle is `Send + Sync`, so decoded
+//! artifacts that carry types (the simulator's `KernelPlan`) can be shared
+//! across worker threads. Dialect types (e.g. the SYCL dialect's
+//! `!sycl.id<2>`) plug in through [`DialectTypeImpl`] without this crate
+//! knowing about them — this mirrors MLIR's extensible type system that the
+//! paper's SYCL dialect relies on (§III).
 
 use std::any::Any;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A handle to an interned type. Cheap to clone; equality is pointer equality.
 ///
@@ -21,11 +23,11 @@ use std::rc::Rc;
 /// assert_ne!(ctx.i32_type(), ctx.i64_type());
 /// ```
 #[derive(Clone)]
-pub struct Type(Rc<TypeKind>);
+pub struct Type(Arc<TypeKind>);
 
 impl Type {
     pub(crate) fn from_kind(kind: TypeKind) -> Type {
-        Type(Rc::new(kind))
+        Type(Arc::new(kind))
     }
 
     /// The structural description of this type.
@@ -113,7 +115,7 @@ impl Type {
 
 impl PartialEq for Type {
     fn eq(&self, other: &Type) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 
@@ -121,7 +123,7 @@ impl Eq for Type {}
 
 impl Hash for Type {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        state.write_usize(Rc::as_ptr(&self.0) as usize);
+        state.write_usize(Arc::as_ptr(&self.0) as usize);
     }
 }
 
@@ -192,18 +194,21 @@ pub enum TypeKind {
     /// Multi-dimensional buffer view; `-1` in the shape is a dynamic extent.
     MemRef { elem: Type, shape: Vec<i64> },
     /// Function type.
-    Function { inputs: Vec<Type>, results: Vec<Type> },
+    Function {
+        inputs: Vec<Type>,
+        results: Vec<Type>,
+    },
     /// A type defined by a dialect outside this crate.
     Dialect(DialectType),
 }
 
 /// Type-erased wrapper around a dialect-defined type.
 #[derive(Clone)]
-pub struct DialectType(pub Rc<dyn DialectTypeImpl>);
+pub struct DialectType(pub Arc<dyn DialectTypeImpl>);
 
 impl DialectType {
     pub fn new<T: DialectTypeImpl>(imp: T) -> DialectType {
-        DialectType(Rc::new(imp))
+        DialectType(Arc::new(imp))
     }
 }
 
@@ -229,8 +234,10 @@ impl fmt::Debug for DialectType {
 
 /// Implemented by concrete dialect types (e.g. the SYCL dialect's `id`,
 /// `range`, `accessor` types). Instances must be immutable value objects:
-/// `eq_dyn`/`hash_code` define structural identity used for interning.
-pub trait DialectTypeImpl: fmt::Debug + 'static {
+/// `eq_dyn`/`hash_code` define structural identity used for interning. The
+/// `Send + Sync` bound keeps [`Type`] handles shareable across the
+/// simulator's worker threads.
+pub trait DialectTypeImpl: fmt::Debug + Send + Sync + 'static {
     /// The owning dialect's namespace, e.g. `"sycl"`.
     fn dialect(&self) -> &'static str;
     /// The type's name within the dialect, e.g. `"id"`.

@@ -101,7 +101,9 @@ fn verify_op(m: &Module, op: OpId, messages: &mut Vec<String>) {
             continue;
         }
         if !value_dominates(m, v, op) {
-            messages.push(format!("`{name}`: operand #{i} is not dominated by its definition"));
+            messages.push(format!(
+                "`{name}`: operand #{i} is not dominated by its definition"
+            ));
         }
     }
 
@@ -192,7 +194,10 @@ mod tests {
         let top = m.top_block();
         m.append_op(top, wrap);
         let err = verify(&m).unwrap_err();
-        assert!(err.to_string().contains("terminator is not the last"), "{err}");
+        assert!(
+            err.to_string().contains("terminator is not the last"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -209,7 +214,10 @@ mod tests {
         let top = m.top_block();
         m.append_op(top, wrap);
         let err = verify(&m).unwrap_err();
-        assert!(err.to_string().contains("does not end with a terminator"), "{err}");
+        assert!(
+            err.to_string().contains("does not end with a terminator"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -248,6 +256,9 @@ mod tests {
         m.append_op(top, make);
         m.append_op(top, wrap);
         let err = verify(&m).unwrap_err();
-        assert!(err.to_string().contains("captures a value from above"), "{err}");
+        assert!(
+            err.to_string().contains("captures a value from above"),
+            "{err}"
+        );
     }
 }

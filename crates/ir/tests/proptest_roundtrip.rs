@@ -2,14 +2,16 @@
 //! interning laws, and affine-expression linearity.
 
 use proptest::prelude::*;
+use std::ops::{Add, Mul};
 use sycl_mlir_ir::affine::AffineExpr;
 use sycl_mlir_ir::{parse_module, print_module, Attribute, Builder, Context, Module, OpInfo};
 
 fn test_ctx() -> Context {
     let ctx = Context::new();
-    ctx.register_op(OpInfo::new("func.func").with_traits(
-        sycl_mlir_ir::traits::ISOLATED_FROM_ABOVE | sycl_mlir_ir::traits::SYMBOL,
-    ));
+    ctx.register_op(
+        OpInfo::new("func.func")
+            .with_traits(sycl_mlir_ir::traits::ISOLATED_FROM_ABOVE | sycl_mlir_ir::traits::SYMBOL),
+    );
     ctx.register_op(OpInfo::new("func.return").with_traits(sycl_mlir_ir::traits::TERMINATOR));
     ctx.register_op(OpInfo::new("t.op"));
     ctx
@@ -24,8 +26,7 @@ fn attr_strategy() -> impl Strategy<Value = Attribute> {
         "[a-z][a-z0-9_]{0,8}".prop_map(Attribute::Str),
         Just(Attribute::Unit),
         proptest::collection::vec(any::<i64>(), 0..6).prop_map(Attribute::DenseI64),
-        proptest::collection::vec("[a-z][a-z0-9_]{0,5}", 1..3)
-            .prop_map(Attribute::SymbolRef),
+        proptest::collection::vec("[a-z][a-z0-9_]{0,5}", 1..3).prop_map(Attribute::SymbolRef),
     ];
     leaf.prop_recursive(2, 8, 4, |inner| {
         proptest::collection::vec(inner, 0..4).prop_map(Attribute::Array)

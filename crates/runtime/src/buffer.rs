@@ -48,10 +48,19 @@ impl SyclRuntime {
 
     fn add_buffer(&mut self, data: DataVec, range: &[i64], const_init: bool) -> BufferId {
         let len: i64 = range.iter().product();
-        assert_eq!(len as usize, data.len(), "buffer data does not match its range");
+        assert_eq!(
+            len as usize,
+            data.len(),
+            "buffer data does not match its range"
+        );
         let (r, rank) = range3(range);
         let id = BufferId(self.buffers.len());
-        self.buffers.push(BufferData { data, range: r, rank, const_init });
+        self.buffers.push(BufferData {
+            data,
+            range: r,
+            rank,
+            const_init,
+        });
         id
     }
 
@@ -139,7 +148,10 @@ impl SyclRuntime {
 
     /// Upload all buffers/USM allocations into a fresh device pool;
     /// returns per-buffer and per-USM device memory ids.
-    pub(crate) fn to_device(&mut self, pool: &mut MemoryPool) -> (Vec<sycl_mlir_sim::MemId>, Vec<sycl_mlir_sim::MemId>) {
+    pub(crate) fn upload_to_device(
+        &mut self,
+        pool: &mut MemoryPool,
+    ) -> (Vec<sycl_mlir_sim::MemId>, Vec<sycl_mlir_sim::MemId>) {
         let mut buf_ids = Vec::with_capacity(self.buffers.len());
         for b in &self.buffers {
             self.bytes_to_device += (b.data.len() * b.data.elem_bytes()) as u64;
@@ -154,7 +166,7 @@ impl SyclRuntime {
     }
 
     /// Write device memory back to the host copies.
-    pub(crate) fn from_device(
+    pub(crate) fn download_from_device(
         &mut self,
         pool: &MemoryPool,
         buf_ids: &[sycl_mlir_sim::MemId],
@@ -199,10 +211,10 @@ mod tests {
         let mut rt = SyclRuntime::new();
         let b = rt.buffer_f64(vec![1.0; 8], &[8]);
         let mut pool = MemoryPool::new();
-        let (bufs, _) = rt.to_device(&mut pool);
+        let (bufs, _) = rt.upload_to_device(&mut pool);
         assert_eq!(rt.bytes_to_device, 64);
         pool.store(bufs[b.0], 3, sycl_mlir_sim::RtValue::F64(9.0));
-        rt.from_device(&pool, &bufs, &[]);
+        rt.download_from_device(&pool, &bufs, &[]);
         assert_eq!(rt.read_f64(b)[3], 9.0);
         assert_eq!(rt.bytes_to_host, 64);
     }

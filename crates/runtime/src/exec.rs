@@ -5,8 +5,8 @@ use crate::buffer::SyclRuntime;
 use crate::queue::{CgArg, Queue};
 use std::collections::HashSet;
 use sycl_mlir_core::{CompileOutcome, Flow, FlowKind};
-use sycl_mlir_sim::{AccessorVal, Device, ExecStats, MemoryPool, RtValue, SimError};
 use sycl_mlir_ir::{Module, OpId};
+use sycl_mlir_sim::{AccessorVal, Device, ExecStats, MemoryPool, RtValue, SimError};
 
 /// A compiled SYCL application (joint module + flow that produced it).
 pub struct Program {
@@ -24,7 +24,12 @@ pub struct Program {
 pub fn compile_program(kind: FlowKind, mut module: Module) -> Result<Program, String> {
     let flow = Flow::new(kind);
     let outcome = flow.compile(&mut module)?;
-    Ok(Program { module, flow, outcome, jit_done: HashSet::new() })
+    Ok(Program {
+        module,
+        flow,
+        outcome,
+        jit_done: HashSet::new(),
+    })
 }
 
 /// Execution record of one kernel launch.
@@ -81,7 +86,7 @@ pub fn run(
     device: &Device,
 ) -> Result<RunReport, SimError> {
     let mut pool = MemoryPool::new();
-    let (buf_mems, usm_mems) = runtime.to_device(&mut pool);
+    let (buf_mems, usm_mems) = runtime.upload_to_device(&mut pool);
     let mut report = RunReport::default();
 
     for &cgi in &queue.schedule() {
@@ -111,7 +116,9 @@ pub fn run(
                     &cg.nd.local[..rank],
                     &ids,
                 )
-                .map_err(|e| SimError { message: format!("JIT specialization failed: {e}") })?;
+                .map_err(|e| SimError {
+                    message: format!("JIT specialization failed: {e}"),
+                })?;
             program.jit_done.insert(cg.kernel.clone());
             jit_cycles = device.cost.jit_compile;
         }
@@ -171,7 +178,7 @@ pub fn run(
         });
     }
 
-    runtime.from_device(&pool, &buf_mems, &usm_mems);
+    runtime.download_from_device(&pool, &buf_mems, &usm_mems);
     Ok(report)
 }
 
@@ -221,8 +228,8 @@ mod tests {
             generate_host_ir(kb.module(), &rt, &q);
             let module = kb.finish();
 
-            let mut program = compile_program(kind, module)
-                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            let mut program =
+                compile_program(kind, module).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
             let device = Device::new();
             let report = run(&mut program, &mut rt, &q, &device)
                 .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));

@@ -76,11 +76,8 @@ pub fn generate_host_ir(m: &mut Module, runtime: &SyclRuntime, queue: &Queue) {
                         llvm::call(&mut b, "sycl_range_ctor", &bargs, &[]);
                         let host_data = llvm::alloca(&mut b, "host_data");
                         let buf = llvm::alloca(&mut b, "sycl::buffer");
-                        let callee = format!(
-                            "sycl_buffer_ctor_{}_{}",
-                            elem_name(&info.data),
-                            info.rank
-                        );
+                        let callee =
+                            format!("sycl_buffer_ctor_{}_{}", elem_name(&info.data), info.rank);
                         let call = llvm::call(&mut b, &callee, &[buf, host_data, brange], &[]);
                         if info.const_init {
                             // The frontend sees a `const` initializer: bake
@@ -110,7 +107,9 @@ pub fn generate_host_ir(m: &mut Module, runtime: &SyclRuntime, queue: &Queue) {
                     llvm::call(&mut b, &callee, &[acc, buf_ptr, cgh], &[]);
                     arg_values.push(acc);
                 }
-                CgArg::ScalarI64(v) => arg_values.push(arith::constant_int(&mut b, *v, i64t.clone())),
+                CgArg::ScalarI64(v) => {
+                    arg_values.push(arith::constant_int(&mut b, *v, i64t.clone()))
+                }
                 CgArg::ScalarI32(v) => {
                     let i32t = b.ctx().i32_type();
                     arg_values.push(arith::constant_int(&mut b, *v as i64, i32t));
@@ -147,7 +146,10 @@ pub fn generate_host_ir(m: &mut Module, runtime: &SyclRuntime, queue: &Queue) {
                 vec![cgh, grange, lrange.expect("nd form has local range")],
             )
         } else {
-            (format!("sycl_parallel_for_range_{}", cg.kernel), vec![cgh, grange])
+            (
+                format!("sycl_parallel_for_range_{}", cg.kernel),
+                vec![cgh, grange],
+            )
         };
         call_args.extend(arg_values);
         llvm::call(&mut b, &callee, &call_args, &[]);
@@ -182,6 +184,9 @@ mod tests {
         assert!(text.contains("sycl_parallel_for_nd_conv"), "{text}");
         assert!(text.contains("sycl_buffer_ctor_f32_1"), "{text}");
         assert!(text.contains("init_data"), "{text}");
-        assert!(text.contains("sycl_accessor_ctor_f32_1_read_write"), "{text}");
+        assert!(
+            text.contains("sycl_accessor_ctor_f32_1_read_write"),
+            "{text}"
+        );
     }
 }

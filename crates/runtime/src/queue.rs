@@ -14,7 +14,10 @@ use sycl_mlir_sycl::types::AccessMode;
 #[derive(Clone, Debug, PartialEq)]
 pub enum CgArg {
     /// An accessor over `buffer` with the given mode.
-    Acc { buffer: BufferId, mode: AccessMode },
+    Acc {
+        buffer: BufferId,
+        mode: AccessMode,
+    },
     /// Scalar captured by the kernel functor, constant in the host source
     /// (visible to host constant propagation).
     ScalarI64(i64),
@@ -25,7 +28,10 @@ pub enum CgArg {
     RuntimeI64(i64),
     RuntimeF64(f64),
     /// A USM device pointer (manually managed, opaque to host analysis).
-    Usm { id: crate::buffer::UsmId, len: i64 },
+    Usm {
+        id: crate::buffer::UsmId,
+        len: i64,
+    },
 }
 
 impl CgArg {
@@ -132,7 +138,11 @@ impl Handler {
         }
         self.cg = Some(CommandGroup {
             kernel: kernel.to_string(),
-            nd: NdRangeSpec { global: g, local: l, rank: global.len() as u32 },
+            nd: NdRangeSpec {
+                global: g,
+                local: l,
+                rank: global.len() as u32,
+            },
             nd_form: true,
             args: std::mem::take(&mut self.args),
         });
@@ -147,7 +157,11 @@ impl Handler {
         let l = pick_work_group(&g, global.len() as u32);
         self.cg = Some(CommandGroup {
             kernel: kernel.to_string(),
-            nd: NdRangeSpec { global: g, local: l, rank: global.len() as u32 },
+            nd: NdRangeSpec {
+                global: g,
+                local: l,
+                rank: global.len() as u32,
+            },
             nd_form: false,
             args: std::mem::take(&mut self.args),
         });
@@ -235,7 +249,8 @@ mod tests {
             h.parallel_for("k0", &[16]);
         });
         q.submit(|h| {
-            h.accessor(a, AccessMode::Read).accessor(b, AccessMode::Write);
+            h.accessor(a, AccessMode::Read)
+                .accessor(b, AccessMode::Write);
             h.parallel_for("k1", &[16]);
         });
         q.submit(|h| {

@@ -33,7 +33,10 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Criterion {
         let test_mode = std::env::args().any(|a| a == "--test");
-        Criterion { sample_size: 30, test_mode }
+        Criterion {
+            sample_size: 30,
+            test_mode,
+        }
     }
 }
 
@@ -184,7 +187,8 @@ mod tests {
         let mut calls = 0;
         {
             let mut g = c.benchmark_group("g");
-            g.sample_size(2).bench_function("f", |b| b.iter(|| calls += 1));
+            g.sample_size(2)
+                .bench_function("f", |b| b.iter(|| calls += 1));
             g.bench_function("batched", |b| {
                 b.iter_batched(|| 1, |x| x + 1, BatchSize::LargeInput)
             });

@@ -38,7 +38,9 @@ pub mod test_runner {
 
     impl TestRng {
         pub fn new(seed: u64) -> TestRng {
-            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -272,7 +274,11 @@ pub mod strategy {
                 (1, 1)
             };
             assert!(!set.is_empty() && min <= max, "bad pattern {pat}");
-            atoms.push(Atom { chars: set, min, max });
+            atoms.push(Atom {
+                chars: set,
+                min,
+                max,
+            });
         }
         atoms
     }
@@ -350,7 +356,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -361,7 +370,10 @@ pub mod collection {
 
     /// `Vec` strategy with sizes drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -450,7 +462,9 @@ mod tests {
             let s = Strategy::generate(&"[a-z][a-z0-9_]{0,8}", &mut rng);
             assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
         }
     }
 

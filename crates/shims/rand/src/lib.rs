@@ -25,7 +25,9 @@ pub trait SeedableRng: Sized {
 
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> StdRng {
-        StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        StdRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 }
 

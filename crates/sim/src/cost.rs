@@ -106,12 +106,23 @@ mod tests {
 
     #[test]
     fn charge_scales_with_waves() {
-        let cost = CostModel { compute_units: 4, ..CostModel::default() };
-        let mut s = ExecStats { arith_ops: 800, work_groups: 8, ..ExecStats::default() };
+        let cost = CostModel {
+            compute_units: 4,
+            ..CostModel::default()
+        };
+        let mut s = ExecStats {
+            arith_ops: 800,
+            work_groups: 8,
+            ..ExecStats::default()
+        };
         s.charge(&cost);
         // 8 groups over 4 CUs = 2 waves; 100 arith per group.
         assert_eq!(s.device_cycles, 200.0);
-        let mut s1 = ExecStats { arith_ops: 800, work_groups: 4, ..ExecStats::default() };
+        let mut s1 = ExecStats {
+            arith_ops: 800,
+            work_groups: 4,
+            ..ExecStats::default()
+        };
         s1.charge(&cost);
         assert_eq!(s1.device_cycles, 200.0);
     }

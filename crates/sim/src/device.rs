@@ -1,11 +1,16 @@
 //! The simulated device: ND-range scheduling of work-groups and work-items
-//! with co-operative barrier semantics.
+//! with co-operative barrier semantics, engine/thread selection and the
+//! cross-launch kernel-plan cache.
 
 use crate::cost::{CostModel, ExecStats};
 use crate::interp::{ExecCtx, Stop, WorkItemState};
 use crate::memory::MemoryPool;
-use crate::plan::{decode_kernel, KernelPlan, PlanCtx, PlanWorkItem};
+use crate::plan::{decode_kernel, KernelPlan};
+use crate::pool::run_plan_launch;
 use crate::value::{NdItemVal, RtValue};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::Arc;
 use sycl_mlir_ir::{Module, OpId};
 
 pub use crate::interp::SimError;
@@ -49,6 +54,34 @@ impl Engine {
     }
 }
 
+/// The worker count named by the `SYCL_MLIR_SIM_THREADS` environment
+/// variable; `1` (sequential) when unset. `0` or `auto` selects the
+/// machine's available parallelism. An unparsable value falls back to `1`
+/// with a warning on stderr, so a typo cannot silently change results —
+/// though results are bit-identical for every worker count by design.
+pub fn threads_from_env() -> usize {
+    match std::env::var("SYCL_MLIR_SIM_THREADS").as_deref() {
+        Err(_) => 1,
+        Ok("auto") | Ok("0") => auto_threads(),
+        Ok(s) => match s.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "warning: unparsable SYCL_MLIR_SIM_THREADS `{s}` (expected a count, `auto` or `0`); running sequentially"
+                );
+                1
+            }
+        },
+    }
+}
+
+/// The machine's available parallelism (`1` when undeterminable).
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Launch geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NdRangeSpec {
@@ -60,12 +93,20 @@ pub struct NdRangeSpec {
 impl NdRangeSpec {
     /// 1-dimensional range with an explicit work-group size.
     pub fn d1(global: i64, local: i64) -> NdRangeSpec {
-        NdRangeSpec { global: [global, 1, 1], local: [local, 1, 1], rank: 1 }
+        NdRangeSpec {
+            global: [global, 1, 1],
+            local: [local, 1, 1],
+            rank: 1,
+        }
     }
 
     /// 2-dimensional square range.
     pub fn d2(gx: i64, gy: i64, lx: i64, ly: i64) -> NdRangeSpec {
-        NdRangeSpec { global: [gx, gy, 1], local: [lx, ly, 1], rank: 2 }
+        NdRangeSpec {
+            global: [gx, gy, 1],
+            local: [lx, ly, 1],
+            rank: 2,
+        }
     }
 
     pub fn work_items(&self) -> i64 {
@@ -80,10 +121,12 @@ impl NdRangeSpec {
         ]
     }
 
-    fn validate(&self) -> Result<(), SimError> {
+    pub(crate) fn validate(&self) -> Result<(), SimError> {
         for d in 0..self.rank as usize {
             if self.local[d] <= 0 || self.global[d] <= 0 {
-                return Err(SimError { message: format!("non-positive range in dim {d}") });
+                return Err(SimError {
+                    message: format!("non-positive range in dim {d}"),
+                });
             }
             if self.global[d] % self.local[d] != 0 {
                 return Err(SimError {
@@ -98,16 +141,52 @@ impl NdRangeSpec {
     }
 }
 
+/// One cached kernel decode: the outcome (a plan, or `None` for a kernel
+/// the decoder cannot handle — relaunches then skip straight to the
+/// tree-walk fallback instead of re-attempting the decode) plus the
+/// module mutation epoch it was decoded at (stale once the module
+/// changes).
+#[derive(Clone, Debug)]
+struct CachedPlan {
+    epoch: u64,
+    plan: Option<Arc<KernelPlan>>,
+}
+
+/// Soft bound on cached plans per device; prevents unbounded growth when
+/// one device outlives many modules (the differential sweeps).
+const PLAN_CACHE_CAP: usize = 256;
+
 /// A simulated GPU.
+///
+/// Under [`Engine::Plan`], decoded [`KernelPlan`]s are cached **across
+/// launches**, keyed by `(module id, kernel op)` and validated against the
+/// module's mutation epoch: re-launching an unmutated kernel skips the
+/// decode entirely, while any IR mutation in between (e.g. AdaptiveCpp
+/// JIT re-specialization) transparently re-decodes. With `threads > 1`,
+/// work-groups of a launch run on a pool of OS threads (plan engine only;
+/// the tree-walk reference stays sequential) — results and statistics are
+/// bit-identical for every worker count.
 #[derive(Clone, Debug)]
 pub struct Device {
     pub cost: CostModel,
     pub engine: Engine,
+    /// Worker threads for plan-engine launches (1 = sequential).
+    pub threads: usize,
+    plan_cache: RefCell<HashMap<(u64, OpId), CachedPlan>>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
 }
 
 impl Default for Device {
     fn default() -> Device {
-        Device { cost: CostModel::default(), engine: Engine::from_env() }
+        Device {
+            cost: CostModel::default(),
+            engine: Engine::from_env(),
+            threads: threads_from_env(),
+            plan_cache: RefCell::new(HashMap::new()),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
+        }
     }
 }
 
@@ -117,11 +196,24 @@ impl Device {
     }
 
     pub fn with_cost(cost: CostModel) -> Device {
-        Device { cost, ..Device::default() }
+        Device {
+            cost,
+            ..Device::default()
+        }
     }
 
     pub fn with_engine(engine: Engine) -> Device {
-        Device { cost: CostModel::default(), engine }
+        Device {
+            engine,
+            ..Device::default()
+        }
+    }
+
+    pub fn with_threads(threads: usize) -> Device {
+        Device {
+            threads,
+            ..Device::default()
+        }
     }
 
     pub fn engine(mut self, engine: Engine) -> Device {
@@ -129,12 +221,58 @@ impl Device {
         self
     }
 
+    pub fn threads(mut self, threads: usize) -> Device {
+        self.threads = threads;
+        self
+    }
+
+    /// `(hits, misses)` of the cross-launch plan cache so far. A hit means
+    /// a launch reused a previously cached decode outcome (including a
+    /// cached "not decodable"); a miss means the decoder ran (first
+    /// launch, or the module mutated in between).
+    pub fn plan_cache_counters(&self) -> (u64, u64) {
+        (self.cache_hits.get(), self.cache_misses.get())
+    }
+
+    /// The decoded plan for `kernel`, reused from the cache when the
+    /// module's mutation epoch still matches; `None` if the kernel is not
+    /// plan-decodable (the caller falls back to the tree walk). Decode
+    /// failures are cached too — an iterative workload with an
+    /// undecodable kernel pays the decode attempt once per epoch, not
+    /// once per launch.
+    fn cached_plan(&self, m: &Module, kernel: OpId) -> Option<Arc<KernelPlan>> {
+        let key = (m.module_id(), kernel);
+        let epoch = m.mutation_epoch();
+        if let Some(cached) = self.plan_cache.borrow().get(&key) {
+            if cached.epoch == epoch {
+                self.cache_hits.set(self.cache_hits.get() + 1);
+                return cached.plan.clone();
+            }
+        }
+        let plan = decode_kernel(m, kernel).ok().map(Arc::new);
+        self.cache_misses.set(self.cache_misses.get() + 1);
+        let mut cache = self.plan_cache.borrow_mut();
+        if cache.len() >= PLAN_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(
+            key,
+            CachedPlan {
+                epoch,
+                plan: plan.clone(),
+            },
+        );
+        plan
+    }
+
     /// Execute `kernel` over `nd`, mutating `pool`. Returns the dynamic
     /// execution statistics with [`ExecStats::device_cycles`] charged.
     ///
-    /// Under [`Engine::Plan`] the kernel is decoded once into a
-    /// [`KernelPlan`] shared by every work-item; kernels the decoder cannot
-    /// handle fall back to the tree-walk interpreter.
+    /// Under [`Engine::Plan`] the kernel is decoded at most once per
+    /// mutation epoch into a [`KernelPlan`] shared by every work-item (and
+    /// reused across launches); kernels the decoder cannot handle fall
+    /// back to the tree-walk interpreter. With [`Device::threads`] `> 1`,
+    /// work-groups of a plan-engine launch run in parallel.
     ///
     /// # Errors
     ///
@@ -151,10 +289,10 @@ impl Device {
     ) -> Result<ExecStats, SimError> {
         match self.engine {
             Engine::TreeWalk => launch_kernel(m, kernel, args, nd, pool, &self.cost),
-            Engine::Plan => match decode_kernel(m, kernel) {
-                Ok(plan) => launch_plan(m, &plan, args, nd, pool, &self.cost),
+            Engine::Plan => match self.cached_plan(m, kernel) {
+                Some(plan) => run_plan_launch(&plan, args, nd, pool, &self.cost, self.threads),
                 // Reference fallback for non-decodable kernels.
-                Err(_) => launch_kernel(m, kernel, args, nd, pool, &self.cost),
+                None => launch_kernel(m, kernel, args, nd, pool, &self.cost),
             },
         }
     }
@@ -189,38 +327,21 @@ pub fn launch_kernel(
 }
 
 /// Execute a pre-decoded [`KernelPlan`] over `nd` — the [`Engine::Plan`]
-/// launch path. The plan is shared immutably by all work-items; each
-/// work-item owns only its register file and frame stack.
+/// launch path, sequential form. The plan is shared immutably by all
+/// work-items; each work-item owns only its register file and frame
+/// stack. See [`run_plan_launch`] for the multi-threaded form this
+/// delegates to.
 pub fn launch_plan(
-    m: &Module,
     plan: &KernelPlan,
     args: &[RtValue],
     nd: NdRangeSpec,
     pool: &mut MemoryPool,
     cost: &CostModel,
 ) -> Result<ExecStats, SimError> {
-    nd.validate()?;
-    let groups = nd.groups();
-    let mut ctx = ExecCtx::new(m, pool, cost);
-    let mut pctx = PlanCtx::new(plan);
-
-    for g0 in 0..groups[0] {
-        for g1 in 0..groups[1] {
-            for g2 in 0..groups[2] {
-                run_work_group_plan(plan, args, nd, [g0, g1, g2], &mut ctx, &mut pctx)?;
-                ctx.next_work_group();
-                pctx.next_work_group();
-            }
-        }
-    }
-    let mut stats = ctx.stats;
-    stats.work_groups = (groups[0] * groups[1] * groups[2]) as u64;
-    stats.work_items = nd.work_items() as u64;
-    stats.charge(cost);
-    Ok(stats)
+    run_plan_launch(plan, args, nd, pool, cost, 1)
 }
 
-fn items_of_group(nd: NdRangeSpec, group: [i64; 3]) -> Vec<NdItemVal> {
+pub(crate) fn items_of_group(nd: NdRangeSpec, group: [i64; 3]) -> Vec<NdItemVal> {
     let mut items = Vec::with_capacity((nd.local[0] * nd.local[1] * nd.local[2]) as usize);
     for l0 in 0..nd.local[0] {
         for l1 in 0..nd.local[1] {
@@ -245,26 +366,12 @@ fn items_of_group(nd: NdRangeSpec, group: [i64; 3]) -> Vec<NdItemVal> {
     items
 }
 
-fn run_work_group_plan(
-    plan: &KernelPlan,
-    args: &[RtValue],
-    nd: NdRangeSpec,
-    group: [i64; 3],
-    ctx: &mut ExecCtx<'_>,
-    pctx: &mut PlanCtx,
-) -> Result<(), SimError> {
-    let mut items: Vec<PlanWorkItem> = items_of_group(nd, group)
-        .into_iter()
-        .map(|item| PlanWorkItem::new(plan, args, item))
-        .collect::<Result<_, _>>()?;
-    cooperative_rounds(&mut items, group, |wi| wi.run(plan, ctx, pctx))
-}
-
 /// Drive a work-group's items in co-operative rounds: every live work-item
 /// runs to its next barrier or to completion; mixing the two within a
-/// group is the divergent-barrier deadlock. Shared by both engines so the
-/// scheduling policy (and its error message) cannot drift between them.
-fn cooperative_rounds<W>(
+/// group is the divergent-barrier deadlock. Shared by both engines (and
+/// every plan worker thread) so the scheduling policy (and its error
+/// message) cannot drift between them.
+pub(crate) fn cooperative_rounds<W>(
     items: &mut [W],
     group: [i64; 3],
     mut run: impl FnMut(&mut W) -> Result<Stop, SimError>,
@@ -362,9 +469,17 @@ mod tests {
         let mb = pool.alloc(DataVec::F32(vec![10.0; n as usize]));
         let device = Device::new();
         let stats = device
-            .launch(&m, func, &[accessor(ma, n), accessor(mb, n)], NdRangeSpec::d1(n, 16), &mut pool)
+            .launch(
+                &m,
+                func,
+                &[accessor(ma, n), accessor(mb, n)],
+                NdRangeSpec::d1(n, 16),
+                &mut pool,
+            )
             .unwrap();
-        let DataVec::F32(out) = pool.data(ma) else { panic!() };
+        let DataVec::F32(out) = pool.data(ma) else {
+            panic!()
+        };
         assert_eq!(out[0], 10.0);
         assert_eq!(out[63], 73.0);
         assert_eq!(stats.work_items, 64);
@@ -436,9 +551,17 @@ mod tests {
         let mo = pool.alloc(DataVec::I64(vec![0; 4]));
         let device = Device::new();
         let stats = device
-            .launch(&m, func, &[accessor(mo, 4)], NdRangeSpec::d1(64, 16), &mut pool)
+            .launch(
+                &m,
+                func,
+                &[accessor(mo, 4)],
+                NdRangeSpec::d1(64, 16),
+                &mut pool,
+            )
             .unwrap();
-        let DataVec::I64(out_data) = pool.data(mo) else { panic!() };
+        let DataVec::I64(out_data) = pool.data(mo) else {
+            panic!()
+        };
         // Each group sums 0..15 = 120.
         assert_eq!(out_data, &vec![120; 4]);
         assert_eq!(stats.barriers, 4 * 16); // every work-item hits it once
@@ -478,6 +601,155 @@ mod tests {
         let device = Device::new();
         let errv = device
             .launch(&m, func, &[], NdRangeSpec::d1(16, 16), &mut pool)
+            .unwrap_err();
+        assert!(errv.message.contains("divergent barrier"), "{errv}");
+    }
+
+    /// A second launch of an unmutated kernel must reuse the decoded plan;
+    /// mutating the module in between must invalidate it.
+    #[test]
+    fn plan_cache_hits_unmutated_and_misses_mutated_kernels() {
+        let c = ctx();
+        let mut m = Module::new(&c);
+        let acc = accessor_type(&c, c.f32_type(), 1, AccessMode::ReadWrite, Target::Global);
+        let nd1 = nd_item_type(&c, 1);
+        let top = m.top();
+        let (func, entry) = build_func(&mut m, top, "inc", &[acc, nd1], &[]);
+        sdev::mark_kernel(&mut m, func);
+        let a = m.block_arg(entry, 0);
+        let item = m.block_arg(entry, 1);
+        {
+            let mut b = Builder::at_end(&mut m, entry);
+            let gid = sdev::global_id(&mut b, item, 0);
+            let v = sdev::load_via_id(&mut b, a, &[gid]);
+            let f32t = b.ctx().f32_type();
+            let one = arith::constant_float(&mut b, 1.0, f32t);
+            let sum = arith::addf(&mut b, v, one);
+            sdev::store_via_id(&mut b, sum, a, &[gid]);
+            build_return(&mut b, &[]);
+        }
+        let n = 32_i64;
+        let mut pool = MemoryPool::new();
+        let ma = pool.alloc(DataVec::F32(vec![0.0; n as usize]));
+        let device = Device::with_engine(Engine::Plan);
+        let nd = NdRangeSpec::d1(n, 16);
+
+        device
+            .launch(&m, func, &[accessor(ma, n)], nd, &mut pool)
+            .unwrap();
+        assert_eq!(device.plan_cache_counters(), (0, 1), "first launch decodes");
+
+        device
+            .launch(&m, func, &[accessor(ma, n)], nd, &mut pool)
+            .unwrap();
+        assert_eq!(
+            device.plan_cache_counters(),
+            (1, 1),
+            "unmutated relaunch hits"
+        );
+
+        // Any IR mutation (here: an attribute edit, like JIT
+        // re-specialization would make) invalidates the cached plan.
+        m.set_attr(func, "specialized", sycl_mlir_ir::Attribute::Int(1));
+        device
+            .launch(&m, func, &[accessor(ma, n)], nd, &mut pool)
+            .unwrap();
+        assert_eq!(
+            device.plan_cache_counters(),
+            (1, 2),
+            "mutated relaunch re-decodes"
+        );
+
+        device
+            .launch(&m, func, &[accessor(ma, n)], nd, &mut pool)
+            .unwrap();
+        assert_eq!(device.plan_cache_counters(), (2, 2), "then hits again");
+
+        let DataVec::F32(out) = pool.data(ma) else {
+            panic!()
+        };
+        assert_eq!(out[0], 4.0, "all four launches executed");
+    }
+
+    /// The work-group thread pool must produce bit-identical outputs and
+    /// statistics for any worker count.
+    #[test]
+    fn parallel_launch_is_bit_identical_to_sequential() {
+        let c = ctx();
+        let mut m = Module::new(&c);
+        let acc = accessor_type(&c, c.f32_type(), 1, AccessMode::ReadWrite, Target::Global);
+        let nd1 = nd_item_type(&c, 1);
+        let top = m.top();
+        let (func, entry) = build_func(&mut m, top, "scale", &[acc.clone(), acc, nd1], &[]);
+        sdev::mark_kernel(&mut m, func);
+        let a = m.block_arg(entry, 0);
+        let b_acc = m.block_arg(entry, 1);
+        let item = m.block_arg(entry, 2);
+        {
+            let mut b = Builder::at_end(&mut m, entry);
+            let gid = sdev::global_id(&mut b, item, 0);
+            let va = sdev::load_via_id(&mut b, a, &[gid]);
+            let vb = sdev::load_via_id(&mut b, b_acc, &[gid]);
+            let sum = arith::mulf(&mut b, va, vb);
+            sdev::store_via_id(&mut b, sum, a, &[gid]);
+            build_return(&mut b, &[]);
+        }
+        let n = 256_i64;
+        let nd = NdRangeSpec::d1(n, 16);
+        let run = |threads: usize| {
+            let mut pool = MemoryPool::new();
+            let ma = pool.alloc(DataVec::F32((0..n).map(|i| i as f32).collect()));
+            let mb = pool.alloc(DataVec::F32(vec![0.5; n as usize]));
+            let device = Device::with_engine(Engine::Plan).threads(threads);
+            let stats = device
+                .launch(&m, func, &[accessor(ma, n), accessor(mb, n)], nd, &mut pool)
+                .unwrap();
+            let DataVec::F32(out) = pool.data(ma) else {
+                panic!()
+            };
+            (stats, out.clone())
+        };
+        let (seq_stats, seq_out) = run(1);
+        for threads in [2, 4, 8] {
+            let (par_stats, par_out) = run(threads);
+            assert_eq!(seq_stats, par_stats, "stats differ at threads={threads}");
+            assert_eq!(seq_out, par_out, "outputs differ at threads={threads}");
+        }
+    }
+
+    /// Errors surfacing from parallel work-groups match the sequential
+    /// engine (the failing group's error is reported).
+    #[test]
+    fn parallel_launch_reports_divergent_barrier() {
+        let c = ctx();
+        let mut m = Module::new(&c);
+        let nd1 = nd_item_type(&c, 1);
+        let top = m.top();
+        let (func, entry) = build_func(&mut m, top, "bad", &[nd1], &[]);
+        sdev::mark_kernel(&mut m, func);
+        let item = m.block_arg(entry, 0);
+        {
+            let mut b = Builder::at_end(&mut m, entry);
+            let lid = sdev::local_id(&mut b, item, 0);
+            let zero = constant_index(&mut b, 0);
+            let cond = arith::cmpi(&mut b, "eq", lid, zero);
+            let g = sdev::get_group(&mut b, item);
+            sycl_mlir_dialects::scf::build_if(
+                &mut b,
+                cond,
+                &[],
+                |inner| {
+                    sdev::group_barrier(inner, g);
+                    vec![]
+                },
+                |_| vec![],
+            );
+            build_return(&mut b, &[]);
+        }
+        let mut pool = MemoryPool::new();
+        let device = Device::with_engine(Engine::Plan).threads(4);
+        let errv = device
+            .launch(&m, func, &[], NdRangeSpec::d1(64, 16), &mut pool)
             .unwrap_err();
         assert!(errv.message.contains("divergent barrier"), "{errv}");
     }

@@ -37,26 +37,74 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 fn err(msg: impl Into<String>) -> SimError {
-    SimError { message: msg.into() }
+    SimError {
+        message: msg.into(),
+    }
 }
+
+/// A cheap multiply-mix hasher for the coalescing tracker's integer keys.
+/// The tracker sits on the hottest path of the simulator (one insert per
+/// global memory access of every work-item); SipHash's per-lookup cost is
+/// measurable there, and HashDoS resistance buys nothing against keys the
+/// simulator itself generates.
+#[derive(Default)]
+pub(crate) struct IntMixHasher(u64);
+
+impl std::hash::Hasher for IntMixHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.0 = (self.0 ^ x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0 ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Finalizing xor-shift: the multiply mixes low bits upward, this
+        // folds the well-mixed high bits back down for table indexing.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type IntMixBuild = std::hash::BuildHasherDefault<IntMixHasher>;
 
 /// Work-group-shared execution state.
 #[derive(Default)]
 pub struct WorkGroupCtx {
     /// `sycl.local.alloca` results shared by the group.
     local_allocs: HashMap<OpId, MemRefVal>,
-    /// Coalescing tracker: (site, instance, subgroup) -> touched segments.
-    /// The site is an `OpId` index under the tree-walk engine and a plan
-    /// site id under the plan engine; a launch only ever uses one keying.
-    segments: HashMap<(u32, u32, u32), HashSet<u64>>,
+    /// Coalescing tracker: the set of (site, instance, subgroup, segment)
+    /// tuples touched by this work-group. The site is an `OpId` index
+    /// under the tree-walk engine and a plan site id under the plan
+    /// engine; a launch only ever uses one keying.
+    segments: HashSet<(u32, u32, u32, u64), IntMixBuild>,
 }
 
 impl WorkGroupCtx {
     /// Record a global access; returns `true` if it opens a new
     /// transaction (a 64-byte segment not yet touched by this sub-group at
     /// this op instance).
+    #[inline]
     pub(crate) fn record(&mut self, key: (u32, u32, u32), segment: u64) -> bool {
-        self.segments.entry(key).or_default().insert(segment)
+        self.segments.insert((key.0, key.1, key.2, segment))
+    }
+
+    /// Reset for the next work-group, retaining table capacity (this runs
+    /// once per group; reallocating and regrowing the set each time costs
+    /// more than the clear).
+    pub(crate) fn reset(&mut self) {
+        self.local_allocs.clear();
+        self.segments.clear();
     }
 }
 
@@ -90,15 +138,27 @@ impl<'a> ExecCtx<'a> {
 
     /// Reset work-group-shared state (call between work-groups).
     pub fn next_work_group(&mut self) {
-        self.wg = WorkGroupCtx::default();
+        self.wg.reset();
     }
 }
 
 enum Frame {
-    Block { block: sycl_mlir_ir::BlockId, idx: usize },
-    If { op: OpId },
-    Loop { op: OpId, iv: i64, ub: i64, step: i64 },
-    Call { op: OpId },
+    Block {
+        block: sycl_mlir_ir::BlockId,
+        idx: usize,
+    },
+    If {
+        op: OpId,
+    },
+    Loop {
+        op: OpId,
+        iv: i64,
+        ub: i64,
+        step: i64,
+    },
+    Call {
+        op: OpId,
+    },
 }
 
 /// One work-item's resumable execution state.
@@ -117,13 +177,21 @@ const MAX_STEPS: u64 = 500_000_000;
 impl WorkItemState {
     /// Prepare execution of `kernel` with `args` bound to all parameters
     /// except the trailing item-like one, which gets `item`.
-    pub fn new(m: &Module, kernel: OpId, args: &[RtValue], item: NdItemVal) -> Result<WorkItemState, SimError> {
+    pub fn new(
+        m: &Module,
+        kernel: OpId,
+        args: &[RtValue],
+        item: NdItemVal,
+    ) -> Result<WorkItemState, SimError> {
         let entry = m.op_region_block(kernel, 0);
         let params = m.block_args(entry).to_vec();
         let mut s = WorkItemState {
             env: vec![RtValue::Unit; m.value_capacity()],
             bound: vec![false; m.value_capacity()],
-            frames: vec![Frame::Block { block: entry, idx: 0 }],
+            frames: vec![Frame::Block {
+                block: entry,
+                idx: 0,
+            }],
             visits: vec![0; m.op_capacity()],
             item,
             finished: false,
@@ -133,7 +201,11 @@ impl WorkItemState {
             .last()
             .map(|&p| sycl_mlir_sycl::types::is_item_like(&m.value_type(p)))
             .unwrap_or(false);
-        let value_params = if has_item { &params[..params.len() - 1] } else { &params[..] };
+        let value_params = if has_item {
+            &params[..params.len() - 1]
+        } else {
+            &params[..]
+        };
         if value_params.len() != args.len() {
             return Err(err(format!(
                 "kernel expects {} arguments, got {}",
@@ -157,7 +229,9 @@ impl WorkItemState {
 
     fn val(&self, v: ValueId) -> Result<RtValue, SimError> {
         if !self.bound[v.0 as usize] {
-            return Err(err("use of unbound SSA value (interpreter bug or invalid IR)"));
+            return Err(err(
+                "use of unbound SSA value (interpreter bug or invalid IR)",
+            ));
         }
         Ok(self.env[v.0 as usize])
     }
@@ -245,7 +319,10 @@ impl WorkItemState {
                                 for (i, &a) in args[1..].iter().enumerate() {
                                     self.bind(a, vals[i]);
                                 }
-                                self.frames.push(Frame::Block { block: body, idx: 0 });
+                                self.frames.push(Frame::Block {
+                                    block: body,
+                                    idx: 0,
+                                });
                             } else {
                                 self.frames.pop();
                                 self.assign_results(ctx.m, loop_op, &vals);
@@ -255,7 +332,10 @@ impl WorkItemState {
                     }
                 }
                 "scf.if" => {
-                    let cond = self.val(ctx.m.op_operand(op, 0))?.as_bool().ok_or_else(|| err("non-boolean if condition"))?;
+                    let cond = self
+                        .val(ctx.m.op_operand(op, 0))?
+                        .as_bool()
+                        .ok_or_else(|| err("non-boolean if condition"))?;
                     ctx.stats.arith_ops += 1;
                     let region = if cond { 0 } else { 1 };
                     let blk = ctx.m.op_region_block(op, region);
@@ -263,9 +343,18 @@ impl WorkItemState {
                     self.frames.push(Frame::Block { block: blk, idx: 0 });
                 }
                 "scf.for" | "affine.for" => {
-                    let lb = self.val(ctx.m.op_operand(op, 0))?.as_int().ok_or_else(|| err("bad lb"))?;
-                    let ub = self.val(ctx.m.op_operand(op, 1))?.as_int().ok_or_else(|| err("bad ub"))?;
-                    let step = self.val(ctx.m.op_operand(op, 2))?.as_int().ok_or_else(|| err("bad step"))?;
+                    let lb = self
+                        .val(ctx.m.op_operand(op, 0))?
+                        .as_int()
+                        .ok_or_else(|| err("bad lb"))?;
+                    let ub = self
+                        .val(ctx.m.op_operand(op, 1))?
+                        .as_int()
+                        .ok_or_else(|| err("bad ub"))?;
+                    let step = self
+                        .val(ctx.m.op_operand(op, 2))?
+                        .as_int()
+                        .ok_or_else(|| err("bad step"))?;
                     if step <= 0 {
                         return Err(err("non-positive loop step"));
                     }
@@ -284,8 +373,16 @@ impl WorkItemState {
                         for (i, &a) in args[1..].iter().enumerate() {
                             self.bind(a, inits[i]);
                         }
-                        self.frames.push(Frame::Loop { op, iv: lb, ub, step });
-                        self.frames.push(Frame::Block { block: body, idx: 0 });
+                        self.frames.push(Frame::Loop {
+                            op,
+                            iv: lb,
+                            ub,
+                            step,
+                        });
+                        self.frames.push(Frame::Block {
+                            block: body,
+                            idx: 0,
+                        });
                     }
                 }
                 "func.call" => {
@@ -299,7 +396,10 @@ impl WorkItemState {
                         self.bind(p, args[i]);
                     }
                     self.frames.push(Frame::Call { op });
-                    self.frames.push(Frame::Block { block: entry, idx: 0 });
+                    self.frames.push(Frame::Block {
+                        block: entry,
+                        idx: 0,
+                    });
                 }
                 "sycl.group.barrier" => {
                     ctx.stats.barriers += 1;
@@ -325,7 +425,10 @@ impl WorkItemState {
                     (sycl_mlir_ir::Attribute::Bool(b), _) => RtValue::Int(*b as i64),
                     (sycl_mlir_ir::Attribute::Float(f), TypeKind::F32) => RtValue::F32(*f as f32),
                     (sycl_mlir_ir::Attribute::Float(f), _) => RtValue::F64(*f),
-                    (sycl_mlir_ir::Attribute::DenseF64(_) | sycl_mlir_ir::Attribute::DenseI64(_), TypeKind::MemRef { .. }) => {
+                    (
+                        sycl_mlir_ir::Attribute::DenseF64(_) | sycl_mlir_ir::Attribute::DenseI64(_),
+                        TypeKind::MemRef { .. },
+                    ) => {
                         let mr = self.materialize_dense(ctx, op, &attr)?;
                         RtValue::MemRef(mr)
                     }
@@ -337,8 +440,14 @@ impl WorkItemState {
             "arith.addi" | "arith.subi" | "arith.muli" | "arith.divsi" | "arith.remsi"
             | "arith.andi" | "arith.ori" | "arith.xori" | "arith.minsi" | "arith.maxsi" => {
                 ctx.stats.arith_ops += 1;
-                let l = self.val(m.op_operand(op, 0))?.as_int().ok_or_else(|| err("int op on non-int"))?;
-                let r = self.val(m.op_operand(op, 1))?.as_int().ok_or_else(|| err("int op on non-int"))?;
+                let l = self
+                    .val(m.op_operand(op, 0))?
+                    .as_int()
+                    .ok_or_else(|| err("int op on non-int"))?;
+                let r = self
+                    .val(m.op_operand(op, 1))?
+                    .as_int()
+                    .ok_or_else(|| err("int op on non-int"))?;
                 let out = match name {
                     "arith.addi" => l.wrapping_add(r),
                     "arith.subi" => l.wrapping_sub(r),
@@ -364,7 +473,8 @@ impl WorkItemState {
                 self.bind(m.op_result(op, 0), RtValue::Int(out));
                 Ok(())
             }
-            "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.minf" | "arith.maxf" => {
+            "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.minf"
+            | "arith.maxf" => {
                 ctx.stats.arith_ops += 1;
                 let lv = self.val(m.op_operand(op, 0))?;
                 let rv = self.val(m.op_operand(op, 1))?;
@@ -398,9 +508,18 @@ impl WorkItemState {
             }
             "arith.cmpi" => {
                 ctx.stats.arith_ops += 1;
-                let l = self.val(m.op_operand(op, 0))?.as_int().ok_or_else(|| err("cmpi on non-int"))?;
-                let r = self.val(m.op_operand(op, 1))?.as_int().ok_or_else(|| err("cmpi on non-int"))?;
-                let pred = m.attr_by_id(op, ctx.keys.predicate).and_then(|a| a.as_str()).unwrap_or("eq");
+                let l = self
+                    .val(m.op_operand(op, 0))?
+                    .as_int()
+                    .ok_or_else(|| err("cmpi on non-int"))?;
+                let r = self
+                    .val(m.op_operand(op, 1))?
+                    .as_int()
+                    .ok_or_else(|| err("cmpi on non-int"))?;
+                let pred = m
+                    .attr_by_id(op, ctx.keys.predicate)
+                    .and_then(|a| a.as_str())
+                    .unwrap_or("eq");
                 let out = match pred {
                     "eq" => l == r,
                     "ne" => l != r,
@@ -414,9 +533,18 @@ impl WorkItemState {
             }
             "arith.cmpf" => {
                 ctx.stats.arith_ops += 1;
-                let l = self.val(m.op_operand(op, 0))?.as_f64().ok_or_else(|| err("cmpf on non-float"))?;
-                let r = self.val(m.op_operand(op, 1))?.as_f64().ok_or_else(|| err("cmpf on non-float"))?;
-                let pred = m.attr_by_id(op, ctx.keys.predicate).and_then(|a| a.as_str()).unwrap_or("eq");
+                let l = self
+                    .val(m.op_operand(op, 0))?
+                    .as_f64()
+                    .ok_or_else(|| err("cmpf on non-float"))?;
+                let r = self
+                    .val(m.op_operand(op, 1))?
+                    .as_f64()
+                    .ok_or_else(|| err("cmpf on non-float"))?;
+                let pred = m
+                    .attr_by_id(op, ctx.keys.predicate)
+                    .and_then(|a| a.as_str())
+                    .unwrap_or("eq");
                 let out = match pred {
                     "eq" => l == r,
                     "ne" => l != r,
@@ -430,7 +558,10 @@ impl WorkItemState {
             }
             "arith.select" => {
                 ctx.stats.arith_ops += 1;
-                let c = self.val(m.op_operand(op, 0))?.as_bool().ok_or_else(|| err("select cond"))?;
+                let c = self
+                    .val(m.op_operand(op, 0))?
+                    .as_bool()
+                    .ok_or_else(|| err("select cond"))?;
                 let v = if c {
                     self.val(m.op_operand(op, 1))?
                 } else {
@@ -446,7 +577,10 @@ impl WorkItemState {
             }
             "arith.sitofp" => {
                 ctx.stats.arith_ops += 1;
-                let v = self.val(m.op_operand(op, 0))?.as_int().ok_or_else(|| err("sitofp"))?;
+                let v = self
+                    .val(m.op_operand(op, 0))?
+                    .as_int()
+                    .ok_or_else(|| err("sitofp"))?;
                 let ty = m.value_type(m.op_result(op, 0));
                 let res = match ty.kind() {
                     TypeKind::F32 => RtValue::F32(v as f32),
@@ -457,17 +591,26 @@ impl WorkItemState {
             }
             "arith.fptosi" => {
                 ctx.stats.arith_ops += 1;
-                let v = self.val(m.op_operand(op, 0))?.as_f64().ok_or_else(|| err("fptosi"))?;
+                let v = self
+                    .val(m.op_operand(op, 0))?
+                    .as_f64()
+                    .ok_or_else(|| err("fptosi"))?;
                 self.bind(m.op_result(op, 0), RtValue::Int(v as i64));
                 Ok(())
             }
             "arith.truncf" => {
-                let v = self.val(m.op_operand(op, 0))?.as_f64().ok_or_else(|| err("truncf"))?;
+                let v = self
+                    .val(m.op_operand(op, 0))?
+                    .as_f64()
+                    .ok_or_else(|| err("truncf"))?;
                 self.bind(m.op_result(op, 0), RtValue::F32(v as f32));
                 Ok(())
             }
             "arith.extf" => {
-                let v = self.val(m.op_operand(op, 0))?.as_f64().ok_or_else(|| err("extf"))?;
+                let v = self
+                    .val(m.op_operand(op, 0))?
+                    .as_f64()
+                    .ok_or_else(|| err("extf"))?;
                 self.bind(m.op_result(op, 0), RtValue::F64(v));
                 Ok(())
             }
@@ -476,7 +619,10 @@ impl WorkItemState {
                 let xv = self.val(m.op_operand(op, 0))?;
                 let x = xv.as_f64().ok_or_else(|| err("math on non-float"))?;
                 let out = if name == "math.powf" {
-                    let y = self.val(m.op_operand(op, 1))?.as_f64().ok_or_else(|| err("powf"))?;
+                    let y = self
+                        .val(m.op_operand(op, 1))?
+                        .as_f64()
+                        .ok_or_else(|| err("powf"))?;
                     x.powf(y)
                 } else {
                     sycl_mlir_dialects::math::eval_unary(name, x)
@@ -494,7 +640,13 @@ impl WorkItemState {
                 let (mem, shape, rank) = self.alloc_for(ctx, &ty)?;
                 self.bind(
                     m.op_result(op, 0),
-                    RtValue::MemRef(MemRefVal { mem, offset: 0, shape, rank, space: Space::Private }),
+                    RtValue::MemRef(MemRefVal {
+                        mem,
+                        offset: 0,
+                        shape,
+                        rank,
+                        space: Space::Private,
+                    }),
                 );
                 Ok(())
             }
@@ -504,7 +656,13 @@ impl WorkItemState {
                 } else {
                     let ty = m.value_type(m.op_result(op, 0));
                     let (mem, shape, rank) = self.alloc_for(ctx, &ty)?;
-                    let mr = MemRefVal { mem, offset: 0, shape, rank, space: Space::Local };
+                    let mr = MemRefVal {
+                        mem,
+                        offset: 0,
+                        shape,
+                        rank,
+                        space: Space::Local,
+                    };
                     ctx.wg.local_allocs.insert(op, mr);
                     mr
                 };
@@ -512,10 +670,16 @@ impl WorkItemState {
                 Ok(())
             }
             "memref.load" | "affine.load" => {
-                let mr = self.val(m.op_operand(op, 0))?.as_memref().ok_or_else(|| err("load from non-memref"))?;
+                let mr = self
+                    .val(m.op_operand(op, 0))?
+                    .as_memref()
+                    .ok_or_else(|| err("load from non-memref"))?;
                 let idx: Vec<i64> = m.op_operands(op)[1..]
                     .iter()
-                    .map(|&v| self.val(v).and_then(|x| x.as_int().ok_or_else(|| err("non-int index"))))
+                    .map(|&v| {
+                        self.val(v)
+                            .and_then(|x| x.as_int().ok_or_else(|| err("non-int index")))
+                    })
                     .collect::<Result<_, _>>()?;
                 let addr = mr.linearize(&idx);
                 self.mem_event(ctx, op, &mr, addr, false)?;
@@ -525,10 +689,16 @@ impl WorkItemState {
             }
             "memref.store" | "affine.store" => {
                 let v = self.val(m.op_operand(op, 0))?;
-                let mr = self.val(m.op_operand(op, 1))?.as_memref().ok_or_else(|| err("store to non-memref"))?;
+                let mr = self
+                    .val(m.op_operand(op, 1))?
+                    .as_memref()
+                    .ok_or_else(|| err("store to non-memref"))?;
                 let idx: Vec<i64> = m.op_operands(op)[2..]
                     .iter()
-                    .map(|&x| self.val(x).and_then(|y| y.as_int().ok_or_else(|| err("non-int index"))))
+                    .map(|&x| {
+                        self.val(x)
+                            .and_then(|y| y.as_int().ok_or_else(|| err("non-int index")))
+                    })
                     .collect::<Result<_, _>>()?;
                 let addr = mr.linearize(&idx);
                 self.mem_event(ctx, op, &mr, addr, true)?;
@@ -536,7 +706,10 @@ impl WorkItemState {
                 Ok(())
             }
             "memref.cast" => {
-                let mr = self.val(m.op_operand(op, 0))?.as_memref().ok_or_else(|| err("cast of non-memref"))?;
+                let mr = self
+                    .val(m.op_operand(op, 0))?
+                    .as_memref()
+                    .ok_or_else(|| err("cast of non-memref"))?;
                 self.bind(m.op_result(op, 0), RtValue::MemRef(mr));
                 Ok(())
             }
@@ -551,21 +724,33 @@ impl WorkItemState {
                 Ok(())
             }
             "sycl.nd_range.constructor" => {
-                let g = self.val(m.op_operand(op, 0))?.as_vec().ok_or_else(|| err("nd_range global"))?;
-                let l = self.val(m.op_operand(op, 1))?.as_vec().ok_or_else(|| err("nd_range local"))?;
+                let g = self
+                    .val(m.op_operand(op, 0))?
+                    .as_vec()
+                    .ok_or_else(|| err("nd_range global"))?;
+                let l = self
+                    .val(m.op_operand(op, 1))?
+                    .as_vec()
+                    .ok_or_else(|| err("nd_range local"))?;
                 self.bind(m.op_result(op, 0), RtValue::NdRange(g, l));
                 Ok(())
             }
             "sycl.id.get" | "sycl.range.get" => {
                 ctx.stats.arith_ops += 1;
-                let v = self.val(m.op_operand(op, 0))?.as_vec().ok_or_else(|| err("id.get"))?;
+                let v = self
+                    .val(m.op_operand(op, 0))?
+                    .as_vec()
+                    .ok_or_else(|| err("id.get"))?;
                 let d = self.dim_operand(m, op)?;
                 self.bind(m.op_result(op, 0), RtValue::Int(v.data[d]));
                 Ok(())
             }
             "sycl.range.size" => {
                 ctx.stats.arith_ops += 1;
-                let v = self.val(m.op_operand(op, 0))?.as_vec().ok_or_else(|| err("range.size"))?;
+                let v = self
+                    .val(m.op_operand(op, 0))?
+                    .as_vec()
+                    .ok_or_else(|| err("range.size"))?;
                 let size: i64 = v.data[..v.rank as usize].iter().product();
                 self.bind(m.op_result(op, 0), RtValue::Int(size));
                 Ok(())
@@ -609,12 +794,18 @@ impl WorkItemState {
             }
             "sycl.item.get_linear_id" | "sycl.nd_item.get_global_linear_id" => {
                 ctx.stats.arith_ops += 1;
-                self.bind(m.op_result(op, 0), RtValue::Int(self.item.global_linear_id()));
+                self.bind(
+                    m.op_result(op, 0),
+                    RtValue::Int(self.item.global_linear_id()),
+                );
                 Ok(())
             }
             "sycl.nd_item.get_local_linear_id" => {
                 ctx.stats.arith_ops += 1;
-                self.bind(m.op_result(op, 0), RtValue::Int(self.item.local_linear_id()));
+                self.bind(
+                    m.op_result(op, 0),
+                    RtValue::Int(self.item.local_linear_id()),
+                );
                 Ok(())
             }
             "sycl.nd_item.get_group" => {
@@ -623,26 +814,48 @@ impl WorkItemState {
             }
             "sycl.accessor.subscript" => {
                 ctx.stats.arith_ops += 1;
-                let acc = self.val(m.op_operand(op, 0))?.as_accessor().ok_or_else(|| err("subscript of non-accessor"))?;
-                let id = self.val(m.op_operand(op, 1))?.as_vec().ok_or_else(|| err("subscript id"))?;
+                let acc = self
+                    .val(m.op_operand(op, 0))?
+                    .as_accessor()
+                    .ok_or_else(|| err("subscript of non-accessor"))?;
+                let id = self
+                    .val(m.op_operand(op, 1))?
+                    .as_vec()
+                    .ok_or_else(|| err("subscript id"))?;
                 let offset = acc.linearize(&id.data[..id.rank as usize]);
-                let space = if acc.constant { Space::Constant } else { Space::Global };
+                let space = if acc.constant {
+                    Space::Constant
+                } else {
+                    Space::Global
+                };
                 self.bind(
                     m.op_result(op, 0),
-                    RtValue::MemRef(MemRefVal { mem: acc.mem, offset, shape: [-1, 1, 1], rank: 1, space }),
+                    RtValue::MemRef(MemRefVal {
+                        mem: acc.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    }),
                 );
                 Ok(())
             }
             "sycl.accessor.get_range" => {
                 ctx.stats.arith_ops += 1;
-                let acc = self.val(m.op_operand(op, 0))?.as_accessor().ok_or_else(|| err("get_range"))?;
+                let acc = self
+                    .val(m.op_operand(op, 0))?
+                    .as_accessor()
+                    .ok_or_else(|| err("get_range"))?;
                 let d = self.dim_operand(m, op)?;
                 self.bind(m.op_result(op, 0), RtValue::Int(acc.range[d]));
                 Ok(())
             }
             "sycl.accessor.base" => {
                 ctx.stats.arith_ops += 1;
-                let acc = self.val(m.op_operand(op, 0))?.as_accessor().ok_or_else(|| err("accessor.base"))?;
+                let acc = self
+                    .val(m.op_operand(op, 0))?
+                    .as_accessor()
+                    .ok_or_else(|| err("accessor.base"))?;
                 let base = ((acc.mem.0 as i64) << 32) | acc.linearize(&[0, 0, 0]);
                 self.bind(m.op_result(op, 0), RtValue::Int(base));
                 Ok(())
@@ -671,8 +884,13 @@ impl WorkItemState {
         ctx: &mut ExecCtx<'_>,
         ty: &sycl_mlir_ir::Type,
     ) -> Result<(crate::memory::MemId, [i64; 3], u32), SimError> {
-        let shape_v = ty.memref_shape().ok_or_else(|| err("alloca of non-memref"))?.to_vec();
-        let elem = ty.memref_elem().ok_or_else(|| err("alloca of non-memref"))?;
+        let shape_v = ty
+            .memref_shape()
+            .ok_or_else(|| err("alloca of non-memref"))?
+            .to_vec();
+        let elem = ty
+            .memref_elem()
+            .ok_or_else(|| err("alloca of non-memref"))?;
         let len: i64 = shape_v.iter().product();
         let mem = ctx.pool.alloc_zeroed(&elem, len.max(0) as usize);
         let mut shape = [1_i64; 3];
@@ -692,7 +910,9 @@ impl WorkItemState {
             return Ok(*existing);
         }
         let ty = ctx.m.value_type(ctx.m.op_result(op, 0));
-        let elem = ty.memref_elem().ok_or_else(|| err("dense constant must be memref"))?;
+        let elem = ty
+            .memref_elem()
+            .ok_or_else(|| err("dense constant must be memref"))?;
         let data = match (attr, elem.kind()) {
             (sycl_mlir_ir::Attribute::DenseF64(v), TypeKind::F32) => {
                 crate::memory::DataVec::F32(v.iter().map(|&x| x as f32).collect())
@@ -710,7 +930,13 @@ impl WorkItemState {
         for (i, &s) in shape_v.iter().enumerate() {
             shape[i] = s;
         }
-        let mr = MemRefVal { mem, offset: 0, shape, rank: shape_v.len() as u32, space: Space::Constant };
+        let mr = MemRefVal {
+            mem,
+            offset: 0,
+            shape,
+            rank: shape_v.len() as u32,
+            space: Space::Constant,
+        };
         ctx.const_pool.insert(op, mr);
         Ok(mr)
     }
@@ -735,8 +961,7 @@ impl WorkItemState {
                     *slot += 1;
                     *slot
                 };
-                let subgroup =
-                    (self.item.local_linear_id() / ctx.cost.subgroup_size as i64) as u32;
+                let subgroup = (self.item.local_linear_id() / ctx.cost.subgroup_size as i64) as u32;
                 let bytes = ctx.pool.data(mr.mem).elem_bytes() as i64;
                 let segment = ((mr.mem.0 as u64) << 40)
                     | ((addr * bytes) / ctx.cost.transaction_bytes as i64) as u64;

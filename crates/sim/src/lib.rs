@@ -43,33 +43,47 @@
 //! allocation.
 //!
 //! **Threading model of a shared plan:** the decoded [`KernelPlan`] is
-//! immutable and shared by reference across all work-items and all
-//! work-groups of a launch (and would be trivially `Sync` but for the
-//! interned `Type` handles it carries). All mutable state lives outside
-//! the plan: each work-item owns its register file, frame stack and
-//! per-site visit counters; per-launch caches (dense-constant
-//! materializations) and per-work-group state (`sycl.local.alloca`
-//! results, the coalescing tracker) live in the launch context objects.
-//! Work-items of a group are co-operatively scheduled between barrier
-//! points exactly as under the tree-walk engine.
+//! immutable, `Send + Sync` (compile-time asserted) and shared by
+//! reference across all work-items, all work-groups and — with
+//! [`Device::threads`] `> 1` — all worker threads of a launch. All mutable
+//! state lives outside the plan: each work-item owns its register file,
+//! frame stack and per-site visit counters; each worker owns its
+//! statistics, its dense-constant materializations and its per-work-group
+//! state (`sycl.local.alloca` results, the coalescing tracker). Work-items
+//! of a group are co-operatively scheduled between barrier points exactly
+//! as under the tree-walk engine; the *work-group* axis is what the
+//! [`pool`] scheduler parallelizes, with statistics merged so that results
+//! are bit-identical for every worker count.
+//!
+//! **Cross-launch plan cache:** a [`Device`] memoizes decoded plans keyed
+//! by `(module id, kernel)` and validated against the module's mutation
+//! epoch, so re-launching an unmutated kernel (the common case in the
+//! evaluation's repeat protocol) skips the decode; any IR mutation — e.g.
+//! AdaptiveCpp JIT re-specialization — transparently re-decodes.
 //!
 //! Kernels the decoder does not understand fall back to the tree walk, so
 //! the plan engine never has to be complete to be correct. The
 //! differential suite (`tests/differential.rs`) holds the two engines to
 //! bit-identical outputs, statistics and cycle counts over the entire
-//! benchsuite; `cargo bench -p sycl-mlir-bench --bench engines` measures
-//! the speedup (order-of-magnitude on loop-heavy kernels, ~6.5x on the
-//! full `repro_all --quick` sweep).
+//! benchsuite (sequentially and at `threads=4`); `cargo bench -p
+//! sycl-mlir-bench --bench engines` measures the speedup
+//! (order-of-magnitude on loop-heavy kernels, ~6.5x on the full
+//! `repro_all --quick` sweep).
 
 pub mod cost;
 pub mod device;
 pub mod interp;
 pub mod memory;
 pub mod plan;
+pub mod pool;
 pub mod value;
 
 pub use cost::{CostModel, ExecStats};
-pub use device::{launch_kernel, launch_plan, Device, Engine, NdRangeSpec, SimError};
+pub use device::{
+    auto_threads, launch_kernel, launch_plan, threads_from_env, Device, Engine, NdRangeSpec,
+    SimError,
+};
 pub use memory::{DataVec, MemId, MemoryPool};
 pub use plan::{decode_kernel, DecodeError, KernelPlan};
+pub use pool::{run_plan_launch, PlanExecCtx, PlanPool, SharedPool};
 pub use value::{AccessorVal, MemRefVal, NdItemVal, RtValue, Space};

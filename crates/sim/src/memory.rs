@@ -100,6 +100,12 @@ impl MemoryPool {
         self.alloc(data)
     }
 
+    /// Mutable access to every buffer, in [`MemId`] order. Used by the
+    /// parallel launch path to build its shared buffer views.
+    pub(crate) fn buffers_mut(&mut self) -> &mut [DataVec] {
+        &mut self.buffers
+    }
+
     pub fn data(&self, id: MemId) -> &DataVec {
         &self.buffers[id.0 as usize]
     }

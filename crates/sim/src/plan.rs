@@ -34,8 +34,9 @@
 //! interpreter, which stays behaviourally authoritative (the differential
 //! suite in `tests/differential.rs` holds the two engines bit-identical).
 
-use crate::interp::{enclosing_module, ExecCtx, SimError, Stop};
+use crate::interp::{enclosing_module, SimError, Stop};
 use crate::memory::DataVec;
+use crate::pool::PlanExecCtx;
 use crate::value::{MemRefVal, NdItemVal, RtValue, Space, VecVal};
 use std::collections::HashMap;
 use sycl_mlir_ir::{Attribute, Module, OpId, OpName, Type, TypeKind, ValueId};
@@ -44,7 +45,9 @@ use sycl_mlir_ir::{Attribute, Module, OpId, OpName, Type, TypeKind, ValueId};
 pub type Reg = u32;
 
 fn err(msg: impl Into<String>) -> SimError {
-    SimError { message: msg.into() }
+    SimError {
+        message: msg.into(),
+    }
 }
 
 /// Why a kernel could not be decoded (the caller falls back to the
@@ -61,7 +64,9 @@ impl std::fmt::Display for DecodeError {
 }
 
 fn dec_err(msg: impl Into<String>) -> DecodeError {
-    DecodeError { message: msg.into() }
+    DecodeError {
+        message: msg.into(),
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -182,53 +187,193 @@ pub enum ItemQ {
 #[derive(Clone, Debug)]
 pub enum Instr {
     /// Pre-materialized scalar constant.
-    Const { dst: Reg, val: RtValue },
+    Const {
+        dst: Reg,
+        val: RtValue,
+    },
     /// Dense-data constant memref, materialized once per launch into the
     /// pool and cached in [`PlanCtx::dense_cache`] under `idx`.
-    ConstDense { dst: Reg, idx: u32 },
-    Copy { dst: Reg, src: Reg },
-    BinInt { op: IntBin, dst: Reg, l: Reg, r: Reg },
-    BinFloat { op: FloatBin, dst: Reg, l: Reg, r: Reg, f32_out: bool },
-    NegF { dst: Reg, x: Reg },
-    CmpI { pred: CmpPred, dst: Reg, l: Reg, r: Reg },
-    CmpF { pred: CmpPred, dst: Reg, l: Reg, r: Reg },
-    Select { dst: Reg, c: Reg, t: Reg, f: Reg },
-    SiToFp { dst: Reg, x: Reg, f32_out: bool },
-    FpToSi { dst: Reg, x: Reg },
-    TruncF { dst: Reg, x: Reg },
-    ExtF { dst: Reg, x: Reg },
-    Math { op: MathOp, dst: Reg, x: Reg, y: Reg, f32_out: bool },
+    ConstDense {
+        dst: Reg,
+        idx: u32,
+    },
+    Copy {
+        dst: Reg,
+        src: Reg,
+    },
+    BinInt {
+        op: IntBin,
+        dst: Reg,
+        l: Reg,
+        r: Reg,
+    },
+    BinFloat {
+        op: FloatBin,
+        dst: Reg,
+        l: Reg,
+        r: Reg,
+        f32_out: bool,
+    },
+    NegF {
+        dst: Reg,
+        x: Reg,
+    },
+    CmpI {
+        pred: CmpPred,
+        dst: Reg,
+        l: Reg,
+        r: Reg,
+    },
+    CmpF {
+        pred: CmpPred,
+        dst: Reg,
+        l: Reg,
+        r: Reg,
+    },
+    Select {
+        dst: Reg,
+        c: Reg,
+        t: Reg,
+        f: Reg,
+    },
+    SiToFp {
+        dst: Reg,
+        x: Reg,
+        f32_out: bool,
+    },
+    FpToSi {
+        dst: Reg,
+        x: Reg,
+    },
+    TruncF {
+        dst: Reg,
+        x: Reg,
+    },
+    ExtF {
+        dst: Reg,
+        x: Reg,
+    },
+    Math {
+        op: MathOp,
+        dst: Reg,
+        x: Reg,
+        y: Reg,
+        f32_out: bool,
+    },
     /// Per-work-item private allocation (fresh storage on every execution,
     /// like the tree-walk interpreter).
-    Alloca { dst: Reg, elem: Type, shape: [i64; 3], rank: u32, len: usize },
+    Alloca {
+        dst: Reg,
+        elem: Type,
+        shape: [i64; 3],
+        rank: u32,
+        len: usize,
+    },
     /// Work-group-shared allocation, cached per `site` in the group ctx.
-    LocalAlloca { dst: Reg, site: u32, elem: Type, shape: [i64; 3], rank: u32, len: usize },
-    Load { dst: Reg, mem: Reg, idx: [Reg; 3], rank: u8, site: u32 },
-    Store { val: Reg, mem: Reg, idx: [Reg; 3], rank: u8, site: u32 },
-    VecCtor { dst: Reg, comps: [Reg; 3], rank: u8 },
-    NdRangeCtor { dst: Reg, g: Reg, l: Reg },
-    VecGet { dst: Reg, v: Reg, dim: DimSrc },
-    RangeSize { dst: Reg, v: Reg },
-    ItemQuery { dst: Reg, q: ItemQ, dim: DimSrc },
-    GlobalLinearId { dst: Reg },
-    LocalLinearId { dst: Reg },
+    LocalAlloca {
+        dst: Reg,
+        site: u32,
+        elem: Type,
+        shape: [i64; 3],
+        rank: u32,
+        len: usize,
+    },
+    Load {
+        dst: Reg,
+        mem: Reg,
+        idx: [Reg; 3],
+        rank: u8,
+        site: u32,
+    },
+    Store {
+        val: Reg,
+        mem: Reg,
+        idx: [Reg; 3],
+        rank: u8,
+        site: u32,
+    },
+    VecCtor {
+        dst: Reg,
+        comps: [Reg; 3],
+        rank: u8,
+    },
+    NdRangeCtor {
+        dst: Reg,
+        g: Reg,
+        l: Reg,
+    },
+    VecGet {
+        dst: Reg,
+        v: Reg,
+        dim: DimSrc,
+    },
+    RangeSize {
+        dst: Reg,
+        v: Reg,
+    },
+    ItemQuery {
+        dst: Reg,
+        q: ItemQ,
+        dim: DimSrc,
+    },
+    GlobalLinearId {
+        dst: Reg,
+    },
+    LocalLinearId {
+        dst: Reg,
+    },
     /// `sycl.nd_item.get_group`: the item value itself.
-    ItemSelf { dst: Reg },
-    AccSubscript { dst: Reg, acc: Reg, id: Reg },
-    AccRange { dst: Reg, acc: Reg, dim: DimSrc },
-    AccBase { dst: Reg, acc: Reg },
+    ItemSelf {
+        dst: Reg,
+    },
+    AccSubscript {
+        dst: Reg,
+        acc: Reg,
+        id: Reg,
+    },
+    AccRange {
+        dst: Reg,
+        acc: Reg,
+        dim: DimSrc,
+    },
+    AccBase {
+        dst: Reg,
+        acc: Reg,
+    },
     Barrier,
-    Jump { target: u32 },
+    Jump {
+        target: u32,
+    },
     /// `scf.if` dispatch: falls through into the then-arm, jumps to
     /// `target` (the else-arm) on a false condition.
-    BranchIfFalse { cond: Reg, target: u32 },
+    BranchIfFalse {
+        cond: Reg,
+        target: u32,
+    },
     /// Loop entry: validates the step, sets `iv := lb` and jumps to
     /// `exit` when the trip count is zero.
-    ForEnter { lb: Reg, ub: Reg, step: Reg, iv: Reg, exit: u32 },
+    ForEnter {
+        lb: Reg,
+        ub: Reg,
+        step: Reg,
+        iv: Reg,
+        exit: u32,
+    },
     /// Loop back-edge: `iv += step`, jumping to `body` while `iv < ub`.
-    ForNext { iv: Reg, step: Reg, ub: Reg, body: u32 },
-    Call { func: u32, args: Box<[Reg]>, results: Box<[Reg]> },
-    Return { vals: Box<[Reg]> },
+    ForNext {
+        iv: Reg,
+        step: Reg,
+        ub: Reg,
+        body: u32,
+    },
+    Call {
+        func: u32,
+        args: Box<[Reg]>,
+        results: Box<[Reg]>,
+    },
+    Return {
+        vals: Box<[Reg]>,
+    },
 }
 
 // ----------------------------------------------------------------------
@@ -257,6 +402,11 @@ pub struct DenseConst {
 
 /// The immutable decode of one kernel launch: the kernel function at index
 /// 0 plus every transitively called function.
+///
+/// A plan is fully self-contained at run time (interned `Type` handles are
+/// `Arc`-backed) and is shared by reference across all work-items, all
+/// work-groups and — under `--threads=N` — all worker threads of a launch,
+/// as well as across launches through the device's plan cache.
 #[derive(Debug)]
 pub struct KernelPlan {
     pub funcs: Vec<FuncPlan>,
@@ -268,6 +418,16 @@ pub struct KernelPlan {
     /// Number of `sycl.local.alloca` sites across all functions.
     pub local_sites: u32,
 }
+
+/// [`KernelPlan`] must stay `Send + Sync`: the parallel work-group
+/// scheduler shares one plan by reference across worker threads, and the
+/// device's cross-launch cache hands out `Arc<KernelPlan>`. This assertion
+/// fails to compile if a non-thread-safe handle (an `Rc`, a `RefCell`)
+/// ever sneaks back into the plan representation.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KernelPlan>();
+};
 
 // ----------------------------------------------------------------------
 // Opcode table: interned-OpName dispatch for the decoder
@@ -517,7 +677,11 @@ impl<'a> Decoder<'a> {
     fn decode_func(&mut self, func: OpId) -> Result<FuncPlan, DecodeError> {
         let m = self.m;
         let entry = m.op_region_block(func, 0);
-        let mut fd = FuncDecode { regs: HashMap::new(), next_reg: 0, code: Vec::new() };
+        let mut fd = FuncDecode {
+            regs: HashMap::new(),
+            next_reg: 0,
+            code: Vec::new(),
+        };
         let params: Vec<Reg> = m.block_args(entry).iter().map(|&a| fd.reg_of(a)).collect();
         let has_item_param = m
             .block_args(entry)
@@ -528,18 +692,26 @@ impl<'a> Decoder<'a> {
         // A body that falls off the end without a terminator behaves like a
         // void return (mirrors the tree-walk frame pop).
         fd.code.push(Instr::Return { vals: Box::new([]) });
-        Ok(FuncPlan { code: fd.code, reg_count: fd.next_reg, params, has_item_param })
+        Ok(FuncPlan {
+            code: fd.code,
+            reg_count: fd.next_reg,
+            params,
+            has_item_param,
+        })
     }
 
     /// Decode every op of `block` into `fd.code`. Yields terminate decoding
     /// of the block and are handled by the enclosing structure's decoder.
-    fn decode_block(&mut self, fd: &mut FuncDecode, block: sycl_mlir_ir::BlockId) -> Result<(), DecodeError> {
+    fn decode_block(
+        &mut self,
+        fd: &mut FuncDecode,
+        block: sycl_mlir_ir::BlockId,
+    ) -> Result<(), DecodeError> {
         let m = self.m;
         for &op in m.block_ops(block) {
-            let kind = self
-                .kinds
-                .get(m.op_name(op))
-                .ok_or_else(|| dec_err(format!("op `{}` is not plan-decodable", m.op_name_str(op))))?;
+            let kind = self.kinds.get(m.op_name(op)).ok_or_else(|| {
+                dec_err(format!("op `{}` is not plan-decodable", m.op_name_str(op)))
+            })?;
             self.decode_op(fd, op, kind)?;
         }
         Ok(())
@@ -569,7 +741,12 @@ impl<'a> Decoder<'a> {
         DimSrc::Reg(fd.reg_of(v))
     }
 
-    fn index_regs(&self, fd: &mut FuncDecode, op: OpId, from: usize) -> Result<([Reg; 3], u8), DecodeError> {
+    fn index_regs(
+        &self,
+        fd: &mut FuncDecode,
+        op: OpId,
+        from: usize,
+    ) -> Result<([Reg; 3], u8), DecodeError> {
         let operands = self.m.op_operands(op);
         let n = operands.len() - from;
         if n > 3 {
@@ -606,7 +783,11 @@ impl<'a> Decoder<'a> {
 
     /// The yield operand registers of `block`'s terminator (which must be a
     /// yield for structured regions).
-    fn yield_regs(&self, fd: &mut FuncDecode, block: sycl_mlir_ir::BlockId) -> Result<Vec<Reg>, DecodeError> {
+    fn yield_regs(
+        &self,
+        fd: &mut FuncDecode,
+        block: sycl_mlir_ir::BlockId,
+    ) -> Result<Vec<Reg>, DecodeError> {
         let m = self.m;
         let term = m
             .block_terminator(block)
@@ -619,7 +800,11 @@ impl<'a> Decoder<'a> {
 
     /// Decode the ops of a structured-region block, stopping before the
     /// trailing yield (the caller wires the yield's copies).
-    fn decode_region_body(&mut self, fd: &mut FuncDecode, block: sycl_mlir_ir::BlockId) -> Result<(), DecodeError> {
+    fn decode_region_body(
+        &mut self,
+        fd: &mut FuncDecode,
+        block: sycl_mlir_ir::BlockId,
+    ) -> Result<(), DecodeError> {
         let m = self.m;
         let ops = m.block_ops(block);
         let Some((&term, body)) = ops.split_last() else {
@@ -629,16 +814,20 @@ impl<'a> Decoder<'a> {
             return Err(dec_err("structured region does not end in a yield"));
         }
         for &op in body {
-            let kind = self
-                .kinds
-                .get(m.op_name(op))
-                .ok_or_else(|| dec_err(format!("op `{}` is not plan-decodable", m.op_name_str(op))))?;
+            let kind = self.kinds.get(m.op_name(op)).ok_or_else(|| {
+                dec_err(format!("op `{}` is not plan-decodable", m.op_name_str(op)))
+            })?;
             self.decode_op(fd, op, kind)?;
         }
         Ok(())
     }
 
-    fn decode_op(&mut self, fd: &mut FuncDecode, op: OpId, kind: OpKind) -> Result<(), DecodeError> {
+    fn decode_op(
+        &mut self,
+        fd: &mut FuncDecode,
+        op: OpId,
+        kind: OpKind,
+    ) -> Result<(), DecodeError> {
         let m = self.m;
         match kind {
             OpKind::Constant => {
@@ -648,16 +837,22 @@ impl<'a> Decoder<'a> {
                 let ty = m.value_type(m.op_result(op, 0));
                 let dst = self.result_reg(fd, op);
                 match (attr, ty.kind()) {
-                    (Attribute::Int(x), _) => fd.code.push(Instr::Const { dst, val: RtValue::Int(*x) }),
-                    (Attribute::Bool(b), _) => {
-                        fd.code.push(Instr::Const { dst, val: RtValue::Int(*b as i64) })
-                    }
-                    (Attribute::Float(f), TypeKind::F32) => {
-                        fd.code.push(Instr::Const { dst, val: RtValue::F32(*f as f32) })
-                    }
-                    (Attribute::Float(f), _) => {
-                        fd.code.push(Instr::Const { dst, val: RtValue::F64(*f) })
-                    }
+                    (Attribute::Int(x), _) => fd.code.push(Instr::Const {
+                        dst,
+                        val: RtValue::Int(*x),
+                    }),
+                    (Attribute::Bool(b), _) => fd.code.push(Instr::Const {
+                        dst,
+                        val: RtValue::Int(*b as i64),
+                    }),
+                    (Attribute::Float(f), TypeKind::F32) => fd.code.push(Instr::Const {
+                        dst,
+                        val: RtValue::F32(*f as f32),
+                    }),
+                    (Attribute::Float(f), _) => fd.code.push(Instr::Const {
+                        dst,
+                        val: RtValue::F64(*f),
+                    }),
                     (Attribute::DenseF64(_) | Attribute::DenseI64(_), TypeKind::MemRef { .. }) => {
                         let idx = self.dense_const_id(op, attr, &ty)?;
                         fd.code.push(Instr::ConstDense { dst, idx });
@@ -674,7 +869,13 @@ impl<'a> Decoder<'a> {
                 let (l, r) = (self.operand_reg(fd, op, 0), self.operand_reg(fd, op, 1));
                 let dst = self.result_reg(fd, op);
                 let f32_out = matches!(m.value_type(m.op_result(op, 0)).kind(), TypeKind::F32);
-                fd.code.push(Instr::BinFloat { op: b, dst, l, r, f32_out });
+                fd.code.push(Instr::BinFloat {
+                    op: b,
+                    dst,
+                    l,
+                    r,
+                    f32_out,
+                });
             }
             OpKind::NegF => {
                 let x = self.operand_reg(fd, op, 0);
@@ -726,10 +927,20 @@ impl<'a> Decoder<'a> {
             }
             OpKind::Math(mop) => {
                 let x = self.operand_reg(fd, op, 0);
-                let y = if matches!(mop, MathOp::Powf) { self.operand_reg(fd, op, 1) } else { 0 };
+                let y = if matches!(mop, MathOp::Powf) {
+                    self.operand_reg(fd, op, 1)
+                } else {
+                    0
+                };
                 let dst = self.result_reg(fd, op);
                 let f32_out = matches!(m.value_type(m.op_result(op, 0)).kind(), TypeKind::F32);
-                fd.code.push(Instr::Math { op: mop, dst, x, y, f32_out });
+                fd.code.push(Instr::Math {
+                    op: mop,
+                    dst,
+                    x,
+                    y,
+                    f32_out,
+                });
             }
             OpKind::Alloca | OpKind::LocalAlloca => {
                 let ty = m.value_type(m.op_result(op, 0));
@@ -737,7 +948,9 @@ impl<'a> Decoder<'a> {
                     .memref_shape()
                     .ok_or_else(|| dec_err("alloca of non-memref"))?
                     .to_vec();
-                let elem = ty.memref_elem().ok_or_else(|| dec_err("alloca of non-memref"))?;
+                let elem = ty
+                    .memref_elem()
+                    .ok_or_else(|| dec_err("alloca of non-memref"))?;
                 let len: i64 = shape_v.iter().product();
                 let mut shape = [1_i64; 3];
                 for (i, &s) in shape_v.iter().enumerate() {
@@ -750,11 +963,24 @@ impl<'a> Decoder<'a> {
                 let rank = shape_v.len() as u32;
                 let len = len.max(0) as usize;
                 if kind == OpKind::Alloca {
-                    fd.code.push(Instr::Alloca { dst, elem, shape, rank, len });
+                    fd.code.push(Instr::Alloca {
+                        dst,
+                        elem,
+                        shape,
+                        rank,
+                        len,
+                    });
                 } else {
                     let site = self.local_sites;
                     self.local_sites += 1;
-                    fd.code.push(Instr::LocalAlloca { dst, site, elem, shape, rank, len });
+                    fd.code.push(Instr::LocalAlloca {
+                        dst,
+                        site,
+                        elem,
+                        shape,
+                        rank,
+                        len,
+                    });
                 }
             }
             OpKind::Load => {
@@ -763,7 +989,13 @@ impl<'a> Decoder<'a> {
                 let dst = self.result_reg(fd, op);
                 let site = self.mem_sites;
                 self.mem_sites += 1;
-                fd.code.push(Instr::Load { dst, mem, idx, rank, site });
+                fd.code.push(Instr::Load {
+                    dst,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                });
             }
             OpKind::Store => {
                 let val = self.operand_reg(fd, op, 0);
@@ -771,7 +1003,13 @@ impl<'a> Decoder<'a> {
                 let (idx, rank) = self.index_regs(fd, op, 2)?;
                 let site = self.mem_sites;
                 self.mem_sites += 1;
-                fd.code.push(Instr::Store { val, mem, idx, rank, site });
+                fd.code.push(Instr::Store {
+                    val,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                });
             }
             OpKind::IdCtor => {
                 let operands = m.op_operands(op);
@@ -839,7 +1077,10 @@ impl<'a> Decoder<'a> {
             }
             OpKind::Undef => {
                 let dst = self.result_reg(fd, op);
-                fd.code.push(Instr::Const { dst, val: RtValue::Int(0) });
+                fd.code.push(Instr::Const {
+                    dst,
+                    val: RtValue::Int(0),
+                });
             }
             OpKind::Barrier => fd.code.push(Instr::Barrier),
             OpKind::If => {
@@ -873,8 +1114,10 @@ impl<'a> Decoder<'a> {
                 let lb = self.operand_reg(fd, op, 0);
                 let ub = self.operand_reg(fd, op, 1);
                 let step = self.operand_reg(fd, op, 2);
-                let inits: Vec<Reg> =
-                    m.op_operands(op)[3..].iter().map(|&v| fd.reg_of(v)).collect();
+                let inits: Vec<Reg> = m.op_operands(op)[3..]
+                    .iter()
+                    .map(|&v| fd.reg_of(v))
+                    .collect();
                 let body_blk = m.op_region_block(op, 0);
                 let body_args = m.block_args(body_blk);
                 if body_args.len() != inits.len() + 1 {
@@ -886,12 +1129,23 @@ impl<'a> Decoder<'a> {
                 // carries := inits (also the zero-trip result values).
                 self.emit_parallel_copy(fd, &carries, &inits);
                 let enter_pc = fd.pc();
-                fd.code.push(Instr::ForEnter { lb, ub, step, iv, exit: 0 }); // patched
+                fd.code.push(Instr::ForEnter {
+                    lb,
+                    ub,
+                    step,
+                    iv,
+                    exit: 0,
+                }); // patched
                 let body_pc = fd.pc();
                 self.decode_region_body(fd, body_blk)?;
                 let yields = self.yield_regs(fd, body_blk)?;
                 self.emit_parallel_copy(fd, &carries, &yields);
-                fd.code.push(Instr::ForNext { iv, step, ub, body: body_pc });
+                fd.code.push(Instr::ForNext {
+                    iv,
+                    step,
+                    ub,
+                    body: body_pc,
+                });
                 let exit = fd.pc();
                 if let Instr::ForEnter { exit: e, .. } = &mut fd.code[enter_pc as usize] {
                     *e = exit;
@@ -903,15 +1157,16 @@ impl<'a> Decoder<'a> {
                 let callee = sycl_mlir_dialects::func::resolve_callee(m, op, scope)
                     .ok_or_else(|| dec_err("unresolved call"))?;
                 let func = self.func_id(callee);
-                let args: Box<[Reg]> =
-                    m.op_operands(op).iter().map(|&v| fd.reg_of(v)).collect();
-                let results: Box<[Reg]> =
-                    m.op_results(op).iter().map(|&r| fd.reg_of(r)).collect();
-                fd.code.push(Instr::Call { func, args, results });
+                let args: Box<[Reg]> = m.op_operands(op).iter().map(|&v| fd.reg_of(v)).collect();
+                let results: Box<[Reg]> = m.op_results(op).iter().map(|&r| fd.reg_of(r)).collect();
+                fd.code.push(Instr::Call {
+                    func,
+                    args,
+                    results,
+                });
             }
             OpKind::Return => {
-                let vals: Box<[Reg]> =
-                    m.op_operands(op).iter().map(|&v| fd.reg_of(v)).collect();
+                let vals: Box<[Reg]> = m.op_operands(op).iter().map(|&v| fd.reg_of(v)).collect();
                 fd.code.push(Instr::Return { vals });
             }
             OpKind::Yield => {
@@ -923,7 +1178,12 @@ impl<'a> Decoder<'a> {
         Ok(())
     }
 
-    fn dense_const_id(&mut self, op: OpId, attr: &Attribute, ty: &Type) -> Result<u32, DecodeError> {
+    fn dense_const_id(
+        &mut self,
+        op: OpId,
+        attr: &Attribute,
+        ty: &Type,
+    ) -> Result<u32, DecodeError> {
         if let Some(&idx) = self.dense_ids.get(&op) {
             return Ok(idx);
         }
@@ -950,7 +1210,11 @@ impl<'a> Decoder<'a> {
             shape[i] = s;
         }
         let idx = self.dense_consts.len() as u32;
-        self.dense_consts.push(DenseConst { data, shape, rank: shape_v.len() as u32 });
+        self.dense_consts.push(DenseConst {
+            data,
+            shape,
+            rank: shape_v.len() as u32,
+        });
         self.dense_ids.insert(op, idx);
         Ok(idx)
     }
@@ -960,11 +1224,13 @@ impl<'a> Decoder<'a> {
 // Executor
 // ----------------------------------------------------------------------
 
-/// Per-launch mutable state of the plan engine, layered on the shared
-/// [`ExecCtx`] (pool, cost model, stats, work-group tracker).
+/// Per-worker mutable state of the plan engine, layered on the worker's
+/// [`PlanExecCtx`] (memory interface, cost model, stats, work-group
+/// tracker).
 pub struct PlanCtx {
-    /// Materialized dense constants, shared across the launch (mirrors the
-    /// tree-walk `const_pool`).
+    /// Materialized dense constants, shared across the worker's groups
+    /// (mirrors the tree-walk `const_pool`; under parallel execution each
+    /// worker materializes its own arena copy).
     dense_cache: Vec<Option<MemRefVal>>,
     /// Work-group-shared `sycl.local.alloca` results, reset per group.
     local_allocs: Vec<Option<MemRefVal>>,
@@ -1009,19 +1275,30 @@ const MAX_STEPS: u64 = 500_000_000;
 impl PlanWorkItem {
     /// Prepare execution of the plan's kernel with `args` bound to all
     /// parameters except the trailing item-like one, which gets `item`.
-    pub fn new(plan: &KernelPlan, args: &[RtValue], item: NdItemVal) -> Result<PlanWorkItem, SimError> {
+    pub fn new(
+        plan: &KernelPlan,
+        args: &[RtValue],
+        item: NdItemVal,
+    ) -> Result<PlanWorkItem, SimError> {
         let kernel = &plan.funcs[0];
         let mut s = PlanWorkItem {
             regs: vec![RtValue::Unit; kernel.reg_count as usize],
-            frames: vec![PlanFrame { func: 0, pc: 0, base: 0 }],
+            frames: vec![PlanFrame {
+                func: 0,
+                pc: 0,
+                base: 0,
+            }],
             visits: vec![0; plan.mem_sites as usize],
             item,
             finished: false,
             steps: 0,
         };
         let params = &kernel.params;
-        let value_params =
-            if kernel.has_item_param { &params[..params.len() - 1] } else { &params[..] };
+        let value_params = if kernel.has_item_param {
+            &params[..params.len() - 1]
+        } else {
+            &params[..]
+        };
         if value_params.len() != args.len() {
             return Err(err(format!(
                 "kernel expects {} arguments, got {}",
@@ -1042,7 +1319,7 @@ impl PlanWorkItem {
     pub fn run(
         &mut self,
         plan: &KernelPlan,
-        ctx: &mut ExecCtx<'_>,
+        ctx: &mut PlanExecCtx<'_, '_>,
         pctx: &mut PlanCtx,
     ) -> Result<Stop, SimError> {
         if self.finished {
@@ -1113,7 +1390,13 @@ impl PlanWorkItem {
                     };
                     reg!(*dst) = RtValue::Int(out);
                 }
-                Instr::BinFloat { op, dst, l, r, f32_out } => {
+                Instr::BinFloat {
+                    op,
+                    dst,
+                    l,
+                    r,
+                    f32_out,
+                } => {
                     ctx.stats.arith_ops += 1;
                     let l = flt!(*l, "float op on non-float");
                     let r = flt!(*r, "float op on non-float");
@@ -1125,7 +1408,11 @@ impl PlanWorkItem {
                         FloatBin::Min => l.min(r),
                         FloatBin::Max => l.max(r),
                     };
-                    reg!(*dst) = if *f32_out { RtValue::F32(out as f32) } else { RtValue::F64(out) };
+                    reg!(*dst) = if *f32_out {
+                        RtValue::F32(out as f32)
+                    } else {
+                        RtValue::F64(out)
+                    };
                 }
                 Instr::NegF { dst, x } => {
                     ctx.stats.arith_ops += 1;
@@ -1155,8 +1442,11 @@ impl PlanWorkItem {
                 Instr::SiToFp { dst, x, f32_out } => {
                     ctx.stats.arith_ops += 1;
                     let v = int!(*x, "sitofp");
-                    reg!(*dst) =
-                        if *f32_out { RtValue::F32(v as f32) } else { RtValue::F64(v as f64) };
+                    reg!(*dst) = if *f32_out {
+                        RtValue::F32(v as f32)
+                    } else {
+                        RtValue::F64(v as f64)
+                    };
                 }
                 Instr::FpToSi { dst, x } => {
                     ctx.stats.arith_ops += 1;
@@ -1171,7 +1461,13 @@ impl PlanWorkItem {
                     let v = flt!(*x, "extf");
                     reg!(*dst) = RtValue::F64(v);
                 }
-                Instr::Math { op, dst, x, y, f32_out } => {
+                Instr::Math {
+                    op,
+                    dst,
+                    x,
+                    y,
+                    f32_out,
+                } => {
                     ctx.stats.arith_ops += 4; // transcendental ops are pricier
                     let xv = flt!(*x, "math on non-float");
                     let out = match op {
@@ -1188,9 +1484,19 @@ impl PlanWorkItem {
                             xv.powf(yv)
                         }
                     };
-                    reg!(*dst) = if *f32_out { RtValue::F32(out as f32) } else { RtValue::F64(out) };
+                    reg!(*dst) = if *f32_out {
+                        RtValue::F32(out as f32)
+                    } else {
+                        RtValue::F64(out)
+                    };
                 }
-                Instr::Alloca { dst, elem, shape, rank, len } => {
+                Instr::Alloca {
+                    dst,
+                    elem,
+                    shape,
+                    rank,
+                    len,
+                } => {
                     let mem = ctx.pool.alloc_zeroed(elem, *len);
                     reg!(*dst) = RtValue::MemRef(MemRefVal {
                         mem,
@@ -1200,7 +1506,14 @@ impl PlanWorkItem {
                         space: Space::Private,
                     });
                 }
-                Instr::LocalAlloca { dst, site, elem, shape, rank, len } => {
+                Instr::LocalAlloca {
+                    dst,
+                    site,
+                    elem,
+                    shape,
+                    rank,
+                    len,
+                } => {
                     let mr = match pctx.local_allocs[*site as usize] {
                         Some(existing) => existing,
                         None => {
@@ -1218,19 +1531,36 @@ impl PlanWorkItem {
                     };
                     reg!(*dst) = RtValue::MemRef(mr);
                 }
-                Instr::Load { dst, mem, idx, rank, site } => {
-                    let mr = reg!(*mem).as_memref().ok_or_else(|| err("load from non-memref"))?;
+                Instr::Load {
+                    dst,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                } => {
+                    let mr = reg!(*mem)
+                        .as_memref()
+                        .ok_or_else(|| err("load from non-memref"))?;
                     let mut indices = [0_i64; 3];
                     for d in 0..*rank as usize {
                         indices[d] = int!(idx[d], "non-int index");
                     }
                     let addr = mr.linearize(&indices[..*rank as usize]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    reg!(*dst) = ctx.pool.load(mr.mem, addr);
+                    let v = ctx.pool.load(mr.mem, addr);
+                    reg!(*dst) = v;
                 }
-                Instr::Store { val, mem, idx, rank, site } => {
+                Instr::Store {
+                    val,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                } => {
                     let v = reg!(*val);
-                    let mr = reg!(*mem).as_memref().ok_or_else(|| err("store to non-memref"))?;
+                    let mr = reg!(*mem)
+                        .as_memref()
+                        .ok_or_else(|| err("store to non-memref"))?;
                     let mut indices = [0_i64; 3];
                     for d in 0..*rank as usize {
                         indices[d] = int!(idx[d], "non-int index");
@@ -1245,7 +1575,10 @@ impl PlanWorkItem {
                     for d in 0..*rank as usize {
                         data[d] = int!(comps[d], "id component");
                     }
-                    reg!(*dst) = RtValue::Vec(VecVal { data, rank: *rank as u32 });
+                    reg!(*dst) = RtValue::Vec(VecVal {
+                        data,
+                        rank: *rank as u32,
+                    });
                 }
                 Instr::NdRangeCtor { dst, g, l } => {
                     let g = reg!(*g).as_vec().ok_or_else(|| err("nd_range global"))?;
@@ -1288,11 +1621,16 @@ impl PlanWorkItem {
                 Instr::ItemSelf { dst } => reg!(*dst) = RtValue::Item(self.item),
                 Instr::AccSubscript { dst, acc, id } => {
                     ctx.stats.arith_ops += 1;
-                    let acc =
-                        reg!(*acc).as_accessor().ok_or_else(|| err("subscript of non-accessor"))?;
+                    let acc = reg!(*acc)
+                        .as_accessor()
+                        .ok_or_else(|| err("subscript of non-accessor"))?;
                     let id = reg!(*id).as_vec().ok_or_else(|| err("subscript id"))?;
                     let offset = acc.linearize(&id.data[..id.rank as usize]);
-                    let space = if acc.constant { Space::Constant } else { Space::Global };
+                    let space = if acc.constant {
+                        Space::Constant
+                    } else {
+                        Space::Global
+                    };
                     reg!(*dst) = RtValue::MemRef(MemRefVal {
                         mem: acc.mem,
                         offset,
@@ -1309,7 +1647,9 @@ impl PlanWorkItem {
                 }
                 Instr::AccBase { dst, acc } => {
                     ctx.stats.arith_ops += 1;
-                    let acc = reg!(*acc).as_accessor().ok_or_else(|| err("accessor.base"))?;
+                    let acc = reg!(*acc)
+                        .as_accessor()
+                        .ok_or_else(|| err("accessor.base"))?;
                     let b = ((acc.mem.0 as i64) << 32) | acc.linearize(&[0, 0, 0]);
                     reg!(*dst) = RtValue::Int(b);
                 }
@@ -1321,12 +1661,20 @@ impl PlanWorkItem {
                 Instr::Jump { target } => pc = *target as usize,
                 Instr::BranchIfFalse { cond, target } => {
                     ctx.stats.arith_ops += 1;
-                    let c = reg!(*cond).as_bool().ok_or_else(|| err("non-boolean if condition"))?;
+                    let c = reg!(*cond)
+                        .as_bool()
+                        .ok_or_else(|| err("non-boolean if condition"))?;
                     if !c {
                         pc = *target as usize;
                     }
                 }
-                Instr::ForEnter { lb, ub, step, iv, exit } => {
+                Instr::ForEnter {
+                    lb,
+                    ub,
+                    step,
+                    iv,
+                    exit,
+                } => {
                     ctx.stats.arith_ops += 1;
                     let lb = int!(*lb, "bad lb");
                     let ub = int!(*ub, "bad ub");
@@ -1349,7 +1697,11 @@ impl PlanWorkItem {
                         pc = *body as usize;
                     }
                 }
-                Instr::Call { func: callee, args, results: _ } => {
+                Instr::Call {
+                    func: callee,
+                    args,
+                    results: _,
+                } => {
                     let callee_plan = &plan.funcs[*callee as usize];
                     let new_base = self.regs.len();
                     self.regs
@@ -1433,7 +1785,7 @@ impl PlanWorkItem {
     /// instead of `OpId`).
     fn mem_event(
         &mut self,
-        ctx: &mut ExecCtx<'_>,
+        ctx: &mut PlanExecCtx<'_, '_>,
         site: u32,
         mr: &MemRefVal,
         addr: i64,
@@ -1449,9 +1801,8 @@ impl PlanWorkItem {
                     *slot += 1;
                     *slot
                 };
-                let subgroup =
-                    (self.item.local_linear_id() / ctx.cost.subgroup_size as i64) as u32;
-                let bytes = ctx.pool.data(mr.mem).elem_bytes() as i64;
+                let subgroup = (self.item.local_linear_id() / ctx.cost.subgroup_size as i64) as u32;
+                let bytes = ctx.pool.elem_bytes(mr.mem) as i64;
                 let segment = ((mr.mem.0 as u64) << 40)
                     | ((addr * bytes) / ctx.cost.transaction_bytes as i64) as u64;
                 if ctx.wg.record((site, instance, subgroup), segment) {
@@ -1465,7 +1816,7 @@ impl PlanWorkItem {
 
 fn materialize_dense(
     plan: &KernelPlan,
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut PlanExecCtx<'_, '_>,
     pctx: &mut PlanCtx,
     idx: u32,
 ) -> MemRefVal {

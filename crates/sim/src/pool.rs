@@ -1,0 +1,643 @@
+//! Parallel work-group execution: shared memory views, per-worker arenas
+//! and the std::thread work-group scheduler.
+//!
+//! The work-group axis of an ND-range launch is embarrassingly parallel —
+//! SYCL guarantees work-groups are independent (no barriers span groups,
+//! and cross-group data races are undefined behaviour in the source
+//! program). This module exploits that: work-groups are distributed over a
+//! pool of OS threads, each running its groups' work-items co-operatively
+//! exactly like the sequential engine.
+//!
+//! Three pieces make that safe and **deterministic**:
+//!
+//! * [`SharedPool`] — a launch-scoped view of the pre-existing device
+//!   buffers (accessor-backed global memory). Element loads/stores go
+//!   through raw typed pointers with bounds checks, so concurrent access
+//!   from many worker threads needs no locking. Distinct work-groups of a
+//!   well-formed kernel touch disjoint elements; a kernel that races with
+//!   itself is broken on real hardware too.
+//! * [`PlanPool`] — the memory interface handed to the plan executor: the
+//!   shared view plus a **worker-private arena** for every allocation made
+//!   during execution (private `memref.alloca`, work-group
+//!   `sycl.local.alloca`, dense-constant materializations). Workers never
+//!   mutate shared allocation tables, so there is no allocation lock; the
+//!   high bit of a [`MemId`] routes accesses to the right side.
+//! * [`run_plan_launch`] — the scheduler. Workers claim work-groups from an
+//!   atomic counter (dynamic load balancing), accumulate [`ExecStats`]
+//!   locally, and the per-worker counters are summed after the join.
+//!   Every counter is an integer total over work-groups and the
+//!   coalescing tracker resets per group, so the merged statistics — and
+//!   the cycle model charged from them — are bit-identical for any worker
+//!   count and any interleaving.
+//!
+//! Determinism of errors: when several work-groups fail, the error of the
+//! lowest-numbered group among those observed is reported, matching the
+//! sequential engine whenever a single group is at fault.
+
+use crate::cost::{CostModel, ExecStats};
+use crate::device::{cooperative_rounds, items_of_group, NdRangeSpec};
+use crate::interp::{SimError, WorkGroupCtx};
+use crate::memory::{DataVec, MemId, MemoryPool};
+use crate::plan::{KernelPlan, PlanCtx, PlanWorkItem};
+use crate::value::RtValue;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Tag bit distinguishing worker-arena allocations from launch-shared
+/// buffers in a [`MemId`].
+const ARENA_BIT: u32 = 1 << 31;
+
+// ----------------------------------------------------------------------
+// SharedPool: lock-free views of the pre-launch buffers
+// ----------------------------------------------------------------------
+
+/// Typed base pointer of one shared buffer.
+#[derive(Clone, Copy, Debug)]
+enum BufPtr {
+    F32(*mut f32),
+    F64(*mut f64),
+    I32(*mut i32),
+    I64(*mut i64),
+}
+
+/// One shared buffer: its element pointer and length.
+#[derive(Clone, Copy, Debug)]
+struct SharedBuf {
+    ptr: BufPtr,
+    len: usize,
+}
+
+/// A launch-scoped, concurrently accessible view of every buffer that
+/// existed in the [`MemoryPool`] when the launch started.
+///
+/// Construction borrows the pool mutably for the whole launch, so no other
+/// code can observe or resize the buffers while workers hold raw pointers
+/// into them. Element accesses are bounds-checked and panic like the
+/// sequential `Vec` indexing they replace, and go through per-element
+/// **relaxed atomics** (free on mainstream targets — they compile to the
+/// plain loads/stores they replace): a simulated kernel that races with
+/// itself across work-groups reads torn-by-element but well-defined
+/// values, like on the GPU, instead of being undefined behaviour in the
+/// host process.
+pub struct SharedPool<'p> {
+    bufs: Vec<SharedBuf>,
+    _pool: PhantomData<&'p mut MemoryPool>,
+}
+
+// SAFETY: the raw pointers reference buffers exclusively borrowed for the
+// lifetime `'p`; the view never grows or shrinks them, and every element
+// access is atomic (no mixed atomic/non-atomic access while the view is
+// alive, since the borrow keeps all safe `MemoryPool` APIs unreachable).
+unsafe impl Send for SharedPool<'_> {}
+unsafe impl Sync for SharedPool<'_> {}
+
+/// Relaxed atomic element load through a raw pointer.
+///
+/// # Safety
+///
+/// `p.add(i)` must be in bounds of a live, properly aligned allocation
+/// with no concurrent non-atomic access.
+#[inline]
+unsafe fn load32(p: *mut i32, i: usize) -> u32 {
+    unsafe { std::sync::atomic::AtomicU32::from_ptr(p.add(i).cast()).load(Ordering::Relaxed) }
+}
+
+/// See [`load32`].
+#[inline]
+unsafe fn load64(p: *mut i64, i: usize) -> u64 {
+    unsafe { std::sync::atomic::AtomicU64::from_ptr(p.add(i).cast()).load(Ordering::Relaxed) }
+}
+
+/// See [`load32`].
+#[inline]
+unsafe fn store32(p: *mut i32, i: usize, v: u32) {
+    unsafe { std::sync::atomic::AtomicU32::from_ptr(p.add(i).cast()).store(v, Ordering::Relaxed) }
+}
+
+/// See [`load32`].
+#[inline]
+unsafe fn store64(p: *mut i64, i: usize, v: u64) {
+    unsafe { std::sync::atomic::AtomicU64::from_ptr(p.add(i).cast()).store(v, Ordering::Relaxed) }
+}
+
+impl<'p> SharedPool<'p> {
+    /// Snapshot every buffer of `pool` into a shareable view.
+    pub fn new(pool: &'p mut MemoryPool) -> SharedPool<'p> {
+        let bufs = pool
+            .buffers_mut()
+            .iter_mut()
+            .map(|data| {
+                let len = data.len();
+                let ptr = match data {
+                    DataVec::F32(v) => BufPtr::F32(v.as_mut_ptr()),
+                    DataVec::F64(v) => BufPtr::F64(v.as_mut_ptr()),
+                    DataVec::I32(v) => BufPtr::I32(v.as_mut_ptr()),
+                    DataVec::I64(v) => BufPtr::I64(v.as_mut_ptr()),
+                };
+                SharedBuf { ptr, len }
+            })
+            .collect();
+        SharedPool {
+            bufs,
+            _pool: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn buf(&self, id: MemId, index: i64) -> (SharedBuf, usize) {
+        let b = self.bufs[id.0 as usize];
+        let i = index as usize;
+        assert!(
+            i < b.len,
+            "device memory access out of bounds: index {index} of buffer {} (len {})",
+            id.0,
+            b.len
+        );
+        (b, i)
+    }
+
+    /// Load one element (same typing rules as [`DataVec::get`]).
+    #[inline]
+    pub fn load(&self, id: MemId, index: i64) -> RtValue {
+        let (b, i) = self.buf(id, index);
+        // SAFETY: `i` is in bounds, the storage outlives `self`, and all
+        // concurrent access goes through these atomic helpers.
+        unsafe {
+            match b.ptr {
+                BufPtr::F32(p) => RtValue::F32(f32::from_bits(load32(p.cast(), i))),
+                BufPtr::F64(p) => RtValue::F64(f64::from_bits(load64(p.cast(), i))),
+                BufPtr::I32(p) => RtValue::Int(load32(p, i) as i32 as i64),
+                BufPtr::I64(p) => RtValue::Int(load64(p, i) as i64),
+            }
+        }
+    }
+
+    /// Store one element (same coercions and mismatch panic as
+    /// [`DataVec::set`]).
+    #[inline]
+    pub fn store(&self, id: MemId, index: i64, value: RtValue) {
+        let (b, i) = self.buf(id, index);
+        // SAFETY: `i` is in bounds, the storage outlives `self`, and all
+        // concurrent access goes through these atomic helpers.
+        unsafe {
+            match (b.ptr, value) {
+                (BufPtr::F32(p), RtValue::F32(x)) => store32(p.cast(), i, x.to_bits()),
+                (BufPtr::F32(p), RtValue::F64(x)) => store32(p.cast(), i, (x as f32).to_bits()),
+                (BufPtr::F64(p), RtValue::F64(x)) => store64(p.cast(), i, x.to_bits()),
+                (BufPtr::F64(p), RtValue::F32(x)) => store64(p.cast(), i, (x as f64).to_bits()),
+                (BufPtr::I32(p), RtValue::Int(x)) => store32(p, i, x as i32 as u32),
+                (BufPtr::I64(p), RtValue::Int(x)) => store64(p, i, x as u64),
+                (slot, v) => panic!("type-mismatched store of {v:?} into {slot:?}"),
+            }
+        }
+    }
+
+    /// Element size in bytes (drives transaction coalescing).
+    #[inline]
+    pub fn elem_bytes(&self, id: MemId) -> usize {
+        match self.bufs[id.0 as usize].ptr {
+            BufPtr::F32(_) | BufPtr::I32(_) => 4,
+            BufPtr::F64(_) | BufPtr::I64(_) => 8,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// PlanPool: shared view + worker-private arena
+// ----------------------------------------------------------------------
+
+/// The memory interface of one plan-engine worker: launch-shared buffers
+/// plus a private arena for allocations made during execution. Arena
+/// [`MemId`]s carry [`ARENA_BIT`]; allocation results can never escape to
+/// other workers (memrefs are not storable values), so the split is
+/// invisible to kernels.
+pub struct PlanPool<'a, 'p> {
+    shared: &'a SharedPool<'p>,
+    arena: MemoryPool,
+}
+
+impl<'a, 'p> PlanPool<'a, 'p> {
+    pub fn new(shared: &'a SharedPool<'p>) -> PlanPool<'a, 'p> {
+        PlanPool {
+            shared,
+            arena: MemoryPool::new(),
+        }
+    }
+
+    /// Allocate `data` in the worker arena.
+    pub fn alloc(&mut self, data: DataVec) -> MemId {
+        let id = self.arena.alloc(data);
+        MemId(id.0 | ARENA_BIT)
+    }
+
+    /// Allocate zero-filled arena storage for `len` elements of `elem`.
+    pub fn alloc_zeroed(&mut self, elem: &sycl_mlir_ir::Type, len: usize) -> MemId {
+        let id = self.arena.alloc_zeroed(elem, len);
+        MemId(id.0 | ARENA_BIT)
+    }
+
+    #[inline]
+    pub fn load(&self, id: MemId, index: i64) -> RtValue {
+        if id.0 & ARENA_BIT != 0 {
+            self.arena.load(MemId(id.0 & !ARENA_BIT), index)
+        } else {
+            self.shared.load(id, index)
+        }
+    }
+
+    #[inline]
+    pub fn store(&mut self, id: MemId, index: i64, value: RtValue) {
+        if id.0 & ARENA_BIT != 0 {
+            self.arena.store(MemId(id.0 & !ARENA_BIT), index, value);
+        } else {
+            self.shared.store(id, index, value);
+        }
+    }
+
+    #[inline]
+    pub fn elem_bytes(&self, id: MemId) -> usize {
+        if id.0 & ARENA_BIT != 0 {
+            self.arena.data(MemId(id.0 & !ARENA_BIT)).elem_bytes()
+        } else {
+            self.shared.elem_bytes(id)
+        }
+    }
+}
+
+/// Per-worker execution context of the plan engine: the memory interface,
+/// the cost model, locally accumulated statistics and the per-work-group
+/// coalescing tracker. The plan engine needs no IR access at run time, so
+/// (unlike the tree-walk [`crate::interp::ExecCtx`]) this context carries
+/// no `&Module` — which is what lets it cross thread boundaries.
+pub struct PlanExecCtx<'a, 'p> {
+    pub pool: PlanPool<'a, 'p>,
+    pub cost: &'a CostModel,
+    pub stats: ExecStats,
+    pub wg: WorkGroupCtx,
+}
+
+impl<'a, 'p> PlanExecCtx<'a, 'p> {
+    pub fn new(shared: &'a SharedPool<'p>, cost: &'a CostModel) -> PlanExecCtx<'a, 'p> {
+        PlanExecCtx {
+            pool: PlanPool::new(shared),
+            cost,
+            stats: ExecStats::default(),
+            wg: WorkGroupCtx::default(),
+        }
+    }
+
+    /// Reset work-group-shared state (call between work-groups).
+    pub fn next_work_group(&mut self) {
+        self.wg.reset();
+    }
+}
+
+// ----------------------------------------------------------------------
+// The persistent worker pool
+// ----------------------------------------------------------------------
+
+/// A lifetime-erased job: a trampoline plus a pointer to the launch state
+/// it operates on. The submitting launch keeps that state alive until its
+/// completion latch reports every job finished, which is what makes the
+/// erasure sound.
+struct RawJob {
+    run: unsafe fn(*const ()),
+    ctx: *const (),
+}
+
+// SAFETY: the pointee is a `LaunchState` whose referents are `Sync`; the
+// submitting thread blocks until the job completes.
+unsafe impl Send for RawJob {}
+
+struct PoolState {
+    queue: VecDeque<RawJob>,
+    spawned: usize,
+}
+
+/// The process-wide pool of simulator worker threads. Workers are spawned
+/// lazily up to the largest worker count any launch has requested and then
+/// parked on a condvar between launches — per-launch cost is a queue push
+/// and a wakeup instead of an OS thread spawn (which dominates wall time
+/// for the evaluation's many small launches).
+struct WorkerPool {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+static POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+fn pool() -> &'static WorkerPool {
+    POOL.get_or_init(|| WorkerPool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            spawned: 0,
+        }),
+        available: Condvar::new(),
+    })
+}
+
+/// Grow the pool to at least `n` workers.
+fn ensure_workers(n: usize) {
+    let p = pool();
+    let mut st = p.state.lock().unwrap();
+    while st.spawned < n {
+        st.spawned += 1;
+        std::thread::Builder::new()
+            .name(format!("sim-worker-{}", st.spawned))
+            .spawn(worker_main)
+            .expect("failed to spawn simulator worker thread");
+    }
+}
+
+/// Body of a pool worker: sleep until a job arrives, run it, repeat. The
+/// trampoline never unwinds (panics are caught and transported by the
+/// launch state), so a worker survives any number of launches.
+fn worker_main() {
+    let p = pool();
+    loop {
+        let job = {
+            let mut st = p.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                st = p.available.wait(st).unwrap();
+            }
+        };
+        // SAFETY: the submitting launch keeps `job.ctx` alive until its
+        // latch observes this job's completion.
+        unsafe { (job.run)(job.ctx) };
+    }
+}
+
+// ----------------------------------------------------------------------
+// The work-group scheduler
+// ----------------------------------------------------------------------
+
+/// One worker's outcome: its accumulated counters and the first failing
+/// work-group it observed (linear group index + error).
+struct WorkerResult {
+    stats: ExecStats,
+    error: Option<(usize, SimError)>,
+}
+
+/// Everything a launch shares with its pool jobs. Lives on the launching
+/// thread's stack for the duration of [`run_plan_launch`]; the completion
+/// latch guarantees no job outlives it.
+struct LaunchState<'a, 'p> {
+    plan: &'a KernelPlan,
+    args: &'a [RtValue],
+    nd: NdRangeSpec,
+    groups: [i64; 3],
+    total: usize,
+    shared: &'a SharedPool<'p>,
+    cost: &'a CostModel,
+    next: AtomicUsize,
+    abort: AtomicBool,
+    results: Mutex<Vec<WorkerResult>>,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Completion latch: (jobs still running, wakeup for the launcher).
+    latch: (Mutex<usize>, Condvar),
+}
+
+impl LaunchState<'_, '_> {
+    /// Run one worker loop against this launch, recording the outcome.
+    /// Never unwinds.
+    fn run_worker(&self) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| worker_loop(self)));
+        match outcome {
+            Ok(result) => self.results.lock().unwrap().push(result),
+            Err(payload) => {
+                // A panicking work-item (out-of-bounds access, type-
+                // mismatched store): park the payload for the launcher to
+                // re-throw, mirroring the sequential engine.
+                self.abort.store(true, Ordering::Relaxed);
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+        let mut left = self.latch.0.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.latch.1.notify_all();
+        }
+    }
+}
+
+/// Pool-job trampoline.
+///
+/// # Safety
+///
+/// `ctx` must point to a live [`LaunchState`] that stays alive until the
+/// state's latch observes this job's completion.
+unsafe fn launch_job(ctx: *const ()) {
+    let state = unsafe { &*(ctx as *const LaunchState<'_, '_>) };
+    state.run_worker();
+}
+
+/// Group coordinates of linear index `idx` (row-major over `groups`, the
+/// same order the sequential engine iterates).
+#[inline]
+fn group_of(groups: [i64; 3], idx: usize) -> [i64; 3] {
+    let idx = idx as i64;
+    let g2 = idx % groups[2];
+    let rest = idx / groups[2];
+    [rest / groups[1], rest % groups[1], g2]
+}
+
+/// Execute every work-item of one work-group to completion, honouring
+/// barriers co-operatively.
+fn run_group(
+    plan: &KernelPlan,
+    args: &[RtValue],
+    nd: NdRangeSpec,
+    group: [i64; 3],
+    ctx: &mut PlanExecCtx<'_, '_>,
+    pctx: &mut PlanCtx,
+) -> Result<(), SimError> {
+    let mut items: Vec<PlanWorkItem> = items_of_group(nd, group)
+        .into_iter()
+        .map(|item| PlanWorkItem::new(plan, args, item))
+        .collect::<Result<_, _>>()?;
+    cooperative_rounds(&mut items, group, |wi| wi.run(plan, ctx, pctx))
+}
+
+/// Claim-and-run loop of one worker thread.
+fn worker_loop(launch: &LaunchState<'_, '_>) -> WorkerResult {
+    let mut ctx = PlanExecCtx::new(launch.shared, launch.cost);
+    let mut pctx = PlanCtx::new(launch.plan);
+    let mut error = None;
+    loop {
+        if launch.abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let idx = launch.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= launch.total {
+            break;
+        }
+        let group = group_of(launch.groups, idx);
+        if let Err(e) = run_group(
+            launch.plan,
+            launch.args,
+            launch.nd,
+            group,
+            &mut ctx,
+            &mut pctx,
+        ) {
+            error = Some((idx, e));
+            launch.abort.store(true, Ordering::Relaxed);
+            break;
+        }
+        ctx.next_work_group();
+        pctx.next_work_group();
+    }
+    WorkerResult {
+        stats: ctx.stats,
+        error,
+    }
+}
+
+/// Execute a pre-decoded [`KernelPlan`] over `nd` on `threads` workers
+/// (`<= 1` runs the same code on the calling thread; `> 1` enlists
+/// `threads - 1` persistent pool workers alongside the calling thread).
+/// Statistics are merged deterministically: results are bit-identical for
+/// every worker count.
+pub fn run_plan_launch(
+    plan: &KernelPlan,
+    args: &[RtValue],
+    nd: NdRangeSpec,
+    pool_mem: &mut MemoryPool,
+    cost: &CostModel,
+    threads: usize,
+) -> Result<ExecStats, SimError> {
+    nd.validate()?;
+    let groups = nd.groups();
+    let total = (groups[0] * groups[1] * groups[2]) as usize;
+    let shared = SharedPool::new(pool_mem);
+    // Never enlist more workers than there are work-groups.
+    let workers = threads.max(1).min(total.max(1));
+
+    let state = LaunchState {
+        plan,
+        args,
+        nd,
+        groups,
+        total,
+        shared: &shared,
+        cost,
+        next: AtomicUsize::new(0),
+        abort: AtomicBool::new(false),
+        results: Mutex::new(Vec::with_capacity(workers)),
+        panic: Mutex::new(None),
+        latch: (Mutex::new(workers), Condvar::new()),
+    };
+
+    if workers > 1 {
+        ensure_workers(workers - 1);
+        let p = pool();
+        let mut st = p.state.lock().unwrap();
+        for _ in 0..workers - 1 {
+            st.queue.push_back(RawJob {
+                run: launch_job,
+                ctx: &state as *const LaunchState<'_, '_> as *const (),
+            });
+        }
+        drop(st);
+        p.available.notify_all();
+    }
+    // The calling thread is always worker 0. `run_worker` catches panics,
+    // so the latch below is reached (and the pool jobs drained) even when
+    // a work-item panics.
+    state.run_worker();
+
+    // Wait until every enlisted worker has finished; only then may `state`
+    // (and the raw pointers handed to the pool) go out of scope.
+    {
+        let mut left = state.latch.0.lock().unwrap();
+        while *left > 0 {
+            left = state.latch.1.wait(left).unwrap();
+        }
+    }
+    if let Some(payload) = state.panic.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+
+    let mut stats = ExecStats::default();
+    let mut first_error: Option<(usize, SimError)> = None;
+    for r in state.results.into_inner().unwrap() {
+        stats.add(&r.stats);
+        if let Some((idx, e)) = r.error {
+            if first_error.as_ref().is_none_or(|(fi, _)| idx < *fi) {
+                first_error = Some((idx, e));
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    stats.work_groups = total as u64;
+    stats.work_items = nd.work_items() as u64;
+    stats.charge(cost);
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_linearization_matches_sequential_order() {
+        let groups = [2_i64, 3, 4];
+        let mut expect = Vec::new();
+        for g0 in 0..groups[0] {
+            for g1 in 0..groups[1] {
+                for g2 in 0..groups[2] {
+                    expect.push([g0, g1, g2]);
+                }
+            }
+        }
+        let got: Vec<[i64; 3]> = (0..expect.len()).map(|i| group_of(groups, i)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn shared_pool_roundtrip_and_arena_routing() {
+        let mut pool = MemoryPool::new();
+        let f = pool.alloc(DataVec::F32(vec![0.0; 4]));
+        let l = pool.alloc(DataVec::I64(vec![0; 2]));
+        {
+            let shared = SharedPool::new(&mut pool);
+            let mut pp = PlanPool::new(&shared);
+            pp.store(f, 1, RtValue::F32(1.5));
+            pp.store(l, 0, RtValue::Int(-3));
+            assert_eq!(pp.load(f, 1), RtValue::F32(1.5));
+            assert_eq!(pp.load(l, 0), RtValue::Int(-3));
+            assert_eq!(pp.elem_bytes(f), 4);
+            assert_eq!(pp.elem_bytes(l), 8);
+
+            // Arena allocations are tagged and never alias shared ids.
+            let a = pp.alloc(DataVec::I32(vec![7; 3]));
+            assert_ne!(a.0 & ARENA_BIT, 0);
+            pp.store(a, 2, RtValue::Int(9));
+            assert_eq!(pp.load(a, 2), RtValue::Int(9));
+            assert_eq!(pp.load(a, 0), RtValue::Int(7));
+        }
+        // Writes through the shared view landed in the original pool.
+        assert_eq!(pool.load(f, 1), RtValue::F32(1.5));
+        assert_eq!(pool.load(l, 0), RtValue::Int(-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shared_pool_bounds_checked() {
+        let mut pool = MemoryPool::new();
+        let f = pool.alloc(DataVec::F32(vec![0.0; 2]));
+        let shared = SharedPool::new(&mut pool);
+        shared.load(f, 5);
+    }
+}

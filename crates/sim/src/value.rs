@@ -61,8 +61,8 @@ impl AccessorVal {
     /// Element offset of an id within this accessor.
     pub fn linearize(&self, id: &[i64]) -> i64 {
         let mut addr = 0;
-        for d in 0..self.rank as usize {
-            addr = addr * self.range[d] + (id[d] + self.offset[d]);
+        for (d, &i) in id.iter().enumerate().take(self.rank as usize) {
+            addr = addr * self.range[d] + (i + self.offset[d]);
         }
         addr
     }
@@ -197,7 +197,13 @@ mod tests {
         };
         assert_eq!(m.linearize(&[0, 0]), 10);
         assert_eq!(m.linearize(&[1, 2]), 10 + 8 + 2);
-        let dynv = MemRefVal { mem: MemId(0), offset: 5, shape: [-1, 1, 1], rank: 1, space: Space::Global };
+        let dynv = MemRefVal {
+            mem: MemId(0),
+            offset: 5,
+            shape: [-1, 1, 1],
+            rank: 1,
+            space: Space::Global,
+        };
         assert_eq!(dynv.linearize(&[7]), 12);
     }
 

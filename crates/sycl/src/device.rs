@@ -22,7 +22,11 @@ pub(crate) fn register_ops(ctx: &Context) {
         "sycl.range.constructor",
         "sycl.nd_range.constructor",
     ] {
-        ctx.register_op(OpInfo::new(name).with_traits(traits::PURE).with_verify(verify_constructor));
+        ctx.register_op(
+            OpInfo::new(name)
+                .with_traits(traits::PURE)
+                .with_verify(verify_constructor),
+        );
     }
 
     // Uniform queries.
@@ -39,7 +43,11 @@ pub(crate) fn register_ops(ctx: &Context) {
         "sycl.group.get_local_range",
         "sycl.accessor.get_range",
     ] {
-        ctx.register_op(OpInfo::new(name).with_traits(traits::PURE).with_verify(verify_query));
+        ctx.register_op(
+            OpInfo::new(name)
+                .with_traits(traits::PURE)
+                .with_verify(verify_query),
+        );
     }
 
     // Non-uniform queries: the sources of divergence (§V-C).
@@ -73,7 +81,11 @@ pub(crate) fn register_ops(ctx: &Context) {
     // as an index). Used by LICM's runtime no-alias loop versioning
     // (§VI-A): `base(a) != base(b)` proves disjointness of non-ranged
     // accessors at run time.
-    ctx.register_op(OpInfo::new("sycl.accessor.base").with_traits(traits::PURE).with_verify(verify_query));
+    ctx.register_op(
+        OpInfo::new("sycl.accessor.base")
+            .with_traits(traits::PURE)
+            .with_verify(verify_query),
+    );
 
     // Work-group local memory allocation (inserted by loop internalization).
     ctx.register_op(
@@ -146,7 +158,10 @@ fn verify_subscript(m: &Module, op: OpId) -> Result<(), String> {
         .dialect_type::<types::IdType>()
         .ok_or("second operand must be a !sycl.id")?;
     if id.dim != acc.dim {
-        return Err(format!("id dimensionality {} does not match accessor {}", id.dim, acc.dim));
+        return Err(format!(
+            "id dimensionality {} does not match accessor {}",
+            id.dim, acc.dim
+        ));
     }
     let res = m.value_type(m.op_result(op, 0));
     match res.memref_elem() {
@@ -262,7 +277,10 @@ pub fn make_range(b: &mut Builder<'_>, extents: &[ValueId]) -> ValueId {
 /// view positioned at the id (Listing 3 of the paper).
 pub fn subscript(b: &mut Builder<'_>, acc: ValueId, id: ValueId) -> ValueId {
     let acc_ty = b.module().value_type(acc);
-    let elem = types::accessor_info(&acc_ty).expect("accessor operand").elem.clone();
+    let elem = types::accessor_info(&acc_ty)
+        .expect("accessor operand")
+        .elem
+        .clone();
     let ctx = b.ctx();
     let view = ctx.memref_type(elem, &[-1]);
     b.build_value("sycl.accessor.subscript", &[acc, id], view, vec![])

@@ -63,10 +63,13 @@ fn verify_schedule(m: &Module, op: OpId) -> Result<(), String> {
     if path.is_empty() {
         return Err("empty kernel symbol".into());
     }
-    let form = m.attr(op, "form").and_then(|a| a.as_str()).ok_or("missing `form` attribute")?;
+    let form = m
+        .attr(op, "form")
+        .and_then(|a| a.as_str())
+        .ok_or("missing `form` attribute")?;
     let min_operands = match form {
-        FORM_RANGE => 2,     // handler, global range
-        FORM_ND_RANGE => 3,  // handler, global range, local range
+        FORM_RANGE => 2,    // handler, global range
+        FORM_ND_RANGE => 3, // handler, global range, local range
         other => return Err(format!("unknown form `{other}`")),
     };
     if m.op_operands(op).len() < min_operands {
@@ -171,7 +174,11 @@ pub mod schedule_info {
 
     /// The kernel arguments (everything after handler + range operands).
     pub fn kernel_args(m: &Module, op: OpId) -> Vec<ValueId> {
-        let skip = if form(m, op).as_deref() == Some(FORM_ND_RANGE) { 3 } else { 2 };
+        let skip = if form(m, op).as_deref() == Some(FORM_ND_RANGE) {
+            3
+        } else {
+            2
+        };
         m.op_operands(op)[skip..].to_vec()
     }
 
@@ -227,7 +234,10 @@ mod tests {
             schedule_info::kernel_path(&m, schedule),
             Some(vec!["device".to_string(), "K".to_string()])
         );
-        assert_eq!(schedule_info::form(&m, schedule).as_deref(), Some(FORM_RANGE));
+        assert_eq!(
+            schedule_info::form(&m, schedule).as_deref(),
+            Some(FORM_RANGE)
+        );
         assert_eq!(schedule_info::kernel_args(&m, schedule).len(), 1);
         assert!(schedule_info::local_range(&m, schedule).is_none());
     }

@@ -166,7 +166,10 @@ pub struct AccessorType {
 
 impl AccessorType {
     fn print_impl(&self) -> String {
-        format!("!sycl.accessor<{}, {}, {}, {}>", self.elem, self.dim, self.mode, self.target)
+        format!(
+            "!sycl.accessor<{}, {}, {}, {}>",
+            self.elem, self.dim, self.mode, self.target
+        )
     }
 }
 
@@ -216,8 +219,19 @@ pub fn group_type(ctx: &Context, dim: u32) -> Type {
     ctx.dialect_type(GroupType { dim })
 }
 
-pub fn accessor_type(ctx: &Context, elem: Type, dim: u32, mode: AccessMode, target: Target) -> Type {
-    ctx.dialect_type(AccessorType { elem, dim, mode, target })
+pub fn accessor_type(
+    ctx: &Context,
+    elem: Type,
+    dim: u32,
+    mode: AccessMode,
+    target: Target,
+) -> Type {
+    ctx.dialect_type(AccessorType {
+        elem,
+        dim,
+        mode,
+        target,
+    })
 }
 
 pub fn buffer_type(ctx: &Context, elem: Type, dim: u32) -> Type {
@@ -356,7 +370,10 @@ mod tests {
         assert_ne!(a, nd_item_type(&c, 3));
         assert_eq!(a.to_string(), "!sycl.nd_item<2>");
         let acc = accessor_type(&c, c.f32_type(), 3, AccessMode::ReadWrite, Target::Global);
-        assert_eq!(acc.to_string(), "!sycl.accessor<f32, 3, read_write, global>");
+        assert_eq!(
+            acc.to_string(),
+            "!sycl.accessor<f32, 3, read_write, global>"
+        );
         assert_eq!(sycl_dim(&acc), Some(3));
         assert_eq!(accessor_info(&acc).unwrap().mode, AccessMode::ReadWrite);
     }

@@ -144,7 +144,11 @@ fn analyze_launch(m: &Module, func: OpId, schedule: OpId) -> LaunchInfo {
     for arg in schedule_info::kernel_args(m, schedule) {
         args.push(analyze_arg(m, func, arg));
     }
-    LaunchInfo { global_range, local_range, args }
+    LaunchInfo {
+        global_range,
+        local_range,
+        args,
+    }
 }
 
 fn analyze_arg(m: &Module, func: OpId, arg: ValueId) -> ArgFact {
@@ -227,18 +231,23 @@ impl HostDeviceConstantPropagationPass {
         // --- Constant ND-range propagation ---
         let all_equal = |f: fn(&LaunchInfo) -> &Option<Vec<i64>>| -> Option<Vec<i64>> {
             let v = f(first).clone()?;
-            infos
-                .iter()
-                .all(|i| f(i).as_ref() == Some(&v))
-                .then_some(v)
+            infos.iter().all(|i| f(i).as_ref() == Some(&v)).then_some(v)
         };
         if let Some(g) = all_equal(|i| &i.global_range) {
-            m.set_attr(kernel, sycl_mlir_sycl::KERNEL_GLOBAL_RANGE_ATTR, Attribute::DenseI64(g));
+            m.set_attr(
+                kernel,
+                sycl_mlir_sycl::KERNEL_GLOBAL_RANGE_ATTR,
+                Attribute::DenseI64(g),
+            );
             self.stats.nd_ranges_propagated += 1;
             changed = true;
         }
         if let Some(l) = all_equal(|i| &i.local_range) {
-            m.set_attr(kernel, sycl_mlir_sycl::KERNEL_LOCAL_RANGE_ATTR, Attribute::DenseI64(l));
+            m.set_attr(
+                kernel,
+                sycl_mlir_sycl::KERNEL_LOCAL_RANGE_ATTR,
+                Attribute::DenseI64(l),
+            );
             changed = true;
         }
 
@@ -312,7 +321,12 @@ impl HostDeviceConstantPropagationPass {
                     }
                     arg_ranges.push(Attribute::Int(-1));
                 }
-                ArgFact::Accessor { range, const_data, read_only, .. } => {
+                ArgFact::Accessor {
+                    range,
+                    const_data,
+                    read_only,
+                    ..
+                } => {
                     if *const_data && *read_only && agree {
                         const_args.push(i as i64);
                     }
@@ -361,12 +375,12 @@ impl HostDeviceConstantPropagationPass {
                 .and_then(|&d| sycl_mlir_dialects::arith::const_int_of(m, d))
                 .unwrap_or(-1);
             let value = match &*name {
-                "sycl.nd_item.get_global_range" | "sycl.item.get_range" => global
-                    .as_ref()
-                    .and_then(|g| g.get(dim as usize).copied()),
-                "sycl.nd_item.get_local_range" => local
-                    .as_ref()
-                    .and_then(|l| l.get(dim as usize).copied()),
+                "sycl.nd_item.get_global_range" | "sycl.item.get_range" => {
+                    global.as_ref().and_then(|g| g.get(dim as usize).copied())
+                }
+                "sycl.nd_item.get_local_range" => {
+                    local.as_ref().and_then(|l| l.get(dim as usize).copied())
+                }
                 "sycl.nd_item.get_group_range" => match (&global, &local) {
                     (Some(g), Some(l)) => g
                         .get(dim as usize)
@@ -403,7 +417,12 @@ impl HostDeviceConstantPropagationPass {
             let index = m.op_index_in_block(op);
             let name = m.ctx().op("arith.constant");
             let ty = m.value_type(m.op_result(op, 0));
-            let cst = m.create_op(name, &[], &[ty], vec![("value".into(), Attribute::Int(value))]);
+            let cst = m.create_op(
+                name,
+                &[],
+                &[ty],
+                vec![("value".into(), Attribute::Int(value))],
+            );
             m.insert_op(block, index, cst);
             let new_v = m.op_result(cst, 0);
             m.replace_all_uses(m.op_result(op, 0), new_v);
@@ -417,10 +436,9 @@ impl HostDeviceConstantPropagationPass {
 /// Do two arg facts refer to the same host buffer?
 fn buffers_same(a: &ArgFact, b: &ArgFact) -> bool {
     match (a, b) {
-        (
-            ArgFact::Accessor { buffer_ctor: x, .. },
-            ArgFact::Accessor { buffer_ctor: y, .. },
-        ) => x == y,
+        (ArgFact::Accessor { buffer_ctor: x, .. }, ArgFact::Accessor { buffer_ctor: y, .. }) => {
+            x == y
+        }
         _ => false,
     }
 }
@@ -460,7 +478,11 @@ impl Pass for DeadArgumentEliminationPass {
             }
             if !dead.is_empty() {
                 self.dead_args_found += dead.len();
-                m.set_attr(kernel, sycl_mlir_sycl::KERNEL_DEAD_ARGS_ATTR, Attribute::DenseI64(dead));
+                m.set_attr(
+                    kernel,
+                    sycl_mlir_sycl::KERNEL_DEAD_ARGS_ATTR,
+                    Attribute::DenseI64(dead),
+                );
                 changed = true;
             }
         }

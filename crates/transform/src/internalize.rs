@@ -217,13 +217,17 @@ impl LoopInternalizationPass {
                 continue;
             };
             // All dim values (gids) must be defined outside the loop.
-            let defined_outside = a
-                .dim_values
-                .iter()
-                .zip(&a.dims)
-                .all(|(&v, d)| matches!(d, DimKind::LoopIv(_)) || m.value_defined_outside(v, loop_op));
+            let defined_outside = a.dim_values.iter().zip(&a.dims).all(|(&v, d)| {
+                matches!(d, DimKind::LoopIv(_)) || m.value_defined_outside(v, loop_op)
+            });
             if ok && defined_outside {
-                out.push(Candidate { load: a.op, base: a.base, k_pos, thread_axis, info: a });
+                out.push(Candidate {
+                    load: a.op,
+                    base: a.base,
+                    k_pos,
+                    thread_axis,
+                    info: a,
+                });
             }
         }
         out
@@ -298,7 +302,13 @@ fn materialize_row(
 }
 
 /// Perform the Listing 6 → Listing 7 rewrite.
-fn internalize(m: &mut Module, loop_op: OpId, item: ValueId, tile: i64, candidates: Vec<Candidate>) {
+fn internalize(
+    m: &mut Module,
+    loop_op: OpId,
+    item: ValueId,
+    tile: i64,
+    candidates: Vec<Candidate>,
+) {
     let old_operands = m.op_operands(loop_op).to_vec();
     let old_results = m.op_results(loop_op).to_vec();
     let old_body = m.op_region_block(loop_op, 0);
@@ -471,9 +481,9 @@ fn internalize(m: &mut Module, loop_op: OpId, item: ValueId, tile: i64, candidat
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sycl_mlir_dialects::affine::build_affine_for;
     use sycl_mlir_dialects::arith::{self, constant_index};
     use sycl_mlir_dialects::func::{build_func, build_return};
-    use sycl_mlir_dialects::affine::build_affine_for;
     use sycl_mlir_ir::{print_module, verify, Context, Module};
     use sycl_mlir_sycl::device::{global_id, make_id, mark_kernel, subscript};
     use sycl_mlir_sycl::types::{accessor_type, nd_item_type, AccessMode, Target};

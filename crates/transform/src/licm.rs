@@ -41,7 +41,10 @@ pub struct LicmPass {
 
 impl LicmPass {
     pub fn new(enable_versioning: bool) -> LicmPass {
-        LicmPass { enable_versioning, stats: LicmStats::default() }
+        LicmPass {
+            enable_versioning,
+            stats: LicmStats::default(),
+        }
     }
 }
 
@@ -359,12 +362,14 @@ fn accessor_of(m: &Module, v: ValueId) -> Option<ValueId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sycl_mlir_dialects::affine::build_affine_for;
     use sycl_mlir_dialects::arith::{self, constant_index};
     use sycl_mlir_dialects::func::{build_func, build_return};
     use sycl_mlir_dialects::memref;
-    use sycl_mlir_dialects::affine::build_affine_for;
     use sycl_mlir_ir::{print_module, verify, Context, Module, PassManager};
-    use sycl_mlir_sycl::device::{global_id, load_via_id, make_id, mark_kernel, store_via_id, subscript};
+    use sycl_mlir_sycl::device::{
+        global_id, load_via_id, make_id, mark_kernel, store_via_id, subscript,
+    };
     use sycl_mlir_sycl::types::{accessor_type, nd_item_type, AccessMode, Target};
 
     fn ctx() -> Context {
@@ -421,7 +426,13 @@ mod tests {
         let c = ctx();
         let mut m = Module::new(&c);
         let top = m.top();
-        let (func, entry) = build_func(&mut m, top, "f", &[c.f32_type(), c.index_type(), c.index_type()], &[]);
+        let (func, entry) = build_func(
+            &mut m,
+            top,
+            "f",
+            &[c.f32_type(), c.index_type(), c.index_type()],
+            &[],
+        );
         let x = m.block_arg(entry, 0);
         let lb = m.block_arg(entry, 1);
         let ub = m.block_arg(entry, 2);

@@ -217,7 +217,11 @@ mod tests {
             &[],
         );
         let cgh = m.block_arg(entry, 0);
-        let bufs = [m.block_arg(entry, 1), m.block_arg(entry, 2), m.block_arg(entry, 3)];
+        let bufs = [
+            m.block_arg(entry, 1),
+            m.block_arg(entry, 2),
+            m.block_arg(entry, 3),
+        ];
         {
             let mut b = Builder::at_end(&mut m, entry);
             let i64t = b.ctx().i64_type();
@@ -251,8 +255,14 @@ mod tests {
         let text = print_module(&m);
         assert!(text.contains("sycl.host.constructor"), "{text}");
         assert!(text.contains("!sycl.range<1>"), "{text}");
-        assert!(text.contains("!sycl.accessor<f32, 1, read, global>"), "{text}");
-        assert!(text.contains("!sycl.accessor<f32, 1, write, global>"), "{text}");
+        assert!(
+            text.contains("!sycl.accessor<f32, 1, read, global>"),
+            "{text}"
+        );
+        assert!(
+            text.contains("!sycl.accessor<f32, 1, write, global>"),
+            "{text}"
+        );
         assert!(text.contains("sycl.host.schedule_kernel"), "{text}");
         assert!(text.contains("@device::@K"), "{text}");
         assert!(!text.contains("llvm.call"), "{text}");

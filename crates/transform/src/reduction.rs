@@ -98,9 +98,7 @@ fn find_candidate(m: &Module, loop_op: OpId) -> Option<Candidate> {
                             }
                         },
                         EffectKind::Read => match read_target(m, op) {
-                            Some((mem, idx)) => {
-                                all_accesses.push((op, mem, idx, EffectKind::Read))
-                            }
+                            Some((mem, idx)) => all_accesses.push((op, mem, idx, EffectKind::Read)),
                             None => {
                                 if e.value.is_none() {
                                     unknown = true
@@ -192,8 +190,7 @@ fn rewrite(m: &mut Module, loop_op: OpId, cand: Candidate) {
 
     let mut new_operands = old_operands.clone();
     new_operands.push(init);
-    let mut new_result_types: Vec<_> =
-        old_results.iter().map(|&r| m.value_type(r)).collect();
+    let mut new_result_types: Vec<_> = old_results.iter().map(|&r| m.value_type(r)).collect();
     new_result_types.push(elem_ty.clone());
     let loop_name = m.op_name(loop_op);
     let attrs = m.op_attrs(loop_op).to_vec();
@@ -253,10 +250,10 @@ fn rewrite(m: &mut Module, loop_op: OpId, cand: Candidate) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sycl_mlir_dialects::affine::{build_affine_for, load, store};
     use sycl_mlir_dialects::arith;
     use sycl_mlir_dialects::arith::constant_index;
     use sycl_mlir_dialects::func::{build_func, build_return};
-    use sycl_mlir_dialects::affine::{build_affine_for, load, store};
     use sycl_mlir_ir::{print_module, verify, Context, Module};
 
     fn ctx() -> Context {

@@ -12,9 +12,7 @@
 use sycl_mlir_repro::analysis::{Uniformity, UniformityAnalysis};
 use sycl_mlir_repro::dialects::arith;
 use sycl_mlir_repro::frontend::{full_context, KernelModuleBuilder, KernelSig};
-use sycl_mlir_repro::ir::{
-    Attribute, Module, Pass, PassManager, WalkControl,
-};
+use sycl_mlir_repro::ir::{Attribute, Module, Pass, PassManager, WalkControl};
 use sycl_mlir_repro::sycl::device as sdev;
 use sycl_mlir_repro::sycl::types::AccessMode;
 
@@ -43,9 +41,7 @@ impl Pass for AnnotateDivergence {
         for kernel in kernels {
             let ua = UniformityAnalysis::compute(m, kernel);
             m.walk(kernel, &mut |op| {
-                if m.op_is(op, "scf.if")
-                    && ua.value(m.op_operand(op, 0)) != Uniformity::Uniform
-                {
+                if m.op_is(op, "scf.if") && ua.value(m.op_operand(op, 0)) != Uniformity::Uniform {
                     marks.push(op);
                 }
                 WalkControl::Advance
@@ -62,8 +58,7 @@ impl Pass for AnnotateDivergence {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = full_context();
     let mut kb = KernelModuleBuilder::new(&ctx);
-    let sig = KernelSig::new("demo", 1, true)
-        .accessor(ctx.f32_type(), 1, AccessMode::ReadWrite);
+    let sig = KernelSig::new("demo", 1, true).accessor(ctx.f32_type(), 1, AccessMode::ReadWrite);
     kb.add_kernel(&sig, |b, args, item| {
         let gid = sdev::global_id(b, item, 0);
         // A deliberately naive `gid + 0` for the canonicalizer to clean up.
@@ -96,8 +91,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {name:<24} changed={changed} ({time:?})");
     }
     let text = sycl_mlir_repro::ir::print_module(&module);
-    assert!(text.contains("divergent = unit"), "the divergent branch is annotated");
-    assert!(!text.contains("arith.addi"), "the canonicalizer removed `gid + 0`");
+    assert!(
+        text.contains("divergent = unit"),
+        "the divergent branch is annotated"
+    );
+    assert!(
+        !text.contains("arith.addi"),
+        "the canonicalizer removed `gid + 0`"
+    );
     println!("\n{text}");
     println!("custom pass annotated the divergent branch; canonicalization cleaned `x + 0`.");
     Ok(())

@@ -30,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut flow = Flow::new(FlowKind::SyclMlir);
     flow.dump_stages = true;
-    let outcome = flow.compile(&mut module).map_err(|e| format!("compile: {e}"))?;
+    let outcome = flow
+        .compile(&mut module)
+        .map_err(|e| format!("compile: {e}"))?;
 
     println!("\n== host IR after raising (Listing 9) ==\n");
     let raised = &outcome.dumps.first().expect("raise-host dump").1;
@@ -49,9 +51,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {key} = {value}");
         }
     }
-    assert!(module.attr(kernel, "sycl.const_args").is_some(), "filter marked constant");
     assert!(
-        module.attr(kernel, sycl_mlir_repro::sycl::KERNEL_GLOBAL_RANGE_ATTR).is_some(),
+        module.attr(kernel, "sycl.const_args").is_some(),
+        "filter marked constant"
+    );
+    assert!(
+        module
+            .attr(kernel, sycl_mlir_repro::sycl::KERNEL_GLOBAL_RANGE_ATTR)
+            .is_some(),
         "ND-range propagated"
     );
     println!("\nJoint analysis confirmed: constant filter + ND-range propagated to the device.");

@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", print_op(&module, kernel));
 
     let flow = Flow::new(FlowKind::SyclMlir);
-    let outcome = flow.compile(&mut module).map_err(|e| format!("compile: {e}"))?;
+    let outcome = flow
+        .compile(&mut module)
+        .map_err(|e| format!("compile: {e}"))?;
 
     println!("\n== Listing 7: after the SYCL-MLIR pipeline ==\n");
     println!("{}", print_op(&module, kernel));
@@ -37,8 +39,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let text = print_op(&module, kernel);
-    assert_eq!(text.matches("sycl.group.barrier").count(), 2, "two barriers (Listing 7)");
-    assert_eq!(text.matches("sycl.local.alloca").count(), 2, "two local tiles (A and B)");
+    assert_eq!(
+        text.matches("sycl.group.barrier").count(),
+        2,
+        "two barriers (Listing 7)"
+    );
+    assert_eq!(
+        text.matches("sycl.local.alloca").count(),
+        2,
+        "two local tiles (A and B)"
+    );
     println!("\nListing 7 shape confirmed: 2 local tiles, 2 group barriers, tiled loop nest.");
     Ok(())
 }

@@ -42,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let y = rt.buffer_f32(vec![1.0; n as usize], &[n]);
         let mut q = Queue::new();
         q.submit(|h| {
-            h.accessor(x, AccessMode::Read).accessor(y, AccessMode::ReadWrite).scalar_f32(2.0);
+            h.accessor(x, AccessMode::Read)
+                .accessor(y, AccessMode::ReadWrite)
+                .scalar_f32(2.0);
             h.parallel_for("saxpy", &[n]);
         });
         generate_host_ir(kb.module(), &rt, &q);

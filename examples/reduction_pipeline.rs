@@ -21,10 +21,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut program = sycl_mlir_repro::runtime::compile_program(kind, app.module)
             .map_err(|e| format!("compile: {e}"))?;
         let device = Device::new();
-        let report =
-            sycl_mlir_repro::runtime::exec::run(&mut program, &mut app.runtime, &app.queue, &device)?;
+        let report = sycl_mlir_repro::runtime::exec::run(
+            &mut program,
+            &mut app.runtime,
+            &app.queue,
+            &device,
+        )?;
         let stats = report.total_stats();
-        assert!((app.validate)(&app.runtime).is_ok(), "results must validate");
+        assert!(
+            (app.validate)(&app.runtime).is_ok(),
+            "results must validate"
+        );
         println!(
             "{:<12} global accesses = {:>9}  transactions = {:>8}  cycles = {:>9.0}",
             kind.name(),

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# The CI gate, runnable locally: exactly what .github/workflows/ci.yml
+# runs. Everything is offline — third-party crates are vendored shims
+# under crates/shims/, so no step touches a registry.
+#
+#   ./scripts/ci.sh         # full gate: fmt, clippy, build, test, bench smoke
+#   ./scripts/ci.sh --fast  # skip the bench smoke (format/lint/build/test only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    *) echo "unknown argument: $arg (expected --fast)" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n== %s ==\n' "$1"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test"
+cargo test -q
+
+if [[ "$fast" == 1 ]]; then
+  echo "(--fast: skipping bench smoke)"
+  exit 0
+fi
+
+# ----------------------------------------------------------------------
+# Bench smoke: the full evaluation sweep in quick mode, sequential and on
+# 4 worker threads. Asserts the determinism contract (bit-identical
+# tables) and prints the wall-time trajectory so a perf regression is
+# visible in the CI log.
+# ----------------------------------------------------------------------
+step "bench smoke: repro_all --quick (threads=1 vs threads=4)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+./target/release/repro_all --quick --threads=1 | tee "$tmp/t1.out"
+./target/release/repro_all --quick --threads=4 | tee "$tmp/t4.out"
+
+# The wall-time line is the only legitimate difference between runs.
+grep -v '^repro_wall_time_seconds:' "$tmp/t1.out" > "$tmp/t1.tables"
+grep -v '^repro_wall_time_seconds:' "$tmp/t4.out" > "$tmp/t4.tables"
+if ! diff -u "$tmp/t1.tables" "$tmp/t4.tables"; then
+  echo "FAIL: repro_all tables differ between --threads=1 and --threads=4" >&2
+  exit 1
+fi
+echo "tables bit-identical across thread counts"
+
+echo
+echo "wall-time regression check (PR 1 plan-engine baseline: 1.38 s):"
+grep '^repro_wall_time_seconds:' "$tmp/t1.out" | sed 's/^/  threads=1  /'
+grep '^repro_wall_time_seconds:' "$tmp/t4.out" | sed 's/^/  threads=4  /'
+
+echo
+echo "CI gate passed."

@@ -122,10 +122,7 @@ mod engine_differential {
                             "buffer count differs: {label}"
                         );
                         for (i, (tb, pb)) in trt.buffers.iter().zip(&prt.buffers).enumerate() {
-                            assert_eq!(
-                                tb.data, pb.data,
-                                "buffer {i} contents differ: {label}"
-                            );
+                            assert_eq!(tb.data, pb.data, "buffer {i} contents differ: {label}");
                         }
                         assert_eq!(trt.usm, prt.usm, "usm contents differ: {label}");
                     }
@@ -140,6 +137,90 @@ mod engine_differential {
                 }
             }
         }
+    }
+
+    /// Every workload, under every compilation flow, must produce
+    /// identical outputs, statistics and cycles when its work-groups run
+    /// on 4 worker threads instead of sequentially — the determinism
+    /// contract of the work-group thread pool, held over the whole suite.
+    #[test]
+    fn four_worker_threads_match_sequential_on_all_workloads() {
+        let seq_dev = Device::with_engine(Engine::Plan).threads(1);
+        let par_dev = Device::with_engine(Engine::Plan).threads(4);
+        for w in all_workloads() {
+            let size = quick_size(&w);
+            for kind in FlowKind::all() {
+                let label = format!("{} [{}] at size {size}", w.name, kind.name());
+                let seq = run_workload_on(&w, size, kind, &seq_dev);
+                let par = run_workload_on(&w, size, kind, &par_dev);
+                match (seq, par) {
+                    (Ok((sres, srt)), Ok((pres, prt))) => {
+                        assert_eq!(sres.valid, pres.valid, "validation differs: {label}");
+                        assert_eq!(sres.stats, pres.stats, "stats differ: {label}");
+                        assert!(
+                            cycles_eq(sres.cycles, pres.cycles),
+                            "cycles differ: {label}: {} vs {}",
+                            sres.cycles,
+                            pres.cycles
+                        );
+                        for (i, (sb, pb)) in srt.buffers.iter().zip(&prt.buffers).enumerate() {
+                            assert_eq!(sb.data, pb.data, "buffer {i} contents differ: {label}");
+                        }
+                        assert_eq!(srt.usm, prt.usm, "usm contents differ: {label}");
+                    }
+                    // Both failing is equivalence enough: the pool only
+                    // guarantees the sequential engine's exact error when a
+                    // single work-group is at fault (with several failing
+                    // groups, which group's error gets observed first is
+                    // scheduling-dependent — see crates/sim/src/pool.rs).
+                    (Err(_), Err(_)) => {}
+                    (s, p) => panic!(
+                        "one thread count failed, the other did not: {label}: seq={s:?} par={p:?}",
+                        s = s.is_ok(),
+                        p = p.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Re-running a workload on the same device must serve the repeat
+    /// launches of unmutated kernels from the cross-launch plan cache.
+    #[test]
+    fn repeat_runs_hit_the_plan_cache() {
+        let device = Device::with_engine(Engine::Plan);
+        let w = all_workloads()
+            .into_iter()
+            .find(|w| w.name == "GEMM")
+            .expect("GEMM registered");
+        let size = quick_size(&w);
+        run_workload_on(&w, size, FlowKind::SyclMlir, &device).expect("first run");
+        let (_, misses_before) = device.plan_cache_counters();
+        assert!(
+            misses_before > 0,
+            "first run must decode at least one kernel"
+        );
+        // A fresh build of the same workload produces a *new* module (new
+        // module id), so this exercises miss-then-hit bookkeeping rather
+        // than cross-module collisions.
+        run_workload_on(&w, size, FlowKind::SyclMlir, &device).expect("second run");
+        let (_, misses_after) = device.plan_cache_counters();
+        assert!(misses_after > misses_before, "a new module re-decodes");
+
+        // Within one run, iterative workloads relaunch unmutated kernels:
+        // the heat-transfer stencil launches its kernel 50 times and must
+        // decode it exactly once per module.
+        let device = Device::with_engine(Engine::Plan);
+        let w = all_workloads()
+            .into_iter()
+            .find(|w| w.name == "1D HeatTransfer (buffer)")
+            .expect("heat transfer registered");
+        run_workload_on(&w, quick_size(&w), FlowKind::SyclMlir, &device).expect("runs");
+        let (hits, misses) = device.plan_cache_counters();
+        assert!(
+            hits >= 49,
+            "iterative launches must reuse the decoded plan (hits={hits}, misses={misses})"
+        );
     }
 
     /// The decoder must understand every kernel the benchsuite compiles —
@@ -167,7 +248,12 @@ mod engine_differential {
                         }
                     }
                 }
-                assert!(kernels > 0, "{} [{}]: no kernels found", w.name, kind.name());
+                assert!(
+                    kernels > 0,
+                    "{} [{}]: no kernels found",
+                    w.name,
+                    kind.name()
+                );
             }
         }
     }

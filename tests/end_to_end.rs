@@ -28,7 +28,11 @@ fn check_category(category: Category) {
             let r = run_workload(&w, size, kind)
                 .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, kind.name()));
             if kind == FlowKind::AdaptiveCpp && w.acpp_fails {
-                assert!(!r.valid, "{} should mirror the paper's ACpp failure", w.name);
+                assert!(
+                    !r.valid,
+                    "{} should mirror the paper's ACpp failure",
+                    w.name
+                );
                 continue;
             }
             assert!(r.valid, "{} [{}] failed validation", w.name, kind.name());
@@ -59,16 +63,28 @@ fn stencils_validate_under_all_flows() {
 fn fig3_shape_holds_at_small_scale() {
     let names_win = ["GEMM", "SYR2K", "SYRK", "Covariance"];
     for name in names_win {
-        let w = all_workloads().into_iter().find(|w| w.name == name).unwrap();
+        let w = all_workloads()
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap();
         let base = run_workload(&w, w.scaled_size.min(48), FlowKind::Dpcpp).unwrap();
         let sm = run_workload(&w, w.scaled_size.min(48), FlowKind::SyclMlir).unwrap();
         assert!(base.valid && sm.valid);
         let speedup = base.cycles / sm.cycles;
-        assert!(speedup > 1.2, "{name}: expected a clear win, got {speedup:.2}x");
+        assert!(
+            speedup > 1.2,
+            "{name}: expected a clear win, got {speedup:.2}x"
+        );
     }
     // SYR2K (4 refs) must beat GEMM (2 refs) — the paper's peak.
-    let gemm = all_workloads().into_iter().find(|w| w.name == "GEMM").unwrap();
-    let syr2k = all_workloads().into_iter().find(|w| w.name == "SYR2K").unwrap();
+    let gemm = all_workloads()
+        .into_iter()
+        .find(|w| w.name == "GEMM")
+        .unwrap();
+    let syr2k = all_workloads()
+        .into_iter()
+        .find(|w| w.name == "SYR2K")
+        .unwrap();
     let g = run_workload(&gemm, 48, FlowKind::Dpcpp).unwrap().cycles
         / run_workload(&gemm, 48, FlowKind::SyclMlir).unwrap().cycles;
     let s = run_workload(&syr2k, 48, FlowKind::Dpcpp).unwrap().cycles
@@ -80,7 +96,10 @@ fn fig3_shape_holds_at_small_scale() {
 /// SYCL-MLIR when constants make arguments dead (§VII-B).
 #[test]
 fn sobel7_constant_filter_pays_off() {
-    let w = all_workloads().into_iter().find(|w| w.name == "Sobel7").unwrap();
+    let w = all_workloads()
+        .into_iter()
+        .find(|w| w.name == "Sobel7")
+        .unwrap();
     let base = run_workload(&w, 32, FlowKind::Dpcpp).unwrap();
     let sm = run_workload(&w, 32, FlowKind::SyclMlir).unwrap();
     assert!(base.valid && sm.valid);

@@ -6,11 +6,11 @@ use sycl_mlir_repro::analysis::{
 };
 use sycl_mlir_repro::dialects::{affine, arith, func, memref, scf};
 use sycl_mlir_repro::frontend::full_context;
+use sycl_mlir_repro::ir::Pass;
 use sycl_mlir_repro::ir::{Attribute, Builder, Module, OpId, WalkControl};
 use sycl_mlir_repro::sycl::device as sdev;
 use sycl_mlir_repro::sycl::types::{accessor_type, item_type, nd_item_type, AccessMode, Target};
 use sycl_mlir_repro::transform::DetectReductionPass;
-use sycl_mlir_repro::ir::Pass;
 
 /// Listing 1: `{MODS: a, PMODS: b}` for the load of `%ptr1` after the
 /// two-armed store.
@@ -24,7 +24,13 @@ fn listing1_reaching_definitions() {
         &mut m,
         top,
         "foo",
-        &[ctx.i1_type(), ctx.i32_type(), ctx.i32_type(), memt.clone(), memt],
+        &[
+            ctx.i1_type(),
+            ctx.i32_type(),
+            ctx.i32_type(),
+            memt.clone(),
+            memt,
+        ],
         &[],
     );
     let cond = m.block_arg(entry, 0);
@@ -40,12 +46,16 @@ fn listing1_reaching_definitions() {
             &[],
             |inner| {
                 let s = memref::store(inner, v1, ptr1, &[]);
-                inner.module().set_attr(s, "tag", Attribute::Str("a".into()));
+                inner
+                    .module()
+                    .set_attr(s, "tag", Attribute::Str("a".into()));
                 vec![]
             },
             |inner| {
                 let s = memref::store(inner, v2, ptr2, &[]);
-                inner.module().set_attr(s, "tag", Attribute::Str("b".into()));
+                inner
+                    .module()
+                    .set_attr(s, "tag", Attribute::Str("b".into()));
                 vec![]
             },
         );
@@ -57,10 +67,26 @@ fn listing1_reaching_definitions() {
 
     let rd = ReachingDefinitions::compute(&m, f);
     let defs = rd.defs_for_load(&m, load);
-    let tag = |op: OpId| m.attr(op, "tag").and_then(|a| a.as_str()).unwrap().to_string();
-    assert_eq!(defs.mods().into_iter().map(tag).collect::<Vec<_>>(), vec!["a"]);
-    let tag2 = |op: OpId| m.attr(op, "tag").and_then(|a| a.as_str()).unwrap().to_string();
-    assert_eq!(defs.pmods().into_iter().map(tag2).collect::<Vec<_>>(), vec!["b"]);
+    let tag = |op: OpId| {
+        m.attr(op, "tag")
+            .and_then(|a| a.as_str())
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(
+        defs.mods().into_iter().map(tag).collect::<Vec<_>>(),
+        vec!["a"]
+    );
+    let tag2 = |op: OpId| {
+        m.attr(op, "tag")
+            .and_then(|a| a.as_str())
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(
+        defs.pmods().into_iter().map(tag2).collect::<Vec<_>>(),
+        vec!["b"]
+    );
 }
 
 /// Listing 2: `%cond`, `%load` and `%cond1` are all non-uniform.
@@ -233,7 +259,10 @@ fn listing6_to_9_full_flow() {
     // Listing 9: raised host ops.
     assert!(text.contains("sycl.host.constructor"), "{text}");
     assert!(text.contains("sycl.host.schedule_kernel"), "{text}");
-    assert!(!text.contains("llvm.call"), "no un-raised runtime calls left");
+    assert!(
+        !text.contains("llvm.call"),
+        "no un-raised runtime calls left"
+    );
     // Listing 7: two barriers and two local tiles in the kernel.
     assert_eq!(text.matches("sycl.group.barrier").count(), 2, "{text}");
     assert_eq!(text.matches("sycl.local.alloca").count(), 2, "{text}");
@@ -256,8 +285,12 @@ fn section8_optimization_counts() {
         let app = (spec.build)(32);
         let mut m = app.module;
         RaiseHostPass::default().run(&mut m).unwrap();
-        HostDeviceConstantPropagationPass::default().run(&mut m).unwrap();
-        sycl_mlir_repro::transform::CanonicalizePass.run(&mut m).unwrap();
+        HostDeviceConstantPropagationPass::default()
+            .run(&mut m)
+            .unwrap();
+        sycl_mlir_repro::transform::CanonicalizePass
+            .run(&mut m)
+            .unwrap();
         sycl_mlir_repro::transform::CsePass.run(&mut m).unwrap();
         LicmPass::new(true).run(&mut m).unwrap();
         let mut red = DetectReductionPass::default();
@@ -269,14 +302,26 @@ fn section8_optimization_counts() {
     };
 
     let (red, int) = counts("Correlation");
-    assert_eq!(red, 5, "Correlation has five reduction opportunities (§VIII)");
-    assert_eq!(int.internalized_loops, 0, "correlation loops sit in divergent regions");
+    assert_eq!(
+        red, 5,
+        "Correlation has five reduction opportunities (§VIII)"
+    );
+    assert_eq!(
+        int.internalized_loops, 0,
+        "correlation loops sit in divergent regions"
+    );
 
     let (red, _) = counts("Covariance");
-    assert_eq!(red, 4, "Covariance has four reduction opportunities (§VIII)");
+    assert_eq!(
+        red, 4,
+        "Covariance has four reduction opportunities (§VIII)"
+    );
 
     let (_, int) = counts("Gramschmidt");
-    assert!(int.skipped_divergent >= 1, "Gramschmidt candidate skipped for divergence (§VIII)");
+    assert!(
+        int.skipped_divergent >= 1,
+        "Gramschmidt candidate skipped for divergence (§VIII)"
+    );
     assert_eq!(int.internalized_loops, 0);
 
     let (_, int) = counts("GEMM");
