@@ -9,7 +9,7 @@
 //!   `NON_UNIFORM_SOURCE` trait and the memory-effect interface
 //!   (§V-C, Listing 2).
 //! * [`memaccess`] — memory access analysis producing the access matrix +
-//!   offset vector of Kaeli et al. [14] (§V-D, Listing 3), with the
+//!   offset vector of Kaeli et al. \[14\] (§V-D, Listing 3), with the
 //!   Linear/ReverseLinear coalescing and temporal-reuse classification
 //!   loop internalization needs (§VI-C).
 //! * [`structure`] — dominance/region utilities for the structured IR.

@@ -1,4 +1,4 @@
-//! Memory access analysis (§V-D of the paper, after Kaeli et al. [14]).
+//! Memory access analysis (§V-D of the paper, after Kaeli et al. \[14\]).
 //!
 //! For every SYCL memory access inside an affine loop the analysis recovers
 //! an *access matrix* `M` and *offset vector* `o` such that the accessed
@@ -15,7 +15,7 @@
 //! Loop internalization (§VI-C) consumes two derived facts:
 //!
 //! * the **inter-work-item** sub-matrix (loop-iv columns removed) decides
-//!   whether the access coalesces (`Linear` / `ReverseLinear` per [14]);
+//!   whether the access coalesces (`Linear` / `ReverseLinear` per \[14\]);
 //! * the **intra-work-item** sub-matrix (thread columns removed) being
 //!   non-zero signals temporal locality worth staging in local memory.
 
@@ -48,7 +48,7 @@ pub enum AccessKind {
     Store,
 }
 
-/// Coalescing classification of [14].
+/// Coalescing classification of \[14\].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CoalescingClass {
     /// Consecutive work-items touch consecutive addresses.
@@ -157,7 +157,7 @@ impl AccessInfo {
         })
     }
 
-    /// Classify coalescing following [14]. Consecutive work-items differ in
+    /// Classify coalescing following \[14\]. Consecutive work-items differ in
     /// the kernel's *fastest* thread dimension; the access is `Linear` when
     /// that dimension appears with coefficient 1 in the last (fastest)
     /// subscript and nowhere else, `ReverseLinear` for -1, and `Broadcast`

@@ -41,6 +41,54 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fuse axis: the plan engine with the decoder's peephole fusion off
+/// vs on (sequential, so the delta is pure per-instruction dispatch).
+fn bench_fuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuse");
+    group.sample_size(10);
+    for name in ["GEMM", "jacobi"] {
+        let (spec, size) = workload(name);
+        for fuse in [false, true] {
+            let device = Device::with_engine(Engine::Plan).threads(1).fuse(fuse);
+            let label = if fuse { "on" } else { "off" };
+            group.bench_function(format!("{name}/fuse-{label}"), |b| {
+                b.iter(|| {
+                    let (r, _) = run_workload_on(&spec, size, FlowKind::SyclMlir, &device)
+                        .expect("workload runs");
+                    assert!(r.valid);
+                    r.cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The batch axis: launch-level parallelism over dependency-free command
+/// groups, off vs on, at 4 workers (batching moves nothing without
+/// threads to overlap the launches on). Uses the workload with the most
+/// independent launches per level.
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    for name in ["GEMM", "jacobi"] {
+        let (spec, size) = workload(name);
+        for batch in [false, true] {
+            let device = Device::with_engine(Engine::Plan).threads(4).batch(batch);
+            let label = if batch { "on" } else { "off" };
+            group.bench_function(format!("{name}/batch-{label}"), |b| {
+                b.iter(|| {
+                    let (r, _) = run_workload_on(&spec, size, FlowKind::SyclMlir, &device)
+                        .expect("workload runs");
+                    assert!(r.valid);
+                    r.cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The threads axis: the plan engine's work-group pool at 1/2/4/8 workers.
 /// Results are bit-identical across the axis (asserted differentially in
 /// `tests/differential.rs`); only wall time moves.
@@ -64,5 +112,11 @@ fn bench_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_threads);
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_fuse,
+    bench_batch,
+    bench_threads
+);
 criterion_main!(benches);

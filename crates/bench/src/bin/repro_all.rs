@@ -7,6 +7,10 @@ use sycl_mlir_bench::{print_table, quick_flag, run_category};
 use sycl_mlir_benchsuite::{geo_mean, Category};
 
 fn main() {
+    sycl_mlir_bench::handle_help_flag(
+        "repro_all",
+        "the complete evaluation of §VIII: Fig. 2, Fig. 3, stencils and overall geo-means",
+    );
     let t0 = std::time::Instant::now();
     let quick = quick_flag();
     let fig2 = run_category(Category::SingleKernel, quick);
@@ -53,9 +57,17 @@ fn main() {
         sycl_mlir_sim::Engine::Plan => device.threads,
         sycl_mlir_sim::Engine::TreeWalk => 1,
     };
+    // Fusion and batching are plan-engine features; report what applied.
+    let on_off = |b: bool| if b { "on" } else { "off" };
+    let (fuse, batch) = match device.engine {
+        sycl_mlir_sim::Engine::Plan => (device.fuse, device.batch),
+        sycl_mlir_sim::Engine::TreeWalk => (false, false),
+    };
     println!(
-        "\nrepro_wall_time_seconds: {:.3} (engine: {}, threads: {effective_threads}, quick: {quick})",
+        "\nrepro_wall_time_seconds: {:.3} (engine: {}, threads: {effective_threads}, fuse: {}, batch: {}, quick: {quick})",
         t0.elapsed().as_secs_f64(),
         device.engine.name(),
+        on_off(fuse),
+        on_off(batch),
     );
 }

@@ -8,6 +8,10 @@ use sycl_mlir_bench::{print_table, quick_flag, run_category};
 use sycl_mlir_benchsuite::Category;
 
 fn main() {
+    sycl_mlir_bench::handle_help_flag(
+        "repro_fig2",
+        "the single-kernel speedup comparison of Fig. 2",
+    );
     let rows = run_category(Category::SingleKernel, quick_flag());
     print_table(
         "Fig. 2: single-kernel benchmarks (speedup over DPC++, higher is better)",

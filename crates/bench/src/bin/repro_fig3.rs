@@ -10,6 +10,7 @@ use sycl_mlir_bench::{print_table, quick_flag, run_category};
 use sycl_mlir_benchsuite::Category;
 
 fn main() {
+    sycl_mlir_bench::handle_help_flag("repro_fig3", "the polybench speedup comparison of Fig. 3");
     let rows = run_category(Category::Polybench, quick_flag());
     print_table(
         "Fig. 3: polybench benchmarks (speedup over DPC++, higher is better)",

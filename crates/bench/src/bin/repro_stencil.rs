@@ -6,6 +6,7 @@ use sycl_mlir_bench::{print_table, quick_flag, run_category};
 use sycl_mlir_benchsuite::Category;
 
 fn main() {
+    sycl_mlir_bench::handle_help_flag("repro_stencil", "the stencil results of §VIII's prose");
     let rows = run_category(Category::Stencil, quick_flag());
     print_table(
         "Stencil workloads (speedup over DPC++, higher is better)",

@@ -135,6 +135,68 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// The shared flag/environment-variable table of every `repro_*` binary —
+/// the single authoritative list of simulator knobs (mirrored by the
+/// table in README.md and docs/ARCHITECTURE.md).
+pub const KNOB_TABLE: &str = "\
+flag            env variable           values        default  effect
+--engine=...    SYCL_MLIR_SIM_ENGINE   tree | plan   plan     tree = tree-walk reference interpreter;
+                                                              plan = pre-decoded register-file bytecode
+--threads=...   SYCL_MLIR_SIM_THREADS  N | auto | 0  1        worker threads for plan-engine launches
+                                                              (auto/0 = machine parallelism)
+--fuse=...      SYCL_MLIR_SIM_FUSE     on | off      on       peephole-fuse decoded plans into
+                                                              superinstructions (plan engine only)
+--batch=...     SYCL_MLIR_SIM_BATCH    on | off      on       run dependency-free command groups of a
+                                                              queue concurrently (plan engine only)
+--quick         -                      -             off      shrink problem sizes for a fast sweep";
+
+/// Print usage for a `repro_*` binary and exit when `--help`/`-h` was
+/// passed. Flags win over environment variables; results are
+/// bit-identical across every engine/threads/fuse/batch combination —
+/// the knobs only move wall time.
+pub fn handle_help_flag(binary: &str, purpose: &str) {
+    if !std::env::args().any(|a| a == "--help" || a == "-h") {
+        return;
+    }
+    println!("{binary} — {purpose}\n");
+    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|off] [--batch=on|off]\n");
+    println!("{KNOB_TABLE}");
+    println!(
+        "\nFlags win over environment variables. Outputs, statistics and cycle\ntables are bit-identical across every knob combination (held by\ntests/differential.rs); the knobs only change wall time."
+    );
+    std::process::exit(0);
+}
+
+/// Parse a shared `--<name>=on|off` flag. Unknown spellings abort rather
+/// than silently benchmarking the wrong configuration.
+fn on_off_flag(name: &str) -> Option<bool> {
+    let prefix = format!("--{name}=");
+    for arg in std::env::args() {
+        if let Some(value) = arg.strip_prefix(&prefix) {
+            match value {
+                "on" | "1" | "true" => return Some(true),
+                "off" | "0" | "false" => return Some(false),
+                other => {
+                    eprintln!("error: unknown --{name} value `{other}` (expected `on` or `off`)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Parse the shared `--fuse=on|off` flag (plan-decoder peephole fusion).
+pub fn fuse_flag() -> Option<bool> {
+    on_off_flag("fuse")
+}
+
+/// Parse the shared `--batch=on|off` flag (launch-level parallelism over
+/// dependency-free command groups).
+pub fn batch_flag() -> Option<bool> {
+    on_off_flag("batch")
+}
+
 /// Parse the shared `--engine=tree|plan` flag. Unknown spellings abort
 /// rather than silently benchmarking the wrong engine.
 pub fn engine_flag() -> Option<Engine> {
@@ -176,9 +238,10 @@ pub fn threads_flag() -> Option<usize> {
     None
 }
 
-/// The device the repro binaries run on: the `--engine` / `--threads`
-/// flags win, then the `SYCL_MLIR_SIM_ENGINE` / `SYCL_MLIR_SIM_THREADS`
-/// environment variables, then the defaults (plan engine, sequential).
+/// The device the repro binaries run on: the `--engine` / `--threads` /
+/// `--fuse` / `--batch` flags win, then the `SYCL_MLIR_SIM_*` environment
+/// variables, then the defaults (plan engine, sequential, fusion and
+/// batching on). See [`KNOB_TABLE`] for the full list.
 pub fn device_from_args() -> Device {
     let mut device = Device::new();
     if let Some(engine) = engine_flag() {
@@ -186,6 +249,12 @@ pub fn device_from_args() -> Device {
     }
     if let Some(threads) = threads_flag() {
         device = device.threads(threads);
+    }
+    if let Some(fuse) = fuse_flag() {
+        device = device.fuse(fuse);
+    }
+    if let Some(batch) = batch_flag() {
+        device = device.batch(batch);
     }
     device
 }

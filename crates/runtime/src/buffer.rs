@@ -13,8 +13,11 @@ pub struct UsmId(pub usize);
 /// One buffer: host data plus range metadata.
 #[derive(Clone, Debug)]
 pub struct BufferData {
+    /// Host copy of the buffer contents.
     pub data: DataVec,
+    /// Extents, padded with 1s to rank 3.
     pub range: [i64; 3],
+    /// Number of meaningful dimensions.
     pub rank: u32,
     /// Host data is a compile-time constant (e.g. `const float filter[]`
     /// captured into the kernel — the Sobel case of §VIII).
@@ -25,11 +28,14 @@ pub struct BufferData {
 /// counters.
 #[derive(Default, Debug)]
 pub struct SyclRuntime {
+    /// All buffers, indexed by [`BufferId`].
     pub buffers: Vec<BufferData>,
+    /// All USM allocations, indexed by [`UsmId`].
     pub usm: Vec<DataVec>,
     /// Host→device and device→host bytes moved (the buffer/accessor model
     /// automates these transfers, §II-A).
     pub bytes_to_device: u64,
+    /// Device→host bytes moved.
     pub bytes_to_host: u64,
 }
 
@@ -42,6 +48,7 @@ fn range3(range: &[i64]) -> ([i64; 3], u32) {
 }
 
 impl SyclRuntime {
+    /// A runtime with no buffers or allocations.
     pub fn new() -> SyclRuntime {
         SyclRuntime::default()
     }
@@ -64,18 +71,22 @@ impl SyclRuntime {
         id
     }
 
+    /// An `f32` buffer over `data` with the given range.
     pub fn buffer_f32(&mut self, data: Vec<f32>, range: &[i64]) -> BufferId {
         self.add_buffer(DataVec::F32(data), range, false)
     }
 
+    /// An `f64` buffer over `data` with the given range.
     pub fn buffer_f64(&mut self, data: Vec<f64>, range: &[i64]) -> BufferId {
         self.add_buffer(DataVec::F64(data), range, false)
     }
 
+    /// An `i32` buffer over `data` with the given range.
     pub fn buffer_i32(&mut self, data: Vec<i32>, range: &[i64]) -> BufferId {
         self.add_buffer(DataVec::I32(data), range, false)
     }
 
+    /// An `i64` buffer over `data` with the given range.
     pub fn buffer_i64(&mut self, data: Vec<i64>, range: &[i64]) -> BufferId {
         self.add_buffer(DataVec::I64(data), range, false)
     }
@@ -98,12 +109,14 @@ impl SyclRuntime {
         id
     }
 
+    /// See [`SyclRuntime::usm_alloc_f32`].
     pub fn usm_alloc_f64(&mut self, data: Vec<f64>) -> UsmId {
         let id = UsmId(self.usm.len());
         self.usm.push(DataVec::F64(data));
         id
     }
 
+    /// Read an `f32` buffer back (panics on a type mismatch).
     pub fn read_f32(&self, id: BufferId) -> &[f32] {
         match &self.buffers[id.0].data {
             DataVec::F32(v) => v,
@@ -111,6 +124,7 @@ impl SyclRuntime {
         }
     }
 
+    /// Read an `f64` buffer back (panics on a type mismatch).
     pub fn read_f64(&self, id: BufferId) -> &[f64] {
         match &self.buffers[id.0].data {
             DataVec::F64(v) => v,
@@ -118,6 +132,7 @@ impl SyclRuntime {
         }
     }
 
+    /// Read an `i32` buffer back (panics on a type mismatch).
     pub fn read_i32(&self, id: BufferId) -> &[i32] {
         match &self.buffers[id.0].data {
             DataVec::I32(v) => v,
@@ -125,6 +140,7 @@ impl SyclRuntime {
         }
     }
 
+    /// Read an `i64` buffer back (panics on a type mismatch).
     pub fn read_i64(&self, id: BufferId) -> &[i64] {
         match &self.buffers[id.0].data {
             DataVec::I64(v) => v,
@@ -132,6 +148,7 @@ impl SyclRuntime {
         }
     }
 
+    /// Read an `f32` USM allocation back (panics on a type mismatch).
     pub fn usm_read_f32(&self, id: UsmId) -> &[f32] {
         match &self.usm[id.0] {
             DataVec::F32(v) => v,
@@ -139,6 +156,7 @@ impl SyclRuntime {
         }
     }
 
+    /// Read an `f64` USM allocation back (panics on a type mismatch).
     pub fn usm_read_f64(&self, id: UsmId) -> &[f64] {
         match &self.usm[id.0] {
             DataVec::F64(v) => v,

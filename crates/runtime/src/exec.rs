@@ -6,12 +6,15 @@ use crate::queue::{CgArg, Queue};
 use std::collections::HashSet;
 use sycl_mlir_core::{CompileOutcome, Flow, FlowKind};
 use sycl_mlir_ir::{Module, OpId};
-use sycl_mlir_sim::{AccessorVal, Device, ExecStats, MemoryPool, RtValue, SimError};
+use sycl_mlir_sim::{AccessorVal, BatchLaunch, Device, ExecStats, MemoryPool, RtValue, SimError};
 
 /// A compiled SYCL application (joint module + flow that produced it).
 pub struct Program {
+    /// The compiled joint module.
     pub module: Module,
+    /// The flow that compiled it.
     pub flow: Flow,
+    /// Pipeline diagnostics recorded during compilation.
     pub outcome: CompileOutcome,
     jit_done: HashSet<String>,
 }
@@ -35,7 +38,9 @@ pub fn compile_program(kind: FlowKind, mut module: Module) -> Result<Program, St
 /// Execution record of one kernel launch.
 #[derive(Clone, Debug)]
 pub struct KernelRun {
+    /// Kernel name as submitted.
     pub kernel: String,
+    /// Dynamic statistics of the launch, cycles charged.
     pub stats: ExecStats,
     /// Host-side launch overhead (reduced by dead-argument elimination).
     pub launch_cycles: f64,
@@ -46,6 +51,7 @@ pub struct KernelRun {
 /// Execution record of a full queue.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
+    /// One record per command group, in submission order.
     pub kernel_runs: Vec<KernelRun>,
 }
 
@@ -64,6 +70,7 @@ impl RunReport {
         self.measured_cycles() + self.kernel_runs.iter().map(|k| k.jit_cycles).sum::<f64>()
     }
 
+    /// Sum of the per-kernel statistics.
     pub fn total_stats(&self) -> ExecStats {
         let mut s = ExecStats::default();
         for k in &self.kernel_runs {
@@ -76,6 +83,14 @@ impl RunReport {
 /// Execute every command group of `queue` on `device`, reading/writing the
 /// runtime's buffers.
 ///
+/// Command groups run batch by batch through the queue scheduler's
+/// dependency levels ([`Queue::batches`]): groups of one batch carry no
+/// hazard against each other, so the device may overlap their execution
+/// (plan engine; see [`Device::launch_batch`]). With batching disabled on
+/// the device, every group forms its own batch — the original sequential
+/// schedule. Either way the report lists kernels in submission order and
+/// all statistics are bit-identical.
+///
 /// # Errors
 ///
 /// Fails on unresolved kernels, interpreter errors, or divergent barriers.
@@ -87,15 +102,25 @@ pub fn run(
 ) -> Result<RunReport, SimError> {
     let mut pool = MemoryPool::new();
     let (buf_mems, usm_mems) = runtime.upload_to_device(&mut pool);
-    let mut report = RunReport::default();
+    let mut runs: Vec<Option<KernelRun>> = queue.groups.iter().map(|_| None).collect();
 
-    for &cgi in &queue.schedule() {
-        let cg = &queue.groups[cgi];
+    // Resolve and (for AdaptiveCpp) JIT-specialize every kernel in
+    // **submission order**, before any launch. Specialization reads only
+    // the module and the seeding command group's geometry/buffer ids —
+    // never execution results — so hoisting it is unobservable; doing it
+    // in submission order guarantees the same command group seeds a
+    // kernel's one-shot specialization whether or not batching reorders
+    // execution across dependency levels (a kernel name can appear at
+    // several levels).
+    let mut kernels: Vec<OpId> = Vec::with_capacity(queue.groups.len());
+    let mut jit_cycles_of: Vec<f64> = Vec::with_capacity(queue.groups.len());
+    for cg in &queue.groups {
         let kernel = resolve_kernel(&program.module, &cg.kernel).ok_or_else(|| SimError {
             message: format!("kernel `{}` not found in the device module", cg.kernel),
         })?;
 
-        // AdaptiveCpp: JIT-specialize on first launch with runtime context.
+        // AdaptiveCpp: JIT-specialize on first launch with runtime
+        // context.
         let mut jit_cycles = 0.0;
         if program.flow.kind == FlowKind::AdaptiveCpp && !program.jit_done.contains(&cg.kernel) {
             let ids: Vec<i64> = cg
@@ -122,62 +147,103 @@ pub fn run(
             program.jit_done.insert(cg.kernel.clone());
             jit_cycles = device.cost.jit_compile;
         }
-
-        // Bind arguments.
-        let const_args: Vec<i64> = program
-            .module
-            .attr(kernel, "sycl.const_args")
-            .and_then(|a| a.as_dense_i64())
-            .map(|v| v.to_vec())
-            .unwrap_or_default();
-        let mut args: Vec<RtValue> = Vec::with_capacity(cg.args.len());
-        for (i, a) in cg.args.iter().enumerate() {
-            let v = match a {
-                CgArg::Acc { buffer, .. } => {
-                    let info = &runtime.buffers[buffer.0];
-                    RtValue::Accessor(AccessorVal {
-                        mem: buf_mems[buffer.0],
-                        range: info.range,
-                        offset: [0; 3],
-                        rank: info.rank,
-                        constant: const_args.contains(&(i as i64)),
-                    })
-                }
-                CgArg::ScalarI64(v) | CgArg::RuntimeI64(v) => RtValue::Int(*v),
-                CgArg::ScalarI32(v) => RtValue::Int(*v as i64),
-                CgArg::ScalarF64(v) | CgArg::RuntimeF64(v) => RtValue::F64(*v),
-                CgArg::ScalarF32(v) => RtValue::F32(*v),
-                CgArg::Usm { id, len } => RtValue::Accessor(AccessorVal {
-                    mem: usm_mems[id.0],
-                    range: [*len, 1, 1],
-                    offset: [0; 3],
-                    rank: 1,
-                    constant: false,
-                }),
-            };
-            args.push(v);
-        }
-
-        let stats = device.launch(&program.module, kernel, &args, cg.nd, &mut pool)?;
-
-        // Launch overhead: DAE-marked arguments are not passed (§VII-B).
-        let dead = program
-            .module
-            .attr(kernel, sycl_mlir_sycl::KERNEL_DEAD_ARGS_ATTR)
-            .and_then(|a| a.as_dense_i64())
-            .map(|v| v.len())
-            .unwrap_or(0);
-        let passed = cg.args.len().saturating_sub(dead);
-        let launch_cycles = device.cost.launch_base + device.cost.launch_per_arg * passed as f64;
-
-        report.kernel_runs.push(KernelRun {
-            kernel: cg.kernel.clone(),
-            stats,
-            launch_cycles,
-            jit_cycles,
-        });
+        kernels.push(kernel);
+        jit_cycles_of.push(jit_cycles);
     }
 
+    let batches: Vec<Vec<usize>> = if device.batch {
+        queue.batches()
+    } else {
+        queue.schedule().into_iter().map(|cgi| vec![cgi]).collect()
+    };
+
+    for batch in batches {
+        let mut launches: Vec<BatchLaunch> = Vec::with_capacity(batch.len());
+        let jit: Vec<f64> = batch.iter().map(|&cgi| jit_cycles_of[cgi]).collect();
+        for &cgi in &batch {
+            launches.push(BatchLaunch {
+                kernel: kernels[cgi],
+                args: Vec::new(), // bound below
+                nd: queue.groups[cgi].nd,
+            });
+        }
+
+        // Bind arguments (constant-argument attributes may have been
+        // refreshed by the JIT specializations above).
+        for (&cgi, launch) in batch.iter().zip(&mut launches) {
+            let cg = &queue.groups[cgi];
+            let const_args: Vec<i64> = program
+                .module
+                .attr(launch.kernel, "sycl.const_args")
+                .and_then(|a| a.as_dense_i64())
+                .map(|v| v.to_vec())
+                .unwrap_or_default();
+            let mut args: Vec<RtValue> = Vec::with_capacity(cg.args.len());
+            for (i, a) in cg.args.iter().enumerate() {
+                let v = match a {
+                    CgArg::Acc { buffer, .. } => {
+                        let info = &runtime.buffers[buffer.0];
+                        RtValue::Accessor(AccessorVal {
+                            mem: buf_mems[buffer.0],
+                            range: info.range,
+                            offset: [0; 3],
+                            rank: info.rank,
+                            constant: const_args.contains(&(i as i64)),
+                        })
+                    }
+                    CgArg::ScalarI64(v) | CgArg::RuntimeI64(v) => RtValue::Int(*v),
+                    CgArg::ScalarI32(v) => RtValue::Int(*v as i64),
+                    CgArg::ScalarF64(v) | CgArg::RuntimeF64(v) => RtValue::F64(*v),
+                    CgArg::ScalarF32(v) => RtValue::F32(*v),
+                    CgArg::Usm { id, len } => RtValue::Accessor(AccessorVal {
+                        mem: usm_mems[id.0],
+                        range: [*len, 1, 1],
+                        offset: [0; 3],
+                        rank: 1,
+                        constant: false,
+                    }),
+                };
+                args.push(v);
+            }
+            launch.args = args;
+        }
+
+        let stats = device.launch_batch(&program.module, &launches, &mut pool)?;
+
+        for ((&cgi, launch), (stats, jit_cycles)) in
+            batch.iter().zip(&launches).zip(stats.into_iter().zip(jit))
+        {
+            let cg = &queue.groups[cgi];
+            // Launch overhead: DAE-marked arguments are not passed
+            // (§VII-B).
+            let dead = program
+                .module
+                .attr(launch.kernel, sycl_mlir_sycl::KERNEL_DEAD_ARGS_ATTR)
+                .and_then(|a| a.as_dense_i64())
+                .map(|v| v.len())
+                .unwrap_or(0);
+            let passed = cg.args.len().saturating_sub(dead);
+            let launch_cycles =
+                device.cost.launch_base + device.cost.launch_per_arg * passed as f64;
+
+            runs[cgi] = Some(KernelRun {
+                kernel: cg.kernel.clone(),
+                stats,
+                launch_cycles,
+                jit_cycles,
+            });
+        }
+    }
+
+    // Report rows in submission order regardless of the batch structure,
+    // so downstream sums (f64 cycle totals) are bit-identical with
+    // batching on and off.
+    let report = RunReport {
+        kernel_runs: runs
+            .into_iter()
+            .map(|r| r.expect("every command group executed"))
+            .collect(),
+    };
     runtime.download_from_device(&pool, &buf_mems, &usm_mems);
     Ok(report)
 }
@@ -242,6 +308,89 @@ mod tests {
                 assert!(report.cold_cycles() > report.measured_cycles());
             }
         }
+    }
+
+    /// A kernel name appearing at *different dependency levels* must be
+    /// JIT-specialized by the same (submission-order-first) command group
+    /// whether batching reorders execution or not — otherwise batch=on
+    /// and batch=off would bake different geometries into the kernel and
+    /// the bit-identical contract of [`run`] would break. Exercises
+    /// AdaptiveCpp (the only flow that JIT-specializes) with kernel `k`
+    /// submitted at level 1 first (reads what `p` wrote) and at level 0
+    /// second.
+    #[test]
+    fn batching_preserves_jit_specialization_order() {
+        let n = 32_i64;
+        let build_and_run = |batch: bool| {
+            let ctx = full_context();
+            let mut kb = KernelModuleBuilder::new(&ctx);
+            let sig_p = KernelSig::new("p", 1, true)
+                .accessor(ctx.f32_type(), 1, AccessMode::Write)
+                .scalar(ctx.f32_type());
+            kb.add_kernel(&sig_p, |b, args, item| {
+                let gid = sycl_mlir_sycl::device::global_id(b, item, 0);
+                sycl_mlir_sycl::device::store_via_id(b, args[1], args[0], &[gid]);
+            });
+            let sig_k = KernelSig::new("k", 1, true)
+                .accessor(ctx.f32_type(), 1, AccessMode::Read)
+                .accessor(ctx.f32_type(), 1, AccessMode::Write);
+            kb.add_kernel(&sig_k, |b, args, item| {
+                let gid = sycl_mlir_sycl::device::global_id(b, item, 0);
+                let v = sycl_mlir_sycl::device::load_via_id(b, args[0], &[gid]);
+                let d = sycl_mlir_dialects::arith::addf(b, v, v);
+                sycl_mlir_sycl::device::store_via_id(b, d, args[1], &[gid]);
+            });
+
+            let mut rt = SyclRuntime::new();
+            let a = rt.buffer_f32(vec![0.0; n as usize], &[n]);
+            let b_buf = rt.buffer_f32(vec![0.0; n as usize], &[n]);
+            let c_buf = rt.buffer_f32(vec![1.0; n as usize], &[n]);
+            let d_buf = rt.buffer_f32(vec![0.0; n as usize], &[n]);
+            let mut q = Queue::new();
+            // CG0: p writes a (level 0).
+            q.submit(|h| {
+                h.accessor(a, AccessMode::Write).scalar_f32(2.5);
+                h.parallel_for_nd("p", &[n], &[16]);
+            });
+            // CG1: k reads a — level 1, but first submission of `k`, so it
+            // must seed the JIT specialization under batch=on too.
+            q.submit(|h| {
+                h.accessor(a, AccessMode::Read)
+                    .accessor(b_buf, AccessMode::Write);
+                h.parallel_for_nd("k", &[n], &[16]);
+            });
+            // CG2: k again, over unrelated buffers — level 0, i.e. batch=on
+            // *executes* it before CG1.
+            q.submit(|h| {
+                h.accessor(c_buf, AccessMode::Read)
+                    .accessor(d_buf, AccessMode::Write);
+                h.parallel_for_nd("k", &[n], &[16]);
+            });
+            generate_host_ir(kb.module(), &rt, &q);
+            let module = kb.finish();
+
+            let mut program = compile_program(FlowKind::AdaptiveCpp, module).unwrap();
+            let device = sycl_mlir_sim::Device::new().threads(4).batch(batch);
+            let report = run(&mut program, &mut rt, &q, &device).unwrap();
+            let per_kernel: Vec<(String, f64, sycl_mlir_sim::ExecStats)> = report
+                .kernel_runs
+                .iter()
+                .map(|k| (k.kernel.clone(), k.jit_cycles, k.stats.clone()))
+                .collect();
+            (
+                per_kernel,
+                rt.read_f32(b_buf).to_vec(),
+                rt.read_f32(d_buf).to_vec(),
+            )
+        };
+        let (seq_runs, seq_b, seq_d) = build_and_run(false);
+        let (bat_runs, bat_b, bat_d) = build_and_run(true);
+        assert_eq!(seq_b, bat_b, "level-1 output differs under batching");
+        assert_eq!(seq_d, bat_d, "level-0 output differs under batching");
+        assert_eq!(seq_runs, bat_runs, "per-kernel reports differ");
+        // The JIT cost lands on CG1 — `k`'s first *submission* — not CG2.
+        assert!(seq_runs[1].1 > 0.0, "CG1 must carry k's JIT cost");
+        assert_eq!(seq_runs[2].1, 0.0, "CG2 must not re-specialize");
     }
 
     /// DAE shrinks the launch cost: a kernel with an unused accessor

@@ -16,6 +16,8 @@
 //!   dead-argument elimination at launch and performing AdaptiveCpp's JIT
 //!   specialization on first launch.
 
+#![deny(missing_docs)]
+
 pub mod buffer;
 pub mod exec;
 pub mod hostgen;

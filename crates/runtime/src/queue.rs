@@ -15,26 +15,35 @@ use sycl_mlir_sycl::types::AccessMode;
 pub enum CgArg {
     /// An accessor over `buffer` with the given mode.
     Acc {
+        /// The buffer the accessor ranges over.
         buffer: BufferId,
+        /// Requested access mode (drives dependency tracking).
         mode: AccessMode,
     },
     /// Scalar captured by the kernel functor, constant in the host source
     /// (visible to host constant propagation).
     ScalarI64(i64),
+    /// See [`CgArg::ScalarI64`].
     ScalarF64(f64),
+    /// See [`CgArg::ScalarI64`].
     ScalarF32(f32),
+    /// See [`CgArg::ScalarI64`].
     ScalarI32(i32),
     /// Scalar only known at run time (opaque to the compiler).
     RuntimeI64(i64),
+    /// See [`CgArg::RuntimeI64`].
     RuntimeF64(f64),
     /// A USM device pointer (manually managed, opaque to host analysis).
     Usm {
+        /// The USM allocation.
         id: crate::buffer::UsmId,
+        /// Element count of the allocation.
         len: i64,
     },
 }
 
 impl CgArg {
+    /// The buffer and mode, if this argument is an accessor.
     pub fn accessor(&self) -> Option<(BufferId, AccessMode)> {
         match self {
             CgArg::Acc { buffer, mode } => Some((*buffer, *mode)),
@@ -46,10 +55,13 @@ impl CgArg {
 /// A recorded command group: one kernel submission with its requirements.
 #[derive(Clone, Debug)]
 pub struct CommandGroup {
+    /// Kernel name to resolve at execution time.
     pub kernel: String,
+    /// Launch geometry.
     pub nd: NdRangeSpec,
     /// `parallel_for(nd_range)` vs `parallel_for(range)`.
     pub nd_form: bool,
+    /// Arguments in kernel-parameter order.
     pub args: Vec<CgArg>,
 }
 
@@ -69,6 +81,19 @@ impl CommandGroup {
             }
         }
         (reads, writes)
+    }
+
+    /// USM allocations this command group touches. USM pointers carry no
+    /// access mode (they are opaque to the runtime, §II-A), so dependency
+    /// tracking must assume read+write on each.
+    pub fn usm_ids(&self) -> Vec<crate::buffer::UsmId> {
+        self.args
+            .iter()
+            .filter_map(|a| match a {
+                CgArg::Usm { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -93,16 +118,19 @@ impl Handler {
         self
     }
 
+    /// See [`Handler::scalar_i64`].
     pub fn scalar_f64(&mut self, v: f64) -> &mut Handler {
         self.args.push(CgArg::ScalarF64(v));
         self
     }
 
+    /// See [`Handler::scalar_i64`].
     pub fn scalar_f32(&mut self, v: f32) -> &mut Handler {
         self.args.push(CgArg::ScalarF32(v));
         self
     }
 
+    /// See [`Handler::scalar_i64`].
     pub fn scalar_i32(&mut self, v: i32) -> &mut Handler {
         self.args.push(CgArg::ScalarI32(v));
         self
@@ -114,6 +142,7 @@ impl Handler {
         self
     }
 
+    /// See [`Handler::runtime_i64`].
     pub fn runtime_f64(&mut self, v: f64) -> &mut Handler {
         self.args.push(CgArg::RuntimeF64(v));
         self
@@ -186,10 +215,12 @@ fn pick_work_group(global: &[i64; 3], rank: u32) -> [i64; 3] {
 /// An in-order-submission queue with automatic dependency tracking.
 #[derive(Default, Debug)]
 pub struct Queue {
+    /// Recorded command groups, in submission order.
     pub groups: Vec<CommandGroup>,
 }
 
 impl Queue {
+    /// An empty queue.
     pub fn new() -> Queue {
         Queue::default()
     }
@@ -208,17 +239,24 @@ impl Queue {
     }
 
     /// Dependency edges `(before, after)` implied by buffer hazards
-    /// (RAW, WAR, WAW) — what the SYCL scheduler enforces (§II-A).
+    /// (RAW, WAR, WAW) — what the SYCL scheduler enforces (§II-A) — plus
+    /// conservative read+write hazards on shared USM allocations (USM
+    /// pointers carry no access mode the runtime could refine).
     pub fn dependencies(&self) -> Vec<(usize, usize)> {
+        // Per-group requirement sets are immutable; compute them once
+        // instead of once per pair.
+        let rw: Vec<_> = self.groups.iter().map(|g| g.reads_writes()).collect();
+        let usm: Vec<_> = self.groups.iter().map(|g| g.usm_ids()).collect();
         let mut edges = Vec::new();
         for j in 0..self.groups.len() {
-            let (rj, wj) = self.groups[j].reads_writes();
+            let (rj, wj) = &rw[j];
             for i in 0..j {
-                let (ri, wi) = self.groups[i].reads_writes();
+                let (ri, wi) = &rw[i];
                 let raw = wi.iter().any(|b| rj.contains(b));
                 let war = ri.iter().any(|b| wj.contains(b));
                 let waw = wi.iter().any(|b| wj.contains(b));
-                if raw || war || waw {
+                let shared_usm = usm[i].iter().any(|u| usm[j].contains(u));
+                if raw || war || waw || shared_usm {
                     edges.push((i, j));
                 }
             }
@@ -230,6 +268,32 @@ impl Queue {
     /// in-order dependency DAG, but this verifies acyclicity structurally).
     pub fn schedule(&self) -> Vec<usize> {
         (0..self.groups.len()).collect()
+    }
+
+    /// Partition the topological order into **dependency levels**: batch
+    /// `k` holds every command group all of whose predecessors sit in
+    /// batches `< k`. Command groups within one batch are mutually
+    /// independent (no RAW/WAR/WAW hazard connects them), so the device
+    /// may execute a whole batch concurrently; batches must still run in
+    /// order. Within a batch, indices are in submission order.
+    pub fn batches(&self) -> Vec<Vec<usize>> {
+        let n = self.groups.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut level = vec![0_usize; n];
+        // `dependencies()` yields edges (i, j) with i < j grouped by
+        // ascending j, so each j's level is final before it is read as a
+        // predecessor.
+        for (i, j) in self.dependencies() {
+            level[j] = level[j].max(level[i] + 1);
+        }
+        let depth = level.iter().copied().max().unwrap_or(0) + 1;
+        let mut batches = vec![Vec::new(); depth];
+        for (cg, &l) in level.iter().enumerate() {
+            batches[l].push(cg);
+        }
+        batches
     }
 }
 
@@ -270,6 +334,61 @@ mod tests {
         assert_eq!(pick_work_group(&[100, 1, 1], 1)[0], 4);
         assert_eq!(pick_work_group(&[64, 64, 1], 2), [16, 16, 1]);
         assert_eq!(pick_work_group(&[6, 6, 1], 2), [2, 2, 1]);
+    }
+
+    #[test]
+    fn batches_group_dependency_free_levels() {
+        let a = BufferId(0);
+        let b = BufferId(1);
+        let c = BufferId(2);
+        let mut q = Queue::new();
+        // CG0 writes a; CG1 reads a (level 1); CG2 writes c (independent,
+        // level 0); CG3 reads a and c (level 1).
+        q.submit(|h| {
+            h.accessor(a, AccessMode::Write);
+            h.parallel_for("k0", &[16]);
+        });
+        q.submit(|h| {
+            h.accessor(a, AccessMode::Read)
+                .accessor(b, AccessMode::Write);
+            h.parallel_for("k1", &[16]);
+        });
+        q.submit(|h| {
+            h.accessor(c, AccessMode::Write);
+            h.parallel_for("k2", &[16]);
+        });
+        q.submit(|h| {
+            h.accessor(a, AccessMode::Read)
+                .accessor(c, AccessMode::Read);
+            h.parallel_for("k3", &[16]);
+        });
+        assert_eq!(q.batches(), vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(Queue::new().batches(), Vec::<Vec<usize>>::new());
+    }
+
+    #[test]
+    fn usm_arguments_are_conservative_hazards() {
+        let u = crate::buffer::UsmId(0);
+        let v = crate::buffer::UsmId(1);
+        let mut q = Queue::new();
+        // CG0 and CG1 share USM allocation `u` (no access mode exists to
+        // refine the hazard); CG2 touches only `v`.
+        q.submit(|h| {
+            h.usm(u, 16);
+            h.parallel_for("k0", &[16]);
+        });
+        q.submit(|h| {
+            h.usm(u, 16);
+            h.parallel_for("k1", &[16]);
+        });
+        q.submit(|h| {
+            h.usm(v, 16);
+            h.parallel_for("k2", &[16]);
+        });
+        let deps = q.dependencies();
+        assert!(deps.contains(&(0, 1)));
+        assert!(!deps.contains(&(0, 2)));
+        assert_eq!(q.batches(), vec![vec![0, 2], vec![1]]);
     }
 
     #[test]

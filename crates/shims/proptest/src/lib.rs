@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no registry access, so this workspace ships a
-//! small, API-compatible subset of proptest: the [`Strategy`] trait with
+//! small, API-compatible subset of proptest: the [`Strategy`](strategy::Strategy) trait with
 //! `prop_map`/`prop_recursive`, range and regex-lite string strategies,
 //! `collection::vec`, `prop_oneof!`, and the `proptest!`/`prop_assert*`
 //! macros. Cases are generated from a deterministic splitmix64 stream; there
@@ -339,7 +339,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: a fixed count or a half-open
+    /// Element-count specification for [`vec()`]: a fixed count or a half-open
     /// range of counts.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {

@@ -57,20 +57,30 @@ impl Default for CostModel {
 /// Dynamic event counters for one kernel execution.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ExecStats {
+    /// Arithmetic and position-query ops executed.
     pub arith_ops: u64,
+    /// Global-memory element accesses.
     pub global_accesses: u64,
+    /// Coalesced global-memory transactions (64-byte segments).
     pub global_transactions: u64,
+    /// Work-group local memory accesses.
     pub local_accesses: u64,
+    /// Constant-cache accesses (host-propagated constant arrays).
     pub constant_accesses: u64,
+    /// Private (register/stack) memory accesses.
     pub private_accesses: u64,
+    /// Work-group barriers executed.
     pub barriers: u64,
+    /// Work-groups launched.
     pub work_groups: u64,
+    /// Work-items launched.
     pub work_items: u64,
     /// Simulated device cycles (excludes host launch overhead).
     pub device_cycles: f64,
 }
 
 impl ExecStats {
+    /// Accumulate `other`'s counters into these.
     pub fn add(&mut self, other: &ExecStats) {
         self.arith_ops += other.arith_ops;
         self.global_accesses += other.global_accesses;

@@ -5,8 +5,8 @@
 use crate::cost::{CostModel, ExecStats};
 use crate::interp::{ExecCtx, Stop, WorkItemState};
 use crate::memory::MemoryPool;
-use crate::plan::{decode_kernel, KernelPlan};
-use crate::pool::run_plan_launch;
+use crate::plan::{decode_kernel, fuse_plan, KernelPlan};
+use crate::pool::{run_plan_batch, run_plan_launch, PlanLaunch};
 use crate::value::{NdItemVal, RtValue};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -46,6 +46,7 @@ impl Engine {
         }
     }
 
+    /// The engine's display name (`"tree-walk"` or `"plan"`).
     pub fn name(self) -> &'static str {
         match self {
             Engine::TreeWalk => "tree-walk",
@@ -82,11 +83,47 @@ pub fn auto_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Parse an on/off knob environment variable shared by the fuse and batch
+/// switches: `on`/`1`/`true` enable, `off`/`0`/`false` disable, unset
+/// falls back to `default`, anything else warns on stderr and falls back
+/// to `default` — a typo cannot silently flip an execution knob.
+fn bool_knob_from_env(var: &str, default: bool) -> bool {
+    match std::env::var(var).as_deref() {
+        Err(_) => default,
+        Ok("on") | Ok("1") | Ok("true") => true,
+        Ok("off") | Ok("0") | Ok("false") => false,
+        Ok(other) => {
+            let state = if default { "on" } else { "off" };
+            eprintln!(
+                "warning: unknown {var} `{other}` (expected `on` or `off`); defaulting to {state}"
+            );
+            default
+        }
+    }
+}
+
+/// The fusion setting named by the `SYCL_MLIR_SIM_FUSE` environment
+/// variable (`on`/`off`); `on` when unset. Gates the plan decoder's
+/// peephole fusion pass ([`fuse_plan`]).
+pub fn fuse_from_env() -> bool {
+    bool_knob_from_env("SYCL_MLIR_SIM_FUSE", true)
+}
+
+/// The batching setting named by the `SYCL_MLIR_SIM_BATCH` environment
+/// variable (`on`/`off`); `on` when unset. Gates launch-level parallelism
+/// over dependency-free command groups ([`Device::launch_batch`]).
+pub fn batch_from_env() -> bool {
+    bool_knob_from_env("SYCL_MLIR_SIM_BATCH", true)
+}
+
 /// Launch geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NdRangeSpec {
+    /// Global extent, padded with 1s to rank 3.
     pub global: [i64; 3],
+    /// Work-group extent, padded with 1s to rank 3.
     pub local: [i64; 3],
+    /// Number of meaningful dimensions.
     pub rank: u32,
 }
 
@@ -109,10 +146,12 @@ impl NdRangeSpec {
         }
     }
 
+    /// Total number of work-items.
     pub fn work_items(&self) -> i64 {
         self.global[..self.rank as usize].iter().product()
     }
 
+    /// Work-group counts per dimension.
     pub fn groups(&self) -> [i64; 3] {
         [
             self.global[0] / self.local[0].max(1),
@@ -168,11 +207,18 @@ const PLAN_CACHE_CAP: usize = 256;
 /// bit-identical for every worker count.
 #[derive(Clone, Debug)]
 pub struct Device {
+    /// The analytic cost model charged per launch.
     pub cost: CostModel,
+    /// Which execution engine launches run on.
     pub engine: Engine,
     /// Worker threads for plan-engine launches (1 = sequential).
     pub threads: usize,
-    plan_cache: RefCell<HashMap<(u64, OpId), CachedPlan>>,
+    /// Peephole-fuse decoded plans ([`fuse_plan`]); plan engine only.
+    pub fuse: bool,
+    /// Allow [`Device::launch_batch`] to run dependency-free launches
+    /// concurrently (the runtime consults this before batching).
+    pub batch: bool,
+    plan_cache: RefCell<HashMap<(u64, OpId, bool), CachedPlan>>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
 }
@@ -183,6 +229,8 @@ impl Default for Device {
             cost: CostModel::default(),
             engine: Engine::from_env(),
             threads: threads_from_env(),
+            fuse: fuse_from_env(),
+            batch: batch_from_env(),
             plan_cache: RefCell::new(HashMap::new()),
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
@@ -191,10 +239,12 @@ impl Default for Device {
 }
 
 impl Device {
+    /// A device with every knob at its environment-variable default.
     pub fn new() -> Device {
         Device::default()
     }
 
+    /// A default device with an explicit cost model.
     pub fn with_cost(cost: CostModel) -> Device {
         Device {
             cost,
@@ -202,6 +252,7 @@ impl Device {
         }
     }
 
+    /// A default device with an explicit engine.
     pub fn with_engine(engine: Engine) -> Device {
         Device {
             engine,
@@ -209,6 +260,7 @@ impl Device {
         }
     }
 
+    /// A default device with an explicit worker count.
     pub fn with_threads(threads: usize) -> Device {
         Device {
             threads,
@@ -216,13 +268,27 @@ impl Device {
         }
     }
 
+    /// Builder-style engine override.
     pub fn engine(mut self, engine: Engine) -> Device {
         self.engine = engine;
         self
     }
 
+    /// Builder-style worker-count override.
     pub fn threads(mut self, threads: usize) -> Device {
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style fusion override.
+    pub fn fuse(mut self, fuse: bool) -> Device {
+        self.fuse = fuse;
+        self
+    }
+
+    /// Builder-style batching override.
+    pub fn batch(mut self, batch: bool) -> Device {
+        self.batch = batch;
         self
     }
 
@@ -241,7 +307,7 @@ impl Device {
     /// undecodable kernel pays the decode attempt once per epoch, not
     /// once per launch.
     fn cached_plan(&self, m: &Module, kernel: OpId) -> Option<Arc<KernelPlan>> {
-        let key = (m.module_id(), kernel);
+        let key = (m.module_id(), kernel, self.fuse);
         let epoch = m.mutation_epoch();
         if let Some(cached) = self.plan_cache.borrow().get(&key) {
             if cached.epoch == epoch {
@@ -249,7 +315,12 @@ impl Device {
                 return cached.plan.clone();
             }
         }
-        let plan = decode_kernel(m, kernel).ok().map(Arc::new);
+        let plan = decode_kernel(m, kernel).ok().map(|mut p| {
+            if self.fuse {
+                fuse_plan(&mut p);
+            }
+            Arc::new(p)
+        });
         self.cache_misses.set(self.cache_misses.get() + 1);
         let mut cache = self.plan_cache.borrow_mut();
         if cache.len() >= PLAN_CACHE_CAP {
@@ -296,6 +367,69 @@ impl Device {
             },
         }
     }
+
+    /// Execute a batch of **mutually independent** kernel launches,
+    /// returning one [`ExecStats`] per launch, in batch order.
+    ///
+    /// Under [`Engine::Plan`], when every kernel of the batch is
+    /// plan-decodable, the whole batch is handed to
+    /// [`run_plan_batch`]: one worker pool
+    /// drains work-groups from all launches through per-launch claim
+    /// cursors, so a launch too small to saturate the workers no longer
+    /// serializes the queue. Otherwise (tree-walk engine, or any kernel
+    /// the decoder rejects) the launches run one at a time through
+    /// [`Device::launch`]. Either way each launch's statistics — and the
+    /// buffers it writes — are bit-identical to sequential execution;
+    /// only wall time differs.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Device::launch`]; with several failing work-groups the
+    /// error of the lexicographically smallest `(launch, group)` observed
+    /// is reported.
+    pub fn launch_batch(
+        &self,
+        m: &Module,
+        batch: &[BatchLaunch],
+        pool: &mut MemoryPool,
+    ) -> Result<Vec<ExecStats>, SimError> {
+        if self.engine == Engine::Plan {
+            let plans: Option<Vec<Arc<KernelPlan>>> = batch
+                .iter()
+                .map(|b| self.cached_plan(m, b.kernel))
+                .collect();
+            if let Some(plans) = plans {
+                let launches: Vec<PlanLaunch<'_>> = plans
+                    .iter()
+                    .zip(batch)
+                    .map(|(plan, b)| PlanLaunch {
+                        plan,
+                        args: &b.args,
+                        nd: b.nd,
+                    })
+                    .collect();
+                return run_plan_batch(&launches, pool, &self.cost, self.threads);
+            }
+        }
+        // Tree-walk engine, or some kernel is not plan-decodable: run the
+        // batch sequentially (identical results, no launch overlap).
+        batch
+            .iter()
+            .map(|b| self.launch(m, b.kernel, &b.args, b.nd, pool))
+            .collect()
+    }
+}
+
+/// One entry of a [`Device::launch_batch`] call: a kernel with its bound
+/// arguments and geometry.
+#[derive(Clone, Debug)]
+pub struct BatchLaunch {
+    /// The kernel function to launch.
+    pub kernel: OpId,
+    /// Kernel arguments, excluding the trailing item parameter.
+    pub args: Vec<RtValue>,
+    /// Launch geometry.
+    pub nd: NdRangeSpec,
 }
 
 /// Free-function form of [`Device::launch`].
@@ -752,6 +886,90 @@ mod tests {
             .launch(&m, func, &[], NdRangeSpec::d1(64, 16), &mut pool)
             .unwrap_err();
         assert!(errv.message.contains("divergent barrier"), "{errv}");
+    }
+
+    /// A batch of independent launches must produce the same per-launch
+    /// statistics and the same buffers as launching them one at a time,
+    /// for every worker count.
+    #[test]
+    fn batched_launches_match_sequential() {
+        let c = ctx();
+        let mut m = Module::new(&c);
+        let acc = accessor_type(&c, c.f32_type(), 1, AccessMode::ReadWrite, Target::Global);
+        let nd1 = nd_item_type(&c, 1);
+        let top = m.top();
+        // Two kernels writing disjoint buffers: scale and offset.
+        let build = |m: &mut Module, name: &str, mul: bool| -> OpId {
+            let (func, entry) = build_func(m, m.top(), name, &[acc.clone(), nd1.clone()], &[]);
+            sdev::mark_kernel(m, func);
+            let a = m.block_arg(entry, 0);
+            let item = m.block_arg(entry, 1);
+            let mut b = Builder::at_end(m, entry);
+            let gid = sdev::global_id(&mut b, item, 0);
+            let v = sdev::load_via_id(&mut b, a, &[gid]);
+            let f32t = b.ctx().f32_type();
+            let k = arith::constant_float(&mut b, 3.0, f32t);
+            let out = if mul {
+                arith::mulf(&mut b, v, k)
+            } else {
+                arith::addf(&mut b, v, k)
+            };
+            sdev::store_via_id(&mut b, out, a, &[gid]);
+            build_return(&mut b, &[]);
+            func
+        };
+        let _ = top;
+        let scale = build(&mut m, "scale", true);
+        let offset = build(&mut m, "offset", false);
+
+        let n = 128_i64;
+        let nd = NdRangeSpec::d1(n, 16);
+        let run = |threads: usize, batched: bool| {
+            let mut pool = MemoryPool::new();
+            let ma = pool.alloc(DataVec::F32((0..n).map(|i| i as f32).collect()));
+            let mb = pool.alloc(DataVec::F32((0..n).map(|i| (2 * i) as f32).collect()));
+            let device = Device::with_engine(Engine::Plan).threads(threads);
+            let batch = vec![
+                BatchLaunch {
+                    kernel: scale,
+                    args: vec![accessor(ma, n)],
+                    nd,
+                },
+                BatchLaunch {
+                    kernel: offset,
+                    args: vec![accessor(mb, n)],
+                    nd,
+                },
+            ];
+            let stats = if batched {
+                device.launch_batch(&m, &batch, &mut pool).unwrap()
+            } else {
+                batch
+                    .iter()
+                    .map(|b| {
+                        device
+                            .launch(&m, b.kernel, &b.args, b.nd, &mut pool)
+                            .unwrap()
+                    })
+                    .collect()
+            };
+            let DataVec::F32(a) = pool.data(ma) else {
+                panic!()
+            };
+            let DataVec::F32(b) = pool.data(mb) else {
+                panic!()
+            };
+            (stats, a.clone(), b.clone())
+        };
+        let (ref_stats, ref_a, ref_b) = run(1, false);
+        assert_eq!(ref_a[5], 15.0);
+        assert_eq!(ref_b[5], 13.0);
+        for threads in [1, 2, 4, 8] {
+            let (stats, a, b) = run(threads, true);
+            assert_eq!(ref_stats, stats, "stats differ at threads={threads}");
+            assert_eq!(ref_a, a, "buffer a differs at threads={threads}");
+            assert_eq!(ref_b, b, "buffer b differs at threads={threads}");
+        }
     }
 
     /// Uncoalesced (column-striding) accesses cost many more transactions

@@ -25,6 +25,7 @@ pub enum Stop {
 /// A simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimError {
+    /// Human-readable description of the failure.
     pub message: String,
 }
 
@@ -110,10 +111,15 @@ impl WorkGroupCtx {
 
 /// Per-launch shared state (across work-groups).
 pub struct ExecCtx<'a> {
+    /// The module being interpreted.
     pub m: &'a Module,
+    /// Device memory of the launch.
     pub pool: &'a mut MemoryPool,
+    /// The cost model charged per dynamic event.
     pub cost: &'a CostModel,
+    /// Accumulated dynamic statistics.
     pub stats: ExecStats,
+    /// Work-group-shared state (local allocas, coalescing tracker).
     pub wg: WorkGroupCtx,
     /// Pre-interned attribute keys (`value`, `predicate`, …), resolved once
     /// per launch instead of per dynamic op.
@@ -124,6 +130,7 @@ pub struct ExecCtx<'a> {
 }
 
 impl<'a> ExecCtx<'a> {
+    /// A fresh per-launch context over `pool` with zeroed statistics.
     pub fn new(m: &'a Module, pool: &'a mut MemoryPool, cost: &'a CostModel) -> ExecCtx<'a> {
         ExecCtx {
             m,
@@ -167,7 +174,9 @@ pub struct WorkItemState {
     bound: Vec<bool>,
     frames: Vec<Frame>,
     visits: Vec<u32>,
+    /// The work-item's position bundle.
     pub item: NdItemVal,
+    /// Whether the work-item ran to completion.
     pub finished: bool,
     steps: u64,
 }

@@ -34,7 +34,12 @@
 //!   instructions with operands pre-resolved to dense per-function register
 //!   slots, constants pre-materialized, `cmpi`/`cmpf` predicates and
 //!   dimension operands pre-parsed, call targets pre-resolved, and
-//!   `scf.for`/`scf.if` lowered to explicit jump/loop instructions.
+//!   `scf.for`/`scf.if` lowered to explicit jump/loop instructions. A
+//!   post-decode **peephole fusion pass** ([`fuse_plan`], on by default,
+//!   `SYCL_MLIR_SIM_FUSE=off` to disable) then rewrites hot instruction
+//!   pairs — load-accumulate, `muli`+`addi` linear addressing,
+//!   compare-branch — into superinstructions with identical semantics and
+//!   statistics.
 //!
 //! **Register allocation** is per function: every SSA value (block argument
 //! or op result) receives a dense slot at decode time, and each call frame
@@ -55,6 +60,15 @@
 //! [`pool`] scheduler parallelizes, with statistics merged so that results
 //! are bit-identical for every worker count.
 //!
+//! **Launch-level parallelism:** on top of the work-group axis, the
+//! scheduler accepts whole **batches** of mutually independent launches
+//! ([`run_plan_batch`] / [`Device::launch_batch`]): the runtime's queue
+//! scheduler levels its dependency DAG and hands every dependency-free
+//! level down at once, so small launches that cannot saturate the worker
+//! pool overlap instead of serializing (`SYCL_MLIR_SIM_BATCH=off`
+//! disables). Per-worker scratch arenas are recycled across work-groups
+//! and launches to cut private-alloca churn.
+//!
 //! **Cross-launch plan cache:** a [`Device`] memoizes decoded plans keyed
 //! by `(module id, kernel)` and validated against the module's mutation
 //! epoch, so re-launching an unmutated kernel (the common case in the
@@ -70,6 +84,8 @@
 //! (order-of-magnitude on loop-heavy kernels, ~6.5x on the full
 //! `repro_all --quick` sweep).
 
+#![deny(missing_docs)]
+
 pub mod cost;
 pub mod device;
 pub mod interp;
@@ -80,10 +96,10 @@ pub mod value;
 
 pub use cost::{CostModel, ExecStats};
 pub use device::{
-    auto_threads, launch_kernel, launch_plan, threads_from_env, Device, Engine, NdRangeSpec,
-    SimError,
+    auto_threads, batch_from_env, fuse_from_env, launch_kernel, launch_plan, threads_from_env,
+    BatchLaunch, Device, Engine, NdRangeSpec, SimError,
 };
 pub use memory::{DataVec, MemId, MemoryPool};
-pub use plan::{decode_kernel, DecodeError, KernelPlan};
-pub use pool::{run_plan_launch, PlanExecCtx, PlanPool, SharedPool};
+pub use plan::{decode_kernel, fuse_plan, DecodeError, KernelPlan};
+pub use pool::{run_plan_batch, run_plan_launch, PlanExecCtx, PlanLaunch, PlanPool, SharedPool};
 pub use value::{AccessorVal, MemRefVal, NdItemVal, RtValue, Space};

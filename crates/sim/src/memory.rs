@@ -9,13 +9,18 @@ pub struct MemId(pub u32);
 /// Typed storage of one allocation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum DataVec {
+    /// 32-bit floats.
     F32(Vec<f32>),
+    /// 64-bit floats.
     F64(Vec<f64>),
+    /// 32-bit integers (and narrower).
     I32(Vec<i32>),
+    /// 64-bit integers (plus `index` and wider).
     I64(Vec<i64>),
 }
 
 impl DataVec {
+    /// Number of elements.
     pub fn len(&self) -> usize {
         match self {
             DataVec::F32(v) => v.len(),
@@ -25,6 +30,7 @@ impl DataVec {
         }
     }
 
+    /// Whether the buffer holds no elements.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -37,6 +43,7 @@ impl DataVec {
         }
     }
 
+    /// The element at `i` as a runtime value.
     pub fn get(&self, i: usize) -> RtValue {
         match self {
             DataVec::F32(v) => RtValue::F32(v[i]),
@@ -46,6 +53,8 @@ impl DataVec {
         }
     }
 
+    /// Store `value` at `i`, coercing between float widths; panics on an
+    /// int/float mismatch.
     pub fn set(&mut self, i: usize, value: RtValue) {
         match (self, value) {
             (DataVec::F32(v), RtValue::F32(x)) => v[i] = x,
@@ -59,6 +68,48 @@ impl DataVec {
     }
 }
 
+/// Storage class an MLIR element type maps to — the single authoritative
+/// mapping shared by [`MemoryPool::alloc_zeroed`] and the plan engine's
+/// scratch arenas, so both engines always allocate the same [`DataVec`]
+/// variant for a given element type.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Dtype {
+    F32,
+    F64,
+    I32,
+    I64,
+}
+
+/// The storage class of the MLIR type `elem` (f32/f64/i32/i64/index/i1).
+pub(crate) fn dtype_of(elem: &sycl_mlir_ir::Type) -> Dtype {
+    match elem.kind() {
+        sycl_mlir_ir::TypeKind::F32 => Dtype::F32,
+        sycl_mlir_ir::TypeKind::F64 => Dtype::F64,
+        sycl_mlir_ir::TypeKind::Int(w) if *w <= 32 => Dtype::I32,
+        _ => Dtype::I64,
+    }
+}
+
+/// The storage class of an existing buffer.
+pub(crate) fn dtype_of_data(data: &DataVec) -> Dtype {
+    match data {
+        DataVec::F32(_) => Dtype::F32,
+        DataVec::F64(_) => Dtype::F64,
+        DataVec::I32(_) => Dtype::I32,
+        DataVec::I64(_) => Dtype::I64,
+    }
+}
+
+/// Zero-filled storage for `len` elements of storage class `dt`.
+pub(crate) fn zeroed_data(dt: Dtype, len: usize) -> DataVec {
+    match dt {
+        Dtype::F32 => DataVec::F32(vec![0.0; len]),
+        Dtype::F64 => DataVec::F64(vec![0.0; len]),
+        Dtype::I32 => DataVec::I32(vec![0; len]),
+        Dtype::I64 => DataVec::I64(vec![0; len]),
+    }
+}
+
 /// All device allocations of one simulation.
 #[derive(Default, Debug)]
 pub struct MemoryPool {
@@ -66,6 +117,7 @@ pub struct MemoryPool {
 }
 
 impl MemoryPool {
+    /// An empty pool.
     pub fn new() -> MemoryPool {
         MemoryPool::default()
     }
@@ -91,13 +143,7 @@ impl MemoryPool {
     /// Allocate zero-filled storage for `len` elements of the MLIR type
     /// `elem` (f32/f64/i32/i64/index/i1).
     pub fn alloc_zeroed(&mut self, elem: &sycl_mlir_ir::Type, len: usize) -> MemId {
-        let data = match elem.kind() {
-            sycl_mlir_ir::TypeKind::F32 => DataVec::F32(vec![0.0; len]),
-            sycl_mlir_ir::TypeKind::F64 => DataVec::F64(vec![0.0; len]),
-            sycl_mlir_ir::TypeKind::Int(w) if *w <= 32 => DataVec::I32(vec![0; len]),
-            _ => DataVec::I64(vec![0; len]),
-        };
-        self.alloc(data)
+        self.alloc(zeroed_data(dtype_of(elem), len))
     }
 
     /// Mutable access to every buffer, in [`MemId`] order. Used by the
@@ -106,26 +152,32 @@ impl MemoryPool {
         &mut self.buffers
     }
 
+    /// Borrow one allocation's storage.
     pub fn data(&self, id: MemId) -> &DataVec {
         &self.buffers[id.0 as usize]
     }
 
+    /// Mutably borrow one allocation's storage.
     pub fn data_mut(&mut self, id: MemId) -> &mut DataVec {
         &mut self.buffers[id.0 as usize]
     }
 
+    /// Load the element at `index` of allocation `id`.
     pub fn load(&self, id: MemId, index: i64) -> RtValue {
         self.buffers[id.0 as usize].get(index as usize)
     }
 
+    /// Store `value` at `index` of allocation `id`.
     pub fn store(&mut self, id: MemId, index: i64, value: RtValue) {
         self.buffers[id.0 as usize].set(index as usize, value);
     }
 
+    /// Number of allocations made so far.
     pub fn len(&self) -> usize {
         self.buffers.len()
     }
 
+    /// Whether no allocation has been made.
     pub fn is_empty(&self) -> bool {
         self.buffers.is_empty()
     }

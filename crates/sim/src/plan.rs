@@ -25,7 +25,7 @@
 //!
 //! The plan is immutable and shared by reference across all work-items and
 //! work-groups of the launch. Decoding is itself string-free on the hot
-//! path: a [`OpKindTable`] maps interned [`OpName`] ids to opcodes once per
+//! path: a private `OpKindTable` maps interned [`OpName`] ids to opcodes once per
 //! decode, and attribute keys are resolved through the pre-interned
 //! [`sycl_mlir_ir::CommonKeys`].
 //!
@@ -54,6 +54,7 @@ fn err(msg: impl Into<String>) -> SimError {
 /// tree-walk interpreter).
 #[derive(Debug, Clone)]
 pub struct DecodeError {
+    /// Human-readable description of the failure.
     pub message: String,
 }
 
@@ -76,26 +77,42 @@ fn dec_err(msg: impl Into<String>) -> DecodeError {
 /// Integer binary ops (`arith.addi` family).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IntBin {
+    /// `arith.addi`.
     Add,
+    /// `arith.subi`.
     Sub,
+    /// `arith.muli`.
     Mul,
+    /// `arith.divsi` (signed).
     DivS,
+    /// `arith.remsi` (signed).
     RemS,
+    /// `arith.andi`.
     And,
+    /// `arith.ori`.
     Or,
+    /// `arith.xori`.
     Xor,
+    /// `arith.minsi` (signed).
     MinS,
+    /// `arith.maxsi` (signed).
     MaxS,
 }
 
 /// Float binary ops (`arith.addf` family).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FloatBin {
+    /// `arith.addf`.
     Add,
+    /// `arith.subf`.
     Sub,
+    /// `arith.mulf`.
     Mul,
+    /// `arith.divf`.
     Div,
+    /// `arith.minf`.
     Min,
+    /// `arith.maxf`.
     Max,
 }
 
@@ -103,11 +120,17 @@ pub enum FloatBin {
 /// interpreter: a missing attribute means `Eq`, an unknown spelling `Sge`.
 #[derive(Clone, Copy, Debug)]
 pub enum CmpPred {
+    /// Equal.
     Eq,
+    /// Not equal.
     Ne,
+    /// Signed less-than.
     Slt,
+    /// Signed less-or-equal.
     Sle,
+    /// Signed greater-than.
     Sgt,
+    /// Signed greater-or-equal.
     Sge,
 }
 
@@ -151,14 +174,23 @@ impl CmpPred {
 /// `math.*` unary functions, plus `powf`, resolved at decode time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MathOp {
+    /// `math.sqrt`.
     Sqrt,
+    /// `math.exp`.
     Exp,
+    /// `math.log`.
     Log,
+    /// `math.absf`.
     Absf,
+    /// `math.sin`.
     Sin,
+    /// `math.cos`.
     Cos,
+    /// `math.floor`.
     Floor,
+    /// `math.rsqrt`.
     Rsqrt,
+    /// `math.powf` (binary).
     Powf,
 }
 
@@ -167,18 +199,26 @@ pub enum MathOp {
 /// register at run time.
 #[derive(Clone, Copy, Debug)]
 pub enum DimSrc {
+    /// A compile-time-constant dimension.
     Const(u8),
+    /// A dimension read from a register at run time.
     Reg(Reg),
 }
 
 /// Work-item position queries with a dimension operand.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ItemQ {
+    /// Global id along a dimension.
     GlobalId,
+    /// Id within the work-group.
     LocalId,
+    /// Work-group id.
     GroupId,
+    /// Global extent.
     GlobalRange,
+    /// Work-group extent.
     LocalRange,
+    /// Work-group count.
     GroupRange,
 }
 
@@ -188,191 +228,373 @@ pub enum ItemQ {
 pub enum Instr {
     /// Pre-materialized scalar constant.
     Const {
+        /// Destination register.
         dst: Reg,
+        /// The constant value.
         val: RtValue,
     },
     /// Dense-data constant memref, materialized once per launch into the
-    /// pool and cached in [`PlanCtx::dense_cache`] under `idx`.
+    /// pool and cached in the worker state ([`PlanCtx`]) under `idx`.
     ConstDense {
+        /// Destination register.
         dst: Reg,
+        /// Index into [`KernelPlan::dense_consts`].
         idx: u32,
     },
+    /// Register-to-register move (casts that are value-preserving here).
     Copy {
+        /// Destination register.
         dst: Reg,
+        /// Source register.
         src: Reg,
     },
+    /// Integer binary op.
     BinInt {
+        /// Operation selector.
         op: IntBin,
+        /// Destination register.
         dst: Reg,
+        /// Left operand register.
         l: Reg,
+        /// Right operand register.
         r: Reg,
     },
+    /// Float binary op (computed in `f64`, optionally narrowed).
     BinFloat {
+        /// Operation selector.
         op: FloatBin,
+        /// Destination register.
         dst: Reg,
+        /// Left operand register.
         l: Reg,
+        /// Right operand register.
         r: Reg,
+        /// Whether the result narrows to `f32`.
         f32_out: bool,
     },
+    /// `arith.negf`.
     NegF {
+        /// Destination register.
         dst: Reg,
+        /// Operand register.
         x: Reg,
     },
+    /// `arith.cmpi`.
     CmpI {
+        /// Pre-parsed comparison predicate.
         pred: CmpPred,
+        /// Destination register.
         dst: Reg,
+        /// Left operand register.
         l: Reg,
+        /// Right operand register.
         r: Reg,
     },
+    /// `arith.cmpf`.
     CmpF {
+        /// Pre-parsed comparison predicate.
         pred: CmpPred,
+        /// Destination register.
         dst: Reg,
+        /// Left operand register.
         l: Reg,
+        /// Right operand register.
         r: Reg,
     },
+    /// `arith.select`.
     Select {
+        /// Destination register.
         dst: Reg,
+        /// Condition register.
         c: Reg,
+        /// True-value register.
         t: Reg,
+        /// False-value register.
         f: Reg,
     },
+    /// `arith.sitofp`.
     SiToFp {
+        /// Destination register.
         dst: Reg,
+        /// Operand register.
         x: Reg,
+        /// Whether the result narrows to `f32`.
         f32_out: bool,
     },
+    /// `arith.fptosi`.
     FpToSi {
+        /// Destination register.
         dst: Reg,
+        /// Operand register.
         x: Reg,
     },
+    /// `arith.truncf` (`f64` to `f32`).
     TruncF {
+        /// Destination register.
         dst: Reg,
+        /// Operand register.
         x: Reg,
     },
+    /// `arith.extf` (`f32` to `f64`).
     ExtF {
+        /// Destination register.
         dst: Reg,
+        /// Operand register.
         x: Reg,
     },
+    /// `math.*` function application.
     Math {
+        /// Operation selector.
         op: MathOp,
+        /// Destination register.
         dst: Reg,
+        /// Operand register.
         x: Reg,
+        /// Second operand register (`powf` only; `0` otherwise).
         y: Reg,
+        /// Whether the result narrows to `f32`.
         f32_out: bool,
     },
     /// Per-work-item private allocation (fresh storage on every execution,
     /// like the tree-walk interpreter).
     Alloca {
+        /// Destination register.
         dst: Reg,
+        /// Element type of the allocation.
         elem: Type,
+        /// Static shape, padded with 1s to rank 3.
         shape: [i64; 3],
+        /// Number of valid indices.
         rank: u32,
+        /// Total element count.
         len: usize,
     },
     /// Work-group-shared allocation, cached per `site` in the group ctx.
     LocalAlloca {
+        /// Destination register.
         dst: Reg,
+        /// Memory-access site id (keys the coalescing tracker).
         site: u32,
+        /// Element type of the allocation.
         elem: Type,
+        /// Static shape, padded with 1s to rank 3.
         shape: [i64; 3],
+        /// Number of valid indices.
         rank: u32,
+        /// Total element count.
         len: usize,
     },
+    /// Memory load through a memref view.
     Load {
+        /// Destination register.
         dst: Reg,
+        /// Memref operand register.
         mem: Reg,
+        /// Index operand registers (first `rank` entries are valid).
         idx: [Reg; 3],
+        /// Number of valid indices.
         rank: u8,
+        /// Memory-access site id (keys the coalescing tracker).
         site: u32,
     },
+    /// Memory store through a memref view.
     Store {
+        /// Value register to store.
         val: Reg,
+        /// Memref operand register.
         mem: Reg,
+        /// Index operand registers (first `rank` entries are valid).
         idx: [Reg; 3],
+        /// Number of valid indices.
         rank: u8,
+        /// Memory-access site id (keys the coalescing tracker).
         site: u32,
     },
+    /// `sycl.id`/`sycl.range` construction from components.
     VecCtor {
+        /// Destination register.
         dst: Reg,
+        /// Component registers (first `rank` entries are valid).
         comps: [Reg; 3],
+        /// Number of valid indices.
         rank: u8,
     },
+    /// `!sycl.nd_range` construction from global and local ranges.
     NdRangeCtor {
+        /// Destination register.
         dst: Reg,
+        /// Global-range vector register.
         g: Reg,
+        /// Local-range vector register.
         l: Reg,
     },
+    /// Component read of an id/range vector.
     VecGet {
+        /// Destination register.
         dst: Reg,
+        /// Vector operand register.
         v: Reg,
+        /// Dimension operand.
         dim: DimSrc,
     },
+    /// `sycl.range.size`: product of the extents.
     RangeSize {
+        /// Destination register.
         dst: Reg,
+        /// Vector operand register.
         v: Reg,
     },
+    /// Work-item position query.
     ItemQuery {
+        /// Destination register.
         dst: Reg,
+        /// Which position query to answer.
         q: ItemQ,
+        /// Dimension operand.
         dim: DimSrc,
     },
+    /// `sycl.item.get_linear_id` and the nd_item equivalent.
     GlobalLinearId {
+        /// Destination register.
         dst: Reg,
     },
+    /// `sycl.nd_item.get_local_linear_id`.
     LocalLinearId {
+        /// Destination register.
         dst: Reg,
     },
     /// `sycl.nd_item.get_group`: the item value itself.
     ItemSelf {
+        /// Destination register.
         dst: Reg,
     },
+    /// `sycl.accessor.subscript`: a memref view into the accessor.
     AccSubscript {
+        /// Destination register.
         dst: Reg,
+        /// Accessor operand register.
         acc: Reg,
+        /// Id vector register.
         id: Reg,
     },
+    /// `sycl.accessor.get_range` along a dimension.
     AccRange {
+        /// Destination register.
         dst: Reg,
+        /// Accessor operand register.
         acc: Reg,
+        /// Dimension operand.
         dim: DimSrc,
     },
+    /// `sycl.accessor.base`: an opaque integer identifying the storage.
     AccBase {
+        /// Destination register.
         dst: Reg,
+        /// Accessor operand register.
         acc: Reg,
     },
+    /// `sycl.group.barrier`: suspend until the whole group arrives.
     Barrier,
+    /// Unconditional jump.
     Jump {
+        /// Jump target pc.
         target: u32,
     },
     /// `scf.if` dispatch: falls through into the then-arm, jumps to
     /// `target` (the else-arm) on a false condition.
     BranchIfFalse {
+        /// Condition register.
         cond: Reg,
+        /// Jump target pc.
         target: u32,
     },
     /// Loop entry: validates the step, sets `iv := lb` and jumps to
     /// `exit` when the trip count is zero.
     ForEnter {
+        /// Lower-bound register.
         lb: Reg,
+        /// Upper-bound register.
         ub: Reg,
+        /// Step register.
         step: Reg,
+        /// Induction-variable register.
         iv: Reg,
+        /// Pc of the first instruction after the loop.
         exit: u32,
     },
     /// Loop back-edge: `iv += step`, jumping to `body` while `iv < ub`.
     ForNext {
+        /// Induction-variable register.
         iv: Reg,
+        /// Step register.
         step: Reg,
+        /// Upper-bound register.
         ub: Reg,
+        /// Pc of the first body instruction.
         body: u32,
     },
+    /// `func.call` into another plan function.
     Call {
+        /// Callee plan-function index.
         func: u32,
+        /// Argument registers, in callee parameter order.
         args: Box<[Reg]>,
+        /// Registers receiving the callee’s results.
         results: Box<[Reg]>,
     },
+    /// `func.return`: pop the frame (kernel exit at frame 0).
     Return {
+        /// Returned value registers.
         vals: Box<[Reg]>,
+    },
+    /// Fused `Load` + float accumulate ([`fuse_plan`]): loads one element
+    /// and immediately combines it with `other` — the load-accumulate
+    /// pattern of reduction and stencil inner loops. `loaded_is_lhs`
+    /// preserves the original operand order (relevant for error messages
+    /// and non-commutative extensions).
+    LoadBinFloat {
+        /// Operation selector.
+        op: FloatBin,
+        /// Destination register.
+        dst: Reg,
+        /// The non-loaded operand register.
+        other: Reg,
+        /// Whether the loaded value was the left operand.
+        loaded_is_lhs: bool,
+        /// Whether the result narrows to `f32`.
+        f32_out: bool,
+        /// Memref operand register.
+        mem: Reg,
+        /// Index operand registers (first `rank` entries are valid).
+        idx: [Reg; 3],
+        /// Number of valid indices.
+        rank: u8,
+        /// Memory-access site id (keys the coalescing tracker).
+        site: u32,
+    },
+    /// Fused `muli` + `addi` ([`fuse_plan`]): `dst = a*b + c`, the linear
+    /// addressing chain of every row-major index computation.
+    MulAddInt {
+        /// Destination register.
+        dst: Reg,
+        /// First factor register.
+        a: Reg,
+        /// Second factor register.
+        b: Reg,
+        /// Addend register.
+        c: Reg,
+    },
+    /// Fused `cmpi` + `BranchIfFalse` ([`fuse_plan`]): jumps to `target`
+    /// when the predicate over `l`, `r` is false.
+    CmpIBranch {
+        /// Pre-parsed comparison predicate.
+        pred: CmpPred,
+        /// Left operand register.
+        l: Reg,
+        /// Right operand register.
+        r: Reg,
+        /// Jump target pc.
+        target: u32,
     },
 }
 
@@ -383,7 +605,9 @@ pub enum Instr {
 /// One decoded function: flat code plus its register-file size.
 #[derive(Debug)]
 pub struct FuncPlan {
+    /// Flat instruction stream.
     pub code: Vec<Instr>,
+    /// Size of the register file a frame of this function needs.
     pub reg_count: u32,
     /// Registers of the entry block's parameters (kernel arguments for the
     /// entry function, call parameters otherwise).
@@ -395,8 +619,11 @@ pub struct FuncPlan {
 /// A dense-constant template, cloned into the pool on first use.
 #[derive(Debug)]
 pub struct DenseConst {
+    /// The constant data, cloned into an arena on materialization.
     pub data: DataVec,
+    /// Static shape, padded with 1s to rank 3.
     pub shape: [i64; 3],
+    /// Number of meaningful dimensions.
     pub rank: u32,
 }
 
@@ -409,7 +636,9 @@ pub struct DenseConst {
 /// as well as across launches through the device's plan cache.
 #[derive(Debug)]
 pub struct KernelPlan {
+    /// Decoded functions; index 0 is the kernel.
     pub funcs: Vec<FuncPlan>,
+    /// Dense-constant templates referenced by `Instr::ConstDense`.
     pub dense_consts: Vec<DenseConst>,
     /// Number of memory-access sites (load/store instrs) across all
     /// functions; sizes the per-work-item visit counters that feed the
@@ -417,6 +646,9 @@ pub struct KernelPlan {
     pub mem_sites: u32,
     /// Number of `sycl.local.alloca` sites across all functions.
     pub local_sites: u32,
+    /// Number of instruction pairs rewritten into superinstructions by
+    /// [`fuse_plan`] (`0` for a freshly decoded, unfused plan).
+    pub fused_pairs: u32,
 }
 
 /// [`KernelPlan`] must stay `Send + Sync`: the parallel work-group
@@ -651,6 +883,7 @@ pub fn decode_kernel(m: &Module, kernel: OpId) -> Result<KernelPlan, DecodeError
         dense_consts: d.dense_consts,
         mem_sites: d.mem_sites,
         local_sites: d.local_sites,
+        fused_pairs: 0,
     })
 }
 
@@ -1221,6 +1454,275 @@ impl<'a> Decoder<'a> {
 }
 
 // ----------------------------------------------------------------------
+// Peephole fusion
+// ----------------------------------------------------------------------
+
+/// Call `f` on every register an instruction *reads*.
+fn for_each_read(instr: &Instr, mut f: impl FnMut(Reg)) {
+    fn dim(d: &DimSrc, f: &mut impl FnMut(Reg)) {
+        if let DimSrc::Reg(r) = d {
+            f(*r);
+        }
+    }
+    match instr {
+        Instr::Const { .. }
+        | Instr::ConstDense { .. }
+        | Instr::Alloca { .. }
+        | Instr::LocalAlloca { .. }
+        | Instr::GlobalLinearId { .. }
+        | Instr::LocalLinearId { .. }
+        | Instr::ItemSelf { .. }
+        | Instr::Barrier
+        | Instr::Jump { .. } => {}
+        Instr::Copy { src, .. } => f(*src),
+        Instr::BinInt { l, r, .. }
+        | Instr::BinFloat { l, r, .. }
+        | Instr::CmpI { l, r, .. }
+        | Instr::CmpF { l, r, .. }
+        | Instr::CmpIBranch { l, r, .. } => {
+            f(*l);
+            f(*r);
+        }
+        Instr::NegF { x, .. }
+        | Instr::SiToFp { x, .. }
+        | Instr::FpToSi { x, .. }
+        | Instr::TruncF { x, .. }
+        | Instr::ExtF { x, .. } => f(*x),
+        Instr::Select { c, t, f: fv, .. } => {
+            f(*c);
+            f(*t);
+            f(*fv);
+        }
+        Instr::Math { op, x, y, .. } => {
+            f(*x);
+            if matches!(op, MathOp::Powf) {
+                f(*y);
+            }
+        }
+        Instr::Load { mem, idx, rank, .. } => {
+            f(*mem);
+            idx[..*rank as usize].iter().for_each(|&r| f(r));
+        }
+        Instr::Store {
+            val,
+            mem,
+            idx,
+            rank,
+            ..
+        } => {
+            f(*val);
+            f(*mem);
+            idx[..*rank as usize].iter().for_each(|&r| f(r));
+        }
+        Instr::LoadBinFloat {
+            other,
+            mem,
+            idx,
+            rank,
+            ..
+        } => {
+            f(*other);
+            f(*mem);
+            idx[..*rank as usize].iter().for_each(|&r| f(r));
+        }
+        Instr::MulAddInt { a, b, c, .. } => {
+            f(*a);
+            f(*b);
+            f(*c);
+        }
+        Instr::VecCtor { comps, rank, .. } => {
+            comps[..*rank as usize].iter().for_each(|&r| f(r));
+        }
+        Instr::NdRangeCtor { g, l, .. } => {
+            f(*g);
+            f(*l);
+        }
+        Instr::VecGet { v, dim: d, .. } => {
+            f(*v);
+            dim(d, &mut f);
+        }
+        Instr::RangeSize { v, .. } => f(*v),
+        Instr::ItemQuery { dim: d, .. } => dim(d, &mut f),
+        Instr::AccSubscript { acc, id, .. } => {
+            f(*acc);
+            f(*id);
+        }
+        Instr::AccRange { acc, dim: d, .. } => {
+            f(*acc);
+            dim(d, &mut f);
+        }
+        Instr::AccBase { acc, .. } => f(*acc),
+        Instr::BranchIfFalse { cond, .. } => f(*cond),
+        Instr::ForEnter { lb, ub, step, .. } => {
+            f(*lb);
+            f(*ub);
+            f(*step);
+        }
+        Instr::ForNext { iv, step, ub, .. } => {
+            f(*iv);
+            f(*step);
+            f(*ub);
+        }
+        Instr::Call { args, .. } => args.iter().for_each(|&r| f(r)),
+        Instr::Return { vals } => vals.iter().for_each(|&r| f(r)),
+    }
+}
+
+/// Call `f` on a mutable reference to every `pc` target an instruction
+/// carries.
+fn for_each_target(instr: &mut Instr, mut f: impl FnMut(&mut u32)) {
+    match instr {
+        Instr::Jump { target }
+        | Instr::BranchIfFalse { target, .. }
+        | Instr::CmpIBranch { target, .. } => f(target),
+        Instr::ForEnter { exit, .. } => f(exit),
+        Instr::ForNext { body, .. } => f(body),
+        _ => {}
+    }
+}
+
+/// Try to fuse the adjacent pair `(a, b)` into one superinstruction.
+///
+/// A pair is fusable only when the intermediate register (written by `a`,
+/// consumed by `b`) has exactly one read in the whole function — then the
+/// read always observes `a`'s write and eliding the intermediate write is
+/// unobservable. The caller guarantees `b` is not a jump target.
+fn try_fuse(a: &Instr, b: &Instr, reads: &[u32]) -> Option<Instr> {
+    match (a, b) {
+        // load t; dst = t ⊕ other (or other ⊕ t) for commutative float ⊕.
+        (
+            Instr::Load {
+                dst: t,
+                mem,
+                idx,
+                rank,
+                site,
+            },
+            Instr::BinFloat {
+                op: op @ (FloatBin::Add | FloatBin::Mul),
+                dst,
+                l,
+                r,
+                f32_out,
+            },
+        ) if reads[*t as usize] == 1 && ((l == t) != (r == t)) => {
+            let loaded_is_lhs = l == t;
+            Some(Instr::LoadBinFloat {
+                op: *op,
+                dst: *dst,
+                other: if loaded_is_lhs { *r } else { *l },
+                loaded_is_lhs,
+                f32_out: *f32_out,
+                mem: *mem,
+                idx: *idx,
+                rank: *rank,
+                site: *site,
+            })
+        }
+        // t = a*b; dst = t + c (or c + t): linear addressing.
+        (
+            Instr::BinInt {
+                op: IntBin::Mul,
+                dst: t,
+                l: ma,
+                r: mb,
+            },
+            Instr::BinInt {
+                op: IntBin::Add,
+                dst,
+                l,
+                r,
+            },
+        ) if reads[*t as usize] == 1 && ((l == t) != (r == t)) => Some(Instr::MulAddInt {
+            dst: *dst,
+            a: *ma,
+            b: *mb,
+            c: if l == t { *r } else { *l },
+        }),
+        // t = cmpi l, r; branch-if-false t.
+        (Instr::CmpI { pred, dst: t, l, r }, Instr::BranchIfFalse { cond, target })
+            if reads[*t as usize] == 1 && cond == t =>
+        {
+            Some(Instr::CmpIBranch {
+                pred: *pred,
+                l: *l,
+                r: *r,
+                target: *target,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Fuse one function's code in place; returns the number of fused pairs.
+fn fuse_func(f: &mut FuncPlan) -> u32 {
+    let n = f.code.len();
+    // How often each register is read anywhere in the function. A register
+    // read exactly once — by the instruction right after its definition —
+    // is a pure intermediate that fusion may elide.
+    let mut reads = vec![0_u32; f.reg_count as usize];
+    for instr in &f.code {
+        for_each_read(instr, |r| reads[r as usize] += 1);
+    }
+    // Positions control flow can enter other than by fall-through. The
+    // second instruction of a fused pair must not be one: a jump straight
+    // to the consumer would skip the elided producer.
+    let mut is_target = vec![false; n + 1];
+    for instr in &mut f.code {
+        for_each_target(instr, |t| is_target[*t as usize] = true);
+    }
+
+    let mut new_code: Vec<Instr> = Vec::with_capacity(n);
+    // Old pc -> new pc (both halves of a fused pair map to the fusion).
+    let mut remap = vec![0_u32; n + 1];
+    let mut fused = 0_u32;
+    let mut i = 0;
+    while i < n {
+        remap[i] = new_code.len() as u32;
+        if i + 1 < n && !is_target[i + 1] {
+            if let Some(superinstr) = try_fuse(&f.code[i], &f.code[i + 1], &reads) {
+                remap[i + 1] = new_code.len() as u32;
+                new_code.push(superinstr);
+                fused += 1;
+                i += 2;
+                continue;
+            }
+        }
+        new_code.push(f.code[i].clone());
+        i += 1;
+    }
+    remap[n] = new_code.len() as u32;
+    for instr in &mut new_code {
+        for_each_target(instr, |t| *t = remap[*t as usize]);
+    }
+    f.code = new_code;
+    fused
+}
+
+/// Peephole-fuse hot instruction pairs of a decoded plan into
+/// superinstructions, in place.
+///
+/// Three patterns are rewritten (see `try_fuse` for the exact safety
+/// conditions): **load-accumulate** (`Load` feeding an `addf`/`mulf`),
+/// **linear addressing** (`muli` feeding an `addi`) and **compare-branch**
+/// (`cmpi` feeding a conditional branch). Each superinstruction bumps the
+/// same statistics counters and raises the same errors, in the same order,
+/// as the pair it replaces, so fused execution is bit-identical to unfused
+/// execution — the differential suite holds both against the tree-walk
+/// reference.
+///
+/// Returns the number of pairs fused (also recorded in
+/// [`KernelPlan::fused_pairs`]).
+pub fn fuse_plan(plan: &mut KernelPlan) -> u32 {
+    let mut fused = 0;
+    for f in &mut plan.funcs {
+        fused += fuse_func(f);
+    }
+    plan.fused_pairs += fused;
+    fused
+}
+
+// ----------------------------------------------------------------------
 // Executor
 // ----------------------------------------------------------------------
 
@@ -1237,6 +1739,7 @@ pub struct PlanCtx {
 }
 
 impl PlanCtx {
+    /// Per-worker state sized for `plan` (dense cache, local-alloca sites).
     pub fn new(plan: &KernelPlan) -> PlanCtx {
         PlanCtx {
             dense_cache: vec![None; plan.dense_consts.len()],
@@ -1265,7 +1768,9 @@ pub struct PlanWorkItem {
     /// Per-site visit counters feeding the coalescing tracker (same
     /// instance numbering as the tree-walk interpreter's per-op visits).
     visits: Vec<u32>,
+    /// The work-item’s position bundle.
     pub item: NdItemVal,
+    /// Whether the work-item ran to completion.
     pub finished: bool,
     steps: u64,
 }
@@ -1723,6 +2228,66 @@ impl PlanWorkItem {
                     base = new_base;
                     pc = 0;
                 }
+                Instr::LoadBinFloat {
+                    op,
+                    dst,
+                    other,
+                    loaded_is_lhs,
+                    f32_out,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                } => {
+                    // Exactly the Load arm…
+                    let mr = reg!(*mem)
+                        .as_memref()
+                        .ok_or_else(|| err("load from non-memref"))?;
+                    let mut indices = [0_i64; 3];
+                    for d in 0..*rank as usize {
+                        indices[d] = int!(idx[d], "non-int index");
+                    }
+                    let addr = mr.linearize(&indices[..*rank as usize]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    let loaded = ctx.pool.load(mr.mem, addr);
+                    // …then exactly the BinFloat arm, with the loaded value
+                    // in its original operand position.
+                    ctx.stats.arith_ops += 1;
+                    let loaded = loaded
+                        .as_f64()
+                        .ok_or_else(|| err("float op on non-float"))?;
+                    let (l, r) = if *loaded_is_lhs {
+                        (loaded, flt!(*other, "float op on non-float"))
+                    } else {
+                        (flt!(*other, "float op on non-float"), loaded)
+                    };
+                    let out = match op {
+                        FloatBin::Add => l + r,
+                        FloatBin::Mul => l * r,
+                        // Only Add/Mul are ever fused (see `try_fuse`).
+                        _ => return Err(err("unfusable float op in LoadBinFloat")),
+                    };
+                    reg!(*dst) = if *f32_out {
+                        RtValue::F32(out as f32)
+                    } else {
+                        RtValue::F64(out)
+                    };
+                }
+                Instr::MulAddInt { dst, a, b, c } => {
+                    ctx.stats.arith_ops += 2; // the muli and the addi
+                    let a = int!(*a, "int op on non-int");
+                    let b = int!(*b, "int op on non-int");
+                    let c = int!(*c, "int op on non-int");
+                    reg!(*dst) = RtValue::Int(a.wrapping_mul(b).wrapping_add(c));
+                }
+                Instr::CmpIBranch { pred, l, r, target } => {
+                    ctx.stats.arith_ops += 2; // the cmpi and the branch
+                    let l = int!(*l, "cmpi on non-int");
+                    let r = int!(*r, "cmpi on non-int");
+                    if !pred.eval_int(l, r) {
+                        pc = *target as usize;
+                    }
+                }
                 Instr::Return { vals } => {
                     if frame == 0 {
                         self.finished = true;
@@ -1838,6 +2403,7 @@ fn materialize_dense(
 
 /// Aggregate decode statistics, exposed for tests and diagnostics.
 impl KernelPlan {
+    /// Total instruction count across all functions (tests/diagnostics).
     pub fn instr_count(&self) -> usize {
         self.funcs.iter().map(|f| f.code.len()).sum()
     }
@@ -1860,5 +2426,272 @@ mod tests {
             CmpPred::of_attr(Some(&Attribute::Str("ult".into()))),
             CmpPred::Sge
         ));
+    }
+
+    mod fusion {
+        use super::super::*;
+        use crate::cost::{CostModel, ExecStats};
+        use crate::memory::{DataVec, MemId, MemoryPool};
+        use crate::value::AccessorVal;
+        use crate::NdRangeSpec;
+        use sycl_mlir_dialects::arith::{self, constant_index};
+        use sycl_mlir_dialects::func::{build_func, build_return};
+        use sycl_mlir_ir::{Builder, Context};
+        use sycl_mlir_sycl::device as sdev;
+        use sycl_mlir_sycl::types::{accessor_type, nd_item_type, AccessMode, Target};
+
+        fn ctx() -> Context {
+            let c = Context::new();
+            sycl_mlir_dialects::register_all(&c);
+            sycl_mlir_sycl::register(&c);
+            c
+        }
+
+        fn accessor(mem: MemId, len: i64) -> RtValue {
+            RtValue::Accessor(AccessorVal {
+                mem,
+                range: [len, 1, 1],
+                offset: [0, 0, 0],
+                rank: 1,
+                constant: false,
+            })
+        }
+
+        /// Build a 1-d kernel with `n_accs` f32 accessors and an nd_item.
+        fn build_kernel(
+            m: &mut Module,
+            n_accs: usize,
+            body: impl FnOnce(&mut Builder<'_>, &[sycl_mlir_ir::ValueId], sycl_mlir_ir::ValueId),
+        ) -> OpId {
+            let c = m.ctx();
+            let acc = accessor_type(c, c.f32_type(), 1, AccessMode::ReadWrite, Target::Global);
+            let nd1 = nd_item_type(c, 1);
+            let mut sig: Vec<sycl_mlir_ir::Type> = vec![acc; n_accs];
+            sig.push(nd1);
+            let top = m.top();
+            let (func, entry) = build_func(m, top, "k", &sig, &[]);
+            sdev::mark_kernel(m, func);
+            let accs: Vec<sycl_mlir_ir::ValueId> =
+                (0..n_accs).map(|i| m.block_arg(entry, i)).collect();
+            let item = m.block_arg(entry, n_accs);
+            {
+                let mut b = Builder::at_end(m, entry);
+                body(&mut b, &accs, item);
+                build_return(&mut b, &[]);
+            }
+            func
+        }
+
+        /// Execute `plan` on fresh data and return (stats, all buffers).
+        fn run_plan(
+            plan: &KernelPlan,
+            n_accs: usize,
+            n: i64,
+            nd: NdRangeSpec,
+            threads: usize,
+        ) -> (ExecStats, Vec<DataVec>) {
+            let mut pool = MemoryPool::new();
+            let mut args = Vec::new();
+            for a in 0..n_accs {
+                let data: Vec<f32> = (0..n).map(|i| (i + 1) as f32 * (a + 1) as f32).collect();
+                let mem = pool.alloc(DataVec::F32(data));
+                args.push(accessor(mem, n));
+            }
+            let cost = CostModel::default();
+            let stats = crate::pool::run_plan_launch(plan, &args, nd, &mut pool, &cost, threads)
+                .expect("plan launch runs");
+            let bufs = (0..pool.len())
+                .map(|i| pool.data(MemId(i as u32)).clone())
+                .collect();
+            (stats, bufs)
+        }
+
+        /// Decode twice, fuse one copy, assert the expected fusion count,
+        /// and hold fused execution bit-identical to unfused at 1 and 4
+        /// workers.
+        fn assert_fused_identical(m: &Module, func: OpId, n_accs: usize, expect_fused: u32) {
+            let n = 64_i64;
+            let nd = NdRangeSpec::d1(n, 16);
+            let unfused = decode_kernel(m, func).expect("decodes");
+            let mut fused = decode_kernel(m, func).expect("decodes");
+            let pairs = fuse_plan(&mut fused);
+            assert_eq!(pairs, expect_fused, "unexpected fusion count");
+            assert_eq!(fused.fused_pairs, expect_fused);
+            let (ref_stats, ref_bufs) = run_plan(&unfused, n_accs, n, nd, 1);
+            for threads in [1_usize, 4] {
+                let (stats, bufs) = run_plan(&fused, n_accs, n, nd, threads);
+                assert_eq!(ref_stats, stats, "stats differ at threads={threads}");
+                assert_eq!(ref_bufs, bufs, "buffers differ at threads={threads}");
+            }
+        }
+
+        fn has_instr(plan: &KernelPlan, pred: impl Fn(&Instr) -> bool) -> bool {
+            plan.funcs.iter().any(|f| f.code.iter().any(&pred))
+        }
+
+        /// `a[i] += b[i]`: the second load feeds the `addf` directly — the
+        /// load-accumulate pattern.
+        #[test]
+        fn load_accumulate_fuses_and_executes_identically() {
+            let c = ctx();
+            let mut m = Module::new(&c);
+            let func = build_kernel(&mut m, 2, |b, accs, item| {
+                let gid = sdev::global_id(b, item, 0);
+                let va = sdev::load_via_id(b, accs[0], &[gid]);
+                let vb = sdev::load_via_id(b, accs[1], &[gid]);
+                let sum = arith::addf(b, va, vb);
+                sdev::store_via_id(b, sum, accs[0], &[gid]);
+            });
+            assert_fused_identical(&m, func, 2, 1);
+            let mut fused = decode_kernel(&m, func).unwrap();
+            fuse_plan(&mut fused);
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::LoadBinFloat {
+                    op: FloatBin::Add,
+                    ..
+                }
+            )));
+        }
+
+        /// `a[2*i+1] = a[i] * b[i]`: the `muli`+`addi` linear-addressing
+        /// chain fuses, and so does the `mulf` consuming the second load.
+        #[test]
+        fn muli_addi_chain_fuses_and_executes_identically() {
+            let c = ctx();
+            let mut m = Module::new(&c);
+            let func = build_kernel(&mut m, 2, |b, accs, item| {
+                let gid = sdev::global_id(b, item, 0);
+                let va = sdev::load_via_id(b, accs[0], &[gid]);
+                let vb = sdev::load_via_id(b, accs[1], &[gid]);
+                let prod = arith::mulf(b, va, vb);
+                let two = constant_index(b, 2);
+                let one = constant_index(b, 1);
+                let scaled = arith::muli(b, gid, two);
+                let idx = arith::addi(b, scaled, one);
+                // Keep the write in bounds: (2i+1) % 64.
+                let n = constant_index(b, 64);
+                let wrapped = arith::remsi(b, idx, n);
+                sdev::store_via_id(b, prod, accs[0], &[wrapped]);
+            });
+            assert_fused_identical(&m, func, 2, 2);
+            let mut fused = decode_kernel(&m, func).unwrap();
+            fuse_plan(&mut fused);
+            assert!(has_instr(&fused, |i| matches!(i, Instr::MulAddInt { .. })));
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::LoadBinFloat {
+                    op: FloatBin::Mul,
+                    ..
+                }
+            )));
+        }
+
+        /// `if (i % 2 == 0) a[i] += b[i]`: the `cmpi` feeding the `scf.if`
+        /// fuses with the conditional branch.
+        #[test]
+        fn compare_branch_fuses_and_executes_identically() {
+            let c = ctx();
+            let mut m = Module::new(&c);
+            let func = build_kernel(&mut m, 2, |b, accs, item| {
+                let gid = sdev::global_id(b, item, 0);
+                let two = constant_index(b, 2);
+                let zero = constant_index(b, 0);
+                let rem = arith::remsi(b, gid, two);
+                let is_even = arith::cmpi(b, "eq", rem, zero);
+                let (a0, a1) = (accs[0], accs[1]);
+                sycl_mlir_dialects::scf::build_if(
+                    b,
+                    is_even,
+                    &[],
+                    |inner| {
+                        let va = sdev::load_via_id(inner, a0, &[gid]);
+                        let vb = sdev::load_via_id(inner, a1, &[gid]);
+                        let sum = arith::addf(inner, va, vb);
+                        sdev::store_via_id(inner, sum, a0, &[gid]);
+                        vec![]
+                    },
+                    |_| vec![],
+                );
+            });
+            // cmpi+branch, plus the load-accumulate inside the then-arm.
+            assert_fused_identical(&m, func, 2, 2);
+            let mut fused = decode_kernel(&m, func).unwrap();
+            fuse_plan(&mut fused);
+            assert!(has_instr(&fused, |i| matches!(i, Instr::CmpIBranch { .. })));
+        }
+
+        /// Near miss: `v + v` — the loaded value appears as *both*
+        /// operands, so eliding the intermediate register would be wrong
+        /// (and the read count is 2). Must not fuse.
+        #[test]
+        fn self_accumulate_does_not_fuse() {
+            let c = ctx();
+            let mut m = Module::new(&c);
+            let func = build_kernel(&mut m, 1, |b, accs, item| {
+                let gid = sdev::global_id(b, item, 0);
+                let v = sdev::load_via_id(b, accs[0], &[gid]);
+                let doubled = arith::addf(b, v, v);
+                sdev::store_via_id(b, doubled, accs[0], &[gid]);
+            });
+            assert_fused_identical(&m, func, 1, 0);
+        }
+
+        /// Near miss: the loaded value is consumed twice (once by the
+        /// `addf`, once by a later `mulf`) — eliding its register would
+        /// starve the second reader. Must not fuse.
+        #[test]
+        fn multiply_used_load_does_not_fuse() {
+            let c = ctx();
+            let mut m = Module::new(&c);
+            let func = build_kernel(&mut m, 2, |b, accs, item| {
+                let gid = sdev::global_id(b, item, 0);
+                let va = sdev::load_via_id(b, accs[0], &[gid]);
+                let vb = sdev::load_via_id(b, accs[1], &[gid]);
+                let sum = arith::addf(b, vb, va); // vb read here…
+                let scaled = arith::mulf(b, sum, vb); // …and here
+                sdev::store_via_id(b, scaled, accs[0], &[gid]);
+            });
+            assert_fused_identical(&m, func, 2, 0);
+        }
+
+        /// Near miss: `subf` is not in the fusable set (only the
+        /// commutative `addf`/`mulf` accumulations are) — the adjacent
+        /// load + subf pair must stay unfused.
+        #[test]
+        fn subf_after_load_does_not_fuse() {
+            let c = ctx();
+            let mut m = Module::new(&c);
+            let func = build_kernel(&mut m, 2, |b, accs, item| {
+                let gid = sdev::global_id(b, item, 0);
+                let va = sdev::load_via_id(b, accs[0], &[gid]);
+                let vb = sdev::load_via_id(b, accs[1], &[gid]);
+                let diff = arith::subf(b, va, vb);
+                sdev::store_via_id(b, diff, accs[0], &[gid]);
+            });
+            assert_fused_identical(&m, func, 2, 0);
+        }
+
+        /// Near miss: a `muli` whose product is read twice must keep its
+        /// register.
+        #[test]
+        fn multiply_used_product_does_not_fuse() {
+            let c = ctx();
+            let mut m = Module::new(&c);
+            let func = build_kernel(&mut m, 1, |b, accs, item| {
+                let gid = sdev::global_id(b, item, 0);
+                let two = constant_index(b, 2);
+                let one = constant_index(b, 1);
+                let n = constant_index(b, 64);
+                let p = arith::muli(b, gid, two);
+                let i1 = arith::addi(b, p, one); // p read here…
+                let i2 = arith::addi(b, p, p); // …and twice more here
+                let s = arith::addi(b, i1, i2);
+                let wrapped = arith::remsi(b, s, n);
+                let v = sdev::load_via_id(b, accs[0], &[gid]);
+                sdev::store_via_id(b, v, accs[0], &[wrapped]);
+            });
+            assert_fused_identical(&m, func, 1, 0);
+        }
     }
 }

@@ -17,27 +17,34 @@
 //!   well-formed kernel touch disjoint elements; a kernel that races with
 //!   itself is broken on real hardware too.
 //! * [`PlanPool`] — the memory interface handed to the plan executor: the
-//!   shared view plus a **worker-private arena** for every allocation made
-//!   during execution (private `memref.alloca`, work-group
-//!   `sycl.local.alloca`, dense-constant materializations). Workers never
-//!   mutate shared allocation tables, so there is no allocation lock; the
-//!   high bit of a [`MemId`] routes accesses to the right side.
-//! * [`run_plan_launch`] — the scheduler. Workers claim work-groups from an
-//!   atomic counter (dynamic load balancing), accumulate [`ExecStats`]
-//!   locally, and the per-worker counters are summed after the join.
-//!   Every counter is an integer total over work-groups and the
-//!   coalescing tracker resets per group, so the merged statistics — and
-//!   the cycle model charged from them — are bit-identical for any worker
-//!   count and any interleaving.
+//!   shared view plus two **worker-private arenas** for allocations made
+//!   during execution — a persistent pool for dense-constant
+//!   materializations and a recycling scratch arena for allocas
+//!   (private `memref.alloca`, work-group `sycl.local.alloca`), rewound
+//!   at every work-group boundary so repeated allocas reuse storage
+//!   instead of growing the heap. Workers never mutate shared allocation
+//!   tables, so there is no allocation lock; the top two bits of a
+//!   [`MemId`] route accesses to the right side.
+//! * [`run_plan_batch`] — the scheduler, over a **batch** of mutually
+//!   independent launches (a single launch, [`run_plan_launch`], is the
+//!   batch of one). Workers drain the batch's launches in order, claiming
+//!   work-groups from per-launch atomic cursors (dynamic load balancing
+//!   within a launch, pipelining across launches), accumulate
+//!   [`ExecStats`] locally per launch, and the per-worker counters are
+//!   summed per launch after the join. Every counter is an integer total
+//!   over work-groups and the coalescing tracker resets per group, so
+//!   the merged statistics — and the cycle model charged from them — are
+//!   bit-identical for any worker count and any interleaving.
 //!
 //! Determinism of errors: when several work-groups fail, the error of the
-//! lowest-numbered group among those observed is reported, matching the
-//! sequential engine whenever a single group is at fault.
+//! lexicographically smallest `(launch, group)` among those observed is
+//! reported, matching the sequential engine whenever a single group is at
+//! fault.
 
 use crate::cost::{CostModel, ExecStats};
 use crate::device::{cooperative_rounds, items_of_group, NdRangeSpec};
 use crate::interp::{SimError, WorkGroupCtx};
-use crate::memory::{DataVec, MemId, MemoryPool};
+use crate::memory::{dtype_of, dtype_of_data, zeroed_data, DataVec, MemId, MemoryPool};
 use crate::plan::{KernelPlan, PlanCtx, PlanWorkItem};
 use crate::value::RtValue;
 use std::collections::VecDeque;
@@ -49,6 +56,10 @@ use std::sync::{Condvar, Mutex, OnceLock};
 /// Tag bit distinguishing worker-arena allocations from launch-shared
 /// buffers in a [`MemId`].
 const ARENA_BIT: u32 = 1 << 31;
+
+/// Second tag bit (under [`ARENA_BIT`]): set for the worker's persistent
+/// dense-constant pool, clear for the per-work-group scratch arena.
+const CONST_BIT: u32 = 1 << 30;
 
 // ----------------------------------------------------------------------
 // SharedPool: lock-free views of the pre-launch buffers
@@ -206,64 +217,153 @@ impl<'p> SharedPool<'p> {
 }
 
 // ----------------------------------------------------------------------
-// PlanPool: shared view + worker-private arena
+// PlanPool: shared view + worker-private arenas
 // ----------------------------------------------------------------------
 
-/// The memory interface of one plan-engine worker: launch-shared buffers
-/// plus a private arena for allocations made during execution. Arena
-/// [`MemId`]s carry [`ARENA_BIT`]; allocation results can never escape to
-/// other workers (memrefs are not storable values), so the split is
-/// invisible to kernels.
-pub struct PlanPool<'a, 'p> {
-    shared: &'a SharedPool<'p>,
-    arena: MemoryPool,
+/// A recycling allocator for per-execution allocations (private
+/// `memref.alloca`, work-group `sycl.local.alloca`).
+///
+/// Kernels re-execute the same allocation sites for every work-item of
+/// every work-group, so instead of growing a fresh buffer per execution
+/// (the PR 2 behaviour — one heap allocation per dynamic alloca for the
+/// whole launch), the arena keeps its buffers and a cursor: a reset (at
+/// every work-group boundary) rewinds the cursor, and subsequent
+/// allocations re-zero the existing buffer in place (a memset, no
+/// malloc/free) whenever type and length match — which they always do
+/// after the first group, since the allocation sequence of a kernel is
+/// deterministic. Resetting between groups is sound because memrefs are
+/// not storable values: no allocation can outlive its work-group.
+#[derive(Default)]
+struct ScratchArena {
+    bufs: Vec<DataVec>,
+    cursor: usize,
 }
 
-impl<'a, 'p> PlanPool<'a, 'p> {
-    pub fn new(shared: &'a SharedPool<'p>) -> PlanPool<'a, 'p> {
-        PlanPool {
-            shared,
-            arena: MemoryPool::new(),
+impl ScratchArena {
+    /// Arena-local index of zero-filled storage for `len` elements of
+    /// `elem`, recycling the buffer at the cursor when it matches.
+    fn alloc_zeroed(&mut self, elem: &sycl_mlir_ir::Type, len: usize) -> u32 {
+        let dt = dtype_of(elem);
+        let idx = self.cursor;
+        self.cursor += 1;
+        if let Some(buf) = self.bufs.get_mut(idx) {
+            if buf.len() == len && dtype_of_data(buf) == dt {
+                match buf {
+                    DataVec::F32(v) => v.fill(0.0),
+                    DataVec::F64(v) => v.fill(0.0),
+                    DataVec::I32(v) => v.fill(0),
+                    DataVec::I64(v) => v.fill(0),
+                }
+            } else {
+                *buf = zeroed_data(dt, len);
+            }
+        } else {
+            self.bufs.push(zeroed_data(dt, len));
         }
+        idx as u32
     }
 
-    /// Allocate `data` in the worker arena.
-    pub fn alloc(&mut self, data: DataVec) -> MemId {
-        let id = self.arena.alloc(data);
-        MemId(id.0 | ARENA_BIT)
-    }
-
-    /// Allocate zero-filled arena storage for `len` elements of `elem`.
-    pub fn alloc_zeroed(&mut self, elem: &sycl_mlir_ir::Type, len: usize) -> MemId {
-        let id = self.arena.alloc_zeroed(elem, len);
-        MemId(id.0 | ARENA_BIT)
+    /// Rewind the cursor; buffers are kept for recycling.
+    fn reset(&mut self) {
+        self.cursor = 0;
     }
 
     #[inline]
+    fn buf(&self, idx: u32) -> &DataVec {
+        &self.bufs[idx as usize]
+    }
+
+    #[inline]
+    fn buf_mut(&mut self, idx: u32) -> &mut DataVec {
+        &mut self.bufs[idx as usize]
+    }
+}
+
+/// The memory interface of one plan-engine worker: launch-shared buffers
+/// plus two private arenas for allocations made during execution — a
+/// persistent pool for dense-constant materializations (they are cached
+/// across work-groups and launches) and a recycling scratch arena for allocas,
+/// recycled at every work-group boundary. Arena [`MemId`]s carry
+/// a private tag bit (plus a second one for the persistent side); allocation
+/// results can never escape to other workers (memrefs are not storable
+/// values), so the split is invisible to kernels.
+pub struct PlanPool<'a, 'p> {
+    shared: &'a SharedPool<'p>,
+    consts: MemoryPool,
+    scratch: ScratchArena,
+}
+
+impl<'a, 'p> PlanPool<'a, 'p> {
+    /// A fresh pool (empty arenas) over `shared`.
+    pub fn new(shared: &'a SharedPool<'p>) -> PlanPool<'a, 'p> {
+        PlanPool {
+            shared,
+            consts: MemoryPool::new(),
+            scratch: ScratchArena::default(),
+        }
+    }
+
+    /// Allocate `data` in the worker's persistent constant pool (dense
+    /// constants: survives work-group and launch boundaries).
+    pub fn alloc(&mut self, data: DataVec) -> MemId {
+        let id = self.consts.alloc(data);
+        MemId(id.0 | ARENA_BIT | CONST_BIT)
+    }
+
+    /// Allocate zero-filled scratch storage for `len` elements of `elem`
+    /// (allocas: recycled at the next work-group boundary).
+    pub fn alloc_zeroed(&mut self, elem: &sycl_mlir_ir::Type, len: usize) -> MemId {
+        MemId(self.scratch.alloc_zeroed(elem, len) | ARENA_BIT)
+    }
+
+    /// Load one element (shared buffers or either arena).
+    #[inline]
     pub fn load(&self, id: MemId, index: i64) -> RtValue {
         if id.0 & ARENA_BIT != 0 {
-            self.arena.load(MemId(id.0 & !ARENA_BIT), index)
+            let idx = id.0 & !(ARENA_BIT | CONST_BIT);
+            if id.0 & CONST_BIT != 0 {
+                self.consts.load(MemId(idx), index)
+            } else {
+                self.scratch.buf(idx).get(index as usize)
+            }
         } else {
             self.shared.load(id, index)
         }
     }
 
+    /// Store one element (shared buffers or either arena).
     #[inline]
     pub fn store(&mut self, id: MemId, index: i64, value: RtValue) {
         if id.0 & ARENA_BIT != 0 {
-            self.arena.store(MemId(id.0 & !ARENA_BIT), index, value);
+            let idx = id.0 & !(ARENA_BIT | CONST_BIT);
+            if id.0 & CONST_BIT != 0 {
+                self.consts.store(MemId(idx), index, value);
+            } else {
+                self.scratch.buf_mut(idx).set(index as usize, value);
+            }
         } else {
             self.shared.store(id, index, value);
         }
     }
 
+    /// Element size in bytes (drives transaction coalescing).
     #[inline]
     pub fn elem_bytes(&self, id: MemId) -> usize {
         if id.0 & ARENA_BIT != 0 {
-            self.arena.data(MemId(id.0 & !ARENA_BIT)).elem_bytes()
+            let idx = id.0 & !(ARENA_BIT | CONST_BIT);
+            if id.0 & CONST_BIT != 0 {
+                self.consts.data(MemId(idx)).elem_bytes()
+            } else {
+                self.scratch.buf(idx).elem_bytes()
+            }
         } else {
             self.shared.elem_bytes(id)
         }
+    }
+
+    /// Recycle the scratch arena (call between work-groups).
+    pub(crate) fn next_work_group(&mut self) {
+        self.scratch.reset();
     }
 }
 
@@ -273,13 +373,18 @@ impl<'a, 'p> PlanPool<'a, 'p> {
 /// (unlike the tree-walk [`crate::interp::ExecCtx`]) this context carries
 /// no `&Module` — which is what lets it cross thread boundaries.
 pub struct PlanExecCtx<'a, 'p> {
+    /// The worker's memory interface (shared buffers + private arenas).
     pub pool: PlanPool<'a, 'p>,
+    /// The cost model charged per dynamic event.
     pub cost: &'a CostModel,
+    /// Statistics accumulated by this worker (merged after the join).
     pub stats: ExecStats,
+    /// Per-work-group state (coalescing tracker).
     pub wg: WorkGroupCtx,
 }
 
 impl<'a, 'p> PlanExecCtx<'a, 'p> {
+    /// A fresh worker context over `shared` with zeroed statistics.
     pub fn new(shared: &'a SharedPool<'p>, cost: &'a CostModel) -> PlanExecCtx<'a, 'p> {
         PlanExecCtx {
             pool: PlanPool::new(shared),
@@ -289,9 +394,11 @@ impl<'a, 'p> PlanExecCtx<'a, 'p> {
         }
     }
 
-    /// Reset work-group-shared state (call between work-groups).
+    /// Reset work-group-shared state and recycle the scratch arena (call
+    /// between work-groups).
     pub fn next_work_group(&mut self) {
         self.wg.reset();
+        self.pool.next_work_group();
     }
 }
 
@@ -377,25 +484,47 @@ fn worker_main() {
 // The work-group scheduler
 // ----------------------------------------------------------------------
 
-/// One worker's outcome: its accumulated counters and the first failing
-/// work-group it observed (linear group index + error).
-struct WorkerResult {
-    stats: ExecStats,
-    error: Option<(usize, SimError)>,
+/// One kernel launch of a batch handed to [`run_plan_batch`]: a decoded
+/// plan, its bound arguments and its geometry. All launches of a batch
+/// must be mutually independent (no data hazards) — the runtime's queue
+/// scheduler guarantees this by batching only dependency-free levels of
+/// its topological order.
+pub struct PlanLaunch<'a> {
+    /// The decoded (possibly fused) kernel.
+    pub plan: &'a KernelPlan,
+    /// Kernel arguments, excluding the trailing item parameter.
+    pub args: &'a [RtValue],
+    /// Launch geometry.
+    pub nd: NdRangeSpec,
 }
 
-/// Everything a launch shares with its pool jobs. Lives on the launching
-/// thread's stack for the duration of [`run_plan_launch`]; the completion
-/// latch guarantees no job outlives it.
-struct LaunchState<'a, 'p> {
+/// Per-launch scheduling state: the geometry plus the atomic work-group
+/// cursor workers claim from.
+struct LaunchUnit<'a> {
     plan: &'a KernelPlan,
     args: &'a [RtValue],
     nd: NdRangeSpec,
     groups: [i64; 3],
     total: usize,
+    /// Claim cursor: the next unclaimed linear work-group index.
+    next: AtomicUsize,
+}
+
+/// One worker's outcome: its per-launch accumulated counters and the
+/// first failing work-group it observed (launch index, linear group
+/// index, error).
+struct WorkerResult {
+    stats: Vec<ExecStats>,
+    error: Option<(usize, usize, SimError)>,
+}
+
+/// Everything a batch shares with its pool jobs. Lives on the launching
+/// thread's stack for the duration of [`run_plan_batch`]; the completion
+/// latch guarantees no job outlives it.
+struct LaunchState<'a, 'p> {
+    units: Vec<LaunchUnit<'a>>,
     shared: &'a SharedPool<'p>,
     cost: &'a CostModel,
-    next: AtomicUsize,
     abort: AtomicBool,
     results: Mutex<Vec<WorkerResult>>,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
@@ -467,39 +596,39 @@ fn run_group(
     cooperative_rounds(&mut items, group, |wi| wi.run(plan, ctx, pctx))
 }
 
-/// Claim-and-run loop of one worker thread.
+/// Claim-and-run loop of one worker thread: drain the batch's launches in
+/// order, claiming work-groups from each launch's atomic cursor. The
+/// worker's memory interface — and with it the recyclable scratch arena —
+/// is reused across every launch of the batch; only the statistics
+/// accumulator is swapped per launch (counters must merge per launch).
 fn worker_loop(launch: &LaunchState<'_, '_>) -> WorkerResult {
     let mut ctx = PlanExecCtx::new(launch.shared, launch.cost);
-    let mut pctx = PlanCtx::new(launch.plan);
+    let mut stats = vec![ExecStats::default(); launch.units.len()];
     let mut error = None;
-    loop {
-        if launch.abort.load(Ordering::Relaxed) {
-            break;
+    'units: for (li, unit) in launch.units.iter().enumerate() {
+        let mut pctx = PlanCtx::new(unit.plan);
+        loop {
+            if launch.abort.load(Ordering::Relaxed) {
+                stats[li] = std::mem::take(&mut ctx.stats);
+                break 'units;
+            }
+            let idx = unit.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= unit.total {
+                break;
+            }
+            let group = group_of(unit.groups, idx);
+            if let Err(e) = run_group(unit.plan, unit.args, unit.nd, group, &mut ctx, &mut pctx) {
+                error = Some((li, idx, e));
+                launch.abort.store(true, Ordering::Relaxed);
+                stats[li] = std::mem::take(&mut ctx.stats);
+                break 'units;
+            }
+            ctx.next_work_group();
+            pctx.next_work_group();
         }
-        let idx = launch.next.fetch_add(1, Ordering::Relaxed);
-        if idx >= launch.total {
-            break;
-        }
-        let group = group_of(launch.groups, idx);
-        if let Err(e) = run_group(
-            launch.plan,
-            launch.args,
-            launch.nd,
-            group,
-            &mut ctx,
-            &mut pctx,
-        ) {
-            error = Some((idx, e));
-            launch.abort.store(true, Ordering::Relaxed);
-            break;
-        }
-        ctx.next_work_group();
-        pctx.next_work_group();
+        stats[li] = std::mem::take(&mut ctx.stats);
     }
-    WorkerResult {
-        stats: ctx.stats,
-        error,
-    }
+    WorkerResult { stats, error }
 }
 
 /// Execute a pre-decoded [`KernelPlan`] over `nd` on `threads` workers
@@ -515,22 +644,56 @@ pub fn run_plan_launch(
     cost: &CostModel,
     threads: usize,
 ) -> Result<ExecStats, SimError> {
-    nd.validate()?;
-    let groups = nd.groups();
-    let total = (groups[0] * groups[1] * groups[2]) as usize;
+    let mut stats = run_plan_batch(&[PlanLaunch { plan, args, nd }], pool_mem, cost, threads)?;
+    Ok(stats.pop().expect("one launch in, one stats out"))
+}
+
+/// Execute a batch of mutually independent plan launches concurrently on
+/// `threads` workers, sharing one worker pool across all of them.
+///
+/// Every worker drains the launches in order through per-launch atomic
+/// claim cursors: while early launches still have unclaimed work-groups,
+/// all workers help there; as a launch runs dry, workers move on to the
+/// next instead of idling at a join barrier — launch-level parallelism on
+/// top of PR 2's work-group-level parallelism. Statistics are accumulated
+/// per worker *per launch* and merged per launch after the join, so every
+/// launch's [`ExecStats`] (and the cycle model charged from it) is
+/// bit-identical to running the launches one at a time, for every worker
+/// count and any interleaving.
+///
+/// When several work-groups fail, the error of the lexicographically
+/// smallest `(launch, group)` among those observed is reported, matching
+/// sequential execution whenever a single group is at fault.
+pub fn run_plan_batch(
+    launches: &[PlanLaunch<'_>],
+    pool_mem: &mut MemoryPool,
+    cost: &CostModel,
+    threads: usize,
+) -> Result<Vec<ExecStats>, SimError> {
+    let mut units = Vec::with_capacity(launches.len());
+    let mut total_groups = 0_usize;
+    for l in launches {
+        l.nd.validate()?;
+        let groups = l.nd.groups();
+        let total = (groups[0] * groups[1] * groups[2]) as usize;
+        total_groups += total;
+        units.push(LaunchUnit {
+            plan: l.plan,
+            args: l.args,
+            nd: l.nd,
+            groups,
+            total,
+            next: AtomicUsize::new(0),
+        });
+    }
     let shared = SharedPool::new(pool_mem);
-    // Never enlist more workers than there are work-groups.
-    let workers = threads.max(1).min(total.max(1));
+    // Never enlist more workers than there are work-groups in the batch.
+    let workers = threads.max(1).min(total_groups.max(1));
 
     let state = LaunchState {
-        plan,
-        args,
-        nd,
-        groups,
-        total,
+        units,
         shared: &shared,
         cost,
-        next: AtomicUsize::new(0),
         abort: AtomicBool::new(false),
         results: Mutex::new(Vec::with_capacity(workers)),
         panic: Mutex::new(None),
@@ -567,23 +730,30 @@ pub fn run_plan_launch(
         resume_unwind(payload);
     }
 
-    let mut stats = ExecStats::default();
-    let mut first_error: Option<(usize, SimError)> = None;
+    let mut merged = vec![ExecStats::default(); launches.len()];
+    let mut first_error: Option<(usize, usize, SimError)> = None;
     for r in state.results.into_inner().unwrap() {
-        stats.add(&r.stats);
-        if let Some((idx, e)) = r.error {
-            if first_error.as_ref().is_none_or(|(fi, _)| idx < *fi) {
-                first_error = Some((idx, e));
+        for (m, s) in merged.iter_mut().zip(&r.stats) {
+            m.add(s);
+        }
+        if let Some((li, gi, e)) = r.error {
+            if first_error
+                .as_ref()
+                .is_none_or(|(fl, fg, _)| (li, gi) < (*fl, *fg))
+            {
+                first_error = Some((li, gi, e));
             }
         }
     }
-    if let Some((_, e)) = first_error {
+    if let Some((_, _, e)) = first_error {
         return Err(e);
     }
-    stats.work_groups = total as u64;
-    stats.work_items = nd.work_items() as u64;
-    stats.charge(cost);
-    Ok(stats)
+    for (m, unit) in merged.iter_mut().zip(&state.units) {
+        m.work_groups = unit.total as u64;
+        m.work_items = unit.nd.work_items() as u64;
+        m.charge(cost);
+    }
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -630,6 +800,46 @@ mod tests {
         // Writes through the shared view landed in the original pool.
         assert_eq!(pool.load(f, 1), RtValue::F32(1.5));
         assert_eq!(pool.load(l, 0), RtValue::Int(-3));
+    }
+
+    #[test]
+    fn scratch_arena_recycles_buffers_across_work_groups() {
+        let ctx = sycl_mlir_ir::Context::new();
+        let f32t = ctx.f32_type();
+        let mut pool = MemoryPool::new();
+        let shared = SharedPool::new(&mut pool);
+        let mut pp = PlanPool::new(&shared);
+
+        // A dense-constant allocation persists across group boundaries…
+        let k = pp.alloc(DataVec::F32(vec![4.5; 2]));
+        assert_ne!(k.0 & ARENA_BIT, 0);
+        assert_ne!(k.0 & CONST_BIT, 0);
+
+        // …while alloca scratch is recycled: same id, re-zeroed storage.
+        let a = pp.alloc_zeroed(&f32t, 3);
+        assert_ne!(a.0 & ARENA_BIT, 0);
+        assert_eq!(a.0 & CONST_BIT, 0);
+        pp.store(a, 1, RtValue::F32(7.0));
+        assert_eq!(pp.load(a, 1), RtValue::F32(7.0));
+
+        pp.next_work_group();
+        let a2 = pp.alloc_zeroed(&f32t, 3);
+        assert_eq!(a2, a, "matching allocation is recycled");
+        assert_eq!(
+            pp.load(a2, 1),
+            RtValue::F32(0.0),
+            "recycled storage re-zeroed"
+        );
+
+        // A shape/type mismatch at the cursor replaces the buffer.
+        pp.next_work_group();
+        let b = pp.alloc_zeroed(&ctx.i64_type(), 5);
+        assert_eq!(b, a, "same slot, new storage");
+        assert_eq!(pp.load(b, 4), RtValue::Int(0));
+        assert_eq!(pp.elem_bytes(b), 8);
+
+        // The constant survived all resets.
+        assert_eq!(pp.load(k, 0), RtValue::F32(4.5));
     }
 
     #[test]

@@ -19,10 +19,15 @@ pub enum Space {
 /// shape (rank ≤ 3; `-1` extents only for rank-1 dynamic views).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct MemRefVal {
+    /// Backing allocation.
     pub mem: MemId,
+    /// Element offset of the view's origin inside the allocation.
     pub offset: i64,
+    /// Static extents, padded with 1s to rank 3.
     pub shape: [i64; 3],
+    /// Number of meaningful dimensions.
     pub rank: u32,
+    /// Memory space, for the cost model.
     pub space: Space,
 }
 
@@ -46,12 +51,14 @@ impl MemRefVal {
 /// An accessor at run time: a window into a global allocation.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct AccessorVal {
+    /// Backing allocation.
     pub mem: MemId,
     /// Full range of the accessor (the buffer range for non-ranged
     /// accessors).
     pub range: [i64; 3],
     /// Access offset (ranged accessors).
     pub offset: [i64; 3],
+    /// Number of meaningful dimensions.
     pub rank: u32,
     /// Loads served from the constant cache (host-propagated data).
     pub constant: bool,
@@ -71,15 +78,22 @@ impl AccessorVal {
 /// The position bundle handed to a kernel as its `item`/`nd_item` argument.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct NdItemVal {
+    /// Global position, per dimension.
     pub global_id: [i64; 3],
+    /// Position inside the work-group, per dimension.
     pub local_id: [i64; 3],
+    /// Work-group position, per dimension.
     pub group_id: [i64; 3],
+    /// Global extent, per dimension.
     pub global_range: [i64; 3],
+    /// Work-group extent, per dimension.
     pub local_range: [i64; 3],
+    /// Number of meaningful dimensions.
     pub rank: u32,
 }
 
 impl NdItemVal {
+    /// Number of work-groups along dimension `d`.
     pub fn group_range(&self, d: usize) -> i64 {
         self.global_range[d] / self.local_range[d]
     }
@@ -106,7 +120,9 @@ impl NdItemVal {
 /// A small fixed-size vector value (`!sycl.id<n>` / `!sycl.range<n>`).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct VecVal {
+    /// Components, padded with 0s to rank 3.
     pub data: [i64; 3],
+    /// Number of meaningful components.
     pub rank: u32,
 }
 
@@ -115,22 +131,28 @@ pub struct VecVal {
 pub enum RtValue {
     /// Integers of any width, `index`, and `i1`.
     Int(i64),
+    /// A 32-bit float.
     F32(f32),
+    /// A 64-bit float.
     F64(f64),
     /// `!sycl.id<n>` or `!sycl.range<n>`.
     Vec(VecVal),
     /// `!sycl.nd_range<n>`: global + local ranges.
     NdRange(VecVal, VecVal),
+    /// A memref view.
     MemRef(MemRefVal),
+    /// A runtime accessor.
     Accessor(AccessorVal),
     /// `!sycl.item<n>` / `!sycl.nd_item<n>` / `!sycl.group<n>`.
     Item(NdItemVal),
     /// Opaque host pointer (host code is not executed by this simulator).
     Ptr(u64),
+    /// The value of ops with no results.
     Unit,
 }
 
 impl RtValue {
+    /// The integer payload, if this is an `Int`.
     pub fn as_int(self) -> Option<i64> {
         match self {
             RtValue::Int(v) => Some(v),
@@ -138,6 +160,7 @@ impl RtValue {
         }
     }
 
+    /// The float payload widened to `f64`, if this is a float.
     pub fn as_f64(self) -> Option<f64> {
         match self {
             RtValue::F32(v) => Some(v as f64),
@@ -146,6 +169,7 @@ impl RtValue {
         }
     }
 
+    /// The integer payload as a truthiness test, if this is an `Int`.
     pub fn as_bool(self) -> Option<bool> {
         match self {
             RtValue::Int(v) => Some(v != 0),
@@ -153,6 +177,7 @@ impl RtValue {
         }
     }
 
+    /// The memref payload, if this is a `MemRef`.
     pub fn as_memref(self) -> Option<MemRefVal> {
         match self {
             RtValue::MemRef(v) => Some(v),
@@ -160,6 +185,7 @@ impl RtValue {
         }
     }
 
+    /// The accessor payload, if this is an `Accessor`.
     pub fn as_accessor(self) -> Option<AccessorVal> {
         match self {
             RtValue::Accessor(v) => Some(v),
@@ -167,6 +193,7 @@ impl RtValue {
         }
     }
 
+    /// The item payload, if this is an `Item`.
     pub fn as_item(self) -> Option<NdItemVal> {
         match self {
             RtValue::Item(v) => Some(v),
@@ -174,6 +201,7 @@ impl RtValue {
         }
     }
 
+    /// The vector payload, if this is a `Vec`.
     pub fn as_vec(self) -> Option<VecVal> {
         match self {
             RtValue::Vec(v) => Some(v),

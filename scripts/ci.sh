@@ -31,37 +31,50 @@ cargo build --release
 step "cargo test"
 cargo test -q
 
+step "cargo doc --no-deps (deny warnings)"
+# Catches broken intra-doc links; crates/sim and crates/runtime also deny
+# missing_docs at compile time.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 if [[ "$fast" == 1 ]]; then
   echo "(--fast: skipping bench smoke)"
   exit 0
 fi
 
 # ----------------------------------------------------------------------
-# Bench smoke: the full evaluation sweep in quick mode, sequential and on
-# 4 worker threads. Asserts the determinism contract (bit-identical
-# tables) and prints the wall-time trajectory so a perf regression is
+# Bench smoke: the full evaluation sweep in quick mode — sequential, on 4
+# worker threads, and with plan fusion disabled. Asserts the determinism
+# contract (bit-identical tables across threads AND across fused/unfused
+# execution) and prints the wall-time trajectory so a perf regression is
 # visible in the CI log.
 # ----------------------------------------------------------------------
-step "bench smoke: repro_all --quick (threads=1 vs threads=4)"
+step "bench smoke: repro_all --quick (threads=1 vs threads=4 vs fuse=off)"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 ./target/release/repro_all --quick --threads=1 | tee "$tmp/t1.out"
 ./target/release/repro_all --quick --threads=4 | tee "$tmp/t4.out"
+./target/release/repro_all --quick --threads=1 --fuse=off --batch=off | tee "$tmp/nofuse.out"
 
 # The wall-time line is the only legitimate difference between runs.
 grep -v '^repro_wall_time_seconds:' "$tmp/t1.out" > "$tmp/t1.tables"
 grep -v '^repro_wall_time_seconds:' "$tmp/t4.out" > "$tmp/t4.tables"
+grep -v '^repro_wall_time_seconds:' "$tmp/nofuse.out" > "$tmp/nofuse.tables"
 if ! diff -u "$tmp/t1.tables" "$tmp/t4.tables"; then
   echo "FAIL: repro_all tables differ between --threads=1 and --threads=4" >&2
   exit 1
 fi
-echo "tables bit-identical across thread counts"
+if ! diff -u "$tmp/t1.tables" "$tmp/nofuse.tables"; then
+  echo "FAIL: repro_all tables differ between fused and unfused execution" >&2
+  exit 1
+fi
+echo "tables bit-identical across thread counts and fuse settings"
 
 echo
-echo "wall-time regression check (PR 1 plan-engine baseline: 1.38 s):"
-grep '^repro_wall_time_seconds:' "$tmp/t1.out" | sed 's/^/  threads=1  /'
-grep '^repro_wall_time_seconds:' "$tmp/t4.out" | sed 's/^/  threads=4  /'
+echo "wall-time regression check (PR 2 baselines: 1.28 s threads=1, 1.02 s threads=4):"
+grep '^repro_wall_time_seconds:' "$tmp/t1.out"     | sed 's/^/  threads=1          /'
+grep '^repro_wall_time_seconds:' "$tmp/t4.out"     | sed 's/^/  threads=4          /'
+grep '^repro_wall_time_seconds:' "$tmp/nofuse.out" | sed 's/^/  fuse=off,batch=off /'
 
 echo
 echo "CI gate passed."

@@ -184,6 +184,134 @@ mod engine_differential {
         }
     }
 
+    /// Every workload, under every compilation flow, must produce
+    /// identical outputs, statistics and cycles with *all* executor
+    /// upgrades engaged at once — plan engine, peephole fusion, 4 worker
+    /// threads and launch batching — as under the tree-walk reference
+    /// with every knob off. This is the "everything on" column of the
+    /// differential sweep: any fusion pattern or batch schedule that
+    /// changes semantics anywhere in the suite fails here.
+    #[test]
+    fn fused_batched_parallel_matches_tree_walk_on_all_workloads() {
+        let ref_dev = Device::with_engine(Engine::TreeWalk)
+            .threads(1)
+            .fuse(false)
+            .batch(false);
+        let opt_dev = Device::with_engine(Engine::Plan)
+            .threads(4)
+            .fuse(true)
+            .batch(true);
+        for w in all_workloads() {
+            let size = quick_size(&w);
+            for kind in FlowKind::all() {
+                let label = format!("{} [{}] at size {size}", w.name, kind.name());
+                let reference = run_workload_on(&w, size, kind, &ref_dev);
+                let optimized = run_workload_on(&w, size, kind, &opt_dev);
+                match (reference, optimized) {
+                    (Ok((rres, rrt)), Ok((ores, ort))) => {
+                        assert_eq!(rres.valid, ores.valid, "validation differs: {label}");
+                        assert_eq!(rres.stats, ores.stats, "stats differ: {label}");
+                        assert!(
+                            cycles_eq(rres.cycles, ores.cycles),
+                            "cycles differ: {label}: {} vs {}",
+                            rres.cycles,
+                            ores.cycles
+                        );
+                        for (i, (rb, ob)) in rrt.buffers.iter().zip(&ort.buffers).enumerate() {
+                            assert_eq!(rb.data, ob.data, "buffer {i} contents differ: {label}");
+                        }
+                        assert_eq!(rrt.usm, ort.usm, "usm contents differ: {label}");
+                    }
+                    // Both failing is equivalence enough (see the threads
+                    // sweep above for why exact error identity is only
+                    // guaranteed with a single failing group).
+                    (Err(_), Err(_)) => {}
+                    (r, o) => panic!(
+                        "one configuration failed, the other did not: {label}: ref={r:?} opt={o:?}",
+                        r = r.is_ok(),
+                        o = o.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Fusion alone (sequential, unbatched) must also hold bit-identical
+    /// against the unfused plan engine — isolates the fusion pass from
+    /// the scheduling upgrades.
+    #[test]
+    fn fusion_matches_unfused_plan_on_all_workloads() {
+        let unfused = Device::with_engine(Engine::Plan)
+            .threads(1)
+            .fuse(false)
+            .batch(false);
+        let fused = Device::with_engine(Engine::Plan)
+            .threads(1)
+            .fuse(true)
+            .batch(false);
+        for w in all_workloads() {
+            let size = quick_size(&w);
+            for kind in FlowKind::all() {
+                let label = format!("{} [{}] at size {size}", w.name, kind.name());
+                let u = run_workload_on(&w, size, kind, &unfused);
+                let f = run_workload_on(&w, size, kind, &fused);
+                match (u, f) {
+                    (Ok((ures, urt)), Ok((fres, frt))) => {
+                        assert_eq!(ures.valid, fres.valid, "validation differs: {label}");
+                        assert_eq!(ures.stats, fres.stats, "stats differ: {label}");
+                        assert!(
+                            cycles_eq(ures.cycles, fres.cycles),
+                            "cycles differ: {label}: {} vs {}",
+                            ures.cycles,
+                            fres.cycles
+                        );
+                        for (i, (ub, fb)) in urt.buffers.iter().zip(&frt.buffers).enumerate() {
+                            assert_eq!(ub.data, fb.data, "buffer {i} contents differ: {label}");
+                        }
+                        assert_eq!(urt.usm, frt.usm, "usm contents differ: {label}");
+                    }
+                    (Err(ue), Err(fe)) => {
+                        assert_eq!(ue, fe, "configurations fail differently: {label}")
+                    }
+                    (u, f) => panic!(
+                        "one configuration failed, the other did not: {label}: unfused={u:?} fused={f:?}",
+                        u = u.is_ok(),
+                        f = f.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The benchsuite's kernels must actually exercise the fusion pass —
+    /// otherwise the superinstructions are dead code and the measured
+    /// speedup is noise.
+    #[test]
+    fn fusion_fires_on_benchsuite_kernels() {
+        use sycl_mlir_repro::sim::fuse_plan;
+        let mut total_fused = 0_u32;
+        for w in all_workloads() {
+            let app = (w.build)(quick_size(&w));
+            let program = sycl_mlir_repro::runtime::compile_program(FlowKind::SyclMlir, app.module)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let m = &program.module;
+            let device_mod = m
+                .lookup_symbol(m.top(), sycl_mlir_repro::sycl::DEVICE_MODULE_SYM)
+                .expect("device module");
+            for f in m.funcs_in(device_mod) {
+                if sycl_mlir_repro::sycl::device::is_kernel(m, f) {
+                    if let Ok(mut plan) = decode_kernel(m, f) {
+                        total_fused += fuse_plan(&mut plan);
+                    }
+                }
+            }
+        }
+        assert!(
+            total_fused > 20,
+            "expected the fusion patterns to fire broadly across the suite, got {total_fused}"
+        );
+    }
+
     /// Re-running a workload on the same device must serve the repeat
     /// launches of unmutated kernels from the cross-launch plan cache.
     #[test]
