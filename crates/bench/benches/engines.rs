@@ -89,6 +89,33 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The overlap axis: level-barrier batching vs the out-of-order launch
+/// scheduler, at 4 workers, on the stencil workload with the longest
+/// dependency chains (heat transfer: 50 dependent launches).
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlap");
+    group.sample_size(10);
+    for name in ["1D HeatTransfer (buffer)", "jacobi"] {
+        let (spec, size) = workload(name);
+        for overlap in [false, true] {
+            let device = Device::with_engine(Engine::Plan)
+                .threads(4)
+                .batch(true)
+                .overlap(overlap);
+            let label = if overlap { "on" } else { "off" };
+            group.bench_function(format!("{name}/overlap-{label}"), |b| {
+                b.iter(|| {
+                    let (r, _) = run_workload_on(&spec, size, FlowKind::SyclMlir, &device)
+                        .expect("workload runs");
+                    assert!(r.valid);
+                    r.cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The threads axis: the plan engine's work-group pool at 1/2/4/8 workers.
 /// Results are bit-identical across the axis (asserted differentially in
 /// `tests/differential.rs`); only wall time moves.
@@ -117,6 +144,7 @@ criterion_group!(
     bench_engines,
     bench_fuse,
     bench_batch,
+    bench_overlap,
     bench_threads
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! SYCL-Bench, SYCL-MLIR achieves a geo.-mean speedup of 1.18x over DPC++
 //! and also performs better than AdaptiveCpp (geo.-mean 1.13x)").
 
-use sycl_mlir_bench::{print_table, quick_flag, run_category};
+use sycl_mlir_bench::{print_table, quick_flag, run_category_on};
 use sycl_mlir_benchsuite::{geo_mean, Category};
 
 fn main() {
@@ -13,9 +13,12 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let quick = quick_flag();
-    let fig2 = run_category(Category::SingleKernel, quick);
-    let fig3 = run_category(Category::Polybench, quick);
-    let stencil = run_category(Category::Stencil, quick);
+    // One device for the whole sweep: the `--profile` accumulators live
+    // on the device that ran the workloads.
+    let device = sycl_mlir_bench::device_from_args();
+    let fig2 = run_category_on(Category::SingleKernel, quick, &device);
+    let fig3 = run_category_on(Category::Polybench, quick, &device);
+    let stencil = run_category_on(Category::Stencil, quick, &device);
 
     print_table("Fig. 2: single-kernel benchmarks", &fig2);
     print_table("Fig. 3: polybench benchmarks", &fig3);
@@ -44,11 +47,18 @@ fn main() {
         geo_mean(&acpp)
     );
 
+    // The `--profile` dump: per-opcode execution totals plus the hottest
+    // dataflow-adjacent pairs — the ranked candidates for the next
+    // fusion superinstruction.
+    if let Some(report) = device.profile_report() {
+        println!("\n{report}");
+    }
+
     // Machine-readable wall-time line for the perf trajectory in the
     // BENCH_*.json harness records. Covers the whole sweep (compilation of
     // every flow + simulation); simulation dominates and is what the
     // engine/thread choice moves.
-    let device = sycl_mlir_bench::device_from_args();
+    //
     // The tree-walk reference always runs sequentially, so record the
     // worker count that actually applied, not the requested flag — a
     // `--engine=tree --threads=4` run must not masquerade as a 4-thread
@@ -57,17 +67,19 @@ fn main() {
         sycl_mlir_sim::Engine::Plan => device.threads,
         sycl_mlir_sim::Engine::TreeWalk => 1,
     };
-    // Fusion and batching are plan-engine features; report what applied.
+    // Fusion, batching and overlap are plan-engine features; report what
+    // applied (overlap requires batch).
     let on_off = |b: bool| if b { "on" } else { "off" };
-    let (fuse, batch) = match device.engine {
-        sycl_mlir_sim::Engine::Plan => (device.fuse, device.batch),
-        sycl_mlir_sim::Engine::TreeWalk => (false, false),
+    let (fuse, batch, overlap) = match device.engine {
+        sycl_mlir_sim::Engine::Plan => (device.fuse, device.batch, device.batch && device.overlap),
+        sycl_mlir_sim::Engine::TreeWalk => (false, false, false),
     };
     println!(
-        "\nrepro_wall_time_seconds: {:.3} (engine: {}, threads: {effective_threads}, fuse: {}, batch: {}, quick: {quick})",
+        "\nrepro_wall_time_seconds: {:.3} (engine: {}, threads: {effective_threads}, fuse: {}, batch: {}, overlap: {}, quick: {quick})",
         t0.elapsed().as_secs_f64(),
         device.engine.name(),
         on_off(fuse),
         on_off(batch),
+        on_off(overlap),
     );
 }

@@ -43,13 +43,19 @@ impl Row {
 /// ([`engine_flag`], [`threads_flag`]) or, absent those, the device
 /// defaults.
 pub fn run_category(category: Category, quick: bool) -> Vec<Row> {
-    let device = device_from_args();
+    run_category_on(category, quick, &device_from_args())
+}
+
+/// [`run_category`] on an explicit device — lets a caller thread one
+/// device through a whole sweep (the `--profile` accumulators live on the
+/// device, so the final report must come from the device that ran).
+pub fn run_category_on(category: Category, quick: bool, device: &Device) -> Vec<Row> {
     let mut rows = Vec::new();
     for w in sycl_mlir_benchsuite::all_workloads() {
         if w.category != category || !w.in_figure {
             continue;
         }
-        rows.push(run_row(&w, quick, &device));
+        rows.push(run_row(&w, quick, device));
     }
     rows
 }
@@ -148,6 +154,11 @@ flag            env variable           values        default  effect
                                                               superinstructions (plan engine only)
 --batch=...     SYCL_MLIR_SIM_BATCH    on | off      on       run dependency-free command groups of a
                                                               queue concurrently (plan engine only)
+--overlap=...   SYCL_MLIR_SIM_OVERLAP  on | off      on       out-of-order launch scheduling: a command
+                                                              group starts as soon as its own deps
+                                                              retire (off = PR 3 level barriers)
+--profile=...   SYCL_MLIR_SIM_PROFILE  on | off      off      count executed plan instructions and dump
+                                                              per-opcode totals + fusion candidates
 --quick         -                      -             off      shrink problem sizes for a fast sweep";
 
 /// Print usage for a `repro_*` binary and exit when `--help`/`-h` was
@@ -159,7 +170,7 @@ pub fn handle_help_flag(binary: &str, purpose: &str) {
         return;
     }
     println!("{binary} — {purpose}\n");
-    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|off] [--batch=on|off]\n");
+    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|off] [--batch=on|off] [--overlap=on|off] [--profile=on|off]\n");
     println!("{KNOB_TABLE}");
     println!(
         "\nFlags win over environment variables. Outputs, statistics and cycle\ntables are bit-identical across every knob combination (held by\ntests/differential.rs); the knobs only change wall time."
@@ -195,6 +206,18 @@ pub fn fuse_flag() -> Option<bool> {
 /// dependency-free command groups).
 pub fn batch_flag() -> Option<bool> {
     on_off_flag("batch")
+}
+
+/// Parse the shared `--overlap=on|off` flag (out-of-order launch
+/// scheduling: overlap dependency levels, off = PR 3 level barriers).
+pub fn overlap_flag() -> Option<bool> {
+    on_off_flag("overlap")
+}
+
+/// Parse the shared `--profile=on|off` flag (per-instruction execution
+/// counts; dumped after the sweep to rank fusion candidates).
+pub fn profile_flag() -> Option<bool> {
+    on_off_flag("profile")
 }
 
 /// Parse the shared `--engine=tree|plan` flag. Unknown spellings abort
@@ -255,6 +278,12 @@ pub fn device_from_args() -> Device {
     }
     if let Some(batch) = batch_flag() {
         device = device.batch(batch);
+    }
+    if let Some(overlap) = overlap_flag() {
+        device = device.overlap(overlap);
+    }
+    if let Some(profile) = profile_flag() {
+        device = device.profile(profile);
     }
     device
 }

@@ -2,11 +2,14 @@
 //! state and the simulated device together.
 
 use crate::buffer::SyclRuntime;
-use crate::queue::{CgArg, Queue};
-use std::collections::HashSet;
+use crate::queue::{CgArg, HostOp, Queue};
+use std::collections::{HashMap, HashSet};
 use sycl_mlir_core::{CompileOutcome, Flow, FlowKind};
 use sycl_mlir_ir::{Module, OpId};
-use sycl_mlir_sim::{AccessorVal, BatchLaunch, Device, ExecStats, MemoryPool, RtValue, SimError};
+use sycl_mlir_sim::{
+    AccessorVal, BatchLaunch, DataVec, Device, ExecStats, LaunchDag, MemId, MemoryPool, RtValue,
+    SimError,
+};
 
 /// A compiled SYCL application (joint module + flow that produced it).
 pub struct Program {
@@ -83,17 +86,26 @@ impl RunReport {
 /// Execute every command group of `queue` on `device`, reading/writing the
 /// runtime's buffers.
 ///
-/// Command groups run batch by batch through the queue scheduler's
-/// dependency levels ([`Queue::batches`]): groups of one batch carry no
-/// hazard against each other, so the device may overlap their execution
-/// (plan engine; see [`Device::launch_batch`]). With batching disabled on
-/// the device, every group forms its own batch — the original sequential
-/// schedule. Either way the report lists kernels in submission order and
-/// all statistics are bit-identical.
+/// The queue exports its full hazard DAG ([`Queue::dep_graph`]) and the
+/// whole program is handed to the device's out-of-order scheduler
+/// ([`Device::launch_graph`]): a launch starts the moment its own
+/// dependencies retire. The device's knobs select weaker schedules from
+/// the same graph — `overlap` off strengthens it to level barriers (the
+/// PR 3 batch schedule), `batch` off to the submission-order chain — and
+/// every schedule produces bit-identical buffers, statistics and report
+/// tables; only wall time differs.
+///
+/// Host tasks ([`crate::queue::HostOp`]) execute on the calling thread at
+/// their scheduled point; the current scheduler treats them as
+/// synchronization points, splitting the kernel sequence into launch-graph
+/// segments around them.
 ///
 /// # Errors
 ///
 /// Fails on unresolved kernels, interpreter errors, or divergent barriers.
+/// With several failing work-groups anywhere in the program, the error of
+/// the lexicographically smallest `(submission, work-group)` position is
+/// reported, identically under every schedule and thread count.
 pub fn run(
     program: &mut Program,
     runtime: &mut SyclRuntime,
@@ -109,12 +121,17 @@ pub fn run(
     // the module and the seeding command group's geometry/buffer ids —
     // never execution results — so hoisting it is unobservable; doing it
     // in submission order guarantees the same command group seeds a
-    // kernel's one-shot specialization whether or not batching reorders
+    // kernel's one-shot specialization whatever schedule reorders
     // execution across dependency levels (a kernel name can appear at
     // several levels).
-    let mut kernels: Vec<OpId> = Vec::with_capacity(queue.groups.len());
+    let mut kernels: Vec<Option<OpId>> = Vec::with_capacity(queue.groups.len());
     let mut jit_cycles_of: Vec<f64> = Vec::with_capacity(queue.groups.len());
     for cg in &queue.groups {
+        if cg.host.is_some() {
+            kernels.push(None);
+            jit_cycles_of.push(0.0);
+            continue;
+        }
         let kernel = resolve_kernel(&program.module, &cg.kernel).ok_or_else(|| SimError {
             message: format!("kernel `{}` not found in the device module", cg.kernel),
         })?;
@@ -147,22 +164,55 @@ pub fn run(
             program.jit_done.insert(cg.kernel.clone());
             jit_cycles = device.cost.jit_compile;
         }
-        kernels.push(kernel);
+        kernels.push(Some(kernel));
         jit_cycles_of.push(jit_cycles);
     }
 
-    let batches: Vec<Vec<usize>> = if device.batch {
-        queue.batches()
-    } else {
-        queue.schedule().into_iter().map(|cgi| vec![cgi]).collect()
-    };
+    // Split the submission sequence into steps: host tasks are
+    // synchronization points, maximal runs of kernel submissions between
+    // them form segments scheduled as one launch graph.
+    enum Step {
+        Host(usize),
+        Kernels(Vec<usize>),
+    }
+    let deps = queue.dependencies();
+    let mut steps: Vec<Step> = Vec::new();
+    let mut segment: Vec<usize> = Vec::new();
+    for (cgi, cg) in queue.groups.iter().enumerate() {
+        if cg.host.is_some() {
+            if !segment.is_empty() {
+                steps.push(Step::Kernels(std::mem::take(&mut segment)));
+            }
+            steps.push(Step::Host(cgi));
+        } else {
+            segment.push(cgi);
+        }
+    }
+    if !segment.is_empty() {
+        steps.push(Step::Kernels(segment));
+    }
 
-    for batch in batches {
+    for step in steps {
+        let batch = match step {
+            Step::Host(cgi) => {
+                let cg = &queue.groups[cgi];
+                run_host_op(&cg.host.expect("host step"), &mut pool, &buf_mems);
+                runs[cgi] = Some(KernelRun {
+                    kernel: cg.kernel.clone(),
+                    stats: ExecStats::default(),
+                    launch_cycles: 0.0,
+                    jit_cycles: 0.0,
+                });
+                continue;
+            }
+            Step::Kernels(batch) => batch,
+        };
+        let dag = schedule_dag(&batch, &deps, device);
         let mut launches: Vec<BatchLaunch> = Vec::with_capacity(batch.len());
         let jit: Vec<f64> = batch.iter().map(|&cgi| jit_cycles_of[cgi]).collect();
         for &cgi in &batch {
             launches.push(BatchLaunch {
-                kernel: kernels[cgi],
+                kernel: kernels[cgi].expect("kernel step"),
                 args: Vec::new(), // bound below
                 nd: queue.groups[cgi].nd,
             });
@@ -208,7 +258,7 @@ pub fn run(
             launch.args = args;
         }
 
-        let stats = device.launch_batch(&program.module, &launches, &mut pool)?;
+        let stats = device.launch_graph(&program.module, &launches, &dag, &mut pool)?;
 
         for ((&cgi, launch), (stats, jit_cycles)) in
             batch.iter().zip(&launches).zip(stats.into_iter().zip(jit))
@@ -235,9 +285,9 @@ pub fn run(
         }
     }
 
-    // Report rows in submission order regardless of the batch structure,
-    // so downstream sums (f64 cycle totals) are bit-identical with
-    // batching on and off.
+    // Report rows in submission order regardless of the schedule, so
+    // downstream sums (f64 cycle totals) are bit-identical under every
+    // scheduler mode.
     let report = RunReport {
         kernel_runs: runs
             .into_iter()
@@ -246,6 +296,79 @@ pub fn run(
     };
     runtime.download_from_device(&pool, &buf_mems, &usm_mems);
     Ok(report)
+}
+
+/// The launch graph a kernel segment runs under, per the device's
+/// scheduling knobs. All three shapes are (weakenings into) supergraphs
+/// of the segment's hazard edges over the **same** executor, which is
+/// what keeps results — and failure positions — bit-identical across
+/// modes:
+///
+/// * `batch` off — the submission-order chain (serial debug schedule);
+/// * `overlap` off — hazard edges strengthened to level barriers (the
+///   PR 3 batch schedule);
+/// * both on — the hazard DAG itself: full out-of-order overlap.
+fn schedule_dag(segment: &[usize], deps: &[(usize, usize)], device: &Device) -> LaunchDag {
+    if !device.batch {
+        return LaunchDag::chain(segment.len());
+    }
+    let pos: HashMap<usize, usize> = segment
+        .iter()
+        .enumerate()
+        .map(|(k, &cgi)| (cgi, k))
+        .collect();
+    let local: Vec<(usize, usize)> = deps
+        .iter()
+        .filter_map(|(i, j)| Some((*pos.get(i)?, *pos.get(j)?)))
+        .collect();
+    let dag = LaunchDag::from_edges(segment.len(), &local);
+    if device.overlap {
+        dag
+    } else {
+        dag.level_barriers()
+    }
+}
+
+/// Execute a host task against the device-resident buffers. Element
+/// updates go through `f64` for every element type, so the result is
+/// deterministic and independent of the schedule position granted by the
+/// hazard DAG.
+fn run_host_op(op: &HostOp, pool: &mut MemoryPool, buf_mems: &[MemId]) {
+    let apply = |data: &mut DataVec, f: &dyn Fn(f64) -> f64| match data {
+        DataVec::F32(v) => v.iter_mut().for_each(|x| *x = f(*x as f64) as f32),
+        DataVec::F64(v) => v.iter_mut().for_each(|x| *x = f(*x)),
+        DataVec::I32(v) => v.iter_mut().for_each(|x| *x = f(*x as f64) as i32),
+        DataVec::I64(v) => v.iter_mut().for_each(|x| *x = f(*x as f64) as i64),
+    };
+    match *op {
+        HostOp::Scale { buffer, factor } => {
+            apply(pool.data_mut(buf_mems[buffer.0]), &|x| x * factor);
+        }
+        HostOp::Shift { buffer, delta } => {
+            apply(pool.data_mut(buf_mems[buffer.0]), &|x| x + delta);
+        }
+        HostOp::AddInto { dst, src } => {
+            let src = pool.data(buf_mems[src.0]).clone();
+            let dst = pool.data_mut(buf_mems[dst.0]);
+            match (dst, &src) {
+                (DataVec::F32(d), DataVec::F32(s)) => {
+                    d.iter_mut().zip(s).for_each(|(d, s)| *d += s)
+                }
+                (DataVec::F64(d), DataVec::F64(s)) => {
+                    d.iter_mut().zip(s).for_each(|(d, s)| *d += s)
+                }
+                (DataVec::I32(d), DataVec::I32(s)) => d
+                    .iter_mut()
+                    .zip(s)
+                    .for_each(|(d, s)| *d = d.wrapping_add(*s)),
+                (DataVec::I64(d), DataVec::I64(s)) => d
+                    .iter_mut()
+                    .zip(s)
+                    .for_each(|(d, s)| *d = d.wrapping_add(*s)),
+                (d, s) => panic!("host AddInto over mismatched element types {s:?} -> {d:?}"),
+            }
+        }
+    }
 }
 
 fn resolve_kernel(m: &Module, name: &str) -> Option<OpId> {

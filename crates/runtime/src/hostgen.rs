@@ -26,9 +26,15 @@ fn mode_name(mode: sycl_mlir_sycl::types::AccessMode) -> &'static str {
     mode.as_str()
 }
 
-/// Append one host function per command group to the joint module.
+/// Append one host function per command group to the joint module. Host
+/// tasks are skipped: their bodies are arbitrary host code outside the
+/// compiler's view (no CGF to raise), which is exactly why the paper's
+/// host analyses must treat them as opaque.
 pub fn generate_host_ir(m: &mut Module, runtime: &SyclRuntime, queue: &Queue) {
     for (i, cg) in queue.groups.iter().enumerate() {
+        if cg.host.is_some() {
+            continue;
+        }
         let ptr = m.ctx().ptr_type();
         let top = m.top();
         let (_func, entry) =

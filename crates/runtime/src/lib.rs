@@ -25,4 +25,4 @@ pub mod queue;
 
 pub use buffer::{BufferId, SyclRuntime, UsmId};
 pub use exec::{compile_program, KernelRun, Program, RunReport};
-pub use queue::{CgArg, CommandGroup, Handler, Queue};
+pub use queue::{CgArg, CommandGroup, Handler, HostOp, Queue};

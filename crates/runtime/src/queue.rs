@@ -6,7 +6,7 @@
 //! buffers their accessors request.
 
 use crate::buffer::BufferId;
-use sycl_mlir_sim::NdRangeSpec;
+use sycl_mlir_sim::{LaunchDag, NdRangeSpec};
 use sycl_mlir_sycl::types::AccessMode;
 
 /// One kernel argument recorded in a command group, in kernel-parameter
@@ -52,10 +52,60 @@ impl CgArg {
     }
 }
 
-/// A recorded command group: one kernel submission with its requirements.
+/// A deterministic host-side operation submitted as a command group (the
+/// SYCL `handler::host_task`): it reads/writes buffers on the host and is
+/// ordered through the same hazard DAG as kernel launches. The runtime
+/// executes it on the submitting thread at its scheduled point; in the
+/// out-of-order schedule it acts as a synchronization point between the
+/// launch-graph segments before and after it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HostOp {
+    /// Multiply every element of `buffer` by `factor`.
+    Scale {
+        /// The buffer to scale in place.
+        buffer: BufferId,
+        /// The factor (applied through `f64` for every element type).
+        factor: f64,
+    },
+    /// Add `delta` to every element of `buffer`.
+    Shift {
+        /// The buffer to shift in place.
+        buffer: BufferId,
+        /// The addend (applied through `f64` for every element type).
+        delta: f64,
+    },
+    /// `dst[i] += src[i]` elementwise (the buffers must share element
+    /// type; lengths are clamped to the shorter one).
+    AddInto {
+        /// The accumulated-into buffer.
+        dst: BufferId,
+        /// The added buffer.
+        src: BufferId,
+    },
+}
+
+impl HostOp {
+    /// The accessor requirements implied by the operation — recorded on
+    /// the command group so dependency tracking sees host tasks exactly
+    /// like kernel submissions.
+    pub fn requirements(&self) -> Vec<(BufferId, AccessMode)> {
+        match *self {
+            HostOp::Scale { buffer, .. } | HostOp::Shift { buffer, .. } => {
+                vec![(buffer, AccessMode::ReadWrite)]
+            }
+            HostOp::AddInto { dst, src } => {
+                vec![(dst, AccessMode::ReadWrite), (src, AccessMode::Read)]
+            }
+        }
+    }
+}
+
+/// A recorded command group: one kernel submission (or host task) with
+/// its requirements.
 #[derive(Clone, Debug)]
 pub struct CommandGroup {
-    /// Kernel name to resolve at execution time.
+    /// Kernel name to resolve at execution time (`"<host-task>"` for host
+    /// tasks).
     pub kernel: String,
     /// Launch geometry.
     pub nd: NdRangeSpec,
@@ -63,6 +113,9 @@ pub struct CommandGroup {
     pub nd_form: bool,
     /// Arguments in kernel-parameter order.
     pub args: Vec<CgArg>,
+    /// The host operation, when this group is a host task instead of a
+    /// kernel launch.
+    pub host: Option<HostOp>,
 }
 
 impl CommandGroup {
@@ -174,6 +227,7 @@ impl Handler {
             },
             nd_form: true,
             args: std::mem::take(&mut self.args),
+            host: None,
         });
     }
 
@@ -193,6 +247,24 @@ impl Handler {
             },
             nd_form: false,
             args: std::mem::take(&mut self.args),
+            host: None,
+        });
+    }
+
+    /// Submit a host task (the SYCL `handler::host_task`): deterministic
+    /// host-side work over buffers, ordered through the hazard DAG like
+    /// any kernel. The operation's buffer requirements are recorded
+    /// automatically (in addition to any explicitly requested accessors).
+    pub fn host_task(&mut self, op: HostOp) {
+        for (buffer, mode) in op.requirements() {
+            self.args.push(CgArg::Acc { buffer, mode });
+        }
+        self.cg = Some(CommandGroup {
+            kernel: "<host-task>".to_string(),
+            nd: NdRangeSpec::d1(1, 1),
+            nd_form: false,
+            args: std::mem::take(&mut self.args),
+            host: Some(op),
         });
     }
 }
@@ -270,30 +342,28 @@ impl Queue {
         (0..self.groups.len()).collect()
     }
 
+    /// The full hazard DAG over the recorded command groups: predecessor
+    /// counts plus successor lists, indices in submission order. This is
+    /// what the executor's out-of-order scheduler consumes
+    /// ([`sycl_mlir_sim::Device::launch_graph`]); [`Queue::batches`] is
+    /// derived from the same graph, so the two views can never disagree.
+    pub fn dep_graph(&self) -> LaunchDag {
+        LaunchDag::from_edges(self.groups.len(), &self.dependencies())
+    }
+
     /// Partition the topological order into **dependency levels**: batch
     /// `k` holds every command group all of whose predecessors sit in
     /// batches `< k`. Command groups within one batch are mutually
     /// independent (no RAW/WAR/WAW hazard connects them), so the device
     /// may execute a whole batch concurrently; batches must still run in
     /// order. Within a batch, indices are in submission order.
+    ///
+    /// Since the out-of-order scheduler landed this leveled view is a
+    /// fallback/debug path (`--overlap=off`); it is re-derived from
+    /// [`Queue::dep_graph`] — the topological layering of the exported
+    /// DAG — rather than computed independently.
     pub fn batches(&self) -> Vec<Vec<usize>> {
-        let n = self.groups.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let mut level = vec![0_usize; n];
-        // `dependencies()` yields edges (i, j) with i < j grouped by
-        // ascending j, so each j's level is final before it is read as a
-        // predecessor.
-        for (i, j) in self.dependencies() {
-            level[j] = level[j].max(level[i] + 1);
-        }
-        let depth = level.iter().copied().max().unwrap_or(0) + 1;
-        let mut batches = vec![Vec::new(); depth];
-        for (cg, &l) in level.iter().enumerate() {
-            batches[l].push(cg);
-        }
-        batches
+        self.dep_graph().levels()
     }
 }
 
@@ -389,6 +459,95 @@ mod tests {
         assert!(deps.contains(&(0, 1)));
         assert!(!deps.contains(&(0, 2)));
         assert_eq!(q.batches(), vec![vec![0, 2], vec![1]]);
+    }
+
+    /// `batches()` must equal the topological layering of the exported
+    /// DAG — computed here independently, straight from the edge list, so
+    /// the two views can never silently disagree.
+    #[test]
+    fn batches_equal_topological_layering_of_dep_graph() {
+        let a = BufferId(0);
+        let b = BufferId(1);
+        let c = BufferId(2);
+        let u = crate::buffer::UsmId(0);
+        let mut q = Queue::new();
+        // A small lattice: writes, reads, a shared USM pair and a host
+        // task, producing three levels with mixed membership.
+        q.submit(|h| {
+            h.accessor(a, AccessMode::Write);
+            h.parallel_for("k0", &[16]);
+        });
+        q.submit(|h| {
+            h.accessor(a, AccessMode::Read)
+                .accessor(b, AccessMode::Write);
+            h.parallel_for("k1", &[16]);
+        });
+        q.submit(|h| {
+            h.accessor(c, AccessMode::Write);
+            h.usm(u, 16);
+            h.parallel_for("k2", &[16]);
+        });
+        q.submit(|h| {
+            h.host_task(HostOp::Scale {
+                buffer: b,
+                factor: 2.0,
+            })
+        });
+        q.submit(|h| {
+            h.usm(u, 16);
+            h.parallel_for("k4", &[16]);
+        });
+
+        // Independent layering from the raw edges.
+        let n = q.groups.len();
+        let mut level = vec![0_usize; n];
+        for (i, j) in q.dependencies() {
+            level[j] = level[j].max(level[i] + 1);
+        }
+        let depth = level.iter().copied().max().unwrap_or(0) + 1;
+        let mut expect = vec![Vec::new(); depth];
+        for (cg, &l) in level.iter().enumerate() {
+            expect[l].push(cg);
+        }
+        assert_eq!(q.batches(), expect);
+
+        // And the exported DAG agrees structurally with the edge list.
+        let dag = q.dep_graph();
+        let edges = q.dependencies();
+        for (i, j) in &edges {
+            assert!(dag.succs[*i].contains(j), "edge ({i}, {j}) missing");
+        }
+        assert_eq!(
+            dag.preds.iter().sum::<usize>(),
+            edges.len(),
+            "predecessor counts must count every edge exactly once"
+        );
+    }
+
+    /// Host tasks participate in dependency tracking through the
+    /// requirements implied by their operation.
+    #[test]
+    fn host_tasks_are_hazard_tracked() {
+        let a = BufferId(0);
+        let b = BufferId(1);
+        let mut q = Queue::new();
+        q.submit(|h| {
+            h.accessor(a, AccessMode::Write);
+            h.parallel_for("k0", &[16]);
+        });
+        // Host task reads a, accumulates into b: RAW on a.
+        q.submit(|h| h.host_task(HostOp::AddInto { dst: b, src: a }));
+        // Kernel reading b: RAW on b against the host task.
+        q.submit(|h| {
+            h.accessor(b, AccessMode::Read);
+            h.parallel_for("k2", &[16]);
+        });
+        let deps = q.dependencies();
+        assert!(deps.contains(&(0, 1)));
+        assert!(deps.contains(&(1, 2)));
+        assert!(!deps.contains(&(0, 2)));
+        assert!(q.groups[1].host.is_some());
+        assert_eq!(q.groups[1].kernel, "<host-task>");
     }
 
     #[test]

@@ -5,11 +5,11 @@
 use crate::cost::{CostModel, ExecStats};
 use crate::interp::{ExecCtx, Stop, WorkItemState};
 use crate::memory::MemoryPool;
-use crate::plan::{decode_kernel, fuse_plan, KernelPlan};
-use crate::pool::{run_plan_batch, run_plan_launch, PlanLaunch};
+use crate::plan::{decode_kernel, fuse_plan, profile_summary, KernelPlan};
+use crate::pool::{run_plan_graph, run_plan_launch, LaunchDag, PlanLaunch};
 use crate::value::{NdItemVal, RtValue};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use sycl_mlir_ir::{Module, OpId};
 
@@ -116,6 +116,25 @@ pub fn batch_from_env() -> bool {
     bool_knob_from_env("SYCL_MLIR_SIM_BATCH", true)
 }
 
+/// The overlap setting named by the `SYCL_MLIR_SIM_OVERLAP` environment
+/// variable (`on`/`off`); `on` when unset. With overlap on (and batching
+/// on), the runtime hands the device whole hazard graphs and a launch
+/// starts the moment its own dependencies retire ([`Device::launch_graph`]
+/// over [`run_plan_graph`]); with overlap off, dependency levels still run
+/// behind a barrier (the PR 3 batch schedule, kept as a debug path).
+pub fn overlap_from_env() -> bool {
+    bool_knob_from_env("SYCL_MLIR_SIM_OVERLAP", true)
+}
+
+/// The profiling setting named by the `SYCL_MLIR_SIM_PROFILE` environment
+/// variable (`on`/`off`); `off` when unset. When on, plan-engine launches
+/// count every executed instruction; [`Device::profile_report`] renders
+/// the totals and the hottest dataflow-adjacent pairs (the ranked
+/// candidates for the next [`fuse_plan`] superinstruction).
+pub fn profile_from_env() -> bool {
+    bool_knob_from_env("SYCL_MLIR_SIM_PROFILE", false)
+}
+
 /// Launch geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NdRangeSpec {
@@ -218,9 +237,17 @@ pub struct Device {
     /// Allow [`Device::launch_batch`] to run dependency-free launches
     /// concurrently (the runtime consults this before batching).
     pub batch: bool,
+    /// Allow [`Device::launch_graph`] to overlap dependency levels: a
+    /// launch starts as soon as its own predecessors retire (the runtime
+    /// consults this when choosing a schedule; requires `batch`).
+    pub overlap: bool,
+    /// Count executed plan instructions ([`Device::profile_report`]).
+    pub profile: bool,
     plan_cache: RefCell<HashMap<(u64, OpId, bool), CachedPlan>>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
+    profile_ops: RefCell<BTreeMap<&'static str, u64>>,
+    profile_pairs: RefCell<BTreeMap<(&'static str, &'static str), u64>>,
 }
 
 impl Default for Device {
@@ -231,9 +258,13 @@ impl Default for Device {
             threads: threads_from_env(),
             fuse: fuse_from_env(),
             batch: batch_from_env(),
+            overlap: overlap_from_env(),
+            profile: profile_from_env(),
             plan_cache: RefCell::new(HashMap::new()),
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
+            profile_ops: RefCell::new(BTreeMap::new()),
+            profile_pairs: RefCell::new(BTreeMap::new()),
         }
     }
 }
@@ -289,6 +320,18 @@ impl Device {
     /// Builder-style batching override.
     pub fn batch(mut self, batch: bool) -> Device {
         self.batch = batch;
+        self
+    }
+
+    /// Builder-style overlap override (out-of-order launch scheduling).
+    pub fn overlap(mut self, overlap: bool) -> Device {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Builder-style profiling override (per-instruction counts).
+    pub fn profile(mut self, profile: bool) -> Device {
+        self.profile = profile;
         self
     }
 
@@ -369,28 +412,54 @@ impl Device {
     }
 
     /// Execute a batch of **mutually independent** kernel launches,
-    /// returning one [`ExecStats`] per launch, in batch order.
-    ///
-    /// Under [`Engine::Plan`], when every kernel of the batch is
-    /// plan-decodable, the whole batch is handed to
-    /// [`run_plan_batch`]: one worker pool
-    /// drains work-groups from all launches through per-launch claim
-    /// cursors, so a launch too small to saturate the workers no longer
-    /// serializes the queue. Otherwise (tree-walk engine, or any kernel
-    /// the decoder rejects) the launches run one at a time through
-    /// [`Device::launch`]. Either way each launch's statistics — and the
-    /// buffers it writes — are bit-identical to sequential execution;
-    /// only wall time differs.
+    /// returning one [`ExecStats`] per launch, in batch order — the
+    /// edge-free special case of [`Device::launch_graph`]: one worker
+    /// pool drains work-groups from all launches through per-launch
+    /// chunked claim cursors, so a launch too small to saturate the
+    /// workers no longer serializes the queue.
     ///
     /// # Errors
     ///
-    /// Fails like [`Device::launch`]; with several failing work-groups the
-    /// error of the lexicographically smallest `(launch, group)` observed
-    /// is reported.
+    /// Fails like [`Device::launch`]; with several failing work-groups
+    /// the error of the lexicographically smallest `(launch, group)` is
+    /// reported.
     pub fn launch_batch(
         &self,
         m: &Module,
         batch: &[BatchLaunch],
+        pool: &mut MemoryPool,
+    ) -> Result<Vec<ExecStats>, SimError> {
+        self.launch_graph(m, batch, &LaunchDag::independent(batch.len()), pool)
+    }
+
+    /// Execute a whole **launch graph** — kernel launches plus the hazard
+    /// DAG ordering them — returning one [`ExecStats`] per launch, in
+    /// slice order.
+    ///
+    /// Under [`Engine::Plan`], when every kernel of the graph is
+    /// plan-decodable, the graph is handed to [`run_plan_graph`]: launches
+    /// start the moment their own predecessors retire, with work-groups
+    /// claimed in per-worker chunks — no level barrier anywhere.
+    /// Otherwise (tree-walk engine, or any kernel the decoder rejects)
+    /// the launches run one at a time in slice order, which the caller
+    /// must arrange to be a valid topological order of `dag` (the
+    /// runtime's submission order always is). Either way each launch's
+    /// statistics — and the buffers it writes — are bit-identical to
+    /// sequential execution; only wall time differs.
+    ///
+    /// With [`Device::profile`] on, plan-engine runs additionally count
+    /// every executed instruction into [`Device::profile_report`].
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Device::launch`]; with several failing work-groups
+    /// the error of the lexicographically smallest `(launch, group)` is
+    /// reported under every thread count and schedule.
+    pub fn launch_graph(
+        &self,
+        m: &Module,
+        batch: &[BatchLaunch],
+        dag: &LaunchDag,
         pool: &mut MemoryPool,
     ) -> Result<Vec<ExecStats>, SimError> {
         if self.engine == Engine::Plan {
@@ -408,15 +477,57 @@ impl Device {
                         nd: b.nd,
                     })
                     .collect();
-                return run_plan_batch(&launches, pool, &self.cost, self.threads);
+                let out =
+                    run_plan_graph(&launches, dag, pool, &self.cost, self.threads, self.profile)?;
+                if let Some(profile) = &out.profile {
+                    let mut ops = self.profile_ops.borrow_mut();
+                    let mut pairs = self.profile_pairs.borrow_mut();
+                    for (plan, counts) in plans.iter().zip(profile) {
+                        profile_summary(plan, counts, &mut ops, &mut pairs);
+                    }
+                }
+                return Ok(out.stats);
             }
         }
         // Tree-walk engine, or some kernel is not plan-decodable: run the
-        // batch sequentially (identical results, no launch overlap).
+        // launches sequentially in slice order (identical results, no
+        // launch overlap).
         batch
             .iter()
             .map(|b| self.launch(m, b.kernel, &b.args, b.nd, pool))
             .collect()
+    }
+
+    /// Render the per-instruction execution counts accumulated by
+    /// `--profile` runs: total executions per opcode, then the hottest
+    /// dataflow-adjacent instruction pairs — the ranked candidates for
+    /// the next [`fuse_plan`] superinstruction. `None` until a profiled
+    /// plan-engine launch ran on this device.
+    pub fn profile_report(&self) -> Option<String> {
+        let ops = self.profile_ops.borrow();
+        if ops.is_empty() {
+            return None;
+        }
+        let mut out = String::from("== instruction profile (plan engine) ==\n");
+        out.push_str(&format!("{:>16}  opcode\n", "executions"));
+        let mut rows: Vec<(&'static str, u64)> = ops.iter().map(|(&k, &v)| (k, v)).collect();
+        // Descending by count; the BTreeMap already fixed the tie order.
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (name, count) in rows {
+            out.push_str(&format!("{count:>16}  {name}\n"));
+        }
+        let pairs = self.profile_pairs.borrow();
+        if !pairs.is_empty() {
+            out.push_str("\n== hottest dataflow-adjacent pairs (fusion candidates) ==\n");
+            out.push_str(&format!("{:>16}  pair\n", "executions"));
+            let mut rows: Vec<((&'static str, &'static str), u64)> =
+                pairs.iter().map(|(&k, &v)| (k, v)).collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            for ((a, b), count) in rows.into_iter().take(16) {
+                out.push_str(&format!("{count:>16}  {a} -> {b}\n"));
+            }
+        }
+        Some(out)
     }
 }
 
@@ -969,6 +1080,139 @@ mod tests {
             assert_eq!(ref_stats, stats, "stats differ at threads={threads}");
             assert_eq!(ref_a, a, "buffer a differs at threads={threads}");
             assert_eq!(ref_b, b, "buffer b differs at threads={threads}");
+        }
+    }
+
+    /// A graph edge must order two launches touching the same buffer: the
+    /// chained result `(x * 3) + 3` is only reachable when the scheduler
+    /// honours the dependency, for every worker count.
+    #[test]
+    fn launch_graph_orders_hazard_edges() {
+        use crate::pool::LaunchDag;
+        let c = ctx();
+        let mut m = Module::new(&c);
+        let acc = accessor_type(&c, c.f32_type(), 1, AccessMode::ReadWrite, Target::Global);
+        let nd1 = nd_item_type(&c, 1);
+        let build = |m: &mut Module, name: &str, mul: bool| -> OpId {
+            let (func, entry) = build_func(m, m.top(), name, &[acc.clone(), nd1.clone()], &[]);
+            sdev::mark_kernel(m, func);
+            let a = m.block_arg(entry, 0);
+            let item = m.block_arg(entry, 1);
+            let mut b = Builder::at_end(m, entry);
+            let gid = sdev::global_id(&mut b, item, 0);
+            let v = sdev::load_via_id(&mut b, a, &[gid]);
+            let f32t = b.ctx().f32_type();
+            let k = arith::constant_float(&mut b, 3.0, f32t);
+            let out = if mul {
+                arith::mulf(&mut b, v, k)
+            } else {
+                arith::addf(&mut b, v, k)
+            };
+            sdev::store_via_id(&mut b, out, a, &[gid]);
+            build_return(&mut b, &[]);
+            func
+        };
+        let scale = build(&mut m, "scale", true);
+        let offset = build(&mut m, "offset", false);
+
+        let n = 256_i64;
+        let nd = NdRangeSpec::d1(n, 4); // many small groups: chunked claiming
+        let dag = LaunchDag::chain(2);
+        let run = |threads: usize| {
+            let mut pool = MemoryPool::new();
+            let ma = pool.alloc(DataVec::F32((0..n).map(|i| i as f32).collect()));
+            let device = Device::with_engine(Engine::Plan).threads(threads);
+            let batch = vec![
+                BatchLaunch {
+                    kernel: scale,
+                    args: vec![accessor(ma, n)],
+                    nd,
+                },
+                BatchLaunch {
+                    kernel: offset,
+                    args: vec![accessor(ma, n)],
+                    nd,
+                },
+            ];
+            let stats = device.launch_graph(&m, &batch, &dag, &mut pool).unwrap();
+            let DataVec::F32(a) = pool.data(ma) else {
+                panic!()
+            };
+            (stats, a.clone())
+        };
+        let (ref_stats, ref_a) = run(1);
+        assert_eq!(ref_a[5], 5.0 * 3.0 + 3.0);
+        for threads in [2, 4, 8] {
+            let (stats, a) = run(threads);
+            assert_eq!(ref_stats, stats, "stats differ at threads={threads}");
+            assert_eq!(ref_a, a, "buffer differs at threads={threads}");
+        }
+    }
+
+    /// With failing work-groups in several launches, the error of the
+    /// lexicographically smallest `(launch, group)` must be reported —
+    /// independent of thread count and schedule. Launch 0 diverges from
+    /// group 3 on; launch 1 diverges everywhere; the reported group must
+    /// be launch 0's group 3.
+    #[test]
+    fn launch_graph_reports_lexicographically_first_error() {
+        use crate::pool::LaunchDag;
+        let c = ctx();
+        let mut m = Module::new(&c);
+        let nd1 = nd_item_type(&c, 1);
+        // Diverges when group_id >= `from`: only work-item 0 of such a
+        // group reaches the barrier.
+        let build = |m: &mut Module, name: &str, from: i64| -> OpId {
+            let (func, entry) = build_func(m, m.top(), name, std::slice::from_ref(&nd1), &[]);
+            sdev::mark_kernel(m, func);
+            let item = m.block_arg(entry, 0);
+            let mut b = Builder::at_end(m, entry);
+            let lid = sdev::local_id(&mut b, item, 0);
+            let gid = sdev::group_id(&mut b, item, 0);
+            let zero = constant_index(&mut b, 0);
+            let thr = constant_index(&mut b, from);
+            let leader = arith::cmpi(&mut b, "eq", lid, zero);
+            let late = arith::cmpi(&mut b, "sge", gid, thr);
+            let cond = b.build_value("arith.andi", &[leader, late], b.ctx().i1_type(), vec![]);
+            let g = sdev::get_group(&mut b, item);
+            sycl_mlir_dialects::scf::build_if(
+                &mut b,
+                cond,
+                &[],
+                |inner| {
+                    sdev::group_barrier(inner, g);
+                    vec![]
+                },
+                |_| vec![],
+            );
+            build_return(&mut b, &[]);
+            func
+        };
+        let bad_late = build(&mut m, "bad_late", 3);
+        let bad_all = build(&mut m, "bad_all", 0);
+        let nd = NdRangeSpec::d1(64, 8); // 8 groups each
+        for threads in [1, 2, 4, 8] {
+            let mut pool = MemoryPool::new();
+            let device = Device::with_engine(Engine::Plan).threads(threads);
+            let batch = vec![
+                BatchLaunch {
+                    kernel: bad_late,
+                    args: vec![],
+                    nd,
+                },
+                BatchLaunch {
+                    kernel: bad_all,
+                    args: vec![],
+                    nd,
+                },
+            ];
+            let err = device
+                .launch_graph(&m, &batch, &LaunchDag::independent(2), &mut pool)
+                .unwrap_err();
+            assert!(
+                err.message.contains("[3, 0, 0]"),
+                "threads={threads}: expected launch 0 group 3's error, got: {err}"
+            );
         }
     }
 

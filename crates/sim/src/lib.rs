@@ -61,13 +61,21 @@
 //! are bit-identical for every worker count.
 //!
 //! **Launch-level parallelism:** on top of the work-group axis, the
-//! scheduler accepts whole **batches** of mutually independent launches
-//! ([`run_plan_batch`] / [`Device::launch_batch`]): the runtime's queue
-//! scheduler levels its dependency DAG and hands every dependency-free
-//! level down at once, so small launches that cannot saturate the worker
-//! pool overlap instead of serializing (`SYCL_MLIR_SIM_BATCH=off`
-//! disables). Per-worker scratch arenas are recycled across work-groups
-//! and launches to cut private-alloca churn.
+//! scheduler accepts whole **launch graphs** — kernel launches plus the
+//! hazard DAG ordering them ([`run_plan_graph`] / [`Device::launch_graph`];
+//! [`run_plan_batch`] is the edge-free special case). The runtime's queue
+//! exports its full dependency DAG and the executor runs it **out of
+//! order**: each launch carries a remaining-dependency counter, the worker
+//! that retires a launch's last work-group publishes newly-ready
+//! successors to a shared ready set, and work-groups are claimed in
+//! per-worker chunks — no level barrier, so one slow launch no longer
+//! stalls independent successors (`SYCL_MLIR_SIM_OVERLAP=off` restores
+//! the PR 3 level-barrier schedule, `SYCL_MLIR_SIM_BATCH=off` full
+//! serialization). Per-worker scratch arenas are recycled across
+//! work-groups and launches to cut private-alloca churn. A `--profile`
+//! mode (`SYCL_MLIR_SIM_PROFILE=on`) counts every executed instruction
+//! and ranks dataflow-adjacent pairs as fusion candidates
+//! ([`Device::profile_report`]).
 //!
 //! **Cross-launch plan cache:** a [`Device`] memoizes decoded plans keyed
 //! by `(module id, kernel)` and validated against the module's mutation
@@ -96,10 +104,13 @@ pub mod value;
 
 pub use cost::{CostModel, ExecStats};
 pub use device::{
-    auto_threads, batch_from_env, fuse_from_env, launch_kernel, launch_plan, threads_from_env,
-    BatchLaunch, Device, Engine, NdRangeSpec, SimError,
+    auto_threads, batch_from_env, fuse_from_env, launch_kernel, launch_plan, overlap_from_env,
+    profile_from_env, threads_from_env, BatchLaunch, Device, Engine, NdRangeSpec, SimError,
 };
 pub use memory::{DataVec, MemId, MemoryPool};
-pub use plan::{decode_kernel, fuse_plan, DecodeError, KernelPlan};
-pub use pool::{run_plan_batch, run_plan_launch, PlanExecCtx, PlanLaunch, PlanPool, SharedPool};
+pub use plan::{decode_kernel, fuse_plan, profile_summary, DecodeError, KernelPlan};
+pub use pool::{
+    run_plan_batch, run_plan_graph, run_plan_launch, GraphOutcome, LaunchDag, PlanExecCtx,
+    PlanLaunch, PlanPool, SharedPool,
+};
 pub use value::{AccessorVal, MemRefVal, NdItemVal, RtValue, Space};

@@ -162,13 +162,28 @@ impl MemoryPool {
         &mut self.buffers[id.0 as usize]
     }
 
+    /// Bounds check with the same panic message as the parallel path's
+    /// `SharedPool`, so an out-of-bounds kernel fails with identical text
+    /// under every engine and scheduler mode.
+    #[inline]
+    fn check(&self, id: MemId, index: i64) {
+        let len = self.buffers[id.0 as usize].len();
+        assert!(
+            (index as usize) < len,
+            "device memory access out of bounds: index {index} of buffer {} (len {len})",
+            id.0,
+        );
+    }
+
     /// Load the element at `index` of allocation `id`.
     pub fn load(&self, id: MemId, index: i64) -> RtValue {
+        self.check(id, index);
         self.buffers[id.0 as usize].get(index as usize)
     }
 
     /// Store `value` at `index` of allocation `id`.
     pub fn store(&mut self, id: MemId, index: i64, value: RtValue) {
+        self.check(id, index);
         self.buffers[id.0 as usize].set(index as usize, value);
     }
 

@@ -598,12 +598,155 @@ pub enum Instr {
     },
 }
 
+impl Instr {
+    /// Short static mnemonic of the instruction, used by the `--profile`
+    /// execution-count dump to aggregate counts per opcode.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Const { .. } => "const",
+            Instr::ConstDense { .. } => "const.dense",
+            Instr::Copy { .. } => "copy",
+            Instr::BinInt { op, .. } => match op {
+                IntBin::Add => "addi",
+                IntBin::Sub => "subi",
+                IntBin::Mul => "muli",
+                IntBin::DivS => "divsi",
+                IntBin::RemS => "remsi",
+                IntBin::And => "andi",
+                IntBin::Or => "ori",
+                IntBin::Xor => "xori",
+                IntBin::MinS => "minsi",
+                IntBin::MaxS => "maxsi",
+            },
+            Instr::BinFloat { op, .. } => match op {
+                FloatBin::Add => "addf",
+                FloatBin::Sub => "subf",
+                FloatBin::Mul => "mulf",
+                FloatBin::Div => "divf",
+                FloatBin::Min => "minf",
+                FloatBin::Max => "maxf",
+            },
+            Instr::NegF { .. } => "negf",
+            Instr::CmpI { .. } => "cmpi",
+            Instr::CmpF { .. } => "cmpf",
+            Instr::Select { .. } => "select",
+            Instr::SiToFp { .. } => "sitofp",
+            Instr::FpToSi { .. } => "fptosi",
+            Instr::TruncF { .. } => "truncf",
+            Instr::ExtF { .. } => "extf",
+            Instr::Math { op, .. } => match op {
+                MathOp::Sqrt => "sqrt",
+                MathOp::Exp => "exp",
+                MathOp::Log => "log",
+                MathOp::Absf => "absf",
+                MathOp::Sin => "sin",
+                MathOp::Cos => "cos",
+                MathOp::Floor => "floor",
+                MathOp::Rsqrt => "rsqrt",
+                MathOp::Powf => "powf",
+            },
+            Instr::Alloca { .. } => "alloca",
+            Instr::LocalAlloca { .. } => "local.alloca",
+            Instr::Load { .. } => "load",
+            Instr::Store { .. } => "store",
+            Instr::VecCtor { .. } => "vec.ctor",
+            Instr::NdRangeCtor { .. } => "ndrange.ctor",
+            Instr::VecGet { .. } => "vec.get",
+            Instr::RangeSize { .. } => "range.size",
+            Instr::ItemQuery { q, .. } => match q {
+                ItemQ::GlobalId => "item.global_id",
+                ItemQ::LocalId => "item.local_id",
+                ItemQ::GroupId => "item.group_id",
+                ItemQ::GlobalRange => "item.global_range",
+                ItemQ::LocalRange => "item.local_range",
+                ItemQ::GroupRange => "item.group_range",
+            },
+            Instr::GlobalLinearId { .. } => "item.global_linear_id",
+            Instr::LocalLinearId { .. } => "item.local_linear_id",
+            Instr::ItemSelf { .. } => "item.self",
+            Instr::AccSubscript { .. } => "acc.subscript",
+            Instr::AccRange { .. } => "acc.range",
+            Instr::AccBase { .. } => "acc.base",
+            Instr::Barrier => "barrier",
+            Instr::Jump { .. } => "jump",
+            Instr::BranchIfFalse { .. } => "br.false",
+            Instr::ForEnter { .. } => "for.enter",
+            Instr::ForNext { .. } => "for.next",
+            Instr::Call { .. } => "call",
+            Instr::Return { .. } => "return",
+            Instr::LoadBinFloat { op, .. } => match op {
+                FloatBin::Add => "load.addf",
+                FloatBin::Mul => "load.mulf",
+                _ => "load.binf",
+            },
+            Instr::MulAddInt { .. } => "muladd",
+            Instr::CmpIBranch { .. } => "cmpi.br",
+        }
+    }
+
+    /// The single register this instruction defines, if any (`Call` writes
+    /// several; control flow writes none). Drives the dataflow-adjacency
+    /// filter of the fusion-candidate profile.
+    fn dst_reg(&self) -> Option<Reg> {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::ConstDense { dst, .. }
+            | Instr::Copy { dst, .. }
+            | Instr::BinInt { dst, .. }
+            | Instr::BinFloat { dst, .. }
+            | Instr::NegF { dst, .. }
+            | Instr::CmpI { dst, .. }
+            | Instr::CmpF { dst, .. }
+            | Instr::Select { dst, .. }
+            | Instr::SiToFp { dst, .. }
+            | Instr::FpToSi { dst, .. }
+            | Instr::TruncF { dst, .. }
+            | Instr::ExtF { dst, .. }
+            | Instr::Math { dst, .. }
+            | Instr::Alloca { dst, .. }
+            | Instr::LocalAlloca { dst, .. }
+            | Instr::Load { dst, .. }
+            | Instr::VecCtor { dst, .. }
+            | Instr::NdRangeCtor { dst, .. }
+            | Instr::VecGet { dst, .. }
+            | Instr::RangeSize { dst, .. }
+            | Instr::ItemQuery { dst, .. }
+            | Instr::GlobalLinearId { dst }
+            | Instr::LocalLinearId { dst }
+            | Instr::ItemSelf { dst }
+            | Instr::AccSubscript { dst, .. }
+            | Instr::AccRange { dst, .. }
+            | Instr::AccBase { dst, .. }
+            | Instr::LoadBinFloat { dst, .. }
+            | Instr::MulAddInt { dst, .. } => Some(*dst),
+            Instr::Store { .. }
+            | Instr::Barrier
+            | Instr::Jump { .. }
+            | Instr::BranchIfFalse { .. }
+            | Instr::ForEnter { .. }
+            | Instr::ForNext { .. }
+            | Instr::Call { .. }
+            | Instr::Return { .. }
+            | Instr::CmpIBranch { .. } => None,
+        }
+    }
+
+    /// Visit every pc this instruction may transfer control to.
+    /// Delegates to [`for_each_target`] on a scratch clone so the two can
+    /// never drift apart when a new control-flow instruction is added
+    /// (profiling is a cold path; the clone is irrelevant there).
+    fn jump_targets(&self, mut f: impl FnMut(u32)) {
+        let mut scratch = self.clone();
+        for_each_target(&mut scratch, |t| f(*t));
+    }
+}
+
 // ----------------------------------------------------------------------
 // Plans
 // ----------------------------------------------------------------------
 
 /// One decoded function: flat code plus its register-file size.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FuncPlan {
     /// Flat instruction stream.
     pub code: Vec<Instr>,
@@ -617,7 +760,7 @@ pub struct FuncPlan {
 }
 
 /// A dense-constant template, cloned into the pool on first use.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct DenseConst {
     /// The constant data, cloned into an arena on materialization.
     pub data: DataVec,
@@ -634,7 +777,7 @@ pub struct DenseConst {
 /// `Arc`-backed) and is shared by reference across all work-items, all
 /// work-groups and — under `--threads=N` — all worker threads of a launch,
 /// as well as across launches through the device's plan cache.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct KernelPlan {
     /// Decoded functions; index 0 is the kernel.
     pub funcs: Vec<FuncPlan>,
@@ -1722,6 +1865,55 @@ pub fn fuse_plan(plan: &mut KernelPlan) -> u32 {
     fused
 }
 
+/// Fold flat per-instruction execution counts (a profiled [`PlanCtx`]
+/// drained by [`PlanCtx::take_profile`], merged across workers) into the
+/// accumulators of the `--profile` dump:
+///
+/// * `ops` — total executions per opcode mnemonic;
+/// * `pairs` — executions of **dataflow-adjacent** instruction pairs:
+///   consecutive instructions where the second reads the first's result
+///   and is not a jump target — precisely the shape [`fuse_plan`]'s
+///   peephole patterns require, so the hottest pairs here are the ranked
+///   candidates for the next superinstruction.
+pub fn profile_summary(
+    plan: &KernelPlan,
+    counts: &[u64],
+    ops: &mut std::collections::BTreeMap<&'static str, u64>,
+    pairs: &mut std::collections::BTreeMap<(&'static str, &'static str), u64>,
+) {
+    let mut off = 0_usize;
+    for f in &plan.funcs {
+        let mut is_target = vec![false; f.code.len() + 1];
+        for instr in &f.code {
+            instr.jump_targets(|t| is_target[t as usize] = true);
+        }
+        for (i, instr) in f.code.iter().enumerate() {
+            let c = counts[off + i];
+            if c == 0 {
+                continue;
+            }
+            *ops.entry(instr.mnemonic()).or_insert(0) += c;
+            let Some(d) = instr.dst_reg() else { continue };
+            if i + 1 >= f.code.len() || is_target[i + 1] {
+                continue;
+            }
+            let next = &f.code[i + 1];
+            let c2 = counts[off + i + 1];
+            if c2 == 0 {
+                continue;
+            }
+            let mut reads_d = false;
+            for_each_read(next, |r| reads_d |= r == d);
+            if reads_d {
+                *pairs
+                    .entry((instr.mnemonic(), next.mnemonic()))
+                    .or_insert(0) += c.min(c2);
+            }
+        }
+        off += f.code.len();
+    }
+}
+
 // ----------------------------------------------------------------------
 // Executor
 // ----------------------------------------------------------------------
@@ -1736,6 +1928,33 @@ pub struct PlanCtx {
     dense_cache: Vec<Option<MemRefVal>>,
     /// Work-group-shared `sycl.local.alloca` results, reset per group.
     local_allocs: Vec<Option<MemRefVal>>,
+    /// Per-instruction execution counters (`--profile` runs only; `None`
+    /// keeps the executor's hot loop on a single predictable branch).
+    profile: Option<ProfileBuf>,
+}
+
+/// Flat execution counters over every function of one plan: `counts[i]`
+/// is how often the instruction at flat index `i` (functions concatenated
+/// in [`KernelPlan::funcs`] order) executed.
+struct ProfileBuf {
+    /// Start offset of each function's code in `counts`.
+    starts: Box<[u32]>,
+    counts: Box<[u64]>,
+}
+
+impl ProfileBuf {
+    fn new(plan: &KernelPlan) -> ProfileBuf {
+        let mut starts = Vec::with_capacity(plan.funcs.len());
+        let mut off = 0_u32;
+        for f in &plan.funcs {
+            starts.push(off);
+            off += f.code.len() as u32;
+        }
+        ProfileBuf {
+            starts: starts.into_boxed_slice(),
+            counts: vec![0; off as usize].into_boxed_slice(),
+        }
+    }
 }
 
 impl PlanCtx {
@@ -1744,7 +1963,25 @@ impl PlanCtx {
         PlanCtx {
             dense_cache: vec![None; plan.dense_consts.len()],
             local_allocs: vec![None; plan.local_sites as usize],
+            profile: None,
         }
+    }
+
+    /// Like [`PlanCtx::new`], additionally counting every executed
+    /// instruction (drained with [`PlanCtx::take_profile`]).
+    pub fn profiled(plan: &KernelPlan) -> PlanCtx {
+        PlanCtx {
+            profile: Some(ProfileBuf::new(plan)),
+            ..PlanCtx::new(plan)
+        }
+    }
+
+    /// The flat per-instruction execution counts accumulated so far, if
+    /// this context was built with [`PlanCtx::profiled`]. Counts are plain
+    /// sums, so per-worker buffers merge by element-wise addition in any
+    /// order.
+    pub fn take_profile(&mut self) -> Option<Box<[u64]>> {
+        self.profile.take().map(|p| p.counts)
     }
 
     /// Reset work-group-shared state (call between work-groups).
@@ -1827,6 +2064,21 @@ impl PlanWorkItem {
         ctx: &mut PlanExecCtx<'_, '_>,
         pctx: &mut PlanCtx,
     ) -> Result<Stop, SimError> {
+        // Monomorphize the interpreter loop over the profiling switch so a
+        // non-profiled run (the default) carries no per-instruction branch.
+        if pctx.profile.is_some() {
+            self.run_impl::<true>(plan, ctx, pctx)
+        } else {
+            self.run_impl::<false>(plan, ctx, pctx)
+        }
+    }
+
+    fn run_impl<const PROFILE: bool>(
+        &mut self,
+        plan: &KernelPlan,
+        ctx: &mut PlanExecCtx<'_, '_>,
+        pctx: &mut PlanCtx,
+    ) -> Result<Stop, SimError> {
         if self.finished {
             return Ok(Stop::Finished);
         }
@@ -1859,6 +2111,10 @@ impl PlanWorkItem {
                 return Err(err("work-item exceeded the step budget (runaway loop?)"));
             }
             let instr = &code[pc];
+            if PROFILE {
+                let pb = pctx.profile.as_mut().expect("profiled PlanCtx");
+                pb.counts[(pb.starts[func] + pc as u32) as usize] += 1;
+            }
             pc += 1;
             match instr {
                 Instr::Const { dst, val } => reg!(*dst) = *val,

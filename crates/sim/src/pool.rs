@@ -25,21 +25,28 @@
 //!   instead of growing the heap. Workers never mutate shared allocation
 //!   tables, so there is no allocation lock; the top two bits of a
 //!   [`MemId`] route accesses to the right side.
-//! * [`run_plan_batch`] — the scheduler, over a **batch** of mutually
-//!   independent launches (a single launch, [`run_plan_launch`], is the
-//!   batch of one). Workers drain the batch's launches in order, claiming
-//!   work-groups from per-launch atomic cursors (dynamic load balancing
-//!   within a launch, pipelining across launches), accumulate
-//!   [`ExecStats`] locally per launch, and the per-worker counters are
+//! * [`run_plan_graph`] — the **out-of-order scheduler**, over a whole
+//!   launch graph: kernel launches plus the hazard DAG ordering them
+//!   ([`LaunchDag`]; [`run_plan_batch`] is the edge-free special case and
+//!   a single launch, [`run_plan_launch`], the graph of one). Each launch
+//!   carries an atomic remaining-dependency counter; the worker that
+//!   retires a launch's last work-group decrements its successors'
+//!   counters and publishes newly-ready launches to a shared ready set —
+//!   no level barrier anywhere. Work-groups are claimed in per-worker
+//!   **chunks** (adaptive to the launch's group count) so cursor
+//!   contention stays low even for many tiny groups. Workers accumulate
+//!   [`ExecStats`] locally per launch and the per-worker counters are
 //!   summed per launch after the join. Every counter is an integer total
 //!   over work-groups and the coalescing tracker resets per group, so
 //!   the merged statistics — and the cycle model charged from them — are
-//!   bit-identical for any worker count and any interleaving.
+//!   bit-identical for any worker count, schedule and interleaving.
 //!
-//! Determinism of errors: when several work-groups fail, the error of the
-//! lexicographically smallest `(launch, group)` among those observed is
-//! reported, matching the sequential engine whenever a single group is at
-//! fault.
+//! Determinism of errors: every failing work-group (simulator error or
+//! panic) is recorded with its `(launch, group)` position and the
+//! lexicographically smallest one is reported — exactly the failure
+//! submission-order serial execution hits first, under every thread count
+//! and schedule (see [`run_plan_graph`] for why the minimum is always
+//! executed).
 
 use crate::cost::{CostModel, ExecStats};
 use crate::device::{cooperative_rounds, items_of_group, NdRangeSpec};
@@ -50,7 +57,7 @@ use crate::value::RtValue;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Tag bit distinguishing worker-arena allocations from launch-shared
@@ -481,14 +488,184 @@ fn worker_main() {
 }
 
 // ----------------------------------------------------------------------
-// The work-group scheduler
+// Launch dependency graphs
 // ----------------------------------------------------------------------
 
-/// One kernel launch of a batch handed to [`run_plan_batch`]: a decoded
-/// plan, its bound arguments and its geometry. All launches of a batch
-/// must be mutually independent (no data hazards) — the runtime's queue
-/// scheduler guarantees this by batching only dependency-free levels of
-/// its topological order.
+/// The hazard DAG over a slice of launches: per-launch predecessor counts
+/// and successor lists, indices parallel to the launch slice (for the
+/// runtime's queue scheduler, submission order). Edges always point from
+/// a smaller to a larger index in well-formed graphs (hazards respect
+/// submission order), which is what makes them acyclic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LaunchDag {
+    /// Number of incoming hazard edges per launch.
+    pub preds: Vec<usize>,
+    /// Outgoing hazard edges per launch (ascending target indices).
+    pub succs: Vec<Vec<usize>>,
+}
+
+impl LaunchDag {
+    /// A graph of `n` mutually independent launches (no edges).
+    pub fn independent(n: usize) -> LaunchDag {
+        LaunchDag {
+            preds: vec![0; n],
+            succs: vec![Vec::new(); n],
+        }
+    }
+
+    /// A total order: launch `i` depends on launch `i - 1` — the
+    /// submission-order serial schedule expressed as a graph.
+    pub fn chain(n: usize) -> LaunchDag {
+        let mut dag = LaunchDag::independent(n);
+        for i in 1..n {
+            dag.preds[i] = 1;
+            dag.succs[i - 1].push(i);
+        }
+        dag
+    }
+
+    /// The graph over `n` launches with the given `(before, after)` edges
+    /// (duplicates contribute duplicate counts and should be pre-deduped).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> LaunchDag {
+        let mut dag = LaunchDag::independent(n);
+        for &(i, j) in edges {
+            dag.preds[j] += 1;
+            dag.succs[i].push(j);
+        }
+        for s in &mut dag.succs {
+            s.sort_unstable();
+        }
+        dag
+    }
+
+    /// Number of launches the graph ranges over.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Kahn's worklist over the graph: each node's longest-path level
+    /// plus the number of nodes visited (`== len()` iff acyclic). The
+    /// single traversal both [`LaunchDag::levels`] and
+    /// [`LaunchDag::validate`] interpret, so the two can never disagree
+    /// about what constitutes a cycle.
+    fn kahn_levels(&self) -> (Vec<usize>, usize) {
+        let n = self.len();
+        let mut indeg = self.preds.clone();
+        let mut level = vec![0_usize; n];
+        let mut work: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0_usize;
+        while let Some(u) = work.pop_front() {
+            seen += 1;
+            for &s in &self.succs[u] {
+                level[s] = level[s].max(level[u] + 1);
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    work.push_back(s);
+                }
+            }
+        }
+        (level, seen)
+    }
+
+    /// Partition into **dependency levels** by longest path from a root:
+    /// level `k` holds every launch all of whose predecessors sit in
+    /// levels `< k`. Within a level, indices ascend. This is the leveled
+    /// (batch-barrier) view of the graph — [`LaunchDag::level_barriers`]
+    /// turns it back into edges.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts acyclicity (hazard DAGs are acyclic by construction);
+    /// nodes on a cycle would be dropped.
+    pub fn levels(&self) -> Vec<Vec<usize>> {
+        let (level, seen) = self.kahn_levels();
+        debug_assert_eq!(seen, self.len(), "launch graph has a cycle");
+        let depth = level.iter().copied().max().map_or(0, |d| d + 1);
+        let mut levels = vec![Vec::new(); depth];
+        for (i, &l) in level.iter().enumerate() {
+            levels[l].push(i);
+        }
+        for l in &mut levels {
+            l.sort_unstable();
+        }
+        levels
+    }
+
+    /// The level-barrier strengthening of this graph: every launch of
+    /// level `k` depends on **every** launch of level `k - 1`. Running the
+    /// strengthened graph through [`run_plan_graph`] reproduces the PR 3
+    /// batch-by-batch schedule (drain a whole level, then start the next)
+    /// inside the out-of-order executor — the `--overlap=off` debug path.
+    pub fn level_barriers(&self) -> LaunchDag {
+        let levels = self.levels();
+        let mut dag = LaunchDag::independent(self.len());
+        for w in levels.windows(2) {
+            for &i in &w[0] {
+                for &j in &w[1] {
+                    dag.succs[i].push(j);
+                    dag.preds[j] += 1;
+                }
+            }
+        }
+        for s in &mut dag.succs {
+            s.sort_unstable();
+        }
+        dag
+    }
+
+    /// Structural validation against a launch count: lengths match, edge
+    /// targets are in range, predecessor counts agree with the successor
+    /// lists, and the graph is acyclic.
+    fn validate(&self, n: usize) -> Result<(), SimError> {
+        if self.preds.len() != n || self.succs.len() != n {
+            return Err(SimError {
+                message: format!(
+                    "launch graph over {} launches given {} launches",
+                    self.preds.len(),
+                    n
+                ),
+            });
+        }
+        let mut indeg = vec![0_usize; n];
+        for (i, succ) in self.succs.iter().enumerate() {
+            for &s in succ {
+                if s >= n {
+                    return Err(SimError {
+                        message: format!("edge {i} -> {s} out of range ({n} launches)"),
+                    });
+                }
+                indeg[s] += 1;
+            }
+        }
+        if indeg != self.preds {
+            return Err(SimError {
+                message: "predecessor counts disagree with successor lists".into(),
+            });
+        }
+        // Kahn's walk visits every node iff the graph is acyclic. Safe to
+        // run only now: it trusts `preds`, checked consistent above.
+        let (_, seen) = self.kahn_levels();
+        if seen != n {
+            return Err(SimError {
+                message: "launch graph has a cycle".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// The out-of-order launch scheduler
+// ----------------------------------------------------------------------
+
+/// One kernel launch of a graph handed to [`run_plan_graph`] (or of a
+/// batch handed to [`run_plan_batch`]): a decoded plan, its bound
+/// arguments and its geometry.
 pub struct PlanLaunch<'a> {
     /// The decoded (possibly fused) kernel.
     pub plan: &'a KernelPlan,
@@ -498,56 +675,107 @@ pub struct PlanLaunch<'a> {
     pub nd: NdRangeSpec,
 }
 
-/// Per-launch scheduling state: the geometry plus the atomic work-group
-/// cursor workers claim from.
-struct LaunchUnit<'a> {
+/// Per-launch scheduling state: geometry, claim cursor, retire counter
+/// and the remaining-dependency counter driving the ready set.
+struct GraphUnit<'a> {
     plan: &'a KernelPlan,
     args: &'a [RtValue],
     nd: NdRangeSpec,
     groups: [i64; 3],
     total: usize,
+    /// Work-groups claimed per `fetch_add` (adaptive: large launches use
+    /// bigger chunks so small launches keep fine-grained balancing).
+    chunk: usize,
     /// Claim cursor: the next unclaimed linear work-group index.
     next: AtomicUsize,
+    /// Work-groups not yet finished; the worker that takes it to zero
+    /// retires the launch.
+    unfinished: AtomicUsize,
+    /// Predecessors not yet retired; the worker that takes it to zero
+    /// publishes the launch to the ready set.
+    remaining_deps: AtomicUsize,
 }
 
-/// One worker's outcome: its per-launch accumulated counters and the
-/// first failing work-group it observed (launch index, linear group
-/// index, error).
+/// A failure observed while running one work-group: either a simulator
+/// error (divergent barrier, bad operand) or a transported panic
+/// (out-of-bounds device access, type-mismatched store).
+enum Failure {
+    Error(SimError),
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+/// One worker's outcome: per-launch accumulated counters plus, when
+/// profiling, per-launch flat instruction execution counts.
 struct WorkerResult {
     stats: Vec<ExecStats>,
-    error: Option<(usize, usize, SimError)>,
+    profiles: Vec<Option<Box<[u64]>>>,
 }
 
-/// Everything a batch shares with its pool jobs. Lives on the launching
-/// thread's stack for the duration of [`run_plan_batch`]; the completion
-/// latch guarantees no job outlives it.
-struct LaunchState<'a, 'p> {
-    units: Vec<LaunchUnit<'a>>,
+/// Everything a graph run shares with its pool jobs. Lives on the
+/// launching thread's stack for the duration of [`run_plan_graph`]; the
+/// completion latch guarantees no job outlives it.
+struct GraphState<'a, 'p> {
+    units: Vec<GraphUnit<'a>>,
+    succs: &'a [Vec<usize>],
     shared: &'a SharedPool<'p>,
     cost: &'a CostModel,
-    abort: AtomicBool,
+    profile: bool,
+    /// Launches with retired dependencies and (possibly) unclaimed
+    /// work-groups. Exhausted entries are dropped lazily by `acquire`.
+    ready: Mutex<VecDeque<usize>>,
+    /// Wakes workers parked in `acquire` (new ready launches, poisoning,
+    /// or the last retire).
+    wake: Condvar,
+    /// Launches not yet retired; the run is over when this hits zero.
+    launches_left: AtomicUsize,
+    /// Lexicographically smallest failure position observed so far,
+    /// encoded `(launch << 32) | group`; `u64::MAX` while clean. Groups
+    /// beyond the bound are skipped (their results could never be
+    /// reported), which prunes the tail of a failing run without ever
+    /// skipping the true minimum.
+    error_bound: AtomicU64,
+    /// Every observed failure with its position; the minimum is reported.
+    failures: Mutex<Vec<(usize, usize, Failure)>>,
+    /// Set when a worker itself dies outside group execution (a scheduler
+    /// bug): releases parked workers so the latch is always reached.
+    poisoned: AtomicBool,
     results: Mutex<Vec<WorkerResult>>,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     /// Completion latch: (jobs still running, wakeup for the launcher).
     latch: (Mutex<usize>, Condvar),
 }
 
-impl LaunchState<'_, '_> {
-    /// Run one worker loop against this launch, recording the outcome.
+/// Encode a `(launch, group)` position for the atomic error bound.
+#[inline]
+fn encode_pos(li: usize, gi: usize) -> u64 {
+    ((li as u64) << 32) | gi as u64
+}
+
+impl GraphState<'_, '_> {
+    /// Run one worker loop against this graph, recording the outcome.
     /// Never unwinds.
     fn run_worker(&self) {
-        let outcome = catch_unwind(AssertUnwindSafe(|| worker_loop(self)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| graph_worker(self)));
         match outcome {
             Ok(result) => self.results.lock().unwrap().push(result),
             Err(payload) => {
-                // A panicking work-item (out-of-bounds access, type-
-                // mismatched store): park the payload for the launcher to
-                // re-throw, mirroring the sequential engine.
-                self.abort.store(true, Ordering::Relaxed);
+                // A panic outside per-group execution (scheduler bug):
+                // park the payload for the launcher to re-throw and
+                // release everyone. The poison flag is raised while
+                // holding the `ready` mutex: `acquire` checks it under
+                // the same mutex, so a worker is either still scanning
+                // (and will see the flag) or already parked (and gets
+                // the notification) — never in between losing both.
+                {
+                    let _q = self.ready.lock().unwrap();
+                    self.poisoned.store(true, Ordering::Relaxed);
+                }
                 let mut slot = self.panic.lock().unwrap();
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
+                drop(slot);
+                self.wake.notify_all();
             }
         }
         let mut left = self.latch.0.lock().unwrap();
@@ -556,16 +784,78 @@ impl LaunchState<'_, '_> {
             self.latch.1.notify_all();
         }
     }
+
+    /// Record a failing work-group, tightening the skip bound.
+    fn record_failure(&self, li: usize, gi: usize, failure: Failure) {
+        self.error_bound
+            .fetch_min(encode_pos(li, gi), Ordering::Relaxed);
+        self.failures.lock().unwrap().push((li, gi, failure));
+    }
+
+    /// Retire launch `li`: publish successors whose last dependency this
+    /// was, and wake parked workers when anything changed.
+    fn retire(&self, li: usize) {
+        let mut newly_ready = Vec::new();
+        for &s in &self.succs[li] {
+            // AcqRel: the retiring thread has (transitively) acquired all
+            // group-completion decrements of `li`, and a successor's first
+            // claim acquires this decrement — establishing happens-before
+            // from every write of a predecessor launch to every read of
+            // its successors.
+            if self.units[s].remaining_deps.fetch_sub(1, Ordering::AcqRel) == 1 {
+                newly_ready.push(s);
+            }
+        }
+        // The wake predicate (`launches_left`, ready-queue contents) must
+        // change while the `ready` mutex is held: a worker in `acquire`
+        // is either still scanning under the mutex (and re-reads the new
+        // state) or already parked in `wait` (and receives the
+        // notification). Decrementing or notifying outside the lock
+        // loses the wakeup when the worker sits between its predicate
+        // check and the park.
+        let mut q = self.ready.lock().unwrap();
+        let left = self.launches_left.fetch_sub(1, Ordering::AcqRel) - 1;
+        let publish = !newly_ready.is_empty();
+        q.extend(newly_ready);
+        drop(q);
+        if left == 0 || publish {
+            self.wake.notify_all();
+        }
+    }
+
+    /// Block until some ready launch has unclaimed work-groups and return
+    /// it, or return `None` when every launch has retired (or a worker
+    /// poisoned the run). Exhausted-but-unretired launches are removed
+    /// from the ready set; their in-flight chunks retire them.
+    fn acquire(&self) -> Option<usize> {
+        let mut q = self.ready.lock().unwrap();
+        loop {
+            if self.poisoned.load(Ordering::Relaxed) {
+                return None;
+            }
+            if self.launches_left.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            while let Some(&li) = q.front() {
+                if self.units[li].next.load(Ordering::Relaxed) >= self.units[li].total {
+                    q.pop_front();
+                } else {
+                    return Some(li);
+                }
+            }
+            q = self.wake.wait(q).unwrap();
+        }
+    }
 }
 
 /// Pool-job trampoline.
 ///
 /// # Safety
 ///
-/// `ctx` must point to a live [`LaunchState`] that stays alive until the
+/// `ctx` must point to a live [`GraphState`] that stays alive until the
 /// state's latch observes this job's completion.
 unsafe fn launch_job(ctx: *const ()) {
-    let state = unsafe { &*(ctx as *const LaunchState<'_, '_>) };
+    let state = unsafe { &*(ctx as *const GraphState<'_, '_>) };
     state.run_worker();
 }
 
@@ -596,39 +886,83 @@ fn run_group(
     cooperative_rounds(&mut items, group, |wi| wi.run(plan, ctx, pctx))
 }
 
-/// Claim-and-run loop of one worker thread: drain the batch's launches in
-/// order, claiming work-groups from each launch's atomic cursor. The
+/// Claim-and-run loop of one worker thread over the launch graph.
+///
+/// The worker repeatedly asks the ready set for a launch with unclaimed
+/// work-groups and claims a **chunk** of them (`GraphUnit::chunk` per
+/// `fetch_add` — one atomic RMW amortized over many groups, which is what
+/// cuts cursor contention on launches with many small groups). The
 /// worker's memory interface — and with it the recyclable scratch arena —
-/// is reused across every launch of the batch; only the statistics
-/// accumulator is swapped per launch (counters must merge per launch).
-fn worker_loop(launch: &LaunchState<'_, '_>) -> WorkerResult {
-    let mut ctx = PlanExecCtx::new(launch.shared, launch.cost);
-    let mut stats = vec![ExecStats::default(); launch.units.len()];
-    let mut error = None;
-    'units: for (li, unit) in launch.units.iter().enumerate() {
-        let mut pctx = PlanCtx::new(unit.plan);
-        loop {
-            if launch.abort.load(Ordering::Relaxed) {
-                stats[li] = std::mem::take(&mut ctx.stats);
-                break 'units;
+/// is reused across every launch it touches; the statistics accumulator
+/// and the per-launch plan state are swapped per launch (counters must
+/// merge per launch).
+///
+/// A failing work-group (simulator error or transported panic) is
+/// recorded with its `(launch, group)` position and execution continues;
+/// groups lexicographically beyond the best-known failure are skipped.
+/// That keeps the reported error deterministic — always the smallest
+/// failing position, independent of scheduling — while still pruning most
+/// of a failing run.
+fn graph_worker(st: &GraphState<'_, '_>) -> WorkerResult {
+    let mut ctx = PlanExecCtx::new(st.shared, st.cost);
+    let n = st.units.len();
+    let mut stats = vec![ExecStats::default(); n];
+    let mut pctxs: Vec<Option<PlanCtx>> = (0..n).map(|_| None).collect();
+    let mut cur: Option<usize> = None;
+    while let Some(li) = st.acquire() {
+        if cur != Some(li) {
+            if let Some(c) = cur {
+                stats[c].add(&std::mem::take(&mut ctx.stats));
             }
-            let idx = unit.next.fetch_add(1, Ordering::Relaxed);
-            if idx >= unit.total {
-                break;
-            }
-            let group = group_of(unit.groups, idx);
-            if let Err(e) = run_group(unit.plan, unit.args, unit.nd, group, &mut ctx, &mut pctx) {
-                error = Some((li, idx, e));
-                launch.abort.store(true, Ordering::Relaxed);
-                stats[li] = std::mem::take(&mut ctx.stats);
-                break 'units;
-            }
-            ctx.next_work_group();
-            pctx.next_work_group();
+            cur = Some(li);
         }
-        stats[li] = std::mem::take(&mut ctx.stats);
+        let unit = &st.units[li];
+        let pctx = pctxs[li].get_or_insert_with(|| {
+            if st.profile {
+                PlanCtx::profiled(unit.plan)
+            } else {
+                PlanCtx::new(unit.plan)
+            }
+        });
+        loop {
+            let start = unit.next.fetch_add(unit.chunk, Ordering::Relaxed);
+            if start >= unit.total {
+                break; // fully claimed; pick another ready launch
+            }
+            let end = (start + unit.chunk).min(unit.total);
+            for idx in start..end {
+                if encode_pos(li, idx) > st.error_bound.load(Ordering::Relaxed) {
+                    continue; // beyond the best failure: unreportable
+                }
+                let group = group_of(unit.groups, idx);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_group(unit.plan, unit.args, unit.nd, group, &mut ctx, pctx)
+                }));
+                ctx.next_work_group();
+                pctx.next_work_group();
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => st.record_failure(li, idx, Failure::Error(e)),
+                    Err(payload) => st.record_failure(li, idx, Failure::Panic(payload)),
+                }
+            }
+            // Release: every store this worker made for these groups
+            // happens-before the retire that publishes the successors.
+            let before = unit.unfinished.fetch_sub(end - start, Ordering::AcqRel);
+            debug_assert!(before >= end - start, "over-retired launch {li}");
+            if before == end - start {
+                st.retire(li);
+            }
+        }
     }
-    WorkerResult { stats, error }
+    if let Some(c) = cur {
+        stats[c].add(&std::mem::take(&mut ctx.stats));
+    }
+    let profiles = pctxs
+        .iter_mut()
+        .map(|p| p.as_mut().and_then(|p| p.take_profile()))
+        .collect();
+    WorkerResult { stats, profiles }
 }
 
 /// Execute a pre-decoded [`KernelPlan`] over `nd` on `threads` workers
@@ -648,53 +982,125 @@ pub fn run_plan_launch(
     Ok(stats.pop().expect("one launch in, one stats out"))
 }
 
-/// Execute a batch of mutually independent plan launches concurrently on
-/// `threads` workers, sharing one worker pool across all of them.
-///
-/// Every worker drains the launches in order through per-launch atomic
-/// claim cursors: while early launches still have unclaimed work-groups,
-/// all workers help there; as a launch runs dry, workers move on to the
-/// next instead of idling at a join barrier — launch-level parallelism on
-/// top of PR 2's work-group-level parallelism. Statistics are accumulated
-/// per worker *per launch* and merged per launch after the join, so every
-/// launch's [`ExecStats`] (and the cycle model charged from it) is
-/// bit-identical to running the launches one at a time, for every worker
-/// count and any interleaving.
-///
-/// When several work-groups fail, the error of the lexicographically
-/// smallest `(launch, group)` among those observed is reported, matching
-/// sequential execution whenever a single group is at fault.
+/// Execute a batch of **mutually independent** plan launches concurrently
+/// on `threads` workers: [`run_plan_graph`] over the edge-free graph.
 pub fn run_plan_batch(
     launches: &[PlanLaunch<'_>],
     pool_mem: &mut MemoryPool,
     cost: &CostModel,
     threads: usize,
 ) -> Result<Vec<ExecStats>, SimError> {
+    let dag = LaunchDag::independent(launches.len());
+    run_plan_graph(launches, &dag, pool_mem, cost, threads, false).map(|o| o.stats)
+}
+
+/// What [`run_plan_graph`] returns: per-launch statistics plus, when
+/// profiling was requested, per-launch flat instruction execution counts
+/// (index into the launch's plan functions concatenated in order; see
+/// [`crate::plan::profile_summary`]).
+pub struct GraphOutcome {
+    /// One merged [`ExecStats`] per launch, cycles charged.
+    pub stats: Vec<ExecStats>,
+    /// Per-launch execution counts (`Some` iff profiling was requested).
+    pub profile: Option<Vec<Box<[u64]>>>,
+}
+
+/// Execute a whole **launch graph** on `threads` workers, out of order:
+/// a launch becomes eligible the moment its last predecessor retires —
+/// no level barrier — and all eligible launches share one worker pool
+/// through per-launch chunked claim cursors.
+///
+/// * **Scheduling.** Every launch carries a remaining-dependency counter;
+///   the worker that retires a launch's last work-group decrements its
+///   successors' counters and publishes any that hit zero to a shared
+///   ready set. Workers claim work-groups in chunks (adaptive to the
+///   launch's group count), so a single slow launch no longer stalls
+///   ready successors the way the PR 3 level batcher did.
+/// * **Determinism.** Statistics are accumulated per worker *per launch*
+///   and merged per launch after the join (integer totals, commutative),
+///   so every launch's [`ExecStats`] — and the cycle model charged from
+///   it — is bit-identical to serial submission-order execution, for
+///   every worker count, graph shape and interleaving. Hazard edges order
+///   all conflicting buffer accesses (retire/claim counters carry the
+///   necessary happens-before), so buffer contents are bit-identical too.
+/// * **Errors.** Failing work-groups (simulator errors *and* panics, e.g.
+///   out-of-bounds device accesses) are collected with their positions;
+///   the failure at the lexicographically smallest `(launch, group)` is
+///   reported — exactly the one submission-order serial execution hits
+///   first, under every thread count and graph shape. Groups beyond the
+///   best-known failure are skipped, so a failing run still terminates
+///   early.
+///
+/// # Errors
+///
+/// Malformed geometry, malformed/cyclic graphs, and the minimal failing
+/// work-group's error as above (its panic is re-thrown as a panic).
+pub fn run_plan_graph(
+    launches: &[PlanLaunch<'_>],
+    dag: &LaunchDag,
+    pool_mem: &mut MemoryPool,
+    cost: &CostModel,
+    threads: usize,
+    profile: bool,
+) -> Result<GraphOutcome, SimError> {
+    dag.validate(launches.len())?;
+    if launches.len() >= u32::MAX as usize {
+        return Err(SimError {
+            message: "too many launches in one graph".into(),
+        });
+    }
+    let workers_hint = threads.max(1);
     let mut units = Vec::with_capacity(launches.len());
     let mut total_groups = 0_usize;
-    for l in launches {
+    for (li, l) in launches.iter().enumerate() {
         l.nd.validate()?;
         let groups = l.nd.groups();
         let total = (groups[0] * groups[1] * groups[2]) as usize;
+        if total >= u32::MAX as usize {
+            return Err(SimError {
+                message: "too many work-groups in one launch".into(),
+            });
+        }
         total_groups += total;
-        units.push(LaunchUnit {
+        // Chunked claiming: aim for several chunks per worker so load
+        // still balances, but cap the chunk so launches pipeline.
+        let chunk = (total / (workers_hint * 8)).clamp(1, 64);
+        units.push(GraphUnit {
             plan: l.plan,
             args: l.args,
             nd: l.nd,
             groups,
             total,
+            chunk,
             next: AtomicUsize::new(0),
+            unfinished: AtomicUsize::new(total),
+            remaining_deps: AtomicUsize::new(dag.preds[li]),
+        });
+    }
+    if units.is_empty() {
+        return Ok(GraphOutcome {
+            stats: Vec::new(),
+            profile: profile.then(Vec::new),
         });
     }
     let shared = SharedPool::new(pool_mem);
-    // Never enlist more workers than there are work-groups in the batch.
+    // Never enlist more workers than there are work-groups in the graph.
     let workers = threads.max(1).min(total_groups.max(1));
+    let initially_ready: VecDeque<usize> =
+        (0..units.len()).filter(|&i| dag.preds[i] == 0).collect();
 
-    let state = LaunchState {
+    let state = GraphState {
+        launches_left: AtomicUsize::new(units.len()),
         units,
+        succs: &dag.succs,
         shared: &shared,
         cost,
-        abort: AtomicBool::new(false),
+        profile,
+        ready: Mutex::new(initially_ready),
+        wake: Condvar::new(),
+        error_bound: AtomicU64::new(u64::MAX),
+        failures: Mutex::new(Vec::new()),
+        poisoned: AtomicBool::new(false),
         results: Mutex::new(Vec::with_capacity(workers)),
         panic: Mutex::new(None),
         latch: (Mutex::new(workers), Condvar::new()),
@@ -707,7 +1113,7 @@ pub fn run_plan_batch(
         for _ in 0..workers - 1 {
             st.queue.push_back(RawJob {
                 run: launch_job,
-                ctx: &state as *const LaunchState<'_, '_> as *const (),
+                ctx: &state as *const GraphState<'_, '_> as *const (),
             });
         }
         drop(st);
@@ -715,7 +1121,7 @@ pub fn run_plan_batch(
     }
     // The calling thread is always worker 0. `run_worker` catches panics,
     // so the latch below is reached (and the pool jobs drained) even when
-    // a work-item panics.
+    // the scheduler itself fails.
     state.run_worker();
 
     // Wait until every enlisted worker has finished; only then may `state`
@@ -730,30 +1136,51 @@ pub fn run_plan_batch(
         resume_unwind(payload);
     }
 
+    // Report the failure at the smallest (launch, group) — scheduling
+    // cannot reorder it away (see the function docs for why the minimum
+    // is always actually executed).
+    let failures = state.failures.into_inner().unwrap();
+    if let Some(min_pos) = failures.iter().map(|&(li, gi, _)| (li, gi)).min() {
+        let (_, _, failure) = failures
+            .into_iter()
+            .find(|&(li, gi, _)| (li, gi) == min_pos)
+            .expect("minimal failure present");
+        match failure {
+            Failure::Error(e) => return Err(e),
+            Failure::Panic(payload) => resume_unwind(payload),
+        }
+    }
+
     let mut merged = vec![ExecStats::default(); launches.len()];
-    let mut first_error: Option<(usize, usize, SimError)> = None;
+    let mut profiles: Vec<Box<[u64]>> = if profile {
+        launches
+            .iter()
+            .map(|l| vec![0; l.plan.instr_count()].into_boxed_slice())
+            .collect()
+    } else {
+        Vec::new()
+    };
     for r in state.results.into_inner().unwrap() {
         for (m, s) in merged.iter_mut().zip(&r.stats) {
             m.add(s);
         }
-        if let Some((li, gi, e)) = r.error {
-            if first_error
-                .as_ref()
-                .is_none_or(|(fl, fg, _)| (li, gi) < (*fl, *fg))
-            {
-                first_error = Some((li, gi, e));
+        for (acc, p) in profiles.iter_mut().zip(&r.profiles) {
+            if let Some(p) = p {
+                for (a, c) in acc.iter_mut().zip(p.iter()) {
+                    *a += c;
+                }
             }
         }
-    }
-    if let Some((_, _, e)) = first_error {
-        return Err(e);
     }
     for (m, unit) in merged.iter_mut().zip(&state.units) {
         m.work_groups = unit.total as u64;
         m.work_items = unit.nd.work_items() as u64;
         m.charge(cost);
     }
-    Ok(merged)
+    Ok(GraphOutcome {
+        stats: merged,
+        profile: profile.then_some(profiles),
+    })
 }
 
 #[cfg(test)]
@@ -849,5 +1276,59 @@ mod tests {
         let f = pool.alloc(DataVec::F32(vec![0.0; 2]));
         let shared = SharedPool::new(&mut pool);
         shared.load(f, 5);
+    }
+
+    #[test]
+    fn launch_dag_constructors_and_levels() {
+        // Diamond: 0 -> {1, 2} -> 3.
+        let dag = LaunchDag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(dag.preds, vec![0, 1, 1, 2]);
+        assert_eq!(dag.succs, vec![vec![1, 2], vec![3], vec![3], vec![]]);
+        assert_eq!(dag.levels(), vec![vec![0], vec![1, 2], vec![3]]);
+
+        let chain = LaunchDag::chain(3);
+        assert_eq!(chain.levels(), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(LaunchDag::independent(3).levels(), vec![vec![0, 1, 2]]);
+        assert_eq!(LaunchDag::independent(0).levels(), Vec::<Vec<usize>>::new());
+    }
+
+    #[test]
+    fn level_barriers_strengthen_to_the_batch_schedule() {
+        // 0 -> 1; 2 independent (level 0); 3 depends on 2 (level 1).
+        let dag = LaunchDag::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(dag.levels(), vec![vec![0, 2], vec![1, 3]]);
+        let strict = dag.level_barriers();
+        // Every level-1 launch now depends on every level-0 launch.
+        assert_eq!(strict.preds, vec![0, 2, 0, 2]);
+        assert_eq!(strict.succs[0], vec![1, 3]);
+        assert_eq!(strict.succs[2], vec![1, 3]);
+        // Same leveling either way.
+        assert_eq!(strict.levels(), dag.levels());
+    }
+
+    #[test]
+    fn malformed_graphs_are_rejected() {
+        // Wrong length.
+        assert!(LaunchDag::independent(2).validate(3).is_err());
+        // Inconsistent predecessor counts.
+        let bad = LaunchDag {
+            preds: vec![0, 0],
+            succs: vec![vec![1], vec![]],
+        };
+        assert!(bad.validate(2).is_err());
+        // A cycle.
+        let cyclic = LaunchDag {
+            preds: vec![1, 1],
+            succs: vec![vec![1], vec![0]],
+        };
+        assert!(cyclic.validate(2).unwrap_err().message.contains("cycle"));
+        // Out-of-range edge.
+        let oob = LaunchDag {
+            preds: vec![0, 1],
+            succs: vec![vec![5], vec![]],
+        };
+        assert!(oob.validate(2).is_err());
+        // Well-formed.
+        assert!(LaunchDag::chain(4).validate(4).is_ok());
     }
 }

@@ -28,7 +28,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 step "cargo build --release"
 cargo build --release
 
-step "cargo test"
+# Runs the whole workspace, including the scheduler's hardening suites:
+# tests/scheduler_stress.rs (~200 randomized hazard DAGs across every
+# scheduler mode × thread count, plus error-ordering pins) and
+# tests/plan_fuzz.rs (random legal bytecode, fused vs unfused).
+step "cargo test (incl. scheduler stress + plan fuzz suites)"
 cargo test -q
 
 step "cargo doc --no-deps (deny warnings)"
@@ -43,23 +47,26 @@ fi
 
 # ----------------------------------------------------------------------
 # Bench smoke: the full evaluation sweep in quick mode — sequential, on 4
-# worker threads, and with plan fusion disabled. Asserts the determinism
-# contract (bit-identical tables across threads AND across fused/unfused
-# execution) and prints the wall-time trajectory so a perf regression is
-# visible in the CI log.
+# worker threads, with plan fusion disabled, and with the out-of-order
+# scheduler disabled (PR 3 level barriers). Asserts the determinism
+# contract (bit-identical tables across threads, fused/unfused execution
+# AND overlap on/off) and prints the wall-time trajectory so a perf
+# regression is visible in the CI log.
 # ----------------------------------------------------------------------
-step "bench smoke: repro_all --quick (threads=1 vs threads=4 vs fuse=off)"
+step "bench smoke: repro_all --quick (threads=1 vs threads=4 vs fuse=off vs overlap=off)"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 ./target/release/repro_all --quick --threads=1 | tee "$tmp/t1.out"
 ./target/release/repro_all --quick --threads=4 | tee "$tmp/t4.out"
 ./target/release/repro_all --quick --threads=1 --fuse=off --batch=off | tee "$tmp/nofuse.out"
+./target/release/repro_all --quick --threads=4 --overlap=off | tee "$tmp/nooverlap.out"
 
 # The wall-time line is the only legitimate difference between runs.
 grep -v '^repro_wall_time_seconds:' "$tmp/t1.out" > "$tmp/t1.tables"
 grep -v '^repro_wall_time_seconds:' "$tmp/t4.out" > "$tmp/t4.tables"
 grep -v '^repro_wall_time_seconds:' "$tmp/nofuse.out" > "$tmp/nofuse.tables"
+grep -v '^repro_wall_time_seconds:' "$tmp/nooverlap.out" > "$tmp/nooverlap.tables"
 if ! diff -u "$tmp/t1.tables" "$tmp/t4.tables"; then
   echo "FAIL: repro_all tables differ between --threads=1 and --threads=4" >&2
   exit 1
@@ -68,13 +75,18 @@ if ! diff -u "$tmp/t1.tables" "$tmp/nofuse.tables"; then
   echo "FAIL: repro_all tables differ between fused and unfused execution" >&2
   exit 1
 fi
-echo "tables bit-identical across thread counts and fuse settings"
+if ! diff -u "$tmp/t4.tables" "$tmp/nooverlap.tables"; then
+  echo "FAIL: repro_all tables differ between overlap=on and overlap=off" >&2
+  exit 1
+fi
+echo "tables bit-identical across thread counts, fuse settings and overlap modes"
 
 echo
-echo "wall-time regression check (PR 2 baselines: 1.28 s threads=1, 1.02 s threads=4):"
-grep '^repro_wall_time_seconds:' "$tmp/t1.out"     | sed 's/^/  threads=1          /'
-grep '^repro_wall_time_seconds:' "$tmp/t4.out"     | sed 's/^/  threads=4          /'
-grep '^repro_wall_time_seconds:' "$tmp/nofuse.out" | sed 's/^/  fuse=off,batch=off /'
+echo "wall-time regression check (PR 3 baseline: ~1.0 s threads=4):"
+grep '^repro_wall_time_seconds:' "$tmp/t1.out"        | sed 's/^/  threads=1            /'
+grep '^repro_wall_time_seconds:' "$tmp/t4.out"        | sed 's/^/  threads=4            /'
+grep '^repro_wall_time_seconds:' "$tmp/nofuse.out"    | sed 's/^/  fuse=off,batch=off   /'
+grep '^repro_wall_time_seconds:' "$tmp/nooverlap.out" | sed 's/^/  threads=4,overlap=off/'
 
 echo
 echo "CI gate passed."

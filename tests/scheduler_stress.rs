@@ -1,0 +1,554 @@
+//! Randomized hazard-DAG stress testing for the launch scheduler.
+//!
+//! A seeded generator produces random command-group graphs — shared
+//! buffers under every access-mode mix, aliased USM allocations, host
+//! tasks, 1–64 submissions — and executes each one under every scheduler
+//! mode (serial chain, level barriers, full out-of-order overlap) at 1 and
+//! 4 worker threads, plus the tree-walk reference. Outputs (every buffer
+//! and USM allocation, compared bit-for-bit), per-kernel statistics,
+//! launch/JIT cycles and the report's cycle totals must be identical
+//! everywhere; when the generator injects a failing kernel, all
+//! configurations must report the *same* error — the lexicographically
+//! first `(submission, work-group)` failure.
+//!
+//! The deterministic tests at the bottom pin the error contract exactly:
+//! divergent barriers and out-of-bounds accesses (panics) injected at
+//! known positions in multi-launch graphs.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use sycl_mlir_repro::core::FlowKind;
+use sycl_mlir_repro::dialects::arith;
+use sycl_mlir_repro::frontend::{full_context, KernelModuleBuilder, KernelSig};
+use sycl_mlir_repro::runtime::{
+    compile_program, hostgen::generate_host_ir, HostOp, Program, Queue, SyclRuntime,
+};
+use sycl_mlir_repro::sim::{Device, Engine, ExecStats};
+use sycl_mlir_repro::sycl::device as sdev;
+use sycl_mlir_repro::sycl::types::AccessMode;
+
+const LEN: i64 = 32;
+
+/// One kernel argument of a generated submission: a buffer accessor or a
+/// USM allocation (aliasing is the point — several submissions naming the
+/// same id exercise the hazard edges).
+#[derive(Clone, Copy, Debug)]
+enum Arg {
+    Buf(usize),
+    Usm(usize),
+}
+
+/// One generated command group.
+#[derive(Clone, Debug)]
+enum Sub {
+    /// `combine(src read, dst read+write)`.
+    Combine {
+        src: Arg,
+        dst: Arg,
+        global: i64,
+        local: i64,
+    },
+    /// `scale_io(a read+write)`.
+    ScaleIo { a: Arg, global: i64, local: i64 },
+    /// A kernel with work-groups >= 2 stuck at a divergent barrier.
+    BadLate { global: i64, local: i64 },
+    /// A host task over buffers.
+    Host(HostOp),
+}
+
+/// A fully determined random graph: initial data plus the submission list.
+struct GraphSpec {
+    bufs: Vec<Vec<f32>>,
+    usms: Vec<Vec<f32>>,
+    subs: Vec<Sub>,
+}
+
+impl GraphSpec {
+    fn generate(seed: u64) -> GraphSpec {
+        let mut rng = TestRng::new(seed);
+        let n_buf = 2 + rng.below(3);
+        let n_usm = 1 + rng.below(2);
+        let bufs = (0..n_buf)
+            .map(|b| {
+                (0..LEN)
+                    .map(|i| (i as f32) * 0.25 + b as f32)
+                    .collect::<Vec<f32>>()
+            })
+            .collect();
+        let usms = (0..n_usm)
+            .map(|u| {
+                (0..LEN)
+                    .map(|i| (i as f32) * 0.5 - u as f32)
+                    .collect::<Vec<f32>>()
+            })
+            .collect();
+        let n_sub = 1 + rng.below(64);
+        // ~1 in 8 graphs carries one divergent kernel at a random spot.
+        let bad_at = if rng.below(8) == 0 {
+            Some(rng.below(n_sub))
+        } else {
+            None
+        };
+        let mut subs = Vec::with_capacity(n_sub);
+        for s in 0..n_sub {
+            if bad_at == Some(s) {
+                let local = [4, 8][rng.below(2)];
+                subs.push(Sub::BadLate { global: LEN, local });
+                continue;
+            }
+            let arg = |rng: &mut TestRng| -> Arg {
+                if rng.below(4) == 0 {
+                    Arg::Usm(rng.below(n_usm))
+                } else {
+                    Arg::Buf(rng.below(n_buf))
+                }
+            };
+            let local = [4, 8][rng.below(2)];
+            let global = [8, 16, 32][rng.below(3)].max(local);
+            match rng.below(10) {
+                0 | 1 => {
+                    // Host task (buffers only).
+                    let op = match rng.below(3) {
+                        0 => HostOp::Scale {
+                            buffer: sycl_mlir_repro::runtime::BufferId(rng.below(n_buf)),
+                            factor: [0.5, 2.0, 1.5][rng.below(3)],
+                        },
+                        1 => HostOp::Shift {
+                            buffer: sycl_mlir_repro::runtime::BufferId(rng.below(n_buf)),
+                            delta: [1.0, -2.0][rng.below(2)],
+                        },
+                        _ => HostOp::AddInto {
+                            dst: sycl_mlir_repro::runtime::BufferId(rng.below(n_buf)),
+                            src: sycl_mlir_repro::runtime::BufferId(rng.below(n_buf)),
+                        },
+                    };
+                    subs.push(Sub::Host(op));
+                }
+                2..=5 => subs.push(Sub::Combine {
+                    src: arg(&mut rng),
+                    dst: arg(&mut rng),
+                    global,
+                    local,
+                }),
+                _ => subs.push(Sub::ScaleIo {
+                    a: arg(&mut rng),
+                    global,
+                    local,
+                }),
+            }
+        }
+        GraphSpec { bufs, usms, subs }
+    }
+
+    /// A fresh runtime with the spec's initial data (ids are allocation
+    /// order, so every call produces the same id assignment).
+    fn runtime(&self) -> SyclRuntime {
+        let mut rt = SyclRuntime::new();
+        for data in &self.bufs {
+            rt.buffer_f32(data.clone(), &[LEN]);
+        }
+        for data in &self.usms {
+            rt.usm_alloc_f32(data.clone());
+        }
+        rt
+    }
+
+    /// Record the submissions on a queue.
+    fn queue(&self) -> Queue {
+        let mut q = Queue::new();
+        for sub in &self.subs {
+            match *sub {
+                Sub::Combine {
+                    src,
+                    dst,
+                    global,
+                    local,
+                } => {
+                    q.submit(|h| {
+                        match src {
+                            Arg::Buf(b) => {
+                                h.accessor(sycl_mlir_repro::runtime::BufferId(b), AccessMode::Read);
+                            }
+                            Arg::Usm(u) => {
+                                h.usm(sycl_mlir_repro::runtime::UsmId(u), LEN);
+                            }
+                        }
+                        match dst {
+                            Arg::Buf(b) => {
+                                h.accessor(
+                                    sycl_mlir_repro::runtime::BufferId(b),
+                                    AccessMode::ReadWrite,
+                                );
+                            }
+                            Arg::Usm(u) => {
+                                h.usm(sycl_mlir_repro::runtime::UsmId(u), LEN);
+                            }
+                        }
+                        h.parallel_for_nd("combine", &[global], &[local]);
+                    });
+                }
+                Sub::ScaleIo { a, global, local } => {
+                    q.submit(|h| {
+                        match a {
+                            Arg::Buf(b) => {
+                                h.accessor(
+                                    sycl_mlir_repro::runtime::BufferId(b),
+                                    AccessMode::ReadWrite,
+                                );
+                            }
+                            Arg::Usm(u) => {
+                                h.usm(sycl_mlir_repro::runtime::UsmId(u), LEN);
+                            }
+                        }
+                        h.parallel_for_nd("scale_io", &[global], &[local]);
+                    });
+                }
+                Sub::BadLate { global, local } => {
+                    q.submit(|h| h.parallel_for_nd("bad_late", &[global], &[local]));
+                }
+                Sub::Host(op) => {
+                    q.submit(|h| h.host_task(op));
+                }
+            }
+        }
+        q
+    }
+}
+
+/// Build the kernel module every generated graph uses (three templates).
+fn build_module(rt: &SyclRuntime, q: &Queue) -> sycl_mlir_repro::ir::Module {
+    let ctx = full_context();
+    let mut kb = KernelModuleBuilder::new(&ctx);
+    let f32t = ctx.f32_type();
+
+    // combine: dst[g] = dst[g] * 0.75 + src[g] * 0.5 + 0.25
+    let sig = KernelSig::new("combine", 1, true)
+        .accessor(f32t.clone(), 1, AccessMode::Read)
+        .accessor(f32t.clone(), 1, AccessMode::ReadWrite);
+    kb.add_kernel(&sig, |b, args, item| {
+        let gid = sdev::global_id(b, item, 0);
+        let va = sdev::load_via_id(b, args[0], &[gid]);
+        let vb = sdev::load_via_id(b, args[1], &[gid]);
+        let f32t = b.ctx().f32_type();
+        let c0 = arith::constant_float(b, 0.75, f32t.clone());
+        let c1 = arith::constant_float(b, 0.5, f32t.clone());
+        let c2 = arith::constant_float(b, 0.25, f32t);
+        let t = arith::mulf(b, vb, c0);
+        let u = arith::mulf(b, va, c1);
+        let s = arith::addf(b, t, u);
+        let s2 = arith::addf(b, s, c2);
+        sdev::store_via_id(b, s2, args[1], &[gid]);
+    });
+
+    // scale_io: a[g] = a[g] * 0.5 + 3.0
+    let sig = KernelSig::new("scale_io", 1, true).accessor(f32t.clone(), 1, AccessMode::ReadWrite);
+    kb.add_kernel(&sig, |b, args, item| {
+        let gid = sdev::global_id(b, item, 0);
+        let v = sdev::load_via_id(b, args[0], &[gid]);
+        let f32t = b.ctx().f32_type();
+        let c0 = arith::constant_float(b, 0.5, f32t.clone());
+        let c1 = arith::constant_float(b, 3.0, f32t);
+        let t = arith::mulf(b, v, c0);
+        let s = arith::addf(b, t, c1);
+        sdev::store_via_id(b, s, args[0], &[gid]);
+    });
+
+    // bad_late: work-groups >= 2 hit a divergent barrier (only the group
+    // leader reaches it).
+    let sig = KernelSig::new("bad_late", 1, true);
+    kb.add_kernel(&sig, |b, _args, item| {
+        divergent_from(b, item, 2);
+    });
+
+    generate_host_ir(kb.module(), rt, q);
+    kb.finish()
+}
+
+/// Emit "if (local_id == 0 && group_id >= from) barrier" — a divergent
+/// barrier for every group at or past `from`.
+fn divergent_from(
+    b: &mut sycl_mlir_repro::ir::Builder<'_>,
+    item: sycl_mlir_repro::ir::ValueId,
+    from: i64,
+) {
+    let lid = sdev::local_id(b, item, 0);
+    let gid = sdev::group_id(b, item, 0);
+    let zero = arith::constant_index(b, 0);
+    let thr = arith::constant_index(b, from);
+    let leader = arith::cmpi(b, "eq", lid, zero);
+    let late = arith::cmpi(b, "sge", gid, thr);
+    let cond = b.build_value("arith.andi", &[leader, late], b.ctx().i1_type(), vec![]);
+    let g = sdev::get_group(b, item);
+    sycl_mlir_repro::dialects::scf::build_if(
+        b,
+        cond,
+        &[],
+        |inner| {
+            sdev::group_barrier(inner, g);
+            vec![]
+        },
+        |_| vec![],
+    );
+}
+
+/// Every observable of one run: the report table plus final memory.
+type Observation = Result<
+    (
+        Vec<(String, ExecStats, u64, u64)>,
+        u64,
+        Vec<Vec<u32>>,
+        Vec<Vec<u32>>,
+    ),
+    String,
+>;
+
+fn observe(spec: &GraphSpec, program: &mut Program, q: &Queue, device: &Device) -> Observation {
+    let mut rt = spec.runtime();
+    let report = sycl_mlir_repro::runtime::exec::run(program, &mut rt, q, device)
+        .map_err(|e| e.to_string())?;
+    let rows = report
+        .kernel_runs
+        .iter()
+        .map(|k| {
+            (
+                k.kernel.clone(),
+                k.stats.clone(),
+                k.launch_cycles.to_bits(),
+                k.jit_cycles.to_bits(),
+            )
+        })
+        .collect();
+    let cycles = report.measured_cycles().to_bits();
+    let bufs = (0..spec.bufs.len())
+        .map(|b| {
+            rt.read_f32(sycl_mlir_repro::runtime::BufferId(b))
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect();
+    let usms = (0..spec.usms.len())
+        .map(|u| {
+            rt.usm_read_f32(sycl_mlir_repro::runtime::UsmId(u))
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect();
+    Ok((rows, cycles, bufs, usms))
+}
+
+/// The scheduler-mode × thread-count sweep every graph runs under.
+fn configs() -> Vec<(&'static str, Device)> {
+    let plan = |threads, batch, overlap| {
+        Device::with_engine(Engine::Plan)
+            .threads(threads)
+            .batch(batch)
+            .overlap(overlap)
+    };
+    vec![
+        (
+            "tree-serial",
+            Device::with_engine(Engine::TreeWalk)
+                .threads(1)
+                .batch(false)
+                .overlap(false),
+        ),
+        ("serial-t1", plan(1, false, false)),
+        ("serial-t4", plan(4, false, false)),
+        ("level-t1", plan(1, true, false)),
+        ("level-t4", plan(4, true, false)),
+        ("overlap-t1", plan(1, true, true)),
+        ("overlap-t4", plan(4, true, true)),
+    ]
+}
+
+/// One graph's full differential round trip.
+fn check_graph(seed: u64) {
+    let spec = GraphSpec::generate(seed);
+    let q = spec.queue();
+    let rt0 = spec.runtime();
+    let module = build_module(&rt0, &q);
+    let mut program = compile_program(FlowKind::SyclMlir, module).expect("compiles");
+
+    let mut reference: Option<(&'static str, Observation)> = None;
+    for (name, device) in configs() {
+        let got = observe(&spec, &mut program, &q, &device);
+        match &reference {
+            None => reference = Some((name, got)),
+            Some((ref_name, want)) => {
+                assert_eq!(
+                    want,
+                    &got,
+                    "seed {seed}: `{name}` diverges from `{ref_name}` \
+                     ({} submissions)",
+                    spec.subs.len()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// ~200 random hazard DAGs: identical outputs, statistics, report
+    /// tables — or identical errors — under every scheduler mode and
+    /// thread count.
+    #[test]
+    fn random_graphs_bit_identical_across_schedulers(seed in 0u64..u64::MAX) {
+        check_graph(seed);
+    }
+}
+
+/// The generated population must actually cover the interesting shapes —
+/// host tasks, USM aliases, failing kernels, long queues — otherwise the
+/// property above quietly degenerates.
+#[test]
+fn generator_population_covers_the_interesting_shapes() {
+    let (mut hosts, mut usm_args, mut bads, mut long) = (0, 0, 0, 0);
+    for seed in 0..200_u64 {
+        let spec = GraphSpec::generate(seed * 65_537 + 7);
+        if spec.subs.len() >= 32 {
+            long += 1;
+        }
+        for sub in &spec.subs {
+            match sub {
+                Sub::Host(_) => hosts += 1,
+                Sub::BadLate { .. } => bads += 1,
+                Sub::Combine { src, dst, .. } => {
+                    if matches!(src, Arg::Usm(_)) || matches!(dst, Arg::Usm(_)) {
+                        usm_args += 1;
+                    }
+                }
+                Sub::ScaleIo { a: Arg::Usm(_), .. } => usm_args += 1,
+                Sub::ScaleIo { .. } => {}
+            }
+        }
+    }
+    assert!(hosts > 100, "host tasks underrepresented: {hosts}");
+    assert!(usm_args > 100, "USM arguments underrepresented: {usm_args}");
+    assert!(bads > 5, "failing kernels underrepresented: {bads}");
+    assert!(long > 10, "long queues underrepresented: {long}");
+}
+
+// ----------------------------------------------------------------------
+// Deterministic error-ordering pins
+// ----------------------------------------------------------------------
+
+/// Build a module with `scale_io`, the divergent `bad_late` and an
+/// out-of-bounds `oob` kernel, submit the given kernel names in order
+/// over one shared buffer, and return each configuration's failure text.
+fn run_error_graph(kernels: &[&str]) -> Vec<(String, String)> {
+    let build = || {
+        let ctx = full_context();
+        let mut kb = KernelModuleBuilder::new(&ctx);
+        let f32t = ctx.f32_type();
+        let sig =
+            KernelSig::new("scale_io", 1, true).accessor(f32t.clone(), 1, AccessMode::ReadWrite);
+        kb.add_kernel(&sig, |b, args, item| {
+            let gid = sdev::global_id(b, item, 0);
+            let v = sdev::load_via_id(b, args[0], &[gid]);
+            let f32t = b.ctx().f32_type();
+            let c = arith::constant_float(b, 0.5, f32t);
+            let t = arith::mulf(b, v, c);
+            sdev::store_via_id(b, t, args[0], &[gid]);
+        });
+        let sig = KernelSig::new("bad_late", 1, true);
+        kb.add_kernel(&sig, |b, _args, item| divergent_from(b, item, 2));
+        // oob: stores to gid + 1000 — an out-of-bounds panic in every
+        // work-group.
+        let sig = KernelSig::new("oob", 1, true).accessor(f32t, 1, AccessMode::Write);
+        kb.add_kernel(&sig, |b, args, item| {
+            let gid = sdev::global_id(b, item, 0);
+            let big = arith::constant_index(b, 1000);
+            let idx = arith::addi(b, gid, big);
+            let f32t = b.ctx().f32_type();
+            let v = arith::constant_float(b, 1.0, f32t);
+            sdev::store_via_id(b, v, args[0], &[idx]);
+        });
+        kb
+    };
+
+    let mut out = Vec::new();
+    for (name, device) in configs() {
+        let mut rt = SyclRuntime::new();
+        let buf = rt.buffer_f32(vec![1.0; LEN as usize], &[LEN]);
+        let mut q = Queue::new();
+        for k in kernels {
+            q.submit(|h| {
+                if *k != "bad_late" {
+                    h.accessor(buf, AccessMode::ReadWrite);
+                }
+                h.parallel_for_nd(k, &[LEN], &[8]);
+            });
+        }
+        let mut kb = build();
+        generate_host_ir(kb.module(), &rt, &q);
+        let module = kb.finish();
+        let mut program = compile_program(FlowKind::SyclMlir, module).expect("compiles");
+        let failure = match catch_unwind(AssertUnwindSafe(|| {
+            sycl_mlir_repro::runtime::exec::run(&mut program, &mut rt, &q, &device)
+        })) {
+            Ok(Ok(_)) => panic!("`{name}`: expected the graph to fail"),
+            Ok(Err(e)) => format!("error: {e}"),
+            Err(payload) => {
+                let text = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "<opaque panic>".into());
+                format!("panic: {text}")
+            }
+        };
+        out.push((name.to_string(), failure));
+    }
+    out
+}
+
+/// All scheduler modes and thread counts must report launch 1's group 2 —
+/// the lexicographically first divergent barrier — even though launch 3
+/// diverges everywhere (including its group 0).
+#[test]
+fn divergent_barrier_position_is_mode_independent() {
+    let results = run_error_graph(&["scale_io", "bad_late", "scale_io", "bad_late"]);
+    let (ref_name, want) = &results[0];
+    assert!(
+        want.contains("divergent barrier") && want.contains("[2, 0, 0]"),
+        "`{ref_name}` reported: {want}"
+    );
+    for (name, got) in &results[1..] {
+        assert_eq!(got, want, "`{name}` diverges from `{ref_name}`");
+    }
+}
+
+/// An out-of-bounds panic in launch 1 must win over a divergent barrier
+/// in launch 2, in every mode — and surface as the same panic text.
+#[test]
+fn oob_panic_position_is_mode_independent() {
+    let results = run_error_graph(&["scale_io", "oob", "bad_late"]);
+    let (ref_name, want) = &results[0];
+    assert!(
+        want.starts_with("panic:") && want.contains("out of bounds"),
+        "`{ref_name}` reported: {want}"
+    );
+    for (name, got) in &results[1..] {
+        assert_eq!(got, want, "`{name}` diverges from `{ref_name}`");
+    }
+}
+
+/// The mirror ordering: a divergent barrier in launch 1 must win over an
+/// out-of-bounds panic in launch 3, in every mode.
+#[test]
+fn earlier_divergence_beats_later_oob_panic() {
+    let results = run_error_graph(&["scale_io", "bad_late", "scale_io", "oob"]);
+    let (ref_name, want) = &results[0];
+    assert!(
+        want.contains("divergent barrier") && want.contains("[2, 0, 0]"),
+        "`{ref_name}` reported: {want}"
+    );
+    for (name, got) in &results[1..] {
+        assert_eq!(got, want, "`{name}` diverges from `{ref_name}`");
+    }
+}
