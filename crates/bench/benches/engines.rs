@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sycl_mlir_benchsuite::run_workload_on;
 use sycl_mlir_core::FlowKind;
-use sycl_mlir_sim::{Device, Engine};
+use sycl_mlir_sim::{Device, Engine, FuseLevel};
 
 fn workload(name: &str) -> (sycl_mlir_benchsuite::WorkloadSpec, i64) {
     let spec = sycl_mlir_benchsuite::all_workloads()
@@ -41,17 +41,19 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-/// The fuse axis: the plan engine with the decoder's peephole fusion off
-/// vs on (sequential, so the delta is pure per-instruction dispatch).
+/// The fuse axis: the plan engine with the decoder's peephole fusion
+/// off, at the PR 3 pairs-only level, and with full chain fusion
+/// (sequential, so the delta is pure per-instruction dispatch).
 fn bench_fuse(c: &mut Criterion) {
     let mut group = c.benchmark_group("fuse");
     group.sample_size(10);
     for name in ["GEMM", "jacobi"] {
         let (spec, size) = workload(name);
-        for fuse in [false, true] {
-            let device = Device::with_engine(Engine::Plan).threads(1).fuse(fuse);
-            let label = if fuse { "on" } else { "off" };
-            group.bench_function(format!("{name}/fuse-{label}"), |b| {
+        for fuse in [FuseLevel::Off, FuseLevel::Pairs, FuseLevel::Chains] {
+            let device = Device::with_engine(Engine::Plan)
+                .threads(1)
+                .fuse_level(fuse);
+            group.bench_function(format!("{name}/fuse-{}", fuse.name()), |b| {
                 b.iter(|| {
                     let (r, _) = run_workload_on(&spec, size, FlowKind::SyclMlir, &device)
                         .expect("workload runs");

@@ -72,13 +72,13 @@ fn main() {
     let on_off = |b: bool| if b { "on" } else { "off" };
     let (fuse, batch, overlap) = match device.engine {
         sycl_mlir_sim::Engine::Plan => (device.fuse, device.batch, device.batch && device.overlap),
-        sycl_mlir_sim::Engine::TreeWalk => (false, false, false),
+        sycl_mlir_sim::Engine::TreeWalk => (sycl_mlir_sim::FuseLevel::Off, false, false),
     };
+    let fuse_name = fuse.name();
     println!(
-        "\nrepro_wall_time_seconds: {:.3} (engine: {}, threads: {effective_threads}, fuse: {}, batch: {}, overlap: {}, quick: {quick})",
+        "\nrepro_wall_time_seconds: {:.3} (engine: {}, threads: {effective_threads}, fuse: {fuse_name}, batch: {}, overlap: {}, quick: {quick})",
         t0.elapsed().as_secs_f64(),
         device.engine.name(),
-        on_off(fuse),
         on_off(batch),
         on_off(overlap),
     );

@@ -15,7 +15,7 @@
 
 use sycl_mlir_benchsuite::{geo_mean, run_workload_on, Category, RunResult, WorkloadSpec};
 use sycl_mlir_core::FlowKind;
-use sycl_mlir_sim::{Device, Engine};
+use sycl_mlir_sim::{Device, Engine, FuseLevel};
 
 /// One row of a speedup table.
 #[derive(Debug, Clone)]
@@ -150,8 +150,11 @@ flag            env variable           values        default  effect
                                                               plan = pre-decoded register-file bytecode
 --threads=...   SYCL_MLIR_SIM_THREADS  N | auto | 0  1        worker threads for plan-engine launches
                                                               (auto/0 = machine parallelism)
---fuse=...      SYCL_MLIR_SIM_FUSE     on | off      on       peephole-fuse decoded plans into
-                                                              superinstructions (plan engine only)
+--fuse=...      SYCL_MLIR_SIM_FUSE     on | pairs    on       peephole-fuse decoded plans into
+                                       | off                  superinstructions (plan engine only);
+                                                              pairs = PR 3 two-instruction rewrites
+                                                              only, on = pairs + indexed-access and
+                                                              multiply-accumulate chains
 --batch=...     SYCL_MLIR_SIM_BATCH    on | off      on       run dependency-free command groups of a
                                                               queue concurrently (plan engine only)
 --overlap=...   SYCL_MLIR_SIM_OVERLAP  on | off      on       out-of-order launch scheduling: a command
@@ -170,7 +173,7 @@ pub fn handle_help_flag(binary: &str, purpose: &str) {
         return;
     }
     println!("{binary} — {purpose}\n");
-    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|off] [--batch=on|off] [--overlap=on|off] [--profile=on|off]\n");
+    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|pairs|off] [--batch=on|off] [--overlap=on|off] [--profile=on|off]\n");
     println!("{KNOB_TABLE}");
     println!(
         "\nFlags win over environment variables. Outputs, statistics and cycle\ntables are bit-identical across every knob combination (held by\ntests/differential.rs); the knobs only change wall time."
@@ -197,9 +200,22 @@ fn on_off_flag(name: &str) -> Option<bool> {
     None
 }
 
-/// Parse the shared `--fuse=on|off` flag (plan-decoder peephole fusion).
-pub fn fuse_flag() -> Option<bool> {
-    on_off_flag("fuse")
+/// Parse the shared `--fuse=on|pairs|off` flag (plan-decoder peephole
+/// fusion level: `on` = pairs + chains, `pairs` = two-instruction
+/// rewrites only, `off` = none). Unknown spellings abort rather than
+/// silently benchmarking the wrong configuration.
+pub fn fuse_flag() -> Option<FuseLevel> {
+    for arg in std::env::args() {
+        if let Some(value) = arg.strip_prefix("--fuse=") {
+            return Some(FuseLevel::parse(value).unwrap_or_else(|| {
+                eprintln!(
+                    "error: unknown --fuse value `{value}` (expected `on`, `pairs` or `off`)"
+                );
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
 }
 
 /// Parse the shared `--batch=on|off` flag (launch-level parallelism over
@@ -274,7 +290,7 @@ pub fn device_from_args() -> Device {
         device = device.threads(threads);
     }
     if let Some(fuse) = fuse_flag() {
-        device = device.fuse(fuse);
+        device = device.fuse_level(fuse);
     }
     if let Some(batch) = batch_flag() {
         device = device.batch(batch);

@@ -5,7 +5,7 @@
 use crate::cost::{CostModel, ExecStats};
 use crate::interp::{ExecCtx, Stop, WorkItemState};
 use crate::memory::MemoryPool;
-use crate::plan::{decode_kernel, fuse_plan, profile_summary, KernelPlan};
+use crate::plan::{decode_kernel, fuse_plan_with, profile_summary, FuseLevel, KernelPlan};
 use crate::pool::{run_plan_graph, run_plan_launch, LaunchDag, PlanLaunch};
 use crate::value::{NdItemVal, RtValue};
 use std::cell::{Cell, RefCell};
@@ -102,11 +102,22 @@ fn bool_knob_from_env(var: &str, default: bool) -> bool {
     }
 }
 
-/// The fusion setting named by the `SYCL_MLIR_SIM_FUSE` environment
-/// variable (`on`/`off`); `on` when unset. Gates the plan decoder's
-/// peephole fusion pass ([`fuse_plan`]).
-pub fn fuse_from_env() -> bool {
-    bool_knob_from_env("SYCL_MLIR_SIM_FUSE", true)
+/// The fusion level named by the `SYCL_MLIR_SIM_FUSE` environment
+/// variable (`on`/`pairs`/`off`); `on` (pairs + chains) when unset.
+/// Gates the plan decoder's peephole fusion pass
+/// ([`crate::plan::fuse_plan_with`]); `pairs` keeps the two-instruction
+/// rewrites but disables three-instruction chains — the A/B axis the
+/// `engines` bench measures.
+pub fn fuse_from_env() -> FuseLevel {
+    match std::env::var("SYCL_MLIR_SIM_FUSE") {
+        Err(_) => FuseLevel::Chains,
+        Ok(s) => FuseLevel::parse(&s).unwrap_or_else(|| {
+            eprintln!(
+                "warning: unknown SYCL_MLIR_SIM_FUSE `{s}` (expected `on`, `pairs` or `off`); defaulting to on"
+            );
+            FuseLevel::Chains
+        }),
+    }
 }
 
 /// The batching setting named by the `SYCL_MLIR_SIM_BATCH` environment
@@ -130,7 +141,7 @@ pub fn overlap_from_env() -> bool {
 /// variable (`on`/`off`); `off` when unset. When on, plan-engine launches
 /// count every executed instruction; [`Device::profile_report`] renders
 /// the totals and the hottest dataflow-adjacent pairs (the ranked
-/// candidates for the next [`fuse_plan`] superinstruction).
+/// candidates for the next [`crate::plan::fuse_plan`] superinstruction).
 pub fn profile_from_env() -> bool {
     bool_knob_from_env("SYCL_MLIR_SIM_PROFILE", false)
 }
@@ -179,9 +190,12 @@ impl NdRangeSpec {
         ]
     }
 
+    /// A zero global extent is legal (SYCL allows empty ranges): the
+    /// launch has zero work-groups and executes nothing — the scheduler
+    /// retires it eagerly so successors in a dependency chain still run.
     pub(crate) fn validate(&self) -> Result<(), SimError> {
         for d in 0..self.rank as usize {
-            if self.local[d] <= 0 || self.global[d] <= 0 {
+            if self.local[d] <= 0 || self.global[d] < 0 {
                 return Err(SimError {
                     message: format!("non-positive range in dim {d}"),
                 });
@@ -232,8 +246,9 @@ pub struct Device {
     pub engine: Engine,
     /// Worker threads for plan-engine launches (1 = sequential).
     pub threads: usize,
-    /// Peephole-fuse decoded plans ([`fuse_plan`]); plan engine only.
-    pub fuse: bool,
+    /// How far to peephole-fuse decoded plans
+    /// ([`crate::plan::fuse_plan_with`]); plan engine only.
+    pub fuse: FuseLevel,
     /// Allow [`Device::launch_batch`] to run dependency-free launches
     /// concurrently (the runtime consults this before batching).
     pub batch: bool,
@@ -243,7 +258,7 @@ pub struct Device {
     pub overlap: bool,
     /// Count executed plan instructions ([`Device::profile_report`]).
     pub profile: bool,
-    plan_cache: RefCell<HashMap<(u64, OpId, bool), CachedPlan>>,
+    plan_cache: RefCell<HashMap<(u64, OpId, FuseLevel), CachedPlan>>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
     profile_ops: RefCell<BTreeMap<&'static str, u64>>,
@@ -311,9 +326,21 @@ impl Device {
         self
     }
 
-    /// Builder-style fusion override.
+    /// Builder-style fusion override: `true` enables the full chain
+    /// level, `false` disables fusion entirely. See [`Device::fuse_level`]
+    /// for the pairs-only middle setting.
     pub fn fuse(mut self, fuse: bool) -> Device {
-        self.fuse = fuse;
+        self.fuse = if fuse {
+            FuseLevel::Chains
+        } else {
+            FuseLevel::Off
+        };
+        self
+    }
+
+    /// Builder-style fusion-level override ([`FuseLevel`]).
+    pub fn fuse_level(mut self, level: FuseLevel) -> Device {
+        self.fuse = level;
         self
     }
 
@@ -359,9 +386,7 @@ impl Device {
             }
         }
         let plan = decode_kernel(m, kernel).ok().map(|mut p| {
-            if self.fuse {
-                fuse_plan(&mut p);
-            }
+            fuse_plan_with(&mut p, self.fuse);
             Arc::new(p)
         });
         self.cache_misses.set(self.cache_misses.get() + 1);
@@ -501,7 +526,7 @@ impl Device {
     /// Render the per-instruction execution counts accumulated by
     /// `--profile` runs: total executions per opcode, then the hottest
     /// dataflow-adjacent instruction pairs — the ranked candidates for
-    /// the next [`fuse_plan`] superinstruction. `None` until a profiled
+    /// the next [`crate::plan::fuse_plan`] superinstruction. `None` until a profiled
     /// plan-engine launch ran on this device.
     pub fn profile_report(&self) -> Option<String> {
         let ops = self.profile_ops.borrow();
@@ -1146,6 +1171,98 @@ mod tests {
             let (stats, a) = run(threads);
             assert_eq!(ref_stats, stats, "stats differ at threads={threads}");
             assert_eq!(ref_a, a, "buffer differs at threads={threads}");
+        }
+    }
+
+    /// An empty nd-range (zero global extent) is a legal no-op launch on
+    /// both engines, and an empty launch in the middle of a dependency
+    /// chain must not stall its successors — the scheduler retires it
+    /// eagerly (there is no work-group whose completion could).
+    #[test]
+    fn empty_launches_are_noops_and_do_not_stall_chains() {
+        use crate::pool::LaunchDag;
+        let c = ctx();
+        let mut m = Module::new(&c);
+        let acc = accessor_type(&c, c.f32_type(), 1, AccessMode::ReadWrite, Target::Global);
+        let nd1 = nd_item_type(&c, 1);
+        let build = |m: &mut Module, name: &str, mul: bool| -> OpId {
+            let (func, entry) = build_func(m, m.top(), name, &[acc.clone(), nd1.clone()], &[]);
+            sdev::mark_kernel(m, func);
+            let a = m.block_arg(entry, 0);
+            let item = m.block_arg(entry, 1);
+            let mut b = Builder::at_end(m, entry);
+            let gid = sdev::global_id(&mut b, item, 0);
+            let v = sdev::load_via_id(&mut b, a, &[gid]);
+            let f32t = b.ctx().f32_type();
+            let k = arith::constant_float(&mut b, 3.0, f32t);
+            let out = if mul {
+                arith::mulf(&mut b, v, k)
+            } else {
+                arith::addf(&mut b, v, k)
+            };
+            sdev::store_via_id(&mut b, out, a, &[gid]);
+            build_return(&mut b, &[]);
+            func
+        };
+        let scale = build(&mut m, "scale", true);
+        let offset = build(&mut m, "offset", false);
+        let n = 64_i64;
+
+        // A single empty launch is a no-op on both engines.
+        for engine in [Engine::TreeWalk, Engine::Plan] {
+            let mut pool = MemoryPool::new();
+            let ma = pool.alloc(DataVec::F32(vec![1.0; n as usize]));
+            let device = Device::with_engine(engine);
+            let stats = device
+                .launch(
+                    &m,
+                    scale,
+                    &[accessor(ma, n)],
+                    NdRangeSpec::d1(0, 16),
+                    &mut pool,
+                )
+                .unwrap_or_else(|e| panic!("empty launch on {}: {e}", engine.name()));
+            assert_eq!(stats.work_groups, 0);
+            assert_eq!(stats.work_items, 0);
+            assert_eq!(stats.global_accesses, 0);
+            let DataVec::F32(a) = pool.data(ma) else {
+                panic!()
+            };
+            assert_eq!(a, &vec![1.0_f32; n as usize], "no-op left the buffer alone");
+        }
+
+        // scale -> (empty) -> offset over one buffer: the chain must
+        // complete (no deadlock) and the successor must see the
+        // predecessor's writes, for every worker count.
+        let dag = LaunchDag::chain(3);
+        for threads in [1_usize, 2, 4, 8] {
+            let mut pool = MemoryPool::new();
+            let ma = pool.alloc(DataVec::F32((0..n).map(|i| i as f32).collect()));
+            let device = Device::with_engine(Engine::Plan).threads(threads);
+            let batch = vec![
+                BatchLaunch {
+                    kernel: scale,
+                    args: vec![accessor(ma, n)],
+                    nd: NdRangeSpec::d1(n, 4),
+                },
+                BatchLaunch {
+                    kernel: offset,
+                    args: vec![accessor(ma, n)],
+                    nd: NdRangeSpec::d1(0, 4),
+                },
+                BatchLaunch {
+                    kernel: offset,
+                    args: vec![accessor(ma, n)],
+                    nd: NdRangeSpec::d1(n, 4),
+                },
+            ];
+            let stats = device.launch_graph(&m, &batch, &dag, &mut pool).unwrap();
+            assert_eq!(stats.len(), 3, "threads={threads}");
+            assert_eq!(stats[1].work_groups, 0, "threads={threads}");
+            let DataVec::F32(a) = pool.data(ma) else {
+                panic!()
+            };
+            assert_eq!(a[5], 5.0 * 3.0 + 3.0, "threads={threads}");
         }
     }
 

@@ -35,11 +35,14 @@
 //!   slots, constants pre-materialized, `cmpi`/`cmpf` predicates and
 //!   dimension operands pre-parsed, call targets pre-resolved, and
 //!   `scf.for`/`scf.if` lowered to explicit jump/loop instructions. A
-//!   post-decode **peephole fusion pass** ([`fuse_plan`], on by default,
-//!   `SYCL_MLIR_SIM_FUSE=off` to disable) then rewrites hot instruction
-//!   pairs — load-accumulate, `muli`+`addi` linear addressing,
-//!   compare-branch — into superinstructions with identical semantics and
-//!   statistics.
+//!   post-decode **peephole fusion pass** ([`fuse_plan_with`], on by
+//!   default, `SYCL_MLIR_SIM_FUSE=off|pairs` to disable or limit) then
+//!   rewrites hot instruction windows — pairs (load-accumulate,
+//!   `muli`+`addi` linear addressing, compare-branch, accumulate-store)
+//!   and bounded three-instruction **chains** (indexed accessor
+//!   loads/stores `vec.ctor`+`acc.subscript`+`Load`/`Store`, fused
+//!   multiply-accumulate `Load`+`mulf`+`addf`) — into superinstructions
+//!   with identical semantics and statistics ([`FuseLevel`]).
 //!
 //! **Register allocation** is per function: every SSA value (block argument
 //! or op result) receives a dense slot at decode time, and each call frame
@@ -108,7 +111,9 @@ pub use device::{
     profile_from_env, threads_from_env, BatchLaunch, Device, Engine, NdRangeSpec, SimError,
 };
 pub use memory::{DataVec, MemId, MemoryPool};
-pub use plan::{decode_kernel, fuse_plan, profile_summary, DecodeError, KernelPlan};
+pub use plan::{
+    decode_kernel, fuse_plan, fuse_plan_with, profile_summary, DecodeError, FuseLevel, KernelPlan,
+};
 pub use pool::{
     run_plan_batch, run_plan_graph, run_plan_launch, GraphOutcome, LaunchDag, PlanExecCtx,
     PlanLaunch, PlanPool, SharedPool,

@@ -596,6 +596,98 @@ pub enum Instr {
         /// Jump target pc.
         target: u32,
     },
+    /// Fused `VecCtor` + `AccSubscript` + `Load` chain ([`fuse_plan`]):
+    /// the accessor addressing chain `a[id...]` of every accessor read —
+    /// the `--profile` mode's top-ranked fusion candidate. Builds the id
+    /// vector, subscripts the accessor and loads through the resulting
+    /// view in one dispatch, bumping exactly the statistics and raising
+    /// exactly the errors of the three instructions it replaces.
+    AccLoadIndexed {
+        /// Destination register.
+        dst: Reg,
+        /// Accessor operand register.
+        acc: Reg,
+        /// Id component registers (first `comps_rank` entries are valid).
+        comps: [Reg; 3],
+        /// Number of valid id components.
+        comps_rank: u8,
+        /// Index operand registers of the elided load (first `rank`
+        /// entries are valid).
+        idx: [Reg; 3],
+        /// Number of valid indices.
+        rank: u8,
+        /// Memory-access site id (keys the coalescing tracker).
+        site: u32,
+    },
+    /// Store-side twin of [`Instr::AccLoadIndexed`]: fused `VecCtor` +
+    /// `AccSubscript` + `Store` — the accessor addressing chain of every
+    /// accessor write.
+    AccStoreIndexed {
+        /// Value register to store.
+        val: Reg,
+        /// Accessor operand register.
+        acc: Reg,
+        /// Id component registers (first `comps_rank` entries are valid).
+        comps: [Reg; 3],
+        /// Number of valid id components.
+        comps_rank: u8,
+        /// Index operand registers of the elided store (first `rank`
+        /// entries are valid).
+        idx: [Reg; 3],
+        /// Number of valid indices.
+        rank: u8,
+        /// Memory-access site id (keys the coalescing tracker).
+        site: u32,
+    },
+    /// Fused `Load` + `mulf` + `addf` chain ([`fuse_plan`]): the
+    /// multiply-accumulate inner loop of GEMM-shaped kernels,
+    /// `dst = (loaded ⊙ b) ⊕ c` with the original operand orders
+    /// preserved on both the multiply and the add.
+    LoadMulAddF {
+        /// Destination register.
+        dst: Reg,
+        /// Memref operand register.
+        mem: Reg,
+        /// Index operand registers (first `rank` entries are valid).
+        idx: [Reg; 3],
+        /// Number of valid indices.
+        rank: u8,
+        /// Memory-access site id (keys the coalescing tracker).
+        site: u32,
+        /// The non-loaded multiply operand register.
+        b: Reg,
+        /// Whether the loaded value was the multiply's left operand.
+        loaded_is_lhs: bool,
+        /// Whether the elided product narrowed to `f32` before the add.
+        mul_f32: bool,
+        /// The non-product add operand register.
+        c: Reg,
+        /// Whether the product was the add's left operand.
+        prod_is_lhs: bool,
+        /// Whether the result narrows to `f32`.
+        f32_out: bool,
+    },
+    /// Fused float binary op + `Store` ([`fuse_plan`]): the
+    /// accumulate-then-store tail of map-style kernels, `mem[idx...] =
+    /// l ⊕ r` without materializing the result register.
+    StoreBinFloat {
+        /// Operation selector.
+        op: FloatBin,
+        /// Left operand register.
+        l: Reg,
+        /// Right operand register.
+        r: Reg,
+        /// Whether the stored value narrows to `f32`.
+        f32_out: bool,
+        /// Memref operand register.
+        mem: Reg,
+        /// Index operand registers (first `rank` entries are valid).
+        idx: [Reg; 3],
+        /// Number of valid indices.
+        rank: u8,
+        /// Memory-access site id (keys the coalescing tracker).
+        site: u32,
+    },
 }
 
 impl Instr {
@@ -681,6 +773,14 @@ impl Instr {
             },
             Instr::MulAddInt { .. } => "muladd",
             Instr::CmpIBranch { .. } => "cmpi.br",
+            Instr::AccLoadIndexed { .. } => "acc.load.idx",
+            Instr::AccStoreIndexed { .. } => "acc.store.idx",
+            Instr::LoadMulAddF { .. } => "load.fma",
+            Instr::StoreBinFloat { op, .. } => match op {
+                FloatBin::Add => "addf.store",
+                FloatBin::Mul => "mulf.store",
+                _ => "binf.store",
+            },
         }
     }
 
@@ -718,8 +818,12 @@ impl Instr {
             | Instr::AccRange { dst, .. }
             | Instr::AccBase { dst, .. }
             | Instr::LoadBinFloat { dst, .. }
-            | Instr::MulAddInt { dst, .. } => Some(*dst),
+            | Instr::MulAddInt { dst, .. }
+            | Instr::AccLoadIndexed { dst, .. }
+            | Instr::LoadMulAddF { dst, .. } => Some(*dst),
             Instr::Store { .. }
+            | Instr::AccStoreIndexed { .. }
+            | Instr::StoreBinFloat { .. }
             | Instr::Barrier
             | Instr::Jump { .. }
             | Instr::BranchIfFalse { .. }
@@ -789,9 +893,13 @@ pub struct KernelPlan {
     pub mem_sites: u32,
     /// Number of `sycl.local.alloca` sites across all functions.
     pub local_sites: u32,
-    /// Number of instruction pairs rewritten into superinstructions by
-    /// [`fuse_plan`] (`0` for a freshly decoded, unfused plan).
+    /// Number of two-instruction pairs rewritten into superinstructions
+    /// by [`fuse_plan`] (`0` for a freshly decoded, unfused plan).
     pub fused_pairs: u32,
+    /// Number of three-instruction chains rewritten into
+    /// superinstructions by [`fuse_plan`] (`0` for a freshly decoded,
+    /// unfused plan).
+    pub fused_chains: u32,
 }
 
 /// [`KernelPlan`] must stay `Send + Sync`: the parallel work-group
@@ -1027,6 +1135,7 @@ pub fn decode_kernel(m: &Module, kernel: OpId) -> Result<KernelPlan, DecodeError
         mem_sites: d.mem_sites,
         local_sites: d.local_sites,
         fused_pairs: 0,
+        fused_chains: 0,
     })
 }
 
@@ -1673,6 +1782,58 @@ fn for_each_read(instr: &Instr, mut f: impl FnMut(Reg)) {
             f(*b);
             f(*c);
         }
+        Instr::AccLoadIndexed {
+            acc,
+            comps,
+            comps_rank,
+            idx,
+            rank,
+            ..
+        } => {
+            f(*acc);
+            comps[..*comps_rank as usize].iter().for_each(|&r| f(r));
+            idx[..*rank as usize].iter().for_each(|&r| f(r));
+        }
+        Instr::AccStoreIndexed {
+            val,
+            acc,
+            comps,
+            comps_rank,
+            idx,
+            rank,
+            ..
+        } => {
+            f(*val);
+            f(*acc);
+            comps[..*comps_rank as usize].iter().for_each(|&r| f(r));
+            idx[..*rank as usize].iter().for_each(|&r| f(r));
+        }
+        Instr::LoadMulAddF {
+            mem,
+            idx,
+            rank,
+            b,
+            c,
+            ..
+        } => {
+            f(*mem);
+            idx[..*rank as usize].iter().for_each(|&r| f(r));
+            f(*b);
+            f(*c);
+        }
+        Instr::StoreBinFloat {
+            l,
+            r,
+            mem,
+            idx,
+            rank,
+            ..
+        } => {
+            f(*l);
+            f(*r);
+            f(*mem);
+            idx[..*rank as usize].iter().for_each(|&r| f(r));
+        }
         Instr::VecCtor { comps, rank, .. } => {
             comps[..*rank as usize].iter().for_each(|&r| f(r));
         }
@@ -1724,113 +1885,359 @@ fn for_each_target(instr: &mut Instr, mut f: impl FnMut(&mut u32)) {
     }
 }
 
-/// Try to fuse the adjacent pair `(a, b)` into one superinstruction.
+/// How aggressively the peephole pass ([`fuse_plan_with`]) rewrites a
+/// decoded plan. Part of the device's plan-cache key: plans fused at
+/// different levels are distinct cache entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FuseLevel {
+    /// No rewriting: execute the decoder's output as-is.
+    Off,
+    /// Adjacent two-instruction pairs only (the PR 3 rule set plus the
+    /// accumulate-store pair).
+    Pairs,
+    /// Pairs plus bounded three-instruction chains (indexed accessor
+    /// loads/stores, fused multiply-accumulate) — the default.
+    Chains,
+}
+
+impl FuseLevel {
+    /// Canonical knob spelling (`"on"` / `"pairs"` / `"off"`), shared by
+    /// the `--fuse` flag, the environment variable and every report line.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuseLevel::Off => "off",
+            FuseLevel::Pairs => "pairs",
+            FuseLevel::Chains => "on",
+        }
+    }
+
+    /// Parse a knob spelling; `None` for unknown values (callers decide
+    /// whether to warn-and-default or abort).
+    pub fn parse(s: &str) -> Option<FuseLevel> {
+        match s {
+            "on" | "1" | "true" | "chains" => Some(FuseLevel::Chains),
+            "pairs" => Some(FuseLevel::Pairs),
+            "off" | "0" | "false" => Some(FuseLevel::Off),
+            _ => None,
+        }
+    }
+}
+
+/// The reified fusion pass over one function: the dataflow facts a legal
+/// rewrite depends on — function-wide register read counts and the
+/// jump-target set — plus the pattern table matching bounded windows of
+/// adjacent instructions against them.
 ///
-/// A pair is fusable only when the intermediate register (written by `a`,
-/// consumed by `b`) has exactly one read in the whole function — then the
-/// read always observes `a`'s write and eliding the intermediate write is
-/// unobservable. The caller guarantees `b` is not a jump target.
-fn try_fuse(a: &Instr, b: &Instr, reads: &[u32]) -> Option<Instr> {
-    match (a, b) {
-        // load t; dst = t ⊕ other (or other ⊕ t) for commutative float ⊕.
-        (
-            Instr::Load {
-                dst: t,
-                mem,
-                idx,
-                rank,
-                site,
-            },
-            Instr::BinFloat {
-                op: op @ (FloatBin::Add | FloatBin::Mul),
-                dst,
-                l,
-                r,
-                f32_out,
-            },
-        ) if reads[*t as usize] == 1 && ((l == t) != (r == t)) => {
-            let loaded_is_lhs = l == t;
-            Some(Instr::LoadBinFloat {
-                op: *op,
+/// **Legality.** A window of `w` instructions may collapse into one
+/// superinstruction when
+///
+/// * every **elided intermediate** (a register written by one member and
+///   consumed by the next) has exactly one read in the whole function —
+///   that read always observes the producer's write, so skipping the
+///   register file is unobservable. Read counting also subsumes every
+///   aliasing hazard: an operand of any member that re-reads an
+///   intermediate (or an intermediate doubling as another member's
+///   operand) pushes its count past one and blocks the rewrite;
+/// * no member after the head is a **jump target** — control flow
+///   entering mid-window would skip the elided producers. (The head may
+///   be a target: the whole window maps to the superinstruction's pc.)
+///
+/// **Overlap resolution.** Competing patterns are resolved
+/// deterministically: the scan is greedy left-to-right, and at each
+/// position the longest window wins (a chain beats the pair sharing its
+/// head). Once matched, a window's members are consumed — decode order,
+/// never scheduling, decides the outcome.
+struct ChainMatcher {
+    /// How often each register is read anywhere in the function.
+    reads: Vec<u32>,
+    /// Positions control flow can enter other than by fall-through.
+    is_target: Vec<bool>,
+    /// Whether three-instruction chains are enabled ([`FuseLevel`]).
+    chains: bool,
+}
+
+impl ChainMatcher {
+    fn new(f: &FuncPlan, level: FuseLevel) -> ChainMatcher {
+        let mut reads = vec![0_u32; f.reg_count as usize];
+        for instr in &f.code {
+            for_each_read(instr, |r| reads[r as usize] += 1);
+        }
+        let mut is_target = vec![false; f.code.len() + 1];
+        for instr in &f.code {
+            instr.jump_targets(|t| is_target[t as usize] = true);
+        }
+        ChainMatcher {
+            reads,
+            is_target,
+            chains: level == FuseLevel::Chains,
+        }
+    }
+
+    /// Whether `r` is a pure intermediate whose write the rewrite may
+    /// elide: read exactly once in the whole function.
+    #[inline]
+    fn elidable(&self, r: Reg) -> bool {
+        self.reads[r as usize] == 1
+    }
+
+    /// Whether a `len`-instruction window starting at `i` stays inside
+    /// the code and is entered only through its head.
+    fn window_open(&self, i: usize, len: usize, n: usize) -> bool {
+        i + len <= n && (i + 1..i + len).all(|k| !self.is_target[k])
+    }
+
+    /// The longest legal rewrite starting at `i`, with the window length
+    /// it consumes. Chains are tried before pairs so overlapping
+    /// patterns (e.g. `Load`+`mulf` inside `Load`+`mulf`+`addf`) resolve
+    /// deterministically to the longer fusion.
+    fn fuse_at(&self, code: &[Instr], i: usize) -> Option<(Instr, usize)> {
+        if self.chains && self.window_open(i, 3, code.len()) {
+            if let Some(s) = self.try_chain(&code[i], &code[i + 1], &code[i + 2]) {
+                return Some((s, 3));
+            }
+        }
+        if self.window_open(i, 2, code.len()) {
+            if let Some(s) = self.try_pair(&code[i], &code[i + 1]) {
+                return Some((s, 2));
+            }
+        }
+        None
+    }
+
+    /// Three-instruction chain patterns.
+    fn try_chain(&self, a: &Instr, b: &Instr, c: &Instr) -> Option<Instr> {
+        match (a, b, c) {
+            // id = vec.ctor comps; view = acc[id]; dst = load view[idx].
+            (
+                Instr::VecCtor {
+                    dst: id,
+                    comps,
+                    rank: comps_rank,
+                },
+                Instr::AccSubscript {
+                    dst: view,
+                    acc,
+                    id: sub_id,
+                },
+                Instr::Load {
+                    dst,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                },
+            ) if sub_id == id && mem == view && self.elidable(*id) && self.elidable(*view) => {
+                Some(Instr::AccLoadIndexed {
+                    dst: *dst,
+                    acc: *acc,
+                    comps: *comps,
+                    comps_rank: *comps_rank,
+                    idx: *idx,
+                    rank: *rank,
+                    site: *site,
+                })
+            }
+            // id = vec.ctor comps; view = acc[id]; store val, view[idx].
+            (
+                Instr::VecCtor {
+                    dst: id,
+                    comps,
+                    rank: comps_rank,
+                },
+                Instr::AccSubscript {
+                    dst: view,
+                    acc,
+                    id: sub_id,
+                },
+                Instr::Store {
+                    val,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                },
+            ) if sub_id == id && mem == view && self.elidable(*id) && self.elidable(*view) => {
+                Some(Instr::AccStoreIndexed {
+                    val: *val,
+                    acc: *acc,
+                    comps: *comps,
+                    comps_rank: *comps_rank,
+                    idx: *idx,
+                    rank: *rank,
+                    site: *site,
+                })
+            }
+            // t = load; u = t*b (or b*t); dst = u + c (or c + u).
+            (
+                Instr::Load {
+                    dst: t,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                },
+                Instr::BinFloat {
+                    op: FloatBin::Mul,
+                    dst: u,
+                    l: ml,
+                    r: mr,
+                    f32_out: mul_f32,
+                },
+                Instr::BinFloat {
+                    op: FloatBin::Add,
+                    dst,
+                    l: al,
+                    r: ar,
+                    f32_out,
+                },
+            ) if self.elidable(*t)
+                && ((ml == t) != (mr == t))
+                && self.elidable(*u)
+                && ((al == u) != (ar == u)) =>
+            {
+                let loaded_is_lhs = ml == t;
+                let prod_is_lhs = al == u;
+                Some(Instr::LoadMulAddF {
+                    dst: *dst,
+                    mem: *mem,
+                    idx: *idx,
+                    rank: *rank,
+                    site: *site,
+                    b: if loaded_is_lhs { *mr } else { *ml },
+                    loaded_is_lhs,
+                    mul_f32: *mul_f32,
+                    c: if prod_is_lhs { *ar } else { *al },
+                    prod_is_lhs,
+                    f32_out: *f32_out,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Two-instruction pair patterns.
+    fn try_pair(&self, a: &Instr, b: &Instr) -> Option<Instr> {
+        match (a, b) {
+            // load t; dst = t ⊕ other (or other ⊕ t) for commutative ⊕.
+            (
+                Instr::Load {
+                    dst: t,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                },
+                Instr::BinFloat {
+                    op: op @ (FloatBin::Add | FloatBin::Mul),
+                    dst,
+                    l,
+                    r,
+                    f32_out,
+                },
+            ) if self.elidable(*t) && ((l == t) != (r == t)) => {
+                let loaded_is_lhs = l == t;
+                Some(Instr::LoadBinFloat {
+                    op: *op,
+                    dst: *dst,
+                    other: if loaded_is_lhs { *r } else { *l },
+                    loaded_is_lhs,
+                    f32_out: *f32_out,
+                    mem: *mem,
+                    idx: *idx,
+                    rank: *rank,
+                    site: *site,
+                })
+            }
+            // t = a*b; dst = t + c (or c + t): linear addressing.
+            (
+                Instr::BinInt {
+                    op: IntBin::Mul,
+                    dst: t,
+                    l: ma,
+                    r: mb,
+                },
+                Instr::BinInt {
+                    op: IntBin::Add,
+                    dst,
+                    l,
+                    r,
+                },
+            ) if self.elidable(*t) && ((l == t) != (r == t)) => Some(Instr::MulAddInt {
                 dst: *dst,
-                other: if loaded_is_lhs { *r } else { *l },
-                loaded_is_lhs,
+                a: *ma,
+                b: *mb,
+                c: if l == t { *r } else { *l },
+            }),
+            // t = cmpi l, r; branch-if-false t.
+            (Instr::CmpI { pred, dst: t, l, r }, Instr::BranchIfFalse { cond, target })
+                if self.elidable(*t) && cond == t =>
+            {
+                Some(Instr::CmpIBranch {
+                    pred: *pred,
+                    l: *l,
+                    r: *r,
+                    target: *target,
+                })
+            }
+            // t = l ⊕ r; store t, mem[idx]: accumulate-then-store.
+            (
+                Instr::BinFloat {
+                    op,
+                    dst: t,
+                    l,
+                    r,
+                    f32_out,
+                },
+                Instr::Store {
+                    val,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                },
+            ) if val == t && self.elidable(*t) => Some(Instr::StoreBinFloat {
+                op: *op,
+                l: *l,
+                r: *r,
                 f32_out: *f32_out,
                 mem: *mem,
                 idx: *idx,
                 rank: *rank,
                 site: *site,
-            })
+            }),
+            _ => None,
         }
-        // t = a*b; dst = t + c (or c + t): linear addressing.
-        (
-            Instr::BinInt {
-                op: IntBin::Mul,
-                dst: t,
-                l: ma,
-                r: mb,
-            },
-            Instr::BinInt {
-                op: IntBin::Add,
-                dst,
-                l,
-                r,
-            },
-        ) if reads[*t as usize] == 1 && ((l == t) != (r == t)) => Some(Instr::MulAddInt {
-            dst: *dst,
-            a: *ma,
-            b: *mb,
-            c: if l == t { *r } else { *l },
-        }),
-        // t = cmpi l, r; branch-if-false t.
-        (Instr::CmpI { pred, dst: t, l, r }, Instr::BranchIfFalse { cond, target })
-            if reads[*t as usize] == 1 && cond == t =>
-        {
-            Some(Instr::CmpIBranch {
-                pred: *pred,
-                l: *l,
-                r: *r,
-                target: *target,
-            })
-        }
-        _ => None,
     }
 }
 
-/// Fuse one function's code in place; returns the number of fused pairs.
-fn fuse_func(f: &mut FuncPlan) -> u32 {
+/// Fuse one function's code in place; returns `(pairs, chains)` rewritten.
+fn fuse_func(f: &mut FuncPlan, level: FuseLevel) -> (u32, u32) {
+    if level == FuseLevel::Off {
+        return (0, 0);
+    }
+    let matcher = ChainMatcher::new(f, level);
     let n = f.code.len();
-    // How often each register is read anywhere in the function. A register
-    // read exactly once — by the instruction right after its definition —
-    // is a pure intermediate that fusion may elide.
-    let mut reads = vec![0_u32; f.reg_count as usize];
-    for instr in &f.code {
-        for_each_read(instr, |r| reads[r as usize] += 1);
-    }
-    // Positions control flow can enter other than by fall-through. The
-    // second instruction of a fused pair must not be one: a jump straight
-    // to the consumer would skip the elided producer.
-    let mut is_target = vec![false; n + 1];
-    for instr in &mut f.code {
-        for_each_target(instr, |t| is_target[*t as usize] = true);
-    }
-
     let mut new_code: Vec<Instr> = Vec::with_capacity(n);
-    // Old pc -> new pc (both halves of a fused pair map to the fusion).
+    // Old pc -> new pc (every member of a fused window maps to the
+    // superinstruction, so jumps to the window head land on the fusion).
     let mut remap = vec![0_u32; n + 1];
-    let mut fused = 0_u32;
+    let (mut pairs, mut chains) = (0_u32, 0_u32);
     let mut i = 0;
     while i < n {
-        remap[i] = new_code.len() as u32;
-        if i + 1 < n && !is_target[i + 1] {
-            if let Some(superinstr) = try_fuse(&f.code[i], &f.code[i + 1], &reads) {
-                remap[i + 1] = new_code.len() as u32;
-                new_code.push(superinstr);
-                fused += 1;
-                i += 2;
-                continue;
+        if let Some((superinstr, w)) = matcher.fuse_at(&f.code, i) {
+            for k in 0..w {
+                remap[i + k] = new_code.len() as u32;
             }
+            new_code.push(superinstr);
+            if w == 3 {
+                chains += 1;
+            } else {
+                pairs += 1;
+            }
+            i += w;
+            continue;
         }
+        remap[i] = new_code.len() as u32;
         new_code.push(f.code[i].clone());
         i += 1;
     }
@@ -1839,30 +2246,43 @@ fn fuse_func(f: &mut FuncPlan) -> u32 {
         for_each_target(instr, |t| *t = remap[*t as usize]);
     }
     f.code = new_code;
-    fused
+    (pairs, chains)
 }
 
-/// Peephole-fuse hot instruction pairs of a decoded plan into
-/// superinstructions, in place.
+/// Peephole-fuse hot instruction windows of a decoded plan into
+/// superinstructions, in place, up to the given [`FuseLevel`].
 ///
-/// Three patterns are rewritten (see `try_fuse` for the exact safety
+/// Pair patterns (see `ChainMatcher::try_pair` for the exact safety
 /// conditions): **load-accumulate** (`Load` feeding an `addf`/`mulf`),
-/// **linear addressing** (`muli` feeding an `addi`) and **compare-branch**
-/// (`cmpi` feeding a conditional branch). Each superinstruction bumps the
-/// same statistics counters and raises the same errors, in the same order,
-/// as the pair it replaces, so fused execution is bit-identical to unfused
-/// execution — the differential suite holds both against the tree-walk
-/// reference.
+/// **linear addressing** (`muli` feeding an `addi`), **compare-branch**
+/// (`cmpi` feeding a conditional branch) and **accumulate-store** (a
+/// float binary op feeding a `Store`). Chain patterns
+/// (`ChainMatcher::try_chain`, [`FuseLevel::Chains`] only): the
+/// **indexed accessor load/store** (`vec.ctor` + `acc.subscript` +
+/// `Load`/`Store` — the accessor addressing chain the `--profile` mode
+/// ranks first by ~2x) and the **fused multiply-accumulate** (`Load` +
+/// `mulf` + `addf`). Every superinstruction bumps the same statistics
+/// counters and raises the same errors, in the same order, as the window
+/// it replaces, so fused execution is bit-identical to unfused execution
+/// — the differential suite holds both against the tree-walk reference.
 ///
-/// Returns the number of pairs fused (also recorded in
-/// [`KernelPlan::fused_pairs`]).
-pub fn fuse_plan(plan: &mut KernelPlan) -> u32 {
-    let mut fused = 0;
+/// Returns the number of windows fused (also recorded in
+/// [`KernelPlan::fused_pairs`] / [`KernelPlan::fused_chains`]).
+pub fn fuse_plan_with(plan: &mut KernelPlan, level: FuseLevel) -> u32 {
+    let (mut pairs, mut chains) = (0, 0);
     for f in &mut plan.funcs {
-        fused += fuse_func(f);
+        let (p, c) = fuse_func(f, level);
+        pairs += p;
+        chains += c;
     }
-    plan.fused_pairs += fused;
-    fused
+    plan.fused_pairs += pairs;
+    plan.fused_chains += chains;
+    pairs + chains
+}
+
+/// [`fuse_plan_with`] at the default [`FuseLevel::Chains`].
+pub fn fuse_plan(plan: &mut KernelPlan) -> u32 {
+    fuse_plan_with(plan, FuseLevel::Chains)
 }
 
 /// Fold flat per-instruction execution counts (a profiled [`PlanCtx`]
@@ -2544,6 +2964,182 @@ impl PlanWorkItem {
                         pc = *target as usize;
                     }
                 }
+                Instr::AccLoadIndexed {
+                    dst,
+                    acc,
+                    comps,
+                    comps_rank,
+                    idx,
+                    rank,
+                    site,
+                } => {
+                    // Exactly the VecCtor arm…
+                    ctx.stats.arith_ops += 1;
+                    let mut id = [0_i64; 3];
+                    for d in 0..*comps_rank as usize {
+                        id[d] = int!(comps[d], "id component");
+                    }
+                    // …then the AccSubscript arm (its id operand is the
+                    // vector built above, so the vec check cannot fail)…
+                    ctx.stats.arith_ops += 1;
+                    let a = reg!(*acc)
+                        .as_accessor()
+                        .ok_or_else(|| err("subscript of non-accessor"))?;
+                    let offset = a.linearize(&id[..*comps_rank as usize]);
+                    let space = if a.constant {
+                        Space::Constant
+                    } else {
+                        Space::Global
+                    };
+                    let mr = MemRefVal {
+                        mem: a.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    };
+                    // …then the Load arm through the elided view.
+                    let mut indices = [0_i64; 3];
+                    for d in 0..*rank as usize {
+                        indices[d] = int!(idx[d], "non-int index");
+                    }
+                    let addr = mr.linearize(&indices[..*rank as usize]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    reg!(*dst) = ctx.pool.load(mr.mem, addr);
+                }
+                Instr::AccStoreIndexed {
+                    val,
+                    acc,
+                    comps,
+                    comps_rank,
+                    idx,
+                    rank,
+                    site,
+                } => {
+                    // VecCtor, then AccSubscript, then the Store arm —
+                    // identical sequencing to the unfused chain.
+                    ctx.stats.arith_ops += 1;
+                    let mut id = [0_i64; 3];
+                    for d in 0..*comps_rank as usize {
+                        id[d] = int!(comps[d], "id component");
+                    }
+                    ctx.stats.arith_ops += 1;
+                    let a = reg!(*acc)
+                        .as_accessor()
+                        .ok_or_else(|| err("subscript of non-accessor"))?;
+                    let offset = a.linearize(&id[..*comps_rank as usize]);
+                    let space = if a.constant {
+                        Space::Constant
+                    } else {
+                        Space::Global
+                    };
+                    let mr = MemRefVal {
+                        mem: a.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    };
+                    let v = reg!(*val);
+                    let mut indices = [0_i64; 3];
+                    for d in 0..*rank as usize {
+                        indices[d] = int!(idx[d], "non-int index");
+                    }
+                    let addr = mr.linearize(&indices[..*rank as usize]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    ctx.pool.store(mr.mem, addr, v);
+                }
+                Instr::LoadMulAddF {
+                    dst,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                    b,
+                    loaded_is_lhs,
+                    mul_f32,
+                    c,
+                    prod_is_lhs,
+                    f32_out,
+                } => {
+                    // The Load arm…
+                    let mr = reg!(*mem)
+                        .as_memref()
+                        .ok_or_else(|| err("load from non-memref"))?;
+                    let mut indices = [0_i64; 3];
+                    for d in 0..*rank as usize {
+                        indices[d] = int!(idx[d], "non-int index");
+                    }
+                    let addr = mr.linearize(&indices[..*rank as usize]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    let loaded = ctx.pool.load(mr.mem, addr);
+                    // …then the mulf arm with the original operand order,
+                    // narrowing the elided product exactly as its
+                    // register write would have…
+                    ctx.stats.arith_ops += 1;
+                    let loaded = loaded
+                        .as_f64()
+                        .ok_or_else(|| err("float op on non-float"))?;
+                    let bv = flt!(*b, "float op on non-float");
+                    let (ml, mr2) = if *loaded_is_lhs {
+                        (loaded, bv)
+                    } else {
+                        (bv, loaded)
+                    };
+                    let mut prod = ml * mr2;
+                    if *mul_f32 {
+                        prod = prod as f32 as f64;
+                    }
+                    // …then the addf arm.
+                    ctx.stats.arith_ops += 1;
+                    let cv = flt!(*c, "float op on non-float");
+                    let (al, ar) = if *prod_is_lhs { (prod, cv) } else { (cv, prod) };
+                    let out = al + ar;
+                    reg!(*dst) = if *f32_out {
+                        RtValue::F32(out as f32)
+                    } else {
+                        RtValue::F64(out)
+                    };
+                }
+                Instr::StoreBinFloat {
+                    op,
+                    l,
+                    r,
+                    f32_out,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                } => {
+                    // The BinFloat arm…
+                    ctx.stats.arith_ops += 1;
+                    let lv = flt!(*l, "float op on non-float");
+                    let rv = flt!(*r, "float op on non-float");
+                    let out = match op {
+                        FloatBin::Add => lv + rv,
+                        FloatBin::Sub => lv - rv,
+                        FloatBin::Mul => lv * rv,
+                        FloatBin::Div => lv / rv,
+                        FloatBin::Min => lv.min(rv),
+                        FloatBin::Max => lv.max(rv),
+                    };
+                    let v = if *f32_out {
+                        RtValue::F32(out as f32)
+                    } else {
+                        RtValue::F64(out)
+                    };
+                    // …then the Store arm with the elided value register.
+                    let mr = reg!(*mem)
+                        .as_memref()
+                        .ok_or_else(|| err("store to non-memref"))?;
+                    let mut indices = [0_i64; 3];
+                    for d in 0..*rank as usize {
+                        indices[d] = int!(idx[d], "non-int index");
+                    }
+                    let addr = mr.linearize(&indices[..*rank as usize]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    ctx.pool.store(mr.mem, addr, v);
+                }
                 Instr::Return { vals } => {
                     if frame == 0 {
                         self.finished = true;
@@ -2928,6 +3524,27 @@ mod tests {
             assert_fused_identical(&m, func, 2, 0);
         }
 
+        /// Near miss: the accumulated value of an `addf` feeding a store
+        /// via the accessor chain is *not* adjacent to the store in
+        /// unoptimized IR (the id construction sits between), so nothing
+        /// may fuse around it — results must still match.
+        #[test]
+        fn non_adjacent_accumulate_store_stays_correct() {
+            let c = ctx();
+            let mut m = Module::new(&c);
+            let func = build_kernel(&mut m, 2, |b, accs, item| {
+                let gid = sdev::global_id(b, item, 0);
+                let va = sdev::load_via_id(b, accs[0], &[gid]);
+                let vb = sdev::load_via_id(b, accs[1], &[gid]);
+                let sum = arith::addf(b, va, vb);
+                sdev::store_via_id(b, sum, accs[1], &[gid]);
+            });
+            // Only the load-accumulate pair fires (the second load feeds
+            // the addf directly); the store chain is broken up by the
+            // interposed zero constant of `store_via_id`.
+            assert_fused_identical(&m, func, 2, 1);
+        }
+
         /// Near miss: a `muli` whose product is read twice must keep its
         /// register.
         #[test]
@@ -2948,6 +3565,480 @@ mod tests {
                 sdev::store_via_id(b, v, accs[0], &[wrapped]);
             });
             assert_fused_identical(&m, func, 1, 0);
+        }
+    }
+
+    /// Bytecode-level chain-fusion tests: the accessor chains only become
+    /// *adjacent* after CSE (the builder interposes the zero constant of
+    /// `load_via_id`), so these tests construct the post-CSE instruction
+    /// shapes directly — exactly what the compiled benchsuite kernels
+    /// contain (held by `fusion_fires_on_benchsuite_kernels` in
+    /// `tests/differential.rs`).
+    mod chains {
+        use super::super::*;
+        use crate::cost::{CostModel, ExecStats};
+        use crate::memory::{DataVec, MemId, MemoryPool};
+        use crate::value::AccessorVal;
+        use crate::NdRangeSpec;
+
+        const N: i64 = 16;
+
+        /// One decoded-shaped plan over `[accessor f32, memref f32]`
+        /// params (registers 0 and 1); registers from 2 up are free.
+        fn plan_of(code: Vec<Instr>, reg_count: u32, mem_sites: u32) -> KernelPlan {
+            KernelPlan {
+                funcs: vec![FuncPlan {
+                    code,
+                    reg_count,
+                    params: vec![0, 1],
+                    has_item_param: false,
+                }],
+                dense_consts: Vec::new(),
+                mem_sites,
+                local_sites: 0,
+                fused_pairs: 0,
+                fused_chains: 0,
+            }
+        }
+
+        /// Execute `plan` on fresh buffers; returns stats plus both
+        /// final buffer images.
+        fn run(plan: &KernelPlan, threads: usize) -> (ExecStats, Vec<f32>, Vec<f32>) {
+            let mut pool = MemoryPool::new();
+            let ma = pool.alloc(DataVec::F32((0..N).map(|i| i as f32 * 0.5).collect()));
+            let mb = pool.alloc(DataVec::F32((0..N).map(|i| 1.0 + i as f32).collect()));
+            let args = [
+                RtValue::Accessor(AccessorVal {
+                    mem: ma,
+                    range: [N, 1, 1],
+                    offset: [0, 0, 0],
+                    rank: 1,
+                    constant: false,
+                }),
+                RtValue::MemRef(MemRefVal {
+                    mem: mb,
+                    offset: 0,
+                    shape: [N, 1, 1],
+                    rank: 1,
+                    space: Space::Global,
+                }),
+            ];
+            let stats = crate::pool::run_plan_launch(
+                plan,
+                &args,
+                NdRangeSpec::d1(N, 4),
+                &mut pool,
+                &CostModel::default(),
+                threads,
+            )
+            .expect("plan runs");
+            let DataVec::F32(a) = pool.data(MemId(0)) else {
+                panic!()
+            };
+            let DataVec::F32(b) = pool.data(MemId(1)) else {
+                panic!()
+            };
+            (stats, a.clone(), b.clone())
+        }
+
+        /// Fuse a clone, assert the expected pair/chain counts, and hold
+        /// fused execution bit-identical to unfused at 1 and 4 workers.
+        fn assert_chain_identical(
+            plan: &KernelPlan,
+            expect_pairs: u32,
+            expect_chains: u32,
+        ) -> KernelPlan {
+            let mut fused = plan.clone();
+            fuse_plan(&mut fused);
+            assert_eq!(fused.fused_pairs, expect_pairs, "pair count");
+            assert_eq!(fused.fused_chains, expect_chains, "chain count");
+            let (ref_stats, ref_a, ref_b) = run(plan, 1);
+            for threads in [1_usize, 4] {
+                let (stats, a, b) = run(&fused, threads);
+                assert_eq!(ref_stats, stats, "stats differ at threads={threads}");
+                assert_eq!(ref_a, a, "accessor buffer differs at threads={threads}");
+                assert_eq!(ref_b, b, "memref buffer differs at threads={threads}");
+            }
+            fused
+        }
+
+        fn has_instr(plan: &KernelPlan, pred: impl Fn(&Instr) -> bool) -> bool {
+            plan.funcs.iter().any(|f| f.code.iter().any(&pred))
+        }
+
+        /// The post-CSE accessor chain shape: `acc[gid] = acc[gid] + 1.0`
+        /// with both the load-side and store-side chains adjacent. The
+        /// load chain fuses to `AccLoadIndexed`, the store chain to
+        /// `AccStoreIndexed`.
+        #[test]
+        fn accessor_load_and_store_chains_fuse_and_execute_identically() {
+            let code = vec![
+                // r2 = gid, r3 = 0, r4 = 1.0f
+                Instr::ItemQuery {
+                    dst: 2,
+                    q: ItemQ::GlobalId,
+                    dim: DimSrc::Const(0),
+                },
+                Instr::Const {
+                    dst: 3,
+                    val: RtValue::Int(0),
+                },
+                Instr::Const {
+                    dst: 4,
+                    val: RtValue::F32(1.0),
+                },
+                // Load chain: id, view, load.
+                Instr::VecCtor {
+                    dst: 5,
+                    comps: [2, 0, 0],
+                    rank: 1,
+                },
+                Instr::AccSubscript {
+                    dst: 6,
+                    acc: 0,
+                    id: 5,
+                },
+                Instr::Load {
+                    dst: 7,
+                    mem: 6,
+                    idx: [3, 0, 0],
+                    rank: 1,
+                    site: 0,
+                },
+                // v + 1.0 (followed by a VecCtor, so the accumulate-store
+                // pair cannot fire — the store chain wins instead).
+                Instr::BinFloat {
+                    op: FloatBin::Add,
+                    dst: 8,
+                    l: 7,
+                    r: 4,
+                    f32_out: true,
+                },
+                // Store chain: id, view, store.
+                Instr::VecCtor {
+                    dst: 9,
+                    comps: [2, 0, 0],
+                    rank: 1,
+                },
+                Instr::AccSubscript {
+                    dst: 10,
+                    acc: 0,
+                    id: 9,
+                },
+                Instr::Store {
+                    val: 8,
+                    mem: 10,
+                    idx: [3, 0, 0],
+                    rank: 1,
+                    site: 1,
+                },
+                Instr::Return {
+                    vals: Vec::new().into_boxed_slice(),
+                },
+            ];
+            let plan = plan_of(code, 11, 2);
+            let fused = assert_chain_identical(&plan, 0, 2);
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccLoadIndexed { .. }
+            )));
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccStoreIndexed { .. }
+            )));
+            // The whole 8-instruction body collapsed to 4.
+            assert_eq!(fused.funcs[0].code.len(), 7);
+        }
+
+        /// `b[gid] = b[gid] * 2 + 3` as the post-CSE multiply-accumulate
+        /// shape: `Load`+`mulf`+`addf` fuses to one `LoadMulAddF` (the
+        /// triple wins over the `Load`+`mulf` pair sharing its head), and
+        /// the trailing `addf`… store pair is consumed by the chain, so
+        /// the store stays unfused.
+        #[test]
+        fn load_mul_add_chain_beats_the_pair_deterministically() {
+            let code = vec![
+                Instr::ItemQuery {
+                    dst: 2,
+                    q: ItemQ::GlobalId,
+                    dim: DimSrc::Const(0),
+                },
+                Instr::Const {
+                    dst: 3,
+                    val: RtValue::F32(2.0),
+                },
+                Instr::Const {
+                    dst: 4,
+                    val: RtValue::F32(3.0),
+                },
+                Instr::Load {
+                    dst: 5,
+                    mem: 1,
+                    idx: [2, 0, 0],
+                    rank: 1,
+                    site: 0,
+                },
+                // Narrow the product to f32 but keep the sum f64-typed:
+                // exercises the elided intermediate's exact narrowing.
+                Instr::BinFloat {
+                    op: FloatBin::Mul,
+                    dst: 6,
+                    l: 5,
+                    r: 3,
+                    f32_out: true,
+                },
+                Instr::BinFloat {
+                    op: FloatBin::Add,
+                    dst: 7,
+                    l: 4,
+                    r: 6,
+                    f32_out: true,
+                },
+                Instr::Store {
+                    val: 7,
+                    mem: 1,
+                    idx: [2, 0, 0],
+                    rank: 1,
+                    site: 1,
+                },
+                Instr::Return {
+                    vals: Vec::new().into_boxed_slice(),
+                },
+            ];
+            let plan = plan_of(code, 8, 2);
+            let fused = assert_chain_identical(&plan, 0, 1);
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::LoadMulAddF { .. }
+            )));
+            assert!(
+                !has_instr(&fused, |i| matches!(i, Instr::LoadBinFloat { .. })),
+                "the pair must lose to the chain sharing its head"
+            );
+        }
+
+        /// When the `addf` does not consume the product, the chain cannot
+        /// fire — the `Load`+`mulf` *pair* must fuse instead (same head,
+        /// shorter window): competing overlapping patterns resolve
+        /// deterministically by decode shape, never by chance.
+        #[test]
+        fn pair_fires_when_the_triple_cannot() {
+            let code = vec![
+                Instr::ItemQuery {
+                    dst: 2,
+                    q: ItemQ::GlobalId,
+                    dim: DimSrc::Const(0),
+                },
+                Instr::Const {
+                    dst: 3,
+                    val: RtValue::F32(2.0),
+                },
+                Instr::Load {
+                    dst: 5,
+                    mem: 1,
+                    idx: [2, 0, 0],
+                    rank: 1,
+                    site: 0,
+                },
+                Instr::BinFloat {
+                    op: FloatBin::Mul,
+                    dst: 6,
+                    l: 5,
+                    r: 3,
+                    f32_out: true,
+                },
+                // The addf reads the *constant* twice, not the product —
+                // the product flows to the store instead.
+                Instr::BinFloat {
+                    op: FloatBin::Add,
+                    dst: 7,
+                    l: 3,
+                    r: 3,
+                    f32_out: true,
+                },
+                Instr::Store {
+                    val: 6,
+                    mem: 1,
+                    idx: [2, 0, 0],
+                    rank: 1,
+                    site: 1,
+                },
+                Instr::Return {
+                    vals: Vec::new().into_boxed_slice(),
+                },
+            ];
+            let plan = plan_of(code, 8, 2);
+            let fused = assert_chain_identical(&plan, 1, 0);
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::LoadBinFloat {
+                    op: FloatBin::Mul,
+                    ..
+                }
+            )));
+        }
+
+        /// Near miss: an `acc.subscript` result read by *both* a load and
+        /// a later store (the post-CSE `c[i] = c[i] + x` shape) is not
+        /// elidable — no indexed-access chain may fire, but execution
+        /// stays identical.
+        #[test]
+        fn multiply_read_subscript_view_blocks_the_chain() {
+            let code = vec![
+                Instr::ItemQuery {
+                    dst: 2,
+                    q: ItemQ::GlobalId,
+                    dim: DimSrc::Const(0),
+                },
+                Instr::Const {
+                    dst: 3,
+                    val: RtValue::Int(0),
+                },
+                Instr::Const {
+                    dst: 4,
+                    val: RtValue::F32(1.0),
+                },
+                Instr::VecCtor {
+                    dst: 5,
+                    comps: [2, 0, 0],
+                    rank: 1,
+                },
+                Instr::AccSubscript {
+                    dst: 6,
+                    acc: 0,
+                    id: 5,
+                },
+                // The view feeds the load here…
+                Instr::Load {
+                    dst: 7,
+                    mem: 6,
+                    idx: [3, 0, 0],
+                    rank: 1,
+                    site: 0,
+                },
+                Instr::BinFloat {
+                    op: FloatBin::Add,
+                    dst: 8,
+                    l: 7,
+                    r: 4,
+                    f32_out: true,
+                },
+                // …and the store here: two reads, no elision.
+                Instr::Store {
+                    val: 8,
+                    mem: 6,
+                    idx: [3, 0, 0],
+                    rank: 1,
+                    site: 1,
+                },
+                Instr::Return {
+                    vals: Vec::new().into_boxed_slice(),
+                },
+            ];
+            let plan = plan_of(code, 9, 2);
+            // Only the load-accumulate and accumulate-store shapes
+            // compete over (Load, addf, Store); Load+addf wins first.
+            let fused = assert_chain_identical(&plan, 1, 0);
+            assert!(!has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccLoadIndexed { .. } | Instr::AccStoreIndexed { .. }
+            )));
+        }
+
+        /// A chain whose *head* is a jump target may fuse (the whole
+        /// window maps to the superinstruction's pc); a chain with a jump
+        /// target on a **non-head member** must not — control flow could
+        /// enter mid-window and skip the elided producers.
+        #[test]
+        fn jump_target_on_non_head_member_blocks_fusion() {
+            // Shared suffix: id = vec.ctor gid; view = acc[id]; v = load;
+            // store v -> b[gid]. The guard skips a filler instruction.
+            let build = |branch_to_head: bool| -> KernelPlan {
+                let chain_head = 6_u32;
+                let target = if branch_to_head {
+                    chain_head
+                } else {
+                    chain_head + 1 // the acc.subscript: mid-chain
+                };
+                // When branching mid-chain, the id register must still be
+                // initialized on the taken path: define it before the
+                // branch too.
+                let code = vec![
+                    Instr::ItemQuery {
+                        dst: 2,
+                        q: ItemQ::GlobalId,
+                        dim: DimSrc::Const(0),
+                    },
+                    Instr::Const {
+                        dst: 3,
+                        val: RtValue::Int(0),
+                    },
+                    Instr::VecCtor {
+                        dst: 6,
+                        comps: [2, 0, 0],
+                        rank: 1,
+                    }, // pc 2: pre-initialize the id register
+                    Instr::CmpI {
+                        pred: CmpPred::Eq,
+                        dst: 4,
+                        l: 2,
+                        r: 3,
+                    }, // pc 3 (fuses with the branch)
+                    Instr::BranchIfFalse { cond: 4, target }, // pc 4
+                    Instr::BinInt {
+                        op: IntBin::Add,
+                        dst: 5,
+                        l: 2,
+                        r: 3,
+                    }, // pc 5: filler, skipped when gid != 0
+                    Instr::VecCtor {
+                        dst: 6,
+                        comps: [2, 0, 0],
+                        rank: 1,
+                    }, // pc 6: chain head
+                    Instr::AccSubscript {
+                        dst: 7,
+                        acc: 0,
+                        id: 6,
+                    }, // pc 7
+                    Instr::Load {
+                        dst: 8,
+                        mem: 7,
+                        idx: [3, 0, 0],
+                        rank: 1,
+                        site: 0,
+                    }, // pc 8
+                    Instr::Store {
+                        val: 8,
+                        mem: 1,
+                        idx: [2, 0, 0],
+                        rank: 1,
+                        site: 1,
+                    }, // pc 9
+                    Instr::Return {
+                        vals: Vec::new().into_boxed_slice(),
+                    },
+                ];
+                plan_of(code, 9, 2)
+            };
+
+            // Branching to the head: the chain fuses (the whole window
+            // maps to the superinstruction's pc — this exercises target
+            // remapping across a multi-instruction window), and so does
+            // the cmpi+branch pair.
+            let fused = assert_chain_identical(&build(true), 1, 1);
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccLoadIndexed { .. }
+            )));
+
+            // Branching to the subscript (a non-head member): the chain
+            // must not fire — only the cmpi+branch pair does.
+            let fused = assert_chain_identical(&build(false), 1, 0);
+            assert!(!has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccLoadIndexed { .. }
+            )));
         }
     }
 }

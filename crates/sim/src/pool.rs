@@ -794,16 +794,32 @@ impl GraphState<'_, '_> {
 
     /// Retire launch `li`: publish successors whose last dependency this
     /// was, and wake parked workers when anything changed.
+    ///
+    /// A newly-ready successor with **zero work-groups** (an empty
+    /// nd-range) has no group whose completion could ever retire it, so
+    /// it retires eagerly right here instead of entering the ready set —
+    /// the worklist cascades through chains of empty launches. Eager
+    /// retirement happens only once the launch's own last predecessor
+    /// retired, so dependency ordering is preserved through it.
     fn retire(&self, li: usize) {
+        let mut to_retire = vec![li];
         let mut newly_ready = Vec::new();
-        for &s in &self.succs[li] {
-            // AcqRel: the retiring thread has (transitively) acquired all
-            // group-completion decrements of `li`, and a successor's first
-            // claim acquires this decrement — establishing happens-before
-            // from every write of a predecessor launch to every read of
-            // its successors.
-            if self.units[s].remaining_deps.fetch_sub(1, Ordering::AcqRel) == 1 {
-                newly_ready.push(s);
+        let mut retired = 0_usize;
+        while let Some(u) = to_retire.pop() {
+            retired += 1;
+            for &s in &self.succs[u] {
+                // AcqRel: the retiring thread has (transitively) acquired
+                // all group-completion decrements of `u`, and a
+                // successor's first claim acquires this decrement —
+                // establishing happens-before from every write of a
+                // predecessor launch to every read of its successors.
+                if self.units[s].remaining_deps.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    if self.units[s].total == 0 {
+                        to_retire.push(s);
+                    } else {
+                        newly_ready.push(s);
+                    }
+                }
             }
         }
         // The wake predicate (`launches_left`, ready-queue contents) must
@@ -814,7 +830,7 @@ impl GraphState<'_, '_> {
         // loses the wakeup when the worker sits between its predicate
         // check and the park.
         let mut q = self.ready.lock().unwrap();
-        let left = self.launches_left.fetch_sub(1, Ordering::AcqRel) - 1;
+        let left = self.launches_left.fetch_sub(retired, Ordering::AcqRel) - retired;
         let publish = !newly_ready.is_empty();
         q.extend(newly_ready);
         drop(q);
@@ -857,6 +873,24 @@ impl GraphState<'_, '_> {
 unsafe fn launch_job(ctx: *const ()) {
     let state = unsafe { &*(ctx as *const GraphState<'_, '_>) };
     state.run_worker();
+}
+
+/// Number of workers a graph run enlists: the thread-count knob clamped
+/// to the graph's total work-group count — never more workers than there
+/// are groups to run (a graph with no groups still gets the calling
+/// thread).
+fn graph_workers(threads: usize, total_groups: usize) -> usize {
+    threads.max(1).min(total_groups.max(1))
+}
+
+/// Work-groups claimed per claim-cursor RMW: aim for ~8 chunks per
+/// enlisted worker so load still balances, floor 1 so tiny launches keep
+/// fine-grained interleaving, cap 64 so no worker monopolizes a launch
+/// and independent launches pipeline. Sized from the **clamped** worker
+/// count ([`graph_workers`]), not the raw thread-count hint — the hint
+/// can exceed the workers that actually contend on the cursor.
+fn claim_chunk(total: usize, workers: usize) -> usize {
+    (total / (workers * 8)).clamp(1, 64)
 }
 
 /// Group coordinates of linear index `idx` (row-major over `groups`, the
@@ -998,6 +1032,7 @@ pub fn run_plan_batch(
 /// profiling was requested, per-launch flat instruction execution counts
 /// (index into the launch's plan functions concatenated in order; see
 /// [`crate::plan::profile_summary`]).
+#[derive(Debug)]
 pub struct GraphOutcome {
     /// One merged [`ExecStats`] per launch, cycles charged.
     pub stats: Vec<ExecStats>,
@@ -1049,10 +1084,12 @@ pub fn run_plan_graph(
             message: "too many launches in one graph".into(),
         });
     }
-    let workers_hint = threads.max(1);
-    let mut units = Vec::with_capacity(launches.len());
+    // First pass: validate geometry and count work-groups, so the worker
+    // count — and the claim chunk sized from it — reflects the *clamped*
+    // value (never more workers than groups), not the raw thread hint.
+    let mut geometry = Vec::with_capacity(launches.len());
     let mut total_groups = 0_usize;
-    for (li, l) in launches.iter().enumerate() {
+    for l in launches {
         l.nd.validate()?;
         let groups = l.nd.groups();
         let total = (groups[0] * groups[1] * groups[2]) as usize;
@@ -1062,16 +1099,18 @@ pub fn run_plan_graph(
             });
         }
         total_groups += total;
-        // Chunked claiming: aim for several chunks per worker so load
-        // still balances, but cap the chunk so launches pipeline.
-        let chunk = (total / (workers_hint * 8)).clamp(1, 64);
+        geometry.push((groups, total));
+    }
+    let workers = graph_workers(threads, total_groups);
+    let mut units = Vec::with_capacity(launches.len());
+    for (li, (l, &(groups, total))) in launches.iter().zip(&geometry).enumerate() {
         units.push(GraphUnit {
             plan: l.plan,
             args: l.args,
             nd: l.nd,
             groups,
             total,
-            chunk,
+            chunk: claim_chunk(total, workers),
             next: AtomicUsize::new(0),
             unfinished: AtomicUsize::new(total),
             remaining_deps: AtomicUsize::new(dag.preds[li]),
@@ -1084,10 +1123,12 @@ pub fn run_plan_graph(
         });
     }
     let shared = SharedPool::new(pool_mem);
-    // Never enlist more workers than there are work-groups in the graph.
-    let workers = threads.max(1).min(total_groups.max(1));
-    let initially_ready: VecDeque<usize> =
-        (0..units.len()).filter(|&i| dag.preds[i] == 0).collect();
+    // Empty launches never enter the ready set — no work-group of theirs
+    // could ever retire them; root empties are retired eagerly below and
+    // dependent empties cascade through `retire`.
+    let initially_ready: VecDeque<usize> = (0..units.len())
+        .filter(|&i| dag.preds[i] == 0 && units[i].total > 0)
+        .collect();
 
     let state = GraphState {
         launches_left: AtomicUsize::new(units.len()),
@@ -1105,6 +1146,16 @@ pub fn run_plan_graph(
         panic: Mutex::new(None),
         latch: (Mutex::new(workers), Condvar::new()),
     };
+
+    // Retire dependency-free empty launches before any worker starts: a
+    // zero-group launch has no group whose completion could publish its
+    // successors, so without this a chain through an empty launch would
+    // never make progress (and an all-empty graph would deadlock).
+    for i in 0..state.units.len() {
+        if dag.preds[i] == 0 && state.units[i].total == 0 {
+            state.retire(i);
+        }
+    }
 
     if workers > 1 {
         ensure_workers(workers - 1);
@@ -1276,6 +1327,188 @@ mod tests {
         let f = pool.alloc(DataVec::F32(vec![0.0; 2]));
         let shared = SharedPool::new(&mut pool);
         shared.load(f, 5);
+    }
+
+    /// The claim chunk is sized from the **clamped** worker count
+    /// (`graph_workers`), never the raw thread-count hint: a hint larger
+    /// than the graph must not distort per-launch chunking.
+    #[test]
+    fn chunk_sized_from_clamped_worker_count() {
+        // Clamping: never more workers than groups; at least one worker.
+        assert_eq!(graph_workers(4, 1000), 4);
+        assert_eq!(graph_workers(64, 8), 8);
+        assert_eq!(graph_workers(0, 8), 1);
+        assert_eq!(graph_workers(16, 0), 1);
+
+        // ~8 chunks per worker, floored at 1 and capped at 64.
+        assert_eq!(claim_chunk(512, 4), 16);
+        assert_eq!(claim_chunk(100, 4), 3);
+        assert_eq!(claim_chunk(2, 64), 1);
+        assert_eq!(claim_chunk(1 << 20, 1), 64);
+
+        // The regression shape: a tiny graph under a huge thread hint.
+        // The clamped count (what run_plan_graph now feeds claim_chunk)
+        // keeps every launch at fine-grained chunk 1 — and can never
+        // exceed the chunk the raw hint would produce.
+        let (threads, per_launch, graph_total) = (64_usize, 8_usize, 16_usize);
+        let workers = graph_workers(threads, graph_total);
+        assert_eq!(workers, 16);
+        assert_eq!(claim_chunk(per_launch, workers), 1);
+        for total in [1_usize, 8, 64, 512, 4096] {
+            for threads in [1_usize, 4, 64, 1024] {
+                for graph_total in [total, 4 * total] {
+                    let clamped = claim_chunk(total, graph_workers(threads, graph_total));
+                    let hinted = claim_chunk(total, threads.max(1));
+                    assert!(
+                        clamped >= hinted,
+                        "clamping must never shrink chunks below the hinted size"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A minimal bytecode plan: `f32buf[gid] = f32buf[gid] + k`.
+    fn add_k_plan(k: f32) -> KernelPlan {
+        use crate::plan::{DimSrc, FloatBin, FuncPlan, Instr, ItemQ};
+        let code = vec![
+            Instr::ItemQuery {
+                dst: 1,
+                q: ItemQ::GlobalId,
+                dim: DimSrc::Const(0),
+            },
+            Instr::Const {
+                dst: 2,
+                val: RtValue::F32(k),
+            },
+            Instr::Load {
+                dst: 3,
+                mem: 0,
+                idx: [1, 0, 0],
+                rank: 1,
+                site: 0,
+            },
+            Instr::BinFloat {
+                op: FloatBin::Add,
+                dst: 4,
+                l: 3,
+                r: 2,
+                f32_out: true,
+            },
+            Instr::Store {
+                val: 4,
+                mem: 0,
+                idx: [1, 0, 0],
+                rank: 1,
+                site: 1,
+            },
+            Instr::Return {
+                vals: Vec::new().into_boxed_slice(),
+            },
+        ];
+        KernelPlan {
+            funcs: vec![FuncPlan {
+                code,
+                reg_count: 5,
+                params: vec![0],
+                has_item_param: false,
+            }],
+            dense_consts: Vec::new(),
+            mem_sites: 2,
+            local_sites: 0,
+            fused_pairs: 0,
+            fused_chains: 0,
+        }
+    }
+
+    /// An empty launch (zero work-groups) in the middle of a dependency
+    /// chain must retire eagerly: its successor still runs, after its
+    /// predecessor, under every worker count — and an all-empty graph
+    /// terminates instead of deadlocking.
+    #[test]
+    fn empty_launch_in_a_chain_retires_eagerly() {
+        let plan_a = add_k_plan(1.0);
+        let plan_c = add_k_plan(10.0);
+        let n = 16_i64;
+        let arg = |mem| {
+            RtValue::MemRef(crate::value::MemRefVal {
+                mem,
+                offset: 0,
+                shape: [n, 1, 1],
+                rank: 1,
+                space: crate::value::Space::Global,
+            })
+        };
+        for threads in [1_usize, 4] {
+            let mut pool = MemoryPool::new();
+            let mf = pool.alloc(DataVec::F32(vec![0.0; n as usize]));
+            let args = [arg(mf)];
+            let launches = [
+                PlanLaunch {
+                    plan: &plan_a,
+                    args: &args,
+                    nd: NdRangeSpec::d1(n, 4),
+                },
+                // The empty middle launch: zero global range.
+                PlanLaunch {
+                    plan: &plan_a,
+                    args: &args,
+                    nd: NdRangeSpec::d1(0, 4),
+                },
+                PlanLaunch {
+                    plan: &plan_c,
+                    args: &args,
+                    nd: NdRangeSpec::d1(n, 4),
+                },
+            ];
+            let dag = LaunchDag::chain(3);
+            let out = run_plan_graph(
+                &launches,
+                &dag,
+                &mut pool,
+                &CostModel::default(),
+                threads,
+                false,
+            )
+            .expect("chain through an empty launch completes");
+            assert_eq!(out.stats.len(), 3);
+            assert_eq!(out.stats[1].work_groups, 0, "empty launch ran no groups");
+            assert_eq!(out.stats[1].work_items, 0);
+            assert_eq!(out.stats[1].global_accesses, 0);
+            let DataVec::F32(f) = pool.data(mf) else {
+                panic!()
+            };
+            // A then C: 0 + 1 + 10, for every element.
+            assert_eq!(f, &vec![11.0_f32; n as usize], "threads={threads}");
+        }
+
+        // An all-empty graph (including chained empties) terminates.
+        let mut pool = MemoryPool::new();
+        let mf = pool.alloc(DataVec::F32(vec![0.0; n as usize]));
+        let args = [arg(mf)];
+        let empties = [
+            PlanLaunch {
+                plan: &plan_a,
+                args: &args,
+                nd: NdRangeSpec::d1(0, 4),
+            },
+            PlanLaunch {
+                plan: &plan_a,
+                args: &args,
+                nd: NdRangeSpec::d1(0, 4),
+            },
+        ];
+        let out = run_plan_graph(
+            &empties,
+            &LaunchDag::chain(2),
+            &mut pool,
+            &CostModel::default(),
+            4,
+            false,
+        )
+        .expect("all-empty graph completes");
+        assert_eq!(out.stats.len(), 2);
+        assert!(out.stats.iter().all(|s| s.work_groups == 0));
     }
 
     #[test]

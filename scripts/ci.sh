@@ -47,25 +47,27 @@ fi
 
 # ----------------------------------------------------------------------
 # Bench smoke: the full evaluation sweep in quick mode — sequential, on 4
-# worker threads, with plan fusion disabled, and with the out-of-order
-# scheduler disabled (PR 3 level barriers). Asserts the determinism
-# contract (bit-identical tables across threads, fused/unfused execution
-# AND overlap on/off) and prints the wall-time trajectory so a perf
+# worker threads, with plan fusion disabled / limited to pairs, and with
+# the out-of-order scheduler disabled (PR 3 level barriers). Asserts the
+# determinism contract (bit-identical tables across threads, every fuse
+# level AND overlap on/off) and prints the wall-time trajectory so a perf
 # regression is visible in the CI log.
 # ----------------------------------------------------------------------
-step "bench smoke: repro_all --quick (threads=1 vs threads=4 vs fuse=off vs overlap=off)"
+step "bench smoke: repro_all --quick (threads=1 vs threads=4 vs fuse=off/pairs vs overlap=off)"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 ./target/release/repro_all --quick --threads=1 | tee "$tmp/t1.out"
 ./target/release/repro_all --quick --threads=4 | tee "$tmp/t4.out"
 ./target/release/repro_all --quick --threads=1 --fuse=off --batch=off | tee "$tmp/nofuse.out"
+./target/release/repro_all --quick --threads=4 --fuse=pairs | tee "$tmp/pairs.out"
 ./target/release/repro_all --quick --threads=4 --overlap=off | tee "$tmp/nooverlap.out"
 
 # The wall-time line is the only legitimate difference between runs.
 grep -v '^repro_wall_time_seconds:' "$tmp/t1.out" > "$tmp/t1.tables"
 grep -v '^repro_wall_time_seconds:' "$tmp/t4.out" > "$tmp/t4.tables"
 grep -v '^repro_wall_time_seconds:' "$tmp/nofuse.out" > "$tmp/nofuse.tables"
+grep -v '^repro_wall_time_seconds:' "$tmp/pairs.out" > "$tmp/pairs.tables"
 grep -v '^repro_wall_time_seconds:' "$tmp/nooverlap.out" > "$tmp/nooverlap.tables"
 if ! diff -u "$tmp/t1.tables" "$tmp/t4.tables"; then
   echo "FAIL: repro_all tables differ between --threads=1 and --threads=4" >&2
@@ -75,17 +77,43 @@ if ! diff -u "$tmp/t1.tables" "$tmp/nofuse.tables"; then
   echo "FAIL: repro_all tables differ between fused and unfused execution" >&2
   exit 1
 fi
+if ! diff -u "$tmp/t1.tables" "$tmp/pairs.tables"; then
+  echo "FAIL: repro_all tables differ between chain fusion and pairs-only fusion" >&2
+  exit 1
+fi
 if ! diff -u "$tmp/t4.tables" "$tmp/nooverlap.tables"; then
   echo "FAIL: repro_all tables differ between overlap=on and overlap=off" >&2
   exit 1
 fi
-echo "tables bit-identical across thread counts, fuse settings and overlap modes"
+echo "tables bit-identical across thread counts, fuse levels and overlap modes"
+
+# ----------------------------------------------------------------------
+# Profile artifact: the opcode-mix summary (per-opcode execution totals +
+# ranked fusion candidates) from a --profile=on sweep, saved under
+# target/ci-artifacts/ and uploaded by the workflow — so fusion-candidate
+# drift across PRs is tracked instead of re-measured by hand.
+# ----------------------------------------------------------------------
+step "profile artifact: opcode mix (fusion-candidate drift tracking)"
+artifacts=target/ci-artifacts
+mkdir -p "$artifacts"
+./target/release/repro_all --quick --threads=4 --profile=on > "$tmp/profile.out"
+# Keep only the profile section, minus the run-dependent wall-time line —
+# the artifact must diff clean across runs when the opcode mix is stable.
+sed -n '/^== instruction profile/,$p' "$tmp/profile.out" \
+  | grep -v '^repro_wall_time_seconds:' > "$artifacts/opcode-mix.txt"
+if ! [ -s "$artifacts/opcode-mix.txt" ]; then
+  echo "FAIL: --profile=on produced no instruction profile section" >&2
+  exit 1
+fi
+head -n 14 "$artifacts/opcode-mix.txt"
+echo "  ... (full opcode mix in $artifacts/opcode-mix.txt)"
 
 echo
-echo "wall-time regression check (PR 3 baseline: ~1.0 s threads=4):"
+echo "wall-time regression check (PR 4 baseline: ~1.0 s threads=4):"
 grep '^repro_wall_time_seconds:' "$tmp/t1.out"        | sed 's/^/  threads=1            /'
 grep '^repro_wall_time_seconds:' "$tmp/t4.out"        | sed 's/^/  threads=4            /'
 grep '^repro_wall_time_seconds:' "$tmp/nofuse.out"    | sed 's/^/  fuse=off,batch=off   /'
+grep '^repro_wall_time_seconds:' "$tmp/pairs.out"     | sed 's/^/  threads=4,fuse=pairs /'
 grep '^repro_wall_time_seconds:' "$tmp/nooverlap.out" | sed 's/^/  threads=4,overlap=off/'
 
 echo

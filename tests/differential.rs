@@ -285,11 +285,18 @@ mod engine_differential {
 
     /// The benchsuite's kernels must actually exercise the fusion pass —
     /// otherwise the superinstructions are dead code and the measured
-    /// speedup is noise.
+    /// speedup is noise. Pairs and three-instruction chains are asserted
+    /// separately, and the indexed-access superinstructions (the
+    /// `--profile` mode's top-ranked candidate, the accessor addressing
+    /// chain) must appear specifically.
     #[test]
     fn fusion_fires_on_benchsuite_kernels() {
         use sycl_mlir_repro::sim::fuse_plan;
-        let mut total_fused = 0_u32;
+        use sycl_mlir_repro::sim::plan::Instr;
+        let mut total_pairs = 0_u32;
+        let mut total_chains = 0_u32;
+        let mut indexed_access = 0_u32;
+        let mut fma = 0_u32;
         for w in all_workloads() {
             let app = (w.build)(quick_size(&w));
             let program = sycl_mlir_repro::runtime::compile_program(FlowKind::SyclMlir, app.module)
@@ -301,14 +308,40 @@ mod engine_differential {
             for f in m.funcs_in(device_mod) {
                 if sycl_mlir_repro::sycl::device::is_kernel(m, f) {
                     if let Ok(mut plan) = decode_kernel(m, f) {
-                        total_fused += fuse_plan(&mut plan);
+                        fuse_plan(&mut plan);
+                        total_pairs += plan.fused_pairs;
+                        total_chains += plan.fused_chains;
+                        for func in &plan.funcs {
+                            for instr in &func.code {
+                                match instr {
+                                    Instr::AccLoadIndexed { .. }
+                                    | Instr::AccStoreIndexed { .. } => indexed_access += 1,
+                                    Instr::LoadMulAddF { .. } => fma += 1,
+                                    _ => {}
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
         assert!(
-            total_fused > 20,
-            "expected the fusion patterns to fire broadly across the suite, got {total_fused}"
+            total_pairs > 20,
+            "expected the pair patterns to fire broadly across the suite, got {total_pairs}"
+        );
+        assert!(
+            total_chains > 20,
+            "expected chain fusion to fire broadly across the suite, got {total_chains}"
+        );
+        assert!(
+            indexed_access > 10,
+            "expected indexed accessor loads/stores across the suite, got {indexed_access}"
+        );
+        // The FMA chain only appears where a non-accessor load feeds a
+        // mulf feeding an addf; it exists in the suite but is rarer.
+        println!(
+            "benchsuite fusion: {total_pairs} pairs, {total_chains} chains \
+             ({indexed_access} indexed-access, {fma} load-fma)"
         );
     }
 

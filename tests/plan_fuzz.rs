@@ -9,22 +9,29 @@
 //! The generator builds structurally valid bytecode directly (typed
 //! register pools, masked in-bounds indices, forward-only branches,
 //! constant loop bounds), deliberately including the raw material of every
-//! fusion pattern — `Load`+`addf`/`mulf`, `muli`+`addi`, `cmpi`+branch —
+//! fusion pattern — `Load`+`addf`/`mulf`, `muli`+`addi`, `cmpi`+branch,
+//! the `vec.ctor`+`acc.subscript`+`Load`/`Store` accessor chains, the
+//! `Load`+`mulf`+`addf` multiply-accumulate chain, accumulate+`Store` —
 //! *and* runtime failures (division by zero) whose position fused and
-//! unfused execution must agree on.
+//! unfused execution must agree on. Deterministic pin tests additionally
+//! hold a superinstruction that fails **mid-chain** to the unfused error
+//! and to the out-of-order scheduler's lexicographic `(launch, group)`
+//! failure bound.
 
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
 use sycl_mlir_repro::sim::plan::{CmpPred, FloatBin, FuncPlan, Instr, IntBin, ItemQ};
 use sycl_mlir_repro::sim::{
-    fuse_plan, run_plan_launch, CostModel, DataVec, ExecStats, KernelPlan, MemRefVal, MemoryPool,
-    NdRangeSpec, RtValue, SimError, Space,
+    fuse_plan, run_plan_launch, AccessorVal, CostModel, DataVec, ExecStats, KernelPlan, MemRefVal,
+    MemoryPool, NdRangeSpec, RtValue, SimError, Space,
 };
 
 const BUF_LEN: usize = 16;
 
-/// Builds one random legal function plan over two memref parameters
-/// (an `f32` buffer in register 0, an `i64` buffer in register 1).
+/// Builds one random legal function plan over three parameters: an `f32`
+/// memref in register 0, an `i64` memref in register 1 and an `f32`
+/// accessor in register 2 (the raw material of the indexed-access
+/// chains).
 struct Gen {
     rng: TestRng,
     code: Vec<Instr>,
@@ -43,7 +50,8 @@ impl Gen {
             code: Vec::new(),
             ints: Vec::new(),
             floats: Vec::new(),
-            next_reg: 2, // 0 = f32 memref param, 1 = i64 memref param
+            // 0 = f32 memref param, 1 = i64 memref param, 2 = accessor.
+            next_reg: 3,
             sites: 0,
         }
     }
@@ -276,6 +284,148 @@ impl Gen {
         }
     }
 
+    /// Emit the accessor addressing chain — `vec.ctor`, `acc.subscript`,
+    /// then `Load`/`Store` (AccLoadIndexed / AccStoreIndexed bait). The
+    /// masked index and the inner zero index are materialized *before*
+    /// the chain so the three members stay adjacent.
+    fn acc_chain(&mut self) {
+        let idx = self.masked_index();
+        let zero = self.fresh();
+        self.code.push(Instr::Const {
+            dst: zero,
+            val: RtValue::Int(0),
+        });
+        let id = self.fresh();
+        self.code.push(Instr::VecCtor {
+            dst: id,
+            comps: [idx, 0, 0],
+            rank: 1,
+        });
+        let view = self.fresh();
+        self.code.push(Instr::AccSubscript {
+            dst: view,
+            acc: 2,
+            id,
+        });
+        if self.rng.below(2) == 0 {
+            let dst = self.fresh();
+            let site = self.site();
+            self.code.push(Instr::Load {
+                dst,
+                mem: view,
+                idx: [zero, 0, 0],
+                rank: 1,
+                site,
+            });
+            self.floats.push(dst);
+        } else {
+            let val = self.pick_float();
+            let site = self.site();
+            self.code.push(Instr::Store {
+                val,
+                mem: view,
+                idx: [zero, 0, 0],
+                rank: 1,
+                site,
+            });
+        }
+        // Near-miss: a second read of the subscripted view blocks the
+        // chain (the view register is no longer elidable) without
+        // changing results.
+        if self.rng.below(4) == 0 {
+            let dst = self.fresh();
+            let site = self.site();
+            self.code.push(Instr::Load {
+                dst,
+                mem: view,
+                idx: [zero, 0, 0],
+                rank: 1,
+                site,
+            });
+            self.floats.push(dst);
+        }
+    }
+
+    /// Emit the multiply-accumulate chain: `Load` + `mulf` + `addf`
+    /// (LoadMulAddF bait) with random operand orders and narrowings.
+    fn fma_chain(&mut self) {
+        let idx = self.masked_index();
+        let loaded = self.fresh();
+        let site = self.site();
+        self.code.push(Instr::Load {
+            dst: loaded,
+            mem: 0,
+            idx: [idx, 0, 0],
+            rank: 1,
+            site,
+        });
+        let b = self.pick_float();
+        let prod = self.fresh();
+        let (ml, mr) = if self.rng.below(2) == 0 {
+            (loaded, b)
+        } else {
+            (b, loaded)
+        };
+        self.code.push(Instr::BinFloat {
+            op: FloatBin::Mul,
+            dst: prod,
+            l: ml,
+            r: mr,
+            f32_out: self.rng.below(2) == 0,
+        });
+        let c = self.pick_float();
+        let dst = self.fresh();
+        let (al, ar) = if self.rng.below(2) == 0 {
+            (prod, c)
+        } else {
+            (c, prod)
+        };
+        self.code.push(Instr::BinFloat {
+            op: FloatBin::Add,
+            dst,
+            l: al,
+            r: ar,
+            f32_out: self.rng.below(2) == 0,
+        });
+        self.floats.push(dst);
+        // Near-misses: re-reading the loaded value or the product blocks
+        // the chain (the pair prefix may still fuse).
+        if self.rng.below(4) == 0 {
+            self.floats.push(loaded);
+        }
+        if self.rng.below(4) == 0 {
+            self.floats.push(prod);
+        }
+    }
+
+    /// Emit the accumulate-then-store pair: float binary op + `Store`
+    /// (StoreBinFloat bait).
+    fn store_accum(&mut self) {
+        let idx = self.masked_index();
+        let (l, r) = (self.pick_float(), self.pick_float());
+        let t = self.fresh();
+        let op = self.float_bin_op();
+        self.code.push(Instr::BinFloat {
+            op,
+            dst: t,
+            l,
+            r,
+            f32_out: self.rng.below(2) == 0,
+        });
+        let site = self.site();
+        self.code.push(Instr::Store {
+            val: t,
+            mem: 0,
+            idx: [idx, 0, 0],
+            rank: 1,
+            site,
+        });
+        // Near-miss: the accumulated value is also read later.
+        if self.rng.below(4) == 0 {
+            self.floats.push(t);
+        }
+    }
+
     /// Emit an `if`-shaped block: `cmpi` + `BranchIfFalse` (CmpIBranch
     /// bait) around a short straight-line body. Registers defined inside
     /// are scoped out afterwards (the branch may skip them).
@@ -373,10 +523,13 @@ impl Gen {
 
         let len = self.rng.below(24) + 8;
         for _ in 0..len {
-            match self.rng.below(8) {
+            match self.rng.below(11) {
                 0 => self.if_block(),
                 1 => self.for_loop(),
                 2 if self.code.len() > 4 => self.code.push(Instr::Barrier),
+                3 => self.acc_chain(),
+                4 => self.fma_chain(),
+                5 => self.store_accum(),
                 _ => self.simple(),
             }
         }
@@ -413,25 +566,30 @@ impl Gen {
             funcs: vec![FuncPlan {
                 code: self.code,
                 reg_count: self.next_reg,
-                params: vec![0, 1],
+                params: vec![0, 1, 2],
                 has_item_param: false,
             }],
             dense_consts: Vec::new(),
             mem_sites: self.sites,
             local_sites: 0,
             fused_pairs: 0,
+            fused_chains: 0,
         }
     }
 }
 
-/// Run `plan` against fresh buffers; returns the outcome plus both final
-/// buffer images.
-fn execute(plan: &KernelPlan) -> (Result<ExecStats, SimError>, Vec<f32>, Vec<i64>) {
+/// Run `plan` against fresh buffers; returns the outcome plus all three
+/// final buffer images (f32 memref, i64 memref, accessor-backed f32).
+#[allow(clippy::type_complexity)]
+fn execute(plan: &KernelPlan) -> (Result<ExecStats, SimError>, Vec<f32>, Vec<i64>, Vec<f32>) {
     let mut pool = MemoryPool::new();
     let mf = pool.alloc(DataVec::F32(
         (0..BUF_LEN).map(|i| i as f32 * 0.25).collect(),
     ));
     let mi = pool.alloc(DataVec::I64((0..BUF_LEN).map(|i| i as i64 - 4).collect()));
+    let ma = pool.alloc(DataVec::F32(
+        (0..BUF_LEN).map(|i| i as f32 * 0.5 - 2.0).collect(),
+    ));
     let args = [
         RtValue::MemRef(MemRefVal {
             mem: mf,
@@ -446,6 +604,13 @@ fn execute(plan: &KernelPlan) -> (Result<ExecStats, SimError>, Vec<f32>, Vec<i64
             shape: [BUF_LEN as i64, 1, 1],
             rank: 1,
             space: Space::Global,
+        }),
+        RtValue::Accessor(AccessorVal {
+            mem: ma,
+            range: [BUF_LEN as i64, 1, 1],
+            offset: [0, 0, 0],
+            rank: 1,
+            constant: false,
         }),
     ];
     let result = run_plan_launch(
@@ -462,17 +627,20 @@ fn execute(plan: &KernelPlan) -> (Result<ExecStats, SimError>, Vec<f32>, Vec<i64
     let DataVec::I64(i) = pool.data(mi) else {
         panic!()
     };
-    (result, f.clone(), i.clone())
+    let DataVec::F32(a) = pool.data(ma) else {
+        panic!()
+    };
+    (result, f.clone(), i.clone(), a.clone())
 }
 
 /// One seed's round trip: generate, fuse a clone, execute both, compare
-/// everything. Returns the number of pairs fused.
-fn check_seed(seed: u64) -> u32 {
+/// everything. Returns `(pairs, chains)` fused.
+fn check_seed(seed: u64) -> (u32, u32) {
     let plan = Gen::new(seed).finish();
     let mut fused = plan.clone();
-    let pairs = fuse_plan(&mut fused);
-    let (base, base_f, base_i) = execute(&plan);
-    let (opt, opt_f, opt_i) = execute(&fused);
+    fuse_plan(&mut fused);
+    let (base, base_f, base_i, base_a) = execute(&plan);
+    let (opt, opt_f, opt_i, opt_a) = execute(&fused);
     match (&base, &opt) {
         (Ok(b), Ok(o)) => assert_eq!(b, o, "stats diverge (seed {seed})"),
         (Err(b), Err(o)) => assert_eq!(b.message, o.message, "errors diverge (seed {seed})"),
@@ -488,7 +656,12 @@ fn check_seed(seed: u64) -> u32 {
         "f32 buffer diverges (seed {seed})"
     );
     assert_eq!(base_i, opt_i, "i64 buffer diverges (seed {seed})");
-    pairs
+    assert_eq!(
+        base_a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        opt_a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        "accessor buffer diverges (seed {seed})"
+    );
+    (fused.fused_pairs, fused.fused_chains)
 }
 
 proptest! {
@@ -503,15 +676,296 @@ proptest! {
 }
 
 /// The generator must actually feed the fusion pass — otherwise the
-/// property above passes vacuously on unfusable programs.
+/// property above passes vacuously on unfusable programs. Both the pair
+/// patterns and the three-instruction chains must fire broadly.
 #[test]
 fn random_bytecode_exercises_fusion_broadly() {
-    let mut total = 0_u32;
+    let (mut pairs, mut chains) = (0_u32, 0_u32);
     for seed in 0..128_u64 {
-        total += check_seed(seed * 7919 + 13);
+        let (p, c) = check_seed(seed * 7919 + 13);
+        pairs += p;
+        chains += c;
     }
     assert!(
-        total > 100,
-        "expected the random programs to trigger fusion broadly, got {total} fused pairs"
+        pairs > 100,
+        "expected the random programs to trigger pair fusion broadly, got {pairs}"
     );
+    assert!(
+        chains > 50,
+        "expected the random programs to trigger chain fusion broadly, got {chains}"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Deterministic pins: mid-chain errors and the scheduler's failure bound
+// ----------------------------------------------------------------------
+
+/// A plan whose work-items of groups `>= fail_from` run a
+/// `Load`+`mulf`+`addf` chain that loads an *integer* — the `mulf`, the
+/// chain's second member, raises "float op on non-float". Work-items
+/// first store a marker so the set of groups that ran is observable.
+fn mid_chain_failing_plan(fail_from: i64) -> KernelPlan {
+    // Fixed layout: pcs 0..=9 set up registers, the guard branches to the
+    // chain head at pc 12 (so the head is a jump target — legal; only
+    // non-head members must not be) and the taken-path jump at pc 11
+    // skips to the return at pc 16.
+    let code = vec![
+        // r3 = global id, r4 = group id, r5 = 0, r6 = f32 1.5, r7 = bound.
+        Instr::ItemQuery {
+            dst: 3,
+            q: ItemQ::GlobalId,
+            dim: sycl_mlir_repro::sim::plan::DimSrc::Const(0),
+        },
+        Instr::ItemQuery {
+            dst: 4,
+            q: ItemQ::GroupId,
+            dim: sycl_mlir_repro::sim::plan::DimSrc::Const(0),
+        },
+        Instr::Const {
+            dst: 5,
+            val: RtValue::Int(0),
+        },
+        Instr::Const {
+            dst: 6,
+            val: RtValue::F32(1.5),
+        },
+        Instr::Const {
+            dst: 7,
+            val: RtValue::Int(fail_from),
+        },
+        // Marker: f32buf[gid & 15] = gid as f32.
+        Instr::Const {
+            dst: 8,
+            val: RtValue::Int(BUF_LEN as i64 - 1),
+        },
+        Instr::BinInt {
+            op: IntBin::And,
+            dst: 9,
+            l: 3,
+            r: 8,
+        },
+        Instr::SiToFp {
+            dst: 10,
+            x: 3,
+            f32_out: true,
+        },
+        Instr::Store {
+            val: 10,
+            mem: 0,
+            idx: [9, 0, 0],
+            rank: 1,
+            site: 0,
+        },
+        // if group_id >= fail_from, run the failing chain (the
+        // cmpi+branch itself fuses to CmpIBranch).
+        Instr::CmpI {
+            pred: CmpPred::Slt,
+            dst: 11,
+            l: 4,
+            r: 7,
+        },
+        Instr::BranchIfFalse {
+            cond: 11,
+            target: 12, // the chain head
+        },
+        Instr::Jump { target: 16 }, // early groups skip to the return
+        // t = load i64buf[0] (an Int!); u = t * 1.5 raises
+        // "float op on non-float" from the chain's second member.
+        Instr::Load {
+            dst: 12,
+            mem: 1,
+            idx: [5, 0, 0],
+            rank: 1,
+            site: 1,
+        },
+        Instr::BinFloat {
+            op: FloatBin::Mul,
+            dst: 13,
+            l: 12,
+            r: 6,
+            f32_out: false,
+        },
+        Instr::BinFloat {
+            op: FloatBin::Add,
+            dst: 14,
+            l: 13,
+            r: 6,
+            f32_out: true,
+        },
+        Instr::Store {
+            val: 14,
+            mem: 0,
+            idx: [5, 0, 0],
+            rank: 1,
+            site: 2,
+        },
+        Instr::Return {
+            vals: Vec::new().into_boxed_slice(),
+        },
+    ];
+    KernelPlan {
+        funcs: vec![FuncPlan {
+            code,
+            reg_count: 15,
+            params: vec![0, 1, 2],
+            has_item_param: false,
+        }],
+        dense_consts: Vec::new(),
+        mem_sites: 3,
+        local_sites: 0,
+        fused_pairs: 0,
+        fused_chains: 0,
+    }
+}
+
+/// A plan that divides by zero in every work-item: a distinct error text,
+/// so the *reported* error identifies which launch the scheduler picked.
+fn div_zero_plan() -> KernelPlan {
+    let code = vec![
+        Instr::Const {
+            dst: 3,
+            val: RtValue::Int(1),
+        },
+        Instr::Const {
+            dst: 4,
+            val: RtValue::Int(0),
+        },
+        Instr::BinInt {
+            op: IntBin::DivS,
+            dst: 5,
+            l: 3,
+            r: 4,
+        },
+        Instr::Return {
+            vals: Vec::new().into_boxed_slice(),
+        },
+    ];
+    KernelPlan {
+        funcs: vec![FuncPlan {
+            code,
+            reg_count: 6,
+            params: vec![0, 1, 2],
+            has_item_param: false,
+        }],
+        dense_consts: Vec::new(),
+        mem_sites: 0,
+        local_sites: 0,
+        fused_pairs: 0,
+        fused_chains: 0,
+    }
+}
+
+/// A superinstruction that fails **mid-chain** must raise exactly the
+/// error of the unfused sequence, at the same `(launch, group)` position,
+/// and the out-of-order scheduler's lexicographic failure bound must
+/// still prune past it correctly: with a second launch failing everywhere
+/// under a *different* error text, the first launch's group-3 error must
+/// win under every thread count, fused and unfused.
+#[test]
+fn mid_chain_error_matches_unfused_and_bound_prunes_correctly() {
+    use sycl_mlir_repro::sim::{run_plan_graph, LaunchDag, PlanLaunch};
+
+    let unfused_a = mid_chain_failing_plan(3);
+    let mut fused_a = unfused_a.clone();
+    fuse_plan(&mut fused_a);
+    // The failing chain fused (Load+mulf+addf), and so did the guard
+    // (cmpi+branch) and the marker/store shapes.
+    assert!(
+        fused_a.fused_chains >= 1,
+        "the failing Load+mulf+addf chain must fuse (got {} chains)",
+        fused_a.fused_chains
+    );
+    let unfused_b = div_zero_plan();
+    let mut fused_b = unfused_b.clone();
+    fuse_plan(&mut fused_b);
+
+    let nd = NdRangeSpec::d1(32, 4); // 8 groups per launch
+    let run = |a: &KernelPlan, b: &KernelPlan, threads: usize| {
+        let mut pool = MemoryPool::new();
+        let mf = pool.alloc(DataVec::F32(vec![-1.0; BUF_LEN]));
+        let mi = pool.alloc(DataVec::I64(vec![7; BUF_LEN]));
+        let ma = pool.alloc(DataVec::F32(vec![0.0; BUF_LEN]));
+        let acc = RtValue::Accessor(AccessorVal {
+            mem: ma,
+            range: [BUF_LEN as i64, 1, 1],
+            offset: [0, 0, 0],
+            rank: 1,
+            constant: false,
+        });
+        let args = [
+            RtValue::MemRef(MemRefVal {
+                mem: mf,
+                offset: 0,
+                shape: [BUF_LEN as i64, 1, 1],
+                rank: 1,
+                space: Space::Global,
+            }),
+            RtValue::MemRef(MemRefVal {
+                mem: mi,
+                offset: 0,
+                shape: [BUF_LEN as i64, 1, 1],
+                rank: 1,
+                space: Space::Global,
+            }),
+            acc,
+        ];
+        let launches = [
+            PlanLaunch {
+                plan: a,
+                args: &args,
+                nd,
+            },
+            PlanLaunch {
+                plan: b,
+                args: &args,
+                nd,
+            },
+        ];
+        let err = run_plan_graph(
+            &launches,
+            &LaunchDag::independent(2),
+            &mut pool,
+            &CostModel::default(),
+            threads,
+            false,
+        )
+        .expect_err("both launches fail");
+        let DataVec::F32(f) = pool.data(mf) else {
+            panic!()
+        };
+        (err.message, f.clone())
+    };
+
+    for threads in [1_usize, 4] {
+        let (unfused_msg, unfused_buf) = run(&unfused_a, &unfused_b, threads);
+        let (fused_msg, fused_buf) = run(&fused_a, &fused_b, threads);
+        // The minimal failure is launch 0, group 3 — the mid-chain mulf
+        // error, never launch 1's division by zero.
+        assert_eq!(
+            unfused_msg, "float op on non-float",
+            "threads={threads}: wrong launch won the failure bound"
+        );
+        assert_eq!(
+            fused_msg, unfused_msg,
+            "threads={threads}: fused chain reports a different error"
+        );
+        if threads == 1 {
+            // Serial claim order makes the post-failure buffer state
+            // deterministic: groups 0..=2 stored their markers, group 3's
+            // first work-item (gid 12) stored its marker before failing,
+            // and everything past the bound — including all of launch 1 —
+            // was pruned. (At threads > 1 groups beyond the bound may
+            // race ahead before it tightens, so only the reported error
+            // is pinned there.)
+            let mut expect = vec![-1.0_f32; BUF_LEN];
+            for (gid, slot) in expect.iter_mut().enumerate().take(13) {
+                *slot = gid as f32;
+            }
+            assert_eq!(unfused_buf, expect, "unfused post-failure buffer");
+            assert_eq!(fused_buf, expect, "fused post-failure buffer");
+        } else {
+            // Keep the buffers bound so the closure's returns stay used.
+            let _ = (&fused_buf, &unfused_buf);
+        }
+    }
 }
