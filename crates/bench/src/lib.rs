@@ -79,6 +79,14 @@ pub fn run_row(w: &WorkloadSpec, quick: bool, device: &Device) -> Row {
                 valid[i] = v;
             }
             Err(e) => {
+                // A tripped execution limit (--max-ops / --mem-cap /
+                // --deadline-ms) means the workload was wedged and the
+                // safety net caught it: exit with the distinct limit
+                // status instead of reporting a missing bar.
+                if e.contains("execution limit exceeded") {
+                    eprintln!("error: {} [{}]: {e}", w.name, kind.name());
+                    std::process::exit(LIMIT_EXIT);
+                }
                 eprintln!("warning: {} [{}] failed: {e}", w.name, kind.name());
             }
         }
@@ -141,6 +149,13 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Exit status of a `repro_*` binary when an execution limit tripped
+/// (`--max-ops`, `--mem-cap`, `--deadline-ms`): distinct from success
+/// (0), ordinary failures (1) and flag errors (2), so CI can tell "the
+/// workload was wedged and the safety net caught it" apart from
+/// everything else.
+pub const LIMIT_EXIT: i32 = 3;
+
 /// The shared flag/environment-variable table of every `repro_*` binary —
 /// the single authoritative list of simulator knobs (mirrored by the
 /// table in README.md and docs/ARCHITECTURE.md).
@@ -162,6 +177,15 @@ flag            env variable           values        default  effect
                                                               retire (off = PR 3 level barriers)
 --profile=...   SYCL_MLIR_SIM_PROFILE  on | off      off      count executed plan instructions and dump
                                                               per-opcode totals + fusion candidates
+--max-ops=N     SYCL_MLIR_SIM_MAX_OPS  integer       off      weighted-operation budget per launch: a
+                                                              kernel exceeding it fails with a
+                                                              structured limit error (repro binaries
+                                                              exit 3) instead of spinning forever
+--mem-cap=N     SYCL_MLIR_SIM_MEM_CAP  bytes         off      cap on kernel-driven allocation growth
+                                                              (allocas, materialized constants) per
+                                                              worker per launch
+--deadline-ms=N SYCL_MLIR_SIM_DEADLINE_MS  ms        off      wall-clock deadline per launch graph,
+                                                              measured from submission
 --quick         -                      -             off      shrink problem sizes for a fast sweep";
 
 /// Print usage for a `repro_*` binary and exit when `--help`/`-h` was
@@ -173,10 +197,10 @@ pub fn handle_help_flag(binary: &str, purpose: &str) {
         return;
     }
     println!("{binary} — {purpose}\n");
-    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|pairs|off] [--batch=on|off] [--overlap=on|off] [--profile=on|off]\n");
+    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|pairs|off] [--batch=on|off] [--overlap=on|off] [--profile=on|off] [--max-ops=N] [--mem-cap=BYTES] [--deadline-ms=MS]\n");
     println!("{KNOB_TABLE}");
     println!(
-        "\nFlags win over environment variables. Outputs, statistics and cycle\ntables are bit-identical across every knob combination (held by\ntests/differential.rs); the knobs only change wall time."
+        "\nFlags win over environment variables. Outputs, statistics and cycle\ntables are bit-identical across every engine/threads/fuse/batch/overlap\ncombination (held by tests/differential.rs); those knobs only change\nwall time. The limit knobs (--max-ops, --mem-cap, --deadline-ms) are\nsafety nets: a kernel exceeding one fails with a structured error and\nexit status 3 instead of hanging the run."
     );
     std::process::exit(0);
 }
@@ -236,6 +260,43 @@ pub fn profile_flag() -> Option<bool> {
     on_off_flag("profile")
 }
 
+/// Parse a shared `--<name>=N` non-negative integer flag. Unparsable
+/// values abort rather than silently benchmarking the wrong
+/// configuration.
+fn u64_flag(name: &str) -> Option<u64> {
+    let prefix = format!("--{name}=");
+    for arg in std::env::args() {
+        if let Some(value) = arg.strip_prefix(&prefix) {
+            match value.parse::<u64>() {
+                Ok(n) => return Some(n),
+                Err(_) => {
+                    eprintln!("error: --{name} value `{value}` is not a non-negative integer");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Parse the shared `--max-ops=N` flag (weighted-operation budget per
+/// launch; a kernel exceeding it fails with a structured limit error).
+pub fn max_ops_flag() -> Option<u64> {
+    u64_flag("max-ops")
+}
+
+/// Parse the shared `--mem-cap=N` flag (bytes of kernel-driven
+/// allocation growth allowed per worker per launch).
+pub fn mem_cap_flag() -> Option<u64> {
+    u64_flag("mem-cap")
+}
+
+/// Parse the shared `--deadline-ms=N` flag (wall-clock deadline per
+/// launch graph, measured from submission).
+pub fn deadline_ms_flag() -> Option<u64> {
+    u64_flag("deadline-ms")
+}
+
 /// Parse the shared `--engine=tree|plan` flag. Unknown spellings abort
 /// rather than silently benchmarking the wrong engine.
 pub fn engine_flag() -> Option<Engine> {
@@ -278,9 +339,11 @@ pub fn threads_flag() -> Option<usize> {
 }
 
 /// The device the repro binaries run on: the `--engine` / `--threads` /
-/// `--fuse` / `--batch` flags win, then the `SYCL_MLIR_SIM_*` environment
-/// variables, then the defaults (plan engine, sequential, fusion and
-/// batching on). See [`KNOB_TABLE`] for the full list.
+/// `--fuse` / `--batch` / `--overlap` / `--profile` / `--max-ops` /
+/// `--mem-cap` / `--deadline-ms` flags win, then the `SYCL_MLIR_SIM_*`
+/// environment variables, then the defaults (plan engine, sequential,
+/// fusion and batching on, no limits). See [`KNOB_TABLE`] for the full
+/// list.
 pub fn device_from_args() -> Device {
     let mut device = Device::new();
     if let Some(engine) = engine_flag() {
@@ -300,6 +363,15 @@ pub fn device_from_args() -> Device {
     }
     if let Some(profile) = profile_flag() {
         device = device.profile(profile);
+    }
+    if let Some(ops) = max_ops_flag() {
+        device = device.max_ops(ops);
+    }
+    if let Some(bytes) = mem_cap_flag() {
+        device = device.mem_cap(bytes);
+    }
+    if let Some(ms) = deadline_ms_flag() {
+        device = device.deadline_ms(ms);
     }
     device
 }

@@ -105,7 +105,11 @@ impl RunReport {
 /// Fails on unresolved kernels, interpreter errors, or divergent barriers.
 /// With several failing work-groups anywhere in the program, the error of
 /// the lexicographically smallest `(submission, work-group)` position is
-/// reported, identically under every schedule and thread count.
+/// reported, identically under every schedule and thread count. With
+/// [`Device::limits`] set, a tripped limit surfaces as
+/// [`SimError::LimitExceeded`] stamped with the submission index of the
+/// offending command group — so a wedged kernel program fails instead of
+/// hanging, and the device stays usable for the next run.
 pub fn run(
     program: &mut Program,
     runtime: &mut SyclRuntime,
@@ -132,8 +136,11 @@ pub fn run(
             jit_cycles_of.push(0.0);
             continue;
         }
-        let kernel = resolve_kernel(&program.module, &cg.kernel).ok_or_else(|| SimError {
-            message: format!("kernel `{}` not found in the device module", cg.kernel),
+        let kernel = resolve_kernel(&program.module, &cg.kernel).ok_or_else(|| {
+            SimError::msg(format!(
+                "kernel `{}` not found in the device module",
+                cg.kernel
+            ))
         })?;
 
         // AdaptiveCpp: JIT-specialize on first launch with runtime
@@ -158,9 +165,7 @@ pub fn run(
                     &cg.nd.local[..rank],
                     &ids,
                 )
-                .map_err(|e| SimError {
-                    message: format!("JIT specialization failed: {e}"),
-                })?;
+                .map_err(|e| SimError::msg(format!("JIT specialization failed: {e}")))?;
             program.jit_done.insert(cg.kernel.clone());
             jit_cycles = device.cost.jit_compile;
         }
@@ -258,7 +263,24 @@ pub fn run(
             launch.args = args;
         }
 
-        let stats = device.launch_graph(&program.module, &launches, &dag, &mut pool)?;
+        // A limit trip is stamped with the launch's index *within this
+        // segment's graph*; re-stamp it with the submission index so the
+        // caller can name the offending command group whatever schedule
+        // (or host-task segmentation) was in effect.
+        let stats = device
+            .launch_graph(&program.module, &launches, &dag, &mut pool)
+            .map_err(|e| match e {
+                SimError::LimitExceeded {
+                    kind,
+                    launch,
+                    group,
+                } => SimError::LimitExceeded {
+                    kind,
+                    launch: batch[launch],
+                    group,
+                },
+                other => other,
+            })?;
 
         for ((&cgi, launch), (stats, jit_cycles)) in
             batch.iter().zip(&launches).zip(stats.into_iter().zip(jit))

@@ -4,13 +4,18 @@
 
 use crate::cost::{CostModel, ExecStats};
 use crate::interp::{ExecCtx, Stop, WorkItemState};
+use crate::limits::{CancelToken, ExecLimits, FaultPlan, FaultSite, OpMeter};
 use crate::memory::MemoryPool;
 use crate::plan::{decode_kernel, fuse_plan_with, profile_summary, FuseLevel, KernelPlan};
-use crate::pool::{run_plan_graph, run_plan_launch, LaunchDag, PlanLaunch};
+use crate::pool::{
+    run_plan_graph_limited, run_plan_launch, run_plan_launch_limited, LaunchDag, PlanLaunch,
+};
 use crate::value::{NdItemVal, RtValue};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+use std::time::Instant;
 use sycl_mlir_ir::{Module, OpId};
 
 pub use crate::interp::SimError;
@@ -131,7 +136,7 @@ pub fn batch_from_env() -> bool {
 /// variable (`on`/`off`); `on` when unset. With overlap on (and batching
 /// on), the runtime hands the device whole hazard graphs and a launch
 /// starts the moment its own dependencies retire ([`Device::launch_graph`]
-/// over [`run_plan_graph`]); with overlap off, dependency levels still run
+/// over [`run_plan_graph`](crate::pool::run_plan_graph)); with overlap off, dependency levels still run
 /// behind a barrier (the PR 3 batch schedule, kept as a debug path).
 pub fn overlap_from_env() -> bool {
     bool_knob_from_env("SYCL_MLIR_SIM_OVERLAP", true)
@@ -196,17 +201,13 @@ impl NdRangeSpec {
     pub(crate) fn validate(&self) -> Result<(), SimError> {
         for d in 0..self.rank as usize {
             if self.local[d] <= 0 || self.global[d] < 0 {
-                return Err(SimError {
-                    message: format!("non-positive range in dim {d}"),
-                });
+                return Err(SimError::msg(format!("non-positive range in dim {d}")));
             }
             if self.global[d] % self.local[d] != 0 {
-                return Err(SimError {
-                    message: format!(
-                        "global range {} not divisible by work-group size {} in dim {d}",
-                        self.global[d], self.local[d]
-                    ),
-                });
+                return Err(SimError::msg(format!(
+                    "global range {} not divisible by work-group size {} in dim {d}",
+                    self.global[d], self.local[d]
+                )));
             }
         }
         Ok(())
@@ -258,6 +259,13 @@ pub struct Device {
     pub overlap: bool,
     /// Count executed plan instructions ([`Device::profile_report`]).
     pub profile: bool,
+    /// Per-launch execution limits ([`ExecLimits`]): weighted-operation
+    /// budget, memory cap, wall-clock deadline, cancellation token and
+    /// injected fault. All off by default (modulo the `SYCL_MLIR_SIM_*`
+    /// environment knobs), in which case the executors skip metering
+    /// entirely. Independent of the plan cache — changing limits never
+    /// re-decodes a kernel.
+    pub limits: ExecLimits,
     plan_cache: RefCell<HashMap<(u64, OpId, FuseLevel), CachedPlan>>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
@@ -275,6 +283,7 @@ impl Default for Device {
             batch: batch_from_env(),
             overlap: overlap_from_env(),
             profile: profile_from_env(),
+            limits: ExecLimits::from_env(),
             plan_cache: RefCell::new(HashMap::new()),
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
@@ -362,6 +371,56 @@ impl Device {
         self
     }
 
+    /// Builder-style weighted-operation budget: a launch fails with
+    /// [`LimitKind::Ops`](crate::LimitKind::Ops) once it has executed
+    /// this many weighted operations. Superinstructions charge the
+    /// weight of the instructions they replace, so the budget does not
+    /// drift with the fusion level.
+    pub fn max_ops(mut self, ops: u64) -> Device {
+        self.limits.max_ops = Some(ops);
+        self
+    }
+
+    /// Builder-style memory cap: bytes of kernel-driven allocation
+    /// growth (private/local allocas, materialized dense constants) a
+    /// launch may request per worker before it fails with
+    /// [`LimitKind::Memory`](crate::LimitKind::Memory).
+    pub fn mem_cap(mut self, bytes: u64) -> Device {
+        self.limits.mem_cap = Some(bytes);
+        self
+    }
+
+    /// Builder-style wall-clock deadline, in milliseconds per launch (or
+    /// launch graph), measured from submission; a launch still running
+    /// past it fails with
+    /// [`LimitKind::Deadline`](crate::LimitKind::Deadline).
+    pub fn deadline_ms(mut self, ms: u64) -> Device {
+        self.limits.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Builder-style cancellation token: flip the token from any thread
+    /// and in-flight launches stop at their next check boundary with
+    /// [`LimitKind::Cancelled`](crate::LimitKind::Cancelled).
+    pub fn cancel_token(mut self, token: CancelToken) -> Device {
+        self.limits.cancel = Some(token);
+        self
+    }
+
+    /// Builder-style injected fault ([`FaultPlan`]) for testing the
+    /// failure paths: cancellation cascade, error ordering and
+    /// post-failure device usability.
+    pub fn fault(mut self, fault: FaultPlan) -> Device {
+        self.limits.fault = Some(fault);
+        self
+    }
+
+    /// Builder-style override of the whole limit set ([`ExecLimits`]).
+    pub fn limits(mut self, limits: ExecLimits) -> Device {
+        self.limits = limits;
+        self
+    }
+
     /// `(hits, misses)` of the cross-launch plan cache so far. A hit means
     /// a launch reused a previously cached decode outcome (including a
     /// cached "not decodable"); a miss means the decoder ran (first
@@ -418,6 +477,9 @@ impl Device {
     /// Fails on malformed launches, interpreter errors, or **divergent
     /// barriers** (some work-items of a group reach a barrier while others
     /// finish — the deadlock §V-C's uniformity analysis exists to prevent).
+    /// With [`Device::limits`] set, a tripped limit fails the launch with
+    /// a structured [`SimError::LimitExceeded`] — the device (and its plan
+    /// cache) stays usable for subsequent launches.
     pub fn launch(
         &self,
         m: &Module,
@@ -427,11 +489,39 @@ impl Device {
         pool: &mut MemoryPool,
     ) -> Result<ExecStats, SimError> {
         match self.engine {
-            Engine::TreeWalk => launch_kernel(m, kernel, args, nd, pool, &self.cost),
+            Engine::TreeWalk => launch_kernel_with(
+                m,
+                kernel,
+                args,
+                nd,
+                pool,
+                &self.cost,
+                &self.limits,
+                self.limits.deadline_instant(),
+                0,
+            ),
             Engine::Plan => match self.cached_plan(m, kernel) {
-                Some(plan) => run_plan_launch(&plan, args, nd, pool, &self.cost, self.threads),
+                Some(plan) => run_plan_launch_limited(
+                    &plan,
+                    args,
+                    nd,
+                    pool,
+                    &self.cost,
+                    self.threads,
+                    &self.limits,
+                ),
                 // Reference fallback for non-decodable kernels.
-                None => launch_kernel(m, kernel, args, nd, pool, &self.cost),
+                None => launch_kernel_with(
+                    m,
+                    kernel,
+                    args,
+                    nd,
+                    pool,
+                    &self.cost,
+                    &self.limits,
+                    self.limits.deadline_instant(),
+                    0,
+                ),
             },
         }
     }
@@ -462,7 +552,8 @@ impl Device {
     /// slice order.
     ///
     /// Under [`Engine::Plan`], when every kernel of the graph is
-    /// plan-decodable, the graph is handed to [`run_plan_graph`]: launches
+    /// plan-decodable, the graph is handed to
+    /// [`run_plan_graph`](crate::pool::run_plan_graph): launches
     /// start the moment their own predecessors retire, with work-groups
     /// claimed in per-worker chunks — no level barrier anywhere.
     /// Otherwise (tree-walk engine, or any kernel the decoder rejects)
@@ -502,8 +593,15 @@ impl Device {
                         nd: b.nd,
                     })
                     .collect();
-                let out =
-                    run_plan_graph(&launches, dag, pool, &self.cost, self.threads, self.profile)?;
+                let out = run_plan_graph_limited(
+                    &launches,
+                    dag,
+                    pool,
+                    &self.cost,
+                    self.threads,
+                    self.profile,
+                    &self.limits,
+                )?;
                 if let Some(profile) = &out.profile {
                     let mut ops = self.profile_ops.borrow_mut();
                     let mut pairs = self.profile_pairs.borrow_mut();
@@ -516,10 +614,26 @@ impl Device {
         }
         // Tree-walk engine, or some kernel is not plan-decodable: run the
         // launches sequentially in slice order (identical results, no
-        // launch overlap).
+        // launch overlap). Limits and injected faults still apply, with
+        // the whole batch sharing one deadline and the fault targeting
+        // the same launch index as under the graph scheduler.
+        let deadline = self.limits.deadline_instant();
         batch
             .iter()
-            .map(|b| self.launch(m, b.kernel, &b.args, b.nd, pool))
+            .enumerate()
+            .map(|(li, b)| {
+                launch_kernel_with(
+                    m,
+                    b.kernel,
+                    &b.args,
+                    b.nd,
+                    pool,
+                    &self.cost,
+                    &self.limits,
+                    deadline,
+                    li,
+                )
+            })
             .collect()
     }
 
@@ -568,7 +682,7 @@ pub struct BatchLaunch {
     pub nd: NdRangeSpec,
 }
 
-/// Free-function form of [`Device::launch`].
+/// Free-function form of [`Device::launch`] (tree-walk, unlimited).
 pub fn launch_kernel(
     m: &Module,
     kernel: OpId,
@@ -577,15 +691,72 @@ pub fn launch_kernel(
     pool: &mut MemoryPool,
     cost: &CostModel,
 ) -> Result<ExecStats, SimError> {
+    launch_kernel_with(
+        m,
+        kernel,
+        args,
+        nd,
+        pool,
+        cost,
+        &ExecLimits::none(),
+        None,
+        0,
+    )
+}
+
+/// [`launch_kernel`] under execution limits: the tree-walk twin of the
+/// plan scheduler's metering. `launch` is the launch's index within its
+/// graph (0 for single launches) — injected faults target it and limit
+/// errors are stamped with it; `deadline` is the enclosing graph's
+/// absolute deadline, shared by every launch of a serial batch.
+#[allow(clippy::too_many_arguments)]
+fn launch_kernel_with(
+    m: &Module,
+    kernel: OpId,
+    args: &[RtValue],
+    nd: NdRangeSpec,
+    pool: &mut MemoryPool,
+    cost: &CostModel,
+    limits: &ExecLimits,
+    deadline: Option<Instant>,
+    launch: usize,
+) -> Result<ExecStats, SimError> {
     nd.validate()?;
+    // The tree walk has no decode stage; an injected decode fault fires
+    // before any work-group runs, like a plan decode would.
+    if let Some(FaultSite::Decode) = limits.fault_at(launch) {
+        return Err(FaultPlan {
+            launch,
+            site: FaultSite::Decode,
+        }
+        .error());
+    }
+    let claim_fault = match limits.fault_at(launch) {
+        Some(FaultSite::Claim(n)) => n,
+        _ => u64::MAX,
+    };
     let groups = nd.groups();
     let mut ctx = ExecCtx::new(m, pool, cost);
+    if !limits.is_none() {
+        let budget = limits.max_ops.map(|b| Arc::new(AtomicU64::new(b)));
+        ctx.limits = Some(Box::new(OpMeter::new(limits, budget, deadline, launch)));
+    }
 
+    let mut gi = 0_u64;
     for g0 in 0..groups[0] {
         for g1 in 0..groups[1] {
             for g2 in 0..groups[2] {
-                run_work_group(m, kernel, args, nd, [g0, g1, g2], &mut ctx)?;
+                if gi == claim_fault {
+                    return Err(FaultPlan {
+                        launch,
+                        site: FaultSite::Claim(gi),
+                    }
+                    .error());
+                }
+                run_work_group(m, kernel, args, nd, [g0, g1, g2], &mut ctx)
+                    .map_err(|e| e.at(launch, gi as usize))?;
                 ctx.next_work_group();
+                gi += 1;
             }
         }
     }
@@ -659,11 +830,9 @@ pub(crate) fn cooperative_rounds<W>(
             return Ok(());
         }
         if finished > 0 {
-            return Err(SimError {
-                message: format!(
-                    "divergent barrier: {barriers} work-items wait at a barrier while {finished} finished (work-group {group:?})"
-                ),
-            });
+            return Err(SimError::msg(format!(
+                "divergent barrier: {barriers} work-items wait at a barrier while {finished} finished (work-group {group:?})"
+            )));
         }
     }
 }
@@ -872,7 +1041,7 @@ mod tests {
         let errv = device
             .launch(&m, func, &[], NdRangeSpec::d1(16, 16), &mut pool)
             .unwrap_err();
-        assert!(errv.message.contains("divergent barrier"), "{errv}");
+        assert!(errv.message().contains("divergent barrier"), "{errv}");
     }
 
     /// A second launch of an unmutated kernel must reuse the decoded plan;
@@ -1021,7 +1190,7 @@ mod tests {
         let errv = device
             .launch(&m, func, &[], NdRangeSpec::d1(64, 16), &mut pool)
             .unwrap_err();
-        assert!(errv.message.contains("divergent barrier"), "{errv}");
+        assert!(errv.message().contains("divergent barrier"), "{errv}");
     }
 
     /// A batch of independent launches must produce the same per-launch
@@ -1327,7 +1496,7 @@ mod tests {
                 .launch_graph(&m, &batch, &LaunchDag::independent(2), &mut pool)
                 .unwrap_err();
             assert!(
-                err.message.contains("[3, 0, 0]"),
+                err.message().contains("[3, 0, 0]"),
                 "threads={threads}: expected launch 0 group 3's error, got: {err}"
             );
         }

@@ -22,25 +22,139 @@ pub enum Stop {
     Finished,
 }
 
+/// Which execution limit a launch exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimitKind {
+    /// The per-launch weighted-operation budget
+    /// ([`ExecLimits::max_ops`](crate::limits::ExecLimits::max_ops)) ran
+    /// out.
+    Ops,
+    /// The kernel-driven allocation cap
+    /// ([`ExecLimits::mem_cap`](crate::limits::ExecLimits::mem_cap)) was
+    /// exceeded.
+    Memory,
+    /// The wall-clock deadline
+    /// ([`ExecLimits::deadline_ms`](crate::limits::ExecLimits::deadline_ms))
+    /// passed.
+    Deadline,
+    /// The launch was cancelled — via its
+    /// [`CancelToken`](crate::limits::CancelToken), or with-cause because
+    /// a DAG predecessor failed.
+    Cancelled,
+}
+
+impl LimitKind {
+    /// Stable name used in error text.
+    pub fn name(self) -> &'static str {
+        match self {
+            LimitKind::Ops => "op budget",
+            LimitKind::Memory => "memory cap",
+            LimitKind::Deadline => "deadline",
+            LimitKind::Cancelled => "cancelled",
+        }
+    }
+}
+
 /// A simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SimError {
-    /// Human-readable description of the failure.
-    pub message: String,
+pub enum SimError {
+    /// A general execution failure described by a message.
+    Message {
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// A per-launch execution limit tripped (or the launch was
+    /// cancelled). Structured — not a panic — so callers can match on
+    /// the kind and position, and the device stays usable afterwards.
+    LimitExceeded {
+        /// Which limit tripped.
+        kind: LimitKind,
+        /// Index of the launch within its graph (0 for single launches).
+        launch: usize,
+        /// Linear index of the tripping work-group within the launch.
+        group: usize,
+    },
+}
+
+impl SimError {
+    /// A general failure with the given message.
+    pub fn msg(message: impl Into<String>) -> SimError {
+        SimError::Message {
+            message: message.into(),
+        }
+    }
+
+    /// A limit trip whose position is not known yet; the scheduler
+    /// stamps the true `(launch, group)` when it records the failure.
+    pub(crate) fn limit(kind: LimitKind) -> SimError {
+        SimError::LimitExceeded {
+            kind,
+            launch: 0,
+            group: 0,
+        }
+    }
+
+    /// Re-stamp a limit error with its true position (no-op for message
+    /// errors, which carry their own context).
+    pub(crate) fn at(self, launch: usize, group: usize) -> SimError {
+        match self {
+            SimError::LimitExceeded { kind, .. } => SimError::LimitExceeded {
+                kind,
+                launch,
+                group,
+            },
+            other => other,
+        }
+    }
+
+    /// The error text without the `simulation error: ` prefix.
+    pub fn message(&self) -> String {
+        match self {
+            SimError::Message { message } => message.clone(),
+            SimError::LimitExceeded {
+                kind,
+                launch,
+                group,
+            } => format!(
+                "execution limit exceeded: {} (launch {launch}, work-group {group})",
+                kind.name()
+            ),
+        }
+    }
+
+    /// Whether a launch failing with this error cancels its DAG
+    /// successors. Limit trips and injected faults cascade — their
+    /// successors retire as `Cancelled { cause }` without running.
+    /// Plain kernel errors (out-of-bounds access, divergent barrier,
+    /// type mismatch, ...) keep the pre-limits contract: successors
+    /// still execute, so the first-failure position stays identical
+    /// under the out-of-order, level-barrier and serial schedules.
+    pub(crate) fn cascades(&self) -> bool {
+        match self {
+            SimError::LimitExceeded { .. } => true,
+            SimError::Message { message } => message.starts_with("injected fault"),
+        }
+    }
+
+    /// The limit kind, if this is a limit/cancellation error.
+    pub fn limit_kind(&self) -> Option<LimitKind> {
+        match self {
+            SimError::LimitExceeded { kind, .. } => Some(*kind),
+            SimError::Message { .. } => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "simulation error: {}", self.message)
+        write!(f, "simulation error: {}", self.message())
     }
 }
 
 impl std::error::Error for SimError {}
 
 fn err(msg: impl Into<String>) -> SimError {
-    SimError {
-        message: msg.into(),
-    }
+    SimError::msg(msg)
 }
 
 /// A cheap multiply-mix hasher for the coalescing tracker's integer keys.
@@ -127,6 +241,9 @@ pub struct ExecCtx<'a> {
     /// Materialized dense-constant memrefs (`arith.constant` of memref
     /// type), shared per launch.
     const_pool: HashMap<OpId, MemRefVal>,
+    /// Execution-limit metering (`None` when no limits are set, which
+    /// skips every check).
+    pub(crate) limits: Option<Box<crate::limits::OpMeter>>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -140,12 +257,16 @@ impl<'a> ExecCtx<'a> {
             wg: WorkGroupCtx::default(),
             keys: m.ctx().common_keys(),
             const_pool: HashMap::new(),
+            limits: None,
         }
     }
 
     /// Reset work-group-shared state (call between work-groups).
     pub fn next_work_group(&mut self) {
         self.wg.reset();
+        if let Some(meter) = self.limits.as_deref_mut() {
+            meter.begin_group();
+        }
     }
 }
 
@@ -264,6 +385,9 @@ impl WorkItemState {
             self.steps += 1;
             if self.steps > MAX_STEPS {
                 return Err(err("work-item exceeded the step budget (runaway loop?)"));
+            }
+            if let Some(meter) = ctx.limits.as_deref_mut() {
+                meter.charge(1)?;
             }
             let fi = self.frames.len();
             if fi == 0 {
@@ -692,7 +816,7 @@ impl WorkItemState {
                     .collect::<Result<_, _>>()?;
                 let addr = mr.linearize(&idx);
                 self.mem_event(ctx, op, &mr, addr, false)?;
-                let v = ctx.pool.load(mr.mem, addr);
+                let v = ctx.pool.try_load(mr.mem, addr)?;
                 self.bind(m.op_result(op, 0), v);
                 Ok(())
             }
@@ -711,7 +835,7 @@ impl WorkItemState {
                     .collect::<Result<_, _>>()?;
                 let addr = mr.linearize(&idx);
                 self.mem_event(ctx, op, &mr, addr, true)?;
-                ctx.pool.store(mr.mem, addr, v);
+                ctx.pool.try_store(mr.mem, addr, v)?;
                 Ok(())
             }
             "memref.cast" => {
@@ -901,6 +1025,13 @@ impl WorkItemState {
             .memref_elem()
             .ok_or_else(|| err("alloca of non-memref"))?;
         let len: i64 = shape_v.iter().product();
+        if let Some(meter) = ctx.limits.as_deref_mut() {
+            let bytes = match crate::memory::dtype_of(&elem) {
+                crate::memory::Dtype::F32 | crate::memory::Dtype::I32 => 4,
+                _ => 8,
+            } * len.max(0) as u64;
+            meter.charge_mem(bytes)?;
+        }
         let mem = ctx.pool.alloc_zeroed(&elem, len.max(0) as usize);
         let mut shape = [1_i64; 3];
         for (i, &s) in shape_v.iter().enumerate() {
@@ -933,6 +1064,9 @@ impl WorkItemState {
             (sycl_mlir_ir::Attribute::DenseI64(v), _) => crate::memory::DataVec::I64(v.clone()),
             _ => return Err(err("unsupported dense constant")),
         };
+        if let Some(meter) = ctx.limits.as_deref_mut() {
+            meter.charge_mem((data.len() * data.elem_bytes()) as u64)?;
+        }
         let mem = ctx.pool.alloc(data);
         let shape_v = ty.memref_shape().unwrap();
         let mut shape = [1_i64; 3];

@@ -100,6 +100,7 @@
 pub mod cost;
 pub mod device;
 pub mod interp;
+pub mod limits;
 pub mod memory;
 pub mod plan;
 pub mod pool;
@@ -110,12 +111,15 @@ pub use device::{
     auto_threads, batch_from_env, fuse_from_env, launch_kernel, launch_plan, overlap_from_env,
     profile_from_env, threads_from_env, BatchLaunch, Device, Engine, NdRangeSpec, SimError,
 };
+pub use interp::LimitKind;
+pub use limits::{CancelToken, ExecLimits, FaultPlan, FaultSite};
 pub use memory::{DataVec, MemId, MemoryPool};
 pub use plan::{
     decode_kernel, fuse_plan, fuse_plan_with, profile_summary, DecodeError, FuseLevel, KernelPlan,
 };
 pub use pool::{
-    run_plan_batch, run_plan_graph, run_plan_launch, GraphOutcome, LaunchDag, PlanExecCtx,
+    run_plan_batch, run_plan_graph, run_plan_graph_limited, run_plan_graph_report, run_plan_launch,
+    run_plan_launch_limited, GraphOutcome, GraphReport, LaunchDag, LaunchStatus, PlanExecCtx,
     PlanLaunch, PlanPool, SharedPool,
 };
 pub use value::{AccessorVal, MemRefVal, NdItemVal, RtValue, Space};

@@ -1,5 +1,6 @@
 //! Device memory: typed buffers addressed by [`MemId`].
 
+use crate::interp::SimError;
 use crate::value::RtValue;
 
 /// Handle to one allocation in a [`MemoryPool`].
@@ -65,6 +66,26 @@ impl DataVec {
             (DataVec::I64(v), RtValue::Int(x)) => v[i] = x,
             (slot, v) => panic!("type-mismatched store of {v:?} into {slot:?}"),
         }
+    }
+
+    /// Like [`DataVec::set`], but an int/float mismatch is a structured
+    /// [`SimError`] (same text as the panic) instead of a panic — the
+    /// form kernel-reachable stores use.
+    pub(crate) fn try_set(&mut self, i: usize, value: RtValue) -> Result<(), SimError> {
+        match (&mut *self, value) {
+            (DataVec::F32(v), RtValue::F32(x)) => v[i] = x,
+            (DataVec::F32(v), RtValue::F64(x)) => v[i] = x as f32,
+            (DataVec::F64(v), RtValue::F64(x)) => v[i] = x,
+            (DataVec::F64(v), RtValue::F32(x)) => v[i] = x as f64,
+            (DataVec::I32(v), RtValue::Int(x)) => v[i] = x as i32,
+            (DataVec::I64(v), RtValue::Int(x)) => v[i] = x,
+            (slot, v) => {
+                return Err(SimError::msg(format!(
+                    "type-mismatched store of {v:?} into {slot:?}"
+                )))
+            }
+        }
+        Ok(())
     }
 }
 
@@ -185,6 +206,37 @@ impl MemoryPool {
     pub fn store(&mut self, id: MemId, index: i64, value: RtValue) {
         self.check(id, index);
         self.buffers[id.0 as usize].set(index as usize, value);
+    }
+
+    /// Bounds check as a structured error, with text identical to
+    /// [`MemoryPool::check`]'s panic — so an out-of-bounds kernel fails
+    /// with the same message under every engine and scheduler mode.
+    #[inline]
+    fn check_kernel(&self, id: MemId, index: i64) -> Result<(), SimError> {
+        let len = self.buffers[id.0 as usize].len();
+        if index < 0 || index as usize >= len {
+            return Err(SimError::msg(format!(
+                "device memory access out of bounds: index {index} of buffer {} (len {len})",
+                id.0,
+            )));
+        }
+        Ok(())
+    }
+
+    /// Like [`MemoryPool::load`], but out-of-bounds is a structured
+    /// [`SimError`] — the form kernel-reachable accesses use, so hostile
+    /// input cannot panic the host.
+    pub fn try_load(&self, id: MemId, index: i64) -> Result<RtValue, SimError> {
+        self.check_kernel(id, index)?;
+        Ok(self.buffers[id.0 as usize].get(index as usize))
+    }
+
+    /// Like [`MemoryPool::store`], but out-of-bounds and type-mismatch
+    /// are structured [`SimError`]s — the form kernel-reachable accesses
+    /// use.
+    pub fn try_store(&mut self, id: MemId, index: i64, value: RtValue) -> Result<(), SimError> {
+        self.check_kernel(id, index)?;
+        self.buffers[id.0 as usize].try_set(index as usize, value)
     }
 
     /// Number of allocations made so far.

@@ -45,9 +45,7 @@ use sycl_mlir_ir::{Attribute, Module, OpId, OpName, Type, TypeKind, ValueId};
 pub type Reg = u32;
 
 fn err(msg: impl Into<String>) -> SimError {
-    SimError {
-        message: msg.into(),
-    }
+    SimError::msg(msg)
 }
 
 /// Why a kernel could not be decoded (the caller falls back to the
@@ -781,6 +779,23 @@ impl Instr {
                 FloatBin::Mul => "mulf.store",
                 _ => "binf.store",
             },
+        }
+    }
+
+    /// Weighted operation count charged against an execution budget
+    /// (`--max-ops`). Superinstructions charge the number of instructions
+    /// they replaced, so a budget trips at the same point — with the same
+    /// [`crate::LimitKind`] — under every fusion level.
+    pub(crate) fn op_weight(&self) -> u64 {
+        match self {
+            Instr::LoadBinFloat { .. }
+            | Instr::MulAddInt { .. }
+            | Instr::CmpIBranch { .. }
+            | Instr::StoreBinFloat { .. } => 2,
+            Instr::AccLoadIndexed { .. }
+            | Instr::AccStoreIndexed { .. }
+            | Instr::LoadMulAddF { .. } => 3,
+            _ => 1,
         }
     }
 
@@ -2351,6 +2366,9 @@ pub struct PlanCtx {
     /// Per-instruction execution counters (`--profile` runs only; `None`
     /// keeps the executor's hot loop on a single predictable branch).
     profile: Option<ProfileBuf>,
+    /// Execution-limit meter (limited runs only; `None` — the default —
+    /// monomorphizes all metering out of the executor).
+    limits: Option<Box<crate::limits::OpMeter>>,
 }
 
 /// Flat execution counters over every function of one plan: `counts[i]`
@@ -2384,7 +2402,14 @@ impl PlanCtx {
             dense_cache: vec![None; plan.dense_consts.len()],
             local_allocs: vec![None; plan.local_sites as usize],
             profile: None,
+            limits: None,
         }
+    }
+
+    /// Attach an execution-limit meter: subsequent runs through this
+    /// context charge every instruction's weight against it.
+    pub(crate) fn set_meter(&mut self, meter: crate::limits::OpMeter) {
+        self.limits = Some(Box::new(meter));
     }
 
     /// Like [`PlanCtx::new`], additionally counting every executed
@@ -2404,9 +2429,14 @@ impl PlanCtx {
         self.profile.take().map(|p| p.counts)
     }
 
-    /// Reset work-group-shared state (call between work-groups).
+    /// Reset work-group-shared state (call between work-groups). Also the
+    /// meter's settle point: unspent op-budget grant returns to the
+    /// launch's shared budget and the fault countdown re-arms.
     pub fn next_work_group(&mut self) {
         self.local_allocs.iter_mut().for_each(|s| *s = None);
+        if let Some(m) = self.limits.as_deref_mut() {
+            m.begin_group();
+        }
     }
 }
 
@@ -2484,16 +2514,18 @@ impl PlanWorkItem {
         ctx: &mut PlanExecCtx<'_, '_>,
         pctx: &mut PlanCtx,
     ) -> Result<Stop, SimError> {
-        // Monomorphize the interpreter loop over the profiling switch so a
-        // non-profiled run (the default) carries no per-instruction branch.
-        if pctx.profile.is_some() {
-            self.run_impl::<true>(plan, ctx, pctx)
-        } else {
-            self.run_impl::<false>(plan, ctx, pctx)
+        // Monomorphize the interpreter loop over the profiling and
+        // limit-metering switches so the default run (neither) carries no
+        // per-instruction branch.
+        match (pctx.profile.is_some(), pctx.limits.is_some()) {
+            (false, false) => self.run_impl::<false, false>(plan, ctx, pctx),
+            (false, true) => self.run_impl::<false, true>(plan, ctx, pctx),
+            (true, false) => self.run_impl::<true, false>(plan, ctx, pctx),
+            (true, true) => self.run_impl::<true, true>(plan, ctx, pctx),
         }
     }
 
-    fn run_impl<const PROFILE: bool>(
+    fn run_impl<const PROFILE: bool, const LIMITED: bool>(
         &mut self,
         plan: &KernelPlan,
         ctx: &mut PlanExecCtx<'_, '_>,
@@ -2535,11 +2567,15 @@ impl PlanWorkItem {
                 let pb = pctx.profile.as_mut().expect("profiled PlanCtx");
                 pb.counts[(pb.starts[func] + pc as u32) as usize] += 1;
             }
+            if LIMITED {
+                let meter = pctx.limits.as_deref_mut().expect("limited PlanCtx");
+                meter.charge(instr.op_weight())?;
+            }
             pc += 1;
             match instr {
                 Instr::Const { dst, val } => reg!(*dst) = *val,
                 Instr::ConstDense { dst, idx } => {
-                    let mr = materialize_dense(plan, ctx, pctx, *idx);
+                    let mr = materialize_dense(plan, ctx, pctx, *idx)?;
                     reg!(*dst) = RtValue::MemRef(mr);
                 }
                 Instr::Copy { dst, src } => reg!(*dst) = reg!(*src),
@@ -2678,7 +2714,7 @@ impl PlanWorkItem {
                     rank,
                     len,
                 } => {
-                    let mem = ctx.pool.alloc_zeroed(elem, *len);
+                    let mem = ctx.pool.alloc_zeroed(elem, *len)?;
                     reg!(*dst) = RtValue::MemRef(MemRefVal {
                         mem,
                         offset: 0,
@@ -2698,7 +2734,7 @@ impl PlanWorkItem {
                     let mr = match pctx.local_allocs[*site as usize] {
                         Some(existing) => existing,
                         None => {
-                            let mem = ctx.pool.alloc_zeroed(elem, *len);
+                            let mem = ctx.pool.alloc_zeroed(elem, *len)?;
                             let mr = MemRefVal {
                                 mem,
                                 offset: 0,
@@ -3236,12 +3272,12 @@ fn materialize_dense(
     ctx: &mut PlanExecCtx<'_, '_>,
     pctx: &mut PlanCtx,
     idx: u32,
-) -> MemRefVal {
+) -> Result<MemRefVal, SimError> {
     if let Some(existing) = pctx.dense_cache[idx as usize] {
-        return existing;
+        return Ok(existing);
     }
     let c = &plan.dense_consts[idx as usize];
-    let mem = ctx.pool.alloc(c.data.clone());
+    let mem = ctx.pool.alloc(c.data.clone())?;
     let mr = MemRefVal {
         mem,
         offset: 0,
@@ -3250,7 +3286,7 @@ fn materialize_dense(
         space: Space::Constant,
     };
     pctx.dense_cache[idx as usize] = Some(mr);
-    mr
+    Ok(mr)
 }
 
 /// Aggregate decode statistics, exposed for tests and diagnostics.

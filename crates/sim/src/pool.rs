@@ -50,7 +50,8 @@
 
 use crate::cost::{CostModel, ExecStats};
 use crate::device::{cooperative_rounds, items_of_group, NdRangeSpec};
-use crate::interp::{SimError, WorkGroupCtx};
+use crate::interp::{LimitKind, SimError, WorkGroupCtx};
+use crate::limits::{ExecLimits, FaultSite, OpMeter};
 use crate::memory::{dtype_of, dtype_of_data, zeroed_data, DataVec, MemId, MemoryPool};
 use crate::plan::{KernelPlan, PlanCtx, PlanWorkItem};
 use crate::value::RtValue;
@@ -58,7 +59,8 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Tag bit distinguishing worker-arena allocations from launch-shared
 /// buffers in a [`MemId`].
@@ -247,6 +249,24 @@ struct ScratchArena {
 }
 
 impl ScratchArena {
+    /// Bytes of *new* storage the next [`ScratchArena::alloc_zeroed`] of
+    /// `(elem, len)` would create: zero when the buffer at the cursor is
+    /// recycled in place, the new buffer's size otherwise. This is what a
+    /// memory cap meters — steady-state recycling is free, only growth
+    /// (or a reshaping replacement) counts.
+    fn growth_of(&self, elem: &sycl_mlir_ir::Type, len: usize) -> u64 {
+        if let Some(buf) = self.bufs.get(self.cursor) {
+            if buf.len() == len && dtype_of_data(buf) == dtype_of(elem) {
+                return 0;
+            }
+        }
+        let eb = match dtype_of(elem) {
+            crate::memory::Dtype::F32 | crate::memory::Dtype::I32 => 4_u64,
+            crate::memory::Dtype::F64 | crate::memory::Dtype::I64 => 8_u64,
+        };
+        (len as u64).saturating_mul(eb)
+    }
+
     /// Arena-local index of zero-filled storage for `len` elements of
     /// `elem`, recycling the buffer at the cursor when it matches.
     fn alloc_zeroed(&mut self, elem: &sycl_mlir_ir::Type, len: usize) -> u32 {
@@ -298,6 +318,23 @@ pub struct PlanPool<'a, 'p> {
     shared: &'a SharedPool<'p>,
     consts: MemoryPool,
     scratch: ScratchArena,
+    /// Bytes of arena *growth* this worker may still allocate
+    /// (`u64::MAX` = uncapped). Steady-state scratch recycling is free;
+    /// only new or reshaped storage is charged, so a well-behaved kernel
+    /// running many work-groups never trips the cap.
+    mem_left: u64,
+}
+
+/// Bounds check for kernel-private (alloca) buffers, panicking with the
+/// same prefix as the shared-buffer check so the failure classifier in
+/// the scheduler converts it into a structured error.
+#[inline]
+fn check_scratch(buf: &DataVec, index: i64) {
+    let len = buf.len();
+    assert!(
+        index >= 0 && (index as usize) < len,
+        "device memory access out of bounds: index {index} of a kernel-private buffer (len {len})",
+    );
 }
 
 impl<'a, 'p> PlanPool<'a, 'p> {
@@ -307,20 +344,47 @@ impl<'a, 'p> PlanPool<'a, 'p> {
             shared,
             consts: MemoryPool::new(),
             scratch: ScratchArena::default(),
+            mem_left: u64::MAX,
         }
     }
 
+    /// Cap further arena growth at `bytes` (see `mem_left`).
+    pub fn set_mem_cap(&mut self, bytes: u64) {
+        self.mem_left = bytes;
+    }
+
     /// Allocate `data` in the worker's persistent constant pool (dense
-    /// constants: survives work-group and launch boundaries).
-    pub fn alloc(&mut self, data: DataVec) -> MemId {
+    /// constants: survives work-group and launch boundaries). Fails with
+    /// [`LimitKind::Memory`] when a memory cap is set and exhausted.
+    pub fn alloc(&mut self, data: DataVec) -> Result<MemId, SimError> {
+        if self.mem_left != u64::MAX {
+            let bytes = (data.len() as u64).saturating_mul(data.elem_bytes() as u64);
+            if bytes > self.mem_left {
+                return Err(SimError::limit(LimitKind::Memory));
+            }
+            self.mem_left -= bytes;
+        }
         let id = self.consts.alloc(data);
-        MemId(id.0 | ARENA_BIT | CONST_BIT)
+        Ok(MemId(id.0 | ARENA_BIT | CONST_BIT))
     }
 
     /// Allocate zero-filled scratch storage for `len` elements of `elem`
-    /// (allocas: recycled at the next work-group boundary).
-    pub fn alloc_zeroed(&mut self, elem: &sycl_mlir_ir::Type, len: usize) -> MemId {
-        MemId(self.scratch.alloc_zeroed(elem, len) | ARENA_BIT)
+    /// (allocas: recycled at the next work-group boundary). Fails with
+    /// [`LimitKind::Memory`] when a memory cap is set and the arena would
+    /// have to grow past it.
+    pub fn alloc_zeroed(
+        &mut self,
+        elem: &sycl_mlir_ir::Type,
+        len: usize,
+    ) -> Result<MemId, SimError> {
+        if self.mem_left != u64::MAX {
+            let grown = self.scratch.growth_of(elem, len);
+            if grown > self.mem_left {
+                return Err(SimError::limit(LimitKind::Memory));
+            }
+            self.mem_left -= grown;
+        }
+        Ok(MemId(self.scratch.alloc_zeroed(elem, len) | ARENA_BIT))
     }
 
     /// Load one element (shared buffers or either arena).
@@ -331,7 +395,9 @@ impl<'a, 'p> PlanPool<'a, 'p> {
             if id.0 & CONST_BIT != 0 {
                 self.consts.load(MemId(idx), index)
             } else {
-                self.scratch.buf(idx).get(index as usize)
+                let buf = self.scratch.buf(idx);
+                check_scratch(buf, index);
+                buf.get(index as usize)
             }
         } else {
             self.shared.load(id, index)
@@ -346,7 +412,9 @@ impl<'a, 'p> PlanPool<'a, 'p> {
             if id.0 & CONST_BIT != 0 {
                 self.consts.store(MemId(idx), index, value);
             } else {
-                self.scratch.buf_mut(idx).set(index as usize, value);
+                let buf = self.scratch.buf_mut(idx);
+                check_scratch(buf, index);
+                buf.set(index as usize, value);
             }
         } else {
             self.shared.store(id, index, value);
@@ -623,37 +691,33 @@ impl LaunchDag {
     /// lists, and the graph is acyclic.
     fn validate(&self, n: usize) -> Result<(), SimError> {
         if self.preds.len() != n || self.succs.len() != n {
-            return Err(SimError {
-                message: format!(
-                    "launch graph over {} launches given {} launches",
-                    self.preds.len(),
-                    n
-                ),
-            });
+            return Err(SimError::msg(format!(
+                "launch graph over {} launches given {} launches",
+                self.preds.len(),
+                n
+            )));
         }
         let mut indeg = vec![0_usize; n];
         for (i, succ) in self.succs.iter().enumerate() {
             for &s in succ {
                 if s >= n {
-                    return Err(SimError {
-                        message: format!("edge {i} -> {s} out of range ({n} launches)"),
-                    });
+                    return Err(SimError::msg(format!(
+                        "edge {i} -> {s} out of range ({n} launches)"
+                    )));
                 }
                 indeg[s] += 1;
             }
         }
         if indeg != self.preds {
-            return Err(SimError {
-                message: "predecessor counts disagree with successor lists".into(),
-            });
+            return Err(SimError::msg(
+                "predecessor counts disagree with successor lists",
+            ));
         }
         // Kahn's walk visits every node iff the graph is acyclic. Safe to
         // run only now: it trusts `preds`, checked consistent above.
         let (_, seen) = self.kahn_levels();
         if seen != n {
-            return Err(SimError {
-                message: "launch graph has a cycle".into(),
-            });
+            return Err(SimError::msg("launch graph has a cycle"));
         }
         Ok(())
     }
@@ -694,14 +758,53 @@ struct GraphUnit<'a> {
     /// Predecessors not yet retired; the worker that takes it to zero
     /// publishes the launch to the ready set.
     remaining_deps: AtomicUsize,
+    /// Smallest failing work-group of *this* launch (`u64::MAX` while
+    /// clean). Groups at or beyond it are skipped — pruning is per
+    /// launch, so independent launches run to completion even while
+    /// another launch is failing.
+    failed: AtomicU64,
+    /// Root-cause launch index when this launch was cancelled because a
+    /// (transitive) predecessor failed; `usize::MAX` while live.
+    /// `fetch_min` keeps the smallest cause, making the reported cause
+    /// deterministic under any retire order.
+    cancelled_by: AtomicUsize,
+    /// This launch's remaining operation budget (shared by all workers;
+    /// metered in prepaid blocks), when `--max-ops` is set.
+    budget: Option<Arc<AtomicU64>>,
+    /// Injected fault: fail the claim of this linear work-group
+    /// (`u64::MAX` = none).
+    claim_fault: u64,
 }
 
 /// A failure observed while running one work-group: either a simulator
-/// error (divergent barrier, bad operand) or a transported panic
-/// (out-of-bounds device access, type-mismatched store).
+/// error (divergent barrier, out-of-bounds device access, tripped
+/// execution limit) or a transported panic (an internal invariant
+/// violation — kernel-reachable panics are classified into errors by
+/// [`failure_of_panic`]).
 enum Failure {
     Error(SimError),
     Panic(Box<dyn std::any::Any + Send>),
+}
+
+/// Classify a transported panic: payloads produced by kernel-reachable
+/// checks (out-of-bounds device access, type-mismatched store) become
+/// structured errors with the panic's own text, so hostile kernel input
+/// surfaces as `Err(SimError)` instead of unwinding through the host.
+/// Anything else is an internal invariant violation and stays a panic,
+/// re-thrown after the join.
+fn failure_of_panic(payload: Box<dyn std::any::Any + Send>) -> Failure {
+    let text = payload
+        .downcast_ref::<String>()
+        .map(|s| s.as_str())
+        .or_else(|| payload.downcast_ref::<&'static str>().copied());
+    if let Some(t) = text {
+        if t.starts_with("device memory access out of bounds")
+            || t.starts_with("type-mismatched store")
+        {
+            return Failure::Error(SimError::msg(t));
+        }
+    }
+    Failure::Panic(payload)
 }
 
 /// One worker's outcome: per-launch accumulated counters plus, when
@@ -709,6 +812,43 @@ enum Failure {
 struct WorkerResult {
     stats: Vec<ExecStats>,
     profiles: Vec<Option<Box<[u64]>>>,
+}
+
+/// Limit state one graph run shares across its workers: the limits as
+/// configured plus the wall-clock deadline resolved **once** at graph
+/// entry (so every launch of the graph races the same instant).
+struct GraphLimits {
+    limits: ExecLimits,
+    deadline: Option<Instant>,
+}
+
+impl GraphLimits {
+    /// The limit (if any) that has already tripped globally — polled at
+    /// claim-chunk boundaries, the scheduler's cancellation points.
+    fn tripped(&self) -> Option<LimitKind> {
+        if let Some(c) = &self.limits.cancel {
+            if c.is_cancelled() {
+                return Some(LimitKind::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(LimitKind::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Whether launch `li` needs a per-instruction [`OpMeter`] (op
+    /// budget, deadline/cancel polling at op-block boundaries, or an
+    /// instruction-count fault). Claim-site faults and the memory cap
+    /// are handled by the scheduler and the pool respectively.
+    fn needs_meter(&self, li: usize) -> bool {
+        self.limits.max_ops.is_some()
+            || self.limits.deadline_ms.is_some()
+            || self.limits.cancel.is_some()
+            || matches!(self.limits.fault_at(li), Some(FaultSite::Instr(_)))
+    }
 }
 
 /// Everything a graph run shares with its pool jobs. Lives on the
@@ -720,6 +860,9 @@ struct GraphState<'a, 'p> {
     shared: &'a SharedPool<'p>,
     cost: &'a CostModel,
     profile: bool,
+    /// Execution limits of this run (`None` = unlimited; the common case
+    /// pays one branch per launch acquisition and per claimed chunk).
+    limits: Option<GraphLimits>,
     /// Launches with retired dependencies and (possibly) unclaimed
     /// work-groups. Exhausted entries are dropped lazily by `acquire`.
     ready: Mutex<VecDeque<usize>>,
@@ -728,13 +871,10 @@ struct GraphState<'a, 'p> {
     wake: Condvar,
     /// Launches not yet retired; the run is over when this hits zero.
     launches_left: AtomicUsize,
-    /// Lexicographically smallest failure position observed so far,
-    /// encoded `(launch << 32) | group`; `u64::MAX` while clean. Groups
-    /// beyond the bound are skipped (their results could never be
-    /// reported), which prunes the tail of a failing run without ever
-    /// skipping the true minimum.
-    error_bound: AtomicU64,
-    /// Every observed failure with its position; the minimum is reported.
+    /// Observed failures with their positions, bounded per launch: only
+    /// failures at or below the launch's best-known failing group are
+    /// recorded (at most one per worker per launch), and the smallest
+    /// per launch is reported.
     failures: Mutex<Vec<(usize, usize, Failure)>>,
     /// Set when a worker itself dies outside group execution (a scheduler
     /// bug): releases parked workers so the latch is always reached.
@@ -743,12 +883,6 @@ struct GraphState<'a, 'p> {
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     /// Completion latch: (jobs still running, wakeup for the launcher).
     latch: (Mutex<usize>, Condvar),
-}
-
-/// Encode a `(launch, group)` position for the atomic error bound.
-#[inline]
-fn encode_pos(li: usize, gi: usize) -> u64 {
-    ((li as u64) << 32) | gi as u64
 }
 
 impl GraphState<'_, '_> {
@@ -785,10 +919,23 @@ impl GraphState<'_, '_> {
         }
     }
 
-    /// Record a failing work-group, tightening the skip bound.
+    /// Record a failing work-group, tightening the launch's skip bound.
+    /// Limit errors are stamped with their true `(launch, group)`
+    /// position here — executors construct them with placeholders. The
+    /// failures list stays bounded: a failure strictly beyond an
+    /// already-recorded smaller one of the same launch is dropped (it
+    /// could never be reported).
     fn record_failure(&self, li: usize, gi: usize, failure: Failure) {
-        self.error_bound
-            .fetch_min(encode_pos(li, gi), Ordering::Relaxed);
+        let prev = self.units[li]
+            .failed
+            .fetch_min(gi as u64, Ordering::Relaxed);
+        if (gi as u64) > prev {
+            return;
+        }
+        let failure = match failure {
+            Failure::Error(e) => Failure::Error(e.at(li, gi)),
+            p => p,
+        };
         self.failures.lock().unwrap().push((li, gi, failure));
     }
 
@@ -801,20 +948,57 @@ impl GraphState<'_, '_> {
     /// the worklist cascades through chains of empty launches. Eager
     /// retirement happens only once the launch's own last predecessor
     /// retired, so dependency ordering is preserved through it.
+    /// Whether launch `li`'s recorded failure cancels its successors.
+    /// Only limit trips and injected faults cascade (see
+    /// [`SimError::cascades`]); the deciding entry is the minimal
+    /// recorded group. Called at retire time, after every group of `li`
+    /// is accounted for, so the minimal failure is already recorded.
+    fn failure_cascades(&self, li: usize) -> bool {
+        let failures = self.failures.lock().unwrap();
+        failures
+            .iter()
+            .filter(|(l, _, _)| *l == li)
+            .min_by_key(|(_, g, _)| *g)
+            .is_some_and(|(_, _, f)| matches!(f, Failure::Error(e) if e.cascades()))
+    }
+
     fn retire(&self, li: usize) {
         let mut to_retire = vec![li];
         let mut newly_ready = Vec::new();
         let mut retired = 0_usize;
         while let Some(u) = to_retire.pop() {
             retired += 1;
+            // A launch that retired in a failed (or itself cancelled)
+            // state cancels its successors, carrying the *root* failing
+            // launch as the cause.
+            let unit = &self.units[u];
+            let cause = if unit.cancelled_by.load(Ordering::Relaxed) != usize::MAX {
+                Some(unit.cancelled_by.load(Ordering::Relaxed))
+            } else if unit.failed.load(Ordering::Relaxed) != u64::MAX && self.failure_cascades(u) {
+                Some(u)
+            } else {
+                None
+            };
             for &s in &self.succs[u] {
+                // The cancellation mark must precede the dependency
+                // decrement: the AcqRel RMW chain on `remaining_deps`
+                // guarantees whoever performs the *final* decrement
+                // observes every predecessor's mark, so a cancelled
+                // launch can never slip into the ready set.
+                if let Some(c) = cause {
+                    self.units[s].cancelled_by.fetch_min(c, Ordering::Relaxed);
+                }
                 // AcqRel: the retiring thread has (transitively) acquired
                 // all group-completion decrements of `u`, and a
                 // successor's first claim acquires this decrement —
                 // establishing happens-before from every write of a
                 // predecessor launch to every read of its successors.
                 if self.units[s].remaining_deps.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    if self.units[s].total == 0 {
+                    if self.units[s].cancelled_by.load(Ordering::Relaxed) != usize::MAX
+                        || self.units[s].total == 0
+                    {
+                        // Cancelled launches never run: they cascade to
+                        // retirement directly (as do empty launches).
                         to_retire.push(s);
                     } else {
                         newly_ready.push(s);
@@ -933,12 +1117,24 @@ fn run_group(
 ///
 /// A failing work-group (simulator error or transported panic) is
 /// recorded with its `(launch, group)` position and execution continues;
-/// groups lexicographically beyond the best-known failure are skipped.
-/// That keeps the reported error deterministic — always the smallest
-/// failing position, independent of scheduling — while still pruning most
-/// of a failing run.
+/// groups at or beyond the launch's best-known failure are skipped, but
+/// **other** launches are untouched — independent launches run to
+/// completion (bit-identically to a clean run) while dependent launches
+/// are cancelled with their root cause at retire time. That keeps the
+/// reported error deterministic — always the smallest failing position,
+/// independent of scheduling — while degrading gracefully.
+///
+/// With limits active, the wall-clock deadline and the cancel token are
+/// polled at every claim-chunk boundary (and, via the per-launch
+/// [`OpMeter`], at op-block boundaries inside long-running groups), so a
+/// wedged kernel is cut off without per-instruction overhead.
 fn graph_worker(st: &GraphState<'_, '_>) -> WorkerResult {
     let mut ctx = PlanExecCtx::new(st.shared, st.cost);
+    if let Some(gl) = &st.limits {
+        if let Some(cap) = gl.limits.mem_cap {
+            ctx.pool.set_mem_cap(cap);
+        }
+    }
     let n = st.units.len();
     let mut stats = vec![ExecStats::default(); n];
     let mut pctxs: Vec<Option<PlanCtx>> = (0..n).map(|_| None).collect();
@@ -952,21 +1148,49 @@ fn graph_worker(st: &GraphState<'_, '_>) -> WorkerResult {
         }
         let unit = &st.units[li];
         let pctx = pctxs[li].get_or_insert_with(|| {
-            if st.profile {
+            let mut p = if st.profile {
                 PlanCtx::profiled(unit.plan)
             } else {
                 PlanCtx::new(unit.plan)
+            };
+            if let Some(gl) = &st.limits {
+                if gl.needs_meter(li) {
+                    p.set_meter(OpMeter::new(
+                        &gl.limits,
+                        unit.budget.clone(),
+                        gl.deadline,
+                        li,
+                    ));
+                }
             }
+            p
         });
         loop {
             let start = unit.next.fetch_add(unit.chunk, Ordering::Relaxed);
             if start >= unit.total {
                 break; // fully claimed; pick another ready launch
             }
+            if let Some(gl) = &st.limits {
+                // Claim-chunk boundary: the scheduler's cancellation
+                // point. A tripped deadline or cancel token fails this
+                // launch here (each running launch records its own trip
+                // at its own next boundary).
+                if let Some(kind) = gl.tripped() {
+                    st.record_failure(li, start, Failure::Error(SimError::limit(kind)));
+                }
+            }
             let end = (start + unit.chunk).min(unit.total);
             for idx in start..end {
-                if encode_pos(li, idx) > st.error_bound.load(Ordering::Relaxed) {
-                    continue; // beyond the best failure: unreportable
+                if idx as u64 >= unit.failed.load(Ordering::Relaxed) {
+                    continue; // at/beyond this launch's failure: unreportable
+                }
+                if idx as u64 == unit.claim_fault {
+                    let fault = crate::limits::FaultPlan {
+                        launch: li,
+                        site: FaultSite::Claim(idx as u64),
+                    };
+                    st.record_failure(li, idx, Failure::Error(fault.error()));
+                    continue;
                 }
                 let group = group_of(unit.groups, idx);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -977,7 +1201,7 @@ fn graph_worker(st: &GraphState<'_, '_>) -> WorkerResult {
                 match outcome {
                     Ok(Ok(())) => {}
                     Ok(Err(e)) => st.record_failure(li, idx, Failure::Error(e)),
-                    Err(payload) => st.record_failure(li, idx, Failure::Panic(payload)),
+                    Err(payload) => st.record_failure(li, idx, failure_of_panic(payload)),
                 }
             }
             // Release: every store this worker made for these groups
@@ -1016,6 +1240,24 @@ pub fn run_plan_launch(
     Ok(stats.pop().expect("one launch in, one stats out"))
 }
 
+/// [`run_plan_launch`] under execution limits: the launch is metered
+/// against `limits` and a tripped limit is reported as
+/// [`SimError::LimitExceeded`] instead of running forever.
+pub fn run_plan_launch_limited(
+    plan: &KernelPlan,
+    args: &[RtValue],
+    nd: NdRangeSpec,
+    pool_mem: &mut MemoryPool,
+    cost: &CostModel,
+    threads: usize,
+    limits: &ExecLimits,
+) -> Result<ExecStats, SimError> {
+    let launches = [PlanLaunch { plan, args, nd }];
+    let dag = LaunchDag::independent(1);
+    let mut out = run_plan_graph_limited(&launches, &dag, pool_mem, cost, threads, false, limits)?;
+    Ok(out.stats.pop().expect("one launch in, one stats out"))
+}
+
 /// Execute a batch of **mutually independent** plan launches concurrently
 /// on `threads` workers: [`run_plan_graph`] over the edge-free graph.
 pub fn run_plan_batch(
@@ -1038,6 +1280,57 @@ pub struct GraphOutcome {
     pub stats: Vec<ExecStats>,
     /// Per-launch execution counts (`Some` iff profiling was requested).
     pub profile: Option<Vec<Box<[u64]>>>,
+}
+
+/// Terminal state of one launch in a [`GraphReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchStatus {
+    /// The launch ran every work-group successfully.
+    Completed,
+    /// The launch failed: `error` at its smallest failing work-group.
+    Failed {
+        /// Linear index of the smallest failing work-group.
+        group: usize,
+        /// The failure, position-stamped for limit trips.
+        error: SimError,
+    },
+    /// The launch never ran: a (transitive) predecessor failed. `cause`
+    /// is the smallest root failing launch, deterministic under any
+    /// schedule.
+    Cancelled {
+        /// Index of the root failing launch this cancellation descends
+        /// from.
+        cause: usize,
+    },
+}
+
+/// What [`run_plan_graph_report`] returns: the graceful-degradation view
+/// of a graph run, with per-launch terminal statuses instead of a single
+/// first error — failing launches don't take the whole graph down.
+#[derive(Debug)]
+pub struct GraphReport {
+    /// One merged [`ExecStats`] per launch, cycles charged; zeroed for
+    /// launches that did not complete (partial counters would be
+    /// schedule-dependent).
+    pub stats: Vec<ExecStats>,
+    /// Per-launch terminal state.
+    pub statuses: Vec<LaunchStatus>,
+    /// Per-launch execution counts (`Some` iff profiling was requested).
+    pub profile: Option<Vec<Box<[u64]>>>,
+}
+
+impl GraphReport {
+    /// The lexicographically smallest `(launch, group)` failure, if any —
+    /// the error serial submission-order execution hits first.
+    pub fn first_failure(&self) -> Option<(usize, usize, &SimError)> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .find_map(|(li, s)| match s {
+                LaunchStatus::Failed { group, error } => Some((li, *group, error)),
+                _ => None,
+            })
+    }
 }
 
 /// Execute a whole **launch graph** on `threads` workers, out of order:
@@ -1069,7 +1362,9 @@ pub struct GraphOutcome {
 /// # Errors
 ///
 /// Malformed geometry, malformed/cyclic graphs, and the minimal failing
-/// work-group's error as above (its panic is re-thrown as a panic).
+/// work-group's error as above (internal panics are re-thrown as panics;
+/// kernel-reachable ones — out-of-bounds device accesses, type-mismatched
+/// stores — surface as structured errors).
 pub fn run_plan_graph(
     launches: &[PlanLaunch<'_>],
     dag: &LaunchDag,
@@ -1078,11 +1373,63 @@ pub fn run_plan_graph(
     threads: usize,
     profile: bool,
 ) -> Result<GraphOutcome, SimError> {
+    run_plan_graph_limited(
+        launches,
+        dag,
+        pool_mem,
+        cost,
+        threads,
+        profile,
+        &ExecLimits::none(),
+    )
+}
+
+/// [`run_plan_graph`] under execution limits (`run_plan_graph` itself is
+/// the unlimited special case): op budgets, the memory cap, the deadline
+/// and the cancel token of `limits` are enforced, and fault injection is
+/// honoured. Like `run_plan_graph`, the first failure is returned as
+/// `Err`; use [`run_plan_graph_report`] to additionally observe which
+/// launches completed, failed or were cancelled.
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_graph_limited(
+    launches: &[PlanLaunch<'_>],
+    dag: &LaunchDag,
+    pool_mem: &mut MemoryPool,
+    cost: &CostModel,
+    threads: usize,
+    profile: bool,
+    limits: &ExecLimits,
+) -> Result<GraphOutcome, SimError> {
+    let report = run_plan_graph_report(launches, dag, pool_mem, cost, threads, profile, limits)?;
+    if let Some((_, _, error)) = report.first_failure() {
+        return Err(error.clone());
+    }
+    Ok(GraphOutcome {
+        stats: report.stats,
+        profile: report.profile,
+    })
+}
+
+/// Execute a launch graph under `limits` and report **per-launch**
+/// terminal statuses instead of stopping at the first error: independent
+/// launches complete (bit-identically to a clean run), the failing
+/// launch reports its smallest failing work-group, and every transitive
+/// successor of a failing launch is cancelled with its root cause. `Err`
+/// is reserved for malformed input (bad geometry, bad graphs); kernel
+/// failures and limit trips live in [`GraphReport::statuses`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_graph_report(
+    launches: &[PlanLaunch<'_>],
+    dag: &LaunchDag,
+    pool_mem: &mut MemoryPool,
+    cost: &CostModel,
+    threads: usize,
+    profile: bool,
+    limits: &ExecLimits,
+) -> Result<GraphReport, SimError> {
     dag.validate(launches.len())?;
     if launches.len() >= u32::MAX as usize {
-        return Err(SimError {
-            message: "too many launches in one graph".into(),
-        });
+        return Err(SimError::msg("too many launches in one graph"));
     }
     // First pass: validate geometry and count work-groups, so the worker
     // count — and the claim chunk sized from it — reflects the *clamped*
@@ -1094,9 +1441,7 @@ pub fn run_plan_graph(
         let groups = l.nd.groups();
         let total = (groups[0] * groups[1] * groups[2]) as usize;
         if total >= u32::MAX as usize {
-            return Err(SimError {
-                message: "too many work-groups in one launch".into(),
-            });
+            return Err(SimError::msg("too many work-groups in one launch"));
         }
         total_groups += total;
         geometry.push((groups, total));
@@ -1114,11 +1459,19 @@ pub fn run_plan_graph(
             next: AtomicUsize::new(0),
             unfinished: AtomicUsize::new(total),
             remaining_deps: AtomicUsize::new(dag.preds[li]),
+            failed: AtomicU64::new(u64::MAX),
+            cancelled_by: AtomicUsize::new(usize::MAX),
+            budget: limits.max_ops.map(|b| Arc::new(AtomicU64::new(b))),
+            claim_fault: match limits.fault_at(li) {
+                Some(FaultSite::Claim(n)) => n,
+                _ => u64::MAX,
+            },
         });
     }
     if units.is_empty() {
-        return Ok(GraphOutcome {
+        return Ok(GraphReport {
             stats: Vec::new(),
+            statuses: Vec::new(),
             profile: profile.then(Vec::new),
         });
     }
@@ -1137,15 +1490,28 @@ pub fn run_plan_graph(
         shared: &shared,
         cost,
         profile,
+        limits: (!limits.is_none()).then(|| GraphLimits {
+            limits: limits.clone(),
+            deadline: limits.deadline_instant(),
+        }),
         ready: Mutex::new(initially_ready),
         wake: Condvar::new(),
-        error_bound: AtomicU64::new(u64::MAX),
         failures: Mutex::new(Vec::new()),
         poisoned: AtomicBool::new(false),
         results: Mutex::new(Vec::with_capacity(workers)),
         panic: Mutex::new(None),
         latch: (Mutex::new(workers), Condvar::new()),
     };
+
+    // An armed decode fault fails its launch before any of its groups
+    // run: record it up front so every group is skipped, the launch
+    // retires through normal claim accounting, and its successors are
+    // cancelled by the ordinary cascade.
+    if let Some(f) = &limits.fault {
+        if matches!(f.site, FaultSite::Decode) && f.launch < state.units.len() {
+            state.record_failure(f.launch, 0, Failure::Error(f.error()));
+        }
+    }
 
     // Retire dependency-free empty launches before any worker starts: a
     // zero-group launch has no group whose completion could publish its
@@ -1187,20 +1553,56 @@ pub fn run_plan_graph(
         resume_unwind(payload);
     }
 
-    // Report the failure at the smallest (launch, group) — scheduling
-    // cannot reorder it away (see the function docs for why the minimum
-    // is always actually executed).
+    // Re-throw internal panics (scheduler/invariant bugs) at the smallest
+    // recorded position; kernel-reachable panics were classified into
+    // structured errors at the catch site and flow into statuses below.
     let failures = state.failures.into_inner().unwrap();
-    if let Some(min_pos) = failures.iter().map(|&(li, gi, _)| (li, gi)).min() {
-        let (_, _, failure) = failures
+    let panic_min = failures
+        .iter()
+        .filter(|(_, _, f)| matches!(f, Failure::Panic(_)))
+        .map(|&(li, gi, _)| (li, gi))
+        .min();
+    if let Some(pos) = panic_min {
+        let payload = failures
             .into_iter()
-            .find(|&(li, gi, _)| (li, gi) == min_pos)
-            .expect("minimal failure present");
-        match failure {
-            Failure::Error(e) => return Err(e),
-            Failure::Panic(payload) => resume_unwind(payload),
+            .find_map(|(li, gi, f)| match f {
+                Failure::Panic(p) if (li, gi) == pos => Some(p),
+                _ => None,
+            })
+            .expect("minimal panic present");
+        resume_unwind(payload);
+    }
+
+    // Per-launch smallest failing group and its error — scheduling cannot
+    // reorder it away (groups below a launch's eventual minimum are never
+    // skipped, so the minimum is always actually executed or was
+    // deliberately failed at its claim).
+    let mut errors: Vec<Option<(usize, SimError)>> = (0..launches.len()).map(|_| None).collect();
+    for (li, gi, f) in failures {
+        let Failure::Error(e) = f else { unreachable!() };
+        match &errors[li] {
+            Some((g, _)) if *g <= gi => {}
+            _ => errors[li] = Some((gi, e)),
         }
     }
+    let statuses: Vec<LaunchStatus> = state
+        .units
+        .iter()
+        .enumerate()
+        .map(|(li, u)| {
+            let by = u.cancelled_by.load(Ordering::Relaxed);
+            if by != usize::MAX {
+                LaunchStatus::Cancelled { cause: by }
+            } else if u.failed.load(Ordering::Relaxed) != u64::MAX {
+                let (group, error) = errors[li]
+                    .take()
+                    .expect("failed launch has a recorded error");
+                LaunchStatus::Failed { group, error }
+            } else {
+                LaunchStatus::Completed
+            }
+        })
+        .collect();
 
     let mut merged = vec![ExecStats::default(); launches.len()];
     let mut profiles: Vec<Box<[u64]>> = if profile {
@@ -1223,13 +1625,20 @@ pub fn run_plan_graph(
             }
         }
     }
-    for (m, unit) in merged.iter_mut().zip(&state.units) {
-        m.work_groups = unit.total as u64;
-        m.work_items = unit.nd.work_items() as u64;
-        m.charge(cost);
+    for (li, (m, unit)) in merged.iter_mut().zip(&state.units).enumerate() {
+        if matches!(statuses[li], LaunchStatus::Completed) {
+            m.work_groups = unit.total as u64;
+            m.work_items = unit.nd.work_items() as u64;
+            m.charge(cost);
+        } else {
+            // Partial counters of failing/cancelled launches would be
+            // schedule-dependent; report them as zeroed instead.
+            *m = ExecStats::default();
+        }
     }
-    Ok(GraphOutcome {
+    Ok(GraphReport {
         stats: merged,
+        statuses,
         profile: profile.then_some(profiles),
     })
 }
@@ -1269,7 +1678,7 @@ mod tests {
             assert_eq!(pp.elem_bytes(l), 8);
 
             // Arena allocations are tagged and never alias shared ids.
-            let a = pp.alloc(DataVec::I32(vec![7; 3]));
+            let a = pp.alloc(DataVec::I32(vec![7; 3])).unwrap();
             assert_ne!(a.0 & ARENA_BIT, 0);
             pp.store(a, 2, RtValue::Int(9));
             assert_eq!(pp.load(a, 2), RtValue::Int(9));
@@ -1289,19 +1698,19 @@ mod tests {
         let mut pp = PlanPool::new(&shared);
 
         // A dense-constant allocation persists across group boundaries…
-        let k = pp.alloc(DataVec::F32(vec![4.5; 2]));
+        let k = pp.alloc(DataVec::F32(vec![4.5; 2])).unwrap();
         assert_ne!(k.0 & ARENA_BIT, 0);
         assert_ne!(k.0 & CONST_BIT, 0);
 
         // …while alloca scratch is recycled: same id, re-zeroed storage.
-        let a = pp.alloc_zeroed(&f32t, 3);
+        let a = pp.alloc_zeroed(&f32t, 3).unwrap();
         assert_ne!(a.0 & ARENA_BIT, 0);
         assert_eq!(a.0 & CONST_BIT, 0);
         pp.store(a, 1, RtValue::F32(7.0));
         assert_eq!(pp.load(a, 1), RtValue::F32(7.0));
 
         pp.next_work_group();
-        let a2 = pp.alloc_zeroed(&f32t, 3);
+        let a2 = pp.alloc_zeroed(&f32t, 3).unwrap();
         assert_eq!(a2, a, "matching allocation is recycled");
         assert_eq!(
             pp.load(a2, 1),
@@ -1311,7 +1720,7 @@ mod tests {
 
         // A shape/type mismatch at the cursor replaces the buffer.
         pp.next_work_group();
-        let b = pp.alloc_zeroed(&ctx.i64_type(), 5);
+        let b = pp.alloc_zeroed(&ctx.i64_type(), 5).unwrap();
         assert_eq!(b, a, "same slot, new storage");
         assert_eq!(pp.load(b, 4), RtValue::Int(0));
         assert_eq!(pp.elem_bytes(b), 8);
@@ -1554,7 +1963,7 @@ mod tests {
             preds: vec![1, 1],
             succs: vec![vec![1], vec![0]],
         };
-        assert!(cyclic.validate(2).unwrap_err().message.contains("cycle"));
+        assert!(cyclic.validate(2).unwrap_err().message().contains("cycle"));
         // Out-of-range edge.
         let oob = LaunchDag {
             preds: vec![0, 1],

@@ -88,6 +88,28 @@ fi
 echo "tables bit-identical across thread counts, fuse levels and overlap modes"
 
 # ----------------------------------------------------------------------
+# Limits smoke: an adversarial kernel spinning an (effectively)
+# unbounded loop must trip --max-ops — fail fast with the structured
+# limit error, never hang — under BOTH engines, and the device must stay
+# usable afterwards (repro_limits checks all of that itself; the timeout
+# is the hang backstop). A sweep with generous limits *enabled* must
+# then reproduce the baseline tables bit-identically: the metering path
+# may cost a little wall time but can never perturb simulated results.
+# ----------------------------------------------------------------------
+step "limits smoke: repro_limits under both engines + generous-limits identity"
+timeout 120 ./target/release/repro_limits --engine=plan --threads=4 --max-ops=2000000
+timeout 120 ./target/release/repro_limits --engine=tree --max-ops=2000000
+
+./target/release/repro_all --quick --threads=4 --max-ops=1000000000000 \
+  --deadline-ms=600000 | tee "$tmp/limits.out"
+grep -v '^repro_wall_time_seconds:' "$tmp/limits.out" > "$tmp/limits.tables"
+if ! diff -u "$tmp/t4.tables" "$tmp/limits.tables"; then
+  echo "FAIL: repro_all tables differ with generous limits enabled" >&2
+  exit 1
+fi
+echo "limits smoke passed: both engines trip, device survives, tables unchanged"
+
+# ----------------------------------------------------------------------
 # Profile artifact: the opcode-mix summary (per-opcode execution totals +
 # ranked fusion candidates) from a --profile=on sweep, saved under
 # target/ci-artifacts/ and uploaded by the workflow — so fusion-candidate
@@ -115,6 +137,7 @@ grep '^repro_wall_time_seconds:' "$tmp/t4.out"        | sed 's/^/  threads=4    
 grep '^repro_wall_time_seconds:' "$tmp/nofuse.out"    | sed 's/^/  fuse=off,batch=off   /'
 grep '^repro_wall_time_seconds:' "$tmp/pairs.out"     | sed 's/^/  threads=4,fuse=pairs /'
 grep '^repro_wall_time_seconds:' "$tmp/nooverlap.out" | sed 's/^/  threads=4,overlap=off/'
+grep '^repro_wall_time_seconds:' "$tmp/limits.out"    | sed 's/^/  threads=4,limits=on  /'
 
 echo
 echo "CI gate passed."

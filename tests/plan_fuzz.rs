@@ -643,7 +643,7 @@ fn check_seed(seed: u64) -> (u32, u32) {
     let (opt, opt_f, opt_i, opt_a) = execute(&fused);
     match (&base, &opt) {
         (Ok(b), Ok(o)) => assert_eq!(b, o, "stats diverge (seed {seed})"),
-        (Err(b), Err(o)) => assert_eq!(b.message, o.message, "errors diverge (seed {seed})"),
+        (Err(b), Err(o)) => assert_eq!(b.message(), o.message(), "errors diverge (seed {seed})"),
         _ => panic!(
             "one execution failed, the other did not (seed {seed}): unfused={base:?} fused={opt:?}"
         ),
@@ -933,7 +933,7 @@ fn mid_chain_error_matches_unfused_and_bound_prunes_correctly() {
         let DataVec::F32(f) = pool.data(mf) else {
             panic!()
         };
-        (err.message, f.clone())
+        (err.message(), f.clone())
     };
 
     for threads in [1_usize, 4] {
@@ -968,4 +968,120 @@ fn mid_chain_error_matches_unfused_and_bound_prunes_correctly() {
             let _ = (&fused_buf, &unfused_buf);
         }
     }
+}
+
+// ----------------------------------------------------------------------
+// The op-budget axis: limit trips must be fuse-invariant
+// ----------------------------------------------------------------------
+
+/// Execute `plan` alone (threads = 1, serial claim order) under `limits`.
+fn execute_limited(
+    plan: &KernelPlan,
+    limits: &sycl_mlir_repro::sim::ExecLimits,
+) -> Result<ExecStats, SimError> {
+    use sycl_mlir_repro::sim::run_plan_launch_limited;
+    let mut pool = MemoryPool::new();
+    let mf = pool.alloc(DataVec::F32(vec![-1.0; BUF_LEN]));
+    let mi = pool.alloc(DataVec::I64(vec![7; BUF_LEN]));
+    let ma = pool.alloc(DataVec::F32(vec![0.0; BUF_LEN]));
+    let args = [
+        RtValue::MemRef(MemRefVal {
+            mem: mf,
+            offset: 0,
+            shape: [BUF_LEN as i64, 1, 1],
+            rank: 1,
+            space: Space::Global,
+        }),
+        RtValue::MemRef(MemRefVal {
+            mem: mi,
+            offset: 0,
+            shape: [BUF_LEN as i64, 1, 1],
+            rank: 1,
+            space: Space::Global,
+        }),
+        RtValue::Accessor(AccessorVal {
+            mem: ma,
+            range: [BUF_LEN as i64, 1, 1],
+            offset: [0, 0, 0],
+            rank: 1,
+            constant: false,
+        }),
+    ];
+    run_plan_launch_limited(
+        plan,
+        &args,
+        NdRangeSpec::d1(32, 4),
+        &mut pool,
+        &CostModel::default(),
+        1,
+        limits,
+    )
+}
+
+/// The op budget is **fuse-invariant**: a superinstruction settles the
+/// full weight of its members, so for *every* budget value the three
+/// fuse levels must agree — all complete with identical statistics, or
+/// all trip `LimitExceeded { kind: Ops }` at the same work-group. Swept
+/// exhaustively from a starving budget of 1 past the kernel's total op
+/// count.
+#[test]
+fn op_budget_trips_are_fuse_invariant() {
+    use sycl_mlir_repro::sim::{fuse_plan_with, ExecLimits, FuseLevel, LimitKind};
+
+    // The guard never fires: a clean kernel with fusable chains.
+    let plan = mid_chain_failing_plan(1 << 40);
+    let levels = [FuseLevel::Off, FuseLevel::Pairs, FuseLevel::Chains];
+    let plans: Vec<KernelPlan> = levels
+        .iter()
+        .map(|&lv| {
+            let mut p = plan.clone();
+            fuse_plan_with(&mut p, lv);
+            p
+        })
+        .collect();
+    assert!(
+        plans[2].fused_chains >= 1 && plans[1].fused_pairs >= 1,
+        "the template must actually fuse at both levels"
+    );
+
+    let (mut trips, mut completions) = (0_u32, 0_u32);
+    for budget in 1..=512_u64 {
+        let limits = ExecLimits {
+            max_ops: Some(budget),
+            ..ExecLimits::none()
+        };
+        let mut results = plans.iter().map(|p| execute_limited(p, &limits));
+        let reference = results.next().expect("three fuse levels");
+        match &reference {
+            Ok(stats) => {
+                completions += 1;
+                for (r, lv) in results.zip(&levels[1..]) {
+                    assert_eq!(
+                        r.as_ref().expect("fused run must also complete"),
+                        stats,
+                        "budget {budget}, fuse {lv:?}: stats diverge"
+                    );
+                }
+            }
+            Err(e) => {
+                trips += 1;
+                assert_eq!(
+                    e.limit_kind(),
+                    Some(LimitKind::Ops),
+                    "budget {budget}: expected an op-budget trip, got: {e}"
+                );
+                for (r, lv) in results.zip(&levels[1..]) {
+                    let f = r.expect_err("fused run must also trip");
+                    assert_eq!(
+                        f.message(),
+                        e.message(),
+                        "budget {budget}, fuse {lv:?}: trip position diverges"
+                    );
+                }
+            }
+        }
+    }
+    // The sweep must cover both regimes, or the property is vacuous.
+    assert!(trips > 0, "no budget in the sweep tripped");
+    assert!(completions > 0, "no budget in the sweep completed");
 }

@@ -24,7 +24,11 @@ use sycl_mlir_repro::frontend::{full_context, KernelModuleBuilder, KernelSig};
 use sycl_mlir_repro::runtime::{
     compile_program, hostgen::generate_host_ir, HostOp, Program, Queue, SyclRuntime,
 };
-use sycl_mlir_repro::sim::{Device, Engine, ExecStats};
+use sycl_mlir_repro::sim::{
+    decode_kernel, run_plan_graph_report, AccessorVal, CostModel, DataVec, Device, Engine,
+    ExecLimits, ExecStats, FaultPlan, FaultSite, KernelPlan, LaunchDag, LaunchStatus, MemoryPool,
+    NdRangeSpec, PlanLaunch, RtValue,
+};
 use sycl_mlir_repro::sycl::device as sdev;
 use sycl_mlir_repro::sycl::types::AccessMode;
 
@@ -440,7 +444,9 @@ fn generator_population_covers_the_interesting_shapes() {
 /// Build a module with `scale_io`, the divergent `bad_late` and an
 /// out-of-bounds `oob` kernel, submit the given kernel names in order
 /// over one shared buffer, and return each configuration's failure text.
-fn run_error_graph(kernels: &[&str]) -> Vec<(String, String)> {
+/// A `fault` plan, when given, is injected into every configuration's
+/// device.
+fn run_error_graph(kernels: &[&str], fault: Option<FaultPlan>) -> Vec<(String, String)> {
     let build = || {
         let ctx = full_context();
         let mut kb = KernelModuleBuilder::new(&ctx);
@@ -473,6 +479,10 @@ fn run_error_graph(kernels: &[&str]) -> Vec<(String, String)> {
 
     let mut out = Vec::new();
     for (name, device) in configs() {
+        let device = match fault {
+            Some(f) => device.fault(f),
+            None => device,
+        };
         let mut rt = SyclRuntime::new();
         let buf = rt.buffer_f32(vec![1.0; LEN as usize], &[LEN]);
         let mut q = Queue::new();
@@ -512,7 +522,7 @@ fn run_error_graph(kernels: &[&str]) -> Vec<(String, String)> {
 /// diverges everywhere (including its group 0).
 #[test]
 fn divergent_barrier_position_is_mode_independent() {
-    let results = run_error_graph(&["scale_io", "bad_late", "scale_io", "bad_late"]);
+    let results = run_error_graph(&["scale_io", "bad_late", "scale_io", "bad_late"], None);
     let (ref_name, want) = &results[0];
     assert!(
         want.contains("divergent barrier") && want.contains("[2, 0, 0]"),
@@ -523,14 +533,16 @@ fn divergent_barrier_position_is_mode_independent() {
     }
 }
 
-/// An out-of-bounds panic in launch 1 must win over a divergent barrier
-/// in launch 2, in every mode — and surface as the same panic text.
+/// An out-of-bounds access in launch 1 must win over a divergent barrier
+/// in launch 2, in every mode — and surface as the same *structured
+/// error* text: kernel-reachable out-of-bounds is a `SimError`, not a
+/// panic, under every engine.
 #[test]
-fn oob_panic_position_is_mode_independent() {
-    let results = run_error_graph(&["scale_io", "oob", "bad_late"]);
+fn oob_error_position_is_mode_independent() {
+    let results = run_error_graph(&["scale_io", "oob", "bad_late"], None);
     let (ref_name, want) = &results[0];
     assert!(
-        want.starts_with("panic:") && want.contains("out of bounds"),
+        want.starts_with("error:") && want.contains("out of bounds"),
         "`{ref_name}` reported: {want}"
     );
     for (name, got) in &results[1..] {
@@ -542,10 +554,223 @@ fn oob_panic_position_is_mode_independent() {
 /// out-of-bounds panic in launch 3, in every mode.
 #[test]
 fn earlier_divergence_beats_later_oob_panic() {
-    let results = run_error_graph(&["scale_io", "bad_late", "scale_io", "oob"]);
+    let results = run_error_graph(&["scale_io", "bad_late", "scale_io", "oob"], None);
     let (ref_name, want) = &results[0];
     assert!(
         want.contains("divergent barrier") && want.contains("[2, 0, 0]"),
+        "`{ref_name}` reported: {want}"
+    );
+    for (name, got) in &results[1..] {
+        assert_eq!(got, want, "`{name}` diverges from `{ref_name}`");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fault injection
+// ----------------------------------------------------------------------
+
+/// Decode the `scale_io` template into a standalone kernel plan for the
+/// direct graph-report tests below.
+fn decoded_scale_plan() -> KernelPlan {
+    let ctx = full_context();
+    let mut kb = KernelModuleBuilder::new(&ctx);
+    let f32t = ctx.f32_type();
+    let sig = KernelSig::new("scale_io", 1, true).accessor(f32t, 1, AccessMode::ReadWrite);
+    kb.add_kernel(&sig, |b, args, item| {
+        let gid = sdev::global_id(b, item, 0);
+        let v = sdev::load_via_id(b, args[0], &[gid]);
+        let f32t = b.ctx().f32_type();
+        let c0 = arith::constant_float(b, 0.5, f32t.clone());
+        let c1 = arith::constant_float(b, 3.0, f32t);
+        let t = arith::mulf(b, v, c0);
+        let s = arith::addf(b, t, c1);
+        sdev::store_via_id(b, s, args[0], &[gid]);
+    });
+    let m = kb.finish();
+    let dev = m
+        .lookup_symbol(m.top(), sycl_mlir_repro::sycl::DEVICE_MODULE_SYM)
+        .expect("device module");
+    let op = m.lookup_symbol(dev, "scale_io").expect("kernel symbol");
+    decode_kernel(&m, op).expect("scale_io decodes")
+}
+
+/// One graph-report run of the fault-injection shape: a `0 -> 1 -> 2`
+/// chain over buffer A plus an independent launch 3 over buffer B.
+/// Returns the report and the final bits of both buffers.
+fn fault_shape_run(
+    plan: &KernelPlan,
+    threads: usize,
+    limits: &ExecLimits,
+) -> (sycl_mlir_repro::sim::GraphReport, Vec<u32>, Vec<u32>) {
+    let nd = NdRangeSpec::d1(LEN, 8);
+    let acc = |mem| {
+        RtValue::Accessor(AccessorVal {
+            mem,
+            range: [LEN, 1, 1],
+            offset: [0, 0, 0],
+            rank: 1,
+            constant: false,
+        })
+    };
+    let mut pool = MemoryPool::new();
+    let ma = pool.alloc(DataVec::F32((0..LEN).map(|i| i as f32).collect()));
+    let mb = pool.alloc(DataVec::F32((0..LEN).map(|i| 0.125 * i as f32).collect()));
+    let args_a = [acc(ma)];
+    let args_b = [acc(mb)];
+    let launches = [
+        PlanLaunch {
+            plan,
+            args: &args_a,
+            nd,
+        },
+        PlanLaunch {
+            plan,
+            args: &args_a,
+            nd,
+        },
+        PlanLaunch {
+            plan,
+            args: &args_a,
+            nd,
+        },
+        PlanLaunch {
+            plan,
+            args: &args_b,
+            nd,
+        },
+    ];
+    let dag = LaunchDag::from_edges(4, &[(0, 1), (1, 2)]);
+    let report = run_plan_graph_report(
+        &launches,
+        &dag,
+        &mut pool,
+        &CostModel::default(),
+        threads,
+        false,
+        limits,
+    )
+    .expect("well-formed graph");
+    let bits = |mem| {
+        let DataVec::F32(f) = pool.data(mem) else {
+            panic!("f32 buffer")
+        };
+        f.iter().map(|x| x.to_bits()).collect::<Vec<u32>>()
+    };
+    let (ba, bb) = (bits(ma), bits(mb));
+    (report, ba, bb)
+}
+
+/// Injected faults — decode, claim-site, instruction-count — fail their
+/// launch with the pinned error at a deterministic work-group, cancel
+/// every transitive successor with the root cause, and leave independent
+/// launches bit-identical to a clean run, at every thread count.
+#[test]
+fn injected_fault_cancels_successors_and_spares_independents() {
+    let plan = decoded_scale_plan();
+    for threads in [1_usize, 4] {
+        let (clean, clean_a, clean_b) = fault_shape_run(&plan, threads, &ExecLimits::none());
+        assert!(
+            clean.statuses.iter().all(|s| *s == LaunchStatus::Completed),
+            "clean run must complete everywhere (threads={threads})"
+        );
+        for site in [FaultSite::Decode, FaultSite::Claim(2), FaultSite::Instr(7)] {
+            let fault = FaultPlan { launch: 0, site };
+            let limits = ExecLimits {
+                fault: Some(fault),
+                ..ExecLimits::none()
+            };
+            let (report, faulted_a, faulted_b) = fault_shape_run(&plan, threads, &limits);
+            let want_group = match site {
+                FaultSite::Claim(g) => g as usize,
+                _ => 0,
+            };
+            match &report.statuses[0] {
+                LaunchStatus::Failed { group, error } => {
+                    assert_eq!(
+                        error,
+                        &fault.error(),
+                        "threads={threads} {site:?}: wrong error"
+                    );
+                    assert_eq!(
+                        *group, want_group,
+                        "threads={threads} {site:?}: wrong failing group"
+                    );
+                }
+                other => panic!("threads={threads} {site:?}: launch 0 reported {other:?}"),
+            }
+            // Transitive successors are cancelled with the root cause and
+            // report zeroed statistics.
+            for li in [1, 2] {
+                assert_eq!(
+                    report.statuses[li],
+                    LaunchStatus::Cancelled { cause: 0 },
+                    "threads={threads} {site:?}: launch {li} not cancelled"
+                );
+                assert_eq!(report.stats[li].work_groups, 0);
+                assert_eq!(report.stats[li].work_items, 0);
+            }
+            // The independent launch completes bit-identically to the
+            // clean run: same statistics, same final buffer bits.
+            assert_eq!(report.statuses[3], LaunchStatus::Completed);
+            assert_eq!(
+                report.stats[3], clean.stats[3],
+                "threads={threads} {site:?}: independent launch stats diverge"
+            );
+            assert_eq!(
+                faulted_b, clean_b,
+                "threads={threads} {site:?}: independent buffer diverges"
+            );
+            // Buffer A saw at most the faulted launch's partial groups —
+            // never launch 1's or 2's writes. The decode fault runs no
+            // group at all, so A must be untouched; all clean-run values
+            // differ from the initial ones, so equality would be a leak.
+            if site == FaultSite::Decode {
+                let initial: Vec<u32> = (0..LEN).map(|i| (i as f32).to_bits()).collect();
+                assert_eq!(faulted_a, initial, "decode fault must run no group");
+                assert_ne!(clean_a, initial);
+            }
+            // The lexicographic first-failure bound.
+            let (fl, fg, _) = report.first_failure().expect("a failure is recorded");
+            assert_eq!((fl, fg), (0, want_group), "threads={threads} {site:?}");
+        }
+    }
+}
+
+/// An injected fault must surface as the same pinned error text under
+/// every scheduler mode, thread count and engine — even when a later
+/// independent launch also fails (the lexicographic bound holds for
+/// faults too).
+#[test]
+fn injected_fault_position_is_mode_independent() {
+    let fault = FaultPlan {
+        launch: 1,
+        site: FaultSite::Claim(1),
+    };
+    let results = run_error_graph(&["scale_io", "scale_io", "bad_late"], Some(fault));
+    let (ref_name, want) = &results[0];
+    assert_eq!(
+        want,
+        &format!("error: {}", fault.error()),
+        "`{ref_name}` must report the pinned fault text"
+    );
+    for (name, got) in &results[1..] {
+        assert_eq!(got, want, "`{name}` diverges from `{ref_name}`");
+    }
+}
+
+/// A plain kernel error earlier in the queue beats a later injected
+/// fault, in every mode: faults obey the same lexicographic first-failure
+/// contract as organic failures.
+#[test]
+fn earlier_kernel_error_beats_later_injected_fault() {
+    let fault = FaultPlan {
+        launch: 2,
+        site: FaultSite::Decode,
+    };
+    let results = run_error_graph(&["scale_io", "oob", "scale_io"], Some(fault));
+    let (ref_name, want) = &results[0];
+    assert!(
+        want.starts_with("error:") && want.contains("out of bounds"),
         "`{ref_name}` reported: {want}"
     );
     for (name, got) in &results[1..] {
