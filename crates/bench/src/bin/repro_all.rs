@@ -2,9 +2,34 @@
 //! table, and the overall geo-means the paper quotes ("Overall, on
 //! SYCL-Bench, SYCL-MLIR achieves a geo.-mean speedup of 1.18x over DPC++
 //! and also performs better than AdaptiveCpp (geo.-mean 1.13x)").
+//!
+//! `--json` switches the output to a machine-readable summary (one JSON
+//! object on stdout: per-workload cycles/validity/wall-milliseconds plus
+//! the sweep configuration and total wall time) — the format
+//! `scripts/ci.sh`'s perf-regression gate diffs against the checked-in
+//! `scripts/bench-baseline.json`.
 
-use sycl_mlir_bench::{print_table, quick_flag, run_category_on};
+use sycl_mlir_bench::{print_table, quick_flag, run_category_on, run_row};
 use sycl_mlir_benchsuite::{geo_mean, Category};
+
+/// Stable lowercase tag for a category in the `--json` summary.
+fn category_tag(c: Category) -> &'static str {
+    match c {
+        Category::SingleKernel => "single-kernel",
+        Category::Polybench => "polybench",
+        Category::Stencil => "stencil",
+    }
+}
+
+/// A JSON number that round-trips `NaN` (not representable in JSON) as
+/// `null`, matching the "missing bar" meaning it has in the tables.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
 
 fn main() {
     sycl_mlir_bench::handle_help_flag(
@@ -13,9 +38,109 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let quick = quick_flag();
+    let json = std::env::args().any(|a| a == "--json");
     // One device for the whole sweep: the `--profile` accumulators live
     // on the device that ran the workloads.
     let device = sycl_mlir_bench::device_from_args();
+
+    // The tree-walk reference always runs sequentially, so record the
+    // worker count that actually applied, not the requested flag — a
+    // `--engine=tree --threads=4` run must not masquerade as a 4-thread
+    // measurement in the perf trajectory.
+    let effective_threads = match device.engine {
+        sycl_mlir_sim::Engine::Plan => device.threads,
+        sycl_mlir_sim::Engine::TreeWalk => 1,
+    };
+    // Fusion, batching, overlap and the closure-JIT tier are plan-engine
+    // features; report what applied (overlap requires batch).
+    let on_off = |b: bool| if b { "on" } else { "off" };
+    let (fuse, jit, batch, overlap) = match device.engine {
+        sycl_mlir_sim::Engine::Plan => (
+            device.fuse,
+            device.jit,
+            device.batch,
+            device.batch && device.overlap,
+        ),
+        sycl_mlir_sim::Engine::TreeWalk => (
+            sycl_mlir_sim::FuseLevel::Off,
+            sycl_mlir_sim::JitMode::Off,
+            false,
+            false,
+        ),
+    };
+
+    if json {
+        // Machine-readable sweep: same workloads and device as the table
+        // mode, but each row is timed individually and printed as one
+        // JSON object (hand-rolled — the output is flat enough that a
+        // serializer dependency would be overkill).
+        let mut entries = Vec::new();
+        for category in [
+            Category::SingleKernel,
+            Category::Polybench,
+            Category::Stencil,
+        ] {
+            for w in sycl_mlir_benchsuite::all_workloads() {
+                if w.category != category || !w.in_figure {
+                    continue;
+                }
+                let row_t0 = std::time::Instant::now();
+                let row = run_row(&w, quick, &device);
+                let wall_ms = row_t0.elapsed().as_secs_f64() * 1e3;
+                entries.push((category, row, wall_ms));
+            }
+        }
+        let mut sm = Vec::new();
+        let mut acpp = Vec::new();
+        for (category, r, _) in &entries {
+            if *category == Category::Stencil {
+                continue; // geo-means cover SYCL-Bench (Fig. 2 + Fig. 3)
+            }
+            let s = r.speedup(2);
+            let a = r.speedup(1);
+            if s.is_finite() {
+                sm.push(s);
+            }
+            if a.is_finite() {
+                acpp.push(a);
+            }
+        }
+        let workloads: Vec<String> = entries
+            .iter()
+            .map(|(category, r, wall_ms)| {
+                format!(
+                    "    {{\"name\": \"{}\", \"category\": \"{}\", \"cycles\": [{}, {}, {}], \"valid\": [{}, {}, {}], \"wall_ms\": {:.3}}}",
+                    r.name,
+                    category_tag(*category),
+                    json_f64(r.cycles[0]),
+                    json_f64(r.cycles[1]),
+                    json_f64(r.cycles[2]),
+                    r.valid[0],
+                    r.valid[1],
+                    r.valid[2],
+                    wall_ms,
+                )
+            })
+            .collect();
+        println!("{{");
+        println!("  \"schema\": 1,");
+        println!("  \"quick\": {quick},");
+        println!("  \"engine\": \"{}\",", device.engine.name());
+        println!("  \"threads\": {effective_threads},");
+        println!("  \"fuse\": \"{}\",", fuse.name());
+        println!("  \"jit\": \"{}\",", jit.name());
+        println!("  \"batch\": \"{}\",", on_off(batch));
+        println!("  \"overlap\": \"{}\",", on_off(overlap));
+        println!("  \"workloads\": [");
+        println!("{}", workloads.join(",\n"));
+        println!("  ],");
+        println!("  \"geo_mean_sycl_mlir\": {},", json_f64(geo_mean(&sm)));
+        println!("  \"geo_mean_adaptivecpp\": {},", json_f64(geo_mean(&acpp)));
+        println!("  \"wall_time_seconds\": {:.3}", t0.elapsed().as_secs_f64());
+        println!("}}");
+        return;
+    }
+
     let fig2 = run_category_on(Category::SingleKernel, quick, &device);
     let fig3 = run_category_on(Category::Polybench, quick, &device);
     let stencil = run_category_on(Category::Stencil, quick, &device);
@@ -58,25 +183,10 @@ fn main() {
     // BENCH_*.json harness records. Covers the whole sweep (compilation of
     // every flow + simulation); simulation dominates and is what the
     // engine/thread choice moves.
-    //
-    // The tree-walk reference always runs sequentially, so record the
-    // worker count that actually applied, not the requested flag — a
-    // `--engine=tree --threads=4` run must not masquerade as a 4-thread
-    // measurement in the perf trajectory.
-    let effective_threads = match device.engine {
-        sycl_mlir_sim::Engine::Plan => device.threads,
-        sycl_mlir_sim::Engine::TreeWalk => 1,
-    };
-    // Fusion, batching and overlap are plan-engine features; report what
-    // applied (overlap requires batch).
-    let on_off = |b: bool| if b { "on" } else { "off" };
-    let (fuse, batch, overlap) = match device.engine {
-        sycl_mlir_sim::Engine::Plan => (device.fuse, device.batch, device.batch && device.overlap),
-        sycl_mlir_sim::Engine::TreeWalk => (sycl_mlir_sim::FuseLevel::Off, false, false),
-    };
     let fuse_name = fuse.name();
+    let jit_name = jit.name();
     println!(
-        "\nrepro_wall_time_seconds: {:.3} (engine: {}, threads: {effective_threads}, fuse: {fuse_name}, batch: {}, overlap: {}, quick: {quick})",
+        "\nrepro_wall_time_seconds: {:.3} (engine: {}, threads: {effective_threads}, fuse: {fuse_name}, jit: {jit_name}, batch: {}, overlap: {}, quick: {quick})",
         t0.elapsed().as_secs_f64(),
         device.engine.name(),
         on_off(batch),

@@ -15,7 +15,7 @@
 
 use sycl_mlir_benchsuite::{geo_mean, run_workload_on, Category, RunResult, WorkloadSpec};
 use sycl_mlir_core::FlowKind;
-use sycl_mlir_sim::{Device, Engine, FuseLevel};
+use sycl_mlir_sim::{Device, Engine, FuseLevel, JitMode};
 
 /// One row of a speedup table.
 #[derive(Debug, Clone)]
@@ -175,6 +175,13 @@ flag            env variable           values        default  effect
 --overlap=...   SYCL_MLIR_SIM_OVERLAP  on | off      on       out-of-order launch scheduling: a command
                                                               group starts as soon as its own deps
                                                               retire (off = PR 3 level barriers)
+--jit=...       SYCL_MLIR_SIM_JIT      on | off      on       closure-JIT tier of the plan engine:
+                                       | always               compile hot decoded plans into
+                                                              direct-threaded closure chains
+                                                              (always = ignore the launch counter,
+                                                              off = stay on the bytecode loop)
+--jit-threshold=N  SYCL_MLIR_SIM_JIT_THRESHOLD  launches  1   launch count at which --jit=on
+                                                              compiles a cached plan (1 = eagerly)
 --profile=...   SYCL_MLIR_SIM_PROFILE  on | off      off      count executed plan instructions and dump
                                                               per-opcode totals + fusion candidates
 --max-ops=N     SYCL_MLIR_SIM_MAX_OPS  integer       off      weighted-operation budget per launch: a
@@ -197,7 +204,7 @@ pub fn handle_help_flag(binary: &str, purpose: &str) {
         return;
     }
     println!("{binary} — {purpose}\n");
-    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|pairs|off] [--batch=on|off] [--overlap=on|off] [--profile=on|off] [--max-ops=N] [--mem-cap=BYTES] [--deadline-ms=MS]\n");
+    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|pairs|off] [--jit=on|off|always] [--jit-threshold=N] [--batch=on|off] [--overlap=on|off] [--profile=on|off] [--max-ops=N] [--mem-cap=BYTES] [--deadline-ms=MS]\n");
     println!("{KNOB_TABLE}");
     println!(
         "\nFlags win over environment variables. Outputs, statistics and cycle\ntables are bit-identical across every engine/threads/fuse/batch/overlap\ncombination (held by tests/differential.rs); those knobs only change\nwall time. The limit knobs (--max-ops, --mem-cap, --deadline-ms) are\nsafety nets: a kernel exceeding one fails with a structured error and\nexit status 3 instead of hanging the run."
@@ -240,6 +247,31 @@ pub fn fuse_flag() -> Option<FuseLevel> {
         }
     }
     None
+}
+
+/// Parse the shared `--jit=on|off|always` flag (closure-JIT tier of the
+/// plan engine: `on` compiles a cached plan once its launch count reaches
+/// the threshold, `always` ignores the counter, `off` stays on the
+/// bytecode loop). Unknown spellings abort rather than silently
+/// benchmarking the wrong tier.
+pub fn jit_flag() -> Option<JitMode> {
+    for arg in std::env::args() {
+        if let Some(value) = arg.strip_prefix("--jit=") {
+            return Some(JitMode::parse(value).unwrap_or_else(|| {
+                eprintln!(
+                    "error: unknown --jit value `{value}` (expected `on`, `off` or `always`)"
+                );
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
+/// Parse the shared `--jit-threshold=N` flag (launch count at which
+/// `--jit=on` compiles a cached plan; `1` compiles eagerly).
+pub fn jit_threshold_flag() -> Option<u64> {
+    u64_flag("jit-threshold")
 }
 
 /// Parse the shared `--batch=on|off` flag (launch-level parallelism over
@@ -339,11 +371,11 @@ pub fn threads_flag() -> Option<usize> {
 }
 
 /// The device the repro binaries run on: the `--engine` / `--threads` /
-/// `--fuse` / `--batch` / `--overlap` / `--profile` / `--max-ops` /
-/// `--mem-cap` / `--deadline-ms` flags win, then the `SYCL_MLIR_SIM_*`
-/// environment variables, then the defaults (plan engine, sequential,
-/// fusion and batching on, no limits). See [`KNOB_TABLE`] for the full
-/// list.
+/// `--fuse` / `--jit` / `--jit-threshold` / `--batch` / `--overlap` /
+/// `--profile` / `--max-ops` / `--mem-cap` / `--deadline-ms` flags win,
+/// then the `SYCL_MLIR_SIM_*` environment variables, then the defaults
+/// (plan engine, sequential, fusion/batching/closure-JIT on, no limits).
+/// See [`KNOB_TABLE`] for the full list.
 pub fn device_from_args() -> Device {
     let mut device = Device::new();
     if let Some(engine) = engine_flag() {
@@ -354,6 +386,12 @@ pub fn device_from_args() -> Device {
     }
     if let Some(fuse) = fuse_flag() {
         device = device.fuse_level(fuse);
+    }
+    if let Some(jit) = jit_flag() {
+        device = device.jit(jit);
+    }
+    if let Some(n) = jit_threshold_flag() {
+        device = device.jit_threshold(n);
     }
     if let Some(batch) = batch_flag() {
         device = device.batch(batch);

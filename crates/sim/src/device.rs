@@ -7,9 +7,7 @@ use crate::interp::{ExecCtx, Stop, WorkItemState};
 use crate::limits::{CancelToken, ExecLimits, FaultPlan, FaultSite, OpMeter};
 use crate::memory::MemoryPool;
 use crate::plan::{decode_kernel, fuse_plan_with, profile_summary, FuseLevel, KernelPlan};
-use crate::pool::{
-    run_plan_graph_limited, run_plan_launch, run_plan_launch_limited, LaunchDag, PlanLaunch,
-};
+use crate::pool::{run_plan_graph_limited, run_plan_launch, LaunchDag, PlanLaunch};
 use crate::value::{NdItemVal, RtValue};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
@@ -151,6 +149,83 @@ pub fn profile_from_env() -> bool {
     bool_knob_from_env("SYCL_MLIR_SIM_PROFILE", false)
 }
 
+/// When the closure-JIT tier ([`crate::jit`]) may take over a plan-engine
+/// kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JitMode {
+    /// Never compile; every launch runs the plan interpreter.
+    Off,
+    /// Tier up once a cached plan has been launched
+    /// [`Device::jit_threshold`] times (the default).
+    On,
+    /// Compile on the first launch, skipping the warm-up count — the
+    /// deterministic setting the differential suites pin.
+    Always,
+}
+
+impl JitMode {
+    /// Parse a mode spelling (`on`/`1`/`true`, `off`/`0`/`false`,
+    /// `always`); `None` for anything else.
+    pub fn parse(s: &str) -> Option<JitMode> {
+        match s {
+            "on" | "1" | "true" => Some(JitMode::On),
+            "off" | "0" | "false" => Some(JitMode::Off),
+            "always" => Some(JitMode::Always),
+            _ => None,
+        }
+    }
+
+    /// The mode's display name (`"on"`, `"off"` or `"always"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            JitMode::Off => "off",
+            JitMode::On => "on",
+            JitMode::Always => "always",
+        }
+    }
+}
+
+/// The closure-JIT mode named by the `SYCL_MLIR_SIM_JIT` environment
+/// variable (`on`/`off`/`always`); `on` when unset. Selects whether hot
+/// plans tier up into compiled closure chains ([`crate::jit`]); the tiers
+/// are bit-identical, so this only trades compile time against dispatch
+/// speed. An unknown value warns on stderr and falls back to `on`.
+pub fn jit_from_env() -> JitMode {
+    match std::env::var("SYCL_MLIR_SIM_JIT") {
+        Err(_) => JitMode::On,
+        Ok(s) => JitMode::parse(&s).unwrap_or_else(|| {
+            eprintln!(
+                "warning: unknown SYCL_MLIR_SIM_JIT `{s}` (expected `on`, `off` or `always`); defaulting to on"
+            );
+            JitMode::On
+        }),
+    }
+}
+
+/// The closure-JIT tier-up threshold named by the
+/// `SYCL_MLIR_SIM_JIT_THRESHOLD` environment variable; `1` when unset.
+/// Under [`JitMode::On`] a cached plan compiles once its launch count
+/// (including the current launch) reaches this value. The default of `1`
+/// compiles eagerly — compilation is a few hundred allocations, orders of
+/// magnitude below one launch's execution, so warm-up gating only pays
+/// off for pathological fleets of one-shot kernels; raise the threshold
+/// to keep those on the interpreter. An unparsable value warns on stderr
+/// and falls back to `1`.
+pub fn jit_threshold_from_env() -> u64 {
+    match std::env::var("SYCL_MLIR_SIM_JIT_THRESHOLD").as_deref() {
+        Err(_) => 1,
+        Ok(s) => match s.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "warning: unparsable SYCL_MLIR_SIM_JIT_THRESHOLD `{s}` (expected a launch count); defaulting to 1"
+                );
+                1
+            }
+        },
+    }
+}
+
 /// Launch geometry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NdRangeSpec {
@@ -223,6 +298,12 @@ impl NdRangeSpec {
 struct CachedPlan {
     epoch: u64,
     plan: Option<Arc<KernelPlan>>,
+    /// Launches served from this entry (including the decoding one) —
+    /// the closure tier's warm-up counter.
+    launches: Cell<u64>,
+    /// The closure-JIT compilation, once the entry tiered up
+    /// ([`Device::jit_threshold`]); invalidated with the plan.
+    jit: Option<Arc<crate::jit::JitKernel>>,
 }
 
 /// Soft bound on cached plans per device; prevents unbounded growth when
@@ -259,6 +340,12 @@ pub struct Device {
     pub overlap: bool,
     /// Count executed plan instructions ([`Device::profile_report`]).
     pub profile: bool,
+    /// When the closure-JIT tier may take over a cached plan
+    /// ([`JitMode`]; plan engine only, bit-identical either way).
+    pub jit: JitMode,
+    /// Launch count (per cached plan, current launch included) at which
+    /// [`JitMode::On`] tiers up into the closure chain.
+    pub jit_threshold: u64,
     /// Per-launch execution limits ([`ExecLimits`]): weighted-operation
     /// budget, memory cap, wall-clock deadline, cancellation token and
     /// injected fault. All off by default (modulo the `SYCL_MLIR_SIM_*`
@@ -269,6 +356,8 @@ pub struct Device {
     plan_cache: RefCell<HashMap<(u64, OpId, FuseLevel), CachedPlan>>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
+    jit_compiles: Cell<u64>,
+    jit_launches: Cell<u64>,
     profile_ops: RefCell<BTreeMap<&'static str, u64>>,
     profile_pairs: RefCell<BTreeMap<(&'static str, &'static str), u64>>,
 }
@@ -283,10 +372,14 @@ impl Default for Device {
             batch: batch_from_env(),
             overlap: overlap_from_env(),
             profile: profile_from_env(),
+            jit: jit_from_env(),
+            jit_threshold: jit_threshold_from_env(),
             limits: ExecLimits::from_env(),
             plan_cache: RefCell::new(HashMap::new()),
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
+            jit_compiles: Cell::new(0),
+            jit_launches: Cell::new(0),
             profile_ops: RefCell::new(BTreeMap::new()),
             profile_pairs: RefCell::new(BTreeMap::new()),
         }
@@ -371,6 +464,19 @@ impl Device {
         self
     }
 
+    /// Builder-style closure-JIT mode override ([`JitMode`]).
+    pub fn jit(mut self, jit: JitMode) -> Device {
+        self.jit = jit;
+        self
+    }
+
+    /// Builder-style closure-JIT tier-up threshold override (launch count
+    /// per cached plan, current launch included).
+    pub fn jit_threshold(mut self, threshold: u64) -> Device {
+        self.jit_threshold = threshold;
+        self
+    }
+
     /// Builder-style weighted-operation budget: a launch fails with
     /// [`LimitKind::Ops`](crate::LimitKind::Ops) once it has executed
     /// this many weighted operations. Superinstructions charge the
@@ -429,26 +535,86 @@ impl Device {
         (self.cache_hits.get(), self.cache_misses.get())
     }
 
-    /// The decoded plan for `kernel`, reused from the cache when the
+    /// `(compiles, launches)` of the closure-JIT tier so far: how often a
+    /// plan was compiled into a closure chain, and how many launches ran
+    /// on the compiled tier (as opposed to the plan interpreter).
+    pub fn jit_counters(&self) -> (u64, u64) {
+        (self.jit_compiles.get(), self.jit_launches.get())
+    }
+
+    /// Whether a plan with `launches` recorded launches runs on the
+    /// closure tier under this device's mode and threshold.
+    fn wants_jit(&self, launches: u64) -> bool {
+        match self.jit {
+            JitMode::Off => false,
+            JitMode::On => launches >= self.jit_threshold,
+            JitMode::Always => true,
+        }
+    }
+
+    /// The decoded plan for `kernel` — plus its closure-JIT compilation
+    /// when the entry has tiered up ([`Device::jit`] /
+    /// [`Device::jit_threshold`]) — reused from the cache when the
     /// module's mutation epoch still matches; `None` if the kernel is not
     /// plan-decodable (the caller falls back to the tree walk). Decode
     /// failures are cached too — an iterative workload with an
     /// undecodable kernel pays the decode attempt once per epoch, not
-    /// once per launch.
-    fn cached_plan(&self, m: &Module, kernel: OpId) -> Option<Arc<KernelPlan>> {
+    /// once per launch. The launch counter (and with it the tier-up
+    /// decision) is per cache entry, so a module mutation restarts the
+    /// warm-up exactly like it re-decodes.
+    #[allow(clippy::type_complexity)]
+    fn cached_plan(
+        &self,
+        m: &Module,
+        kernel: OpId,
+    ) -> Option<(Arc<KernelPlan>, Option<Arc<crate::jit::JitKernel>>)> {
         let key = (m.module_id(), kernel, self.fuse);
         let epoch = m.mutation_epoch();
+        let mut hit: Option<(Arc<KernelPlan>, Option<Arc<crate::jit::JitKernel>>, bool)> = None;
         if let Some(cached) = self.plan_cache.borrow().get(&key) {
             if cached.epoch == epoch {
                 self.cache_hits.set(self.cache_hits.get() + 1);
-                return cached.plan.clone();
+                let plan = cached.plan.clone()?;
+                let count = cached.launches.get() + 1;
+                cached.launches.set(count);
+                let want = self.wants_jit(count);
+                hit = Some((plan, cached.jit.clone().filter(|_| want), want));
             }
+        }
+        if let Some((plan, jit, want)) = hit {
+            let jit = match jit {
+                Some(jit) => Some(jit),
+                None if want => {
+                    // Tier up: compile once, cache next to the plan.
+                    let compiled = Arc::new(crate::jit::compile(&plan));
+                    self.jit_compiles.set(self.jit_compiles.get() + 1);
+                    if let Some(cached) = self.plan_cache.borrow_mut().get_mut(&key) {
+                        cached.jit = Some(compiled.clone());
+                    }
+                    Some(compiled)
+                }
+                None => None,
+            };
+            if jit.is_some() {
+                self.jit_launches.set(self.jit_launches.get() + 1);
+            }
+            return Some((plan, jit));
         }
         let plan = decode_kernel(m, kernel).ok().map(|mut p| {
             fuse_plan_with(&mut p, self.fuse);
             Arc::new(p)
         });
         self.cache_misses.set(self.cache_misses.get() + 1);
+        let jit = match &plan {
+            Some(p) if self.wants_jit(1) => {
+                self.jit_compiles.set(self.jit_compiles.get() + 1);
+                Some(Arc::new(crate::jit::compile(p)))
+            }
+            _ => None,
+        };
+        if jit.is_some() {
+            self.jit_launches.set(self.jit_launches.get() + 1);
+        }
         let mut cache = self.plan_cache.borrow_mut();
         if cache.len() >= PLAN_CACHE_CAP {
             cache.clear();
@@ -458,9 +624,11 @@ impl Device {
             CachedPlan {
                 epoch,
                 plan: plan.clone(),
+                launches: Cell::new(1),
+                jit: jit.clone(),
             },
         );
-        plan
+        plan.map(|p| (p, jit))
     }
 
     /// Execute `kernel` over `nd`, mutating `pool`. Returns the dynamic
@@ -501,15 +669,27 @@ impl Device {
                 0,
             ),
             Engine::Plan => match self.cached_plan(m, kernel) {
-                Some(plan) => run_plan_launch_limited(
-                    &plan,
-                    args,
-                    nd,
-                    pool,
-                    &self.cost,
-                    self.threads,
-                    &self.limits,
-                ),
+                Some((plan, jit)) => {
+                    // A graph of one launch — run_plan_launch_limited's own
+                    // shape — so the closure tier flows through the same
+                    // scheduler seam as graph launches.
+                    let launches = [PlanLaunch {
+                        plan: &plan,
+                        args,
+                        nd,
+                        jit: jit.as_deref(),
+                    }];
+                    let mut out = run_plan_graph_limited(
+                        &launches,
+                        &LaunchDag::independent(1),
+                        pool,
+                        &self.cost,
+                        self.threads,
+                        false,
+                        &self.limits,
+                    )?;
+                    Ok(out.stats.pop().expect("one launch in, one stats out"))
+                }
                 // Reference fallback for non-decodable kernels.
                 None => launch_kernel_with(
                     m,
@@ -579,7 +759,10 @@ impl Device {
         pool: &mut MemoryPool,
     ) -> Result<Vec<ExecStats>, SimError> {
         if self.engine == Engine::Plan {
-            let plans: Option<Vec<Arc<KernelPlan>>> = batch
+            #[allow(clippy::type_complexity)]
+            let plans: Option<
+                Vec<(Arc<KernelPlan>, Option<Arc<crate::jit::JitKernel>>)>,
+            > = batch
                 .iter()
                 .map(|b| self.cached_plan(m, b.kernel))
                 .collect();
@@ -587,10 +770,11 @@ impl Device {
                 let launches: Vec<PlanLaunch<'_>> = plans
                     .iter()
                     .zip(batch)
-                    .map(|(plan, b)| PlanLaunch {
+                    .map(|((plan, jit), b)| PlanLaunch {
                         plan,
                         args: &b.args,
                         nd: b.nd,
+                        jit: jit.as_deref(),
                     })
                     .collect();
                 let out = run_plan_graph_limited(
@@ -605,7 +789,7 @@ impl Device {
                 if let Some(profile) = &out.profile {
                     let mut ops = self.profile_ops.borrow_mut();
                     let mut pairs = self.profile_pairs.borrow_mut();
-                    for (plan, counts) in plans.iter().zip(profile) {
+                    for ((plan, _), counts) in plans.iter().zip(profile) {
                         profile_summary(plan, counts, &mut ops, &mut pairs);
                     }
                 }
@@ -666,6 +850,15 @@ impl Device {
                 out.push_str(&format!("{count:>16}  {a} -> {b}\n"));
             }
         }
+        out.push_str("\n== execution tiers ==\n");
+        out.push_str(&format!(
+            "{:>16}  closure-jit compiles\n",
+            self.jit_compiles.get()
+        ));
+        out.push_str(&format!(
+            "{:>16}  closure-jit launches\n",
+            self.jit_launches.get()
+        ));
         Some(out)
     }
 }

@@ -18,10 +18,10 @@
 //! Simulated time is deterministic, so the harness needs no warm-up/repeat
 //! protocol; EXPERIMENTS.md documents this deviation from §VIII.
 //!
-//! ## Two execution engines
+//! ## Execution engines and tiers
 //!
 //! The simulator ships two interchangeable engines behind
-//! [`device::Engine`]:
+//! [`device::Engine`], and the fast engine itself is tiered:
 //!
 //! * **Tree walk** ([`interp`]) — the reference implementation. A resumable
 //!   interpreter directly over the structured IR: an explicit frame stack
@@ -43,6 +43,17 @@
 //!   loads/stores `vec.ctor`+`acc.subscript`+`Load`/`Store`, fused
 //!   multiply-accumulate `Load`+`mulf`+`addf`) — into superinstructions
 //!   with identical semantics and statistics ([`FuseLevel`]).
+//! * **Closure JIT** ([`jit`]) — the hot tier of the plan engine. A
+//!   cached plan whose launch count reaches the tier-up threshold
+//!   (`SYCL_MLIR_SIM_JIT=on|off|always`,
+//!   `SYCL_MLIR_SIM_JIT_THRESHOLD`, default eager) compiles into a
+//!   direct-threaded chain of Rust closures — one boxed call per
+//!   instruction with operands, constants and call targets captured at
+//!   compile time; no codegen, no `unsafe`. The compiled kernel lives
+//!   next to its plan in the cross-launch cache and is invalidated by
+//!   the same mutation epoch. Bit-identical to both other engines —
+//!   outputs, statistics, cycles and error texts — and metered through
+//!   the same [`limits`] machinery from per-pc weight tables.
 //!
 //! **Register allocation** is per function: every SSA value (block argument
 //! or op result) receives a dense slot at decode time, and each call frame
@@ -100,6 +111,7 @@
 pub mod cost;
 pub mod device;
 pub mod interp;
+pub mod jit;
 pub mod limits;
 pub mod memory;
 pub mod plan;
@@ -108,10 +120,12 @@ pub mod value;
 
 pub use cost::{CostModel, ExecStats};
 pub use device::{
-    auto_threads, batch_from_env, fuse_from_env, launch_kernel, launch_plan, overlap_from_env,
-    profile_from_env, threads_from_env, BatchLaunch, Device, Engine, NdRangeSpec, SimError,
+    auto_threads, batch_from_env, fuse_from_env, jit_from_env, jit_threshold_from_env,
+    launch_kernel, launch_plan, overlap_from_env, profile_from_env, threads_from_env, BatchLaunch,
+    Device, Engine, JitMode, NdRangeSpec, SimError,
 };
 pub use interp::LimitKind;
+pub use jit::{compile as jit_compile, JitKernel};
 pub use limits::{CancelToken, ExecLimits, FaultPlan, FaultSite};
 pub use memory::{DataVec, MemId, MemoryPool};
 pub use plan::{

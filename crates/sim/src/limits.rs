@@ -232,6 +232,16 @@ fn reserve(budget: &AtomicU64, want: u64) -> u64 {
 /// The hot path is [`charge`](OpMeter::charge): one compare and one
 /// subtraction against a prepaid block. Everything else happens in the
 /// cold [`boundary`](OpMeter::boundary) refill.
+///
+/// All three execution tiers drive the same meter. The plan engine
+/// charges `Instr::op_weight` per executed instruction; the closure-JIT
+/// tier charges the identical weights from per-pc tables flattened at
+/// compile time (`crates/sim/src/jit.rs` stores one `u64` per
+/// instruction next to its compiled closure) — so a budget trips at the
+/// same weighted-op count, hence the same work-group, no matter which
+/// tier ran. Superinstruction weights cover their fused members, which
+/// is what makes trips fuse- *and* tier-invariant
+/// (`tests/plan_fuzz.rs::op_budget_trips_are_tier_invariant`).
 pub(crate) struct OpMeter {
     /// Prepaid weighted ops still executable before the next boundary.
     granted: u64,
@@ -420,6 +430,36 @@ mod tests {
         // Settling returns the (empty) remainder; the budget is spent.
         m.settle();
         assert_eq!(budget.load(Ordering::Relaxed), 0);
+    }
+
+    /// The trip point depends only on the cumulative *weight*, not on
+    /// how the charges are grouped — the closure-JIT tier charges
+    /// pre-flattened per-pc weights (superinstructions carry the summed
+    /// weight of their members), and both tiers must trip at the same
+    /// weighted count.
+    #[test]
+    fn meter_trip_point_is_weight_grouping_invariant() {
+        let limits = ExecLimits {
+            max_ops: Some(12),
+            ..ExecLimits::none()
+        };
+        // Unfused shape: twelve weight-1 charges, then a trip.
+        let budget = Arc::new(AtomicU64::new(12));
+        let mut m = OpMeter::new(&limits, Some(budget), None, 0);
+        for _ in 0..12 {
+            m.charge(1).unwrap();
+        }
+        assert_eq!(m.charge(1).unwrap_err().limit_kind(), Some(LimitKind::Ops));
+        // Fused shape: the same weight in 2s and 3s (four 2-weight and
+        // one 3-weight superinstruction, 11 total) still has room for
+        // exactly one more unit op and trips on weight 2.
+        let budget = Arc::new(AtomicU64::new(12));
+        let mut m = OpMeter::new(&limits, Some(budget), None, 0);
+        for w in [2, 2, 3, 2, 2] {
+            m.charge(w).unwrap();
+        }
+        m.charge(1).unwrap();
+        assert_eq!(m.charge(2).unwrap_err().limit_kind(), Some(LimitKind::Ops));
     }
 
     #[test]

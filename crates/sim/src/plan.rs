@@ -44,7 +44,7 @@ use sycl_mlir_ir::{Attribute, Module, OpId, OpName, Type, TypeKind, ValueId};
 /// Dense register slot within one function frame.
 pub type Reg = u32;
 
-fn err(msg: impl Into<String>) -> SimError {
+pub(crate) fn err(msg: impl Into<String>) -> SimError {
     SimError::msg(msg)
 }
 
@@ -145,7 +145,7 @@ impl CmpPred {
     }
 
     #[inline]
-    fn eval_int(self, l: i64, r: i64) -> bool {
+    pub(crate) fn eval_int(self, l: i64, r: i64) -> bool {
         match self {
             CmpPred::Eq => l == r,
             CmpPred::Ne => l != r,
@@ -157,7 +157,7 @@ impl CmpPred {
     }
 
     #[inline]
-    fn eval_float(self, l: f64, r: f64) -> bool {
+    pub(crate) fn eval_float(self, l: f64, r: f64) -> bool {
         match self {
             CmpPred::Eq => l == r,
             CmpPred::Ne => l != r,
@@ -2360,24 +2360,24 @@ pub struct PlanCtx {
     /// Materialized dense constants, shared across the worker's groups
     /// (mirrors the tree-walk `const_pool`; under parallel execution each
     /// worker materializes its own arena copy).
-    dense_cache: Vec<Option<MemRefVal>>,
+    pub(crate) dense_cache: Vec<Option<MemRefVal>>,
     /// Work-group-shared `sycl.local.alloca` results, reset per group.
-    local_allocs: Vec<Option<MemRefVal>>,
+    pub(crate) local_allocs: Vec<Option<MemRefVal>>,
     /// Per-instruction execution counters (`--profile` runs only; `None`
     /// keeps the executor's hot loop on a single predictable branch).
-    profile: Option<ProfileBuf>,
+    pub(crate) profile: Option<ProfileBuf>,
     /// Execution-limit meter (limited runs only; `None` — the default —
     /// monomorphizes all metering out of the executor).
-    limits: Option<Box<crate::limits::OpMeter>>,
+    pub(crate) limits: Option<Box<crate::limits::OpMeter>>,
 }
 
 /// Flat execution counters over every function of one plan: `counts[i]`
 /// is how often the instruction at flat index `i` (functions concatenated
 /// in [`KernelPlan::funcs`] order) executed.
-struct ProfileBuf {
+pub(crate) struct ProfileBuf {
     /// Start offset of each function's code in `counts`.
-    starts: Box<[u32]>,
-    counts: Box<[u64]>,
+    pub(crate) starts: Box<[u32]>,
+    pub(crate) counts: Box<[u64]>,
 }
 
 impl ProfileBuf {
@@ -2462,7 +2462,7 @@ pub struct PlanWorkItem {
     steps: u64,
 }
 
-const MAX_STEPS: u64 = 500_000_000;
+pub(crate) const MAX_STEPS: u64 = 500_000_000;
 
 impl PlanWorkItem {
     /// Prepare execution of the plan's kernel with `args` bound to all
@@ -3267,7 +3267,7 @@ impl PlanWorkItem {
     }
 }
 
-fn materialize_dense(
+pub(crate) fn materialize_dense(
     plan: &KernelPlan,
     ctx: &mut PlanExecCtx<'_, '_>,
     pctx: &mut PlanCtx,

@@ -51,6 +51,7 @@
 use crate::cost::{CostModel, ExecStats};
 use crate::device::{cooperative_rounds, items_of_group, NdRangeSpec};
 use crate::interp::{LimitKind, SimError, WorkGroupCtx};
+use crate::jit::{run_group_jit, JitScratch};
 use crate::limits::{ExecLimits, FaultSite, OpMeter};
 use crate::memory::{dtype_of, dtype_of_data, zeroed_data, DataVec, MemId, MemoryPool};
 use crate::plan::{KernelPlan, PlanCtx, PlanWorkItem};
@@ -737,6 +738,10 @@ pub struct PlanLaunch<'a> {
     pub args: &'a [RtValue],
     /// Launch geometry.
     pub nd: NdRangeSpec,
+    /// Closure-JIT compilation of `plan`, when this launch runs on the
+    /// closure tier (`None` executes the plan interpreter; both tiers are
+    /// bit-identical, so this only selects the dispatch mechanism).
+    pub jit: Option<&'a crate::jit::JitKernel>,
 }
 
 /// Per-launch scheduling state: geometry, claim cursor, retire counter
@@ -745,6 +750,8 @@ struct GraphUnit<'a> {
     plan: &'a KernelPlan,
     args: &'a [RtValue],
     nd: NdRangeSpec,
+    /// Closure-tier compilation of `plan`, when the launch tiers up.
+    jit: Option<&'a crate::jit::JitKernel>,
     groups: [i64; 3],
     total: usize,
     /// Work-groups claimed per `fetch_add` (adaptive: large launches use
@@ -1138,6 +1145,7 @@ fn graph_worker(st: &GraphState<'_, '_>) -> WorkerResult {
     let n = st.units.len();
     let mut stats = vec![ExecStats::default(); n];
     let mut pctxs: Vec<Option<PlanCtx>> = (0..n).map(|_| None).collect();
+    let mut jit_scratch = JitScratch::default();
     let mut cur: Option<usize> = None;
     while let Some(li) = st.acquire() {
         if cur != Some(li) {
@@ -1193,8 +1201,18 @@ fn graph_worker(st: &GraphState<'_, '_>) -> WorkerResult {
                     continue;
                 }
                 let group = group_of(unit.groups, idx);
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_group(unit.plan, unit.args, unit.nd, group, &mut ctx, pctx)
+                let outcome = catch_unwind(AssertUnwindSafe(|| match unit.jit {
+                    Some(jit) => run_group_jit(
+                        jit,
+                        unit.plan,
+                        unit.args,
+                        unit.nd,
+                        group,
+                        &mut ctx,
+                        pctx,
+                        &mut jit_scratch,
+                    ),
+                    None => run_group(unit.plan, unit.args, unit.nd, group, &mut ctx, pctx),
                 }));
                 ctx.next_work_group();
                 pctx.next_work_group();
@@ -1236,7 +1254,17 @@ pub fn run_plan_launch(
     cost: &CostModel,
     threads: usize,
 ) -> Result<ExecStats, SimError> {
-    let mut stats = run_plan_batch(&[PlanLaunch { plan, args, nd }], pool_mem, cost, threads)?;
+    let mut stats = run_plan_batch(
+        &[PlanLaunch {
+            plan,
+            args,
+            nd,
+            jit: None,
+        }],
+        pool_mem,
+        cost,
+        threads,
+    )?;
     Ok(stats.pop().expect("one launch in, one stats out"))
 }
 
@@ -1252,7 +1280,12 @@ pub fn run_plan_launch_limited(
     threads: usize,
     limits: &ExecLimits,
 ) -> Result<ExecStats, SimError> {
-    let launches = [PlanLaunch { plan, args, nd }];
+    let launches = [PlanLaunch {
+        plan,
+        args,
+        nd,
+        jit: None,
+    }];
     let dag = LaunchDag::independent(1);
     let mut out = run_plan_graph_limited(&launches, &dag, pool_mem, cost, threads, false, limits)?;
     Ok(out.stats.pop().expect("one launch in, one stats out"))
@@ -1453,6 +1486,7 @@ pub fn run_plan_graph_report(
             plan: l.plan,
             args: l.args,
             nd: l.nd,
+            jit: l.jit,
             groups,
             total,
             chunk: claim_chunk(total, workers),
@@ -1857,17 +1891,20 @@ mod tests {
                     plan: &plan_a,
                     args: &args,
                     nd: NdRangeSpec::d1(n, 4),
+                    jit: None,
                 },
                 // The empty middle launch: zero global range.
                 PlanLaunch {
                     plan: &plan_a,
                     args: &args,
                     nd: NdRangeSpec::d1(0, 4),
+                    jit: None,
                 },
                 PlanLaunch {
                     plan: &plan_c,
                     args: &args,
                     nd: NdRangeSpec::d1(n, 4),
+                    jit: None,
                 },
             ];
             let dag = LaunchDag::chain(3);
@@ -1900,11 +1937,13 @@ mod tests {
                 plan: &plan_a,
                 args: &args,
                 nd: NdRangeSpec::d1(0, 4),
+                jit: None,
             },
             PlanLaunch {
                 plan: &plan_a,
                 args: &args,
                 nd: NdRangeSpec::d1(0, 4),
+                jit: None,
             },
         ];
         let out = run_plan_graph(

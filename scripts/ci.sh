@@ -3,8 +3,16 @@
 # runs. Everything is offline — third-party crates are vendored shims
 # under crates/shims/, so no step touches a registry.
 #
-#   ./scripts/ci.sh         # full gate: fmt, clippy, build, test, bench smoke
-#   ./scripts/ci.sh --fast  # skip the bench smoke (format/lint/build/test only)
+#   ./scripts/ci.sh         # full gate: fmt, clippy, build, test, doc,
+#                           # bench/limits/JIT determinism smoke, profile
+#                           # artifact, perf-regression gate
+#   ./scripts/ci.sh --fast  # format/lint/build/test/doc only — skips the
+#                           # bench smoke, artifacts and the perf gate
+#
+# Perf gate escape hatch: CI_SKIP_PERF_GATE=1 skips only the wall-time
+# comparison against scripts/bench-baseline.json (for machines whose
+# throughput is not comparable to the machine that recorded the
+# baseline); the determinism legs still run.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,7 +49,7 @@ step "cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 if [[ "$fast" == 1 ]]; then
-  echo "(--fast: skipping bench smoke)"
+  echo "(--fast: skipping bench/limits/JIT smoke, artifacts and the perf gate)"
   exit 0
 fi
 
@@ -88,6 +96,27 @@ fi
 echo "tables bit-identical across thread counts, fuse levels and overlap modes"
 
 # ----------------------------------------------------------------------
+# JIT determinism smoke: the closure-JIT tier (on by default, so the runs
+# above already exercise it) must be bit-identical to the bytecode loop.
+# Pin both extremes against the threads=4 baseline: --jit=always (every
+# plan compiles, no warm-up) and --jit=off (pure bytecode interpreter).
+# ----------------------------------------------------------------------
+step "JIT determinism smoke: --jit=always vs --jit=off vs baseline"
+./target/release/repro_all --quick --threads=4 --jit=always | tee "$tmp/jit-always.out"
+./target/release/repro_all --quick --threads=4 --jit=off | tee "$tmp/jit-off.out"
+grep -v '^repro_wall_time_seconds:' "$tmp/jit-always.out" > "$tmp/jit-always.tables"
+grep -v '^repro_wall_time_seconds:' "$tmp/jit-off.out" > "$tmp/jit-off.tables"
+if ! diff -u "$tmp/t4.tables" "$tmp/jit-always.tables"; then
+  echo "FAIL: repro_all tables differ under --jit=always" >&2
+  exit 1
+fi
+if ! diff -u "$tmp/t4.tables" "$tmp/jit-off.tables"; then
+  echo "FAIL: repro_all tables differ under --jit=off" >&2
+  exit 1
+fi
+echo "tables bit-identical across closure-JIT modes"
+
+# ----------------------------------------------------------------------
 # Limits smoke: an adversarial kernel spinning an (effectively)
 # unbounded loop must trip --max-ops — fail fast with the structured
 # limit error, never hang — under BOTH engines, and the device must stay
@@ -96,9 +125,12 @@ echo "tables bit-identical across thread counts, fuse levels and overlap modes"
 # then reproduce the baseline tables bit-identically: the metering path
 # may cost a little wall time but can never perturb simulated results.
 # ----------------------------------------------------------------------
-step "limits smoke: repro_limits under both engines + generous-limits identity"
+step "limits smoke: repro_limits under both engines + closure tier + generous-limits identity"
 timeout 120 ./target/release/repro_limits --engine=plan --threads=4 --max-ops=2000000
 timeout 120 ./target/release/repro_limits --engine=tree --max-ops=2000000
+# The closure tier meters through the same OpMeter: limits must trip with
+# the identical error and the device must survive with JIT forced on.
+timeout 120 ./target/release/repro_limits --engine=plan --threads=4 --jit=always --max-ops=2000000
 
 ./target/release/repro_all --quick --threads=4 --max-ops=1000000000000 \
   --deadline-ms=600000 | tee "$tmp/limits.out"
@@ -130,14 +162,75 @@ fi
 head -n 14 "$artifacts/opcode-mix.txt"
 echo "  ... (full opcode mix in $artifacts/opcode-mix.txt)"
 
+# ----------------------------------------------------------------------
+# Perf-regression gate: the median wall time of three repro_all --quick
+# --json sweeps, compared against the checked-in
+# scripts/bench-baseline.json. More than 10% slower warns; more than 25%
+# fails the gate. Wall time is machine-dependent, so the baseline is
+# refreshed whenever it is re-recorded on different hardware:
+#   ./target/release/repro_all --quick --threads=4 --json > scripts/bench-baseline.json
+# Per-workload simulated cycles are machine-independent, so any drift
+# from the baseline is surfaced too (warn-only: an intentional cost-model
+# change just refreshes the baseline). The median run's summary is saved
+# under target/ci-artifacts/ and uploaded next to opcode-mix.txt.
+# ----------------------------------------------------------------------
+step "perf gate: median of 3x repro_all --json vs scripts/bench-baseline.json"
+for i in 1 2 3; do
+  ./target/release/repro_all --quick --threads=4 --json > "$tmp/bench-$i.json"
+done
+median_run=$(for i in 1 2 3; do
+  wall=$(sed -n 's/.*"wall_time_seconds": \([0-9.]*\).*/\1/p' "$tmp/bench-$i.json")
+  echo "$wall $i"
+done | sort -n | sed -n 2p)
+median=${median_run% *}
+median_idx=${median_run#* }
+cp "$tmp/bench-$median_idx.json" "$artifacts/bench-summary.json"
+baseline=$(sed -n 's/.*"wall_time_seconds": \([0-9.]*\).*/\1/p' scripts/bench-baseline.json)
+echo "median wall time: ${median}s (baseline: ${baseline}s)"
+
+cycles_of() { sed -n 's/.*\("name": "[^"]*"\).*\("cycles": \[[^]]*\]\).*/\1 \2/p' "$1"; }
+cycles_of scripts/bench-baseline.json > "$tmp/baseline.cycles"
+cycles_of "$artifacts/bench-summary.json" > "$tmp/fresh.cycles"
+if ! diff -u "$tmp/baseline.cycles" "$tmp/fresh.cycles"; then
+  echo "WARN: per-workload simulated cycles drifted from scripts/bench-baseline.json" >&2
+  echo "      (intentional cost-model change? refresh the baseline)" >&2
+fi
+
+if [[ "${CI_SKIP_PERF_GATE:-0}" == 1 ]]; then
+  echo "(CI_SKIP_PERF_GATE=1: skipping the wall-time comparison)"
+else
+  verdict=$(awk -v m="$median" -v b="$baseline" 'BEGIN {
+    r = m / b
+    if (r > 1.25) print "fail"
+    else if (r > 1.10) print "warn"
+    else print "ok"
+    printf "ratio %.3f\n", r > "/dev/stderr"
+  }')
+  case "$verdict" in
+    fail)
+      echo "FAIL: wall time regressed >25% vs scripts/bench-baseline.json (${median}s vs ${baseline}s)" >&2
+      echo "      If the regression is expected (or the machine changed), refresh the baseline." >&2
+      exit 1
+      ;;
+    warn)
+      echo "WARN: wall time regressed >10% vs scripts/bench-baseline.json (${median}s vs ${baseline}s)" >&2
+      ;;
+    ok)
+      echo "perf gate passed: ${median}s within 10% of the ${baseline}s baseline"
+      ;;
+  esac
+fi
+
 echo
-echo "wall-time regression check (PR 4 baseline: ~1.0 s threads=4):"
+echo "wall-time regression check (PR 5 baseline: ~0.84 s threads=4; PR 7 jit=on: ~0.80 s):"
 grep '^repro_wall_time_seconds:' "$tmp/t1.out"        | sed 's/^/  threads=1            /'
 grep '^repro_wall_time_seconds:' "$tmp/t4.out"        | sed 's/^/  threads=4            /'
 grep '^repro_wall_time_seconds:' "$tmp/nofuse.out"    | sed 's/^/  fuse=off,batch=off   /'
 grep '^repro_wall_time_seconds:' "$tmp/pairs.out"     | sed 's/^/  threads=4,fuse=pairs /'
 grep '^repro_wall_time_seconds:' "$tmp/nooverlap.out" | sed 's/^/  threads=4,overlap=off/'
 grep '^repro_wall_time_seconds:' "$tmp/limits.out"    | sed 's/^/  threads=4,limits=on  /'
+grep '^repro_wall_time_seconds:' "$tmp/jit-always.out" | sed 's/^/  threads=4,jit=always /'
+grep '^repro_wall_time_seconds:' "$tmp/jit-off.out"   | sed 's/^/  threads=4,jit=off    /'
 
 echo
 echo "CI gate passed."

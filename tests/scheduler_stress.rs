@@ -26,8 +26,8 @@ use sycl_mlir_repro::runtime::{
 };
 use sycl_mlir_repro::sim::{
     decode_kernel, run_plan_graph_report, AccessorVal, CostModel, DataVec, Device, Engine,
-    ExecLimits, ExecStats, FaultPlan, FaultSite, KernelPlan, LaunchDag, LaunchStatus, MemoryPool,
-    NdRangeSpec, PlanLaunch, RtValue,
+    ExecLimits, ExecStats, FaultPlan, FaultSite, JitMode, KernelPlan, LaunchDag, LaunchStatus,
+    MemoryPool, NdRangeSpec, PlanLaunch, RtValue,
 };
 use sycl_mlir_repro::sycl::device as sdev;
 use sycl_mlir_repro::sycl::types::AccessMode;
@@ -365,6 +365,13 @@ fn configs() -> Vec<(&'static str, Device)> {
         ("level-t4", plan(4, true, false)),
         ("overlap-t1", plan(1, true, true)),
         ("overlap-t4", plan(4, true, true)),
+        // The closure-JIT axis: both extremes of the third execution
+        // tier must observe every graph identically to the bytecode
+        // loop (the unpinned configs above follow the environment, so
+        // these two keep the differential meaningful either way).
+        ("jit-always-t1", plan(1, true, true).jit(JitMode::Always)),
+        ("jit-always-t4", plan(4, true, true).jit(JitMode::Always)),
+        ("jit-off-t4", plan(4, true, true).jit(JitMode::Off)),
     ]
 }
 
@@ -622,21 +629,25 @@ fn fault_shape_run(
             plan,
             args: &args_a,
             nd,
+            jit: None,
         },
         PlanLaunch {
             plan,
             args: &args_a,
             nd,
+            jit: None,
         },
         PlanLaunch {
             plan,
             args: &args_a,
             nd,
+            jit: None,
         },
         PlanLaunch {
             plan,
             args: &args_b,
             nd,
+            jit: None,
         },
     ];
     let dag = LaunchDag::from_edges(4, &[(0, 1), (1, 2)]);
