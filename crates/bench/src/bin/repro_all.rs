@@ -1,7 +1,9 @@
 //! Runs the complete evaluation of §VIII: Fig. 2, Fig. 3, the stencil
-//! table, and the overall geo-means the paper quotes ("Overall, on
+//! table, the reduction/scan and sparse indirect-index extension
+//! families, and the overall geo-means the paper quotes ("Overall, on
 //! SYCL-Bench, SYCL-MLIR achieves a geo.-mean speedup of 1.18x over DPC++
-//! and also performs better than AdaptiveCpp (geo.-mean 1.13x)").
+//! and also performs better than AdaptiveCpp (geo.-mean 1.13x)") — the
+//! geo-means cover SYCL-Bench (Fig. 2 + Fig. 3) only.
 //!
 //! `--json` switches the output to a machine-readable summary (one JSON
 //! object on stdout: per-workload cycles/validity/wall-milliseconds plus
@@ -18,6 +20,8 @@ fn category_tag(c: Category) -> &'static str {
         Category::SingleKernel => "single-kernel",
         Category::Polybench => "polybench",
         Category::Stencil => "stencil",
+        Category::Reduction => "reduction",
+        Category::Sparse => "sparse",
     }
 }
 
@@ -34,7 +38,7 @@ fn json_f64(v: f64) -> String {
 fn main() {
     sycl_mlir_bench::handle_help_flag(
         "repro_all",
-        "the complete evaluation of §VIII: Fig. 2, Fig. 3, stencils and overall geo-means",
+        "the complete evaluation of §VIII: Fig. 2, Fig. 3, stencils, the reduction/scan and sparse extension families, and overall geo-means",
     );
     let t0 = std::time::Instant::now();
     let quick = quick_flag();
@@ -79,6 +83,8 @@ fn main() {
             Category::SingleKernel,
             Category::Polybench,
             Category::Stencil,
+            Category::Reduction,
+            Category::Sparse,
         ] {
             for w in sycl_mlir_benchsuite::all_workloads() {
                 if w.category != category || !w.in_figure {
@@ -93,7 +99,7 @@ fn main() {
         let mut sm = Vec::new();
         let mut acpp = Vec::new();
         for (category, r, _) in &entries {
-            if *category == Category::Stencil {
+            if !matches!(category, Category::SingleKernel | Category::Polybench) {
                 continue; // geo-means cover SYCL-Bench (Fig. 2 + Fig. 3)
             }
             let s = r.speedup(2);
@@ -144,10 +150,14 @@ fn main() {
     let fig2 = run_category_on(Category::SingleKernel, quick, &device);
     let fig3 = run_category_on(Category::Polybench, quick, &device);
     let stencil = run_category_on(Category::Stencil, quick, &device);
+    let reduction = run_category_on(Category::Reduction, quick, &device);
+    let sparse = run_category_on(Category::Sparse, quick, &device);
 
     print_table("Fig. 2: single-kernel benchmarks", &fig2);
     print_table("Fig. 3: polybench benchmarks", &fig3);
     print_table("Stencil workloads", &stencil);
+    print_table("Reduction/scan workloads (extension)", &reduction);
+    print_table("Sparse indirect-index workloads (extension)", &sparse);
 
     // Overall SYCL-Bench geo-means (Fig. 2 + Fig. 3 categories).
     let mut sm = Vec::new();

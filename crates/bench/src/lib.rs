@@ -105,6 +105,10 @@ pub fn quick_size(w: &WorkloadSpec) -> i64 {
         Category::Polybench => (w.scaled_size / 2).max(32),
         Category::SingleKernel => (w.scaled_size / 4).max(64),
         Category::Stencil => w.scaled_size,
+        // Group-aligned so the dynamic-nd-range variants keep their
+        // zero-extent tail launch in quick mode too.
+        Category::Reduction => (w.scaled_size / 4).max(64),
+        Category::Sparse => (w.scaled_size / 4).max(64),
     }
 }
 

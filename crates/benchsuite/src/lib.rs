@@ -5,7 +5,11 @@
 //! * [`polybench`] — the 14 Fig. 3 workloads (plus 3D Convolution, which
 //!   §VIII sizes but does not plot);
 //! * [`single_kernel`] — the 20 Fig. 2 workload variants;
-//! * [`stencil`] — the four oneAPI-samples stencil workloads.
+//! * [`stencil`] — the four oneAPI-samples stencil workloads;
+//! * [`reduction`] — tree reduction, segmented scan and a work-group-local
+//!   dot product (collective access patterns, §VIII);
+//! * [`sparse`] — CSR SpMV, gather/scatter and a segmented histogram
+//!   (indirect-index access patterns).
 //!
 //! Each workload builds a complete application: device kernels through the
 //! frontend, recorded command groups, generated host IR, input data
@@ -14,7 +18,9 @@
 //! the scaling) — the *shape* of each kernel is preserved exactly.
 
 pub mod polybench;
+pub mod reduction;
 pub mod single_kernel;
+pub mod sparse;
 pub mod stencil;
 
 use sycl_mlir_core::FlowKind;
@@ -24,12 +30,15 @@ use sycl_mlir_sim::{Device, ExecStats};
 
 pub use sycl_mlir_sim::Engine;
 
-/// Evaluation category (§VIII).
+/// Evaluation category (§VIII, plus this reproduction's extension
+/// families: reduction/scan and sparse indirect-index).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Category {
     Polybench,
     SingleKernel,
     Stencil,
+    Reduction,
+    Sparse,
 }
 
 /// Host-side validation callback of a workload: checks the runtime's
@@ -62,11 +71,14 @@ pub struct WorkloadSpec {
     pub build: fn(i64) -> App,
 }
 
-/// Every workload, in figure order.
+/// Every workload, in figure order (the extension families follow the
+/// paper's three categories).
 pub fn all_workloads() -> Vec<WorkloadSpec> {
     let mut v = single_kernel::workloads();
     v.extend(polybench::workloads());
     v.extend(stencil::workloads());
+    v.extend(reduction::workloads());
+    v.extend(sparse::workloads());
     v
 }
 
@@ -238,9 +250,19 @@ mod tests {
             .iter()
             .filter(|w| w.category == Category::Stencil)
             .count();
+        let reductions = all
+            .iter()
+            .filter(|w| w.category == Category::Reduction)
+            .count();
+        let sparse = all
+            .iter()
+            .filter(|w| w.category == Category::Sparse)
+            .count();
         assert_eq!(fig2, 20, "Fig. 2 has 20 bars");
         assert_eq!(fig3, 14, "Fig. 3 has 14 benchmarks");
         assert_eq!(stencils, 4, "four stencil workloads");
+        assert_eq!(reductions, 4, "four reduction/scan workloads");
+        assert_eq!(sparse, 5, "five sparse indirect-index workloads");
         // AdaptiveCpp stencil failures per §VIII prose.
         let acpp_fail: Vec<&str> = all
             .iter()

@@ -1261,6 +1261,311 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
                 Ok(Ctl::Next)
             })
         }
+        Instr::AccLoadQuad {
+            dst,
+            acc,
+            comps,
+            comps_rank,
+            id,
+            view,
+            cst,
+            cst_val,
+            site,
+        } => {
+            let (dst, acc, comps, comps_rank, site) = (*dst, *acc, *comps, *comps_rank, *site);
+            let (id, view, cst, cst_val) = (*id, *view, *cst, *cst_val);
+            boxed(move |ln| {
+                // The VecCtor arm, keeping the id register write…
+                ln.ctx.stats.arith_ops += 1;
+                let mut data = [0_i64; 3];
+                for d in 0..comps_rank as usize {
+                    data[d] = ln.int(comps[d], "id component")?;
+                }
+                ln.set(
+                    id,
+                    RtValue::Vec(VecVal {
+                        data,
+                        rank: comps_rank as u32,
+                    }),
+                );
+                // …the AccSubscript arm, keeping the view write…
+                ln.ctx.stats.arith_ops += 1;
+                let a = ln
+                    .reg(acc)
+                    .as_accessor()
+                    .ok_or_else(|| err("subscript of non-accessor"))?;
+                let idv = ln.reg(id).as_vec().ok_or_else(|| err("subscript id"))?;
+                let offset = a.linearize(&idv.data[..idv.rank as usize]);
+                let space = if a.constant {
+                    Space::Constant
+                } else {
+                    Space::Global
+                };
+                ln.set(
+                    view,
+                    RtValue::MemRef(MemRefVal {
+                        mem: a.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    }),
+                );
+                // …the Const arm (no stats, like the Const opcode)…
+                ln.set(cst, cst_val);
+                // …then the Load arm, re-reading the kept registers so
+                // even degenerate register aliasing replays exactly.
+                let mr = ln
+                    .reg(view)
+                    .as_memref()
+                    .ok_or_else(|| err("load from non-memref"))?;
+                let i0 = ln.int(cst, "non-int index")?;
+                let addr = mr.linearize(&[i0]);
+                ln.mem_event(site, &mr, addr)?;
+                let v = ln.ctx.pool.load(mr.mem, addr);
+                ln.set(dst, v);
+                Ok(Ctl::Next)
+            })
+        }
+        Instr::AccStoreQuad {
+            val,
+            acc,
+            comps,
+            comps_rank,
+            id,
+            view,
+            cst,
+            cst_val,
+            site,
+        } => {
+            let (val, acc, comps, comps_rank, site) = (*val, *acc, *comps, *comps_rank, *site);
+            let (id, view, cst, cst_val) = (*id, *view, *cst, *cst_val);
+            boxed(move |ln| {
+                // VecCtor, AccSubscript and Const arms with all three
+                // register writes kept, then the Store arm — identical
+                // sequencing to the unfused quad.
+                ln.ctx.stats.arith_ops += 1;
+                let mut data = [0_i64; 3];
+                for d in 0..comps_rank as usize {
+                    data[d] = ln.int(comps[d], "id component")?;
+                }
+                ln.set(
+                    id,
+                    RtValue::Vec(VecVal {
+                        data,
+                        rank: comps_rank as u32,
+                    }),
+                );
+                ln.ctx.stats.arith_ops += 1;
+                let a = ln
+                    .reg(acc)
+                    .as_accessor()
+                    .ok_or_else(|| err("subscript of non-accessor"))?;
+                let idv = ln.reg(id).as_vec().ok_or_else(|| err("subscript id"))?;
+                let offset = a.linearize(&idv.data[..idv.rank as usize]);
+                let space = if a.constant {
+                    Space::Constant
+                } else {
+                    Space::Global
+                };
+                ln.set(
+                    view,
+                    RtValue::MemRef(MemRefVal {
+                        mem: a.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    }),
+                );
+                ln.set(cst, cst_val);
+                let v = ln.reg(val);
+                let mr = ln
+                    .reg(view)
+                    .as_memref()
+                    .ok_or_else(|| err("store to non-memref"))?;
+                let i0 = ln.int(cst, "non-int index")?;
+                let addr = mr.linearize(&[i0]);
+                ln.mem_event(site, &mr, addr)?;
+                ln.ctx.pool.store(mr.mem, addr, v);
+                Ok(Ctl::Next)
+            })
+        }
+        Instr::AccLoadIdxWt {
+            dst,
+            acc,
+            comps,
+            comps_rank,
+            id,
+            view,
+            idx,
+            rank,
+            site,
+        } => {
+            let (dst, acc, comps, comps_rank) = (*dst, *acc, *comps, *comps_rank);
+            let (id, view, idx, rank, site) = (*id, *view, *idx, *rank, *site);
+            boxed(move |ln| {
+                // The VecCtor arm with the id write kept…
+                ln.ctx.stats.arith_ops += 1;
+                let mut data = [0_i64; 3];
+                for d in 0..comps_rank as usize {
+                    data[d] = ln.int(comps[d], "id component")?;
+                }
+                ln.set(
+                    id,
+                    RtValue::Vec(VecVal {
+                        data,
+                        rank: comps_rank as u32,
+                    }),
+                );
+                // …the AccSubscript arm with the view write kept (a later
+                // store re-reads it — that is why this variant exists)…
+                ln.ctx.stats.arith_ops += 1;
+                let a = ln
+                    .reg(acc)
+                    .as_accessor()
+                    .ok_or_else(|| err("subscript of non-accessor"))?;
+                let idv = ln.reg(id).as_vec().ok_or_else(|| err("subscript id"))?;
+                let offset = a.linearize(&idv.data[..idv.rank as usize]);
+                let space = if a.constant {
+                    Space::Constant
+                } else {
+                    Space::Global
+                };
+                ln.set(
+                    view,
+                    RtValue::MemRef(MemRefVal {
+                        mem: a.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    }),
+                );
+                // …then the Load arm through the kept view.
+                let mr = ln
+                    .reg(view)
+                    .as_memref()
+                    .ok_or_else(|| err("load from non-memref"))?;
+                let mut indices = [0_i64; 3];
+                for d in 0..rank as usize {
+                    indices[d] = ln.int(idx[d], "non-int index")?;
+                }
+                let addr = mr.linearize(&indices[..rank as usize]);
+                ln.mem_event(site, &mr, addr)?;
+                let v = ln.ctx.pool.load(mr.mem, addr);
+                ln.set(dst, v);
+                Ok(Ctl::Next)
+            })
+        }
+        Instr::AccStoreIdxWt {
+            val,
+            acc,
+            comps,
+            comps_rank,
+            id,
+            view,
+            idx,
+            rank,
+            site,
+        } => {
+            let (val, acc, comps, comps_rank) = (*val, *acc, *comps, *comps_rank);
+            let (id, view, idx, rank, site) = (*id, *view, *idx, *rank, *site);
+            boxed(move |ln| {
+                // VecCtor and AccSubscript arms with both writes kept,
+                // then the Store arm.
+                ln.ctx.stats.arith_ops += 1;
+                let mut data = [0_i64; 3];
+                for d in 0..comps_rank as usize {
+                    data[d] = ln.int(comps[d], "id component")?;
+                }
+                ln.set(
+                    id,
+                    RtValue::Vec(VecVal {
+                        data,
+                        rank: comps_rank as u32,
+                    }),
+                );
+                ln.ctx.stats.arith_ops += 1;
+                let a = ln
+                    .reg(acc)
+                    .as_accessor()
+                    .ok_or_else(|| err("subscript of non-accessor"))?;
+                let idv = ln.reg(id).as_vec().ok_or_else(|| err("subscript id"))?;
+                let offset = a.linearize(&idv.data[..idv.rank as usize]);
+                let space = if a.constant {
+                    Space::Constant
+                } else {
+                    Space::Global
+                };
+                ln.set(
+                    view,
+                    RtValue::MemRef(MemRefVal {
+                        mem: a.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    }),
+                );
+                let v = ln.reg(val);
+                let mr = ln
+                    .reg(view)
+                    .as_memref()
+                    .ok_or_else(|| err("store to non-memref"))?;
+                let mut indices = [0_i64; 3];
+                for d in 0..rank as usize {
+                    indices[d] = ln.int(idx[d], "non-int index")?;
+                }
+                let addr = mr.linearize(&indices[..rank as usize]);
+                ln.mem_event(site, &mr, addr)?;
+                ln.ctx.pool.store(mr.mem, addr, v);
+                Ok(Ctl::Next)
+            })
+        }
+        Instr::StoreBinFloatWt {
+            op,
+            l,
+            r,
+            f32_out,
+            t,
+            mem,
+            idx,
+            rank,
+            site,
+        } => {
+            let (op, l, r, f32_out, t) = (*op, *l, *r, *f32_out, *t);
+            let (mem, idx, rank, site) = (*mem, *idx, *rank, *site);
+            boxed(move |ln| {
+                // The BinFloat arm, keeping the accumulator write…
+                ln.ctx.stats.arith_ops += 1;
+                let lv = ln.flt(l, "float op on non-float")?;
+                let rv = ln.flt(r, "float op on non-float")?;
+                let out = match op {
+                    FloatBin::Add => lv + rv,
+                    FloatBin::Sub => lv - rv,
+                    FloatBin::Mul => lv * rv,
+                    FloatBin::Div => lv / rv,
+                    FloatBin::Min => lv.min(rv),
+                    FloatBin::Max => lv.max(rv),
+                };
+                ln.set(t, narrow(out, f32_out));
+                // …then the Store arm re-reading the kept value.
+                let v = ln.reg(t);
+                let mr = ln
+                    .reg(mem)
+                    .as_memref()
+                    .ok_or_else(|| err("store to non-memref"))?;
+                let mut indices = [0_i64; 3];
+                for d in 0..rank as usize {
+                    indices[d] = ln.int(idx[d], "non-int index")?;
+                }
+                let addr = mr.linearize(&indices[..rank as usize]);
+                ln.mem_event(site, &mr, addr)?;
+                ln.ctx.pool.store(mr.mem, addr, v);
+                Ok(Ctl::Next)
+            })
+        }
     }
 }
 

@@ -686,6 +686,133 @@ pub enum Instr {
         /// Memory-access site id (keys the coalescing tracker).
         site: u32,
     },
+    /// Fused `VecCtor` + `AccSubscript` + `Const` + `Load` quad
+    /// ([`fuse_plan`]): the **un-CSE'd** accessor addressing chain the
+    /// DPC++ flow emits — the builder's zero constant of `load_via_id`
+    /// still interposed between the subscript and the load. A
+    /// **write-through** superinstruction: the id vector, the subscript
+    /// view and the constant keep their register writes (later
+    /// un-deduplicated chains re-read them), so the rewrite needs no
+    /// read-count legality — replaying all four arms in order is
+    /// bit-identical by construction.
+    AccLoadQuad {
+        /// Destination register.
+        dst: Reg,
+        /// Accessor operand register.
+        acc: Reg,
+        /// Id component registers (first `comps_rank` entries are valid).
+        comps: [Reg; 3],
+        /// Number of valid id components.
+        comps_rank: u8,
+        /// Write-through register of the id vector.
+        id: Reg,
+        /// Write-through register of the subscript view.
+        view: Reg,
+        /// Write-through register of the index constant.
+        cst: Reg,
+        /// The index constant's value (checked int at run time, exactly
+        /// as the elided `Load` would).
+        cst_val: RtValue,
+        /// Memory-access site id (keys the coalescing tracker).
+        site: u32,
+    },
+    /// Store-side twin of [`Instr::AccLoadQuad`]: fused `VecCtor` +
+    /// `AccSubscript` + `Const` + `Store`, with all three intermediate
+    /// register writes kept.
+    AccStoreQuad {
+        /// Value register to store.
+        val: Reg,
+        /// Accessor operand register.
+        acc: Reg,
+        /// Id component registers (first `comps_rank` entries are valid).
+        comps: [Reg; 3],
+        /// Number of valid id components.
+        comps_rank: u8,
+        /// Write-through register of the id vector.
+        id: Reg,
+        /// Write-through register of the subscript view.
+        view: Reg,
+        /// Write-through register of the index constant.
+        cst: Reg,
+        /// The index constant's value.
+        cst_val: RtValue,
+        /// Memory-access site id (keys the coalescing tracker).
+        site: u32,
+    },
+    /// Write-through variant of [`Instr::AccLoadIndexed`]
+    /// ([`fuse_plan`]): fuses the `VecCtor` + `AccSubscript` + `Load`
+    /// chain even when the id vector or the view is multiply-read (GEMM's
+    /// `c[i,j]` view feeds both its load and its store) by keeping both
+    /// intermediate register writes. Later readers observe exactly the
+    /// unfused register-file state.
+    AccLoadIdxWt {
+        /// Destination register.
+        dst: Reg,
+        /// Accessor operand register.
+        acc: Reg,
+        /// Id component registers (first `comps_rank` entries are valid).
+        comps: [Reg; 3],
+        /// Number of valid id components.
+        comps_rank: u8,
+        /// Write-through register of the id vector.
+        id: Reg,
+        /// Write-through register of the subscript view.
+        view: Reg,
+        /// Index operand registers of the load (first `rank` entries are
+        /// valid).
+        idx: [Reg; 3],
+        /// Number of valid indices.
+        rank: u8,
+        /// Memory-access site id (keys the coalescing tracker).
+        site: u32,
+    },
+    /// Store-side twin of [`Instr::AccLoadIdxWt`]: fused `VecCtor` +
+    /// `AccSubscript` + `Store` with both intermediate register writes
+    /// kept.
+    AccStoreIdxWt {
+        /// Value register to store.
+        val: Reg,
+        /// Accessor operand register.
+        acc: Reg,
+        /// Id component registers (first `comps_rank` entries are valid).
+        comps: [Reg; 3],
+        /// Number of valid id components.
+        comps_rank: u8,
+        /// Write-through register of the id vector.
+        id: Reg,
+        /// Write-through register of the subscript view.
+        view: Reg,
+        /// Index operand registers of the store (first `rank` entries are
+        /// valid).
+        idx: [Reg; 3],
+        /// Number of valid indices.
+        rank: u8,
+        /// Memory-access site id (keys the coalescing tracker).
+        site: u32,
+    },
+    /// Write-through variant of [`Instr::StoreBinFloat`]
+    /// ([`fuse_plan`]): fuses the float-op + `Store` pair even when the
+    /// accumulated value is multiply-read by keeping its register write.
+    StoreBinFloatWt {
+        /// Operation selector.
+        op: FloatBin,
+        /// Left operand register.
+        l: Reg,
+        /// Right operand register.
+        r: Reg,
+        /// Whether the stored value narrows to `f32`.
+        f32_out: bool,
+        /// Write-through register of the accumulated value.
+        t: Reg,
+        /// Memref operand register.
+        mem: Reg,
+        /// Index operand registers (first `rank` entries are valid).
+        idx: [Reg; 3],
+        /// Number of valid indices.
+        rank: u8,
+        /// Memory-access site id (keys the coalescing tracker).
+        site: u32,
+    },
 }
 
 impl Instr {
@@ -779,6 +906,15 @@ impl Instr {
                 FloatBin::Mul => "mulf.store",
                 _ => "binf.store",
             },
+            Instr::AccLoadQuad { .. } => "acc.load.quad",
+            Instr::AccStoreQuad { .. } => "acc.store.quad",
+            Instr::AccLoadIdxWt { .. } => "acc.load.idx.wt",
+            Instr::AccStoreIdxWt { .. } => "acc.store.idx.wt",
+            Instr::StoreBinFloatWt { op, .. } => match op {
+                FloatBin::Add => "addf.store.wt",
+                FloatBin::Mul => "mulf.store.wt",
+                _ => "binf.store.wt",
+            },
         }
     }
 
@@ -791,10 +927,14 @@ impl Instr {
             Instr::LoadBinFloat { .. }
             | Instr::MulAddInt { .. }
             | Instr::CmpIBranch { .. }
-            | Instr::StoreBinFloat { .. } => 2,
+            | Instr::StoreBinFloat { .. }
+            | Instr::StoreBinFloatWt { .. } => 2,
             Instr::AccLoadIndexed { .. }
             | Instr::AccStoreIndexed { .. }
-            | Instr::LoadMulAddF { .. } => 3,
+            | Instr::LoadMulAddF { .. }
+            | Instr::AccLoadIdxWt { .. }
+            | Instr::AccStoreIdxWt { .. } => 3,
+            Instr::AccLoadQuad { .. } | Instr::AccStoreQuad { .. } => 4,
             _ => 1,
         }
     }
@@ -835,10 +975,18 @@ impl Instr {
             | Instr::LoadBinFloat { dst, .. }
             | Instr::MulAddInt { dst, .. }
             | Instr::AccLoadIndexed { dst, .. }
+            // Write-through fusions also define their kept intermediates,
+            // but the profile's adjacency filter only cares about the
+            // primary result.
+            | Instr::AccLoadQuad { dst, .. }
+            | Instr::AccLoadIdxWt { dst, .. }
             | Instr::LoadMulAddF { dst, .. } => Some(*dst),
             Instr::Store { .. }
             | Instr::AccStoreIndexed { .. }
+            | Instr::AccStoreQuad { .. }
+            | Instr::AccStoreIdxWt { .. }
             | Instr::StoreBinFloat { .. }
+            | Instr::StoreBinFloatWt { .. }
             | Instr::Barrier
             | Instr::Jump { .. }
             | Instr::BranchIfFalse { .. }
@@ -915,6 +1063,14 @@ pub struct KernelPlan {
     /// superinstructions by [`fuse_plan`] (`0` for a freshly decoded,
     /// unfused plan).
     pub fused_chains: u32,
+    /// Number of four-instruction un-CSE'd accessor chains rewritten
+    /// into [`Instr::AccLoadQuad`] / [`Instr::AccStoreQuad`] by
+    /// [`fuse_plan`].
+    pub fused_quads: u32,
+    /// Number of write-through windows ([`Instr::AccLoadIdxWt`],
+    /// [`Instr::AccStoreIdxWt`], [`Instr::StoreBinFloatWt`]) rewritten
+    /// by [`fuse_plan`].
+    pub fused_wt: u32,
 }
 
 /// [`KernelPlan`] must stay `Send + Sync`: the parallel work-group
@@ -1151,6 +1307,8 @@ pub fn decode_kernel(m: &Module, kernel: OpId) -> Result<KernelPlan, DecodeError
         local_sites: d.local_sites,
         fused_pairs: 0,
         fused_chains: 0,
+        fused_quads: 0,
+        fused_wt: 0,
     })
 }
 
@@ -1849,6 +2007,69 @@ fn for_each_read(instr: &Instr, mut f: impl FnMut(Reg)) {
             f(*mem);
             idx[..*rank as usize].iter().for_each(|&r| f(r));
         }
+        // Write-through fusions: the kept intermediate registers (id,
+        // view, constant, accumulated value) are *defined* by the
+        // superinstruction, not consumed from outside — only operands
+        // external to the elided window count as reads.
+        Instr::AccLoadQuad {
+            acc,
+            comps,
+            comps_rank,
+            ..
+        } => {
+            f(*acc);
+            comps[..*comps_rank as usize].iter().for_each(|&r| f(r));
+        }
+        Instr::AccStoreQuad {
+            val,
+            acc,
+            comps,
+            comps_rank,
+            ..
+        } => {
+            f(*val);
+            f(*acc);
+            comps[..*comps_rank as usize].iter().for_each(|&r| f(r));
+        }
+        Instr::AccLoadIdxWt {
+            acc,
+            comps,
+            comps_rank,
+            idx,
+            rank,
+            ..
+        } => {
+            f(*acc);
+            comps[..*comps_rank as usize].iter().for_each(|&r| f(r));
+            idx[..*rank as usize].iter().for_each(|&r| f(r));
+        }
+        Instr::AccStoreIdxWt {
+            val,
+            acc,
+            comps,
+            comps_rank,
+            idx,
+            rank,
+            ..
+        } => {
+            f(*val);
+            f(*acc);
+            comps[..*comps_rank as usize].iter().for_each(|&r| f(r));
+            idx[..*rank as usize].iter().for_each(|&r| f(r));
+        }
+        Instr::StoreBinFloatWt {
+            l,
+            r,
+            mem,
+            idx,
+            rank,
+            ..
+        } => {
+            f(*l);
+            f(*r);
+            f(*mem);
+            idx[..*rank as usize].iter().for_each(|&r| f(r));
+        }
         Instr::VecCtor { comps, rank, .. } => {
             comps[..*rank as usize].iter().for_each(|&r| f(r));
         }
@@ -1957,6 +2178,15 @@ impl FuseLevel {
 ///   entering mid-window would skip the elided producers. (The head may
 ///   be a target: the whole window maps to the superinstruction's pc.)
 ///
+/// **Write-through windows** relax the first condition: a pattern that
+/// *keeps* every intermediate's register write (the `*.wt` variants and
+/// the un-CSE'd quads) replays the window's arms in exact order against
+/// the real register file, so later readers of a multiply-read
+/// intermediate observe precisely the unfused state — only the
+/// mid-window jump-target rule remains. The elided form is still
+/// preferred where legal (one fewer register write per dispatch); the
+/// write-through form fires exactly where read counts used to block.
+///
 /// **Overlap resolution.** Competing patterns are resolved
 /// deterministically: the scan is greedy left-to-right, and at each
 /// position the longest window wins (a chain beats the pair sharing its
@@ -2002,21 +2232,224 @@ impl ChainMatcher {
     }
 
     /// The longest legal rewrite starting at `i`, with the window length
-    /// it consumes. Chains are tried before pairs so overlapping
-    /// patterns (e.g. `Load`+`mulf` inside `Load`+`mulf`+`addf`) resolve
-    /// deterministically to the longer fusion.
+    /// it consumes. Longer windows are tried before shorter ones so
+    /// overlapping patterns (e.g. `Load`+`mulf` inside
+    /// `Load`+`mulf`+`addf`) resolve deterministically to the longer
+    /// fusion, and at equal length the elided form is tried before the
+    /// write-through form. The quad and write-through patterns are
+    /// [`FuseLevel::Chains`]-only: `Pairs` stays the frozen PR 3 rule
+    /// set.
     fn fuse_at(&self, code: &[Instr], i: usize) -> Option<(Instr, usize)> {
-        if self.chains && self.window_open(i, 3, code.len()) {
-            if let Some(s) = self.try_chain(&code[i], &code[i + 1], &code[i + 2]) {
-                return Some((s, 3));
+        if self.chains {
+            if self.window_open(i, 4, code.len()) {
+                if let Some(s) = self.try_quad(&code[i], &code[i + 1], &code[i + 2], &code[i + 3]) {
+                    return Some((s, 4));
+                }
+            }
+            if self.window_open(i, 3, code.len()) {
+                if let Some(s) = self.try_chain(&code[i], &code[i + 1], &code[i + 2]) {
+                    return Some((s, 3));
+                }
+                if let Some(s) = self.try_chain_wt(&code[i], &code[i + 1], &code[i + 2]) {
+                    return Some((s, 3));
+                }
             }
         }
         if self.window_open(i, 2, code.len()) {
             if let Some(s) = self.try_pair(&code[i], &code[i + 1]) {
                 return Some((s, 2));
             }
+            if self.chains {
+                if let Some(s) = self.try_pair_wt(&code[i], &code[i + 1]) {
+                    return Some((s, 2));
+                }
+            }
         }
         None
+    }
+
+    /// Four-instruction un-CSE'd accessor chains: the builder's zero
+    /// constant of `load_via_id`/`store_via_id` interposed between the
+    /// subscript and the memory op, as the DPC++ flow (no CSE across the
+    /// chain) emits it. Write-through — legality is shape plus window
+    /// openness, never read counts.
+    fn try_quad(&self, a: &Instr, b: &Instr, c: &Instr, d: &Instr) -> Option<Instr> {
+        match (a, b, c, d) {
+            // id = vec.ctor comps; view = acc[id]; cst = const;
+            // dst = load view[cst].
+            (
+                Instr::VecCtor {
+                    dst: id,
+                    comps,
+                    rank: comps_rank,
+                },
+                Instr::AccSubscript {
+                    dst: view,
+                    acc,
+                    id: sub_id,
+                },
+                Instr::Const { dst: cst, val },
+                Instr::Load {
+                    dst,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                },
+            ) if sub_id == id && mem == view && *rank == 1 && idx[0] == *cst => {
+                Some(Instr::AccLoadQuad {
+                    dst: *dst,
+                    acc: *acc,
+                    comps: *comps,
+                    comps_rank: *comps_rank,
+                    id: *id,
+                    view: *view,
+                    cst: *cst,
+                    cst_val: *val,
+                    site: *site,
+                })
+            }
+            // id = vec.ctor comps; view = acc[id]; cst = const;
+            // store val, view[cst].
+            (
+                Instr::VecCtor {
+                    dst: id,
+                    comps,
+                    rank: comps_rank,
+                },
+                Instr::AccSubscript {
+                    dst: view,
+                    acc,
+                    id: sub_id,
+                },
+                Instr::Const { dst: cst, val },
+                Instr::Store {
+                    val: sval,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                },
+            ) if sub_id == id && mem == view && *rank == 1 && idx[0] == *cst => {
+                Some(Instr::AccStoreQuad {
+                    val: *sval,
+                    acc: *acc,
+                    comps: *comps,
+                    comps_rank: *comps_rank,
+                    id: *id,
+                    view: *view,
+                    cst: *cst,
+                    cst_val: *val,
+                    site: *site,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Write-through accessor chains: same shapes as the elided
+    /// `AccLoadIndexed`/`AccStoreIndexed` patterns but with the id and
+    /// view register writes kept, so a multiply-read intermediate (GEMM's
+    /// shared `c[i,j]` view) no longer blocks fusion. Tried only after
+    /// [`ChainMatcher::try_chain`] declined, so the elided form wins
+    /// where both are legal.
+    fn try_chain_wt(&self, a: &Instr, b: &Instr, c: &Instr) -> Option<Instr> {
+        match (a, b, c) {
+            (
+                Instr::VecCtor {
+                    dst: id,
+                    comps,
+                    rank: comps_rank,
+                },
+                Instr::AccSubscript {
+                    dst: view,
+                    acc,
+                    id: sub_id,
+                },
+                Instr::Load {
+                    dst,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                },
+            ) if sub_id == id && mem == view => Some(Instr::AccLoadIdxWt {
+                dst: *dst,
+                acc: *acc,
+                comps: *comps,
+                comps_rank: *comps_rank,
+                id: *id,
+                view: *view,
+                idx: *idx,
+                rank: *rank,
+                site: *site,
+            }),
+            (
+                Instr::VecCtor {
+                    dst: id,
+                    comps,
+                    rank: comps_rank,
+                },
+                Instr::AccSubscript {
+                    dst: view,
+                    acc,
+                    id: sub_id,
+                },
+                Instr::Store {
+                    val,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                },
+            ) if sub_id == id && mem == view => Some(Instr::AccStoreIdxWt {
+                val: *val,
+                acc: *acc,
+                comps: *comps,
+                comps_rank: *comps_rank,
+                id: *id,
+                view: *view,
+                idx: *idx,
+                rank: *rank,
+                site: *site,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Write-through accumulate-store pair: float op + `Store` where the
+    /// accumulated value is multiply-read, keeping its register write.
+    /// Tried only after [`ChainMatcher::try_pair`] declined.
+    fn try_pair_wt(&self, a: &Instr, b: &Instr) -> Option<Instr> {
+        match (a, b) {
+            (
+                Instr::BinFloat {
+                    op,
+                    dst: t,
+                    l,
+                    r,
+                    f32_out,
+                },
+                Instr::Store {
+                    val,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                },
+            ) if val == t => Some(Instr::StoreBinFloatWt {
+                op: *op,
+                l: *l,
+                r: *r,
+                f32_out: *f32_out,
+                t: *t,
+                mem: *mem,
+                idx: *idx,
+                rank: *rank,
+                site: *site,
+            }),
+            _ => None,
+        }
     }
 
     /// Three-instruction chain patterns.
@@ -2225,10 +2658,20 @@ impl ChainMatcher {
     }
 }
 
-/// Fuse one function's code in place; returns `(pairs, chains)` rewritten.
-fn fuse_func(f: &mut FuncPlan, level: FuseLevel) -> (u32, u32) {
+/// Per-function fusion tally, split by rewrite class.
+#[derive(Clone, Copy, Default)]
+struct FuseCounts {
+    pairs: u32,
+    chains: u32,
+    quads: u32,
+    wt: u32,
+}
+
+/// Fuse one function's code in place; returns the per-class tally.
+fn fuse_func(f: &mut FuncPlan, level: FuseLevel) -> FuseCounts {
+    let mut counts = FuseCounts::default();
     if level == FuseLevel::Off {
-        return (0, 0);
+        return counts;
     }
     let matcher = ChainMatcher::new(f, level);
     let n = f.code.len();
@@ -2236,19 +2679,21 @@ fn fuse_func(f: &mut FuncPlan, level: FuseLevel) -> (u32, u32) {
     // Old pc -> new pc (every member of a fused window maps to the
     // superinstruction, so jumps to the window head land on the fusion).
     let mut remap = vec![0_u32; n + 1];
-    let (mut pairs, mut chains) = (0_u32, 0_u32);
     let mut i = 0;
     while i < n {
         if let Some((superinstr, w)) = matcher.fuse_at(&f.code, i) {
             for k in 0..w {
                 remap[i + k] = new_code.len() as u32;
             }
-            new_code.push(superinstr);
-            if w == 3 {
-                chains += 1;
-            } else {
-                pairs += 1;
+            match superinstr {
+                Instr::AccLoadQuad { .. } | Instr::AccStoreQuad { .. } => counts.quads += 1,
+                Instr::AccLoadIdxWt { .. }
+                | Instr::AccStoreIdxWt { .. }
+                | Instr::StoreBinFloatWt { .. } => counts.wt += 1,
+                _ if w == 3 => counts.chains += 1,
+                _ => counts.pairs += 1,
             }
+            new_code.push(superinstr);
             i += w;
             continue;
         }
@@ -2261,7 +2706,7 @@ fn fuse_func(f: &mut FuncPlan, level: FuseLevel) -> (u32, u32) {
         for_each_target(instr, |t| *t = remap[*t as usize]);
     }
     f.code = new_code;
-    (pairs, chains)
+    counts
 }
 
 /// Peephole-fuse hot instruction windows of a decoded plan into
@@ -2276,23 +2721,35 @@ fn fuse_func(f: &mut FuncPlan, level: FuseLevel) -> (u32, u32) {
 /// **indexed accessor load/store** (`vec.ctor` + `acc.subscript` +
 /// `Load`/`Store` — the accessor addressing chain the `--profile` mode
 /// ranks first by ~2x) and the **fused multiply-accumulate** (`Load` +
-/// `mulf` + `addf`). Every superinstruction bumps the same statistics
+/// `mulf` + `addf`). On top of these, `Chains` enables the
+/// **write-through** rewrites (`ChainMatcher::try_quad`,
+/// `try_chain_wt`, `try_pair_wt`): the un-CSE'd four-instruction
+/// accessor chain (`vec.ctor` + `acc.subscript` + `Const` +
+/// `Load`/`Store`, the DPC++-flow shape) and variants of the accessor
+/// chain and accumulate-store pair that keep every intermediate's
+/// register write, firing where multiply-read intermediates block the
+/// elided forms. Every superinstruction bumps the same statistics
 /// counters and raises the same errors, in the same order, as the window
 /// it replaces, so fused execution is bit-identical to unfused execution
 /// — the differential suite holds both against the tree-walk reference.
 ///
 /// Returns the number of windows fused (also recorded in
-/// [`KernelPlan::fused_pairs`] / [`KernelPlan::fused_chains`]).
+/// [`KernelPlan::fused_pairs`] / [`KernelPlan::fused_chains`] /
+/// [`KernelPlan::fused_quads`] / [`KernelPlan::fused_wt`]).
 pub fn fuse_plan_with(plan: &mut KernelPlan, level: FuseLevel) -> u32 {
-    let (mut pairs, mut chains) = (0, 0);
+    let mut total = FuseCounts::default();
     for f in &mut plan.funcs {
-        let (p, c) = fuse_func(f, level);
-        pairs += p;
-        chains += c;
+        let c = fuse_func(f, level);
+        total.pairs += c.pairs;
+        total.chains += c.chains;
+        total.quads += c.quads;
+        total.wt += c.wt;
     }
-    plan.fused_pairs += pairs;
-    plan.fused_chains += chains;
-    pairs + chains
+    plan.fused_pairs += total.pairs;
+    plan.fused_chains += total.chains;
+    plan.fused_quads += total.quads;
+    plan.fused_wt += total.wt;
+    total.pairs + total.chains + total.quads + total.wt
 }
 
 /// [`fuse_plan_with`] at the default [`FuseLevel::Chains`].
@@ -3176,6 +3633,256 @@ impl PlanWorkItem {
                     self.mem_event(ctx, *site, &mr, addr)?;
                     ctx.pool.store(mr.mem, addr, v);
                 }
+                Instr::AccLoadQuad {
+                    dst,
+                    acc,
+                    comps,
+                    comps_rank,
+                    id,
+                    view,
+                    cst,
+                    cst_val,
+                    site,
+                } => {
+                    // The VecCtor arm, keeping the id register write…
+                    ctx.stats.arith_ops += 1;
+                    let mut data = [0_i64; 3];
+                    for d in 0..*comps_rank as usize {
+                        data[d] = int!(comps[d], "id component");
+                    }
+                    reg!(*id) = RtValue::Vec(VecVal {
+                        data,
+                        rank: *comps_rank as u32,
+                    });
+                    // …the AccSubscript arm, keeping the view write…
+                    ctx.stats.arith_ops += 1;
+                    let a = reg!(*acc)
+                        .as_accessor()
+                        .ok_or_else(|| err("subscript of non-accessor"))?;
+                    let idv = reg!(*id).as_vec().ok_or_else(|| err("subscript id"))?;
+                    let offset = a.linearize(&idv.data[..idv.rank as usize]);
+                    let space = if a.constant {
+                        Space::Constant
+                    } else {
+                        Space::Global
+                    };
+                    reg!(*view) = RtValue::MemRef(MemRefVal {
+                        mem: a.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    });
+                    // …the Const arm (no stats, like the Const opcode)…
+                    reg!(*cst) = *cst_val;
+                    // …then the Load arm, re-reading the kept registers so
+                    // even degenerate register aliasing replays exactly.
+                    let mr = reg!(*view)
+                        .as_memref()
+                        .ok_or_else(|| err("load from non-memref"))?;
+                    let i0 = int!(*cst, "non-int index");
+                    let addr = mr.linearize(&[i0]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    reg!(*dst) = ctx.pool.load(mr.mem, addr);
+                }
+                Instr::AccStoreQuad {
+                    val,
+                    acc,
+                    comps,
+                    comps_rank,
+                    id,
+                    view,
+                    cst,
+                    cst_val,
+                    site,
+                } => {
+                    // VecCtor, AccSubscript and Const arms with all three
+                    // register writes kept, then the Store arm — identical
+                    // sequencing to the unfused quad.
+                    ctx.stats.arith_ops += 1;
+                    let mut data = [0_i64; 3];
+                    for d in 0..*comps_rank as usize {
+                        data[d] = int!(comps[d], "id component");
+                    }
+                    reg!(*id) = RtValue::Vec(VecVal {
+                        data,
+                        rank: *comps_rank as u32,
+                    });
+                    ctx.stats.arith_ops += 1;
+                    let a = reg!(*acc)
+                        .as_accessor()
+                        .ok_or_else(|| err("subscript of non-accessor"))?;
+                    let idv = reg!(*id).as_vec().ok_or_else(|| err("subscript id"))?;
+                    let offset = a.linearize(&idv.data[..idv.rank as usize]);
+                    let space = if a.constant {
+                        Space::Constant
+                    } else {
+                        Space::Global
+                    };
+                    reg!(*view) = RtValue::MemRef(MemRefVal {
+                        mem: a.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    });
+                    reg!(*cst) = *cst_val;
+                    let v = reg!(*val);
+                    let mr = reg!(*view)
+                        .as_memref()
+                        .ok_or_else(|| err("store to non-memref"))?;
+                    let i0 = int!(*cst, "non-int index");
+                    let addr = mr.linearize(&[i0]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    ctx.pool.store(mr.mem, addr, v);
+                }
+                Instr::AccLoadIdxWt {
+                    dst,
+                    acc,
+                    comps,
+                    comps_rank,
+                    id,
+                    view,
+                    idx,
+                    rank,
+                    site,
+                } => {
+                    // The VecCtor arm with the id write kept…
+                    ctx.stats.arith_ops += 1;
+                    let mut data = [0_i64; 3];
+                    for d in 0..*comps_rank as usize {
+                        data[d] = int!(comps[d], "id component");
+                    }
+                    reg!(*id) = RtValue::Vec(VecVal {
+                        data,
+                        rank: *comps_rank as u32,
+                    });
+                    // …the AccSubscript arm with the view write kept (a
+                    // later store re-reads it — that is why this variant
+                    // exists)…
+                    ctx.stats.arith_ops += 1;
+                    let a = reg!(*acc)
+                        .as_accessor()
+                        .ok_or_else(|| err("subscript of non-accessor"))?;
+                    let idv = reg!(*id).as_vec().ok_or_else(|| err("subscript id"))?;
+                    let offset = a.linearize(&idv.data[..idv.rank as usize]);
+                    let space = if a.constant {
+                        Space::Constant
+                    } else {
+                        Space::Global
+                    };
+                    reg!(*view) = RtValue::MemRef(MemRefVal {
+                        mem: a.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    });
+                    // …then the Load arm through the kept view.
+                    let mr = reg!(*view)
+                        .as_memref()
+                        .ok_or_else(|| err("load from non-memref"))?;
+                    let mut indices = [0_i64; 3];
+                    for d in 0..*rank as usize {
+                        indices[d] = int!(idx[d], "non-int index");
+                    }
+                    let addr = mr.linearize(&indices[..*rank as usize]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    reg!(*dst) = ctx.pool.load(mr.mem, addr);
+                }
+                Instr::AccStoreIdxWt {
+                    val,
+                    acc,
+                    comps,
+                    comps_rank,
+                    id,
+                    view,
+                    idx,
+                    rank,
+                    site,
+                } => {
+                    // VecCtor and AccSubscript arms with both writes kept,
+                    // then the Store arm.
+                    ctx.stats.arith_ops += 1;
+                    let mut data = [0_i64; 3];
+                    for d in 0..*comps_rank as usize {
+                        data[d] = int!(comps[d], "id component");
+                    }
+                    reg!(*id) = RtValue::Vec(VecVal {
+                        data,
+                        rank: *comps_rank as u32,
+                    });
+                    ctx.stats.arith_ops += 1;
+                    let a = reg!(*acc)
+                        .as_accessor()
+                        .ok_or_else(|| err("subscript of non-accessor"))?;
+                    let idv = reg!(*id).as_vec().ok_or_else(|| err("subscript id"))?;
+                    let offset = a.linearize(&idv.data[..idv.rank as usize]);
+                    let space = if a.constant {
+                        Space::Constant
+                    } else {
+                        Space::Global
+                    };
+                    reg!(*view) = RtValue::MemRef(MemRefVal {
+                        mem: a.mem,
+                        offset,
+                        shape: [-1, 1, 1],
+                        rank: 1,
+                        space,
+                    });
+                    let v = reg!(*val);
+                    let mr = reg!(*view)
+                        .as_memref()
+                        .ok_or_else(|| err("store to non-memref"))?;
+                    let mut indices = [0_i64; 3];
+                    for d in 0..*rank as usize {
+                        indices[d] = int!(idx[d], "non-int index");
+                    }
+                    let addr = mr.linearize(&indices[..*rank as usize]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    ctx.pool.store(mr.mem, addr, v);
+                }
+                Instr::StoreBinFloatWt {
+                    op,
+                    l,
+                    r,
+                    f32_out,
+                    t,
+                    mem,
+                    idx,
+                    rank,
+                    site,
+                } => {
+                    // The BinFloat arm, keeping the accumulator write…
+                    ctx.stats.arith_ops += 1;
+                    let lv = flt!(*l, "float op on non-float");
+                    let rv = flt!(*r, "float op on non-float");
+                    let out = match op {
+                        FloatBin::Add => lv + rv,
+                        FloatBin::Sub => lv - rv,
+                        FloatBin::Mul => lv * rv,
+                        FloatBin::Div => lv / rv,
+                        FloatBin::Min => lv.min(rv),
+                        FloatBin::Max => lv.max(rv),
+                    };
+                    reg!(*t) = if *f32_out {
+                        RtValue::F32(out as f32)
+                    } else {
+                        RtValue::F64(out)
+                    };
+                    // …then the Store arm re-reading the kept value.
+                    let v = reg!(*t);
+                    let mr = reg!(*mem)
+                        .as_memref()
+                        .ok_or_else(|| err("store to non-memref"))?;
+                    let mut indices = [0_i64; 3];
+                    for d in 0..*rank as usize {
+                        indices[d] = int!(idx[d], "non-int index");
+                    }
+                    let addr = mr.linearize(&indices[..*rank as usize]);
+                    self.mem_event(ctx, *site, &mr, addr)?;
+                    ctx.pool.store(mr.mem, addr, v);
+                }
                 Instr::Return { vals } => {
                     if frame == 0 {
                         self.finished = true;
@@ -3394,17 +4101,28 @@ mod tests {
             (stats, bufs)
         }
 
-        /// Decode twice, fuse one copy, assert the expected fusion count,
-        /// and hold fused execution bit-identical to unfused at 1 and 4
+        /// Decode twice, fuse one copy, assert the expected pair and
+        /// quad counts (the builder's un-CSE'd accessor chains fuse as
+        /// `AccLoadQuad`/`AccStoreQuad` four-instruction windows), and
+        /// hold fused execution bit-identical to unfused at 1 and 4
         /// workers.
-        fn assert_fused_identical(m: &Module, func: OpId, n_accs: usize, expect_fused: u32) {
+        fn assert_fused_identical(
+            m: &Module,
+            func: OpId,
+            n_accs: usize,
+            expect_pairs: u32,
+            expect_quads: u32,
+        ) {
             let n = 64_i64;
             let nd = NdRangeSpec::d1(n, 16);
             let unfused = decode_kernel(m, func).expect("decodes");
             let mut fused = decode_kernel(m, func).expect("decodes");
-            let pairs = fuse_plan(&mut fused);
-            assert_eq!(pairs, expect_fused, "unexpected fusion count");
-            assert_eq!(fused.fused_pairs, expect_fused);
+            let total = fuse_plan(&mut fused);
+            assert_eq!(fused.fused_pairs, expect_pairs, "pair count");
+            assert_eq!(fused.fused_quads, expect_quads, "quad count");
+            assert_eq!(fused.fused_chains, 0, "no adjacent chains pre-CSE");
+            assert_eq!(fused.fused_wt, 0, "no write-through windows pre-CSE");
+            assert_eq!(total, expect_pairs + expect_quads, "total fusion count");
             let (ref_stats, ref_bufs) = run_plan(&unfused, n_accs, n, nd, 1);
             for threads in [1_usize, 4] {
                 let (stats, bufs) = run_plan(&fused, n_accs, n, nd, threads);
@@ -3417,8 +4135,10 @@ mod tests {
             plan.funcs.iter().any(|f| f.code.iter().any(&pred))
         }
 
-        /// `a[i] += b[i]`: the second load feeds the `addf` directly — the
-        /// load-accumulate pattern.
+        /// `a[i] += b[i]`: every un-CSE'd accessor chain (`vec.ctor` +
+        /// `acc.subscript` + `Const` + `Load`/`Store`) fuses as a quad —
+        /// including the load whose result feeds the `addf`, which the
+        /// quad consumes before the load-accumulate pair can see it.
         #[test]
         fn load_accumulate_fuses_and_executes_identically() {
             let c = ctx();
@@ -3430,15 +4150,16 @@ mod tests {
                 let sum = arith::addf(b, va, vb);
                 sdev::store_via_id(b, sum, accs[0], &[gid]);
             });
-            assert_fused_identical(&m, func, 2, 1);
+            assert_fused_identical(&m, func, 2, 0, 3);
             let mut fused = decode_kernel(&m, func).unwrap();
             fuse_plan(&mut fused);
             assert!(has_instr(&fused, |i| matches!(
                 i,
-                Instr::LoadBinFloat {
-                    op: FloatBin::Add,
-                    ..
-                }
+                Instr::AccLoadQuad { .. }
+            )));
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccStoreQuad { .. }
             )));
         }
 
@@ -3462,17 +4183,11 @@ mod tests {
                 let wrapped = arith::remsi(b, idx, n);
                 sdev::store_via_id(b, prod, accs[0], &[wrapped]);
             });
-            assert_fused_identical(&m, func, 2, 2);
+            // Three accessor quads plus the muli+addi pair.
+            assert_fused_identical(&m, func, 2, 1, 3);
             let mut fused = decode_kernel(&m, func).unwrap();
             fuse_plan(&mut fused);
             assert!(has_instr(&fused, |i| matches!(i, Instr::MulAddInt { .. })));
-            assert!(has_instr(&fused, |i| matches!(
-                i,
-                Instr::LoadBinFloat {
-                    op: FloatBin::Mul,
-                    ..
-                }
-            )));
         }
 
         /// `if (i % 2 == 0) a[i] += b[i]`: the `cmpi` feeding the `scf.if`
@@ -3502,16 +4217,17 @@ mod tests {
                     |_| vec![],
                 );
             });
-            // cmpi+branch, plus the load-accumulate inside the then-arm.
-            assert_fused_identical(&m, func, 2, 2);
+            // cmpi+branch, plus the three accessor quads in the then-arm.
+            assert_fused_identical(&m, func, 2, 1, 3);
             let mut fused = decode_kernel(&m, func).unwrap();
             fuse_plan(&mut fused);
             assert!(has_instr(&fused, |i| matches!(i, Instr::CmpIBranch { .. })));
         }
 
-        /// Near miss: `v + v` — the loaded value appears as *both*
-        /// operands, so eliding the intermediate register would be wrong
-        /// (and the read count is 2). Must not fuse.
+        /// Near miss: `v + v` — the loaded value appears as *both* `addf`
+        /// operands, so the load-accumulate pair must not fire. The
+        /// addressing quads still do (they keep the loaded register's
+        /// write, so the double read is unaffected).
         #[test]
         fn self_accumulate_does_not_fuse() {
             let c = ctx();
@@ -3522,7 +4238,7 @@ mod tests {
                 let doubled = arith::addf(b, v, v);
                 sdev::store_via_id(b, doubled, accs[0], &[gid]);
             });
-            assert_fused_identical(&m, func, 1, 0);
+            assert_fused_identical(&m, func, 1, 0, 2);
         }
 
         /// Near miss: the loaded value is consumed twice (once by the
@@ -3540,7 +4256,7 @@ mod tests {
                 let scaled = arith::mulf(b, sum, vb); // …and here
                 sdev::store_via_id(b, scaled, accs[0], &[gid]);
             });
-            assert_fused_identical(&m, func, 2, 0);
+            assert_fused_identical(&m, func, 2, 0, 3);
         }
 
         /// Near miss: `subf` is not in the fusable set (only the
@@ -3557,7 +4273,7 @@ mod tests {
                 let diff = arith::subf(b, va, vb);
                 sdev::store_via_id(b, diff, accs[0], &[gid]);
             });
-            assert_fused_identical(&m, func, 2, 0);
+            assert_fused_identical(&m, func, 2, 0, 3);
         }
 
         /// Near miss: the accumulated value of an `addf` feeding a store
@@ -3575,10 +4291,10 @@ mod tests {
                 let sum = arith::addf(b, va, vb);
                 sdev::store_via_id(b, sum, accs[1], &[gid]);
             });
-            // Only the load-accumulate pair fires (the second load feeds
-            // the addf directly); the store chain is broken up by the
-            // interposed zero constant of `store_via_id`.
-            assert_fused_identical(&m, func, 2, 1);
+            // All three accessor chains fuse as quads (the interposed
+            // zero constant of `store_via_id` is the quad's third
+            // member); the addf between load and store quads stays alone.
+            assert_fused_identical(&m, func, 2, 0, 3);
         }
 
         /// Near miss: a `muli` whose product is read twice must keep its
@@ -3600,7 +4316,7 @@ mod tests {
                 let v = sdev::load_via_id(b, accs[0], &[gid]);
                 sdev::store_via_id(b, v, accs[0], &[wrapped]);
             });
-            assert_fused_identical(&m, func, 1, 0);
+            assert_fused_identical(&m, func, 1, 0, 2);
         }
     }
 
@@ -3634,6 +4350,8 @@ mod tests {
                 local_sites: 0,
                 fused_pairs: 0,
                 fused_chains: 0,
+                fused_quads: 0,
+                fused_wt: 0,
             }
         }
 
@@ -3677,17 +4395,22 @@ mod tests {
             (stats, a.clone(), b.clone())
         }
 
-        /// Fuse a clone, assert the expected pair/chain counts, and hold
-        /// fused execution bit-identical to unfused at 1 and 4 workers.
+        /// Fuse a clone, assert the expected per-class fusion counts,
+        /// and hold fused execution bit-identical to unfused at 1 and 4
+        /// workers.
         fn assert_chain_identical(
             plan: &KernelPlan,
             expect_pairs: u32,
             expect_chains: u32,
+            expect_quads: u32,
+            expect_wt: u32,
         ) -> KernelPlan {
             let mut fused = plan.clone();
             fuse_plan(&mut fused);
             assert_eq!(fused.fused_pairs, expect_pairs, "pair count");
             assert_eq!(fused.fused_chains, expect_chains, "chain count");
+            assert_eq!(fused.fused_quads, expect_quads, "quad count");
+            assert_eq!(fused.fused_wt, expect_wt, "write-through count");
             let (ref_stats, ref_a, ref_b) = run(plan, 1);
             for threads in [1_usize, 4] {
                 let (stats, a, b) = run(&fused, threads);
@@ -3773,7 +4496,7 @@ mod tests {
                 },
             ];
             let plan = plan_of(code, 11, 2);
-            let fused = assert_chain_identical(&plan, 0, 2);
+            let fused = assert_chain_identical(&plan, 0, 2, 0, 0);
             assert!(has_instr(&fused, |i| matches!(
                 i,
                 Instr::AccLoadIndexed { .. }
@@ -3842,7 +4565,7 @@ mod tests {
                 },
             ];
             let plan = plan_of(code, 8, 2);
-            let fused = assert_chain_identical(&plan, 0, 1);
+            let fused = assert_chain_identical(&plan, 0, 1, 0, 0);
             assert!(has_instr(&fused, |i| matches!(
                 i,
                 Instr::LoadMulAddF { .. }
@@ -3904,7 +4627,7 @@ mod tests {
                 },
             ];
             let plan = plan_of(code, 8, 2);
-            let fused = assert_chain_identical(&plan, 1, 0);
+            let fused = assert_chain_identical(&plan, 1, 0, 0, 0);
             assert!(has_instr(&fused, |i| matches!(
                 i,
                 Instr::LoadBinFloat {
@@ -3914,12 +4637,13 @@ mod tests {
             )));
         }
 
-        /// Near miss: an `acc.subscript` result read by *both* a load and
-        /// a later store (the post-CSE `c[i] = c[i] + x` shape) is not
-        /// elidable — no indexed-access chain may fire, but execution
-        /// stays identical.
+        /// An `acc.subscript` result read by *both* a load and a later
+        /// store (the post-CSE `c[i] = c[i] + x` shape — GEMM's shared
+        /// view) blocks the *elided* chain, but the write-through variant
+        /// fires in its place: the view keeps its register write, so the
+        /// trailing store still reads it — bit-identically.
         #[test]
-        fn multiply_read_subscript_view_blocks_the_chain() {
+        fn multiply_read_subscript_view_takes_the_write_through_chain() {
             let code = vec![
                 Instr::ItemQuery {
                     dst: 2,
@@ -3972,9 +4696,14 @@ mod tests {
                 },
             ];
             let plan = plan_of(code, 9, 2);
-            // Only the load-accumulate and accumulate-store shapes
-            // compete over (Load, addf, Store); Load+addf wins first.
-            let fused = assert_chain_identical(&plan, 1, 0);
+            // The load chain fuses write-through (the multiply-read view
+            // keeps its register); the trailing addf+store still fuses as
+            // the ordinary accumulate-store pair.
+            let fused = assert_chain_identical(&plan, 1, 0, 0, 1);
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccLoadIdxWt { .. }
+            )));
             assert!(!has_instr(&fused, |i| matches!(
                 i,
                 Instr::AccLoadIndexed { .. } | Instr::AccStoreIndexed { .. }
@@ -4062,18 +4791,348 @@ mod tests {
             // maps to the superinstruction's pc — this exercises target
             // remapping across a multi-instruction window), and so does
             // the cmpi+branch pair.
-            let fused = assert_chain_identical(&build(true), 1, 1);
+            let fused = assert_chain_identical(&build(true), 1, 1, 0, 0);
             assert!(has_instr(&fused, |i| matches!(
                 i,
                 Instr::AccLoadIndexed { .. }
             )));
 
-            // Branching to the subscript (a non-head member): the chain
-            // must not fire — only the cmpi+branch pair does.
-            let fused = assert_chain_identical(&build(false), 1, 0);
+            // Branching to the subscript (a non-head member): neither the
+            // elided chain nor its write-through variant may fire (the
+            // mid-window jump-target rule applies to both) — only the
+            // cmpi+branch pair does.
+            let fused = assert_chain_identical(&build(false), 1, 0, 0, 0);
             assert!(!has_instr(&fused, |i| matches!(
                 i,
-                Instr::AccLoadIndexed { .. }
+                Instr::AccLoadIndexed { .. } | Instr::AccLoadIdxWt { .. }
+            )));
+        }
+
+        /// The un-CSE'd DPC++-flow load shape: `vec.ctor` +
+        /// `acc.subscript` + `Const 0` + `Load`, with the id vector and
+        /// the constant *re-read by a later store chain* (exactly the
+        /// compiled `a[i] = a[i] + 1` layout). The quad fuses
+        /// write-through, so the later readers observe the kept register
+        /// writes — bit-identically.
+        #[test]
+        fn un_csed_load_quad_fuses_and_writes_through() {
+            let code = vec![
+                Instr::ItemQuery {
+                    dst: 2,
+                    q: ItemQ::GlobalId,
+                    dim: DimSrc::Const(0),
+                },
+                Instr::Const {
+                    dst: 4,
+                    val: RtValue::F32(1.0),
+                },
+                // Load chain, un-CSE'd: id, view, const, load.
+                Instr::VecCtor {
+                    dst: 5,
+                    comps: [2, 0, 0],
+                    rank: 1,
+                },
+                Instr::AccSubscript {
+                    dst: 6,
+                    acc: 0,
+                    id: 5,
+                },
+                Instr::Const {
+                    dst: 7,
+                    val: RtValue::Int(0),
+                },
+                Instr::Load {
+                    dst: 8,
+                    mem: 6,
+                    idx: [7, 0, 0],
+                    rank: 1,
+                    site: 0,
+                },
+                Instr::BinFloat {
+                    op: FloatBin::Add,
+                    dst: 9,
+                    l: 8,
+                    r: 4,
+                    f32_out: true,
+                },
+                // Store chain, partially CSE'd: re-reads id 5 and const 7
+                // — the quad's write-through registers.
+                Instr::AccSubscript {
+                    dst: 10,
+                    acc: 0,
+                    id: 5,
+                },
+                Instr::Store {
+                    val: 9,
+                    mem: 10,
+                    idx: [7, 0, 0],
+                    rank: 1,
+                    site: 1,
+                },
+                Instr::Return {
+                    vals: Vec::new().into_boxed_slice(),
+                },
+            ];
+            let plan = plan_of(code, 11, 2);
+            let fused = assert_chain_identical(&plan, 0, 0, 1, 0);
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccLoadQuad { .. }
+            )));
+        }
+
+        /// The un-CSE'd store quad: `vec.ctor` + `acc.subscript` +
+        /// `Const 0` + `Store` fuses as `AccStoreQuad` even when every
+        /// intermediate is single-read (the quad is tried before any
+        /// shorter window).
+        #[test]
+        fn un_csed_store_quad_fuses() {
+            let code = vec![
+                Instr::ItemQuery {
+                    dst: 2,
+                    q: ItemQ::GlobalId,
+                    dim: DimSrc::Const(0),
+                },
+                Instr::Const {
+                    dst: 4,
+                    val: RtValue::F32(2.5),
+                },
+                Instr::VecCtor {
+                    dst: 5,
+                    comps: [2, 0, 0],
+                    rank: 1,
+                },
+                Instr::AccSubscript {
+                    dst: 6,
+                    acc: 0,
+                    id: 5,
+                },
+                Instr::Const {
+                    dst: 7,
+                    val: RtValue::Int(0),
+                },
+                Instr::Store {
+                    val: 4,
+                    mem: 6,
+                    idx: [7, 0, 0],
+                    rank: 1,
+                    site: 0,
+                },
+                Instr::Return {
+                    vals: Vec::new().into_boxed_slice(),
+                },
+            ];
+            let plan = plan_of(code, 8, 1);
+            let fused = assert_chain_identical(&plan, 0, 0, 1, 0);
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccStoreQuad { .. }
+            )));
+        }
+
+        /// Quad near miss: the interposed constant must *feed the load's
+        /// index* — a constant defining an unrelated register between the
+        /// subscript and the load blocks the quad (and everything else).
+        #[test]
+        fn unrelated_const_blocks_the_quad() {
+            let code = vec![
+                Instr::ItemQuery {
+                    dst: 2,
+                    q: ItemQ::GlobalId,
+                    dim: DimSrc::Const(0),
+                },
+                Instr::Const {
+                    dst: 3,
+                    val: RtValue::Int(0),
+                },
+                Instr::VecCtor {
+                    dst: 5,
+                    comps: [2, 0, 0],
+                    rank: 1,
+                },
+                Instr::AccSubscript {
+                    dst: 6,
+                    acc: 0,
+                    id: 5,
+                },
+                // Unrelated constant: the load indexes with r3, not r7.
+                Instr::Const {
+                    dst: 7,
+                    val: RtValue::Int(1),
+                },
+                Instr::Load {
+                    dst: 8,
+                    mem: 6,
+                    idx: [3, 0, 0],
+                    rank: 1,
+                    site: 0,
+                },
+                Instr::Store {
+                    val: 8,
+                    mem: 1,
+                    idx: [7, 0, 0],
+                    rank: 1,
+                    site: 1,
+                },
+                Instr::Return {
+                    vals: Vec::new().into_boxed_slice(),
+                },
+            ];
+            let plan = plan_of(code, 9, 2);
+            let fused = assert_chain_identical(&plan, 0, 0, 0, 0);
+            assert!(!has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccLoadQuad { .. } | Instr::AccLoadIdxWt { .. }
+            )));
+        }
+
+        /// A store chain whose id vector is re-read by a second subscript
+        /// (a CSE'd id feeding two accessor writes) fuses write-through:
+        /// `AccStoreIdxWt` keeps the id register, and the second —
+        /// unfuseable — subscript still reads it.
+        #[test]
+        fn multiply_read_id_takes_the_write_through_store_chain() {
+            let code = vec![
+                Instr::ItemQuery {
+                    dst: 2,
+                    q: ItemQ::GlobalId,
+                    dim: DimSrc::Const(0),
+                },
+                Instr::Const {
+                    dst: 3,
+                    val: RtValue::Int(0),
+                },
+                Instr::Const {
+                    dst: 4,
+                    val: RtValue::F32(1.5),
+                },
+                // First store chain: adjacent, id multiply-read.
+                Instr::VecCtor {
+                    dst: 5,
+                    comps: [2, 0, 0],
+                    rank: 1,
+                },
+                Instr::AccSubscript {
+                    dst: 6,
+                    acc: 0,
+                    id: 5,
+                },
+                Instr::Store {
+                    val: 4,
+                    mem: 6,
+                    idx: [3, 0, 0],
+                    rank: 1,
+                    site: 0,
+                },
+                // Second chain re-reads id 5; its own members stay
+                // unfused (no vec.ctor head).
+                Instr::AccSubscript {
+                    dst: 7,
+                    acc: 0,
+                    id: 5,
+                },
+                Instr::Load {
+                    dst: 8,
+                    mem: 7,
+                    idx: [3, 0, 0],
+                    rank: 1,
+                    site: 1,
+                },
+                Instr::Store {
+                    val: 8,
+                    mem: 1,
+                    idx: [2, 0, 0],
+                    rank: 1,
+                    site: 2,
+                },
+                Instr::Return {
+                    vals: Vec::new().into_boxed_slice(),
+                },
+            ];
+            let plan = plan_of(code, 9, 3);
+            let fused = assert_chain_identical(&plan, 0, 0, 0, 1);
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccStoreIdxWt { .. }
+            )));
+        }
+
+        /// A float op whose result feeds an adjacent store *and* a later
+        /// reader fuses write-through: `StoreBinFloatWt` keeps the
+        /// accumulator register (`subf` keeps the pair out of the
+        /// elided `LoadBinFloat` path).
+        #[test]
+        fn multiply_read_accumulator_takes_the_write_through_pair() {
+            let code = vec![
+                Instr::ItemQuery {
+                    dst: 2,
+                    q: ItemQ::GlobalId,
+                    dim: DimSrc::Const(0),
+                },
+                Instr::Const {
+                    dst: 3,
+                    val: RtValue::Int(0),
+                },
+                Instr::Const {
+                    dst: 4,
+                    val: RtValue::F32(0.25),
+                },
+                Instr::Load {
+                    dst: 5,
+                    mem: 1,
+                    idx: [2, 0, 0],
+                    rank: 1,
+                    site: 0,
+                },
+                // subf: not in the load-accumulate pair's op set, so the
+                // load stays; the result is read by both stores below.
+                Instr::BinFloat {
+                    op: FloatBin::Sub,
+                    dst: 6,
+                    l: 5,
+                    r: 4,
+                    f32_out: true,
+                },
+                Instr::Store {
+                    val: 6,
+                    mem: 1,
+                    idx: [2, 0, 0],
+                    rank: 1,
+                    site: 1,
+                },
+                // Second read of the accumulator: the kept write feeds it.
+                Instr::VecCtor {
+                    dst: 7,
+                    comps: [2, 0, 0],
+                    rank: 1,
+                },
+                Instr::AccSubscript {
+                    dst: 8,
+                    acc: 0,
+                    id: 7,
+                },
+                Instr::Store {
+                    val: 6,
+                    mem: 8,
+                    idx: [3, 0, 0],
+                    rank: 1,
+                    site: 2,
+                },
+                Instr::Return {
+                    vals: Vec::new().into_boxed_slice(),
+                },
+            ];
+            let plan = plan_of(code, 9, 3);
+            // The subf+store fuses write-through; the trailing accessor
+            // chain fuses as the ordinary elided store chain.
+            let fused = assert_chain_identical(&plan, 0, 1, 0, 1);
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::StoreBinFloatWt { .. }
+            )));
+            assert!(has_instr(&fused, |i| matches!(
+                i,
+                Instr::AccStoreIndexed { .. }
             )));
         }
     }

@@ -1861,6 +1861,8 @@ mod tests {
             local_sites: 0,
             fused_pairs: 0,
             fused_chains: 0,
+            fused_quads: 0,
+            fused_wt: 0,
         }
     }
 

@@ -95,6 +95,22 @@ if ! diff -u "$tmp/t4.tables" "$tmp/nooverlap.tables"; then
 fi
 echo "tables bit-identical across thread counts, fuse levels and overlap modes"
 
+# Every workload family must actually be in the sweep — a registry
+# regression that dropped a category would keep all the diffs above
+# green while silently shrinking coverage.
+for family in \
+  "Fig. 2: single-kernel benchmarks" \
+  "Fig. 3: polybench benchmarks" \
+  "Stencil workloads" \
+  "Reduction/scan workloads (extension)" \
+  "Sparse indirect-index workloads (extension)"; do
+  if ! grep -qF "$family" "$tmp/t1.out"; then
+    echo "FAIL: bench smoke is missing the '$family' table" >&2
+    exit 1
+  fi
+done
+echo "all five workload families present in the sweep"
+
 # ----------------------------------------------------------------------
 # JIT determinism smoke: the closure-JIT tier (on by default, so the runs
 # above already exercise it) must be bit-identical to the bytecode loop.
@@ -185,6 +201,14 @@ done | sort -n | sed -n 2p)
 median=${median_run% *}
 median_idx=${median_run#* }
 cp "$tmp/bench-$median_idx.json" "$artifacts/bench-summary.json"
+# The perf gate slices by family via the per-workload category tag; all
+# five must be present in the summary it records.
+for tag in single-kernel polybench stencil reduction sparse; do
+  if ! grep -qF "\"category\": \"$tag\"" "$artifacts/bench-summary.json"; then
+    echo "FAIL: --json summary has no \"$tag\" workloads" >&2
+    exit 1
+  fi
+done
 baseline=$(sed -n 's/.*"wall_time_seconds": \([0-9.]*\).*/\1/p' scripts/bench-baseline.json)
 echo "median wall time: ${median}s (baseline: ${baseline}s)"
 

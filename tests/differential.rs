@@ -368,55 +368,99 @@ mod engine_differential {
     fn fusion_fires_on_benchsuite_kernels() {
         use sycl_mlir_repro::sim::fuse_plan;
         use sycl_mlir_repro::sim::plan::Instr;
-        let mut total_pairs = 0_u32;
-        let mut total_chains = 0_u32;
-        let mut indexed_access = 0_u32;
-        let mut fma = 0_u32;
-        for w in all_workloads() {
-            let app = (w.build)(quick_size(&w));
-            let program = sycl_mlir_repro::runtime::compile_program(FlowKind::SyclMlir, app.module)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let m = &program.module;
-            let device_mod = m
-                .lookup_symbol(m.top(), sycl_mlir_repro::sycl::DEVICE_MODULE_SYM)
-                .expect("device module");
-            for f in m.funcs_in(device_mod) {
-                if sycl_mlir_repro::sycl::device::is_kernel(m, f) {
-                    if let Ok(mut plan) = decode_kernel(m, f) {
-                        fuse_plan(&mut plan);
-                        total_pairs += plan.fused_pairs;
-                        total_chains += plan.fused_chains;
-                        for func in &plan.funcs {
-                            for instr in &func.code {
-                                match instr {
-                                    Instr::AccLoadIndexed { .. }
-                                    | Instr::AccStoreIndexed { .. } => indexed_access += 1,
-                                    Instr::LoadMulAddF { .. } => fma += 1,
-                                    _ => {}
+        #[derive(Default)]
+        struct Counts {
+            pairs: u32,
+            chains: u32,
+            quads: u32,
+            wt: u32,
+            indexed_access: u32,
+            fma: u32,
+        }
+        let mut per_flow = Vec::new();
+        for kind in [FlowKind::Dpcpp, FlowKind::AdaptiveCpp, FlowKind::SyclMlir] {
+            let mut c = Counts::default();
+            for w in all_workloads() {
+                if kind == FlowKind::AdaptiveCpp && w.acpp_fails {
+                    continue;
+                }
+                let app = (w.build)(quick_size(&w));
+                let program = sycl_mlir_repro::runtime::compile_program(kind, app.module)
+                    .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, kind.name()));
+                let m = &program.module;
+                let device_mod = m
+                    .lookup_symbol(m.top(), sycl_mlir_repro::sycl::DEVICE_MODULE_SYM)
+                    .expect("device module");
+                for f in m.funcs_in(device_mod) {
+                    if sycl_mlir_repro::sycl::device::is_kernel(m, f) {
+                        if let Ok(mut plan) = decode_kernel(m, f) {
+                            fuse_plan(&mut plan);
+                            c.pairs += plan.fused_pairs;
+                            c.chains += plan.fused_chains;
+                            c.quads += plan.fused_quads;
+                            c.wt += plan.fused_wt;
+                            for func in &plan.funcs {
+                                for instr in &func.code {
+                                    match instr {
+                                        Instr::AccLoadIndexed { .. }
+                                        | Instr::AccStoreIndexed { .. } => c.indexed_access += 1,
+                                        Instr::LoadMulAddF { .. } => c.fma += 1,
+                                        _ => {}
+                                    }
                                 }
                             }
                         }
                     }
                 }
             }
+            println!(
+                "benchsuite fusion [{}]: {} pairs, {} chains, {} quads, {} write-through \
+                 ({} indexed-access, {} load-fma)",
+                kind.name(),
+                c.pairs,
+                c.chains,
+                c.quads,
+                c.wt,
+                c.indexed_access,
+                c.fma
+            );
+            per_flow.push((kind, c));
         }
+        for (kind, c) in &per_flow {
+            assert!(
+                c.pairs > 20,
+                "[{}] expected the pair patterns to fire broadly, got {}",
+                kind.name(),
+                c.pairs
+            );
+            assert!(
+                c.chains > 20,
+                "[{}] expected chain fusion to fire broadly, got {}",
+                kind.name(),
+                c.chains
+            );
+            assert!(
+                c.indexed_access > 10,
+                "[{}] expected indexed accessor loads/stores, got {}",
+                kind.name(),
+                c.indexed_access
+            );
+        }
+        // The un-CSE'd DPC++-flow shape (`vec.ctor + subscript + const 0
+        // + load/store`) must fuse through the 4-instruction window —
+        // this was the silent coverage gap.
+        let dpcpp = &per_flow[0].1;
         assert!(
-            total_pairs > 20,
-            "expected the pair patterns to fire broadly across the suite, got {total_pairs}"
+            dpcpp.quads > 0,
+            "expected the un-CSE'd DPC++-flow quad chain to fire, got {}",
+            dpcpp.quads
         );
+        // Multiply-read subscript views (GEMM's `c[i,j]` read+write) must
+        // take the write-through chains instead of blocking.
+        let total_wt: u32 = per_flow.iter().map(|(_, c)| c.wt).sum();
         assert!(
-            total_chains > 20,
-            "expected chain fusion to fire broadly across the suite, got {total_chains}"
-        );
-        assert!(
-            indexed_access > 10,
-            "expected indexed accessor loads/stores across the suite, got {indexed_access}"
-        );
-        // The FMA chain only appears where a non-accessor load feeds a
-        // mulf feeding an addf; it exists in the suite but is rarer.
-        println!(
-            "benchsuite fusion: {total_pairs} pairs, {total_chains} chains \
-             ({indexed_access} indexed-access, {fma} load-fma)"
+            total_wt > 0,
+            "expected write-through chains to fire somewhere in the suite"
         );
     }
 

@@ -23,6 +23,9 @@ fn check_category(category: Category) {
                 }
             }
             Category::Stencil => w.scaled_size.min(64),
+            // Group-aligned (WG = 16) so the dyn nd-range variants take
+            // their zero-extent tail launch here too.
+            Category::Reduction | Category::Sparse => 64,
         };
         for kind in FlowKind::all() {
             let r = run_workload(&w, size, kind)
@@ -54,6 +57,16 @@ fn single_kernel_validates_under_all_flows() {
 #[test]
 fn stencils_validate_under_all_flows() {
     check_category(Category::Stencil);
+}
+
+#[test]
+fn reductions_validate_under_all_flows() {
+    check_category(Category::Reduction);
+}
+
+#[test]
+fn sparse_validates_under_all_flows() {
+    check_category(Category::Sparse);
 }
 
 /// The headline direction of Fig. 3: SYCL-MLIR beats DPC++ decisively on

@@ -11,12 +11,16 @@
 //! constant loop bounds), deliberately including the raw material of every
 //! fusion pattern — `Load`+`addf`/`mulf`, `muli`+`addi`, `cmpi`+branch,
 //! the `vec.ctor`+`acc.subscript`+`Load`/`Store` accessor chains, the
-//! `Load`+`mulf`+`addf` multiply-accumulate chain, accumulate+`Store` —
-//! *and* runtime failures (division by zero) whose position fused and
-//! unfused execution must agree on. Deterministic pin tests additionally
-//! hold a superinstruction that fails **mid-chain** to the unfused error
-//! and to the out-of-order scheduler's lexicographic `(launch, group)`
-//! failure bound.
+//! un-CSE'd 4-instruction window (the `Const 0` re-materialized between
+//! the subscript and the access), indirect-index chains whose subscript
+//! is *loaded* out of a buffer, accumulate-into-view shapes that force
+//! the write-through variants, the `Load`+`mulf`+`addf`
+//! multiply-accumulate chain, accumulate+`Store` — *and* runtime
+//! failures (division by zero) whose position fused and unfused
+//! execution must agree on. Deterministic pin tests additionally hold a
+//! superinstruction that fails **mid-chain** to the unfused error and to
+//! the out-of-order scheduler's lexicographic `(launch, group)` failure
+//! bound.
 
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
@@ -78,14 +82,13 @@ impl Gen {
         s
     }
 
-    /// An integer register holding an in-bounds index: `existing & 15`.
-    fn masked_index(&mut self) -> u32 {
+    /// An integer register holding `src & 15` — in-bounds by masking.
+    fn mask_reg(&mut self, src: u32) -> u32 {
         let mask = self.fresh();
         self.code.push(Instr::Const {
             dst: mask,
             val: RtValue::Int(BUF_LEN as i64 - 1),
         });
-        let src = self.pick_int();
         let dst = self.fresh();
         self.code.push(Instr::BinInt {
             op: IntBin::And,
@@ -94,6 +97,12 @@ impl Gen {
             r: mask,
         });
         dst
+    }
+
+    /// An integer register holding an in-bounds index: `existing & 15`.
+    fn masked_index(&mut self) -> u32 {
+        let src = self.pick_int();
+        self.mask_reg(src)
     }
 
     fn int_bin_op(&mut self) -> IntBin {
@@ -346,6 +355,221 @@ impl Gen {
         }
     }
 
+    /// Emit the un-CSE'd DPC++ accessor chain — `vec.ctor`,
+    /// `acc.subscript`, then a *freshly materialized* `Const 0` and the
+    /// `Load`/`Store` (AccLoadQuad / AccStoreQuad bait): unoptimized
+    /// DPC++ re-materializes the inner zero index between the subscript
+    /// and the access instead of hoisting it, so the 4-instruction
+    /// window must capture the interposed constant.
+    fn quad_chain(&mut self) {
+        let idx = self.masked_index();
+        // Near-miss material: an earlier zero the access can index with
+        // instead of the chain's own constant, breaking the
+        // `idx == cst` guard while keeping the access in bounds.
+        let early_zero = if self.rng.below(4) == 0 {
+            let r = self.fresh();
+            self.code.push(Instr::Const {
+                dst: r,
+                val: RtValue::Int(0),
+            });
+            Some(r)
+        } else {
+            None
+        };
+        let id = self.fresh();
+        self.code.push(Instr::VecCtor {
+            dst: id,
+            comps: [idx, 0, 0],
+            rank: 1,
+        });
+        let view = self.fresh();
+        self.code.push(Instr::AccSubscript {
+            dst: view,
+            acc: 2,
+            id,
+        });
+        let zero = self.fresh();
+        self.code.push(Instr::Const {
+            dst: zero,
+            val: RtValue::Int(0),
+        });
+        let access_idx = early_zero.unwrap_or(zero);
+        if self.rng.below(2) == 0 {
+            let dst = self.fresh();
+            let site = self.site();
+            self.code.push(Instr::Load {
+                dst,
+                mem: view,
+                idx: [access_idx, 0, 0],
+                rank: 1,
+                site,
+            });
+            self.floats.push(dst);
+        } else {
+            let val = self.pick_float();
+            let site = self.site();
+            self.code.push(Instr::Store {
+                val,
+                mem: view,
+                idx: [access_idx, 0, 0],
+                rank: 1,
+                site,
+            });
+        }
+        // The quad keeps the constant's register write: reading it later
+        // is legal whether or not the window fused (no read-count
+        // legality on the quad).
+        if self.rng.below(4) == 0 {
+            self.ints.push(zero);
+        }
+    }
+
+    /// Indirect-index (gather) bait: the accessor subscript is computed
+    /// from a value *loaded* out of the i64 buffer — the
+    /// register-computed-subscript shape of the sparse workloads. The
+    /// chain downstream of the indirection is emitted in the un-CSE'd
+    /// quad order and must still fuse.
+    fn gather_chain(&mut self) {
+        let iidx = self.masked_index();
+        let loaded = self.fresh();
+        let site = self.site();
+        self.code.push(Instr::Load {
+            dst: loaded,
+            mem: 1,
+            idx: [iidx, 0, 0],
+            rank: 1,
+            site,
+        });
+        let idx = self.mask_reg(loaded);
+        let id = self.fresh();
+        self.code.push(Instr::VecCtor {
+            dst: id,
+            comps: [idx, 0, 0],
+            rank: 1,
+        });
+        let view = self.fresh();
+        self.code.push(Instr::AccSubscript {
+            dst: view,
+            acc: 2,
+            id,
+        });
+        let zero = self.fresh();
+        self.code.push(Instr::Const {
+            dst: zero,
+            val: RtValue::Int(0),
+        });
+        if self.rng.below(2) == 0 {
+            let dst = self.fresh();
+            let site = self.site();
+            self.code.push(Instr::Load {
+                dst,
+                mem: view,
+                idx: [zero, 0, 0],
+                rank: 1,
+                site,
+            });
+            self.floats.push(dst);
+        } else {
+            let val = self.pick_float();
+            let site = self.site();
+            self.code.push(Instr::Store {
+                val,
+                mem: view,
+                idx: [zero, 0, 0],
+                rank: 1,
+                site,
+            });
+        }
+    }
+
+    /// Accumulate-into-view bait: subscript once, then both read *and*
+    /// write through the view. The multiply-read view blocks the elided
+    /// chain, so the write-through variants (AccLoadIdxWt /
+    /// AccStoreIdxWt, and StoreBinFloatWt when the accumulator is also
+    /// re-read) must pick it up.
+    fn view_accum(&mut self) {
+        let idx = self.masked_index();
+        let zero = self.fresh();
+        self.code.push(Instr::Const {
+            dst: zero,
+            val: RtValue::Int(0),
+        });
+        let id = self.fresh();
+        self.code.push(Instr::VecCtor {
+            dst: id,
+            comps: [idx, 0, 0],
+            rank: 1,
+        });
+        let view = self.fresh();
+        self.code.push(Instr::AccSubscript {
+            dst: view,
+            acc: 2,
+            id,
+        });
+        if self.rng.below(2) == 0 {
+            // Read-modify-write: the load chain writes the view through,
+            // the accumulate+store pair follows.
+            let loaded = self.fresh();
+            let site = self.site();
+            self.code.push(Instr::Load {
+                dst: loaded,
+                mem: view,
+                idx: [zero, 0, 0],
+                rank: 1,
+                site,
+            });
+            let other = self.pick_float();
+            let t = self.fresh();
+            let op = if self.rng.below(2) == 0 {
+                FloatBin::Add
+            } else {
+                FloatBin::Mul
+            };
+            self.code.push(Instr::BinFloat {
+                op,
+                dst: t,
+                l: loaded,
+                r: other,
+                f32_out: self.rng.below(2) == 0,
+            });
+            let site = self.site();
+            self.code.push(Instr::Store {
+                val: t,
+                mem: view,
+                idx: [zero, 0, 0],
+                rank: 1,
+                site,
+            });
+            // Re-reading the accumulator demotes the store pair to its
+            // write-through form.
+            if self.rng.below(4) == 0 {
+                self.floats.push(t);
+            }
+        } else {
+            // Write-then-read: the store chain writes the view through,
+            // the trailing load reads it back.
+            let val = self.pick_float();
+            let site = self.site();
+            self.code.push(Instr::Store {
+                val,
+                mem: view,
+                idx: [zero, 0, 0],
+                rank: 1,
+                site,
+            });
+            let dst = self.fresh();
+            let site = self.site();
+            self.code.push(Instr::Load {
+                dst,
+                mem: view,
+                idx: [zero, 0, 0],
+                rank: 1,
+                site,
+            });
+            self.floats.push(dst);
+        }
+    }
+
     /// Emit the multiply-accumulate chain: `Load` + `mulf` + `addf`
     /// (LoadMulAddF bait) with random operand orders and narrowings.
     fn fma_chain(&mut self) {
@@ -523,13 +747,16 @@ impl Gen {
 
         let len = self.rng.below(24) + 8;
         for _ in 0..len {
-            match self.rng.below(11) {
+            match self.rng.below(14) {
                 0 => self.if_block(),
                 1 => self.for_loop(),
                 2 if self.code.len() > 4 => self.code.push(Instr::Barrier),
                 3 => self.acc_chain(),
                 4 => self.fma_chain(),
                 5 => self.store_accum(),
+                6 => self.quad_chain(),
+                7 => self.gather_chain(),
+                8 => self.view_accum(),
                 _ => self.simple(),
             }
         }
@@ -574,6 +801,8 @@ impl Gen {
             local_sites: 0,
             fused_pairs: 0,
             fused_chains: 0,
+            fused_quads: 0,
+            fused_wt: 0,
         }
     }
 }
@@ -634,8 +863,8 @@ fn execute(plan: &KernelPlan) -> (Result<ExecStats, SimError>, Vec<f32>, Vec<i64
 }
 
 /// One seed's round trip: generate, fuse a clone, execute both, compare
-/// everything. Returns `(pairs, chains)` fused.
-fn check_seed(seed: u64) -> (u32, u32) {
+/// everything. Returns `(pairs, chains, quads, write_through)` fused.
+fn check_seed(seed: u64) -> (u32, u32, u32, u32) {
     let plan = Gen::new(seed).finish();
     let mut fused = plan.clone();
     fuse_plan(&mut fused);
@@ -661,7 +890,12 @@ fn check_seed(seed: u64) -> (u32, u32) {
         opt_a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
         "accessor buffer diverges (seed {seed})"
     );
-    (fused.fused_pairs, fused.fused_chains)
+    (
+        fused.fused_pairs,
+        fused.fused_chains,
+        fused.fused_quads,
+        fused.fused_wt,
+    )
 }
 
 proptest! {
@@ -676,15 +910,18 @@ proptest! {
 }
 
 /// The generator must actually feed the fusion pass — otherwise the
-/// property above passes vacuously on unfusable programs. Both the pair
-/// patterns and the three-instruction chains must fire broadly.
+/// property above passes vacuously on unfusable programs. The pair
+/// patterns, the three-instruction chains, the un-CSE'd 4-instruction
+/// window and the write-through variants must all fire broadly.
 #[test]
 fn random_bytecode_exercises_fusion_broadly() {
-    let (mut pairs, mut chains) = (0_u32, 0_u32);
+    let (mut pairs, mut chains, mut quads, mut wt) = (0_u32, 0_u32, 0_u32, 0_u32);
     for seed in 0..128_u64 {
-        let (p, c) = check_seed(seed * 7919 + 13);
+        let (p, c, q, w) = check_seed(seed * 7919 + 13);
         pairs += p;
         chains += c;
+        quads += q;
+        wt += w;
     }
     assert!(
         pairs > 100,
@@ -694,6 +931,84 @@ fn random_bytecode_exercises_fusion_broadly() {
         chains > 50,
         "expected the random programs to trigger chain fusion broadly, got {chains}"
     );
+    assert!(
+        quads > 25,
+        "expected the un-CSE'd 4-instruction window to fire broadly, got {quads}"
+    );
+    assert!(
+        wt > 25,
+        "expected the write-through chains to fire broadly, got {wt}"
+    );
+}
+
+/// The new patterns are chains-gated. Sweep every fuse level over the
+/// fixed seed population, through both the bytecode loop and the
+/// closure-JIT tier, and count what fired: the un-CSE'd 4-instruction
+/// window and the write-through chains must each fire broadly at
+/// `FuseLevel::Chains` and never below it, while execution at every
+/// level and tier stays bit-identical to the unfused baseline.
+#[test]
+fn fuse_level_sweep_pins_quad_and_write_through_gating() {
+    use sycl_mlir_repro::sim::{fuse_plan_with, FuseLevel};
+
+    for level in [FuseLevel::Off, FuseLevel::Pairs, FuseLevel::Chains] {
+        let (mut quads, mut wt) = (0_u32, 0_u32);
+        for seed in 0..128_u64 {
+            let seed = seed * 7919 + 13;
+            let plan = Gen::new(seed).finish();
+            let mut fused = plan.clone();
+            fuse_plan_with(&mut fused, level);
+            quads += fused.fused_quads;
+            wt += fused.fused_wt;
+
+            let (base, base_f, base_i, base_a) = execute(&plan);
+            for (label, (run, f, i, a)) in
+                [("bytecode", execute(&fused)), ("jit", execute_jit(&fused))]
+            {
+                match (&base, &run) {
+                    (Ok(b), Ok(o)) => {
+                        assert_eq!(b, o, "stats diverge (seed {seed}, {level:?}, {label})")
+                    }
+                    (Err(b), Err(o)) => assert_eq!(
+                        b.message(),
+                        o.message(),
+                        "errors diverge (seed {seed}, {level:?}, {label})"
+                    ),
+                    _ => panic!(
+                        "one execution failed, the other did not \
+                         (seed {seed}, {level:?}, {label}): unfused={base:?} fused={run:?}"
+                    ),
+                }
+                assert_eq!(
+                    base_f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "f32 buffer diverges (seed {seed}, {level:?}, {label})"
+                );
+                assert_eq!(
+                    base_i, i,
+                    "i64 buffer diverges (seed {seed}, {level:?}, {label})"
+                );
+                assert_eq!(
+                    base_a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "accessor buffer diverges (seed {seed}, {level:?}, {label})"
+                );
+            }
+        }
+        if level == FuseLevel::Chains {
+            assert!(
+                quads > 25,
+                "{level:?}: expected the 4-instruction window to fire broadly, got {quads}"
+            );
+            assert!(
+                wt > 25,
+                "{level:?}: expected the write-through chains to fire broadly, got {wt}"
+            );
+        } else {
+            assert_eq!(quads, 0, "{level:?} must not form 4-instruction windows");
+            assert_eq!(wt, 0, "{level:?} must not form write-through chains");
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -815,6 +1130,8 @@ fn mid_chain_failing_plan(fail_from: i64) -> KernelPlan {
         local_sites: 0,
         fused_pairs: 0,
         fused_chains: 0,
+        fused_quads: 0,
+        fused_wt: 0,
     }
 }
 
@@ -852,6 +1169,8 @@ fn div_zero_plan() -> KernelPlan {
         local_sites: 0,
         fused_pairs: 0,
         fused_chains: 0,
+        fused_quads: 0,
+        fused_wt: 0,
     }
 }
 

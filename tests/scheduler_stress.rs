@@ -2,9 +2,11 @@
 //!
 //! A seeded generator produces random command-group graphs — shared
 //! buffers under every access-mode mix, aliased USM allocations, host
-//! tasks, 1–64 submissions — and executes each one under every scheduler
-//! mode (serial chain, level barriers, full out-of-order overlap) at 1 and
-//! 4 worker threads, plus the tree-walk reference. Outputs (every buffer
+//! tasks, indirect-index gathers through a shared index buffer,
+//! barrier-ladder work-group reductions, 1–64 submissions — and executes
+//! each one under every scheduler mode (serial chain, level barriers,
+//! full out-of-order overlap) at 1 and 4 worker threads, plus the
+//! tree-walk reference. Outputs (every buffer
 //! and USM allocation, compared bit-for-bit), per-kernel statistics,
 //! launch/JIT cycles and the report's cycle totals must be identical
 //! everywhere; when the generator injects a failing kernel, all
@@ -55,16 +57,36 @@ enum Sub {
     },
     /// `scale_io(a read+write)`.
     ScaleIo { a: Arg, global: i64, local: i64 },
+    /// `gather(idx read, src read, dst read+write)` — the sparse-family
+    /// indirect-index shape: the subscript into `src` is *loaded* from
+    /// the shared index buffer.
+    Gather {
+        src: Arg,
+        dst: Arg,
+        global: i64,
+        local: i64,
+    },
+    /// `wg_sum(a read+write)` — the reduction-family shape: a
+    /// work-group-local tile plus a barrier ladder; each group replaces
+    /// its slice of `a` with the group sum.
+    WgSum { a: Arg, global: i64 },
     /// A kernel with work-groups >= 2 stuck at a divergent barrier.
     BadLate { global: i64, local: i64 },
     /// A host task over buffers.
     Host(HostOp),
 }
 
+/// The fixed work-group size of `wg_sum` (its barrier ladder is unrolled
+/// at build time, so the launch must match).
+const WG_SUM_LOCAL: i64 = 8;
+
 /// A fully determined random graph: initial data plus the submission list.
 struct GraphSpec {
     bufs: Vec<Vec<f32>>,
     usms: Vec<Vec<f32>>,
+    /// The shared index buffer `gather` reads through (in-bounds values;
+    /// allocated after the f32 buffers so their ids stay stable).
+    idx: Vec<i32>,
     subs: Vec<Sub>,
 }
 
@@ -87,6 +109,7 @@ impl GraphSpec {
                     .collect::<Vec<f32>>()
             })
             .collect();
+        let idx = (0..LEN).map(|_| rng.below(LEN as usize) as i32).collect();
         let n_sub = 1 + rng.below(64);
         // ~1 in 8 graphs carries one divergent kernel at a random spot.
         let bad_at = if rng.below(8) == 0 {
@@ -110,7 +133,7 @@ impl GraphSpec {
             };
             let local = [4, 8][rng.below(2)];
             let global = [8, 16, 32][rng.below(3)].max(local);
-            match rng.below(10) {
+            match rng.below(14) {
                 0 | 1 => {
                     // Host task (buffers only).
                     let op = match rng.below(3) {
@@ -135,6 +158,31 @@ impl GraphSpec {
                     global,
                     local,
                 }),
+                6 | 7 => {
+                    let src = arg(&mut rng);
+                    let mut dst = arg(&mut rng);
+                    // `gather` reads `src` at data-dependent positions
+                    // while writing `dst[gid]`: if both name the same
+                    // resource, the result depends on work-item order
+                    // *within* the launch. Keep them distinct — aliasing
+                    // across launches (the hazard DAG's job) is still
+                    // generated freely.
+                    match (src, dst) {
+                        (Arg::Buf(a), Arg::Buf(b)) if a == b => dst = Arg::Buf((a + 1) % n_buf),
+                        (Arg::Usm(a), Arg::Usm(b)) if a == b => dst = Arg::Buf(0),
+                        _ => {}
+                    }
+                    subs.push(Sub::Gather {
+                        src,
+                        dst,
+                        global,
+                        local,
+                    });
+                }
+                8 => subs.push(Sub::WgSum {
+                    a: arg(&mut rng),
+                    global: global.max(WG_SUM_LOCAL),
+                }),
                 _ => subs.push(Sub::ScaleIo {
                     a: arg(&mut rng),
                     global,
@@ -142,7 +190,12 @@ impl GraphSpec {
                 }),
             }
         }
-        GraphSpec { bufs, usms, subs }
+        GraphSpec {
+            bufs,
+            usms,
+            idx,
+            subs,
+        }
     }
 
     /// A fresh runtime with the spec's initial data (ids are allocation
@@ -152,10 +205,19 @@ impl GraphSpec {
         for data in &self.bufs {
             rt.buffer_f32(data.clone(), &[LEN]);
         }
+        // The index buffer comes after every f32 buffer so their ids
+        // (allocation order) stay stable across the generator history.
+        rt.buffer_i32(self.idx.clone(), &[LEN]);
         for data in &self.usms {
             rt.usm_alloc_f32(data.clone());
         }
         rt
+    }
+
+    /// The shared index buffer's id (allocated right after the f32
+    /// buffers).
+    fn idx_buf(&self) -> sycl_mlir_repro::runtime::BufferId {
+        sycl_mlir_repro::runtime::BufferId(self.bufs.len())
     }
 
     /// Record the submissions on a queue.
@@ -208,6 +270,52 @@ impl GraphSpec {
                         h.parallel_for_nd("scale_io", &[global], &[local]);
                     });
                 }
+                Sub::Gather {
+                    src,
+                    dst,
+                    global,
+                    local,
+                } => {
+                    q.submit(|h| {
+                        h.accessor(self.idx_buf(), AccessMode::Read);
+                        match src {
+                            Arg::Buf(b) => {
+                                h.accessor(sycl_mlir_repro::runtime::BufferId(b), AccessMode::Read);
+                            }
+                            Arg::Usm(u) => {
+                                h.usm(sycl_mlir_repro::runtime::UsmId(u), LEN);
+                            }
+                        }
+                        match dst {
+                            Arg::Buf(b) => {
+                                h.accessor(
+                                    sycl_mlir_repro::runtime::BufferId(b),
+                                    AccessMode::ReadWrite,
+                                );
+                            }
+                            Arg::Usm(u) => {
+                                h.usm(sycl_mlir_repro::runtime::UsmId(u), LEN);
+                            }
+                        }
+                        h.parallel_for_nd("gather", &[global], &[local]);
+                    });
+                }
+                Sub::WgSum { a, global } => {
+                    q.submit(|h| {
+                        match a {
+                            Arg::Buf(b) => {
+                                h.accessor(
+                                    sycl_mlir_repro::runtime::BufferId(b),
+                                    AccessMode::ReadWrite,
+                                );
+                            }
+                            Arg::Usm(u) => {
+                                h.usm(sycl_mlir_repro::runtime::UsmId(u), LEN);
+                            }
+                        }
+                        h.parallel_for_nd("wg_sum", &[global], &[WG_SUM_LOCAL]);
+                    });
+                }
                 Sub::BadLate { global, local } => {
                     q.submit(|h| h.parallel_for_nd("bad_late", &[global], &[local]));
                 }
@@ -256,6 +364,66 @@ fn build_module(rt: &SyclRuntime, q: &Queue) -> sycl_mlir_repro::ir::Module {
         let t = arith::mulf(b, v, c0);
         let s = arith::addf(b, t, c1);
         sdev::store_via_id(b, s, args[0], &[gid]);
+    });
+
+    // gather: dst[g] += src[idx[g]] — the sparse-family indirect-index
+    // shape (the subscript is loaded, widened with index_cast, and used
+    // unmasked: the shared index buffer carries in-bounds values in the
+    // random graphs; the OOB pin below feeds it out-of-bounds ones).
+    let sig = KernelSig::new("gather", 1, true)
+        .accessor(ctx.i32_type(), 1, AccessMode::Read)
+        .accessor(f32t.clone(), 1, AccessMode::Read)
+        .accessor(f32t.clone(), 1, AccessMode::ReadWrite);
+    kb.add_kernel(&sig, |b, args, item| {
+        let gid = sdev::global_id(b, item, 0);
+        let raw = sdev::load_via_id(b, args[0], &[gid]);
+        let index_ty = b.ctx().index_type();
+        let j = arith::index_cast(b, raw, index_ty);
+        let v = sdev::load_via_id(b, args[1], &[j]);
+        let d = sdev::load_via_id(b, args[2], &[gid]);
+        let s = arith::addf(b, d, v);
+        sdev::store_via_id(b, s, args[2], &[gid]);
+    });
+
+    // wg_sum: each work-group replaces its slice of `a` with the group
+    // sum — the reduction-family shape (local tile + barrier ladder,
+    // unrolled for WG_SUM_LOCAL). Every group touches only its own
+    // slice, so the result is schedule-independent even when launches
+    // alias.
+    let sig = KernelSig::new("wg_sum", 1, true).accessor(f32t.clone(), 1, AccessMode::ReadWrite);
+    kb.add_kernel(&sig, |b, args, item| {
+        let gid = sdev::global_id(b, item, 0);
+        let lid = sdev::local_id(b, item, 0);
+        let g = sdev::get_group(b, item);
+        let f32t = b.ctx().f32_type();
+        let tile = sdev::local_alloca(b, f32t, &[WG_SUM_LOCAL]);
+        let v = sdev::load_via_id(b, args[0], &[gid]);
+        sycl_mlir_repro::dialects::memref::store(b, v, tile, &[lid]);
+        sdev::group_barrier(b, g);
+        let mut stride = WG_SUM_LOCAL / 2;
+        while stride >= 1 {
+            let s = arith::constant_index(b, stride);
+            let active = arith::cmpi(b, "slt", lid, s);
+            sycl_mlir_repro::dialects::scf::build_if(
+                b,
+                active,
+                &[],
+                |inner| {
+                    let lo = sycl_mlir_repro::dialects::memref::load(inner, tile, &[lid]);
+                    let partner = arith::addi(inner, lid, s);
+                    let hi = sycl_mlir_repro::dialects::memref::load(inner, tile, &[partner]);
+                    let sum = arith::addf(inner, lo, hi);
+                    sycl_mlir_repro::dialects::memref::store(inner, sum, tile, &[lid]);
+                    vec![]
+                },
+                |_| vec![],
+            );
+            sdev::group_barrier(b, g);
+            stride /= 2;
+        }
+        let zero = arith::constant_index(b, 0);
+        let total = sycl_mlir_repro::dialects::memref::load(b, tile, &[zero]);
+        sdev::store_via_id(b, total, args[0], &[gid]);
     });
 
     // bad_late: work-groups >= 2 hit a divergent barrier (only the group
@@ -419,6 +587,7 @@ proptest! {
 #[test]
 fn generator_population_covers_the_interesting_shapes() {
     let (mut hosts, mut usm_args, mut bads, mut long) = (0, 0, 0, 0);
+    let (mut gathers, mut wg_sums) = (0, 0);
     for seed in 0..200_u64 {
         let spec = GraphSpec::generate(seed * 65_537 + 7);
         if spec.subs.len() >= 32 {
@@ -433,6 +602,18 @@ fn generator_population_covers_the_interesting_shapes() {
                         usm_args += 1;
                     }
                 }
+                Sub::Gather { src, dst, .. } => {
+                    gathers += 1;
+                    if matches!(src, Arg::Usm(_)) || matches!(dst, Arg::Usm(_)) {
+                        usm_args += 1;
+                    }
+                }
+                Sub::WgSum { a, .. } => {
+                    wg_sums += 1;
+                    if matches!(a, Arg::Usm(_)) {
+                        usm_args += 1;
+                    }
+                }
                 Sub::ScaleIo { a: Arg::Usm(_), .. } => usm_args += 1,
                 Sub::ScaleIo { .. } => {}
             }
@@ -442,6 +623,14 @@ fn generator_population_covers_the_interesting_shapes() {
     assert!(usm_args > 100, "USM arguments underrepresented: {usm_args}");
     assert!(bads > 5, "failing kernels underrepresented: {bads}");
     assert!(long > 10, "long queues underrepresented: {long}");
+    assert!(
+        gathers > 100,
+        "indirect-index kernels underrepresented: {gathers}"
+    );
+    assert!(
+        wg_sums > 50,
+        "reduction-family kernels underrepresented: {wg_sums}"
+    );
 }
 
 // ----------------------------------------------------------------------
@@ -565,6 +754,93 @@ fn earlier_divergence_beats_later_oob_panic() {
     let (ref_name, want) = &results[0];
     assert!(
         want.contains("divergent barrier") && want.contains("[2, 0, 0]"),
+        "`{ref_name}` reported: {want}"
+    );
+    for (name, got) in &results[1..] {
+        assert_eq!(got, want, "`{name}` diverges from `{ref_name}`");
+    }
+}
+
+/// An out-of-bounds access reached through a **fuzzed gather** — the
+/// faulting index is data (loaded out of the index buffer), not a
+/// static subscript — must surface as the identical structured error at
+/// the identical `(launch, group)` position under every engine
+/// (tree walk, plan bytecode, closure JIT), scheduler mode and thread
+/// count. The index data comes from a seeded rng over a range that
+/// overruns the buffer, exactly how a fuzzer would feed it.
+#[test]
+fn fuzzed_gather_oob_position_is_engine_independent() {
+    // Fuzzed indices in 0..48 over a length-32 buffer: some overrun.
+    let mut rng = TestRng::new(0xFEED);
+    let idx: Vec<i32> = (0..LEN).map(|_| rng.below(48) as i32).collect();
+    let first_oob = idx.iter().position(|&j| j >= LEN as i32);
+    assert!(
+        first_oob.is_some(),
+        "the fuzzed index data must contain an out-of-bounds entry"
+    );
+
+    let mut results = Vec::new();
+    for (name, device) in configs() {
+        let mut rt = SyclRuntime::new();
+        let src = rt.buffer_f32(vec![1.0; LEN as usize], &[LEN]);
+        let dst = rt.buffer_f32(vec![0.0; LEN as usize], &[LEN]);
+        let idx_buf = rt.buffer_i32(idx.clone(), &[LEN]);
+        let mut q = Queue::new();
+        // A clean launch first, then the faulting gather, then another
+        // clean launch the failure bound must prune consistently.
+        q.submit(|h| {
+            h.accessor(src, AccessMode::ReadWrite);
+            h.parallel_for_nd("scale_io", &[LEN], &[8]);
+        });
+        q.submit(|h| {
+            h.accessor(idx_buf, AccessMode::Read);
+            h.accessor(src, AccessMode::Read);
+            h.accessor(dst, AccessMode::ReadWrite);
+            h.parallel_for_nd("gather", &[LEN], &[8]);
+        });
+        q.submit(|h| {
+            h.accessor(dst, AccessMode::ReadWrite);
+            h.parallel_for_nd("scale_io", &[LEN], &[8]);
+        });
+
+        let ctx = full_context();
+        let mut kb = KernelModuleBuilder::new(&ctx);
+        let f32t = ctx.f32_type();
+        let sig =
+            KernelSig::new("scale_io", 1, true).accessor(f32t.clone(), 1, AccessMode::ReadWrite);
+        kb.add_kernel(&sig, |b, args, item| {
+            let gid = sdev::global_id(b, item, 0);
+            let v = sdev::load_via_id(b, args[0], &[gid]);
+            let f32t = b.ctx().f32_type();
+            let c = arith::constant_float(b, 0.5, f32t);
+            let t = arith::mulf(b, v, c);
+            sdev::store_via_id(b, t, args[0], &[gid]);
+        });
+        let sig = KernelSig::new("gather", 1, true)
+            .accessor(ctx.i32_type(), 1, AccessMode::Read)
+            .accessor(f32t.clone(), 1, AccessMode::Read)
+            .accessor(f32t, 1, AccessMode::ReadWrite);
+        kb.add_kernel(&sig, |b, args, item| {
+            let gid = sdev::global_id(b, item, 0);
+            let raw = sdev::load_via_id(b, args[0], &[gid]);
+            let index_ty = b.ctx().index_type();
+            let j = arith::index_cast(b, raw, index_ty);
+            let v = sdev::load_via_id(b, args[1], &[j]);
+            let d = sdev::load_via_id(b, args[2], &[gid]);
+            let s = arith::addf(b, d, v);
+            sdev::store_via_id(b, s, args[2], &[gid]);
+        });
+        generate_host_ir(kb.module(), &rt, &q);
+        let module = kb.finish();
+        let mut program = compile_program(FlowKind::SyclMlir, module).expect("compiles");
+        let err = sycl_mlir_repro::runtime::exec::run(&mut program, &mut rt, &q, &device)
+            .expect_err("the fuzzed gather must fail");
+        results.push((name, err.to_string()));
+    }
+
+    let (ref_name, want) = &results[0];
+    assert!(
+        want.contains("out of bounds"),
         "`{ref_name}` reported: {want}"
     );
     for (name, got) in &results[1..] {
