@@ -15,7 +15,7 @@
 
 use sycl_mlir_benchsuite::{geo_mean, run_workload_on, Category, RunResult, WorkloadSpec};
 use sycl_mlir_core::FlowKind;
-use sycl_mlir_sim::{Device, Engine, FuseLevel, JitMode};
+use sycl_mlir_sim::{Device, Engine, FuseLevel, JitMode, SchedPolicy};
 
 /// One row of a speedup table.
 #[derive(Debug, Clone)]
@@ -179,6 +179,14 @@ flag            env variable           values        default  effect
 --overlap=...   SYCL_MLIR_SIM_OVERLAP  on | off      on       out-of-order launch scheduling: a command
                                                               group starts as soon as its own deps
                                                               retire (off = PR 3 level barriers)
+--host-nodes=.. SYCL_MLIR_SIM_HOST_NODES  on | off   on       run host tasks as first-class launch-graph
+                                                              nodes on the worker pool (off = legacy
+                                                              segmented schedule: every host task is a
+                                                              synchronization barrier)
+--sched=...     SYCL_MLIR_SIM_SCHED    fifo          critpath  ready-set drain order of the out-of-order
+                                       | critpath             scheduler: longest critical path first, or
+                                                              FIFO publication order (A/B baseline);
+                                                              results are bit-identical either way
 --jit=...       SYCL_MLIR_SIM_JIT      on | off      on       closure-JIT tier of the plan engine:
                                        | always               compile hot decoded plans into
                                                               direct-threaded closure chains
@@ -208,7 +216,7 @@ pub fn handle_help_flag(binary: &str, purpose: &str) {
         return;
     }
     println!("{binary} — {purpose}\n");
-    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|pairs|off] [--jit=on|off|always] [--jit-threshold=N] [--batch=on|off] [--overlap=on|off] [--profile=on|off] [--max-ops=N] [--mem-cap=BYTES] [--deadline-ms=MS]\n");
+    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|pairs|off] [--jit=on|off|always] [--jit-threshold=N] [--batch=on|off] [--overlap=on|off] [--host-nodes=on|off] [--sched=fifo|critpath] [--profile=on|off] [--max-ops=N] [--mem-cap=BYTES] [--deadline-ms=MS]\n");
     println!("{KNOB_TABLE}");
     println!(
         "\nFlags win over environment variables. Outputs, statistics and cycle\ntables are bit-identical across every engine/threads/fuse/batch/overlap\ncombination (held by tests/differential.rs); those knobs only change\nwall time. The limit knobs (--max-ops, --mem-cap, --deadline-ms) are\nsafety nets: a kernel exceeding one fails with a structured error and\nexit status 3 instead of hanging the run."
@@ -288,6 +296,28 @@ pub fn batch_flag() -> Option<bool> {
 /// scheduling: overlap dependency levels, off = PR 3 level barriers).
 pub fn overlap_flag() -> Option<bool> {
     on_off_flag("overlap")
+}
+
+/// Parse the shared `--host-nodes=on|off` flag (host tasks as first-class
+/// launch-graph nodes; off = legacy segmented schedule where every host
+/// task is a synchronization barrier).
+pub fn host_nodes_flag() -> Option<bool> {
+    on_off_flag("host-nodes")
+}
+
+/// Parse the shared `--sched=fifo|critpath` flag (ready-set drain order
+/// of the out-of-order scheduler). Unknown spellings abort rather than
+/// silently benchmarking the wrong policy.
+pub fn sched_flag() -> Option<SchedPolicy> {
+    for arg in std::env::args() {
+        if let Some(value) = arg.strip_prefix("--sched=") {
+            return Some(SchedPolicy::parse(value).unwrap_or_else(|| {
+                eprintln!("error: unknown --sched value `{value}` (expected `fifo` or `critpath`)");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
 }
 
 /// Parse the shared `--profile=on|off` flag (per-instruction execution
@@ -376,7 +406,8 @@ pub fn threads_flag() -> Option<usize> {
 
 /// The device the repro binaries run on: the `--engine` / `--threads` /
 /// `--fuse` / `--jit` / `--jit-threshold` / `--batch` / `--overlap` /
-/// `--profile` / `--max-ops` / `--mem-cap` / `--deadline-ms` flags win,
+/// `--host-nodes` / `--sched` / `--profile` / `--max-ops` / `--mem-cap` /
+/// `--deadline-ms` flags win,
 /// then the `SYCL_MLIR_SIM_*` environment variables, then the defaults
 /// (plan engine, sequential, fusion/batching/closure-JIT on, no limits).
 /// See [`KNOB_TABLE`] for the full list.
@@ -402,6 +433,12 @@ pub fn device_from_args() -> Device {
     }
     if let Some(overlap) = overlap_flag() {
         device = device.overlap(overlap);
+    }
+    if let Some(host_nodes) = host_nodes_flag() {
+        device = device.host_nodes(host_nodes);
+    }
+    if let Some(sched) = sched_flag() {
+        device = device.sched(sched);
     }
     if let Some(profile) = profile_flag() {
         device = device.profile(profile);

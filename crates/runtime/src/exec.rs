@@ -7,8 +7,8 @@ use std::collections::{HashMap, HashSet};
 use sycl_mlir_core::{CompileOutcome, Flow, FlowKind};
 use sycl_mlir_ir::{Module, OpId};
 use sycl_mlir_sim::{
-    AccessorVal, BatchLaunch, DataVec, Device, ExecStats, LaunchDag, MemId, MemoryPool, RtValue,
-    SimError,
+    AccessorVal, BatchLaunch, Device, ExecStats, HostNode, HostView, LaunchDag, MemId, MemoryPool,
+    RtValue, SharedPool, SimError,
 };
 
 /// A compiled SYCL application (joint module + flow that produced it).
@@ -95,21 +95,28 @@ impl RunReport {
 /// every schedule produces bit-identical buffers, statistics and report
 /// tables; only wall time differs.
 ///
-/// Host tasks ([`crate::queue::HostOp`]) execute on the calling thread at
-/// their scheduled point; the current scheduler treats them as
-/// synchronization points, splitting the kernel sequence into launch-graph
-/// segments around them.
+/// Host tasks ([`crate::queue::HostOp`]) run as first-class graph nodes
+/// ([`HostNode`]): hazard-tracked, metered at a fixed weight, cancellable
+/// and fault-injectable like any kernel launch — so one graph spans the
+/// whole program and kernels with no hazard on a host task overlap it
+/// freely. [`Device::host_nodes`] off restores the legacy segmented
+/// schedule (every host task a synchronization barrier splitting the
+/// program into separately scheduled launch graphs) as an A/B baseline;
+/// both modes produce bit-identical buffers, reports and failure
+/// positions.
 ///
 /// # Errors
 ///
 /// Fails on unresolved kernels, interpreter errors, or divergent barriers.
 /// With several failing work-groups anywhere in the program, the error of
 /// the lexicographically smallest `(submission, work-group)` position is
-/// reported, identically under every schedule and thread count. With
-/// [`Device::limits`] set, a tripped limit surfaces as
-/// [`SimError::LimitExceeded`] stamped with the submission index of the
-/// offending command group — so a wedged kernel program fails instead of
-/// hanging, and the device stays usable for the next run.
+/// reported, identically under every schedule and thread count. Every
+/// error — limit trips, kernel failures and host-task failures alike — is
+/// stamped with the **submission index** of the offending command group
+/// (never a segment-local position), so the caller can name the offending
+/// command group whatever schedule was in effect; a wedged kernel program
+/// fails instead of hanging, and the device stays usable for the next
+/// run.
 pub fn run(
     program: &mut Program,
     runtime: &mut SyclRuntime,
@@ -173,35 +180,51 @@ pub fn run(
         jit_cycles_of.push(jit_cycles);
     }
 
-    // Split the submission sequence into steps: host tasks are
-    // synchronization points, maximal runs of kernel submissions between
-    // them form segments scheduled as one launch graph.
+    // With host nodes on (the default) the whole program is ONE launch
+    // graph: host tasks ride along as [`HostNode`] entries, ordered by
+    // the same hazard edges as kernels. With host nodes off, the legacy
+    // segmented schedule: host tasks are synchronization points, maximal
+    // runs of kernel submissions between them form segments scheduled as
+    // one launch graph each.
     enum Step {
         Host(usize),
-        Kernels(Vec<usize>),
+        Graph(Vec<usize>),
     }
     let deps = queue.dependencies();
     let mut steps: Vec<Step> = Vec::new();
-    let mut segment: Vec<usize> = Vec::new();
-    for (cgi, cg) in queue.groups.iter().enumerate() {
-        if cg.host.is_some() {
-            if !segment.is_empty() {
-                steps.push(Step::Kernels(std::mem::take(&mut segment)));
+    if device.host_nodes {
+        steps.push(Step::Graph((0..queue.groups.len()).collect()));
+    } else {
+        let mut segment: Vec<usize> = Vec::new();
+        for (cgi, cg) in queue.groups.iter().enumerate() {
+            if cg.host.is_some() {
+                if !segment.is_empty() {
+                    steps.push(Step::Graph(std::mem::take(&mut segment)));
+                }
+                steps.push(Step::Host(cgi));
+            } else {
+                segment.push(cgi);
             }
-            steps.push(Step::Host(cgi));
-        } else {
-            segment.push(cgi);
         }
-    }
-    if !segment.is_empty() {
-        steps.push(Step::Kernels(segment));
+        if !segment.is_empty() {
+            steps.push(Step::Graph(segment));
+        }
     }
 
     for step in steps {
         let batch = match step {
             Step::Host(cgi) => {
+                // Segmented mode: run the same closure a host node would,
+                // on the calling thread, against a short-lived shared view
+                // — failures surface as structured errors stamped with
+                // the submission index, exactly like graph-mode hosts.
                 let cg = &queue.groups[cgi];
-                run_host_op(&cg.host.expect("host step"), &mut pool, &buf_mems);
+                let node = host_node_of(cg.host.expect("host step"), &buf_mems);
+                {
+                    let shared = SharedPool::new(&mut pool);
+                    node.run(&HostView::new(&shared))
+                        .map_err(|e| stamp_submission(e, cgi, 0))?;
+                }
                 runs[cgi] = Some(KernelRun {
                     kernel: cg.kernel.clone(),
                     stats: ExecStats::default(),
@@ -210,26 +233,34 @@ pub fn run(
                 });
                 continue;
             }
-            Step::Kernels(batch) => batch,
+            Step::Graph(batch) => batch,
         };
         let dag = schedule_dag(&batch, &deps, device);
         let mut launches: Vec<BatchLaunch> = Vec::with_capacity(batch.len());
         let jit: Vec<f64> = batch.iter().map(|&cgi| jit_cycles_of[cgi]).collect();
         for &cgi in &batch {
-            launches.push(BatchLaunch {
-                kernel: kernels[cgi].expect("kernel step"),
-                args: Vec::new(), // bound below
-                nd: queue.groups[cgi].nd,
+            let cg = &queue.groups[cgi];
+            launches.push(match cg.host {
+                Some(op) => BatchLaunch::host_node(host_node_of(op, &buf_mems)),
+                None => BatchLaunch::kernel(
+                    kernels[cgi].expect("kernel entry"),
+                    Vec::new(), // bound below
+                    cg.nd,
+                ),
             });
         }
 
         // Bind arguments (constant-argument attributes may have been
-        // refreshed by the JIT specializations above).
+        // refreshed by the JIT specializations above). Host entries carry
+        // no arguments — their closures captured the buffer ids.
         for (&cgi, launch) in batch.iter().zip(&mut launches) {
             let cg = &queue.groups[cgi];
+            let Some(kernel) = launch.kernel else {
+                continue;
+            };
             let const_args: Vec<i64> = program
                 .module
-                .attr(launch.kernel, "sycl.const_args")
+                .attr(kernel, "sycl.const_args")
                 .and_then(|a| a.as_dense_i64())
                 .map(|v| v.to_vec())
                 .unwrap_or_default();
@@ -263,10 +294,14 @@ pub fn run(
             launch.args = args;
         }
 
-        // A limit trip is stamped with the launch's index *within this
-        // segment's graph*; re-stamp it with the submission index so the
-        // caller can name the offending command group whatever schedule
-        // (or host-task segmentation) was in effect.
+        // Errors come back stamped with the launch's index *within this
+        // graph*; re-stamp **every** error kind with the submission index
+        // so the caller can name the offending command group whatever
+        // schedule (or host-task segmentation) was in effect. With host
+        // nodes on the mapping is the identity (one whole-program graph);
+        // with segmentation it is the fix for the old bug where only
+        // `LimitExceeded` was re-stamped and every other error reported a
+        // segment-local position.
         let stats = device
             .launch_graph(&program.module, &launches, &dag, &mut pool)
             .map_err(|e| match e {
@@ -279,6 +314,13 @@ pub fn run(
                     launch: batch[launch],
                     group,
                 },
+                SimError::Message {
+                    message,
+                    at: Some((launch, group)),
+                } => SimError::Message {
+                    message,
+                    at: Some((batch[launch], group)),
+                },
                 other => other,
             })?;
 
@@ -286,23 +328,34 @@ pub fn run(
             batch.iter().zip(&launches).zip(stats.into_iter().zip(jit))
         {
             let cg = &queue.groups[cgi];
-            // Launch overhead: DAE-marked arguments are not passed
-            // (§VII-B).
-            let dead = program
-                .module
-                .attr(launch.kernel, sycl_mlir_sycl::KERNEL_DEAD_ARGS_ATTR)
-                .and_then(|a| a.as_dense_i64())
-                .map(|v| v.len())
-                .unwrap_or(0);
-            let passed = cg.args.len().saturating_sub(dead);
-            let launch_cycles =
-                device.cost.launch_base + device.cost.launch_per_arg * passed as f64;
-
-            runs[cgi] = Some(KernelRun {
-                kernel: cg.kernel.clone(),
-                stats,
-                launch_cycles,
-                jit_cycles,
+            runs[cgi] = Some(match launch.kernel {
+                Some(kernel) => {
+                    // Launch overhead: DAE-marked arguments are not passed
+                    // (§VII-B).
+                    let dead = program
+                        .module
+                        .attr(kernel, sycl_mlir_sycl::KERNEL_DEAD_ARGS_ATTR)
+                        .and_then(|a| a.as_dense_i64())
+                        .map(|v| v.len())
+                        .unwrap_or(0);
+                    let passed = cg.args.len().saturating_sub(dead);
+                    let launch_cycles =
+                        device.cost.launch_base + device.cost.launch_per_arg * passed as f64;
+                    KernelRun {
+                        kernel: cg.kernel.clone(),
+                        stats,
+                        launch_cycles,
+                        jit_cycles,
+                    }
+                }
+                // Host rows: zeroed stats and no launch overhead, in both
+                // scheduling modes.
+                None => KernelRun {
+                    kernel: cg.kernel.clone(),
+                    stats: ExecStats::default(),
+                    launch_cycles: 0.0,
+                    jit_cycles: 0.0,
+                },
             });
         }
     }
@@ -351,44 +404,105 @@ fn schedule_dag(segment: &[usize], deps: &[(usize, usize)], device: &Device) -> 
     }
 }
 
-/// Execute a host task against the device-resident buffers. Element
-/// updates go through `f64` for every element type, so the result is
-/// deterministic and independent of the schedule position granted by the
-/// hazard DAG.
-fn run_host_op(op: &HostOp, pool: &mut MemoryPool, buf_mems: &[MemId]) {
-    let apply = |data: &mut DataVec, f: &dyn Fn(f64) -> f64| match data {
-        DataVec::F32(v) => v.iter_mut().for_each(|x| *x = f(*x as f64) as f32),
-        DataVec::F64(v) => v.iter_mut().for_each(|x| *x = f(*x)),
-        DataVec::I32(v) => v.iter_mut().for_each(|x| *x = f(*x as f64) as i32),
-        DataVec::I64(v) => v.iter_mut().for_each(|x| *x = f(*x as f64) as i64),
-    };
-    match *op {
-        HostOp::Scale { buffer, factor } => {
-            apply(pool.data_mut(buf_mems[buffer.0]), &|x| x * factor);
-        }
-        HostOp::Shift { buffer, delta } => {
-            apply(pool.data_mut(buf_mems[buffer.0]), &|x| x + delta);
-        }
-        HostOp::AddInto { dst, src } => {
-            let src = pool.data(buf_mems[src.0]).clone();
-            let dst = pool.data_mut(buf_mems[dst.0]);
-            match (dst, &src) {
-                (DataVec::F32(d), DataVec::F32(s)) => {
-                    d.iter_mut().zip(s).for_each(|(d, s)| *d += s)
+/// Stamp an error with the submission position `(cgi, group)` — the
+/// segmented-mode twin of the graph scheduler's position stamping for
+/// host nodes.
+fn stamp_submission(e: SimError, cgi: usize, group: usize) -> SimError {
+    match e {
+        SimError::Message { message, .. } => SimError::Message {
+            message,
+            at: Some((cgi, group)),
+        },
+        SimError::LimitExceeded { kind, .. } => SimError::LimitExceeded {
+            kind,
+            launch: cgi,
+            group,
+        },
+    }
+}
+
+/// Build the [`HostNode`] closure of a host task over the device-resident
+/// buffers. Element updates go through `f64` for every element type (with
+/// the exact legacy conversions: `i32` elements saturate through `as i32`
+/// before the truncating store), so the result is deterministic and
+/// independent of the schedule position granted by the hazard DAG. A
+/// type-mismatched `AddInto` reports a structured [`SimError`] with
+/// pinned text instead of panicking a pool worker.
+fn host_node_of(op: HostOp, buf_mems: &[MemId]) -> HostNode {
+    let apply = |mem: MemId, f: Box<dyn Fn(f64) -> f64 + Send + Sync>| {
+        HostNode::new(move |view: &HostView<'_, '_>| {
+            let n = view.len(mem) as i64;
+            match view.dtype_name(mem) {
+                "f32" => {
+                    for i in 0..n {
+                        let RtValue::F32(x) = view.load(mem, i) else {
+                            unreachable!("f32 buffer loads f32")
+                        };
+                        view.store(mem, i, RtValue::F32(f(x as f64) as f32));
+                    }
                 }
-                (DataVec::F64(d), DataVec::F64(s)) => {
-                    d.iter_mut().zip(s).for_each(|(d, s)| *d += s)
+                "f64" => {
+                    for i in 0..n {
+                        let RtValue::F64(x) = view.load(mem, i) else {
+                            unreachable!("f64 buffer loads f64")
+                        };
+                        view.store(mem, i, RtValue::F64(f(x)));
+                    }
                 }
-                (DataVec::I32(d), DataVec::I32(s)) => d
-                    .iter_mut()
-                    .zip(s)
-                    .for_each(|(d, s)| *d = d.wrapping_add(*s)),
-                (DataVec::I64(d), DataVec::I64(s)) => d
-                    .iter_mut()
-                    .zip(s)
-                    .for_each(|(d, s)| *d = d.wrapping_add(*s)),
-                (d, s) => panic!("host AddInto over mismatched element types {s:?} -> {d:?}"),
+                "i32" => {
+                    for i in 0..n {
+                        let RtValue::Int(x) = view.load(mem, i) else {
+                            unreachable!("i32 buffer loads int")
+                        };
+                        view.store(mem, i, RtValue::Int(f(x as f64) as i32 as i64));
+                    }
+                }
+                _ => {
+                    for i in 0..n {
+                        let RtValue::Int(x) = view.load(mem, i) else {
+                            unreachable!("i64 buffer loads int")
+                        };
+                        view.store(mem, i, RtValue::Int(f(x as f64) as i64));
+                    }
+                }
             }
+            Ok(())
+        })
+    };
+    match op {
+        HostOp::Scale { buffer, factor } => {
+            apply(buf_mems[buffer.0], Box::new(move |x| x * factor))
+        }
+        HostOp::Shift { buffer, delta } => apply(buf_mems[buffer.0], Box::new(move |x| x + delta)),
+        HostOp::AddInto { dst, src } => {
+            let (dst, src) = (buf_mems[dst.0], buf_mems[src.0]);
+            HostNode::new(move |view: &HostView<'_, '_>| {
+                let (dd, sd) = (view.dtype_name(dst), view.dtype_name(src));
+                if dd != sd {
+                    return Err(SimError::msg(format!(
+                        "host AddInto over mismatched element types {sd} -> {dd}"
+                    )));
+                }
+                // The legacy zip clamps to the shorter buffer.
+                let n = view.len(dst).min(view.len(src)) as i64;
+                for i in 0..n {
+                    match (view.load(dst, i), view.load(src, i)) {
+                        (RtValue::F32(d), RtValue::F32(s)) => {
+                            view.store(dst, i, RtValue::F32(d + s))
+                        }
+                        (RtValue::F64(d), RtValue::F64(s)) => {
+                            view.store(dst, i, RtValue::F64(d + s))
+                        }
+                        // i32 sums stay in range in i64 and the store
+                        // truncates — exactly i32 wrapping addition.
+                        (RtValue::Int(d), RtValue::Int(s)) => {
+                            view.store(dst, i, RtValue::Int(d.wrapping_add(s)))
+                        }
+                        _ => unreachable!("element types checked equal above"),
+                    }
+                }
+                Ok(())
+            })
         }
     }
 }

@@ -54,10 +54,16 @@ impl CgArg {
 
 /// A deterministic host-side operation submitted as a command group (the
 /// SYCL `handler::host_task`): it reads/writes buffers on the host and is
-/// ordered through the same hazard DAG as kernel launches. The runtime
-/// executes it on the submitting thread at its scheduled point; in the
-/// out-of-order schedule it acts as a synchronization point between the
-/// launch-graph segments before and after it.
+/// ordered through the same hazard DAG as kernel launches. The executor
+/// runs it as a **first-class launch-graph node** (a
+/// [`sycl_mlir_sim::HostNode`]): one logical work-group on a pool worker,
+/// hazard-tracked, metered at a fixed weight, cancellable and
+/// fault-injectable like any kernel launch — so kernels with no hazard on
+/// the host task overlap it freely. `SYCL_MLIR_SIM_HOST_NODES=off`
+/// restores the legacy segmented schedule, where every host task is a
+/// synchronization point splitting the program into separately scheduled
+/// launch-graph segments; results, reports and failure positions are
+/// bit-identical either way.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum HostOp {
     /// Multiply every element of `buffer` by `factor`.

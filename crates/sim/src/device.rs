@@ -7,7 +7,10 @@ use crate::interp::{ExecCtx, Stop, WorkItemState};
 use crate::limits::{CancelToken, ExecLimits, FaultPlan, FaultSite, OpMeter};
 use crate::memory::MemoryPool;
 use crate::plan::{decode_kernel, fuse_plan_with, profile_summary, FuseLevel, KernelPlan};
-use crate::pool::{run_plan_graph_limited, run_plan_launch, LaunchDag, PlanLaunch};
+use crate::pool::{
+    run_plan_graph_limited, run_plan_launch, HostNode, HostView, LaunchDag, PlanLaunch,
+    SchedPolicy, SharedPool,
+};
 use crate::value::{NdItemVal, RtValue};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
@@ -138,6 +141,35 @@ pub fn batch_from_env() -> bool {
 /// behind a barrier (the PR 3 batch schedule, kept as a debug path).
 pub fn overlap_from_env() -> bool {
     bool_knob_from_env("SYCL_MLIR_SIM_OVERLAP", true)
+}
+
+/// The host-node setting named by the `SYCL_MLIR_SIM_HOST_NODES`
+/// environment variable (`on`/`off`); `on` when unset. With host nodes
+/// on, host tasks run as first-class [`HostNode`] launches inside the
+/// hazard graph (one graph spans the whole program); with host nodes
+/// off, the runtime falls back to segmenting programs around host tasks
+/// and running each segment as its own graph — the pre-host-node
+/// schedule, kept as an A/B baseline.
+pub fn host_nodes_from_env() -> bool {
+    bool_knob_from_env("SYCL_MLIR_SIM_HOST_NODES", true)
+}
+
+/// The ready-set policy named by the `SYCL_MLIR_SIM_SCHED` environment
+/// variable (`fifo`/`critpath`); [`SchedPolicy::CritPath`] when unset.
+/// Selects how the graph scheduler orders launches whose dependencies
+/// have all retired — results are bit-identical either way (the policy
+/// only affects wall time), so `fifo` exists as the A/B baseline. An
+/// unknown value warns on stderr and falls back to `critpath`.
+pub fn sched_from_env() -> SchedPolicy {
+    match std::env::var("SYCL_MLIR_SIM_SCHED") {
+        Err(_) => SchedPolicy::CritPath,
+        Ok(s) => SchedPolicy::parse(&s).unwrap_or_else(|| {
+            eprintln!(
+                "warning: unknown SYCL_MLIR_SIM_SCHED `{s}` (expected `fifo` or `critpath`); defaulting to critpath"
+            );
+            SchedPolicy::CritPath
+        }),
+    }
 }
 
 /// The profiling setting named by the `SYCL_MLIR_SIM_PROFILE` environment
@@ -346,6 +378,13 @@ pub struct Device {
     /// Launch count (per cached plan, current launch included) at which
     /// [`JitMode::On`] tiers up into the closure chain.
     pub jit_threshold: u64,
+    /// Run host tasks as first-class graph nodes ([`HostNode`]); the
+    /// runtime consults this when building schedules. Off falls back to
+    /// segmenting programs around host tasks (the A/B baseline).
+    pub host_nodes: bool,
+    /// Ready-set ordering policy of the graph scheduler ([`SchedPolicy`]);
+    /// affects wall time only, never results.
+    pub sched: SchedPolicy,
     /// Per-launch execution limits ([`ExecLimits`]): weighted-operation
     /// budget, memory cap, wall-clock deadline, cancellation token and
     /// injected fault. All off by default (modulo the `SYCL_MLIR_SIM_*`
@@ -374,6 +413,8 @@ impl Default for Device {
             profile: profile_from_env(),
             jit: jit_from_env(),
             jit_threshold: jit_threshold_from_env(),
+            host_nodes: host_nodes_from_env(),
+            sched: sched_from_env(),
             limits: ExecLimits::from_env(),
             plan_cache: RefCell::new(HashMap::new()),
             cache_hits: Cell::new(0),
@@ -474,6 +515,20 @@ impl Device {
     /// per cached plan, current launch included).
     pub fn jit_threshold(mut self, threshold: u64) -> Device {
         self.jit_threshold = threshold;
+        self
+    }
+
+    /// Builder-style host-node override: `false` makes the runtime
+    /// segment programs around host tasks (the A/B baseline) instead of
+    /// running them as graph nodes.
+    pub fn host_nodes(mut self, host_nodes: bool) -> Device {
+        self.host_nodes = host_nodes;
+        self
+    }
+
+    /// Builder-style ready-set policy override ([`SchedPolicy`]).
+    pub fn sched(mut self, sched: SchedPolicy) -> Device {
+        self.sched = sched;
         self
     }
 
@@ -674,10 +729,11 @@ impl Device {
                     // shape — so the closure tier flows through the same
                     // scheduler seam as graph launches.
                     let launches = [PlanLaunch {
-                        plan: &plan,
+                        plan: Some(&plan),
                         args,
                         nd,
                         jit: jit.as_deref(),
+                        host: None,
                     }];
                     let mut out = run_plan_graph_limited(
                         &launches,
@@ -687,6 +743,7 @@ impl Device {
                         self.threads,
                         false,
                         &self.limits,
+                        self.sched,
                     )?;
                     Ok(out.stats.pop().expect("one launch in, one stats out"))
                 }
@@ -759,22 +816,41 @@ impl Device {
         pool: &mut MemoryPool,
     ) -> Result<Vec<ExecStats>, SimError> {
         if self.engine == Engine::Plan {
+            // One slot per batch entry: `Some((plan, jit))` for a decoded
+            // kernel, `None` for a host node. Any *undecodable kernel*
+            // makes the whole collect `None` and the graph falls back to
+            // sequential execution below.
             #[allow(clippy::type_complexity)]
             let plans: Option<
-                Vec<(Arc<KernelPlan>, Option<Arc<crate::jit::JitKernel>>)>,
+                Vec<Option<(Arc<KernelPlan>, Option<Arc<crate::jit::JitKernel>>)>>,
             > = batch
                 .iter()
-                .map(|b| self.cached_plan(m, b.kernel))
+                .map(|b| match b.kernel {
+                    Some(k) => self.cached_plan(m, k).map(Some),
+                    None => Some(None),
+                })
                 .collect();
             if let Some(plans) = plans {
                 let launches: Vec<PlanLaunch<'_>> = plans
                     .iter()
                     .zip(batch)
-                    .map(|((plan, jit), b)| PlanLaunch {
-                        plan,
-                        args: &b.args,
-                        nd: b.nd,
-                        jit: jit.as_deref(),
+                    .map(|(entry, b)| match entry {
+                        Some((plan, jit)) => PlanLaunch {
+                            plan: Some(plan),
+                            args: &b.args,
+                            nd: b.nd,
+                            jit: jit.as_deref(),
+                            host: None,
+                        },
+                        // A malformed entry (neither kernel nor host) is
+                        // rejected by the graph validator.
+                        None => PlanLaunch {
+                            plan: None,
+                            args: &b.args,
+                            nd: b.nd,
+                            jit: None,
+                            host: b.host.as_ref(),
+                        },
                     })
                     .collect();
                 let out = run_plan_graph_limited(
@@ -785,12 +861,15 @@ impl Device {
                     self.threads,
                     self.profile,
                     &self.limits,
+                    self.sched,
                 )?;
                 if let Some(profile) = &out.profile {
                     let mut ops = self.profile_ops.borrow_mut();
                     let mut pairs = self.profile_pairs.borrow_mut();
-                    for ((plan, _), counts) in plans.iter().zip(profile) {
-                        profile_summary(plan, counts, &mut ops, &mut pairs);
+                    for (entry, counts) in plans.iter().zip(profile) {
+                        if let Some((plan, _)) = entry {
+                            profile_summary(plan, counts, &mut ops, &mut pairs);
+                        }
                     }
                 }
                 return Ok(out.stats);
@@ -805,10 +884,10 @@ impl Device {
         batch
             .iter()
             .enumerate()
-            .map(|(li, b)| {
-                launch_kernel_with(
+            .map(|(li, b)| match (b.kernel, &b.host) {
+                (Some(kernel), None) => launch_kernel_with(
                     m,
-                    b.kernel,
+                    kernel,
                     &b.args,
                     b.nd,
                     pool,
@@ -816,7 +895,13 @@ impl Device {
                     &self.limits,
                     deadline,
                     li,
-                )
+                ),
+                (None, Some(node)) => {
+                    run_host_serial(node, pool, &self.limits, deadline, li).map_err(|e| e.at(li, 0))
+                }
+                _ => Err(SimError::msg(
+                    "a batch launch must carry exactly one of a kernel or a host node",
+                )),
             })
             .collect()
     }
@@ -863,16 +948,43 @@ impl Device {
     }
 }
 
-/// One entry of a [`Device::launch_batch`] call: a kernel with its bound
-/// arguments and geometry.
+/// One entry of a [`Device::launch_batch`] / [`Device::launch_graph`]
+/// call: either a kernel with its bound arguments and geometry, or a
+/// host-task node ([`HostNode`]) occupying one logical work-group.
+/// Exactly one of [`BatchLaunch::kernel`] / [`BatchLaunch::host`] is
+/// `Some`; use the constructors.
 #[derive(Clone, Debug)]
 pub struct BatchLaunch {
-    /// The kernel function to launch.
-    pub kernel: OpId,
+    /// The kernel function to launch (`None` for host nodes).
+    pub kernel: Option<OpId>,
     /// Kernel arguments, excluding the trailing item parameter.
     pub args: Vec<RtValue>,
-    /// Launch geometry.
+    /// Launch geometry (a single 1×1 group for host nodes).
     pub nd: NdRangeSpec,
+    /// The host closure, when this entry is a host task.
+    pub host: Option<HostNode>,
+}
+
+impl BatchLaunch {
+    /// A kernel launch entry.
+    pub fn kernel(kernel: OpId, args: Vec<RtValue>, nd: NdRangeSpec) -> BatchLaunch {
+        BatchLaunch {
+            kernel: Some(kernel),
+            args,
+            nd,
+            host: None,
+        }
+    }
+
+    /// A host-task entry: one logical 1×1 work-group running `node`.
+    pub fn host_node(node: HostNode) -> BatchLaunch {
+        BatchLaunch {
+            kernel: None,
+            args: Vec::new(),
+            nd: NdRangeSpec::d1(1, 1),
+            host: Some(node),
+        }
+    }
 }
 
 /// Free-function form of [`Device::launch`] (tree-walk, unlimited).
@@ -922,7 +1034,8 @@ fn launch_kernel_with(
             launch,
             site: FaultSite::Decode,
         }
-        .error());
+        .error()
+        .at(launch, 0));
     }
     let claim_fault = match limits.fault_at(launch) {
         Some(FaultSite::Claim(n)) => n,
@@ -944,7 +1057,8 @@ fn launch_kernel_with(
                         launch,
                         site: FaultSite::Claim(gi),
                     }
-                    .error());
+                    .error()
+                    .at(launch, gi as usize));
                 }
                 run_work_group(m, kernel, args, nd, [g0, g1, g2], &mut ctx)
                     .map_err(|e| e.at(launch, gi as usize))?;
@@ -958,6 +1072,54 @@ fn launch_kernel_with(
     stats.work_items = nd.work_items() as u64;
     stats.charge(cost);
     Ok(stats)
+}
+
+/// The sequential-fallback twin of the graph scheduler's host-node
+/// execution (tree-walk engine, or a graph containing an undecodable
+/// kernel): honour the decode and claim fault sites, charge the node's
+/// fixed weight through a per-execution [`OpMeter`], then run the
+/// closure against a [`HostView`] of the pool. Errors are returned
+/// unstamped; the caller stamps the `(launch, group)` position.
+fn run_host_serial(
+    node: &HostNode,
+    pool: &mut MemoryPool,
+    limits: &ExecLimits,
+    deadline: Option<Instant>,
+    launch: usize,
+) -> Result<ExecStats, SimError> {
+    match limits.fault_at(launch) {
+        Some(FaultSite::Decode) => {
+            return Err(FaultPlan {
+                launch,
+                site: FaultSite::Decode,
+            }
+            .error());
+        }
+        // A host node spans one logical work-group, so only claim 0 can
+        // fire (matching the graph scheduler's claim accounting).
+        Some(FaultSite::Claim(0)) => {
+            return Err(FaultPlan {
+                launch,
+                site: FaultSite::Claim(0),
+            }
+            .error());
+        }
+        _ => {}
+    }
+    let metered = limits.max_ops.is_some()
+        || limits.deadline_ms.is_some()
+        || limits.cancel.is_some()
+        || matches!(limits.fault_at(launch), Some(FaultSite::Instr(_)));
+    if metered {
+        let budget = limits.max_ops.map(|b| Arc::new(AtomicU64::new(b)));
+        let mut meter = OpMeter::new(limits, budget, deadline, launch);
+        let outcome = meter.charge(node.weight);
+        meter.settle();
+        outcome?;
+    }
+    let shared = SharedPool::new(pool);
+    node.run(&HostView::new(&shared))?;
+    Ok(ExecStats::default())
 }
 
 /// Execute a pre-decoded [`KernelPlan`] over `nd` — the [`Engine::Plan`]
@@ -1428,16 +1590,8 @@ mod tests {
             let mb = pool.alloc(DataVec::F32((0..n).map(|i| (2 * i) as f32).collect()));
             let device = Device::with_engine(Engine::Plan).threads(threads);
             let batch = vec![
-                BatchLaunch {
-                    kernel: scale,
-                    args: vec![accessor(ma, n)],
-                    nd,
-                },
-                BatchLaunch {
-                    kernel: offset,
-                    args: vec![accessor(mb, n)],
-                    nd,
-                },
+                BatchLaunch::kernel(scale, vec![accessor(ma, n)], nd),
+                BatchLaunch::kernel(offset, vec![accessor(mb, n)], nd),
             ];
             let stats = if batched {
                 device.launch_batch(&m, &batch, &mut pool).unwrap()
@@ -1446,7 +1600,13 @@ mod tests {
                     .iter()
                     .map(|b| {
                         device
-                            .launch(&m, b.kernel, &b.args, b.nd, &mut pool)
+                            .launch(
+                                &m,
+                                b.kernel.expect("kernel entry"),
+                                &b.args,
+                                b.nd,
+                                &mut pool,
+                            )
                             .unwrap()
                     })
                     .collect()
@@ -1510,16 +1670,8 @@ mod tests {
             let ma = pool.alloc(DataVec::F32((0..n).map(|i| i as f32).collect()));
             let device = Device::with_engine(Engine::Plan).threads(threads);
             let batch = vec![
-                BatchLaunch {
-                    kernel: scale,
-                    args: vec![accessor(ma, n)],
-                    nd,
-                },
-                BatchLaunch {
-                    kernel: offset,
-                    args: vec![accessor(ma, n)],
-                    nd,
-                },
+                BatchLaunch::kernel(scale, vec![accessor(ma, n)], nd),
+                BatchLaunch::kernel(offset, vec![accessor(ma, n)], nd),
             ];
             let stats = device.launch_graph(&m, &batch, &dag, &mut pool).unwrap();
             let DataVec::F32(a) = pool.data(ma) else {
@@ -1602,21 +1754,9 @@ mod tests {
             let ma = pool.alloc(DataVec::F32((0..n).map(|i| i as f32).collect()));
             let device = Device::with_engine(Engine::Plan).threads(threads);
             let batch = vec![
-                BatchLaunch {
-                    kernel: scale,
-                    args: vec![accessor(ma, n)],
-                    nd: NdRangeSpec::d1(n, 4),
-                },
-                BatchLaunch {
-                    kernel: offset,
-                    args: vec![accessor(ma, n)],
-                    nd: NdRangeSpec::d1(0, 4),
-                },
-                BatchLaunch {
-                    kernel: offset,
-                    args: vec![accessor(ma, n)],
-                    nd: NdRangeSpec::d1(n, 4),
-                },
+                BatchLaunch::kernel(scale, vec![accessor(ma, n)], NdRangeSpec::d1(n, 4)),
+                BatchLaunch::kernel(offset, vec![accessor(ma, n)], NdRangeSpec::d1(0, 4)),
+                BatchLaunch::kernel(offset, vec![accessor(ma, n)], NdRangeSpec::d1(n, 4)),
             ];
             let stats = device.launch_graph(&m, &batch, &dag, &mut pool).unwrap();
             assert_eq!(stats.len(), 3, "threads={threads}");
@@ -1674,16 +1814,8 @@ mod tests {
             let mut pool = MemoryPool::new();
             let device = Device::with_engine(Engine::Plan).threads(threads);
             let batch = vec![
-                BatchLaunch {
-                    kernel: bad_late,
-                    args: vec![],
-                    nd,
-                },
-                BatchLaunch {
-                    kernel: bad_all,
-                    args: vec![],
-                    nd,
-                },
+                BatchLaunch::kernel(bad_late, vec![], nd),
+                BatchLaunch::kernel(bad_all, vec![], nd),
             ];
             let err = device
                 .launch_graph(&m, &batch, &LaunchDag::independent(2), &mut pool)

@@ -62,6 +62,12 @@ pub enum SimError {
     Message {
         /// Human-readable description of the failure.
         message: String,
+        /// The `(launch, work-group)` position the failure was recorded
+        /// at, when it happened inside a scheduled launch (`None` for
+        /// errors raised outside any launch, e.g. graph validation).
+        /// Rendered into [`SimError::message`], so failure positions are
+        /// part of the bit-identical cross-engine error contract.
+        at: Option<(usize, usize)>,
     },
     /// A per-launch execution limit tripped (or the launch was
     /// cancelled). Structured — not a panic — so callers can match on
@@ -81,6 +87,7 @@ impl SimError {
     pub fn msg(message: impl Into<String>) -> SimError {
         SimError::Message {
             message: message.into(),
+            at: None,
         }
     }
 
@@ -94,8 +101,10 @@ impl SimError {
         }
     }
 
-    /// Re-stamp a limit error with its true position (no-op for message
-    /// errors, which carry their own context).
+    /// Re-stamp an error with its true `(launch, group)` position. Every
+    /// error kind carries the position (not just limit trips — PR 9
+    /// bugfix: message errors used to drop it, so host-task segmentation
+    /// reported segment-local launch indices).
     pub(crate) fn at(self, launch: usize, group: usize) -> SimError {
         match self {
             SimError::LimitExceeded { kind, .. } => SimError::LimitExceeded {
@@ -103,14 +112,21 @@ impl SimError {
                 launch,
                 group,
             },
-            other => other,
+            SimError::Message { message, .. } => SimError::Message {
+                message,
+                at: Some((launch, group)),
+            },
         }
     }
 
     /// The error text without the `simulation error: ` prefix.
     pub fn message(&self) -> String {
         match self {
-            SimError::Message { message } => message.clone(),
+            SimError::Message { message, at: None } => message.clone(),
+            SimError::Message {
+                message,
+                at: Some((launch, group)),
+            } => format!("{message} (launch {launch}, work-group {group})"),
             SimError::LimitExceeded {
                 kind,
                 launch,
@@ -132,7 +148,7 @@ impl SimError {
     pub(crate) fn cascades(&self) -> bool {
         match self {
             SimError::LimitExceeded { .. } => true,
-            SimError::Message { message } => message.starts_with("injected fault"),
+            SimError::Message { message, .. } => message.starts_with("injected fault"),
         }
     }
 

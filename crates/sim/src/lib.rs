@@ -85,7 +85,14 @@
 //! per-worker chunks — no level barrier, so one slow launch no longer
 //! stalls independent successors (`SYCL_MLIR_SIM_OVERLAP=off` restores
 //! the PR 3 level-barrier schedule, `SYCL_MLIR_SIM_BATCH=off` full
-//! serialization). Per-worker scratch arenas are recycled across
+//! serialization). The ready set drains by precomputed **critical-path
+//! length** (ties broken by submission index; `SYCL_MLIR_SIM_SCHED=fifo`
+//! restores the FIFO baseline — results are bit-identical either way),
+//! and **host tasks** run as first-class graph nodes ([`HostNode`], one
+//! logical work-group, hazard-tracked and metered like any launch;
+//! `SYCL_MLIR_SIM_HOST_NODES=off` restores the segmented schedule that
+//! drains the graph around each host task). Per-worker scratch arenas are
+//! recycled across
 //! work-groups and launches to cut private-alloca churn. A `--profile`
 //! mode (`SYCL_MLIR_SIM_PROFILE=on`) counts every executed instruction
 //! and ranks dataflow-adjacent pairs as fusion candidates
@@ -120,9 +127,9 @@ pub mod value;
 
 pub use cost::{CostModel, ExecStats};
 pub use device::{
-    auto_threads, batch_from_env, fuse_from_env, jit_from_env, jit_threshold_from_env,
-    launch_kernel, launch_plan, overlap_from_env, profile_from_env, threads_from_env, BatchLaunch,
-    Device, Engine, JitMode, NdRangeSpec, SimError,
+    auto_threads, batch_from_env, fuse_from_env, host_nodes_from_env, jit_from_env,
+    jit_threshold_from_env, launch_kernel, launch_plan, overlap_from_env, profile_from_env,
+    sched_from_env, threads_from_env, BatchLaunch, Device, Engine, JitMode, NdRangeSpec, SimError,
 };
 pub use interp::LimitKind;
 pub use jit::{compile as jit_compile, JitKernel};
@@ -133,7 +140,7 @@ pub use plan::{
 };
 pub use pool::{
     run_plan_batch, run_plan_graph, run_plan_graph_limited, run_plan_graph_report, run_plan_launch,
-    run_plan_launch_limited, GraphOutcome, GraphReport, LaunchDag, LaunchStatus, PlanExecCtx,
-    PlanLaunch, PlanPool, SharedPool,
+    run_plan_launch_limited, GraphOutcome, GraphReport, HostNode, HostView, LaunchDag,
+    LaunchStatus, PlanExecCtx, PlanLaunch, PlanPool, SchedPolicy, SharedPool, HOST_NODE_WEIGHT,
 };
 pub use value::{AccessorVal, MemRefVal, NdItemVal, RtValue, Space};

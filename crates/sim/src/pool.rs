@@ -32,9 +32,15 @@
 //!   carries an atomic remaining-dependency counter; the worker that
 //!   retires a launch's last work-group decrements its successors'
 //!   counters and publishes newly-ready launches to a shared ready set —
-//!   no level barrier anywhere. Work-groups are claimed in per-worker
-//!   **chunks** (adaptive to the launch's group count) so cursor
-//!   contention stays low even for many tiny groups. Workers accumulate
+//!   no level barrier anywhere. The ready set drains longest critical
+//!   path first by default ([`SchedPolicy::CritPath`]; `Fifo` is the A/B
+//!   baseline) — ordering only moves wall time, never results. Host
+//!   tasks join the same graph as [`HostNode`]s: single-group launches
+//!   whose closure runs on a pool worker under the same hazard,
+//!   metering and cancellation rules as kernels. Work-groups are claimed
+//!   in per-worker **chunks** (adaptive to the launch's group count) so
+//!   cursor contention stays low even for many tiny groups. Workers
+//!   accumulate
 //!   [`ExecStats`] locally per launch and the per-worker counters are
 //!   summed per launch after the join. Every counter is an integer total
 //!   over work-groups and the coalescing tracker resets per group, so
@@ -56,7 +62,8 @@ use crate::limits::{ExecLimits, FaultSite, OpMeter};
 use crate::memory::{dtype_of, dtype_of_data, zeroed_data, DataVec, MemId, MemoryPool};
 use crate::plan::{KernelPlan, PlanCtx, PlanWorkItem};
 use crate::value::RtValue;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -222,6 +229,25 @@ impl<'p> SharedPool<'p> {
         match self.bufs[id.0 as usize].ptr {
             BufPtr::F32(_) | BufPtr::I32(_) => 4,
             BufPtr::F64(_) | BufPtr::I64(_) => 8,
+        }
+    }
+
+    /// Number of elements of buffer `id`.
+    #[inline]
+    pub fn len(&self, id: MemId) -> usize {
+        self.bufs[id.0 as usize].len
+    }
+
+    /// Element type name of buffer `id` (`"f32"`, `"f64"`, `"i32"` or
+    /// `"i64"`) — what host-task closures key their typed loops (and
+    /// their mismatch diagnostics) on.
+    #[inline]
+    pub fn dtype_name(&self, id: MemId) -> &'static str {
+        match self.bufs[id.0 as usize].ptr {
+            BufPtr::F32(_) => "f32",
+            BufPtr::F64(_) => "f64",
+            BufPtr::I32(_) => "i32",
+            BufPtr::I64(_) => "i64",
         }
     }
 }
@@ -725,33 +751,272 @@ impl LaunchDag {
 }
 
 // ----------------------------------------------------------------------
+// Host-task nodes
+// ----------------------------------------------------------------------
+
+/// Fixed weighted-operation cost charged per host node through the
+/// launch's `OpMeter`: host closures are opaque to the instruction
+/// meter, so each one pays this flat weight against the op budget (and
+/// with it gets a deadline/cancellation poll and an honoured
+/// `instr` fault site) before its closure runs.
+pub const HOST_NODE_WEIGHT: u64 = 64;
+
+/// A host-side view of the device memory the scheduler shares with its
+/// workers: bounds-checked, typed element access to every buffer, with
+/// the same coercions and mismatch panics as kernel stores. Host-task
+/// closures ([`HostNode`]) receive one of these instead of raw buffer
+/// references, so host work obeys the same hazard ordering — and the
+/// same happens-before edges — as kernel launches.
+pub struct HostView<'a, 'p> {
+    shared: &'a SharedPool<'p>,
+}
+
+impl<'a, 'p> HostView<'a, 'p> {
+    /// Wrap a shared pool view for host-closure access.
+    pub fn new(shared: &'a SharedPool<'p>) -> HostView<'a, 'p> {
+        HostView { shared }
+    }
+
+    /// Number of elements of buffer `id`.
+    pub fn len(&self, id: MemId) -> usize {
+        self.shared.len(id)
+    }
+
+    /// Load one element ([`SharedPool::load`] typing rules).
+    pub fn load(&self, id: MemId, index: i64) -> RtValue {
+        self.shared.load(id, index)
+    }
+
+    /// Store one element ([`SharedPool::store`] coercions and panics).
+    pub fn store(&self, id: MemId, index: i64, value: RtValue) {
+        self.shared.store(id, index, value)
+    }
+
+    /// Element size in bytes of buffer `id`.
+    pub fn elem_bytes(&self, id: MemId) -> usize {
+        self.shared.elem_bytes(id)
+    }
+
+    /// Element type name of buffer `id` (`"f32"`, `"f64"`, `"i32"` or
+    /// `"i64"`).
+    pub fn dtype_name(&self, id: MemId) -> &'static str {
+        self.shared.dtype_name(id)
+    }
+}
+
+/// A host task as a first-class launch-graph node: a closure over a
+/// [`HostView`] that the worker pool runs as a single logical work-group.
+/// Host nodes are hazard-tracked, metered (a flat [`HostNode::weight`]
+/// against the op budget), cancellable and fault-injectable exactly like
+/// kernel launches — replacing the old runtime behaviour of treating
+/// every host task as a synchronization barrier that split the program
+/// into separately scheduled segments.
+#[derive(Clone)]
+pub struct HostNode {
+    run: HostFn,
+    /// Weighted-operation cost charged through the `OpMeter` before
+    /// the closure runs ([`HOST_NODE_WEIGHT`] by default).
+    pub weight: u64,
+}
+
+/// The boxed closure a [`HostNode`] runs.
+type HostFn = Arc<dyn Fn(&HostView<'_, '_>) -> Result<(), SimError> + Send + Sync>;
+
+impl HostNode {
+    /// A host node running `f`, charged at [`HOST_NODE_WEIGHT`].
+    pub fn new<F>(f: F) -> HostNode
+    where
+        F: Fn(&HostView<'_, '_>) -> Result<(), SimError> + Send + Sync + 'static,
+    {
+        HostNode {
+            run: Arc::new(f),
+            weight: HOST_NODE_WEIGHT,
+        }
+    }
+
+    /// Run the closure against a host view of the device memory.
+    pub fn run(&self, view: &HostView<'_, '_>) -> Result<(), SimError> {
+        (self.run)(view)
+    }
+}
+
+impl std::fmt::Debug for HostNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostNode")
+            .field("weight", &self.weight)
+            .finish_non_exhaustive()
+    }
+}
+
+// ----------------------------------------------------------------------
 // The out-of-order launch scheduler
 // ----------------------------------------------------------------------
 
-/// One kernel launch of a graph handed to [`run_plan_graph`] (or of a
-/// batch handed to [`run_plan_batch`]): a decoded plan, its bound
-/// arguments and its geometry.
+/// Ready-set ordering policy of the out-of-order scheduler: which of the
+/// currently eligible launches workers drain first. Ordering only moves
+/// wall time — results, statistics and failure positions are
+/// bit-identical under either policy (and any thread count), because
+/// hazard edges alone order conflicting accesses and all per-launch
+/// accounting is schedule-independent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// First-in-first-out publication order (the PR 5 behaviour, kept as
+    /// the A/B baseline).
+    Fifo,
+    /// Longest critical path through the DAG first (precomputed as the
+    /// work-group-weighted longest path to a sink; ties broken by the
+    /// smaller submission index), so the launches gating the most
+    /// downstream work start earliest.
+    #[default]
+    CritPath,
+}
+
+impl SchedPolicy {
+    /// Parse a policy spelling (`fifo`, `critpath`/`crit-path`/`cp`);
+    /// `None` for anything else.
+    pub fn parse(s: &str) -> Option<SchedPolicy> {
+        match s {
+            "fifo" => Some(SchedPolicy::Fifo),
+            "critpath" | "crit-path" | "cp" => Some(SchedPolicy::CritPath),
+            _ => None,
+        }
+    }
+
+    /// The policy's display name (`"fifo"` or `"critpath"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::CritPath => "critpath",
+        }
+    }
+}
+
+/// The scheduler's ready set under a [`SchedPolicy`]: launches with all
+/// dependencies retired and (possibly) unclaimed work-groups. Exhausted
+/// entries are dropped lazily by `acquire` via the peek/pop pair, so
+/// both shapes expose the same front-of-queue protocol.
+enum ReadySet {
+    /// Publication order.
+    Fifo(VecDeque<usize>),
+    /// Max-heap by `(critical path, smaller index wins ties)`.
+    CritPath(BinaryHeap<(u64, Reverse<usize>)>),
+}
+
+impl ReadySet {
+    fn new(policy: SchedPolicy) -> ReadySet {
+        match policy {
+            SchedPolicy::Fifo => ReadySet::Fifo(VecDeque::new()),
+            SchedPolicy::CritPath => ReadySet::CritPath(BinaryHeap::new()),
+        }
+    }
+
+    /// Publish launch `li` with critical-path length `cp`.
+    fn push(&mut self, li: usize, cp: u64) {
+        match self {
+            ReadySet::Fifo(q) => q.push_back(li),
+            ReadySet::CritPath(h) => h.push((cp, Reverse(li))),
+        }
+    }
+
+    /// The launch the policy would hand out next, without removing it.
+    fn peek(&self) -> Option<usize> {
+        match self {
+            ReadySet::Fifo(q) => q.front().copied(),
+            ReadySet::CritPath(h) => h.peek().map(|&(_, Reverse(li))| li),
+        }
+    }
+
+    /// Drop the front entry (after `peek` found it exhausted).
+    fn pop(&mut self) {
+        match self {
+            ReadySet::Fifo(q) => {
+                q.pop_front();
+            }
+            ReadySet::CritPath(h) => {
+                h.pop();
+            }
+        }
+    }
+}
+
+/// Per-launch critical-path lengths through `dag`: the longest
+/// work-group-weighted path from each node to a sink, the priority key
+/// of [`SchedPolicy::CritPath`]. Empty launches (and single-group host
+/// nodes) weigh 1 so a chain of them still orders ahead of isolated
+/// leaves. Processes nodes in decreasing Kahn level, so every
+/// successor's length is final before its predecessors read it.
+fn critical_paths(dag: &LaunchDag, geometry: &[([i64; 3], usize)]) -> Vec<u64> {
+    let (level, _) = dag.kahn_levels();
+    let n = dag.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| Reverse(level[i]));
+    let mut cp = vec![0_u64; n];
+    for &u in &order {
+        let tail = dag.succs[u].iter().map(|&s| cp[s]).max().unwrap_or(0);
+        cp[u] = (geometry[u].1.max(1) as u64).saturating_add(tail);
+    }
+    cp
+}
+
+/// One launch of a graph handed to [`run_plan_graph`] (or of a batch
+/// handed to [`run_plan_batch`]): either a decoded kernel plan with its
+/// bound arguments and geometry, or a [`HostNode`] (a host task running
+/// as a single logical work-group). Exactly one of
+/// [`PlanLaunch::plan`] / [`PlanLaunch::host`] is `Some`.
 pub struct PlanLaunch<'a> {
-    /// The decoded (possibly fused) kernel.
-    pub plan: &'a KernelPlan,
+    /// The decoded (possibly fused) kernel; `None` for host nodes.
+    pub plan: Option<&'a KernelPlan>,
     /// Kernel arguments, excluding the trailing item parameter.
     pub args: &'a [RtValue],
-    /// Launch geometry.
+    /// Launch geometry (a single 1×1 group for host nodes).
     pub nd: NdRangeSpec,
     /// Closure-JIT compilation of `plan`, when this launch runs on the
     /// closure tier (`None` executes the plan interpreter; both tiers are
     /// bit-identical, so this only selects the dispatch mechanism).
     pub jit: Option<&'a crate::jit::JitKernel>,
+    /// The host closure, when this node is a host task.
+    pub host: Option<&'a HostNode>,
+}
+
+impl<'a> PlanLaunch<'a> {
+    /// A kernel launch of `plan` over `nd` (plan-interpreter tier; set
+    /// [`PlanLaunch::jit`] to select the closure tier).
+    pub fn kernel(plan: &'a KernelPlan, args: &'a [RtValue], nd: NdRangeSpec) -> PlanLaunch<'a> {
+        PlanLaunch {
+            plan: Some(plan),
+            args,
+            nd,
+            jit: None,
+            host: None,
+        }
+    }
+
+    /// A host-task node: one logical 1×1 work-group running `node`.
+    pub fn host(node: &'a HostNode) -> PlanLaunch<'a> {
+        PlanLaunch {
+            plan: None,
+            args: &[],
+            nd: NdRangeSpec::d1(1, 1),
+            jit: None,
+            host: Some(node),
+        }
+    }
 }
 
 /// Per-launch scheduling state: geometry, claim cursor, retire counter
 /// and the remaining-dependency counter driving the ready set.
 struct GraphUnit<'a> {
-    plan: &'a KernelPlan,
+    /// The decoded kernel (`None` for host nodes).
+    plan: Option<&'a KernelPlan>,
     args: &'a [RtValue],
     nd: NdRangeSpec,
     /// Closure-tier compilation of `plan`, when the launch tiers up.
     jit: Option<&'a crate::jit::JitKernel>,
+    /// The host closure, when this node is a host task.
+    host: Option<&'a HostNode>,
+    /// Critical-path length through the DAG from this launch (the
+    /// [`SchedPolicy::CritPath`] priority key).
+    cp: u64,
     groups: [i64; 3],
     total: usize,
     /// Work-groups claimed per `fetch_add` (adaptive: large launches use
@@ -807,6 +1072,7 @@ fn failure_of_panic(payload: Box<dyn std::any::Any + Send>) -> Failure {
     if let Some(t) = text {
         if t.starts_with("device memory access out of bounds")
             || t.starts_with("type-mismatched store")
+            || t.starts_with("host AddInto over mismatched element types")
         {
             return Failure::Error(SimError::msg(t));
         }
@@ -871,8 +1137,9 @@ struct GraphState<'a, 'p> {
     /// pays one branch per launch acquisition and per claimed chunk).
     limits: Option<GraphLimits>,
     /// Launches with retired dependencies and (possibly) unclaimed
-    /// work-groups. Exhausted entries are dropped lazily by `acquire`.
-    ready: Mutex<VecDeque<usize>>,
+    /// work-groups, ordered by the run's [`SchedPolicy`]. Exhausted
+    /// entries are dropped lazily by `acquire`.
+    ready: Mutex<ReadySet>,
     /// Wakes workers parked in `acquire` (new ready launches, poisoning,
     /// or the last retire).
     wake: Condvar,
@@ -1023,7 +1290,9 @@ impl GraphState<'_, '_> {
         let mut q = self.ready.lock().unwrap();
         let left = self.launches_left.fetch_sub(retired, Ordering::AcqRel) - retired;
         let publish = !newly_ready.is_empty();
-        q.extend(newly_ready);
+        for s in newly_ready {
+            q.push(s, self.units[s].cp);
+        }
         drop(q);
         if left == 0 || publish {
             self.wake.notify_all();
@@ -1043,9 +1312,9 @@ impl GraphState<'_, '_> {
             if self.launches_left.load(Ordering::Acquire) == 0 {
                 return None;
             }
-            while let Some(&li) = q.front() {
+            while let Some(li) = q.peek() {
                 if self.units[li].next.load(Ordering::Relaxed) >= self.units[li].total {
-                    q.pop_front();
+                    q.pop();
                 } else {
                     return Some(li);
                 }
@@ -1111,6 +1380,24 @@ fn run_group(
     cooperative_rounds(&mut items, group, |wi| wi.run(plan, ctx, pctx))
 }
 
+/// Execute the single logical work-group of a host node: charge the
+/// node's fixed weight through a per-execution [`OpMeter`] (op budget,
+/// deadline/cancellation poll and the `instr` fault site all honoured),
+/// then run the closure against a [`HostView`] of the shared device
+/// memory. The unspent remainder of the metered block settles back so
+/// budgets stay exact.
+fn run_host_node(node: &HostNode, st: &GraphState<'_, '_>, li: usize) -> Result<(), SimError> {
+    if let Some(gl) = &st.limits {
+        if gl.needs_meter(li) {
+            let mut meter = OpMeter::new(&gl.limits, st.units[li].budget.clone(), gl.deadline, li);
+            let metered = meter.charge(node.weight);
+            meter.settle();
+            metered?;
+        }
+    }
+    node.run(&HostView::new(st.shared))
+}
+
 /// Claim-and-run loop of one worker thread over the launch graph.
 ///
 /// The worker repeatedly asks the ready set for a launch with unclaimed
@@ -1155,23 +1442,25 @@ fn graph_worker(st: &GraphState<'_, '_>) -> WorkerResult {
             cur = Some(li);
         }
         let unit = &st.units[li];
-        let pctx = pctxs[li].get_or_insert_with(|| {
-            let mut p = if st.profile {
-                PlanCtx::profiled(unit.plan)
-            } else {
-                PlanCtx::new(unit.plan)
-            };
-            if let Some(gl) = &st.limits {
-                if gl.needs_meter(li) {
-                    p.set_meter(OpMeter::new(
-                        &gl.limits,
-                        unit.budget.clone(),
-                        gl.deadline,
-                        li,
-                    ));
+        let mut pctx = unit.plan.map(|plan| {
+            pctxs[li].get_or_insert_with(|| {
+                let mut p = if st.profile {
+                    PlanCtx::profiled(plan)
+                } else {
+                    PlanCtx::new(plan)
+                };
+                if let Some(gl) = &st.limits {
+                    if gl.needs_meter(li) {
+                        p.set_meter(OpMeter::new(
+                            &gl.limits,
+                            unit.budget.clone(),
+                            gl.deadline,
+                            li,
+                        ));
+                    }
                 }
-            }
-            p
+                p
+            })
         });
         loop {
             let start = unit.next.fetch_add(unit.chunk, Ordering::Relaxed);
@@ -1200,22 +1489,30 @@ fn graph_worker(st: &GraphState<'_, '_>) -> WorkerResult {
                     st.record_failure(li, idx, Failure::Error(fault.error()));
                     continue;
                 }
-                let group = group_of(unit.groups, idx);
-                let outcome = catch_unwind(AssertUnwindSafe(|| match unit.jit {
-                    Some(jit) => run_group_jit(
-                        jit,
-                        unit.plan,
-                        unit.args,
-                        unit.nd,
-                        group,
-                        &mut ctx,
-                        pctx,
-                        &mut jit_scratch,
-                    ),
-                    None => run_group(unit.plan, unit.args, unit.nd, group, &mut ctx, pctx),
-                }));
-                ctx.next_work_group();
-                pctx.next_work_group();
+                let outcome = match unit.host {
+                    Some(node) => catch_unwind(AssertUnwindSafe(|| run_host_node(node, st, li))),
+                    None => {
+                        let plan = unit.plan.expect("kernel launch carries a plan");
+                        let p = pctx.as_deref_mut().expect("kernel launch has a plan ctx");
+                        let group = group_of(unit.groups, idx);
+                        let r = catch_unwind(AssertUnwindSafe(|| match unit.jit {
+                            Some(jit) => run_group_jit(
+                                jit,
+                                plan,
+                                unit.args,
+                                unit.nd,
+                                group,
+                                &mut ctx,
+                                p,
+                                &mut jit_scratch,
+                            ),
+                            None => run_group(plan, unit.args, unit.nd, group, &mut ctx, p),
+                        }));
+                        ctx.next_work_group();
+                        p.next_work_group();
+                        r
+                    }
+                };
                 match outcome {
                     Ok(Ok(())) => {}
                     Ok(Err(e)) => st.record_failure(li, idx, Failure::Error(e)),
@@ -1255,12 +1552,7 @@ pub fn run_plan_launch(
     threads: usize,
 ) -> Result<ExecStats, SimError> {
     let mut stats = run_plan_batch(
-        &[PlanLaunch {
-            plan,
-            args,
-            nd,
-            jit: None,
-        }],
+        &[PlanLaunch::kernel(plan, args, nd)],
         pool_mem,
         cost,
         threads,
@@ -1280,14 +1572,18 @@ pub fn run_plan_launch_limited(
     threads: usize,
     limits: &ExecLimits,
 ) -> Result<ExecStats, SimError> {
-    let launches = [PlanLaunch {
-        plan,
-        args,
-        nd,
-        jit: None,
-    }];
+    let launches = [PlanLaunch::kernel(plan, args, nd)];
     let dag = LaunchDag::independent(1);
-    let mut out = run_plan_graph_limited(&launches, &dag, pool_mem, cost, threads, false, limits)?;
+    let mut out = run_plan_graph_limited(
+        &launches,
+        &dag,
+        pool_mem,
+        cost,
+        threads,
+        false,
+        limits,
+        SchedPolicy::default(),
+    )?;
     Ok(out.stats.pop().expect("one launch in, one stats out"))
 }
 
@@ -1414,15 +1710,17 @@ pub fn run_plan_graph(
         threads,
         profile,
         &ExecLimits::none(),
+        SchedPolicy::default(),
     )
 }
 
 /// [`run_plan_graph`] under execution limits (`run_plan_graph` itself is
 /// the unlimited special case): op budgets, the memory cap, the deadline
 /// and the cancel token of `limits` are enforced, and fault injection is
-/// honoured. Like `run_plan_graph`, the first failure is returned as
-/// `Err`; use [`run_plan_graph_report`] to additionally observe which
-/// launches completed, failed or were cancelled.
+/// honoured, under ready-set policy `sched`. Like `run_plan_graph`, the
+/// first failure is returned as `Err`; use [`run_plan_graph_report`] to
+/// additionally observe which launches completed, failed or were
+/// cancelled.
 #[allow(clippy::too_many_arguments)]
 pub fn run_plan_graph_limited(
     launches: &[PlanLaunch<'_>],
@@ -1432,8 +1730,11 @@ pub fn run_plan_graph_limited(
     threads: usize,
     profile: bool,
     limits: &ExecLimits,
+    sched: SchedPolicy,
 ) -> Result<GraphOutcome, SimError> {
-    let report = run_plan_graph_report(launches, dag, pool_mem, cost, threads, profile, limits)?;
+    let report = run_plan_graph_report(
+        launches, dag, pool_mem, cost, threads, profile, limits, sched,
+    )?;
     if let Some((_, _, error)) = report.first_failure() {
         return Err(error.clone());
     }
@@ -1459,6 +1760,7 @@ pub fn run_plan_graph_report(
     threads: usize,
     profile: bool,
     limits: &ExecLimits,
+    sched: SchedPolicy,
 ) -> Result<GraphReport, SimError> {
     dag.validate(launches.len())?;
     if launches.len() >= u32::MAX as usize {
@@ -1471,8 +1773,18 @@ pub fn run_plan_graph_report(
     let mut total_groups = 0_usize;
     for l in launches {
         l.nd.validate()?;
+        if l.plan.is_some() == l.host.is_some() {
+            return Err(SimError::msg(
+                "a graph launch must carry exactly one of a kernel plan or a host node",
+            ));
+        }
         let groups = l.nd.groups();
         let total = (groups[0] * groups[1] * groups[2]) as usize;
+        if l.host.is_some() && total != 1 {
+            return Err(SimError::msg(
+                "a host node must span exactly one logical work-group",
+            ));
+        }
         if total >= u32::MAX as usize {
             return Err(SimError::msg("too many work-groups in one launch"));
         }
@@ -1480,6 +1792,9 @@ pub fn run_plan_graph_report(
         geometry.push((groups, total));
     }
     let workers = graph_workers(threads, total_groups);
+    // Critical-path lengths drive the CritPath ready ordering; computed
+    // once up front (the graph validated acyclic above).
+    let cp = critical_paths(dag, &geometry);
     let mut units = Vec::with_capacity(launches.len());
     for (li, (l, &(groups, total))) in launches.iter().zip(&geometry).enumerate() {
         units.push(GraphUnit {
@@ -1487,6 +1802,8 @@ pub fn run_plan_graph_report(
             args: l.args,
             nd: l.nd,
             jit: l.jit,
+            host: l.host,
+            cp: cp[li],
             groups,
             total,
             chunk: claim_chunk(total, workers),
@@ -1513,9 +1830,10 @@ pub fn run_plan_graph_report(
     // Empty launches never enter the ready set — no work-group of theirs
     // could ever retire them; root empties are retired eagerly below and
     // dependent empties cascade through `retire`.
-    let initially_ready: VecDeque<usize> = (0..units.len())
-        .filter(|&i| dag.preds[i] == 0 && units[i].total > 0)
-        .collect();
+    let mut initially_ready = ReadySet::new(sched);
+    for i in (0..units.len()).filter(|&i| dag.preds[i] == 0 && units[i].total > 0) {
+        initially_ready.push(i, units[i].cp);
+    }
 
     let state = GraphState {
         launches_left: AtomicUsize::new(units.len()),
@@ -1642,7 +1960,7 @@ pub fn run_plan_graph_report(
     let mut profiles: Vec<Box<[u64]>> = if profile {
         launches
             .iter()
-            .map(|l| vec![0; l.plan.instr_count()].into_boxed_slice())
+            .map(|l| vec![0; l.plan.map_or(0, |p| p.instr_count())].into_boxed_slice())
             .collect()
     } else {
         Vec::new()
@@ -1660,7 +1978,12 @@ pub fn run_plan_graph_report(
         }
     }
     for (li, (m, unit)) in merged.iter_mut().zip(&state.units).enumerate() {
-        if matches!(statuses[li], LaunchStatus::Completed) {
+        if unit.host.is_some() {
+            // Host nodes report zeroed stats rows regardless of outcome:
+            // their fixed metering weight is an admission charge, not a
+            // simulated instruction count.
+            *m = ExecStats::default();
+        } else if matches!(statuses[li], LaunchStatus::Completed) {
             m.work_groups = unit.total as u64;
             m.work_items = unit.nd.work_items() as u64;
             m.charge(cost);
@@ -1889,25 +2212,10 @@ mod tests {
             let mf = pool.alloc(DataVec::F32(vec![0.0; n as usize]));
             let args = [arg(mf)];
             let launches = [
-                PlanLaunch {
-                    plan: &plan_a,
-                    args: &args,
-                    nd: NdRangeSpec::d1(n, 4),
-                    jit: None,
-                },
+                PlanLaunch::kernel(&plan_a, &args, NdRangeSpec::d1(n, 4)),
                 // The empty middle launch: zero global range.
-                PlanLaunch {
-                    plan: &plan_a,
-                    args: &args,
-                    nd: NdRangeSpec::d1(0, 4),
-                    jit: None,
-                },
-                PlanLaunch {
-                    plan: &plan_c,
-                    args: &args,
-                    nd: NdRangeSpec::d1(n, 4),
-                    jit: None,
-                },
+                PlanLaunch::kernel(&plan_a, &args, NdRangeSpec::d1(0, 4)),
+                PlanLaunch::kernel(&plan_c, &args, NdRangeSpec::d1(n, 4)),
             ];
             let dag = LaunchDag::chain(3);
             let out = run_plan_graph(
@@ -1935,18 +2243,8 @@ mod tests {
         let mf = pool.alloc(DataVec::F32(vec![0.0; n as usize]));
         let args = [arg(mf)];
         let empties = [
-            PlanLaunch {
-                plan: &plan_a,
-                args: &args,
-                nd: NdRangeSpec::d1(0, 4),
-                jit: None,
-            },
-            PlanLaunch {
-                plan: &plan_a,
-                args: &args,
-                nd: NdRangeSpec::d1(0, 4),
-                jit: None,
-            },
+            PlanLaunch::kernel(&plan_a, &args, NdRangeSpec::d1(0, 4)),
+            PlanLaunch::kernel(&plan_a, &args, NdRangeSpec::d1(0, 4)),
         ];
         let out = run_plan_graph(
             &empties,

@@ -133,6 +133,52 @@ fi
 echo "tables bit-identical across closure-JIT modes"
 
 # ----------------------------------------------------------------------
+# Scheduler-policy smoke: the critical-path ready set (default) and the
+# FIFO baseline, and host tasks as graph nodes (default) vs the legacy
+# segmented schedule, must all reproduce the threads=4 tables
+# bit-identically — ordering and segmentation only move wall time.
+# repro_hostdag is the host-task-heavy shape where the schedules differ
+# most (its A/B is the PR 9 headline in BENCH_pr9.json).
+# ----------------------------------------------------------------------
+step "scheduler smoke: --sched=fifo + --host-nodes=off vs baseline"
+./target/release/repro_all --quick --threads=4 --sched=fifo | tee "$tmp/fifo.out"
+./target/release/repro_all --quick --threads=4 --host-nodes=off | tee "$tmp/segmented.out"
+grep -v '^repro_wall_time_seconds:' "$tmp/fifo.out" > "$tmp/fifo.tables"
+grep -v '^repro_wall_time_seconds:' "$tmp/segmented.out" > "$tmp/segmented.tables"
+if ! diff -u "$tmp/t4.tables" "$tmp/fifo.tables"; then
+  echo "FAIL: repro_all tables differ under --sched=fifo" >&2
+  exit 1
+fi
+if ! diff -u "$tmp/t4.tables" "$tmp/segmented.tables"; then
+  echo "FAIL: repro_all tables differ under --host-nodes=off" >&2
+  exit 1
+fi
+for cfg in "--threads=4" "--threads=4 --host-nodes=off" "--threads=4 --sched=fifo" \
+           "--threads=1 --host-nodes=off --sched=fifo"; do
+  # shellcheck disable=SC2086
+  ./target/release/repro_hostdag --quick $cfg 2>/dev/null \
+    | grep -v '^repro_wall_time_seconds:' > "$tmp/hostdag-cur.tables"
+  if [ ! -f "$tmp/hostdag-ref.tables" ]; then
+    cp "$tmp/hostdag-cur.tables" "$tmp/hostdag-ref.tables"
+  elif ! diff -u "$tmp/hostdag-ref.tables" "$tmp/hostdag-cur.tables"; then
+    echo "FAIL: repro_hostdag tables differ under $cfg" >&2
+    exit 1
+  fi
+done
+echo "tables bit-identical across ready-set policies and host-node modes"
+
+# The PR 9 stress pins, by name: host-task failure positions survive
+# segmentation, a type-mismatched host AddInto stays a structured error,
+# and injected faults on host nodes cascade — plus the host-node/FIFO
+# sweep configs inside the randomized differential.
+step "scheduler stress pins: host-task positions, host faults, sched axes"
+cargo test -q --test scheduler_stress -- \
+  divergent_kernel_after_host_task_reports_submission_position \
+  host_addinto_type_mismatch_is_a_structured_error \
+  injected_fault_on_host_node_cascades_to_successors \
+  host_node_in_graph_runs_in_hazard_order
+
+# ----------------------------------------------------------------------
 # Limits smoke: an adversarial kernel spinning an (effectively)
 # unbounded loop must trip --max-ops — fail fast with the structured
 # limit error, never hang — under BOTH engines, and the device must stay

@@ -1229,18 +1229,8 @@ fn mid_chain_error_matches_unfused_and_bound_prunes_correctly() {
             acc,
         ];
         let launches = [
-            PlanLaunch {
-                plan: a,
-                args: &args,
-                nd,
-                jit: None,
-            },
-            PlanLaunch {
-                plan: b,
-                args: &args,
-                nd,
-                jit: None,
-            },
+            PlanLaunch::kernel(a, &args, nd),
+            PlanLaunch::kernel(b, &args, nd),
         ];
         let err = run_plan_graph(
             &launches,
@@ -1263,7 +1253,7 @@ fn mid_chain_error_matches_unfused_and_bound_prunes_correctly() {
         // The minimal failure is launch 0, group 3 — the mid-chain mulf
         // error, never launch 1's division by zero.
         assert_eq!(
-            unfused_msg, "float op on non-float",
+            unfused_msg, "float op on non-float (launch 0, work-group 3)",
             "threads={threads}: wrong launch won the failure bound"
         );
         assert_eq!(
@@ -1450,10 +1440,11 @@ fn execute_jit(plan: &KernelPlan) -> (Result<ExecStats, SimError>, Vec<f32>, Vec
     ];
     let compiled = jit_compile(plan);
     let launches = [PlanLaunch {
-        plan,
+        plan: Some(plan),
         args: &args,
         nd: NdRangeSpec::d1(8, 4),
         jit: Some(&compiled),
+        host: None,
     }];
     let result = run_plan_graph(
         &launches,
@@ -1557,10 +1548,11 @@ fn execute_jit_limited(
     ];
     let compiled = jit_compile(plan);
     let launches = [PlanLaunch {
-        plan,
+        plan: Some(plan),
         args: &args,
         nd: NdRangeSpec::d1(32, 4),
         jit: Some(&compiled),
+        host: None,
     }];
     let mut out = run_plan_graph_limited(
         &launches,
@@ -1570,6 +1562,7 @@ fn execute_jit_limited(
         1,
         false,
         limits,
+        sycl_mlir_repro::sim::SchedPolicy::default(),
     )?;
     Ok(out.stats.pop().expect("one launch in, one stats out"))
 }

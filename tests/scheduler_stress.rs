@@ -28,8 +28,8 @@ use sycl_mlir_repro::runtime::{
 };
 use sycl_mlir_repro::sim::{
     decode_kernel, run_plan_graph_report, AccessorVal, CostModel, DataVec, Device, Engine,
-    ExecLimits, ExecStats, FaultPlan, FaultSite, JitMode, KernelPlan, LaunchDag, LaunchStatus,
-    MemoryPool, NdRangeSpec, PlanLaunch, RtValue,
+    ExecLimits, ExecStats, FaultPlan, FaultSite, HostNode, HostView, JitMode, KernelPlan,
+    LaunchDag, LaunchStatus, MemoryPool, NdRangeSpec, PlanLaunch, RtValue, SchedPolicy,
 };
 use sycl_mlir_repro::sycl::device as sdev;
 use sycl_mlir_repro::sycl::types::AccessMode;
@@ -540,6 +540,21 @@ fn configs() -> Vec<(&'static str, Device)> {
         ("jit-always-t1", plan(1, true, true).jit(JitMode::Always)),
         ("jit-always-t4", plan(4, true, true).jit(JitMode::Always)),
         ("jit-off-t4", plan(4, true, true).jit(JitMode::Off)),
+        // The host-node axis: host tasks as first-class graph nodes (the
+        // default above) vs the legacy segmented schedule that drains the
+        // graph around every host task — bit-identical buffers, reports
+        // and failure positions either way.
+        ("segmented-t1", plan(1, true, true).host_nodes(false)),
+        ("segmented-t4", plan(4, true, true).host_nodes(false)),
+        // The ready-set policy axis: FIFO publication order vs the
+        // critical-path default — ordering moves wall time only.
+        ("fifo-t4", plan(4, true, true).sched(SchedPolicy::Fifo)),
+        (
+            "segmented-fifo-t4",
+            plan(4, true, false)
+                .host_nodes(false)
+                .sched(SchedPolicy::Fifo),
+        ),
     ]
 }
 
@@ -901,30 +916,10 @@ fn fault_shape_run(
     let args_a = [acc(ma)];
     let args_b = [acc(mb)];
     let launches = [
-        PlanLaunch {
-            plan,
-            args: &args_a,
-            nd,
-            jit: None,
-        },
-        PlanLaunch {
-            plan,
-            args: &args_a,
-            nd,
-            jit: None,
-        },
-        PlanLaunch {
-            plan,
-            args: &args_a,
-            nd,
-            jit: None,
-        },
-        PlanLaunch {
-            plan,
-            args: &args_b,
-            nd,
-            jit: None,
-        },
+        PlanLaunch::kernel(plan, &args_a, nd),
+        PlanLaunch::kernel(plan, &args_a, nd),
+        PlanLaunch::kernel(plan, &args_a, nd),
+        PlanLaunch::kernel(plan, &args_b, nd),
     ];
     let dag = LaunchDag::from_edges(4, &[(0, 1), (1, 2)]);
     let report = run_plan_graph_report(
@@ -935,6 +930,7 @@ fn fault_shape_run(
         threads,
         false,
         limits,
+        SchedPolicy::default(),
     )
     .expect("well-formed graph");
     let bits = |mem| {
@@ -973,9 +969,14 @@ fn injected_fault_cancels_successors_and_spares_independents() {
             };
             match &report.statuses[0] {
                 LaunchStatus::Failed { group, error } => {
+                    // The recorded error is the raw fault text stamped
+                    // with its `(launch, group)` position.
                     assert_eq!(
-                        error,
-                        &fault.error(),
+                        error.message(),
+                        format!(
+                            "{} (launch 0, work-group {want_group})",
+                            fault.error().message()
+                        ),
                         "threads={threads} {site:?}: wrong error"
                     );
                     assert_eq!(
@@ -1037,11 +1038,338 @@ fn injected_fault_position_is_mode_independent() {
     let (ref_name, want) = &results[0];
     assert_eq!(
         want,
-        &format!("error: {}", fault.error()),
+        &format!(
+            "error: simulation error: {} (launch 1, work-group 1)",
+            fault.error().message()
+        ),
         "`{ref_name}` must report the pinned fault text"
     );
     for (name, got) in &results[1..] {
         assert_eq!(got, want, "`{name}` diverges from `{ref_name}`");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Host tasks in the failure-position contract
+// ----------------------------------------------------------------------
+
+/// The scheduler-mode sweep for the host-task pins below: the tree-walk
+/// reference plus the plan engine under batch on/off × threads 1/4 ×
+/// host-nodes on/off (the segmented legacy schedule and the one-graph
+/// default must be indistinguishable through every observable).
+fn host_configs() -> Vec<(String, Device)> {
+    let mut cfgs = vec![
+        (
+            "tree-serial".to_string(),
+            Device::with_engine(Engine::TreeWalk)
+                .threads(1)
+                .batch(false)
+                .overlap(false),
+        ),
+        (
+            "tree-serial-segmented".to_string(),
+            Device::with_engine(Engine::TreeWalk)
+                .threads(1)
+                .batch(false)
+                .overlap(false)
+                .host_nodes(false),
+        ),
+    ];
+    for host_nodes in [true, false] {
+        for batch in [false, true] {
+            for threads in [1_usize, 4] {
+                cfgs.push((
+                    format!("plan-hn{host_nodes}-batch{batch}-t{threads}"),
+                    Device::with_engine(Engine::Plan)
+                        .threads(threads)
+                        .batch(batch)
+                        .overlap(true)
+                        .host_nodes(host_nodes),
+                ));
+            }
+        }
+    }
+    cfgs
+}
+
+/// Build the two-kernel module (`scale_io`, `bad_late`) the host-task
+/// pins below run, for the given runtime + queue.
+fn host_pin_module(rt: &SyclRuntime, q: &Queue) -> sycl_mlir_repro::ir::Module {
+    let ctx = full_context();
+    let mut kb = KernelModuleBuilder::new(&ctx);
+    let f32t = ctx.f32_type();
+    let sig = KernelSig::new("scale_io", 1, true).accessor(f32t, 1, AccessMode::ReadWrite);
+    kb.add_kernel(&sig, |b, args, item| {
+        let gid = sdev::global_id(b, item, 0);
+        let v = sdev::load_via_id(b, args[0], &[gid]);
+        let f32t = b.ctx().f32_type();
+        let c = arith::constant_float(b, 0.5, f32t);
+        let t = arith::mulf(b, v, c);
+        sdev::store_via_id(b, t, args[0], &[gid]);
+    });
+    let sig = KernelSig::new("bad_late", 1, true);
+    kb.add_kernel(&sig, |b, _args, item| divergent_from(b, item, 2));
+    generate_host_ir(kb.module(), rt, q);
+    kb.finish()
+}
+
+/// **The PR 9 re-stamping regression pin.** A divergent kernel submitted
+/// *after* a host task must report its **submission-order** `(launch,
+/// work-group)` position — under batch on/off, threads 1/4, host nodes
+/// on/off and both engines. Under the segmented legacy schedule the
+/// divergent kernel is launch 0 *of its segment*; the old code re-stamped
+/// only `LimitExceeded` errors with the submission index, so every other
+/// error kind (this divergent barrier included) leaked the segment-local
+/// position. All modes must agree on `(launch 2, work-group 2)`.
+#[test]
+fn divergent_kernel_after_host_task_reports_submission_position() {
+    let mut results = Vec::new();
+    for (name, device) in host_configs() {
+        let mut rt = SyclRuntime::new();
+        let buf = rt.buffer_f32(vec![1.0; LEN as usize], &[LEN]);
+        let mut q = Queue::new();
+        // Submission 0: a clean kernel. 1: a host task (the segmentation
+        // point under host-nodes off). 2: the divergent kernel — segment-
+        // locally launch 0. 3: a clean kernel pruned by the failure.
+        q.submit(|h| {
+            h.accessor(buf, AccessMode::ReadWrite);
+            h.parallel_for_nd("scale_io", &[LEN], &[8]);
+        });
+        q.submit(|h| {
+            h.host_task(HostOp::Scale {
+                buffer: buf,
+                factor: 2.0,
+            })
+        });
+        q.submit(|h| h.parallel_for_nd("bad_late", &[LEN], &[8]));
+        q.submit(|h| {
+            h.accessor(buf, AccessMode::ReadWrite);
+            h.parallel_for_nd("scale_io", &[LEN], &[8]);
+        });
+        let module = host_pin_module(&rt, &q);
+        let mut program = compile_program(FlowKind::SyclMlir, module).expect("compiles");
+        let err = sycl_mlir_repro::runtime::exec::run(&mut program, &mut rt, &q, &device)
+            .expect_err("the divergent kernel must fail the run");
+        results.push((name, err.to_string()));
+    }
+    let (ref_name, want) = &results[0];
+    assert!(
+        want.contains("divergent barrier") && want.contains("(launch 2, work-group 2)"),
+        "`{ref_name}` must report the submission-order position, got: {want}"
+    );
+    for (name, got) in &results[1..] {
+        assert_eq!(got, want, "`{name}` diverges from `{ref_name}`");
+    }
+}
+
+/// A type-mismatched host `AddInto` surfaces as a **structured
+/// [`SimError`]** with pinned text and the submission position — not as
+/// the raw panic that used to escape `run_host_op` — in both host-node
+/// modes and at every thread count; and the device stays usable for the
+/// next run.
+#[test]
+fn host_addinto_type_mismatch_is_a_structured_error() {
+    for (name, device) in host_configs() {
+        let mut rt = SyclRuntime::new();
+        let dst = rt.buffer_f32(vec![1.0; LEN as usize], &[LEN]);
+        let src = rt.buffer_i32(vec![3; LEN as usize], &[LEN]);
+        let mut q = Queue::new();
+        q.submit(|h| {
+            h.accessor(dst, AccessMode::ReadWrite);
+            h.parallel_for_nd("scale_io", &[LEN], &[8]);
+        });
+        q.submit(|h| h.host_task(HostOp::AddInto { dst, src }));
+        let module = host_pin_module(&rt, &q);
+        let mut program = compile_program(FlowKind::SyclMlir, module).expect("compiles");
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            sycl_mlir_repro::runtime::exec::run(&mut program, &mut rt, &q, &device)
+        }))
+        .unwrap_or_else(|_| panic!("`{name}`: the mismatch must not escape as a panic"))
+        .expect_err("the mismatched AddInto must fail the run");
+        assert_eq!(
+            err.to_string(),
+            "simulation error: host AddInto over mismatched element types i32 -> f32 \
+             (launch 1, work-group 0)",
+            "`{name}`: wrong error"
+        );
+
+        // The failure is contained: the same device runs the next
+        // (well-typed) program cleanly.
+        let mut rt2 = SyclRuntime::new();
+        let ok = rt2.buffer_f32(vec![4.0; LEN as usize], &[LEN]);
+        let mut q2 = Queue::new();
+        q2.submit(|h| {
+            h.accessor(ok, AccessMode::ReadWrite);
+            h.parallel_for_nd("scale_io", &[LEN], &[8]);
+        });
+        q2.submit(|h| {
+            h.host_task(HostOp::Shift {
+                buffer: ok,
+                delta: 1.0,
+            })
+        });
+        let module2 = host_pin_module(&rt2, &q2);
+        let mut program2 = compile_program(FlowKind::SyclMlir, module2).expect("compiles");
+        sycl_mlir_repro::runtime::exec::run(&mut program2, &mut rt2, &q2, &device)
+            .unwrap_or_else(|e| panic!("`{name}`: device unusable after the mismatch: {e}"));
+        assert_eq!(rt2.read_f32(ok)[0], 3.0, "`{name}`: 4.0 * 0.5 + 1.0");
+    }
+}
+
+/// An injected fault targeting a **host node** fails it at its single
+/// logical work-group with the pinned fault text and cascades the
+/// cancellation to every dependent launch — at every fault site, thread
+/// count and ready-set policy (graph-level; host-nodes mode is what puts
+/// the host task in the graph at all).
+#[test]
+fn injected_fault_on_host_node_cascades_to_successors() {
+    let plan = decoded_scale_plan();
+    let nd = NdRangeSpec::d1(LEN, 8);
+    let mut pool = MemoryPool::new();
+    let ma = pool.alloc(DataVec::F32((0..LEN).map(|i| i as f32).collect()));
+    let args_a = [RtValue::Accessor(AccessorVal {
+        mem: ma,
+        range: [LEN, 1, 1],
+        offset: [0, 0, 0],
+        rank: 1,
+        constant: false,
+    })];
+    let host = HostNode::new(move |view: &HostView<'_, '_>| {
+        let n = view.len(ma) as i64;
+        for i in 0..n {
+            let RtValue::F32(x) = view.load(ma, i) else {
+                panic!("f32 buffer")
+            };
+            view.store(ma, i, RtValue::F32(x + 100.0));
+        }
+        Ok(())
+    });
+    // 0 (kernel) -> 1 (host) -> 2 (kernel), all over buffer A.
+    let launches = [
+        PlanLaunch::kernel(&plan, &args_a, nd),
+        PlanLaunch::host(&host),
+        PlanLaunch::kernel(&plan, &args_a, nd),
+    ];
+    let dag = LaunchDag::from_edges(3, &[(0, 1), (1, 2)]);
+    for threads in [1_usize, 4] {
+        for sched in [SchedPolicy::Fifo, SchedPolicy::CritPath] {
+            for site in [FaultSite::Decode, FaultSite::Claim(0), FaultSite::Instr(7)] {
+                let fault = FaultPlan { launch: 1, site };
+                let limits = ExecLimits {
+                    fault: Some(fault),
+                    ..ExecLimits::none()
+                };
+                let report = run_plan_graph_report(
+                    &launches,
+                    &dag,
+                    &mut pool,
+                    &CostModel::default(),
+                    threads,
+                    false,
+                    &limits,
+                    sched,
+                )
+                .expect("well-formed graph");
+                assert_eq!(
+                    report.statuses[0],
+                    LaunchStatus::Completed,
+                    "threads={threads} {sched:?} {site:?}"
+                );
+                match &report.statuses[1] {
+                    LaunchStatus::Failed { group, error } => {
+                        assert_eq!(*group, 0, "a host node has exactly one group");
+                        assert_eq!(
+                            error.message(),
+                            format!("{} (launch 1, work-group 0)", fault.error().message()),
+                            "threads={threads} {sched:?} {site:?}: wrong cause text"
+                        );
+                    }
+                    other => {
+                        panic!("threads={threads} {sched:?} {site:?}: host reported {other:?}")
+                    }
+                }
+                assert_eq!(
+                    report.statuses[2],
+                    LaunchStatus::Cancelled { cause: 1 },
+                    "threads={threads} {sched:?} {site:?}: successor not cancelled"
+                );
+                // The faulted host closure never ran and the cancelled
+                // kernel never wrote: buffer A holds exactly launch 0's
+                // output each round (the iterations stack one scale each).
+                assert_eq!(report.stats[1], ExecStats::default());
+                let (fl, fg, _) = report.first_failure().expect("a failure is recorded");
+                assert_eq!((fl, fg), (1, 0), "threads={threads} {sched:?} {site:?}");
+            }
+        }
+    }
+}
+
+/// A clean host node in a graph runs its closure exactly once between
+/// its predecessor and successor (hazard order), reports zeroed
+/// statistics, and the result is bit-identical at both thread counts and
+/// under both ready-set policies.
+#[test]
+fn host_node_in_graph_runs_in_hazard_order() {
+    let plan = decoded_scale_plan();
+    let nd = NdRangeSpec::d1(LEN, 8);
+    let mut want: Option<Vec<u32>> = None;
+    for threads in [1_usize, 4] {
+        for sched in [SchedPolicy::Fifo, SchedPolicy::CritPath] {
+            let mut pool = MemoryPool::new();
+            let ma = pool.alloc(DataVec::F32((0..LEN).map(|i| i as f32).collect()));
+            let args_a = [RtValue::Accessor(AccessorVal {
+                mem: ma,
+                range: [LEN, 1, 1],
+                offset: [0, 0, 0],
+                rank: 1,
+                constant: false,
+            })];
+            let host = HostNode::new(move |view: &HostView<'_, '_>| {
+                let n = view.len(ma) as i64;
+                for i in 0..n {
+                    let RtValue::F32(x) = view.load(ma, i) else {
+                        panic!("f32 buffer")
+                    };
+                    view.store(ma, i, RtValue::F32(x + 100.0));
+                }
+                Ok(())
+            });
+            let launches = [
+                PlanLaunch::kernel(&plan, &args_a, nd),
+                PlanLaunch::host(&host),
+                PlanLaunch::kernel(&plan, &args_a, nd),
+            ];
+            let dag = LaunchDag::from_edges(3, &[(0, 1), (1, 2)]);
+            let report = run_plan_graph_report(
+                &launches,
+                &dag,
+                &mut pool,
+                &CostModel::default(),
+                threads,
+                false,
+                &ExecLimits::none(),
+                sched,
+            )
+            .expect("well-formed graph");
+            assert!(report
+                .statuses
+                .iter()
+                .all(|s| *s == LaunchStatus::Completed));
+            // Host rows report zeroed statistics in every mode.
+            assert_eq!(report.stats[1], ExecStats::default());
+            assert_eq!(report.stats[1].work_groups, 0);
+            let DataVec::F32(f) = pool.data(ma) else {
+                panic!("f32 buffer")
+            };
+            // Element 0: ((0 * 0.5 + 3) + 100) * 0.5 + 3 = 54.5 — the
+            // closure ran exactly once, strictly between the kernels.
+            assert_eq!(f[0], 54.5, "threads={threads} {sched:?}");
+            let bits: Vec<u32> = f.iter().map(|x| x.to_bits()).collect();
+            match &want {
+                None => want = Some(bits),
+                Some(w) => assert_eq!(&bits, w, "threads={threads} {sched:?}"),
+            }
+        }
     }
 }
 
