@@ -1,0 +1,353 @@
+//! Symbolic interval arithmetic over launch-time parameters.
+//!
+//! The decode-time plan verifier (sim's `verify` module) proves accessor
+//! subscripts in-bounds *before* the launch geometry is known: an index
+//! like `gid0 * N + i` is bounded not by numbers but by **symbols**
+//! (global extent per dimension, accessor ranges, integer kernel
+//! arguments). This module provides the lattice that makes that work:
+//!
+//! * [`Expr`] — a small side-effect-free expression tree over `i64`
+//!   constants and opaque `u32` symbols (`+`, `-`, `*`, `min`, `max`),
+//!   shared per node via `Arc` (thread-safe: proofs live in cross-thread plan caches) and size-tracked so pathological
+//!   programs cannot build unbounded terms;
+//! * [`Interval`] — a pair of bound expressions `[lo, hi]` (both
+//!   inclusive) with the usual interval transfer functions. `Top`
+//!   (unknown) is represented by `Option<Interval>::None`: every
+//!   operation returns `None` when a bound would exceed the node
+//!   budget, so the abstract interpreter degrades to "unproven", never
+//!   to "wrong".
+//!
+//! At launch time the consumer resolves every symbol to a concrete
+//! value and evaluates the bounds in `i128` ([`Expr::eval`]) — checked
+//! arithmetic, so overflow evaluates to "unknown" rather than wrapping.
+//! The meaning of a symbol id is entirely the caller's contract; this
+//! module never interprets them.
+
+use std::sync::Arc;
+
+/// Cap on the node count of any single bound expression. Interval
+/// operations whose result would exceed it return `None` (Top): the
+/// abstract interpreter loses precision but stays linear in program
+/// size.
+pub const MAX_EXPR_NODES: u32 = 256;
+
+/// Binary operators of a bound expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping-free addition (evaluation is checked).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Two-operand minimum.
+    Min,
+    /// Two-operand maximum.
+    Max,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Const(i64),
+    Sym(u32),
+    Bin(BinOp, Expr, Expr),
+}
+
+#[derive(Debug)]
+struct Node {
+    kind: Kind,
+    size: u32,
+}
+
+/// A symbolic bound: a shared, immutable expression tree over constants
+/// and opaque symbols. Cloning is an `Arc` bump.
+#[derive(Clone, Debug)]
+pub struct Expr(Arc<Node>);
+
+impl Expr {
+    /// A constant bound.
+    pub fn konst(v: i64) -> Expr {
+        Expr(Arc::new(Node {
+            kind: Kind::Const(v),
+            size: 1,
+        }))
+    }
+
+    /// An opaque symbol; its meaning is the caller's contract.
+    pub fn sym(id: u32) -> Expr {
+        Expr(Arc::new(Node {
+            kind: Kind::Sym(id),
+            size: 1,
+        }))
+    }
+
+    /// Number of nodes in this expression.
+    pub fn size(&self) -> u32 {
+        self.0.size
+    }
+
+    /// The constant payload, when the expression is a literal constant.
+    pub fn as_const(&self) -> Option<i64> {
+        match self.0.kind {
+            Kind::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Build `op(a, b)`, folding constant operands (with checked
+    /// arithmetic — an overflowing fold stays symbolic and is caught at
+    /// evaluation time). Returns `None` when the result would exceed
+    /// [`MAX_EXPR_NODES`].
+    pub fn bin(op: BinOp, a: &Expr, b: &Expr) -> Option<Expr> {
+        if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+            let folded = match op {
+                BinOp::Add => x.checked_add(y),
+                BinOp::Sub => x.checked_sub(y),
+                BinOp::Mul => x.checked_mul(y),
+                BinOp::Min => Some(x.min(y)),
+                BinOp::Max => Some(x.max(y)),
+            };
+            if let Some(v) = folded {
+                return Some(Expr::konst(v));
+            }
+        }
+        // Algebraic identities keep common affine terms small.
+        match (op, a.as_const(), b.as_const()) {
+            (BinOp::Add, Some(0), _) => return Some(b.clone()),
+            (BinOp::Add | BinOp::Sub, _, Some(0)) => return Some(a.clone()),
+            (BinOp::Mul, Some(1), _) => return Some(b.clone()),
+            (BinOp::Mul, _, Some(1)) => return Some(a.clone()),
+            (BinOp::Mul, Some(0), _) | (BinOp::Mul, _, Some(0)) => return Some(Expr::konst(0)),
+            _ => {}
+        }
+        let size = a.size().checked_add(b.size())?.checked_add(1)?;
+        if size > MAX_EXPR_NODES {
+            return None;
+        }
+        Some(Expr(Arc::new(Node {
+            kind: Kind::Bin(op, a.clone(), b.clone()),
+            size,
+        })))
+    }
+
+    /// Evaluate under `resolve` (symbol id → concrete value) in `i128`
+    /// with checked arithmetic. `None` when a symbol is unresolvable or
+    /// an intermediate overflows `i128`.
+    pub fn eval(&self, resolve: &dyn Fn(u32) -> Option<i64>) -> Option<i128> {
+        match &self.0.kind {
+            Kind::Const(v) => Some(*v as i128),
+            Kind::Sym(s) => resolve(*s).map(|v| v as i128),
+            Kind::Bin(op, a, b) => {
+                let (x, y) = (a.eval(resolve)?, b.eval(resolve)?);
+                match op {
+                    BinOp::Add => x.checked_add(y),
+                    BinOp::Sub => x.checked_sub(y),
+                    BinOp::Mul => x.checked_mul(y),
+                    BinOp::Min => Some(x.min(y)),
+                    BinOp::Max => Some(x.max(y)),
+                }
+            }
+        }
+    }
+}
+
+/// A closed symbolic interval `[lo, hi]`, both bounds inclusive.
+/// `Option<Interval>::None` is Top (completely unknown).
+#[derive(Clone, Debug)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: Expr,
+    /// Inclusive upper bound.
+    pub hi: Expr,
+}
+
+impl Interval {
+    /// The singleton interval `[e, e]`.
+    pub fn point(e: Expr) -> Interval {
+        Interval {
+            lo: e.clone(),
+            hi: e,
+        }
+    }
+
+    /// The constant singleton `[v, v]`.
+    pub fn konst(v: i64) -> Interval {
+        Interval::point(Expr::konst(v))
+    }
+
+    /// The interval `[lo, hi]` of two constants.
+    pub fn of_consts(lo: i64, hi: i64) -> Interval {
+        Interval {
+            lo: Expr::konst(lo),
+            hi: Expr::konst(hi),
+        }
+    }
+
+    /// The constant payload when both bounds are the same literal.
+    pub fn as_const(&self) -> Option<i64> {
+        match (self.lo.as_const(), self.hi.as_const()) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `[a.lo + b.lo, a.hi + b.hi]`.
+    pub fn add(a: &Interval, b: &Interval) -> Option<Interval> {
+        Some(Interval {
+            lo: Expr::bin(BinOp::Add, &a.lo, &b.lo)?,
+            hi: Expr::bin(BinOp::Add, &a.hi, &b.hi)?,
+        })
+    }
+
+    /// `[a.lo - b.hi, a.hi - b.lo]`.
+    pub fn sub(a: &Interval, b: &Interval) -> Option<Interval> {
+        Some(Interval {
+            lo: Expr::bin(BinOp::Sub, &a.lo, &b.hi)?,
+            hi: Expr::bin(BinOp::Sub, &a.hi, &b.lo)?,
+        })
+    }
+
+    /// Interval product: min/max over the four corner products. When
+    /// one operand is a single non-negative constant the two-corner
+    /// short form keeps the term linear.
+    pub fn mul(a: &Interval, b: &Interval) -> Option<Interval> {
+        // Fast path: scaling by a known non-negative constant — the
+        // shape every row-major linearization produces.
+        for (k, iv) in [(a, b), (b, a)] {
+            if let Some(c) = k.as_const() {
+                if c >= 0 {
+                    let c = Expr::konst(c);
+                    return Some(Interval {
+                        lo: Expr::bin(BinOp::Mul, &iv.lo, &c)?,
+                        hi: Expr::bin(BinOp::Mul, &iv.hi, &c)?,
+                    });
+                }
+            }
+        }
+        let ll = Expr::bin(BinOp::Mul, &a.lo, &b.lo)?;
+        let lh = Expr::bin(BinOp::Mul, &a.lo, &b.hi)?;
+        let hl = Expr::bin(BinOp::Mul, &a.hi, &b.lo)?;
+        let hh = Expr::bin(BinOp::Mul, &a.hi, &b.hi)?;
+        let lo = Expr::bin(
+            BinOp::Min,
+            &Expr::bin(BinOp::Min, &ll, &lh)?,
+            &Expr::bin(BinOp::Min, &hl, &hh)?,
+        )?;
+        let hi = Expr::bin(
+            BinOp::Max,
+            &Expr::bin(BinOp::Max, &ll, &lh)?,
+            &Expr::bin(BinOp::Max, &hl, &hh)?,
+        )?;
+        Some(Interval { lo, hi })
+    }
+
+    /// Pointwise two-operand minimum.
+    pub fn min_(a: &Interval, b: &Interval) -> Option<Interval> {
+        Some(Interval {
+            lo: Expr::bin(BinOp::Min, &a.lo, &b.lo)?,
+            hi: Expr::bin(BinOp::Min, &a.hi, &b.hi)?,
+        })
+    }
+
+    /// Pointwise two-operand maximum.
+    pub fn max_(a: &Interval, b: &Interval) -> Option<Interval> {
+        Some(Interval {
+            lo: Expr::bin(BinOp::Max, &a.lo, &b.lo)?,
+            hi: Expr::bin(BinOp::Max, &a.hi, &b.hi)?,
+        })
+    }
+
+    /// Least upper bound (join): the hull `[min(lo), max(hi)]`.
+    pub fn hull(a: &Interval, b: &Interval) -> Option<Interval> {
+        Some(Interval {
+            lo: Expr::bin(BinOp::Min, &a.lo, &b.lo)?,
+            hi: Expr::bin(BinOp::Max, &a.hi, &b.hi)?,
+        })
+    }
+
+    /// Evaluate both bounds under `resolve`; `None` when either bound
+    /// cannot be evaluated.
+    pub fn eval(&self, resolve: &dyn Fn(u32) -> Option<i64>) -> Option<(i128, i128)> {
+        Some((self.lo.eval(resolve)?, self.hi.eval(resolve)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(vals: &'static [(u32, i64)]) -> impl Fn(u32) -> Option<i64> {
+        move |s| vals.iter().find(|(k, _)| *k == s).map(|(_, v)| *v)
+    }
+
+    #[test]
+    fn constant_folding_and_identities() {
+        let a = Expr::konst(6);
+        let b = Expr::konst(7);
+        assert_eq!(Expr::bin(BinOp::Mul, &a, &b).unwrap().as_const(), Some(42));
+        let s = Expr::sym(0);
+        let zero = Expr::konst(0);
+        assert_eq!(Expr::bin(BinOp::Add, &zero, &s).unwrap().size(), 1);
+        assert_eq!(
+            Expr::bin(BinOp::Mul, &s, &zero).unwrap().as_const(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn affine_interval_evaluates() {
+        // gid in [0, N-1]; addr = gid * 4 + 2 → [2, 4N - 2].
+        let n = Expr::sym(0);
+        let gid = Interval {
+            lo: Expr::konst(0),
+            hi: Expr::bin(BinOp::Sub, &n, &Expr::konst(1)).unwrap(),
+        };
+        let addr = Interval::add(
+            &Interval::mul(&gid, &Interval::konst(4)).unwrap(),
+            &Interval::konst(2),
+        )
+        .unwrap();
+        let (lo, hi) = addr.eval(&env(&[(0, 10)])).unwrap();
+        assert_eq!((lo, hi), (2, 38));
+    }
+
+    #[test]
+    fn mul_corner_cases_cover_negatives() {
+        let a = Interval::of_consts(-3, 2);
+        let b = Interval::of_consts(-5, 4);
+        let m = Interval::mul(&a, &b).unwrap();
+        let (lo, hi) = m.eval(&env(&[])).unwrap();
+        assert_eq!((lo, hi), (-12, 15));
+    }
+
+    #[test]
+    fn node_budget_degrades_to_top() {
+        let mut e = Expr::sym(0);
+        let mut hit_cap = false;
+        for i in 1..MAX_EXPR_NODES {
+            match Expr::bin(BinOp::Add, &e, &Expr::sym(i)) {
+                Some(next) => e = next,
+                None => {
+                    hit_cap = true;
+                    break;
+                }
+            }
+        }
+        assert!(hit_cap, "budget never tripped");
+    }
+
+    #[test]
+    fn overflow_evaluates_to_none() {
+        let big = Expr::konst(i64::MAX);
+        let sq = Expr::bin(BinOp::Mul, &big, &Expr::sym(0)).unwrap();
+        let sq2 = Expr::bin(BinOp::Mul, &sq, &sq).unwrap();
+        let quad = Expr::bin(BinOp::Mul, &sq2, &sq2).unwrap();
+        assert_eq!(quad.eval(&|_| Some(i64::MAX)), None);
+    }
+
+    #[test]
+    fn unresolved_symbol_is_unknown() {
+        let e = Expr::bin(BinOp::Add, &Expr::sym(7), &Expr::konst(1)).unwrap();
+        assert_eq!(e.eval(&|_| None), None);
+    }
+}

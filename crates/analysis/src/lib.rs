@@ -16,16 +16,21 @@
 //! * [`callgraph`] — call graph used by the inter-procedural analyses.
 //! * [`equivalence`] — structural SSA value equivalence (shared by alias
 //!   and reaching-definition queries).
+//! * [`interval`] — symbolic interval arithmetic over launch-time
+//!   parameters, the lattice of the simulator's decode-time bounds
+//!   verifier.
 
 pub mod alias;
 pub mod callgraph;
 pub mod equivalence;
+pub mod interval;
 pub mod memaccess;
 pub mod reaching;
 pub mod structure;
 pub mod uniformity;
 
 pub use alias::{AliasAnalysis, AliasResult};
+pub use interval::{BinOp, Expr, Interval};
 pub use memaccess::{AccessInfo, AccessKind, CoalescingClass, DimKind, MemoryAccessAnalysis};
 pub use reaching::{DefClass, ReachingDefinitions};
 pub use uniformity::{Uniformity, UniformityAnalysis};

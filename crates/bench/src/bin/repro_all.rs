@@ -137,6 +137,22 @@ fn main() {
         println!("  \"jit\": \"{}\",", jit.name());
         println!("  \"batch\": \"{}\",", on_off(batch));
         println!("  \"overlap\": \"{}\",", on_off(overlap));
+        println!("  \"verify\": \"{}\",", device.verify.name());
+        // Schema-additive verifier accumulators (all zero when the
+        // verifier is off or the tree-walk engine runs): how many plans
+        // were verified, how much of the suite the static passes proved.
+        let vc = device.verify_counters();
+        println!(
+            "  \"verify_stats\": {{\"plans\": {}, \"sites_proven\": {}, \"sites_total\": {}, \"barriers_uniform\": {}, \"barriers_total\": {}, \"rejected\": {}, \"lint_findings\": {}, \"verify_us\": {}}},",
+            vc.plans,
+            vc.sites_proven,
+            vc.sites_total,
+            vc.barriers_uniform,
+            vc.barriers_total,
+            vc.rejected,
+            vc.lint_findings,
+            vc.verify_ns / 1_000,
+        );
         println!("  \"workloads\": [");
         println!("{}", workloads.join(",\n"));
         println!("  ],");
@@ -196,10 +212,11 @@ fn main() {
     let fuse_name = fuse.name();
     let jit_name = jit.name();
     println!(
-        "\nrepro_wall_time_seconds: {:.3} (engine: {}, threads: {effective_threads}, fuse: {fuse_name}, jit: {jit_name}, batch: {}, overlap: {}, quick: {quick})",
+        "\nrepro_wall_time_seconds: {:.3} (engine: {}, threads: {effective_threads}, fuse: {fuse_name}, jit: {jit_name}, batch: {}, overlap: {}, verify: {}, quick: {quick})",
         t0.elapsed().as_secs_f64(),
         device.engine.name(),
         on_off(batch),
         on_off(overlap),
+        device.verify.name(),
     );
 }

@@ -15,7 +15,7 @@
 
 use sycl_mlir_benchsuite::{geo_mean, run_workload_on, Category, RunResult, WorkloadSpec};
 use sycl_mlir_core::FlowKind;
-use sycl_mlir_sim::{Device, Engine, FuseLevel, JitMode, SchedPolicy};
+use sycl_mlir_sim::{Device, Engine, FuseLevel, JitMode, SchedPolicy, VerifyMode};
 
 /// One row of a speedup table.
 #[derive(Debug, Clone)]
@@ -194,6 +194,14 @@ flag            env variable           values        default  effect
                                                               off = stay on the bytecode loop)
 --jit-threshold=N  SYCL_MLIR_SIM_JIT_THRESHOLD  launches  1   launch count at which --jit=on
                                                               compiles a cached plan (1 = eagerly)
+--verify=...    SYCL_MLIR_SIM_VERIFY   strict | lint lint     decode-time plan verification: prove
+                                       | off                  accessor bounds and barrier uniformity
+                                                              once per cached plan, then elide the
+                                                              proven runtime checks (results stay
+                                                              bit-identical). strict = reject plans
+                                                              with findings (structured error),
+                                                              lint = warn and run them fully checked,
+                                                              off = no verification, no elision
 --profile=...   SYCL_MLIR_SIM_PROFILE  on | off      off      count executed plan instructions and dump
                                                               per-opcode totals + fusion candidates
 --max-ops=N     SYCL_MLIR_SIM_MAX_OPS  integer       off      weighted-operation budget per launch: a
@@ -216,7 +224,7 @@ pub fn handle_help_flag(binary: &str, purpose: &str) {
         return;
     }
     println!("{binary} — {purpose}\n");
-    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|pairs|off] [--jit=on|off|always] [--jit-threshold=N] [--batch=on|off] [--overlap=on|off] [--host-nodes=on|off] [--sched=fifo|critpath] [--profile=on|off] [--max-ops=N] [--mem-cap=BYTES] [--deadline-ms=MS]\n");
+    println!("usage: {binary} [--quick] [--engine=tree|plan] [--threads=N] [--fuse=on|pairs|off] [--jit=on|off|always] [--jit-threshold=N] [--batch=on|off] [--overlap=on|off] [--host-nodes=on|off] [--sched=fifo|critpath] [--verify=strict|lint|off] [--profile=on|off] [--max-ops=N] [--mem-cap=BYTES] [--deadline-ms=MS]\n");
     println!("{KNOB_TABLE}");
     println!(
         "\nFlags win over environment variables. Outputs, statistics and cycle\ntables are bit-identical across every engine/threads/fuse/batch/overlap\ncombination (held by tests/differential.rs); those knobs only change\nwall time. The limit knobs (--max-ops, --mem-cap, --deadline-ms) are\nsafety nets: a kernel exceeding one fails with a structured error and\nexit status 3 instead of hanging the run."
@@ -326,6 +334,23 @@ pub fn profile_flag() -> Option<bool> {
     on_off_flag("profile")
 }
 
+/// Parse the shared `--verify=strict|lint|off` flag (decode-time plan
+/// verification and proven-check elision). Unknown spellings abort
+/// rather than silently benchmarking the wrong configuration.
+pub fn verify_flag() -> Option<VerifyMode> {
+    for arg in std::env::args() {
+        if let Some(value) = arg.strip_prefix("--verify=") {
+            return Some(VerifyMode::parse(value).unwrap_or_else(|| {
+                eprintln!(
+                    "error: unknown --verify value `{value}` (expected `strict`, `lint` or `off`)"
+                );
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
 /// Parse a shared `--<name>=N` non-negative integer flag. Unparsable
 /// values abort rather than silently benchmarking the wrong
 /// configuration.
@@ -406,8 +431,8 @@ pub fn threads_flag() -> Option<usize> {
 
 /// The device the repro binaries run on: the `--engine` / `--threads` /
 /// `--fuse` / `--jit` / `--jit-threshold` / `--batch` / `--overlap` /
-/// `--host-nodes` / `--sched` / `--profile` / `--max-ops` / `--mem-cap` /
-/// `--deadline-ms` flags win,
+/// `--host-nodes` / `--sched` / `--verify` / `--profile` / `--max-ops` /
+/// `--mem-cap` / `--deadline-ms` flags win,
 /// then the `SYCL_MLIR_SIM_*` environment variables, then the defaults
 /// (plan engine, sequential, fusion/batching/closure-JIT on, no limits).
 /// See [`KNOB_TABLE`] for the full list.
@@ -442,6 +467,9 @@ pub fn device_from_args() -> Device {
     }
     if let Some(profile) = profile_flag() {
         device = device.profile(profile);
+    }
+    if let Some(verify) = verify_flag() {
+        device = device.verify(verify);
     }
     if let Some(ops) = max_ops_flag() {
         device = device.max_ops(ops);

@@ -3,7 +3,7 @@
 //! cross-launch kernel-plan cache.
 
 use crate::cost::{CostModel, ExecStats};
-use crate::interp::{ExecCtx, Stop, WorkItemState};
+use crate::interp::{enclosing_module, ExecCtx, Stop, WorkItemState};
 use crate::limits::{CancelToken, ExecLimits, FaultPlan, FaultSite, OpMeter};
 use crate::memory::MemoryPool;
 use crate::plan::{decode_kernel, fuse_plan_with, profile_summary, FuseLevel, KernelPlan};
@@ -12,6 +12,7 @@ use crate::pool::{
     SchedPolicy, SharedPool,
 };
 use crate::value::{NdItemVal, RtValue};
+use crate::verify::{verify_plan, PlanFacts, VerifyMode};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::AtomicU64;
@@ -168,6 +169,26 @@ pub fn sched_from_env() -> SchedPolicy {
                 "warning: unknown SYCL_MLIR_SIM_SCHED `{s}` (expected `fifo` or `critpath`); defaulting to critpath"
             );
             SchedPolicy::CritPath
+        }),
+    }
+}
+
+/// The static-verification mode named by the `SYCL_MLIR_SIM_VERIFY`
+/// environment variable (`strict`/`lint`/`off`); [`VerifyMode::Lint`]
+/// when unset. Selects what happens to the decode-time plan verifier's
+/// findings ([`crate::verify`]): `strict` rejects malformed plans (and
+/// undecodable kernels) with a structured error, `lint` reports them on
+/// stderr and runs anyway, `off` skips the verifier entirely — results
+/// of runnable kernels are bit-identical across all three. An unknown
+/// value warns on stderr and falls back to `lint`.
+pub fn verify_from_env() -> VerifyMode {
+    match std::env::var("SYCL_MLIR_SIM_VERIFY") {
+        Err(_) => VerifyMode::Lint,
+        Ok(s) => VerifyMode::parse(&s).unwrap_or_else(|| {
+            eprintln!(
+                "warning: unknown SYCL_MLIR_SIM_VERIFY `{s}` (expected `strict`, `lint` or `off`); defaulting to lint"
+            );
+            VerifyMode::Lint
         }),
     }
 }
@@ -336,7 +357,22 @@ struct CachedPlan {
     /// The closure-JIT compilation, once the entry tiered up
     /// ([`Device::jit_threshold`]); invalidated with the plan.
     jit: Option<Arc<crate::jit::JitKernel>>,
+    /// Static-analysis facts from the decode-time verifier (site
+    /// in-bounds proofs, barrier uniformity); `None` under `--verify=off`
+    /// or when verification found errors in lint mode.
+    facts: Option<Arc<PlanFacts>>,
+    /// Strict-mode rejection (verification failure or undecodable
+    /// kernel), cached so an iterative workload pays the rejection once
+    /// per epoch — every launch gets the identical structured error.
+    rejected: Option<SimError>,
 }
+
+/// One decoded-and-verified cache entry as handed to the launch paths.
+type PlanEntry = (
+    Arc<KernelPlan>,
+    Option<Arc<crate::jit::JitKernel>>,
+    Option<Arc<PlanFacts>>,
+);
 
 /// Soft bound on cached plans per device; prevents unbounded growth when
 /// one device outlives many modules (the differential sweeps).
@@ -392,13 +428,48 @@ pub struct Device {
     /// entirely. Independent of the plan cache — changing limits never
     /// re-decodes a kernel.
     pub limits: ExecLimits,
+    /// What the decode-time plan verifier does with its findings
+    /// ([`VerifyMode`]): `strict` rejects, `lint` (the default) reports
+    /// and runs, `off` skips verification. Part of nothing bit-visible:
+    /// runnable kernels produce identical outputs, statistics and error
+    /// positions under all three modes.
+    pub verify: VerifyMode,
     plan_cache: RefCell<HashMap<(u64, OpId, FuseLevel), CachedPlan>>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
     jit_compiles: Cell<u64>,
     jit_launches: Cell<u64>,
+    verify_stats: RefCell<VerifyCounters>,
     profile_ops: RefCell<BTreeMap<&'static str, u64>>,
     profile_pairs: RefCell<BTreeMap<(&'static str, &'static str), u64>>,
+}
+
+/// Aggregated decode-time verifier statistics of one device
+/// ([`Device::verify_counters`]): what the static-analysis passes proved
+/// across every plan verified so far, and what that cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyCounters {
+    /// Plans the verifier ran over (once per decode, not per launch).
+    pub plans: u64,
+    /// Accessor/memref access sites seen across verified plans.
+    pub sites_total: u64,
+    /// Sites with a symbolic in-bounds proof (the unchecked-path
+    /// candidates; actual elision is decided per launch when the proof
+    /// is instantiated against concrete geometry and buffer lengths).
+    pub sites_proven: u64,
+    /// `sycl.group.barrier` ops seen across verified plans' source IR.
+    pub barriers_total: u64,
+    /// Barriers the IR uniformity analysis proved to sit in uniform
+    /// control flow (divergence bookkeeping skipped when *all* of a
+    /// plan's barriers are uniform).
+    pub barriers_uniform: u64,
+    /// Total wall time spent in the verifier, in nanoseconds.
+    pub verify_ns: u64,
+    /// Plans rejected under strict mode (verification failure or
+    /// undecodable kernel).
+    pub rejected: u64,
+    /// Individual findings reported (but not enforced) under lint mode.
+    pub lint_findings: u64,
 }
 
 impl Default for Device {
@@ -416,11 +487,13 @@ impl Default for Device {
             host_nodes: host_nodes_from_env(),
             sched: sched_from_env(),
             limits: ExecLimits::from_env(),
+            verify: verify_from_env(),
             plan_cache: RefCell::new(HashMap::new()),
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
             jit_compiles: Cell::new(0),
             jit_launches: Cell::new(0),
+            verify_stats: RefCell::new(VerifyCounters::default()),
             profile_ops: RefCell::new(BTreeMap::new()),
             profile_pairs: RefCell::new(BTreeMap::new()),
         }
@@ -582,6 +655,18 @@ impl Device {
         self
     }
 
+    /// Builder-style static-verification mode override ([`VerifyMode`]).
+    pub fn verify(mut self, verify: VerifyMode) -> Device {
+        self.verify = verify;
+        self
+    }
+
+    /// Aggregated decode-time verifier statistics so far
+    /// ([`VerifyCounters`]).
+    pub fn verify_counters(&self) -> VerifyCounters {
+        *self.verify_stats.borrow()
+    }
+
     /// `(hits, misses)` of the cross-launch plan cache so far. A hit means
     /// a launch reused a previously cached decode outcome (including a
     /// cached "not decodable"); a miss means the decoder ran (first
@@ -609,34 +694,48 @@ impl Device {
 
     /// The decoded plan for `kernel` — plus its closure-JIT compilation
     /// when the entry has tiered up ([`Device::jit`] /
-    /// [`Device::jit_threshold`]) — reused from the cache when the
-    /// module's mutation epoch still matches; `None` if the kernel is not
-    /// plan-decodable (the caller falls back to the tree walk). Decode
-    /// failures are cached too — an iterative workload with an
-    /// undecodable kernel pays the decode attempt once per epoch, not
-    /// once per launch. The launch counter (and with it the tier-up
+    /// [`Device::jit_threshold`]) and the decode-time verifier's facts
+    /// ([`PlanFacts`]) — reused from the cache when the module's
+    /// mutation epoch still matches. `Ok(None)` if the kernel is not
+    /// plan-decodable (the caller falls back to the tree walk); `Err`
+    /// when [`VerifyMode::Strict`] rejects the kernel (verification
+    /// failure, or an undecodable kernel — strict surfaces the decode
+    /// failure as a structured error instead of the silent fallback).
+    /// Every outcome is cached — an iterative workload with an
+    /// undecodable or rejected kernel pays the decode/verify attempt
+    /// once per epoch, not once per launch, and every relaunch reports
+    /// the identical error. The launch counter (and with it the tier-up
     /// decision) is per cache entry, so a module mutation restarts the
     /// warm-up exactly like it re-decodes.
-    #[allow(clippy::type_complexity)]
-    fn cached_plan(
-        &self,
-        m: &Module,
-        kernel: OpId,
-    ) -> Option<(Arc<KernelPlan>, Option<Arc<crate::jit::JitKernel>>)> {
+    fn cached_plan(&self, m: &Module, kernel: OpId) -> Result<Option<PlanEntry>, SimError> {
         let key = (m.module_id(), kernel, self.fuse);
         let epoch = m.mutation_epoch();
-        let mut hit: Option<(Arc<KernelPlan>, Option<Arc<crate::jit::JitKernel>>, bool)> = None;
+        let mut hit: Option<(PlanEntry, bool)> = None;
         if let Some(cached) = self.plan_cache.borrow().get(&key) {
             if cached.epoch == epoch {
                 self.cache_hits.set(self.cache_hits.get() + 1);
-                let plan = cached.plan.clone()?;
-                let count = cached.launches.get() + 1;
-                cached.launches.set(count);
-                let want = self.wants_jit(count);
-                hit = Some((plan, cached.jit.clone().filter(|_| want), want));
+                if let Some(e) = &cached.rejected {
+                    return Err(e.clone());
+                }
+                match &cached.plan {
+                    None => return Ok(None),
+                    Some(plan) => {
+                        let count = cached.launches.get() + 1;
+                        cached.launches.set(count);
+                        let want = self.wants_jit(count);
+                        hit = Some((
+                            (
+                                plan.clone(),
+                                cached.jit.clone().filter(|_| want),
+                                cached.facts.clone(),
+                            ),
+                            want,
+                        ));
+                    }
+                }
             }
         }
-        if let Some((plan, jit, want)) = hit {
+        if let Some(((plan, jit, facts), want)) = hit {
             let jit = match jit {
                 Some(jit) => Some(jit),
                 None if want => {
@@ -653,13 +752,37 @@ impl Device {
             if jit.is_some() {
                 self.jit_launches.set(self.jit_launches.get() + 1);
             }
-            return Some((plan, jit));
+            return Ok(Some((plan, jit, facts)));
         }
-        let plan = decode_kernel(m, kernel).ok().map(|mut p| {
-            fuse_plan_with(&mut p, self.fuse);
-            Arc::new(p)
-        });
+        // Miss: decode, verify (pre-fusion — fusion preserves site ids,
+        // so in-bounds proofs transfer to the fused plan unchanged),
+        // then fuse.
         self.cache_misses.set(self.cache_misses.get() + 1);
+        let mut rejected: Option<SimError> = None;
+        let mut facts: Option<Arc<PlanFacts>> = None;
+        let plan = match decode_kernel(m, kernel) {
+            Ok(mut p) => {
+                if self.verify != VerifyMode::Off {
+                    match self.verify_decoded(m, kernel, &p) {
+                        Ok(f) => facts = f.map(Arc::new),
+                        Err(e) => rejected = Some(e),
+                    }
+                }
+                if rejected.is_none() {
+                    fuse_plan_with(&mut p, self.fuse);
+                    Some(Arc::new(p))
+                } else {
+                    None
+                }
+            }
+            Err(de) => {
+                if self.verify == VerifyMode::Strict {
+                    self.verify_stats.borrow_mut().rejected += 1;
+                    rejected = Some(SimError::from(de));
+                }
+                None
+            }
+        };
         let jit = match &plan {
             Some(p) if self.wants_jit(1) => {
                 self.jit_compiles.set(self.jit_compiles.get() + 1);
@@ -681,9 +804,66 @@ impl Device {
                 plan: plan.clone(),
                 launches: Cell::new(1),
                 jit: jit.clone(),
+                facts: facts.clone(),
+                rejected: rejected.clone(),
             },
         );
-        plan.map(|p| (p, jit))
+        drop(cache);
+        match rejected {
+            Some(e) => Err(e),
+            None => Ok(plan.map(|p| (p, jit, facts))),
+        }
+    }
+
+    /// Run the decode-time static verifier over a freshly decoded
+    /// (pre-fusion) plan: the structural, type-consistency and
+    /// barrier-placement passes plus the interval abstract interpreter
+    /// ([`verify_plan`]), then the IR-level barrier-uniformity pass.
+    /// `Ok(Some(facts))` on a clean plan, `Ok(None)` when lint mode
+    /// reported findings (the plan runs anyway, fully checked), `Err`
+    /// with a structured message when strict mode rejects.
+    fn verify_decoded(
+        &self,
+        m: &Module,
+        kernel: OpId,
+        plan: &KernelPlan,
+    ) -> Result<Option<PlanFacts>, SimError> {
+        let start = Instant::now();
+        match verify_plan(plan) {
+            Ok(mut facts) => {
+                let (total, uniform) = barrier_uniformity(m, kernel);
+                facts.barriers_total = total;
+                facts.barriers_uniform = uniform;
+                facts.verify_ns = start.elapsed().as_nanos() as u64;
+                let mut vs = self.verify_stats.borrow_mut();
+                vs.plans += 1;
+                vs.sites_total += facts.sites_total as u64;
+                vs.sites_proven += facts.sites_proven as u64;
+                vs.barriers_total += total as u64;
+                vs.barriers_uniform += uniform as u64;
+                vs.verify_ns += facts.verify_ns;
+                Ok(Some(facts))
+            }
+            Err(errs) => {
+                let mut vs = self.verify_stats.borrow_mut();
+                vs.plans += 1;
+                vs.verify_ns += start.elapsed().as_nanos() as u64;
+                if self.verify == VerifyMode::Strict {
+                    vs.rejected += 1;
+                    let mut msg = format!("plan verification failed: {}", errs[0]);
+                    if errs.len() > 1 {
+                        msg.push_str(&format!(" (+{} more)", errs.len() - 1));
+                    }
+                    Err(SimError::msg(msg))
+                } else {
+                    vs.lint_findings += errs.len() as u64;
+                    for e in errs.iter().take(8) {
+                        eprintln!("warning: plan verification (lint): {e}");
+                    }
+                    Ok(None)
+                }
+            }
+        }
     }
 
     /// Execute `kernel` over `nd`, mutating `pool`. Returns the dynamic
@@ -724,7 +904,7 @@ impl Device {
                 0,
             ),
             Engine::Plan => match self.cached_plan(m, kernel) {
-                Some((plan, jit)) => {
+                Ok(Some((plan, jit, facts))) => {
                     // A graph of one launch — run_plan_launch_limited's own
                     // shape — so the closure tier flows through the same
                     // scheduler seam as graph launches.
@@ -734,6 +914,7 @@ impl Device {
                         nd,
                         jit: jit.as_deref(),
                         host: None,
+                        facts: facts.as_deref(),
                     }];
                     let mut out = run_plan_graph_limited(
                         &launches,
@@ -748,7 +929,7 @@ impl Device {
                     Ok(out.stats.pop().expect("one launch in, one stats out"))
                 }
                 // Reference fallback for non-decodable kernels.
-                None => launch_kernel_with(
+                Ok(None) => launch_kernel_with(
                     m,
                     kernel,
                     args,
@@ -759,6 +940,9 @@ impl Device {
                     self.limits.deadline_instant(),
                     0,
                 ),
+                // Strict-mode rejection, stamped with this submission's
+                // (launch, group) position like any launch failure.
+                Err(e) => Err(e.at(0, 0)),
             },
         }
     }
@@ -816,31 +1000,38 @@ impl Device {
         pool: &mut MemoryPool,
     ) -> Result<Vec<ExecStats>, SimError> {
         if self.engine == Engine::Plan {
-            // One slot per batch entry: `Some((plan, jit))` for a decoded
-            // kernel, `None` for a host node. Any *undecodable kernel*
-            // makes the whole collect `None` and the graph falls back to
-            // sequential execution below.
-            #[allow(clippy::type_complexity)]
-            let plans: Option<
-                Vec<Option<(Arc<KernelPlan>, Option<Arc<crate::jit::JitKernel>>)>>,
-            > = batch
-                .iter()
-                .map(|b| match b.kernel {
-                    Some(k) => self.cached_plan(m, k).map(Some),
-                    None => Some(None),
-                })
-                .collect();
-            if let Some(plans) = plans {
+            // One slot per batch entry: `Some((plan, jit, facts))` for a
+            // decoded kernel, `None` for a host node. Any *undecodable
+            // kernel* clears `all_decodable` and the graph falls back to
+            // sequential execution below; a strict-mode rejection fails
+            // the whole graph, stamped with the offending launch index.
+            let mut plans: Vec<Option<PlanEntry>> = Vec::with_capacity(batch.len());
+            let mut all_decodable = true;
+            for (li, b) in batch.iter().enumerate() {
+                match b.kernel {
+                    Some(k) => match self.cached_plan(m, k) {
+                        Ok(Some(entry)) => plans.push(Some(entry)),
+                        Ok(None) => {
+                            all_decodable = false;
+                            break;
+                        }
+                        Err(e) => return Err(e.at(li, 0)),
+                    },
+                    None => plans.push(None),
+                }
+            }
+            if all_decodable {
                 let launches: Vec<PlanLaunch<'_>> = plans
                     .iter()
                     .zip(batch)
                     .map(|(entry, b)| match entry {
-                        Some((plan, jit)) => PlanLaunch {
+                        Some((plan, jit, facts)) => PlanLaunch {
                             plan: Some(plan),
                             args: &b.args,
                             nd: b.nd,
                             jit: jit.as_deref(),
                             host: None,
+                            facts: facts.as_deref(),
                         },
                         // A malformed entry (neither kernel nor host) is
                         // rejected by the graph validator.
@@ -850,6 +1041,7 @@ impl Device {
                             nd: b.nd,
                             jit: None,
                             host: b.host.as_ref(),
+                            facts: None,
                         },
                     })
                     .collect();
@@ -867,7 +1059,7 @@ impl Device {
                     let mut ops = self.profile_ops.borrow_mut();
                     let mut pairs = self.profile_pairs.borrow_mut();
                     for (entry, counts) in plans.iter().zip(profile) {
-                        if let Some((plan, _)) = entry {
+                        if let Some((plan, _, _)) = entry {
                             profile_summary(plan, counts, &mut ops, &mut pairs);
                         }
                     }
@@ -944,8 +1136,116 @@ impl Device {
             "{:>16}  closure-jit launches\n",
             self.jit_launches.get()
         ));
+        let vs = self.verify_counters();
+        if vs.plans > 0 || vs.rejected > 0 {
+            out.push_str("\n== static analysis ==\n");
+            out.push_str(&format!("{:>16}  plans verified\n", vs.plans));
+            out.push_str(&format!(
+                "{:>10}/{:<5}  access sites proven in-bounds\n",
+                vs.sites_proven, vs.sites_total
+            ));
+            out.push_str(&format!(
+                "{:>10}/{:<5}  barriers statically uniform\n",
+                vs.barriers_uniform, vs.barriers_total
+            ));
+            out.push_str(&format!("{:>16}  verify time (us)\n", vs.verify_ns / 1_000));
+            if vs.rejected > 0 {
+                out.push_str(&format!("{:>16}  plans rejected (strict)\n", vs.rejected));
+            }
+            if vs.lint_findings > 0 {
+                out.push_str(&format!("{:>16}  lint findings\n", vs.lint_findings));
+            }
+        }
         Some(out)
     }
+}
+
+/// Count the `sycl.group.barrier` ops of `kernel` and its transitive
+/// callees in the source IR, and how many of them the uniformity
+/// analysis ([`UniformityAnalysis`]) places in provably uniform control
+/// flow — the decode-time pass that lets a launch skip per-group
+/// divergence bookkeeping when *every* barrier is uniform. Per-function
+/// analysis runs only for functions that actually contain barriers;
+/// anything unresolvable stays counted but unproven (conservative).
+fn barrier_uniformity(m: &Module, kernel: OpId) -> (u32, u32) {
+    use std::collections::HashMap;
+    use sycl_mlir_analysis::uniformity::UniformityAnalysis;
+
+    /// Every op nested under `f`'s regions, depth-first.
+    fn nested_ops(m: &Module, f: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<OpId> = Vec::new();
+        for &r in m.op_regions(f) {
+            for &b in m.region_blocks(r) {
+                stack.extend(m.block_ops(b).iter().copied());
+            }
+        }
+        while let Some(op) = stack.pop() {
+            out.push(op);
+            for &r in m.op_regions(op) {
+                for &b in m.region_blocks(r) {
+                    stack.extend(m.block_ops(b).iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    // Fixpoint over the call graph: `div[f]` is true when *some* path
+    // from the kernel reaches `f` through divergent control flow (a
+    // divergent call site, or a divergent caller) — barriers in such a
+    // function must stay unproven, whatever their local placement.
+    let mut analyses: HashMap<OpId, UniformityAnalysis> = HashMap::new();
+    let mut div: HashMap<OpId, bool> = HashMap::new();
+    div.insert(kernel, false);
+    let mut work = vec![kernel];
+    while let Some(f) = work.pop() {
+        let fdiv = div[&f];
+        for op in nested_ops(m, f) {
+            if &*m.op_name_str(op) != "func.call" {
+                continue;
+            }
+            let Some(callee) =
+                sycl_mlir_dialects::func::resolve_callee(m, op, enclosing_module(m, f))
+            else {
+                continue;
+            };
+            let ua = analyses
+                .entry(f)
+                .or_insert_with(|| UniformityAnalysis::compute(m, f));
+            let cdiv = fdiv || ua.is_divergent_at(m, op, f);
+            match div.get_mut(&callee) {
+                None => {
+                    div.insert(callee, cdiv);
+                    work.push(callee);
+                }
+                Some(prev) if cdiv && !*prev => {
+                    *prev = true;
+                    work.push(callee);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    let (mut total, mut uniform) = (0_u32, 0_u32);
+    for (&f, &fdiv) in &div {
+        let barriers: Vec<OpId> = nested_ops(m, f)
+            .into_iter()
+            .filter(|&op| &*m.op_name_str(op) == "sycl.group.barrier")
+            .collect();
+        total += barriers.len() as u32;
+        if barriers.is_empty() || fdiv {
+            continue;
+        }
+        let ua = analyses
+            .entry(f)
+            .or_insert_with(|| UniformityAnalysis::compute(m, f));
+        uniform += barriers
+            .iter()
+            .filter(|&&b| !ua.is_divergent_at(m, b, f))
+            .count() as u32;
+    }
+    (total, uniform)
 }
 
 /// One entry of a [`Device::launch_batch`] / [`Device::launch_graph`]
@@ -1188,6 +1488,27 @@ pub(crate) fn cooperative_rounds<W>(
             return Err(SimError::msg(format!(
                 "divergent barrier: {barriers} work-items wait at a barrier while {finished} finished (work-group {group:?})"
             )));
+        }
+    }
+}
+
+/// [`cooperative_rounds`] minus the divergence bookkeeping, for plans
+/// whose every barrier the decode-time verifier proved statically
+/// uniform: no per-round finished/waiting census, just "resume until no
+/// work-item stops at a barrier". Bit-identical to the full version —
+/// a statically-uniform barrier can never trip the divergence check, and
+/// work-items still resume in the same order.
+pub(crate) fn cooperative_rounds_uniform<W>(
+    items: &mut [W],
+    mut run: impl FnMut(&mut W) -> Result<Stop, SimError>,
+) -> Result<(), SimError> {
+    loop {
+        let mut at_barrier = false;
+        for wi in items.iter_mut() {
+            at_barrier |= matches!(run(wi)?, Stop::Barrier);
+        }
+        if !at_barrier {
+            return Ok(());
         }
     }
 }

@@ -32,7 +32,7 @@
 //! [`JitKernel`] is cached next to its plan and invalidated by the same
 //! module mutation epoch.
 
-use crate::device::{cooperative_rounds, items_of_group, NdRangeSpec};
+use crate::device::{cooperative_rounds, cooperative_rounds_uniform, items_of_group, NdRangeSpec};
 use crate::interp::{SimError, Stop};
 use crate::plan::{
     err, materialize_dense, DimSrc, FloatBin, Instr, IntBin, ItemQ, KernelPlan, MathOp, PlanCtx,
@@ -223,6 +223,30 @@ impl Lane<'_, '_, '_> {
         let addr = mr.linearize(&indices[..rank as usize]);
         self.mem_event(site, &mr, addr)?;
         Ok((mr, addr))
+    }
+
+    /// Pool load with per-site bounds-check elision: sites the verifier
+    /// proved in-bounds for this launch take the unchecked path, all
+    /// others keep the checked path and its exact panic text (mirrors
+    /// the plan interpreter's `pool_load!`).
+    #[inline(always)]
+    fn pool_load(&mut self, site: u32, mem: crate::memory::MemId, addr: i64) -> RtValue {
+        if self.pctx.site_proven(site) {
+            self.ctx.pool.load_proven(mem, addr)
+        } else {
+            self.ctx.pool.load(mem, addr)
+        }
+    }
+
+    /// Pool store with per-site bounds-check elision (see
+    /// [`Lane::pool_load`]).
+    #[inline(always)]
+    fn pool_store(&mut self, site: u32, mem: crate::memory::MemId, addr: i64, v: RtValue) {
+        if self.pctx.site_proven(site) {
+            self.ctx.pool.store_proven(mem, addr, v);
+        } else {
+            self.ctx.pool.store(mem, addr, v);
+        }
     }
 }
 
@@ -512,7 +536,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
             let (mem, idx, rank, site) = ($i.4, $i.5, $i.6, $i.7);
             boxed(move |ln| {
                 let (mr, addr) = ln.load_addr(mem, &idx, rank, site, "load from non-memref")?;
-                let loaded = ln.ctx.pool.load(mr.mem, addr);
+                let loaded = ln.pool_load(site, mr.mem, addr);
                 ln.ctx.stats.arith_ops += 1;
                 let loaded = loaded
                     .as_f64()
@@ -765,7 +789,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
             let (dst, mem, idx, rank, site) = (*dst, *mem, *idx, *rank, *site);
             boxed(move |ln| {
                 let (mr, addr) = ln.load_addr(mem, &idx, rank, site, "load from non-memref")?;
-                let v = ln.ctx.pool.load(mr.mem, addr);
+                let v = ln.pool_load(site, mr.mem, addr);
                 ln.set(dst, v);
                 Ok(Ctl::Next)
             })
@@ -781,7 +805,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
             boxed(move |ln| {
                 let v = ln.reg(val);
                 let (mr, addr) = ln.load_addr(mem, &idx, rank, site, "store to non-memref")?;
-                ln.ctx.pool.store(mr.mem, addr, v);
+                ln.pool_store(site, mr.mem, addr, v);
                 Ok(Ctl::Next)
             })
         }
@@ -1049,7 +1073,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
                     boxed(move |ln| {
                         let (mr, addr) =
                             ln.load_addr(mem, &idx, rank, site, "load from non-memref")?;
-                        let loaded = ln.ctx.pool.load(mr.mem, addr);
+                        let loaded = ln.pool_load(site, mr.mem, addr);
                         ln.ctx.stats.arith_ops += 1;
                         loaded
                             .as_f64()
@@ -1130,7 +1154,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
                 }
                 let addr = mr.linearize(&indices[..rank as usize]);
                 ln.mem_event(site, &mr, addr)?;
-                let v = ln.ctx.pool.load(mr.mem, addr);
+                let v = ln.pool_load(site, mr.mem, addr);
                 ln.set(dst, v);
                 Ok(Ctl::Next)
             })
@@ -1179,7 +1203,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
                 }
                 let addr = mr.linearize(&indices[..rank as usize]);
                 ln.mem_event(site, &mr, addr)?;
-                ln.ctx.pool.store(mr.mem, addr, v);
+                ln.pool_store(site, mr.mem, addr, v);
                 Ok(Ctl::Next)
             })
         }
@@ -1202,7 +1226,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
             boxed(move |ln| {
                 // The Load arm…
                 let (mr, addr) = ln.load_addr(mem, &idx, rank, site, "load from non-memref")?;
-                let loaded = ln.ctx.pool.load(mr.mem, addr);
+                let loaded = ln.pool_load(site, mr.mem, addr);
                 // …then the mulf arm with the original operand order,
                 // narrowing the elided product exactly as its register
                 // write would have…
@@ -1257,7 +1281,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
                 let v = narrow(out, f32_out);
                 // …then the Store arm with the elided value register.
                 let (mr, addr) = ln.load_addr(mem, &idx, rank, site, "store to non-memref")?;
-                ln.ctx.pool.store(mr.mem, addr, v);
+                ln.pool_store(site, mr.mem, addr, v);
                 Ok(Ctl::Next)
             })
         }
@@ -1322,7 +1346,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
                 let i0 = ln.int(cst, "non-int index")?;
                 let addr = mr.linearize(&[i0]);
                 ln.mem_event(site, &mr, addr)?;
-                let v = ln.ctx.pool.load(mr.mem, addr);
+                let v = ln.pool_load(site, mr.mem, addr);
                 ln.set(dst, v);
                 Ok(Ctl::Next)
             })
@@ -1387,7 +1411,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
                 let i0 = ln.int(cst, "non-int index")?;
                 let addr = mr.linearize(&[i0]);
                 ln.mem_event(site, &mr, addr)?;
-                ln.ctx.pool.store(mr.mem, addr, v);
+                ln.pool_store(site, mr.mem, addr, v);
                 Ok(Ctl::Next)
             })
         }
@@ -1453,7 +1477,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
                 }
                 let addr = mr.linearize(&indices[..rank as usize]);
                 ln.mem_event(site, &mr, addr)?;
-                let v = ln.ctx.pool.load(mr.mem, addr);
+                let v = ln.pool_load(site, mr.mem, addr);
                 ln.set(dst, v);
                 Ok(Ctl::Next)
             })
@@ -1519,7 +1543,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
                 }
                 let addr = mr.linearize(&indices[..rank as usize]);
                 ln.mem_event(site, &mr, addr)?;
-                ln.ctx.pool.store(mr.mem, addr, v);
+                ln.pool_store(site, mr.mem, addr, v);
                 Ok(Ctl::Next)
             })
         }
@@ -1562,7 +1586,7 @@ fn compile_instr(plan: &KernelPlan, instr: &Instr) -> JitOp {
                 }
                 let addr = mr.linearize(&indices[..rank as usize]);
                 ln.mem_event(site, &mr, addr)?;
-                ln.ctx.pool.store(mr.mem, addr, v);
+                ln.pool_store(site, mr.mem, addr, v);
                 Ok(Ctl::Next)
             })
         }
@@ -1613,7 +1637,11 @@ pub(crate) fn run_group_jit(
     for (slot, item) in scratch.items[..n].iter_mut().zip(positions) {
         slot.reset(plan, args, item)?;
     }
-    cooperative_rounds(&mut scratch.items[..n], group, |wi| {
-        wi.run(jit, plan, ctx, pctx)
-    })
+    if pctx.uniform {
+        cooperative_rounds_uniform(&mut scratch.items[..n], |wi| wi.run(jit, plan, ctx, pctx))
+    } else {
+        cooperative_rounds(&mut scratch.items[..n], group, |wi| {
+            wi.run(jit, plan, ctx, pctx)
+        })
+    }
 }

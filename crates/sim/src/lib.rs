@@ -124,12 +124,14 @@ pub mod memory;
 pub mod plan;
 pub mod pool;
 pub mod value;
+pub mod verify;
 
 pub use cost::{CostModel, ExecStats};
 pub use device::{
     auto_threads, batch_from_env, fuse_from_env, host_nodes_from_env, jit_from_env,
     jit_threshold_from_env, launch_kernel, launch_plan, overlap_from_env, profile_from_env,
-    sched_from_env, threads_from_env, BatchLaunch, Device, Engine, JitMode, NdRangeSpec, SimError,
+    sched_from_env, threads_from_env, verify_from_env, BatchLaunch, Device, Engine, JitMode,
+    NdRangeSpec, SimError, VerifyCounters,
 };
 pub use interp::LimitKind;
 pub use jit::{compile as jit_compile, JitKernel};
@@ -144,3 +146,4 @@ pub use pool::{
     LaunchStatus, PlanExecCtx, PlanLaunch, PlanPool, SchedPolicy, SharedPool, HOST_NODE_WEIGHT,
 };
 pub use value::{AccessorVal, MemRefVal, NdItemVal, RtValue, Space};
+pub use verify::{verify_plan, PlanFacts, SiteProof, VerifyError, VerifyMode};

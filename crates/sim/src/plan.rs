@@ -68,6 +68,16 @@ fn dec_err(msg: impl Into<String>) -> DecodeError {
     }
 }
 
+/// A decode failure as a structured simulator error (`"plan decode
+/// error: …"`, position `None` until the launch layer stamps its
+/// submission index) — what strict verification surfaces instead of the
+/// silent tree-walk fallback.
+impl From<DecodeError> for SimError {
+    fn from(e: DecodeError) -> SimError {
+        SimError::msg(e.to_string())
+    }
+}
+
 // ----------------------------------------------------------------------
 // Instruction set
 // ----------------------------------------------------------------------
@@ -1883,7 +1893,7 @@ impl<'a> Decoder<'a> {
 // ----------------------------------------------------------------------
 
 /// Call `f` on every register an instruction *reads*.
-fn for_each_read(instr: &Instr, mut f: impl FnMut(Reg)) {
+pub(crate) fn for_each_read(instr: &Instr, mut f: impl FnMut(Reg)) {
     fn dim(d: &DimSrc, f: &mut impl FnMut(Reg)) {
         if let DimSrc::Reg(r) = d {
             f(*r);
@@ -2826,6 +2836,16 @@ pub struct PlanCtx {
     /// Execution-limit meter (limited runs only; `None` — the default —
     /// monomorphizes all metering out of the executor).
     pub(crate) limits: Option<Box<crate::limits::OpMeter>>,
+    /// Per-site proven-in-bounds bitset from the decode-time verifier,
+    /// instantiated against the current launch (empty = no fast paths;
+    /// see [`crate::verify::PlanFacts::instantiate`]). Proven sites take
+    /// the unchecked pool path; unproven sites keep the checked path and
+    /// its exact error text.
+    pub(crate) proven: std::sync::Arc<[u64]>,
+    /// Every barrier in the plan is statically uniform (skip per-group
+    /// divergence bookkeeping; bit-identical — a statically-uniform
+    /// barrier cannot trip the divergence check).
+    pub(crate) uniform: bool,
 }
 
 /// Flat execution counters over every function of one plan: `counts[i]`
@@ -2860,7 +2880,24 @@ impl PlanCtx {
             local_allocs: vec![None; plan.local_sites as usize],
             profile: None,
             limits: None,
+            proven: std::sync::Arc::from(Vec::new().into_boxed_slice()),
+            uniform: false,
         }
+    }
+
+    /// Attach the launch-instantiated static facts: the proven-site
+    /// bitset selecting unchecked pool paths and the all-barriers-uniform
+    /// flag (see [`crate::verify::PlanFacts`]).
+    pub fn set_facts(&mut self, proven: std::sync::Arc<[u64]>, uniform: bool) {
+        self.proven = proven;
+        self.uniform = uniform;
+    }
+
+    /// Whether memory site `site` was proven in-bounds for this launch.
+    #[inline(always)]
+    pub(crate) fn site_proven(&self, site: u32) -> bool {
+        let w = self.proven.get((site >> 6) as usize).copied().unwrap_or(0);
+        (w >> (site & 63)) & 1 != 0
     }
 
     /// Attach an execution-limit meter: subsequent runs through this
@@ -3011,6 +3048,28 @@ impl PlanWorkItem {
         macro_rules! flt {
             ($r:expr, $what:expr) => {
                 reg!($r).as_f64().ok_or_else(|| err($what))?
+            };
+        }
+        // Per-site elision of the pool's bounds check: sites the
+        // decode-time verifier proved in-bounds for this launch take the
+        // unchecked path; every other site keeps the checked path and
+        // with it the exact out-of-bounds panic text and position.
+        macro_rules! pool_load {
+            ($site:expr, $mem:expr, $addr:expr) => {
+                if pctx.site_proven($site) {
+                    ctx.pool.load_proven($mem, $addr)
+                } else {
+                    ctx.pool.load($mem, $addr)
+                }
+            };
+        }
+        macro_rules! pool_store {
+            ($site:expr, $mem:expr, $addr:expr, $v:expr) => {
+                if pctx.site_proven($site) {
+                    ctx.pool.store_proven($mem, $addr, $v)
+                } else {
+                    ctx.pool.store($mem, $addr, $v)
+                }
             };
         }
 
@@ -3221,7 +3280,7 @@ impl PlanWorkItem {
                     }
                     let addr = mr.linearize(&indices[..*rank as usize]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    let v = ctx.pool.load(mr.mem, addr);
+                    let v = pool_load!(*site, mr.mem, addr);
                     reg!(*dst) = v;
                 }
                 Instr::Store {
@@ -3241,7 +3300,7 @@ impl PlanWorkItem {
                     }
                     let addr = mr.linearize(&indices[..*rank as usize]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    ctx.pool.store(mr.mem, addr, v);
+                    pool_store!(*site, mr.mem, addr, v);
                 }
                 Instr::VecCtor { dst, comps, rank } => {
                     ctx.stats.arith_ops += 1;
@@ -3418,7 +3477,7 @@ impl PlanWorkItem {
                     }
                     let addr = mr.linearize(&indices[..*rank as usize]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    let loaded = ctx.pool.load(mr.mem, addr);
+                    let loaded = pool_load!(*site, mr.mem, addr);
                     // …then exactly the BinFloat arm, with the loaded value
                     // in its original operand position.
                     ctx.stats.arith_ops += 1;
@@ -3498,7 +3557,7 @@ impl PlanWorkItem {
                     }
                     let addr = mr.linearize(&indices[..*rank as usize]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    reg!(*dst) = ctx.pool.load(mr.mem, addr);
+                    reg!(*dst) = pool_load!(*site, mr.mem, addr);
                 }
                 Instr::AccStoreIndexed {
                     val,
@@ -3540,7 +3599,7 @@ impl PlanWorkItem {
                     }
                     let addr = mr.linearize(&indices[..*rank as usize]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    ctx.pool.store(mr.mem, addr, v);
+                    pool_store!(*site, mr.mem, addr, v);
                 }
                 Instr::LoadMulAddF {
                     dst,
@@ -3565,7 +3624,7 @@ impl PlanWorkItem {
                     }
                     let addr = mr.linearize(&indices[..*rank as usize]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    let loaded = ctx.pool.load(mr.mem, addr);
+                    let loaded = pool_load!(*site, mr.mem, addr);
                     // …then the mulf arm with the original operand order,
                     // narrowing the elided product exactly as its
                     // register write would have…
@@ -3631,7 +3690,7 @@ impl PlanWorkItem {
                     }
                     let addr = mr.linearize(&indices[..*rank as usize]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    ctx.pool.store(mr.mem, addr, v);
+                    pool_store!(*site, mr.mem, addr, v);
                 }
                 Instr::AccLoadQuad {
                     dst,
@@ -3683,7 +3742,7 @@ impl PlanWorkItem {
                     let i0 = int!(*cst, "non-int index");
                     let addr = mr.linearize(&[i0]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    reg!(*dst) = ctx.pool.load(mr.mem, addr);
+                    reg!(*dst) = pool_load!(*site, mr.mem, addr);
                 }
                 Instr::AccStoreQuad {
                     val,
@@ -3734,7 +3793,7 @@ impl PlanWorkItem {
                     let i0 = int!(*cst, "non-int index");
                     let addr = mr.linearize(&[i0]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    ctx.pool.store(mr.mem, addr, v);
+                    pool_store!(*site, mr.mem, addr, v);
                 }
                 Instr::AccLoadIdxWt {
                     dst,
@@ -3788,7 +3847,7 @@ impl PlanWorkItem {
                     }
                     let addr = mr.linearize(&indices[..*rank as usize]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    reg!(*dst) = ctx.pool.load(mr.mem, addr);
+                    reg!(*dst) = pool_load!(*site, mr.mem, addr);
                 }
                 Instr::AccStoreIdxWt {
                     val,
@@ -3840,7 +3899,7 @@ impl PlanWorkItem {
                     }
                     let addr = mr.linearize(&indices[..*rank as usize]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    ctx.pool.store(mr.mem, addr, v);
+                    pool_store!(*site, mr.mem, addr, v);
                 }
                 Instr::StoreBinFloatWt {
                     op,
@@ -3881,7 +3940,7 @@ impl PlanWorkItem {
                     }
                     let addr = mr.linearize(&indices[..*rank as usize]);
                     self.mem_event(ctx, *site, &mr, addr)?;
-                    ctx.pool.store(mr.mem, addr, v);
+                    pool_store!(*site, mr.mem, addr, v);
                 }
                 Instr::Return { vals } => {
                     if frame == 0 {

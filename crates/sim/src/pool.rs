@@ -55,7 +55,7 @@
 //! executed).
 
 use crate::cost::{CostModel, ExecStats};
-use crate::device::{cooperative_rounds, items_of_group, NdRangeSpec};
+use crate::device::{cooperative_rounds, cooperative_rounds_uniform, items_of_group, NdRangeSpec};
 use crate::interp::{LimitKind, SimError, WorkGroupCtx};
 use crate::jit::{run_group_jit, JitScratch};
 use crate::limits::{ExecLimits, FaultSite, OpMeter};
@@ -210,6 +210,65 @@ impl<'p> SharedPool<'p> {
         let (b, i) = self.buf(id, index);
         // SAFETY: `i` is in bounds, the storage outlives `self`, and all
         // concurrent access goes through these atomic helpers.
+        unsafe {
+            match (b.ptr, value) {
+                (BufPtr::F32(p), RtValue::F32(x)) => store32(p.cast(), i, x.to_bits()),
+                (BufPtr::F32(p), RtValue::F64(x)) => store32(p.cast(), i, (x as f32).to_bits()),
+                (BufPtr::F64(p), RtValue::F64(x)) => store64(p.cast(), i, x.to_bits()),
+                (BufPtr::F64(p), RtValue::F32(x)) => store64(p.cast(), i, (x as f64).to_bits()),
+                (BufPtr::I32(p), RtValue::Int(x)) => store32(p, i, x as i32 as u32),
+                (BufPtr::I64(p), RtValue::Int(x)) => store64(p, i, x as u64),
+                (slot, v) => panic!("type-mismatched store of {v:?} into {slot:?}"),
+            }
+        }
+    }
+
+    /// [`Self::load`] minus the bounds check, for sites the decode-time
+    /// verifier proved in-bounds.
+    ///
+    /// The in-bounds contract is established by
+    /// [`crate::verify::PlanFacts::instantiate`], which only sets a
+    /// site's proven bit after evaluating the site's symbolic address
+    /// bounds against this launch's actual geometry, arguments and
+    /// buffer lengths; debug builds re-assert it.
+    #[inline]
+    pub fn load_unchecked(&self, id: MemId, index: i64) -> RtValue {
+        let b = self.bufs[id.0 as usize];
+        let i = index as usize;
+        debug_assert!(
+            i < b.len,
+            "proven-safe load out of bounds: index {index} of buffer {} (len {})",
+            id.0,
+            b.len
+        );
+        // SAFETY: `i < b.len` is guaranteed by the instantiated site
+        // proof (re-checked above in debug builds), the storage outlives
+        // `self`, and all concurrent access goes through these atomic
+        // helpers.
+        unsafe {
+            match b.ptr {
+                BufPtr::F32(p) => RtValue::F32(f32::from_bits(load32(p.cast(), i))),
+                BufPtr::F64(p) => RtValue::F64(f64::from_bits(load64(p.cast(), i))),
+                BufPtr::I32(p) => RtValue::Int(load32(p, i) as i32 as i64),
+                BufPtr::I64(p) => RtValue::Int(load64(p, i) as i64),
+            }
+        }
+    }
+
+    /// [`Self::store`] minus the bounds check (same proven-site contract
+    /// as [`Self::load_unchecked`]); the type-mismatch panic is kept
+    /// verbatim — the verifier does not prove element types.
+    #[inline]
+    pub fn store_unchecked(&self, id: MemId, index: i64, value: RtValue) {
+        let b = self.bufs[id.0 as usize];
+        let i = index as usize;
+        debug_assert!(
+            i < b.len,
+            "proven-safe store out of bounds: index {index} of buffer {} (len {})",
+            id.0,
+            b.len
+        );
+        // SAFETY: as in `load_unchecked`.
         unsafe {
             match (b.ptr, value) {
                 (BufPtr::F32(p), RtValue::F32(x)) => store32(p.cast(), i, x.to_bits()),
@@ -445,6 +504,29 @@ impl<'a, 'p> PlanPool<'a, 'p> {
             }
         } else {
             self.shared.store(id, index, value);
+        }
+    }
+
+    /// [`Self::load`] for a site whose in-bounds proof was instantiated
+    /// for this launch. Shared buffers skip the bounds check; arena and
+    /// constant-cache ids (never accessor-backed, so a proof cannot
+    /// cover them) fall back to the fully checked path.
+    #[inline]
+    pub fn load_proven(&self, id: MemId, index: i64) -> RtValue {
+        if id.0 & ARENA_BIT != 0 {
+            self.load(id, index)
+        } else {
+            self.shared.load_unchecked(id, index)
+        }
+    }
+
+    /// [`Self::store`] for a proven-safe site (see [`Self::load_proven`]).
+    #[inline]
+    pub fn store_proven(&mut self, id: MemId, index: i64, value: RtValue) {
+        if id.0 & ARENA_BIT != 0 {
+            self.store(id, index, value);
+        } else {
+            self.shared.store_unchecked(id, index, value);
         }
     }
 
@@ -976,6 +1058,11 @@ pub struct PlanLaunch<'a> {
     pub jit: Option<&'a crate::jit::JitKernel>,
     /// The host closure, when this node is a host task.
     pub host: Option<&'a HostNode>,
+    /// Static-analysis facts of `plan` from the decode-time verifier
+    /// (`None` skips check elision; execution is bit-identical either
+    /// way). Instantiated against this launch's concrete geometry and
+    /// arguments before workers start.
+    pub facts: Option<&'a crate::verify::PlanFacts>,
 }
 
 impl<'a> PlanLaunch<'a> {
@@ -988,6 +1075,7 @@ impl<'a> PlanLaunch<'a> {
             nd,
             jit: None,
             host: None,
+            facts: None,
         }
     }
 
@@ -999,6 +1087,7 @@ impl<'a> PlanLaunch<'a> {
             nd: NdRangeSpec::d1(1, 1),
             jit: None,
             host: Some(node),
+            facts: None,
         }
     }
 }
@@ -1014,6 +1103,14 @@ struct GraphUnit<'a> {
     jit: Option<&'a crate::jit::JitKernel>,
     /// The host closure, when this node is a host task.
     host: Option<&'a HostNode>,
+    /// Per-site proven-in-bounds bitset, instantiated from the launch's
+    /// [`crate::verify::PlanFacts`] against its concrete geometry and
+    /// arguments (empty = every site takes the checked path).
+    proven: Arc<[u64]>,
+    /// Every barrier in the plan is statically uniform: workers may skip
+    /// the per-group divergence bookkeeping (results are bit-identical —
+    /// a statically-uniform barrier can never trip the divergence check).
+    uniform: bool,
     /// Critical-path length through the DAG from this launch (the
     /// [`SchedPolicy::CritPath`] priority key).
     cp: u64,
@@ -1377,7 +1474,11 @@ fn run_group(
         .into_iter()
         .map(|item| PlanWorkItem::new(plan, args, item))
         .collect::<Result<_, _>>()?;
-    cooperative_rounds(&mut items, group, |wi| wi.run(plan, ctx, pctx))
+    if pctx.uniform {
+        cooperative_rounds_uniform(&mut items, |wi| wi.run(plan, ctx, pctx))
+    } else {
+        cooperative_rounds(&mut items, group, |wi| wi.run(plan, ctx, pctx))
+    }
 }
 
 /// Execute the single logical work-group of a host node: charge the
@@ -1449,6 +1550,7 @@ fn graph_worker(st: &GraphState<'_, '_>) -> WorkerResult {
                 } else {
                     PlanCtx::new(plan)
                 };
+                p.set_facts(unit.proven.clone(), unit.uniform);
                 if let Some(gl) = &st.limits {
                     if gl.needs_meter(li) {
                         p.set_meter(OpMeter::new(
@@ -1797,12 +1899,24 @@ pub fn run_plan_graph_report(
     let cp = critical_paths(dag, &geometry);
     let mut units = Vec::with_capacity(launches.len());
     for (li, (l, &(groups, total))) in launches.iter().zip(&geometry).enumerate() {
+        // Bind the launch's static facts to its concrete geometry,
+        // arguments and buffer lengths once, before any worker starts;
+        // the resulting bitset is shared read-only by every worker.
+        let (proven, uniform) = match l.facts {
+            Some(f) => (
+                f.instantiate(l.args, &l.nd, pool_mem),
+                f.all_barriers_uniform(),
+            ),
+            None => (Arc::from(Vec::new().into_boxed_slice()), false),
+        };
         units.push(GraphUnit {
             plan: l.plan,
             args: l.args,
             nd: l.nd,
             jit: l.jit,
             host: l.host,
+            proven,
+            uniform,
             cp: cp[li],
             groups,
             total,

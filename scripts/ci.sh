@@ -13,6 +13,10 @@
 # comparison against scripts/bench-baseline.json (for machines whose
 # throughput is not comparable to the machine that recorded the
 # baseline); the determinism legs still run.
+#
+# Nightly-only legs (Miri smoke, TSan build) probe for their toolchain
+# pieces and skip cleanly when absent; CI_SKIP_MIRI=1 / CI_SKIP_TSAN=1
+# force the skip even when the toolchain would allow them.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -133,6 +137,29 @@ fi
 echo "tables bit-identical across closure-JIT modes"
 
 # ----------------------------------------------------------------------
+# Verifier smoke: the decode-time plan verifier (on by default in lint
+# mode, so the runs above already exercise it) must never perturb
+# simulated results. Pin both extremes: --verify=strict (rejections
+# become launch errors — the paper-figure suite must be fully provable)
+# and --verify=off (no facts, every runtime check re-armed) against the
+# lint-mode baselines.
+# ----------------------------------------------------------------------
+step "verifier smoke: --verify=strict vs --verify=off vs baseline"
+./target/release/repro_all --quick --threads=1 --verify=strict | tee "$tmp/vstrict.out"
+./target/release/repro_all --quick --threads=4 --verify=off | tee "$tmp/voff.out"
+grep -v '^repro_wall_time_seconds:' "$tmp/vstrict.out" > "$tmp/vstrict.tables"
+grep -v '^repro_wall_time_seconds:' "$tmp/voff.out" > "$tmp/voff.tables"
+if ! diff -u "$tmp/t1.tables" "$tmp/vstrict.tables"; then
+  echo "FAIL: repro_all tables differ under --verify=strict" >&2
+  exit 1
+fi
+if ! diff -u "$tmp/t4.tables" "$tmp/voff.tables"; then
+  echo "FAIL: repro_all tables differ under --verify=off" >&2
+  exit 1
+fi
+echo "tables bit-identical across verifier modes (strict accepts the whole suite)"
+
+# ----------------------------------------------------------------------
 # Scheduler-policy smoke: the critical-path ready set (default) and the
 # FIFO baseline, and host tasks as graph nodes (default) vs the legacy
 # segmented schedule, must all reproduce the threads=4 tables
@@ -204,6 +231,51 @@ fi
 echo "limits smoke passed: both engines trip, device survives, tables unchanged"
 
 # ----------------------------------------------------------------------
+# Miri smoke: the scheduler/pool core under the interpreter's aliasing
+# and data-race checks — a bounded subset (pool::), because Miri is two
+# to three orders of magnitude slower than native. Needs the nightly
+# toolchain with the miri component; probe for the actual cargo-miri
+# command (a listed-but-uninstalled component fails the probe) and skip
+# cleanly when absent so offline/stable-only runners stay green.
+# ----------------------------------------------------------------------
+step "miri smoke: cargo +nightly miri test -p sycl-mlir-sim pool:: (skip-if-unavailable)"
+if [[ "${CI_SKIP_MIRI:-0}" == 1 ]]; then
+  echo "(CI_SKIP_MIRI=1: skipping the Miri smoke)"
+elif cargo +nightly miri --version >/dev/null 2>&1; then
+  # Disable isolation: the pool tests read wall clocks for cost-model
+  # timestamps. The timeout is the hang backstop, same as repro_limits.
+  MIRIFLAGS="-Zmiri-disable-isolation" \
+    timeout 900 cargo +nightly miri test -q -p sycl-mlir-sim pool::
+  echo "miri smoke passed"
+else
+  echo "(cargo +nightly miri not available on this runner: skipping)"
+fi
+
+# ----------------------------------------------------------------------
+# TSan build: compile the scheduler stress suite under ThreadSanitizer.
+# Build-only — linking an instrumented std catches ABI/layout breakage
+# and keeps the TSan configuration from rotting; actually *running*
+# ~200 hazard DAGs under TSan is a nightly-cron job, not a gate. Needs
+# nightly + the rust-src component (-Zbuild-std: std itself must be
+# instrumented, an uninstrumented panic_unwind is an ABI mismatch).
+# ----------------------------------------------------------------------
+step "tsan build: scheduler_stress with -Zsanitizer=thread (skip-if-unavailable)"
+tsan_src="$(rustc +nightly --print sysroot 2>/dev/null)/lib/rustlib/src/rust/library/Cargo.toml"
+if [[ "${CI_SKIP_TSAN:-0}" == 1 ]]; then
+  echo "(CI_SKIP_TSAN=1: skipping the TSan build)"
+elif [[ -f "$tsan_src" ]]; then
+  # A separate target dir: the sanitizer RUSTFLAGS would otherwise
+  # invalidate the main cache twice per CI run.
+  RUSTFLAGS="-Zsanitizer=thread" \
+    timeout 900 cargo +nightly build -q -Zbuild-std \
+    --target x86_64-unknown-linux-gnu --target-dir target/tsan \
+    --test scheduler_stress
+  echo "tsan build passed"
+else
+  echo "(nightly rust-src not available on this runner: skipping)"
+fi
+
+# ----------------------------------------------------------------------
 # Profile artifact: the opcode-mix summary (per-opcode execution totals +
 # ranked fusion candidates) from a --profile=on sweep, saved under
 # target/ci-artifacts/ and uploaded by the workflow — so fusion-candidate
@@ -213,10 +285,12 @@ step "profile artifact: opcode mix (fusion-candidate drift tracking)"
 artifacts=target/ci-artifacts
 mkdir -p "$artifacts"
 ./target/release/repro_all --quick --threads=4 --profile=on > "$tmp/profile.out"
-# Keep only the profile section, minus the run-dependent wall-time line —
-# the artifact must diff clean across runs when the opcode mix is stable.
+# Keep only the profile section, minus the run-dependent wall-time and
+# verifier-timing lines — the artifact must diff clean across runs when
+# the opcode mix is stable.
 sed -n '/^== instruction profile/,$p' "$tmp/profile.out" \
-  | grep -v '^repro_wall_time_seconds:' > "$artifacts/opcode-mix.txt"
+  | grep -v '^repro_wall_time_seconds:' \
+  | grep -v 'verify time' > "$artifacts/opcode-mix.txt"
 if ! [ -s "$artifacts/opcode-mix.txt" ]; then
   echo "FAIL: --profile=on produced no instruction profile section" >&2
   exit 1
@@ -301,6 +375,8 @@ grep '^repro_wall_time_seconds:' "$tmp/nooverlap.out" | sed 's/^/  threads=4,ove
 grep '^repro_wall_time_seconds:' "$tmp/limits.out"    | sed 's/^/  threads=4,limits=on  /'
 grep '^repro_wall_time_seconds:' "$tmp/jit-always.out" | sed 's/^/  threads=4,jit=always /'
 grep '^repro_wall_time_seconds:' "$tmp/jit-off.out"   | sed 's/^/  threads=4,jit=off    /'
+grep '^repro_wall_time_seconds:' "$tmp/vstrict.out"   | sed 's/^/  threads=1,verify=strict /'
+grep '^repro_wall_time_seconds:' "$tmp/voff.out"      | sed 's/^/  threads=4,verify=off /'
 
 echo
 echo "CI gate passed."

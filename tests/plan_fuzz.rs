@@ -1445,6 +1445,7 @@ fn execute_jit(plan: &KernelPlan) -> (Result<ExecStats, SimError>, Vec<f32>, Vec
         nd: NdRangeSpec::d1(8, 4),
         jit: Some(&compiled),
         host: None,
+        facts: None,
     }];
     let result = run_plan_graph(
         &launches,
@@ -1553,6 +1554,7 @@ fn execute_jit_limited(
         nd: NdRangeSpec::d1(32, 4),
         jit: Some(&compiled),
         host: None,
+        facts: None,
     }];
     let mut out = run_plan_graph_limited(
         &launches,
@@ -1627,4 +1629,379 @@ fn op_budget_trips_are_tier_invariant() {
     }
     assert!(trips > 0, "no budget in the sweep tripped");
     assert!(completions > 0, "no budget in the sweep completed");
+}
+
+// ----------------------------------------------------------------------
+// PR 10: the decode-time verifier over the fuzz population, plus
+// deliberate bait — plans the verifier must reject (or must refuse to
+// prove) with deterministic, structured findings.
+// ----------------------------------------------------------------------
+
+/// [`execute`] through the graph scheduler with verifier `facts`
+/// attached: proven sites take the unchecked-index fast path. Must stay
+/// bit-identical to the fully-checked run for every legal plan.
+#[allow(clippy::type_complexity)]
+fn execute_with_facts(
+    plan: &KernelPlan,
+    facts: Option<&sycl_mlir_repro::sim::PlanFacts>,
+) -> (Result<ExecStats, SimError>, Vec<f32>, Vec<i64>, Vec<f32>) {
+    use sycl_mlir_repro::sim::{run_plan_graph, LaunchDag, PlanLaunch};
+    let mut pool = MemoryPool::new();
+    let mf = pool.alloc(DataVec::F32(
+        (0..BUF_LEN).map(|i| i as f32 * 0.25).collect(),
+    ));
+    let mi = pool.alloc(DataVec::I64((0..BUF_LEN).map(|i| i as i64 - 4).collect()));
+    let ma = pool.alloc(DataVec::F32(
+        (0..BUF_LEN).map(|i| i as f32 * 0.5 - 2.0).collect(),
+    ));
+    let args = [
+        RtValue::MemRef(MemRefVal {
+            mem: mf,
+            offset: 0,
+            shape: [BUF_LEN as i64, 1, 1],
+            rank: 1,
+            space: Space::Global,
+        }),
+        RtValue::MemRef(MemRefVal {
+            mem: mi,
+            offset: 0,
+            shape: [BUF_LEN as i64, 1, 1],
+            rank: 1,
+            space: Space::Global,
+        }),
+        RtValue::Accessor(AccessorVal {
+            mem: ma,
+            range: [BUF_LEN as i64, 1, 1],
+            offset: [0, 0, 0],
+            rank: 1,
+            constant: false,
+        }),
+    ];
+    let launches = [PlanLaunch {
+        plan: Some(plan),
+        args: &args,
+        nd: NdRangeSpec::d1(8, 4),
+        jit: None,
+        host: None,
+        facts,
+    }];
+    let result = run_plan_graph(
+        &launches,
+        &LaunchDag::independent(1),
+        &mut pool,
+        &CostModel::default(),
+        1,
+        false,
+    )
+    .map(|mut out| out.stats.pop().expect("one launch in, one stats out"));
+    let DataVec::F32(f) = pool.data(mf) else {
+        panic!()
+    };
+    let DataVec::I64(i) = pool.data(mi) else {
+        panic!()
+    };
+    let DataVec::F32(a) = pool.data(ma) else {
+        panic!()
+    };
+    (result, f.clone(), i.clone(), a.clone())
+}
+
+/// Every fuzz seed is **lint-clean** (the generator emits structurally
+/// legal bytecode), the verifier is deterministic on it, and running
+/// the fused plan with the proven-site facts attached is bit-identical
+/// to the fully-checked run — across the whole 128-seed population.
+/// The interval pass must also prove a substantial share of the masked
+/// (`& 15`) accessor subscripts, or the fast path is dead code.
+#[test]
+fn verifier_accepts_fuzz_population_and_elision_is_bit_identical() {
+    use sycl_mlir_repro::sim::verify_plan;
+    let (mut proven_total, mut sites_total) = (0_u64, 0_u64);
+    for seed in 0..128_u64 {
+        let seed = seed * 7919 + 13;
+        let plan = Gen::new(seed).finish();
+        let mut facts = verify_plan(&plan)
+            .unwrap_or_else(|errs| panic!("fuzz seed {seed} must verify clean: {errs:?}"));
+        let again = verify_plan(&plan).expect("deterministic");
+        assert_eq!(
+            (facts.sites_total, facts.sites_proven),
+            (again.sites_total, again.sites_proven),
+            "verification must be deterministic (seed {seed})"
+        );
+        proven_total += u64::from(facts.sites_proven);
+        sites_total += u64::from(facts.sites_total);
+        // The fuzz plans run standalone (no IR module), so the device
+        // layer never fills the barrier counts in. Mark the barriers
+        // unproven so the A/B below isolates the *bounds-check* elision.
+        facts.barriers_total = 1;
+        facts.barriers_uniform = 0;
+        // Verification happens pre-fusion; fusion preserves site ids, so
+        // the proofs transfer to the fused plan — exactly the product
+        // pipeline's order.
+        let mut fused = plan.clone();
+        fuse_plan(&mut fused);
+        for p in [&plan, &fused] {
+            let (base, bf, bi, ba) = execute_with_facts(p, None);
+            let (fast, ff, fi, fa) = execute_with_facts(p, Some(&facts));
+            match (&base, &fast) {
+                (Ok(b), Ok(f)) => assert_eq!(b, f, "stats diverge under elision (seed {seed})"),
+                (Err(b), Err(f)) => assert_eq!(
+                    b.message(),
+                    f.message(),
+                    "errors diverge under elision (seed {seed})"
+                ),
+                _ => panic!(
+                    "elision changed the outcome (seed {seed}): checked={base:?} elided={fast:?}"
+                ),
+            }
+            assert_eq!(
+                bf.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                ff.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "f32 buffer diverges under elision (seed {seed})"
+            );
+            assert_eq!(bi, fi, "i64 buffer diverges under elision (seed {seed})");
+            assert_eq!(
+                ba.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                fa.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "accessor buffer diverges under elision (seed {seed})"
+            );
+        }
+    }
+    // The fuzz population gathers through *loaded* indices on purpose
+    // (unprovable by design), so the provable share is lower than the
+    // benchsuite's; the population is fixed, so the floor is exact.
+    assert!(
+        proven_total * 6 >= sites_total,
+        "expected a substantial provable share, got {proven_total}/{sites_total}"
+    );
+}
+
+/// A minimal legal single-function plan around `body`, with the fuzz
+/// parameter convention (f32 memref r0, i64 memref r1, accessor r2).
+fn bait_plan(body: Vec<Instr>, reg_count: u32, mem_sites: u32) -> KernelPlan {
+    KernelPlan {
+        funcs: vec![FuncPlan {
+            code: body,
+            reg_count,
+            params: vec![0, 1, 2],
+            has_item_param: false,
+        }],
+        dense_consts: Vec::new(),
+        mem_sites,
+        local_sites: 0,
+        fused_pairs: 0,
+        fused_chains: 0,
+        fused_quads: 0,
+        fused_wt: 0,
+    }
+}
+
+/// Bait 1 — a provably out-of-bounds subscript. Not a *verification*
+/// error (buffer lengths are runtime facts), but the per-launch
+/// instantiation must refuse to elide the site and both runs must fail
+/// with byte-identical out-of-bounds texts and positions.
+#[test]
+fn oob_bait_is_never_elided_and_fails_identically() {
+    use sycl_mlir_repro::sim::verify_plan;
+    let plan = bait_plan(
+        vec![
+            Instr::Const {
+                dst: 3,
+                val: RtValue::Int(999),
+            },
+            Instr::Const {
+                dst: 4,
+                val: RtValue::F32(1.0),
+            },
+            Instr::Store {
+                val: 4,
+                mem: 0,
+                idx: [3, 0, 0],
+                rank: 1,
+                site: 0,
+            },
+            Instr::Return {
+                vals: Vec::new().into_boxed_slice(),
+            },
+        ],
+        5,
+        1,
+    );
+    let mut facts = verify_plan(&plan).expect("structurally legal");
+    facts.barriers_total = 1;
+    facts.barriers_uniform = 0;
+    let (base, ..) = execute_with_facts(&plan, None);
+    let (fast, ..) = execute_with_facts(&plan, Some(&facts));
+    let be = base.expect_err("store at 999 is out of bounds");
+    let fe = fast.expect_err("store at 999 is out of bounds");
+    assert_eq!(be, fe, "facts must not change the OOB failure");
+    assert!(
+        be.message()
+            .contains("device memory access out of bounds: index 999 of buffer"),
+        "expected the exact bounds text, got: {}",
+        be.message()
+    );
+}
+
+/// Bait 2 — type-confused register reuse: an integer register fed to a
+/// float ALU op. The type-class pass must reject it with the offending
+/// pc, identically on every run (what strict rejects is exactly what
+/// lint reports).
+#[test]
+fn type_confusion_bait_is_rejected() {
+    use sycl_mlir_repro::sim::verify_plan;
+    let plan = bait_plan(
+        vec![
+            Instr::Const {
+                dst: 3,
+                val: RtValue::Int(7),
+            },
+            Instr::BinFloat {
+                op: FloatBin::Add,
+                dst: 4,
+                l: 3,
+                r: 3,
+                f32_out: false,
+            },
+            Instr::Return {
+                vals: Vec::new().into_boxed_slice(),
+            },
+        ],
+        5,
+        0,
+    );
+    let errs = verify_plan(&plan).expect_err("type confusion must be rejected");
+    assert_eq!(
+        verify_plan(&plan).expect_err("deterministic"),
+        errs,
+        "strict must reject exactly what lint reports"
+    );
+    assert!(
+        errs.iter().any(|e| {
+            e.pc == 1
+                && e.message
+                    .contains("holds an integer but is used as a float")
+        }),
+        "expected the type-class finding at pc 1, got: {errs:?}"
+    );
+}
+
+/// Bait 3 — a jump into the middle of an instruction window, skipping
+/// the definition its target consumes; and a jump clean out of the
+/// function. Both must be rejected with structured findings, never a
+/// panic.
+#[test]
+fn corrupted_jump_bait_is_rejected() {
+    use sycl_mlir_repro::sim::verify_plan;
+    // Jump over the definition of r3 straight into its use.
+    let skip_def = bait_plan(
+        vec![
+            Instr::Jump { target: 2 },
+            Instr::Const {
+                dst: 3,
+                val: RtValue::F32(2.0),
+            },
+            Instr::BinFloat {
+                op: FloatBin::Mul,
+                dst: 4,
+                l: 3,
+                r: 3,
+                f32_out: false,
+            },
+            Instr::Return {
+                vals: Vec::new().into_boxed_slice(),
+            },
+        ],
+        5,
+        0,
+    );
+    let errs = verify_plan(&skip_def).expect_err("jump past a def must be rejected");
+    assert!(
+        errs.iter()
+            .any(|e| e.pc == 2 && e.message.contains("register r3 read before definition")),
+        "expected the def-before-use finding at the jump target, got: {errs:?}"
+    );
+
+    // Jump target outside the function entirely: a fatal structural
+    // finding from the first pass.
+    let out_of_range = bait_plan(
+        vec![
+            Instr::Jump { target: 999 },
+            Instr::Return {
+                vals: Vec::new().into_boxed_slice(),
+            },
+        ],
+        3,
+        0,
+    );
+    let errs = verify_plan(&out_of_range).expect_err("wild jump must be rejected");
+    assert!(
+        errs.iter()
+            .any(|e| e.pc == 0 && e.message.contains("pc target 999 out of bounds")),
+        "expected the fatal target finding, got: {errs:?}"
+    );
+    assert_eq!(
+        verify_plan(&out_of_range).expect_err("deterministic"),
+        errs,
+        "strict must reject exactly what lint reports"
+    );
+}
+
+/// Randomly corrupting one jump target of every fuzz seed's plan either
+/// leaves it verifiable or produces a deterministic, structured
+/// rejection — `verify_plan` must never panic on corrupted bytecode and
+/// must report the same findings every time (the strict/lint contract).
+#[test]
+fn corrupted_fuzz_plans_reject_deterministically() {
+    use sycl_mlir_repro::sim::verify_plan;
+    let mut rejected = 0_u32;
+    for seed in 0..128_u64 {
+        let seed = seed * 7919 + 13;
+        let mut plan = Gen::new(seed).finish();
+        let mut rng = TestRng::new(seed ^ 0x5eed);
+        let code = &mut plan.funcs[0].code;
+        let len = code.len();
+        // Corrupt the first branching instruction (if any) to a random
+        // in-or-out-of-range pc; otherwise corrupt a register operand.
+        let corrupted = code.iter_mut().find_map(|instr| match instr {
+            Instr::Jump { target } | Instr::BranchIfFalse { target, .. } => {
+                *target = rng.below(len * 2) as u32;
+                Some(())
+            }
+            Instr::ForEnter { exit, .. } => {
+                *exit = rng.below(len * 2) as u32;
+                Some(())
+            }
+            _ => None,
+        });
+        if corrupted.is_none() {
+            // No branches this seed: confuse a binop's operand instead.
+            for instr in code.iter_mut() {
+                if let Instr::BinFloat { l, .. } = instr {
+                    *l = 1; // r1 is the i64 memref parameter — a memref fed to a float op
+                    break;
+                }
+            }
+        }
+        let first = verify_plan(&plan);
+        let second = verify_plan(&plan);
+        match (first, second) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    (a.sites_total, a.sites_proven),
+                    (b.sites_total, b.sites_proven),
+                    "facts must be deterministic (seed {seed})"
+                );
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a, b, "findings must be deterministic (seed {seed})");
+                assert!(!a.is_empty());
+                rejected += 1;
+            }
+            _ => panic!("verification verdict must be deterministic (seed {seed})"),
+        }
+    }
+    assert!(
+        rejected > 32,
+        "expected corruption to trip the verifier broadly, got {rejected}/128"
+    );
 }
